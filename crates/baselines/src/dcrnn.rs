@@ -1,0 +1,266 @@
+//! DCRNN-lite baseline (Li et al., ICLR 2018): Diffusion Convolutional
+//! Gated Recurrent Units in a sequence-to-sequence arrangement. The fully
+//! connected layers of a GRU are replaced by diffusion convolutions over the
+//! road graph, so spatial and temporal dependencies couple inside the cell.
+
+use d2stgnn_core::TrafficModel;
+use d2stgnn_data::Batch;
+use d2stgnn_graph::{transition, TrafficNetwork};
+use d2stgnn_tensor::nn::{Linear, Module};
+use d2stgnn_tensor::{Array, Tensor};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Bidirectional diffusion convolution:
+/// `Θ★X = X W_0 + Σ_{k=1..K} (P_f^k X) W_{f,k} + (P_b^k X) W_{b,k}`.
+pub struct DiffusionConv {
+    /// Identity tap.
+    w0: Linear,
+    /// Forward-transition taps, one per order.
+    wf: Vec<Linear>,
+    /// Backward-transition taps, one per order.
+    wb: Vec<Linear>,
+    /// Pre-computed `P_f^k` constants.
+    pf: Vec<Tensor>,
+    /// Pre-computed `P_b^k` constants.
+    pb: Vec<Tensor>,
+}
+
+impl DiffusionConv {
+    /// Build with diffusion order `k` over the given network.
+    pub fn new<R: Rng>(
+        network: &TrafficNetwork,
+        k: usize,
+        c_in: usize,
+        c_out: usize,
+        rng: &mut R,
+    ) -> Self {
+        assert!(k >= 1, "diffusion order must be >= 1");
+        let adj = network.adjacency();
+        let p_f = transition::forward_transition(&adj);
+        let p_b = transition::backward_transition(&adj);
+        let powers = |p: &Array| -> Vec<Tensor> {
+            (1..=k)
+                .map(|kk| Tensor::constant(transition::matrix_power(p, kk)))
+                .collect()
+        };
+        Self {
+            w0: Linear::new(c_in, c_out, true, rng),
+            wf: (0..k).map(|_| Linear::new(c_in, c_out, false, rng)).collect(),
+            wb: (0..k).map(|_| Linear::new(c_in, c_out, false, rng)).collect(),
+            pf: powers(&p_f),
+            pb: powers(&p_b),
+        }
+    }
+
+    /// Apply to `[B, N, c_in]`, returning `[B, N, c_out]`.
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        let mut out = self.w0.forward(x);
+        for (p, w) in self.pf.iter().zip(&self.wf) {
+            out = out.add(&w.forward(&p.matmul(x)));
+        }
+        for (p, w) in self.pb.iter().zip(&self.wb) {
+            out = out.add(&w.forward(&p.matmul(x)));
+        }
+        out
+    }
+}
+
+impl Module for DiffusionConv {
+    fn parameters(&self) -> Vec<Tensor> {
+        let mut p = self.w0.parameters();
+        for w in self.wf.iter().chain(&self.wb) {
+            p.extend(w.parameters());
+        }
+        p
+    }
+}
+
+/// One DCGRU cell: GRU gates computed by diffusion convolutions over
+/// `[x ‖ h]`.
+pub struct DcgruCell {
+    conv_gates: DiffusionConv,
+    conv_cand: DiffusionConv,
+    hidden: usize,
+}
+
+impl DcgruCell {
+    /// New cell with the given input/hidden widths and diffusion order `k`.
+    pub fn new<R: Rng>(
+        network: &TrafficNetwork,
+        c_in: usize,
+        hidden: usize,
+        k: usize,
+        rng: &mut R,
+    ) -> Self {
+        Self {
+            conv_gates: DiffusionConv::new(network, k, c_in + hidden, 2 * hidden, rng),
+            conv_cand: DiffusionConv::new(network, k, c_in + hidden, hidden, rng),
+            hidden,
+        }
+    }
+
+    /// One step: `x` `[B, N, c_in]`, `h` `[B, N, hidden]`.
+    pub fn step(&self, x: &Tensor, h: &Tensor) -> Tensor {
+        let xh = Tensor::concat(&[x, h], 2);
+        let gates = self.conv_gates.forward(&xh).sigmoid();
+        let r = gates.slice_axis(2, 0, self.hidden);
+        let u = gates.slice_axis(2, self.hidden, 2 * self.hidden);
+        let cand_in = Tensor::concat(&[x, &r.mul(h)], 2);
+        let c = self.conv_cand.forward(&cand_in).tanh();
+        let ones = Tensor::constant(Array::ones(&u.shape()));
+        u.mul(h).add(&ones.sub(&u).mul(&c))
+    }
+}
+
+impl Module for DcgruCell {
+    fn parameters(&self) -> Vec<Tensor> {
+        let mut p = self.conv_gates.parameters();
+        p.extend(self.conv_cand.parameters());
+        p
+    }
+}
+
+/// DCRNN-lite: one-layer DCGRU encoder + autoregressive DCGRU decoder.
+pub struct Dcrnn {
+    encoder: DcgruCell,
+    decoder: DcgruCell,
+    output: Linear,
+    num_nodes: usize,
+    hidden: usize,
+    tf: usize,
+}
+
+impl Dcrnn {
+    /// Build the model.
+    pub fn new<R: Rng>(
+        network: &TrafficNetwork,
+        hidden: usize,
+        k: usize,
+        tf: usize,
+        rng: &mut R,
+    ) -> Self {
+        Self {
+            encoder: DcgruCell::new(network, 1, hidden, k, rng),
+            decoder: DcgruCell::new(network, 1, hidden, k, rng),
+            output: Linear::new(hidden, 1, true, rng),
+            num_nodes: network.num_nodes(),
+            hidden,
+            tf,
+        }
+    }
+}
+
+impl TrafficModel for Dcrnn {
+    fn forward(&self, batch: &Batch, _training: bool, _rng: &mut StdRng) -> Tensor {
+        let shape = batch.x.shape();
+        let (b, th, n, c) = (shape[0], shape[1], shape[2], shape[3]);
+        assert_eq!(n, self.num_nodes, "node count mismatch");
+        assert_eq!(c, 1, "DCRNN-lite expects one channel");
+        let x = Tensor::constant(batch.x.clone());
+        let mut h = Tensor::constant(Array::zeros(&[b, n, self.hidden]));
+        for t in 0..th {
+            let xt = x.slice_axis(1, t, t + 1).reshape(&[b, n, 1]);
+            h = self.encoder.step(&xt, &h);
+        }
+        // Decoder starts from a GO token (zeros), as in the original.
+        let mut inp = Tensor::constant(Array::zeros(&[b, n, 1]));
+        let mut outs = Vec::with_capacity(self.tf);
+        for _ in 0..self.tf {
+            h = self.decoder.step(&inp, &h);
+            let pred = self.output.forward(&h); // [b, n, 1]
+            outs.push(pred.clone());
+            inp = pred;
+        }
+        let refs: Vec<&Tensor> = outs.iter().collect();
+        Tensor::stack(&refs, 1) // [b, tf, n, 1]
+    }
+
+    fn name(&self) -> String {
+        "DCRNN".to_string()
+    }
+
+    fn horizon(&self) -> usize {
+        self.tf
+    }
+}
+
+impl Module for Dcrnn {
+    fn parameters(&self) -> Vec<Tensor> {
+        let mut p = self.encoder.parameters();
+        p.extend(self.decoder.parameters());
+        p.extend(self.output.parameters());
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use d2stgnn_data::{simulate, SimulatorConfig, Split, WindowedDataset};
+    use rand::SeedableRng;
+
+    fn setup() -> (Dcrnn, WindowedDataset, StdRng) {
+        let mut cfg = SimulatorConfig::tiny();
+        cfg.num_nodes = 6;
+        cfg.num_steps = 288;
+        cfg.knn = 2;
+        let data = WindowedDataset::new(simulate(&cfg), 12, 12, (0.6, 0.2, 0.2));
+        let mut rng = StdRng::seed_from_u64(0);
+        let model = Dcrnn::new(&data.data().network.clone(), 12, 2, 12, &mut rng);
+        (model, data, rng)
+    }
+
+    #[test]
+    fn diffusion_conv_shapes_and_identity_tap() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let net = TrafficNetwork::random_geometric(5, 2, 0.02, &mut rng);
+        let conv = DiffusionConv::new(&net, 2, 3, 4, &mut rng);
+        let x = Tensor::constant(Array::randn(&[2, 5, 3], &mut rng));
+        assert_eq!(conv.forward(&x).shape(), vec![2, 5, 4]);
+        // 1 identity tap (W+b) + 2 forward + 2 backward weight-only taps.
+        assert_eq!(conv.parameters().len(), 2 + 2 + 2);
+    }
+
+    #[test]
+    fn forward_shape() {
+        let (model, data, mut rng) = setup();
+        let batch = data.batch(Split::Train, &[0, 1]);
+        let pred = model.forward(&batch, false, &mut rng);
+        assert_eq!(pred.shape(), vec![2, 12, 6, 1]);
+        assert!(!pred.value().has_non_finite());
+    }
+
+    #[test]
+    fn uses_spatial_information() {
+        // Perturbing one node's input changes its neighbours' predictions.
+        let (model, data, mut rng) = setup();
+        let mut batch = data.batch(Split::Train, &[0]);
+        let base = model.forward(&batch, false, &mut rng).value();
+        for t in 0..12 {
+            let v = batch.x.at(&[0, t, 0, 0]);
+            batch.x.set(&[0, t, 0, 0], v + 3.0);
+        }
+        let bumped = model.forward(&batch, false, &mut rng).value();
+        let other_nodes_moved: f32 = (1..6)
+            .map(|i| (base.at(&[0, 0, i, 0]) - bumped.at(&[0, 0, i, 0])).abs())
+            .sum();
+        assert!(other_nodes_moved > 1e-6, "no spatial coupling");
+    }
+
+    #[test]
+    fn training_step_reduces_loss() {
+        let (model, data, mut rng) = setup();
+        let batch = data.batch(Split::Train, &[0, 1]);
+        let target = Tensor::constant(data.scaler().transform(&batch.y));
+        let loss_of = |m: &Dcrnn, rng: &mut StdRng| {
+            d2stgnn_tensor::losses::mae_loss(&m.forward(&batch, true, rng), &target)
+        };
+        let l0 = loss_of(&model, &mut rng);
+        l0.backward();
+        use d2stgnn_tensor::optim::{Adam, Optimizer};
+        let mut opt = Adam::new(model.parameters(), 0.01);
+        opt.step();
+        assert!(loss_of(&model, &mut rng).item() < l0.item());
+    }
+}

@@ -1,0 +1,279 @@
+//! DGCRN-lite baseline (Li et al. 2021): a dynamic-graph convolutional
+//! recurrent network. Like DCRNN it is a DCGRU seq2seq, but at every step a
+//! hyper-network generates a *dynamic* adjacency from the current input and
+//! hidden state (filtered node embeddings), which augments the static road
+//! graph inside the cell's diffusion convolution.
+//!
+//! With the dynamic generator disabled this collapses to DCRNN — exactly
+//! the DGCRN† variant the paper uses in Table 4.
+
+use crate::dcrnn::DiffusionConv;
+use d2stgnn_core::TrafficModel;
+use d2stgnn_data::Batch;
+use d2stgnn_graph::TrafficNetwork;
+use d2stgnn_tensor::nn::{xavier_uniform, Linear, Module};
+use d2stgnn_tensor::{Array, Tensor};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Hyper-network that generates a per-sample dynamic adjacency from the
+/// step's `[x ‖ h]` features: node filters modulate learned embeddings, and
+/// their inner products (ReLU + row softmax) form the graph.
+struct GraphGenerator {
+    filter1: Linear,
+    filter2: Linear,
+    e1: Tensor,
+    e2: Tensor,
+    emb: usize,
+}
+
+impl GraphGenerator {
+    fn new<R: Rng>(n: usize, c_in: usize, emb: usize, rng: &mut R) -> Self {
+        Self {
+            filter1: Linear::new(c_in, emb, true, rng),
+            filter2: Linear::new(c_in, emb, true, rng),
+            e1: Tensor::parameter(xavier_uniform(&[n, emb], rng)),
+            e2: Tensor::parameter(xavier_uniform(&[n, emb], rng)),
+            emb,
+        }
+    }
+
+    /// `xh`: `[B, N, c_in]` -> dynamic adjacency `[B, N, N]`, row-stochastic.
+    fn forward(&self, xh: &Tensor) -> Tensor {
+        let shape = xh.shape();
+        let (b, n) = (shape[0], shape[1]);
+        let f1 = self.filter1.forward(xh).tanh(); // [B, N, e]
+        let f2 = self.filter2.forward(xh).tanh();
+        let e1 = self.e1.reshape(&[1, n, self.emb]).broadcast_to(&[b, n, self.emb]);
+        let e2 = self.e2.reshape(&[1, n, self.emb]).broadcast_to(&[b, n, self.emb]);
+        let src = f1.mul(&e1);
+        let dst = f2.mul(&e2);
+        src.matmul(&dst.transpose()).relu().softmax(2)
+    }
+}
+
+impl Module for GraphGenerator {
+    fn parameters(&self) -> Vec<Tensor> {
+        let mut p = self.filter1.parameters();
+        p.extend(self.filter2.parameters());
+        p.push(self.e1.clone());
+        p.push(self.e2.clone());
+        p
+    }
+}
+
+/// A DCGRU cell whose candidate path additionally convolves over the
+/// generated dynamic graph.
+struct DgcrnCell {
+    conv_gates: DiffusionConv,
+    conv_cand: DiffusionConv,
+    dyn_gates: Linear,
+    dyn_cand: Linear,
+    generator: Option<GraphGenerator>,
+    hidden: usize,
+}
+
+impl DgcrnCell {
+    fn new<R: Rng>(
+        network: &TrafficNetwork,
+        c_in: usize,
+        hidden: usize,
+        k: usize,
+        dynamic: bool,
+        rng: &mut R,
+    ) -> Self {
+        Self {
+            conv_gates: DiffusionConv::new(network, k, c_in + hidden, 2 * hidden, rng),
+            conv_cand: DiffusionConv::new(network, k, c_in + hidden, hidden, rng),
+            dyn_gates: Linear::new(c_in + hidden, 2 * hidden, false, rng),
+            dyn_cand: Linear::new(c_in + hidden, hidden, false, rng),
+            generator: dynamic
+                .then(|| GraphGenerator::new(network.num_nodes(), c_in + hidden, 8, rng)),
+            hidden,
+        }
+    }
+
+    fn step(&self, x: &Tensor, h: &Tensor) -> Tensor {
+        let xh = Tensor::concat(&[x, h], 2);
+        let mut gates = self.conv_gates.forward(&xh);
+        let dyn_a = self.generator.as_ref().map(|g| g.forward(&xh));
+        if let Some(a) = &dyn_a {
+            gates = gates.add(&self.dyn_gates.forward(&a.matmul(&xh)));
+        }
+        let gates = gates.sigmoid();
+        let r = gates.slice_axis(2, 0, self.hidden);
+        let u = gates.slice_axis(2, self.hidden, 2 * self.hidden);
+        let cand_in = Tensor::concat(&[x, &r.mul(h)], 2);
+        let mut cand = self.conv_cand.forward(&cand_in);
+        if let Some(a) = &dyn_a {
+            cand = cand.add(&self.dyn_cand.forward(&a.matmul(&cand_in)));
+        }
+        let c = cand.tanh();
+        let ones = Tensor::constant(Array::ones(&u.shape()));
+        u.mul(h).add(&ones.sub(&u).mul(&c))
+    }
+}
+
+impl Module for DgcrnCell {
+    fn parameters(&self) -> Vec<Tensor> {
+        let mut p = self.conv_gates.parameters();
+        p.extend(self.conv_cand.parameters());
+        if let Some(g) = &self.generator {
+            p.extend(self.dyn_gates.parameters());
+            p.extend(self.dyn_cand.parameters());
+            p.extend(g.parameters());
+        }
+        p
+    }
+}
+
+/// DGCRN-lite seq2seq.
+pub struct Dgcrn {
+    encoder: DgcrnCell,
+    decoder: DgcrnCell,
+    output: Linear,
+    num_nodes: usize,
+    hidden: usize,
+    tf: usize,
+    dynamic: bool,
+}
+
+impl Dgcrn {
+    /// Build; `dynamic = false` yields the DGCRN† (static graph) variant.
+    pub fn new<R: Rng>(
+        network: &TrafficNetwork,
+        hidden: usize,
+        k: usize,
+        tf: usize,
+        dynamic: bool,
+        rng: &mut R,
+    ) -> Self {
+        Self {
+            encoder: DgcrnCell::new(network, 1, hidden, k, dynamic, rng),
+            decoder: DgcrnCell::new(network, 1, hidden, k, dynamic, rng),
+            output: Linear::new(hidden, 1, true, rng),
+            num_nodes: network.num_nodes(),
+            hidden,
+            tf,
+            dynamic,
+        }
+    }
+}
+
+impl TrafficModel for Dgcrn {
+    fn forward(&self, batch: &Batch, _training: bool, _rng: &mut StdRng) -> Tensor {
+        let shape = batch.x.shape();
+        let (b, th, n, c) = (shape[0], shape[1], shape[2], shape[3]);
+        assert_eq!(n, self.num_nodes, "node count mismatch");
+        assert_eq!(c, 1, "DGCRN-lite expects one channel");
+        let x = Tensor::constant(batch.x.clone());
+        let mut h = Tensor::constant(Array::zeros(&[b, n, self.hidden]));
+        for t in 0..th {
+            let xt = x.slice_axis(1, t, t + 1).reshape(&[b, n, 1]);
+            h = self.encoder.step(&xt, &h);
+        }
+        let mut inp = Tensor::constant(Array::zeros(&[b, n, 1]));
+        let mut outs = Vec::with_capacity(self.tf);
+        for _ in 0..self.tf {
+            h = self.decoder.step(&inp, &h);
+            let pred = self.output.forward(&h);
+            outs.push(pred.clone());
+            inp = pred;
+        }
+        let refs: Vec<&Tensor> = outs.iter().collect();
+        Tensor::stack(&refs, 1)
+    }
+
+    fn name(&self) -> String {
+        if self.dynamic {
+            "DGCRN".to_string()
+        } else {
+            "DGCRN+".to_string() // dagger: static-graph variant of Table 4
+        }
+    }
+
+    fn horizon(&self) -> usize {
+        self.tf
+    }
+}
+
+impl Module for Dgcrn {
+    fn parameters(&self) -> Vec<Tensor> {
+        let mut p = self.encoder.parameters();
+        p.extend(self.decoder.parameters());
+        p.extend(self.output.parameters());
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use d2stgnn_data::{simulate, SimulatorConfig, Split, WindowedDataset};
+    use rand::SeedableRng;
+
+    fn setup(dynamic: bool) -> (Dgcrn, WindowedDataset, StdRng) {
+        let mut cfg = SimulatorConfig::tiny();
+        cfg.num_nodes = 6;
+        cfg.num_steps = 288;
+        cfg.knn = 2;
+        let data = WindowedDataset::new(simulate(&cfg), 12, 12, (0.6, 0.2, 0.2));
+        let mut rng = StdRng::seed_from_u64(0);
+        let model = Dgcrn::new(&data.data().network.clone(), 10, 2, 12, dynamic, &mut rng);
+        (model, data, rng)
+    }
+
+    #[test]
+    fn forward_shape_both_variants() {
+        for dynamic in [true, false] {
+            let (model, data, mut rng) = setup(dynamic);
+            let batch = data.batch(Split::Train, &[0, 1]);
+            let pred = model.forward(&batch, false, &mut rng);
+            assert_eq!(pred.shape(), vec![2, 12, 6, 1]);
+            assert!(!pred.value().has_non_finite());
+        }
+    }
+
+    #[test]
+    fn dynamic_variant_has_more_parameters_and_different_name() {
+        let (dynamic, _, _) = setup(true);
+        let (static_g, _, _) = setup(false);
+        assert!(dynamic.num_parameters() > static_g.num_parameters());
+        assert_eq!(dynamic.name(), "DGCRN");
+        assert_eq!(static_g.name(), "DGCRN+");
+    }
+
+    #[test]
+    fn generated_graph_is_row_stochastic_and_input_dependent() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let gen = GraphGenerator::new(5, 3, 4, &mut rng);
+        let xh0 = Array::randn(&[2, 5, 3], &mut rng);
+        let a0 = gen.forward(&Tensor::constant(xh0.clone())).value();
+        for bi in 0..2 {
+            for r in 0..5 {
+                let s: f32 = (0..5).map(|c| a0.at(&[bi, r, c])).sum();
+                assert!((s - 1.0).abs() < 1e-4);
+            }
+        }
+        let mut xh1 = xh0;
+        xh1.data_mut()[0] += 5.0;
+        let a1 = gen.forward(&Tensor::constant(xh1)).value();
+        assert_ne!(a0.data(), a1.data(), "graph must react to the signal");
+    }
+
+    #[test]
+    fn training_step_reduces_loss() {
+        let (model, data, mut rng) = setup(true);
+        let batch = data.batch(Split::Train, &[0, 1]);
+        let target = Tensor::constant(data.scaler().transform(&batch.y));
+        let loss_of = |m: &Dgcrn, rng: &mut StdRng| {
+            d2stgnn_tensor::losses::mae_loss(&m.forward(&batch, true, rng), &target)
+        };
+        let l0 = loss_of(&model, &mut rng);
+        l0.backward();
+        use d2stgnn_tensor::optim::{Adam, Optimizer};
+        let mut opt = Adam::new(model.parameters(), 0.01);
+        opt.step();
+        assert!(loss_of(&model, &mut rng).item() < l0.item());
+    }
+}

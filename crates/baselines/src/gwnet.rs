@@ -1,0 +1,269 @@
+//! Graph WaveNet-lite baseline (Wu et al., IJCAI 2019): stacked gated
+//! dilated temporal convolutions interleaved with graph convolutions that
+//! use both road-network transitions and a self-adaptive adjacency matrix,
+//! with skip connections into a joint output head.
+
+use d2stgnn_core::TrafficModel;
+use d2stgnn_data::Batch;
+use d2stgnn_graph::{transition, TrafficNetwork};
+use d2stgnn_tensor::nn::{xavier_uniform, CausalConv1d, Linear, Mlp, Module};
+use d2stgnn_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Graph convolution over pre-computed supports plus the adaptive matrix:
+/// `Z = X W_0 + Σ_s Σ_{k=1..K} (P_s^k X) W_{s,k}`.
+struct Gcn {
+    w0: Linear,
+    taps: Vec<Linear>,
+    supports: Vec<Tensor>,
+    k: usize,
+}
+
+impl Gcn {
+    fn new<R: Rng>(supports: Vec<Tensor>, k: usize, c: usize, adaptive: bool, rng: &mut R) -> Self {
+        let count = (supports.len() + usize::from(adaptive)) * k;
+        Self {
+            w0: Linear::new(c, c, true, rng),
+            taps: (0..count).map(|_| Linear::new(c, c, false, rng)).collect(),
+            supports,
+            k,
+        }
+    }
+
+    /// `x` is `[B*T, N, c]`; `adaptive` the softmax adjacency if enabled.
+    fn forward(&self, x: &Tensor, adaptive: Option<&Tensor>) -> Tensor {
+        let mut out = self.w0.forward(x);
+        let mut tap = 0;
+        let mut run = |p0: &Tensor, out: &mut Tensor| {
+            let mut p = p0.clone();
+            for _ in 0..self.k {
+                let agg = p.matmul(x);
+                *out = out.add(&self.taps[tap].forward(&agg));
+                tap += 1;
+                p = p.matmul(p0);
+            }
+        };
+        for p0 in &self.supports {
+            run(p0, &mut out);
+        }
+        if let Some(apt) = adaptive {
+            run(apt, &mut out);
+        }
+        out
+    }
+}
+
+impl Module for Gcn {
+    fn parameters(&self) -> Vec<Tensor> {
+        let mut p = self.w0.parameters();
+        for t in &self.taps {
+            p.extend(t.parameters());
+        }
+        p
+    }
+}
+
+struct Block {
+    filter: CausalConv1d,
+    gate: CausalConv1d,
+    gcn: Gcn,
+    skip: Linear,
+}
+
+/// Graph WaveNet-lite.
+pub struct GraphWaveNet {
+    input_proj: Linear,
+    blocks: Vec<Block>,
+    e1: Tensor,
+    e2: Tensor,
+    head: Mlp,
+    num_nodes: usize,
+    channels: usize,
+    tf: usize,
+    use_adaptive: bool,
+}
+
+impl GraphWaveNet {
+    /// Build with residual width `channels`, diffusion order 2, and the
+    /// dilation pattern `[1, 2, 1, 2]`.
+    pub fn new<R: Rng>(
+        network: &TrafficNetwork,
+        channels: usize,
+        tf: usize,
+        use_adaptive: bool,
+        rng: &mut R,
+    ) -> Self {
+        let adj = network.adjacency();
+        let supports = vec![
+            Tensor::constant(transition::forward_transition(&adj)),
+            Tensor::constant(transition::backward_transition(&adj)),
+        ];
+        let dilations = [1usize, 2, 1, 2];
+        let blocks = dilations
+            .iter()
+            .map(|&d| Block {
+                filter: CausalConv1d::new(channels, channels, d, rng),
+                gate: CausalConv1d::new(channels, channels, d, rng),
+                gcn: Gcn::new(supports.clone(), 2, channels, use_adaptive, rng),
+                skip: Linear::new(channels, channels, true, rng),
+            })
+            .collect();
+        let n = network.num_nodes();
+        Self {
+            input_proj: Linear::new(1, channels, true, rng),
+            blocks,
+            e1: Tensor::parameter(xavier_uniform(&[n, 10], rng)),
+            e2: Tensor::parameter(xavier_uniform(&[n, 10], rng)),
+            head: Mlp::new(channels, channels * 2, tf, rng),
+            num_nodes: n,
+            channels,
+            tf,
+            use_adaptive,
+        }
+    }
+
+    fn adaptive(&self) -> Option<Tensor> {
+        self.use_adaptive
+            .then(|| self.e1.matmul(&self.e2.transpose()).relu().softmax(1))
+    }
+}
+
+impl TrafficModel for GraphWaveNet {
+    fn forward(&self, batch: &Batch, _training: bool, _rng: &mut StdRng) -> Tensor {
+        let shape = batch.x.shape();
+        let (b, th, n, _c) = (shape[0], shape[1], shape[2], shape[3]);
+        assert_eq!(n, self.num_nodes, "node count mismatch");
+        let ch = self.channels;
+        let apt = self.adaptive();
+        // [B, T, N, ch]
+        let mut x = self
+            .input_proj
+            .forward(&Tensor::constant(batch.x.clone()));
+        let mut t = th;
+        let mut skip_sum: Option<Tensor> = None;
+        for block in &self.blocks {
+            if block.filter.out_len(t) == 0 {
+                break;
+            }
+            // Per-node gated TCN over the time axis.
+            let per_node = x.permute(&[0, 2, 1, 3]).reshape(&[b * n, t, ch]);
+            let f = block.filter.forward(&per_node).tanh();
+            let g = block.gate.forward(&per_node).sigmoid();
+            let gated = f.mul(&g); // [B*N, t', ch]
+            let t2 = gated.shape()[1];
+            // Skip: mean over remaining time.
+            let s = block.skip.forward(&gated.mean_axis(1, false)); // [B*N, ch]
+            skip_sum = Some(match skip_sum {
+                Some(acc) => acc.add(&s),
+                None => s,
+            });
+            // GCN over nodes at each remaining time step.
+            let spatial_in = gated
+                .reshape(&[b, n, t2, ch])
+                .permute(&[0, 2, 1, 3])
+                .reshape(&[b * t2, n, ch]);
+            let z = block.gcn.forward(&spatial_in, apt.as_ref());
+            // Residual: crop x to the new time length and add.
+            let cropped = x.slice_axis(1, t - t2, t).reshape(&[b * t2, n, ch]);
+            x = z.add(&cropped).relu().reshape(&[b, t2, n, ch]);
+            t = t2;
+        }
+        let skip = skip_sum.expect("at least one block ran").relu(); // [B*N, ch]
+        let out = self.head.forward(&skip); // [B*N, tf]
+        out.reshape(&[b, n, self.tf])
+            .permute(&[0, 2, 1])
+            .reshape(&[b, self.tf, n, 1])
+    }
+
+    fn name(&self) -> String {
+        if self.use_adaptive {
+            "GWNet".to_string()
+        } else {
+            "GWNet (w/o apt)".to_string()
+        }
+    }
+
+    fn horizon(&self) -> usize {
+        self.tf
+    }
+}
+
+impl Module for GraphWaveNet {
+    fn parameters(&self) -> Vec<Tensor> {
+        let mut p = self.input_proj.parameters();
+        for blk in &self.blocks {
+            p.extend(blk.filter.parameters());
+            p.extend(blk.gate.parameters());
+            p.extend(blk.gcn.parameters());
+            p.extend(blk.skip.parameters());
+        }
+        if self.use_adaptive {
+            p.push(self.e1.clone());
+            p.push(self.e2.clone());
+        }
+        p.extend(self.head.parameters());
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use d2stgnn_data::{simulate, SimulatorConfig, Split, WindowedDataset};
+    use rand::SeedableRng;
+
+    fn setup(adaptive: bool) -> (GraphWaveNet, WindowedDataset, StdRng) {
+        let mut cfg = SimulatorConfig::tiny();
+        cfg.num_nodes = 6;
+        cfg.num_steps = 288;
+        cfg.knn = 2;
+        let data = WindowedDataset::new(simulate(&cfg), 12, 12, (0.6, 0.2, 0.2));
+        let mut rng = StdRng::seed_from_u64(0);
+        let model = GraphWaveNet::new(&data.data().network.clone(), 8, 12, adaptive, &mut rng);
+        (model, data, rng)
+    }
+
+    #[test]
+    fn forward_shape() {
+        let (model, data, mut rng) = setup(true);
+        let batch = data.batch(Split::Train, &[0, 1]);
+        let pred = model.forward(&batch, false, &mut rng);
+        assert_eq!(pred.shape(), vec![2, 12, 6, 1]);
+        assert!(!pred.value().has_non_finite());
+    }
+
+    #[test]
+    fn adaptive_toggle_changes_params_and_name() {
+        let (with_apt, _, _) = setup(true);
+        let (without, _, _) = setup(false);
+        assert!(with_apt.num_parameters() > without.num_parameters());
+        assert_eq!(with_apt.name(), "GWNet");
+        assert_eq!(without.name(), "GWNet (w/o apt)");
+    }
+
+    #[test]
+    fn training_step_reduces_loss() {
+        let (model, data, mut rng) = setup(true);
+        let batch = data.batch(Split::Train, &[0, 1, 2, 3]);
+        let target = Tensor::constant(data.scaler().transform(&batch.y));
+        let loss_of = |m: &GraphWaveNet, rng: &mut StdRng| {
+            d2stgnn_tensor::losses::mae_loss(&m.forward(&batch, true, rng), &target)
+        };
+        let l0 = loss_of(&model, &mut rng);
+        l0.backward();
+        use d2stgnn_tensor::optim::{Adam, Optimizer};
+        let mut opt = Adam::new(model.parameters(), 0.01);
+        opt.step();
+        assert!(loss_of(&model, &mut rng).item() < l0.item());
+    }
+
+    #[test]
+    fn gradients_reach_node_embeddings() {
+        let (model, data, mut rng) = setup(true);
+        let batch = data.batch(Split::Train, &[0]);
+        model.forward(&batch, true, &mut rng).sum_all().backward();
+        assert!(model.e1.grad().is_some());
+        assert!(model.e2.grad().is_some());
+    }
+}

@@ -1,0 +1,40 @@
+//! # d2stgnn-baselines
+//!
+//! The comparison methods of the paper's Table 3, reimplemented on the same
+//! substrate as D²STGNN:
+//!
+//! * classical — Historical Average, VAR (ridge least squares), linear SVR;
+//! * neural — FC-LSTM, DCRNN-lite (DCGRU seq2seq), Graph WaveNet-lite
+//!   (gated dilated TCN + GCN + adaptive adjacency), STGCN-lite.
+//!
+//! * extended — GMAN-lite (multi-attention + transform attention),
+//!   ASTGCN-lite (spatial/temporal attention GCN), MTGNN-lite (mix-hop +
+//!   dilated inception), STSGCN-lite (synchronous block-graph convolution),
+//!   DGCRN-lite (per-step generated dynamic graphs; its static variant is
+//!   the DGCRN-dagger row of Table 4).
+
+#![warn(missing_docs)]
+
+pub mod astgcn;
+pub mod classical;
+pub mod dcrnn;
+pub mod dgcrn;
+pub mod fc_lstm;
+pub mod gman;
+pub mod gwnet;
+pub mod mtgnn;
+pub mod stgcn;
+pub mod stsgcn;
+
+pub use astgcn::Astgcn;
+pub use classical::{
+    evaluate_classical, ClassicalForecaster, HistoricalAverage, LinearSvr, VectorAutoRegression,
+};
+pub use dcrnn::{Dcrnn, DcgruCell, DiffusionConv};
+pub use dgcrn::Dgcrn;
+pub use fc_lstm::FcLstm;
+pub use gman::Gman;
+pub use gwnet::GraphWaveNet;
+pub use mtgnn::Mtgnn;
+pub use stgcn::Stgcn;
+pub use stsgcn::Stsgcn;

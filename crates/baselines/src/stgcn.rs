@@ -1,0 +1,187 @@
+//! STGCN-lite baseline (Yu et al., IJCAI 2018): "sandwich" spatial-temporal
+//! blocks — gated temporal convolution, graph convolution, temporal
+//! convolution — followed by an output head on the final step.
+
+use d2stgnn_core::TrafficModel;
+use d2stgnn_data::Batch;
+use d2stgnn_graph::{transition, TrafficNetwork};
+use d2stgnn_tensor::nn::{CausalConv1d, Linear, Module};
+use d2stgnn_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+struct StBlock {
+    t1_filter: CausalConv1d,
+    t1_gate: CausalConv1d,
+    spatial: Linear,
+    t2_filter: CausalConv1d,
+    t2_gate: CausalConv1d,
+}
+
+/// STGCN-lite with two spatial-temporal blocks.
+pub struct Stgcn {
+    input_proj: Linear,
+    blocks: Vec<StBlock>,
+    p_hat: Tensor,
+    head: Linear,
+    num_nodes: usize,
+    channels: usize,
+    tf: usize,
+}
+
+impl Stgcn {
+    /// Build the model with `channels`-wide hidden features.
+    pub fn new<R: Rng>(network: &TrafficNetwork, channels: usize, tf: usize, rng: &mut R) -> Self {
+        // Symmetric normalized adjacency with self-loops (first-order
+        // Chebyshev approximation), the STGCN convention.
+        let adj = network.adjacency();
+        let n = network.num_nodes();
+        let sym = {
+            let mut m = adj.add(&adj.transpose()).scale(0.5);
+            for i in 0..n {
+                let v = m.at(&[i, i]) + 1.0;
+                m.set(&[i, i], v);
+            }
+            transition::row_normalize(&m)
+        };
+        let blocks = (0..2)
+            .map(|_| StBlock {
+                t1_filter: CausalConv1d::new(channels, channels, 1, rng),
+                t1_gate: CausalConv1d::new(channels, channels, 1, rng),
+                spatial: Linear::new(channels, channels, true, rng),
+                t2_filter: CausalConv1d::new(channels, channels, 1, rng),
+                t2_gate: CausalConv1d::new(channels, channels, 1, rng),
+            })
+            .collect();
+        Self {
+            input_proj: Linear::new(1, channels, true, rng),
+            blocks,
+            p_hat: Tensor::constant(sym),
+            head: Linear::new(channels, tf, true, rng),
+            num_nodes: n,
+            channels,
+            tf,
+        }
+    }
+
+    fn gated(filter: &CausalConv1d, gate: &CausalConv1d, x: &Tensor) -> Tensor {
+        filter.forward(x).tanh().mul(&gate.forward(x).sigmoid())
+    }
+}
+
+impl TrafficModel for Stgcn {
+    fn forward(&self, batch: &Batch, _training: bool, _rng: &mut StdRng) -> Tensor {
+        let shape = batch.x.shape();
+        let (b, th, n, _c) = (shape[0], shape[1], shape[2], shape[3]);
+        assert_eq!(n, self.num_nodes, "node count mismatch");
+        let ch = self.channels;
+        let mut x = self.input_proj.forward(&Tensor::constant(batch.x.clone()));
+        let mut t = th;
+        for blk in &self.blocks {
+            // Temporal conv 1 (per node).
+            let per_node = x.permute(&[0, 2, 1, 3]).reshape(&[b * n, t, ch]);
+            let h1 = Self::gated(&blk.t1_filter, &blk.t1_gate, &per_node);
+            let t1 = h1.shape()[1];
+            // Spatial graph convolution at each step.
+            let spatial_in = h1
+                .reshape(&[b, n, t1, ch])
+                .permute(&[0, 2, 1, 3])
+                .reshape(&[b * t1, n, ch]);
+            let z = blk
+                .spatial
+                .forward(&self.p_hat.matmul(&spatial_in))
+                .relu();
+            // Temporal conv 2.
+            let back = z
+                .reshape(&[b, t1, n, ch])
+                .permute(&[0, 2, 1, 3])
+                .reshape(&[b * n, t1, ch]);
+            let h2 = Self::gated(&blk.t2_filter, &blk.t2_gate, &back);
+            let t2 = h2.shape()[1];
+            x = h2.reshape(&[b, n, t2, ch]).permute(&[0, 2, 1, 3]);
+            t = t2;
+        }
+        // Head on the final remaining step, per node.
+        let last = x.slice_axis(1, t - 1, t).reshape(&[b, n, ch]);
+        self.head
+            .forward(&last) // [b, n, tf]
+            .permute(&[0, 2, 1])
+            .reshape(&[b, self.tf, n, 1])
+    }
+
+    fn name(&self) -> String {
+        "STGCN".to_string()
+    }
+
+    fn horizon(&self) -> usize {
+        self.tf
+    }
+}
+
+impl Module for Stgcn {
+    fn parameters(&self) -> Vec<Tensor> {
+        let mut p = self.input_proj.parameters();
+        for blk in &self.blocks {
+            p.extend(blk.t1_filter.parameters());
+            p.extend(blk.t1_gate.parameters());
+            p.extend(blk.spatial.parameters());
+            p.extend(blk.t2_filter.parameters());
+            p.extend(blk.t2_gate.parameters());
+        }
+        p.extend(self.head.parameters());
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use d2stgnn_data::{simulate, SimulatorConfig, Split, WindowedDataset};
+    use rand::SeedableRng;
+
+    fn setup() -> (Stgcn, WindowedDataset, StdRng) {
+        let mut cfg = SimulatorConfig::tiny();
+        cfg.num_nodes = 6;
+        cfg.num_steps = 288;
+        cfg.knn = 2;
+        let data = WindowedDataset::new(simulate(&cfg), 12, 12, (0.6, 0.2, 0.2));
+        let mut rng = StdRng::seed_from_u64(0);
+        let model = Stgcn::new(&data.data().network.clone(), 8, 12, &mut rng);
+        (model, data, rng)
+    }
+
+    #[test]
+    fn forward_shape() {
+        let (model, data, mut rng) = setup();
+        let batch = data.batch(Split::Train, &[0, 1]);
+        let pred = model.forward(&batch, false, &mut rng);
+        assert_eq!(pred.shape(), vec![2, 12, 6, 1]);
+        assert!(!pred.value().has_non_finite());
+    }
+
+    #[test]
+    fn training_step_reduces_loss() {
+        let (model, data, mut rng) = setup();
+        let batch = data.batch(Split::Train, &[0, 1, 2, 3]);
+        let target = Tensor::constant(data.scaler().transform(&batch.y));
+        let loss_of = |m: &Stgcn, rng: &mut StdRng| {
+            d2stgnn_tensor::losses::mae_loss(&m.forward(&batch, true, rng), &target)
+        };
+        let l0 = loss_of(&model, &mut rng);
+        l0.backward();
+        use d2stgnn_tensor::optim::{Adam, Optimizer};
+        let mut opt = Adam::new(model.parameters(), 0.01);
+        opt.step();
+        assert!(loss_of(&model, &mut rng).item() < l0.item());
+    }
+
+    #[test]
+    fn all_parameters_trainable() {
+        let (model, data, mut rng) = setup();
+        let batch = data.batch(Split::Train, &[0]);
+        model.forward(&batch, true, &mut rng).sum_all().backward();
+        for (i, p) in model.parameters().iter().enumerate() {
+            assert!(p.grad().is_some(), "param {i} missing grad");
+        }
+    }
+}

@@ -1,0 +1,232 @@
+//! STSGCN-lite baseline (Song et al., AAAI 2020): spatial-temporal
+//! synchronous graph convolution — a block adjacency over a 3-step window
+//! couples each node with its neighbours AND its own adjacent-in-time
+//! copies, so one graph convolution captures localized spatial-temporal
+//! correlations synchronously.
+
+use d2stgnn_core::TrafficModel;
+use d2stgnn_data::Batch;
+use d2stgnn_graph::{transition, TrafficNetwork};
+use d2stgnn_tensor::nn::{Linear, Module};
+use d2stgnn_tensor::{Array, Tensor};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Build the `3N x 3N` localized spatial-temporal block adjacency: diagonal
+/// blocks are the (row-normalized) spatial graph with self-loops; the
+/// off-diagonal blocks adjacent in time are identity connections.
+fn block_adjacency(p: &Array, n: usize) -> Array {
+    let mut big = Array::zeros(&[3 * n, 3 * n]);
+    for ti in 0..3usize {
+        for tj in 0..3usize {
+            for i in 0..n {
+                for j in 0..n {
+                    let v = if ti == tj {
+                        // Spatial edges + self-loop within a step.
+                        if i == j {
+                            1.0
+                        } else {
+                            p.at(&[i, j])
+                        }
+                    } else if ti.abs_diff(tj) == 1 && i == j {
+                        // Same sensor, adjacent time step.
+                        1.0
+                    } else {
+                        0.0
+                    };
+                    if v != 0.0 {
+                        big.set(&[ti * n + i, tj * n + j], v);
+                    }
+                }
+            }
+        }
+    }
+    transition::row_normalize(&big)
+}
+
+/// One synchronous layer: two stacked graph convolutions over the block
+/// adjacency with ReLU, then the middle time-slice is extracted (STSGCN's
+/// "cropping").
+struct SyncLayer {
+    w1: Linear,
+    w2: Linear,
+}
+
+impl SyncLayer {
+    fn new<R: Rng>(d: usize, rng: &mut R) -> Self {
+        Self {
+            w1: Linear::new(d, d, true, rng),
+            w2: Linear::new(d, d, true, rng),
+        }
+    }
+
+    /// `x`: `[B', 3N, d]` -> middle slice `[B', N, d]`.
+    fn forward(&self, x: &Tensor, big_a: &Tensor, n: usize) -> Tensor {
+        let h = self.w1.forward(&big_a.matmul(x)).relu();
+        let h = self.w2.forward(&big_a.matmul(&h)).relu();
+        h.slice_axis(1, n, 2 * n)
+    }
+}
+
+impl Module for SyncLayer {
+    fn parameters(&self) -> Vec<Tensor> {
+        let mut p = self.w1.parameters();
+        p.extend(self.w2.parameters());
+        p
+    }
+}
+
+/// STSGCN-lite: the synchronous layer slides over the window (stride 1),
+/// shrinking time by 2 per application; two stacked sliding stages feed a
+/// per-node multi-step head.
+pub struct Stsgcn {
+    input_proj: Linear,
+    layers: Vec<SyncLayer>,
+    big_a: Tensor,
+    head: Linear,
+    num_nodes: usize,
+    d: usize,
+    tf: usize,
+}
+
+impl Stsgcn {
+    /// Build the model.
+    pub fn new<R: Rng>(network: &TrafficNetwork, d: usize, tf: usize, rng: &mut R) -> Self {
+        let p = transition::forward_transition(&network.adjacency());
+        let n = network.num_nodes();
+        Self {
+            input_proj: Linear::new(1, d, true, rng),
+            layers: (0..2).map(|_| SyncLayer::new(d, rng)).collect(),
+            big_a: Tensor::constant(block_adjacency(&p, n)),
+            head: Linear::new(d, tf, true, rng),
+            num_nodes: n,
+            d,
+            tf,
+        }
+    }
+
+    /// Slide one synchronous layer over `[B, T, N, d]` -> `[B, T-2, N, d]`.
+    fn slide(&self, layer: &SyncLayer, x: &Tensor) -> Tensor {
+        let shape = x.shape();
+        let (b, t, n, d) = (shape[0], shape[1], shape[2], shape[3]);
+        assert!(t >= 3, "window too short for a 3-step synchronous layer");
+        let mut outs = Vec::with_capacity(t - 2);
+        for s in 0..t - 2 {
+            // [B, 3, N, d] -> [B, 3N, d]
+            let win = x.slice_axis(1, s, s + 3).reshape(&[b, 3 * n, d]);
+            outs.push(layer.forward(&win, &self.big_a, n).reshape(&[b, 1, n, d]));
+        }
+        let refs: Vec<&Tensor> = outs.iter().collect();
+        Tensor::concat(&refs, 1)
+    }
+}
+
+impl TrafficModel for Stsgcn {
+    fn forward(&self, batch: &Batch, _training: bool, _rng: &mut StdRng) -> Tensor {
+        let shape = batch.x.shape();
+        let (b, _th, n, _c) = (shape[0], shape[1], shape[2], shape[3]);
+        assert_eq!(n, self.num_nodes, "node count mismatch");
+        let mut h = self.input_proj.forward(&Tensor::constant(batch.x.clone()));
+        for layer in &self.layers {
+            h = self.slide(layer, &h);
+        }
+        let t = h.shape()[1];
+        let last = h.slice_axis(1, t - 1, t).reshape(&[b, n, self.d]);
+        self.head
+            .forward(&last)
+            .permute(&[0, 2, 1])
+            .reshape(&[b, self.tf, n, 1])
+    }
+
+    fn name(&self) -> String {
+        "STSGCN".to_string()
+    }
+
+    fn horizon(&self) -> usize {
+        self.tf
+    }
+}
+
+impl Module for Stsgcn {
+    fn parameters(&self) -> Vec<Tensor> {
+        let mut p = self.input_proj.parameters();
+        for l in &self.layers {
+            p.extend(l.parameters());
+        }
+        p.extend(self.head.parameters());
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use d2stgnn_data::{simulate, SimulatorConfig, Split, WindowedDataset};
+    use rand::SeedableRng;
+
+    fn setup() -> (Stsgcn, WindowedDataset, StdRng) {
+        let mut cfg = SimulatorConfig::tiny();
+        cfg.num_nodes = 6;
+        cfg.num_steps = 288;
+        cfg.knn = 2;
+        let data = WindowedDataset::new(simulate(&cfg), 12, 12, (0.6, 0.2, 0.2));
+        let mut rng = StdRng::seed_from_u64(0);
+        let model = Stsgcn::new(&data.data().network.clone(), 8, 12, &mut rng);
+        (model, data, rng)
+    }
+
+    #[test]
+    fn block_adjacency_structure() {
+        let p = Array::from_vec(&[2, 2], vec![0.0, 1.0, 1.0, 0.0]).unwrap();
+        let big = block_adjacency(&p, 2);
+        assert_eq!(big.shape(), &[6, 6]);
+        // Rows normalized.
+        for r in 0..6 {
+            let s: f32 = big.data()[r * 6..(r + 1) * 6].iter().sum();
+            assert!((s - 1.0).abs() < 1e-5, "row {r} sums to {s}");
+        }
+        // Temporal self-connection exists between step 0 and step 1 copies.
+        assert!(big.at(&[0, 2]) > 0.0);
+        // No skip connection between step 0 and step 2 copies.
+        assert_eq!(big.at(&[0, 4]), 0.0);
+        // Spatial edge within a step.
+        assert!(big.at(&[0, 1]) > 0.0);
+    }
+
+    #[test]
+    fn forward_shape() {
+        let (model, data, mut rng) = setup();
+        let batch = data.batch(Split::Train, &[0, 1]);
+        let pred = model.forward(&batch, false, &mut rng);
+        assert_eq!(pred.shape(), vec![2, 12, 6, 1]);
+        assert!(!pred.value().has_non_finite());
+    }
+
+    #[test]
+    fn sliding_shrinks_time_by_two_per_stage() {
+        let (model, data, mut rng) = setup();
+        let batch = data.batch(Split::Train, &[0]);
+        let h = model.input_proj.forward(&Tensor::constant(batch.x.clone()));
+        let s1 = model.slide(&model.layers[0], &h);
+        assert_eq!(s1.shape()[1], 10);
+        let s2 = model.slide(&model.layers[1], &s1);
+        assert_eq!(s2.shape()[1], 8);
+        let _ = &mut rng;
+    }
+
+    #[test]
+    fn training_step_reduces_loss() {
+        let (model, data, mut rng) = setup();
+        let batch = data.batch(Split::Train, &[0, 1]);
+        let target = Tensor::constant(data.scaler().transform(&batch.y));
+        let loss_of = |m: &Stsgcn, rng: &mut StdRng| {
+            d2stgnn_tensor::losses::mae_loss(&m.forward(&batch, true, rng), &target)
+        };
+        let l0 = loss_of(&model, &mut rng);
+        l0.backward();
+        use d2stgnn_tensor::optim::{Adam, Optimizer};
+        let mut opt = Adam::new(model.parameters(), 0.01);
+        opt.step();
+        assert!(loss_of(&model, &mut rng).item() < l0.item());
+    }
+}

@@ -1,0 +1,91 @@
+//! Criterion benchmarks at model granularity: one forward pass and one full
+//! training step (forward + backward + Adam) for D²STGNN and each neural
+//! baseline on a small METR-LA-like batch. These are the per-batch costs
+//! underlying Figure 6's per-epoch times.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use d2stgnn_baselines::{Dcrnn, FcLstm, GraphWaveNet, Stgcn};
+use d2stgnn_core::{D2stgnn, D2stgnnConfig, TrafficModel};
+use d2stgnn_data::{simulate, Batch, Split, SimulatorConfig, WindowedDataset};
+use d2stgnn_tensor::losses::mae_loss;
+use d2stgnn_tensor::nn::Module;
+use d2stgnn_tensor::optim::{Adam, Optimizer};
+use d2stgnn_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn dataset() -> WindowedDataset {
+    let mut cfg = SimulatorConfig::tiny();
+    cfg.num_nodes = 16;
+    cfg.num_steps = 576;
+    cfg.knn = 4;
+    WindowedDataset::new(simulate(&cfg), 12, 12, (0.7, 0.1, 0.2))
+}
+
+fn batch_of(data: &WindowedDataset, b: usize) -> Batch {
+    let idx: Vec<usize> = (0..b).collect();
+    data.batch(Split::Train, &idx)
+}
+
+fn bench_forward(c: &mut Criterion) {
+    let data = dataset();
+    let batch = batch_of(&data, 8);
+    let mut rng = StdRng::seed_from_u64(0);
+    let net = data.data().network.clone();
+
+    let mut cfg = D2stgnnConfig::small(16);
+    cfg.layers = 2;
+    let d2 = D2stgnn::new(cfg, &net, &mut rng);
+    let dcrnn = Dcrnn::new(&net, 16, 2, 12, &mut rng);
+    let gwnet = GraphWaveNet::new(&net, 16, 12, true, &mut rng);
+    let stgcn = Stgcn::new(&net, 16, 12, &mut rng);
+    let fclstm = FcLstm::new(16, 64, 12, &mut rng);
+
+    let mut group = c.benchmark_group("forward_b8_n16");
+    group.sample_size(10);
+    macro_rules! fwd {
+        ($name:literal, $model:expr) => {
+            group.bench_function($name, |b| {
+                let mut r = StdRng::seed_from_u64(1);
+                b.iter(|| black_box($model.forward(&batch, false, &mut r).value()));
+            });
+        };
+    }
+    fwd!("d2stgnn", d2);
+    fwd!("dcrnn", dcrnn);
+    fwd!("gwnet", gwnet);
+    fwd!("stgcn", stgcn);
+    fwd!("fc_lstm", fclstm);
+    group.finish();
+}
+
+fn bench_train_step(c: &mut Criterion) {
+    let data = dataset();
+    let batch = batch_of(&data, 8);
+    let mut rng = StdRng::seed_from_u64(0);
+    let net = data.data().network.clone();
+    let mut cfg = D2stgnnConfig::small(16);
+    cfg.layers = 2;
+    let d2 = D2stgnn::new(cfg, &net, &mut rng);
+    let target = Tensor::constant(data.scaler().transform(&batch.y));
+
+    c.bench_function("train_step_d2stgnn_b8_n16", |b| {
+        let mut opt = Adam::new(d2.parameters(), 1e-3);
+        let mut r = StdRng::seed_from_u64(2);
+        b.iter(|| {
+            let pred = d2.forward(&batch, true, &mut r);
+            let loss = mae_loss(&pred, &target);
+            loss.backward();
+            opt.step();
+            black_box(loss.item())
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_forward, bench_train_step
+}
+criterion_main!(benches);

@@ -1,0 +1,123 @@
+//! Criterion micro-benchmarks for the tensor substrate: the kernels that
+//! dominate D²STGNN's training step (matmul, softmax, attention, GRU step,
+//! graph convolution). These guard against performance regressions in the
+//! from-scratch engine.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use d2stgnn_graph::{transition, TrafficNetwork};
+use d2stgnn_tensor::nn::{Gru, MultiHeadSelfAttention};
+use d2stgnn_tensor::{Array, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut group = c.benchmark_group("matmul");
+    for &size in &[32usize, 64, 128] {
+        let a = Array::randn(&[size, size], &mut rng);
+        let b = Array::randn(&[size, size], &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |bch, _| {
+            bch.iter(|| black_box(a.matmul(&b)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_batched_matmul(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    // The diffusion block's workhorse shape: [B*Th, N, d].
+    let z = Array::randn(&[32 * 12, 26, 16], &mut rng);
+    let p = Array::randn(&[26, 26], &mut rng);
+    c.bench_function("graph_conv_apply_[384,26,16]", |b| {
+        b.iter(|| black_box(p.matmul(&z)));
+    });
+}
+
+fn bench_softmax(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let x = Array::randn(&[64, 12, 12], &mut rng);
+    c.bench_function("softmax_[64,12,12]", |b| {
+        b.iter(|| black_box(x.softmax(2)));
+    });
+}
+
+fn bench_attention_forward_backward(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let attn = MultiHeadSelfAttention::new(16, 2, &mut rng);
+    let x = Array::randn(&[26 * 4, 12, 16], &mut rng);
+    c.bench_function("attention_fwd_bwd_[104,12,16]", |b| {
+        b.iter(|| {
+            let inp = Tensor::parameter(x.clone());
+            let y = attn.forward(&inp).sum_all();
+            y.backward();
+            black_box(inp.grad())
+        });
+    });
+}
+
+fn bench_gru_sequence(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(4);
+    let gru = Gru::new(16, 16, &mut rng);
+    let x = Array::randn(&[26 * 4, 12, 16], &mut rng);
+    c.bench_function("gru_fwd_[104,12,16]", |b| {
+        b.iter(|| black_box(gru.forward(&Tensor::constant(x.clone())).value()));
+    });
+}
+
+/// Design-choice ablation (DESIGN.md §4): Eq. 4's localized operator,
+/// computed the paper's literal way (materialize the `N x k_t*N` tiled
+/// matrix and the stacked feature matrix) vs our factored form
+/// (`masked(P^k) · Σ_τ features_τ`). Same math; the factored form should
+/// win by ~k_t on both time and allocation.
+fn bench_localized_factored_vs_explicit(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(9);
+    let net = TrafficNetwork::random_geometric(64, 6, 0.05, &mut rng);
+    let p = transition::forward_transition(&net.adjacency());
+    let kt = 3usize;
+    let feats: Vec<Array> = (0..kt).map(|_| Array::randn(&[64, 16], &mut rng)).collect();
+
+    let mut group = c.benchmark_group("eq4_localized_conv");
+    group.bench_function("explicit_tiled", |b| {
+        b.iter(|| {
+            let p_lc = transition::localized_transition(&p, 1, kt); // [N, kt*N]
+            let refs: Vec<&Array> = feats.iter().collect();
+            let x_lc = Array::concat(&refs, 0).unwrap(); // [kt*N, d]
+            black_box(p_lc.matmul(&x_lc))
+        });
+    });
+    group.bench_function("factored", |b| {
+        b.iter(|| {
+            let masked = transition::mask_diagonal(&p);
+            let mut sum = feats[0].clone();
+            for f in &feats[1..] {
+                sum = sum.add(f);
+            }
+            black_box(masked.matmul(&sum))
+        });
+    });
+    group.finish();
+}
+
+fn bench_transition_powers(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(5);
+    let net = TrafficNetwork::random_geometric(207, 8, 0.05, &mut rng);
+    let p = transition::forward_transition(&net.adjacency());
+    c.bench_function("masked_powers_n207_k2", |b| {
+        b.iter(|| black_box(transition::masked_powers(&p, 2)));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets =
+        bench_matmul,
+        bench_batched_matmul,
+        bench_softmax,
+        bench_attention_forward_backward,
+        bench_gru_sequence,
+        bench_localized_factored_vs_explicit,
+        bench_transition_powers
+}
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Figure 6: average training time per epoch on METR-LA for the paper's
+//! lineup — D²STGNN, D²STGNN† (w/o dynamic graph), DGCRN, GMAN, MTGNN, and
+//! Graph WaveNet — at a fixed batch size. Absolute numbers are CPU seconds
+//! (the paper used an RTX 3090); the comparison of interest is the relative
+//! ordering.
+
+use d2stgnn_bench::{run_timing, save_results, table, D2Variant, ModelSpec};
+use d2stgnn_data::{DatasetId, Profile, WindowedDataset};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let profile = Profile::from_args(&args);
+    let id = DatasetId::MetrLa;
+    eprintln!("[fig6] generating {} ({profile:?})...", id.name());
+    let data = WindowedDataset::new(id.generate(profile), 12, 12, id.split_fractions());
+
+    let lineup = [
+        ModelSpec::D2(D2Variant::Full),
+        ModelSpec::D2(D2Variant::StaticGraph),
+        ModelSpec::Dgcrn { dynamic: true },
+        ModelSpec::Gman,
+        ModelSpec::Mtgnn,
+        ModelSpec::GWnet,
+    ];
+    let mut rows = Vec::new();
+    let mut bars = Vec::new();
+    for spec in &lineup {
+        eprintln!("[fig6] timing {}", spec.label());
+        let r = run_timing(spec, id, &data, profile, 7);
+        bars.push((r.model.clone(), r.avg_epoch_seconds));
+        rows.push(r);
+    }
+    print!(
+        "{}",
+        table::render_bars("Figure 6: average training time per epoch (METR-LA)", &bars, "s")
+    );
+    println!("\n{:<16} {:>12} {:>12}", "Model", "s/epoch", "#params");
+    for r in &rows {
+        println!("{:<16} {:>12.2} {:>12}", r.model, r.avg_epoch_seconds, r.params);
+    }
+    println!("\nExpected shape (paper): GWNet and MTGNN fastest; DGCRN and GMAN");
+    println!("slowest; D2STGNN in between, with the dynamic graph adding modest");
+    println!("overhead (D2STGNN+ < D2STGNN).");
+    match save_results("fig6", &rows) {
+        Ok(path) => eprintln!("[fig6] wrote {}", path.display()),
+        Err(e) => eprintln!("[fig6] could not write artifact: {e}"),
+    }
+}

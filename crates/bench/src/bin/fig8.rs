@@ -1,0 +1,106 @@
+//! Figure 8: visualization of D²STGNN's horizon-3 predictions against the
+//! ground truth on two sensors over several test-set days. Prints ASCII
+//! charts and writes a CSV (`target/experiments/fig8.csv`) for plotting.
+
+use d2stgnn_bench::{d2_config, train_config};
+use d2stgnn_core::{D2stgnn, Trainer};
+use d2stgnn_data::{DatasetId, Profile, Split, WindowedDataset};
+use d2stgnn_tensor::Array;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt::Write as _;
+
+/// Render a series pair as a coarse ASCII chart (one row per value band).
+fn ascii_chart(truth: &[f32], pred: &[f32], height: usize) -> String {
+    let max = truth
+        .iter()
+        .chain(pred)
+        .cloned()
+        .fold(f32::MIN, f32::max)
+        .max(1e-6);
+    let min = truth.iter().chain(pred).cloned().fold(f32::MAX, f32::min);
+    let band = |v: f32| -> usize {
+        (((v - min) / (max - min).max(1e-6)) * (height - 1) as f32).round() as usize
+    };
+    let mut rows = vec![vec![b' '; truth.len()]; height];
+    for (i, (&t, &p)) in truth.iter().zip(pred).enumerate() {
+        rows[height - 1 - band(p)][i] = b'o'; // prediction
+        rows[height - 1 - band(t)][i] = b'*'; // truth (drawn on top)
+    }
+    let mut out = String::new();
+    for row in rows {
+        let _ = writeln!(out, "|{}", String::from_utf8_lossy(&row));
+    }
+    let _ = writeln!(out, "+{}", "-".repeat(truth.len()));
+    let _ = writeln!(out, "  '*' = ground truth, 'o' = D2STGNN prediction  (range {min:.1}..{max:.1})");
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let profile = Profile::from_args(&args);
+    let id = DatasetId::MetrLa;
+    eprintln!("[fig8] generating {} ({profile:?})...", id.name());
+    let data = WindowedDataset::new(id.generate(profile), 12, 12, id.split_fractions());
+
+    let cfg = d2_config(&data, profile);
+    let mut rng = StdRng::seed_from_u64(7);
+    let model = D2stgnn::new(cfg, &data.data().network.clone(), &mut rng);
+    let trainer = Trainer::new(train_config(profile, true, 7));
+    eprintln!("[fig8] training...");
+    trainer.train(&model, &data);
+    let eval = trainer.evaluate(&model, &data, Split::Test);
+
+    // Horizon-3 series: prediction for window s is the value at start+th+2.
+    let horizon = 3usize;
+    let n = data.num_nodes();
+    let windows = eval.pred.shape()[0];
+    // Two sensors with distinct peak profiles (paper shows nodes 2 and 111).
+    let node_a = 2.min(n - 1);
+    let node_b = (n * 2 / 3).min(n - 1);
+    let span = windows.min(2 * 288); // up to two days of consecutive windows
+    let series = |src: &Array, node: usize| -> Vec<f32> {
+        (0..span).map(|s| src.at(&[s, horizon - 1, node])).collect()
+    };
+    // Down-sample for terminal width.
+    let thin = |v: Vec<f32>| -> Vec<f32> {
+        let stride = (v.len() / 110).max(1);
+        v.into_iter().step_by(stride).collect()
+    };
+
+    for (label, node) in [("(a) sensor A", node_a), ("(b) sensor B", node_b)] {
+        println!("\nFigure 8{label}: node {node}, horizon {horizon} over the first test days");
+        let truth = thin(series(&eval.target, node));
+        let pred = thin(series(&eval.pred, node));
+        print!("{}", ascii_chart(&truth, &pred, 14));
+    }
+
+    // CSV artifact with the raw (un-thinned) series.
+    let dir = std::path::Path::new("target/experiments");
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("[fig8] cannot create artifact dir: {e}");
+        return;
+    }
+    let mut csv = String::from("window,truth_a,pred_a,truth_b,pred_b\n");
+    for s in 0..span {
+        let _ = writeln!(
+            csv,
+            "{s},{},{},{},{}",
+            eval.target.at(&[s, horizon - 1, node_a]),
+            eval.pred.at(&[s, horizon - 1, node_a]),
+            eval.target.at(&[s, horizon - 1, node_b]),
+            eval.pred.at(&[s, horizon - 1, node_b]),
+        );
+    }
+    let path = dir.join("fig8.csv");
+    match std::fs::write(&path, csv) {
+        Ok(()) => eprintln!("[fig8] wrote {}", path.display()),
+        Err(e) => eprintln!("[fig8] could not write CSV: {e}"),
+    }
+    println!(
+        "\nOverall test metrics: MAE {:.2}  RMSE {:.2}  MAPE {:.2}%",
+        eval.overall.mae,
+        eval.overall.rmse,
+        eval.overall.mape * 100.0
+    );
+}

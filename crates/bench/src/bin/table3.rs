@@ -1,0 +1,47 @@
+//! Table 3: traffic forecasting comparison on METR-LA, PEMS-BAY, PEMS04, and
+//! PEMS08 — every implemented method, horizons 3/6/12, MAE/RMSE/MAPE.
+//!
+//! Usage: `cargo run -p d2stgnn-bench --release --bin table3 [--fast|--full]
+//! [--dataset METR-LA] [--extended]` — `--extended` adds the attention-family
+//! baselines (ASTGCN, STSGCN, MTGNN, GMAN, DGCRN).
+
+use d2stgnn_bench::{run_model, save_results, table, ModelSpec, RunResult};
+use d2stgnn_data::{DatasetId, Profile, WindowedDataset};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let profile = Profile::from_args(&args);
+    let only: Option<String> = args
+        .iter()
+        .position(|a| a == "--dataset")
+        .and_then(|i| args.get(i + 1).cloned());
+
+    let mut all_results: Vec<RunResult> = Vec::new();
+    for id in DatasetId::all() {
+        if let Some(name) = &only {
+            if !id.name().eq_ignore_ascii_case(name) {
+                continue;
+            }
+        }
+        eprintln!("[table3] generating {} ({profile:?})...", id.name());
+        let data = WindowedDataset::new(id.generate(profile), 12, 12, id.split_fractions());
+        let lineup = if args.iter().any(|a| a == "--extended") {
+            ModelSpec::table3_extended_lineup()
+        } else {
+            ModelSpec::table3_lineup()
+        };
+        let mut rows = Vec::new();
+        for spec in lineup {
+            eprintln!("[table3] {} / {}", id.name(), spec.label());
+            let result = run_model(&spec, id, &data, profile, 7);
+            rows.push(result);
+        }
+        print!("{}", table::render_block(id.name(), &rows));
+        print!("{}", table::render_winners(&rows));
+        all_results.extend(rows);
+    }
+    match save_results("table3", &all_results) {
+        Ok(path) => eprintln!("[table3] wrote {}", path.display()),
+        Err(e) => eprintln!("[table3] could not write artifact: {e}"),
+    }
+}

@@ -1,0 +1,38 @@
+//! Table 4: decoupled vs coupled spatial-temporal framework. All models run
+//! WITHOUT dynamic graph learning (the paper removes it for fairness):
+//! GWNet, DGCRN† (dynamic graph removed), D²STGNN‡ (coupled), and
+//! D²STGNN† (decoupled, static graph).
+
+use d2stgnn_bench::{run_model, save_results, table, D2Variant, ModelSpec, RunResult};
+use d2stgnn_data::{DatasetId, Profile, WindowedDataset};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let profile = Profile::from_args(&args);
+    let lineup = [
+        ModelSpec::GWnet,
+        ModelSpec::Dgcrn { dynamic: false },
+        ModelSpec::D2(D2Variant::Coupled),
+        ModelSpec::D2(D2Variant::StaticGraph),
+    ];
+    let mut all: Vec<RunResult> = Vec::new();
+    for id in DatasetId::all() {
+        eprintln!("[table4] generating {} ({profile:?})...", id.name());
+        let data = WindowedDataset::new(id.generate(profile), 12, 12, id.split_fractions());
+        let mut rows = Vec::new();
+        for spec in &lineup {
+            eprintln!("[table4] {} / {}", id.name(), spec.label());
+            rows.push(run_model(spec, id, &data, profile, 7));
+        }
+        print!("{}", table::render_block(id.name(), &rows));
+        print!("{}", table::render_winners(&rows));
+        all.extend(rows);
+    }
+    println!("\nLegend: DGCRN+ = DGCRN w/o dynamic graph; D2STGNN++ = coupled (w/o decoupling);");
+    println!("D2STGNN+ = decoupled, static graph.");
+    println!("Expected shape (paper): D2STGNN+ < D2STGNN++ <= GWNet/DCRNN on MAE.");
+    match save_results("table4", &all) {
+        Ok(path) => eprintln!("[table4] wrote {}", path.display()),
+        Err(e) => eprintln!("[table4] could not write artifact: {e}"),
+    }
+}

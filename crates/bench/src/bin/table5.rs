@@ -1,0 +1,46 @@
+//! Table 5: ablation study on METR-LA. Eleven rows: the full model, the
+//! architecture ablations (switch, w/o gate, w/o res, w/o decouple), the
+//! component ablations (w/o dg, w/o apt, w/o gru, w/o msa), and the training
+//! strategy ablations (w/o ar, w/o cl).
+
+use d2stgnn_bench::{run_model, save_results, table, D2Variant, ModelSpec, RunResult};
+use d2stgnn_data::{DatasetId, Profile, WindowedDataset};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let profile = Profile::from_args(&args);
+    let id = DatasetId::MetrLa;
+    eprintln!("[table5] generating {} ({profile:?})...", id.name());
+    let data = WindowedDataset::new(id.generate(profile), 12, 12, id.split_fractions());
+
+    let lineup: Vec<ModelSpec> = vec![
+        ModelSpec::D2(D2Variant::Full),
+        ModelSpec::D2(D2Variant::Switch),
+        ModelSpec::D2(D2Variant::WithoutGate),
+        ModelSpec::D2(D2Variant::WithoutResidual),
+        ModelSpec::D2WithoutDecouple,
+        ModelSpec::D2(D2Variant::StaticGraph), // w/o dg
+        ModelSpec::D2(D2Variant::WithoutAdaptive),
+        ModelSpec::D2(D2Variant::WithoutGru),
+        ModelSpec::D2(D2Variant::WithoutMsa),
+        ModelSpec::D2(D2Variant::WithoutAutoregression),
+        ModelSpec::D2(D2Variant::WithoutCurriculum),
+    ];
+    let mut rows: Vec<RunResult> = Vec::new();
+    for spec in &lineup {
+        eprintln!("[table5] {}", spec.label());
+        let mut r = run_model(spec, id, &data, profile, 7);
+        if matches!(spec, ModelSpec::D2(D2Variant::StaticGraph)) {
+            r.model = "w/o dg".to_string();
+        }
+        rows.push(r);
+    }
+    print!("{}", table::render_block("METR-LA (ablations)", &rows));
+    print!("{}", table::render_winners(&rows));
+    println!("\nExpected shape (paper): full model best; 'switch' a wash; every other");
+    println!("ablation strictly worse, 'w/o decouple' worst of the architecture group.");
+    match save_results("table5", &rows) {
+        Ok(path) => eprintln!("[table5] wrote {}", path.display()),
+        Err(e) => eprintln!("[table5] could not write artifact: {e}"),
+    }
+}

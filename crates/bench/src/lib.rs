@@ -1,0 +1,27 @@
+//! # d2stgnn-bench
+//!
+//! Experiment harness reproducing every table and figure of the paper's
+//! evaluation (Section 6). Each table/figure has a binary:
+//!
+//! | Binary | Reproduces |
+//! |---|---|
+//! | `table2` | dataset statistics |
+//! | `table3` | main comparison across 4 datasets |
+//! | `table4` | decoupled vs coupled framework |
+//! | `table5` | ablation study on METR-LA |
+//! | `fig6` | average training time per epoch |
+//! | `fig7` | parameter sensitivity (k_s, k_t, d) |
+//! | `fig8` | prediction visualization on two nodes |
+//!
+//! All binaries accept `--fast` (smoke), default scaled, and `--full`
+//! (paper-sized) profiles and write JSON artifacts to `target/experiments/`.
+
+#![warn(missing_docs)]
+
+pub mod harness;
+pub mod table;
+
+pub use harness::{
+    d2_config, model_size, run_model, run_timing, save_results, train_config, D2Variant,
+    ModelSpec, RunResult,
+};

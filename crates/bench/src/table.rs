@@ -1,0 +1,134 @@
+//! Text-table rendering that mirrors the layout of the paper's tables:
+//! one block per dataset, one row per method, MAE/RMSE/MAPE at horizons
+//! 3, 6, and 12.
+
+use crate::harness::RunResult;
+
+/// Render a table block for one dataset, paper-style.
+pub fn render_block(dataset: &str, rows: &[RunResult]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "\n=== {dataset} ===\n{:<16} | {:^22} | {:^22} | {:^22}\n",
+        "Method", "Horizon 3", "Horizon 6", "Horizon 12"
+    ));
+    out.push_str(&format!(
+        "{:<16} | {:>6} {:>7} {:>7} | {:>6} {:>7} {:>7} | {:>6} {:>7} {:>7}\n",
+        "", "MAE", "RMSE", "MAPE", "MAE", "RMSE", "MAPE", "MAE", "RMSE", "MAPE"
+    ));
+    out.push_str(&"-".repeat(92));
+    out.push('\n');
+    for r in rows {
+        out.push_str(&format!("{:<16} |", r.model));
+        for h in [3usize, 6, 12] {
+            if let Some((_, m)) = r.horizons.iter().find(|(hh, _)| *hh == h) {
+                out.push_str(&format!(
+                    " {:>6.2} {:>7.2} {:>6.2}% |",
+                    m.mae,
+                    m.rmse,
+                    m.mape * 100.0
+                ));
+            } else {
+                out.push_str(&format!(" {:>6} {:>7} {:>7} |", "-", "-", "-"));
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Render the winner per horizon/metric (sanity summary under each block).
+pub fn render_winners(rows: &[RunResult]) -> String {
+    let mut out = String::new();
+    for h_idx in 0..3 {
+        let h = [3, 6, 12][h_idx];
+        let best = rows
+            .iter()
+            .filter_map(|r| {
+                r.horizons
+                    .iter()
+                    .find(|(hh, _)| *hh == h)
+                    .map(|(_, m)| (r.model.clone(), m.mae))
+            })
+            .min_by(|a, b| a.1.total_cmp(&b.1));
+        if let Some((model, mae)) = best {
+            out.push_str(&format!("best @H{h}: {model} (MAE {mae:.2})  "));
+        }
+    }
+    out.push('\n');
+    out
+}
+
+/// Render a simple horizontal ASCII bar chart (used by Figure 6).
+pub fn render_bars(title: &str, items: &[(String, f64)], unit: &str) -> String {
+    let mut out = format!("\n=== {title} ===\n");
+    let max = items.iter().map(|(_, v)| *v).fold(f64::MIN, f64::max).max(1e-9);
+    for (label, v) in items {
+        let width = ((v / max) * 50.0).round() as usize;
+        out.push_str(&format!(
+            "{:<16} {:>9.3} {unit} |{}\n",
+            label,
+            v,
+            "#".repeat(width.max(1))
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use d2stgnn_data::Metrics;
+
+    fn row(model: &str, mae: f32) -> RunResult {
+        RunResult {
+            model: model.to_string(),
+            dataset: "METR-LA".to_string(),
+            horizons: vec![3, 6, 12]
+                .into_iter()
+                .map(|h| {
+                    (
+                        h,
+                        Metrics {
+                            mae: mae + h as f32 * 0.1,
+                            rmse: mae * 2.0,
+                            mape: 0.07,
+                        },
+                    )
+                })
+                .collect(),
+            avg_epoch_seconds: 1.0,
+            params: 1000,
+        }
+    }
+
+    #[test]
+    fn block_contains_all_rows_and_headers() {
+        let rows = vec![row("HA", 4.0), row("D2STGNN", 2.5)];
+        let s = render_block("METR-LA", &rows);
+        assert!(s.contains("METR-LA"));
+        assert!(s.contains("HA"));
+        assert!(s.contains("D2STGNN"));
+        assert!(s.contains("Horizon 12"));
+        assert!(s.contains("7.00%"));
+    }
+
+    #[test]
+    fn winners_pick_lowest_mae() {
+        let rows = vec![row("HA", 4.0), row("D2STGNN", 2.5)];
+        let s = render_winners(&rows);
+        assert!(s.contains("best @H3: D2STGNN"));
+    }
+
+    #[test]
+    fn bars_scale_to_max() {
+        let s = render_bars(
+            "epoch time",
+            &[("fast".into(), 1.0), ("slow".into(), 10.0)],
+            "s",
+        );
+        let fast_line = s.lines().find(|l| l.starts_with("fast")).unwrap();
+        let slow_line = s.lines().find(|l| l.starts_with("slow")).unwrap();
+        let hashes = |l: &str| l.chars().filter(|c| *c == '#').count();
+        assert!(hashes(slow_line) > hashes(fast_line) * 5);
+    }
+}

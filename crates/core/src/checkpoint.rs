@@ -1,0 +1,161 @@
+//! Model checkpointing: save/load the flat parameter list of any
+//! [`crate::TrafficModel`] (or any [`Module`]) as JSON. Shapes are validated on
+//! load, so a checkpoint can only be restored into an identically
+//! configured model.
+
+use d2stgnn_tensor::nn::Module;
+use d2stgnn_tensor::Array;
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// A serialized set of model parameters.
+#[derive(Serialize, Deserialize)]
+pub struct Checkpoint {
+    /// Format version for forward compatibility.
+    pub version: u32,
+    /// Free-form model tag (used for a sanity warning on mismatch).
+    pub model: String,
+    /// Parameter values in the module's canonical order.
+    pub parameters: Vec<Array>,
+}
+
+/// Errors from checkpoint I/O.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// Malformed JSON.
+    Parse(String),
+    /// Parameter count or shapes disagree with the target model.
+    Mismatch(String),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint I/O: {e}"),
+            CheckpointError::Parse(e) => write!(f, "checkpoint parse: {e}"),
+            CheckpointError::Mismatch(e) => write!(f, "checkpoint mismatch: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+/// Capture a module's parameters.
+pub fn snapshot<M: Module + ?Sized>(model: &M, tag: &str) -> Checkpoint {
+    Checkpoint {
+        version: 1,
+        model: tag.to_string(),
+        parameters: model.parameters().iter().map(|p| p.value()).collect(),
+    }
+}
+
+/// Restore parameters into a module; every shape must match.
+pub fn restore<M: Module + ?Sized>(model: &M, ckpt: &Checkpoint) -> Result<(), CheckpointError> {
+    let params = model.parameters();
+    if params.len() != ckpt.parameters.len() {
+        return Err(CheckpointError::Mismatch(format!(
+            "model has {} parameters, checkpoint has {}",
+            params.len(),
+            ckpt.parameters.len()
+        )));
+    }
+    for (i, (p, v)) in params.iter().zip(&ckpt.parameters).enumerate() {
+        if p.shape() != v.shape() {
+            return Err(CheckpointError::Mismatch(format!(
+                "parameter {i}: model shape {:?} vs checkpoint {:?}",
+                p.shape(),
+                v.shape()
+            )));
+        }
+    }
+    for (p, v) in params.iter().zip(&ckpt.parameters) {
+        p.set_value(v.clone());
+    }
+    Ok(())
+}
+
+/// Save a module's parameters to a JSON file.
+pub fn save<M: Module + ?Sized>(model: &M, tag: &str, path: &Path) -> Result<(), CheckpointError> {
+    let ckpt = snapshot(model, tag);
+    let json = serde_json::to_string(&ckpt).map_err(|e| CheckpointError::Parse(e.to_string()))?;
+    std::fs::write(path, json)?;
+    Ok(())
+}
+
+/// Load a module's parameters from a JSON file.
+pub fn load<M: Module + ?Sized>(model: &M, path: &Path) -> Result<String, CheckpointError> {
+    let json = std::fs::read_to_string(path)?;
+    let ckpt: Checkpoint =
+        serde_json::from_str(&json).map_err(|e| CheckpointError::Parse(e.to_string()))?;
+    restore(model, &ckpt)?;
+    Ok(ckpt.model)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use d2stgnn_tensor::nn::Linear;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn snapshot_restore_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let a = Linear::new(3, 2, true, &mut rng);
+        let ckpt = snapshot(&a, "linear");
+        // Mutate, then restore.
+        for p in a.parameters() {
+            p.set_value(Array::zeros(&p.shape()));
+        }
+        assert_eq!(a.parameters()[0].value().sum_all(), 0.0);
+        restore(&a, &ckpt).unwrap();
+        assert_eq!(a.parameters()[0].value(), ckpt.parameters[0]);
+    }
+
+    #[test]
+    fn restore_rejects_wrong_model() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let a = Linear::new(3, 2, true, &mut rng);
+        let b = Linear::new(4, 2, true, &mut rng);
+        let ckpt = snapshot(&a, "a");
+        let err = restore(&b, &ckpt).unwrap_err();
+        assert!(matches!(err, CheckpointError::Mismatch(_)));
+        let c = Linear::new(3, 2, false, &mut rng);
+        let err = restore(&c, &ckpt).unwrap_err();
+        assert!(err.to_string().contains("parameters"));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = Linear::new(2, 2, true, &mut rng);
+        let dir = std::env::temp_dir().join("d2stgnn-ckpt-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("lin.json");
+        save(&a, "lin", &path).unwrap();
+        let before = a.parameters()[0].value();
+        for p in a.parameters() {
+            p.set_value(Array::zeros(&p.shape()));
+        }
+        let tag = load(&a, &path).unwrap();
+        assert_eq!(tag, "lin");
+        assert_eq!(a.parameters()[0].value(), before);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_reports_missing_file() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = Linear::new(2, 2, true, &mut rng);
+        let err = load(&a, Path::new("/nonexistent/ckpt.json")).unwrap_err();
+        assert!(matches!(err, CheckpointError::Io(_)));
+    }
+}

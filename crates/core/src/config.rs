@@ -1,0 +1,240 @@
+//! Model configuration, including every ablation toggle of Table 5.
+
+use serde::{Deserialize, Serialize};
+
+/// Which block runs first inside each decoupled layer (the *switch* ablation
+/// — the paper argues the blocks are interchangeable, Section 4.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BlockOrder {
+    /// Diffusion block first (the paper's default style).
+    DiffusionFirst,
+    /// Inherent block first (the `switch` ablation).
+    InherentFirst,
+}
+
+/// Hyper-parameters and architecture toggles for [`crate::D2stgnn`].
+///
+/// Defaults follow Section 6.1: hidden `d = 32`, embedding size 12, spatial
+/// kernel `k_s = 2`, temporal kernel `k_t = 3`, 12-in/12-out windows.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct D2stgnnConfig {
+    /// Number of sensors (nodes).
+    pub num_nodes: usize,
+    /// Input feature channels (1 for speed/flow).
+    pub in_channels: usize,
+    /// Output channels (1).
+    pub out_channels: usize,
+    /// Input window length `T_h`.
+    pub th: usize,
+    /// Forecast horizon `T_f`.
+    pub tf: usize,
+    /// Hidden width `d`.
+    pub hidden: usize,
+    /// Node/time embedding width.
+    pub emb_dim: usize,
+    /// Number of stacked decoupled spatial-temporal layers `L`.
+    pub layers: usize,
+    /// Spatial kernel size `k_s`.
+    pub ks: usize,
+    /// Temporal kernel size `k_t`.
+    pub kt: usize,
+    /// Attention heads in the inherent block.
+    pub heads: usize,
+    /// Time slots per day (for `T^D`).
+    pub steps_per_day: usize,
+    /// Dropout probability inside blocks.
+    pub dropout: f32,
+
+    // --- ablation toggles (Table 5) ---
+    /// Block ordering inside each layer (`switch` when `InherentFirst`).
+    pub order: BlockOrder,
+    /// Estimation gate (Eq. 3); `false` = *w/o gate*.
+    pub use_gate: bool,
+    /// Residual decomposition links (Eqs. 1–2); `false` = *w/o res*.
+    pub use_residual: bool,
+    /// Dynamic graph learning (Eqs. 13–14); `false` = *w/o dg* (static graph,
+    /// the D²STGNN† variant of Table 4).
+    pub use_dynamic_graph: bool,
+    /// Self-adaptive transition matrix (Eq. 7); `false` = *w/o apt*.
+    pub use_adaptive: bool,
+    /// GRU in the inherent block; `false` = *w/o gru*.
+    pub use_gru: bool,
+    /// Multi-head self-attention in the inherent block; `false` = *w/o msa*.
+    pub use_msa: bool,
+    /// Auto-regressive forecast branches; `false` = *w/o ar* (direct
+    /// multi-step regression).
+    pub use_autoregressive: bool,
+}
+
+impl D2stgnnConfig {
+    /// Paper defaults for a network of `num_nodes` sensors.
+    pub fn new(num_nodes: usize) -> Self {
+        Self {
+            num_nodes,
+            in_channels: 1,
+            out_channels: 1,
+            th: 12,
+            tf: 12,
+            hidden: 32,
+            emb_dim: 12,
+            layers: 2,
+            ks: 2,
+            kt: 3,
+            heads: 4,
+            steps_per_day: 288,
+            dropout: 0.1,
+            order: BlockOrder::DiffusionFirst,
+            use_gate: true,
+            use_residual: true,
+            use_dynamic_graph: true,
+            use_adaptive: true,
+            use_gru: true,
+            use_msa: true,
+            use_autoregressive: true,
+        }
+    }
+
+    /// A small configuration for tests and smoke runs.
+    pub fn small(num_nodes: usize) -> Self {
+        let mut cfg = Self::new(num_nodes);
+        cfg.hidden = 16;
+        cfg.emb_dim = 8;
+        cfg.layers = 2;
+        cfg.heads = 2;
+        cfg.dropout = 0.0;
+        cfg
+    }
+
+    /// The *w/o decouple* / D²STGNN‡ variant of Table 4: estimation gate and
+    /// residual links removed, blocks connected directly.
+    pub fn coupled(mut self) -> Self {
+        self.use_gate = false;
+        self.use_residual = false;
+        self
+    }
+
+    /// The D²STGNN† variant of Table 4: pre-defined static graph only.
+    pub fn static_graph(mut self) -> Self {
+        self.use_dynamic_graph = false;
+        self
+    }
+
+    /// Validate invariants; returns a human-readable complaint on failure.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.num_nodes == 0 {
+            return Err("num_nodes must be positive".into());
+        }
+        if self.hidden == 0 || self.emb_dim == 0 {
+            return Err("hidden and emb_dim must be positive".into());
+        }
+        if self.heads == 0 || self.hidden % self.heads != 0 {
+            return Err(format!(
+                "heads ({}) must divide hidden ({})",
+                self.heads, self.hidden
+            ));
+        }
+        if self.ks == 0 || self.kt == 0 {
+            return Err("ks and kt must be >= 1".into());
+        }
+        if self.kt > self.th {
+            return Err(format!("kt ({}) cannot exceed th ({})", self.kt, self.th));
+        }
+        if self.layers == 0 {
+            return Err("need at least one layer".into());
+        }
+        if !(0.0..1.0).contains(&self.dropout) {
+            return Err("dropout must be in [0, 1)".into());
+        }
+        Ok(())
+    }
+
+    /// Human-readable tag describing the enabled ablations (for tables).
+    pub fn variant_tag(&self) -> String {
+        let mut off = Vec::new();
+        if self.order == BlockOrder::InherentFirst {
+            off.push("switch");
+        }
+        if !self.use_gate && !self.use_residual {
+            off.push("w/o decouple");
+        } else {
+            if !self.use_gate {
+                off.push("w/o gate");
+            }
+            if !self.use_residual {
+                off.push("w/o res");
+            }
+        }
+        if !self.use_dynamic_graph {
+            off.push("w/o dg");
+        }
+        if !self.use_adaptive {
+            off.push("w/o apt");
+        }
+        if !self.use_gru {
+            off.push("w/o gru");
+        }
+        if !self.use_msa {
+            off.push("w/o msa");
+        }
+        if !self.use_autoregressive {
+            off.push("w/o ar");
+        }
+        if off.is_empty() {
+            "full".to_string()
+        } else {
+            off.join(", ")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_section_6_1() {
+        let cfg = D2stgnnConfig::new(207);
+        assert_eq!(cfg.hidden, 32);
+        assert_eq!(cfg.emb_dim, 12);
+        assert_eq!(cfg.ks, 2);
+        assert_eq!(cfg.kt, 3);
+        assert_eq!(cfg.th, 12);
+        assert_eq!(cfg.tf, 12);
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_catches_bad_configs() {
+        let mut cfg = D2stgnnConfig::new(10);
+        cfg.heads = 5;
+        assert!(cfg.validate().is_err());
+        let mut cfg = D2stgnnConfig::new(10);
+        cfg.kt = 20;
+        assert!(cfg.validate().is_err());
+        let mut cfg = D2stgnnConfig::new(10);
+        cfg.layers = 0;
+        assert!(cfg.validate().is_err());
+        let cfg = D2stgnnConfig::new(0);
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn variant_builders() {
+        let c = D2stgnnConfig::new(10).coupled();
+        assert!(!c.use_gate && !c.use_residual);
+        assert_eq!(c.variant_tag(), "w/o decouple");
+        let s = D2stgnnConfig::new(10).static_graph();
+        assert!(!s.use_dynamic_graph);
+        assert_eq!(s.variant_tag(), "w/o dg");
+        assert_eq!(D2stgnnConfig::new(10).variant_tag(), "full");
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let cfg = D2stgnnConfig::small(10);
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: D2stgnnConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.hidden, cfg.hidden);
+        assert_eq!(back.order, cfg.order);
+    }
+}

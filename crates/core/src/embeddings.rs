@@ -1,0 +1,100 @@
+//! The shared learnable embeddings of Section 4.2: source/target node
+//! embeddings `E^u`/`E^d` and time-of-day / day-of-week slot embeddings
+//! `T^D`/`T^W`. One instance is shared by the estimation gate, the
+//! self-adaptive transition matrix (Eq. 7), and the dynamic graph learner
+//! (Eq. 13), exactly as in the paper.
+
+use d2stgnn_tensor::nn::{Embedding, Module};
+use d2stgnn_tensor::Tensor;
+use rand::Rng;
+
+/// Shared embedding tables.
+pub struct SharedEmbeddings {
+    /// Source node embedding `E^u` (message-passing out).
+    pub node_source: Embedding,
+    /// Target node embedding `E^d` (aggregation in).
+    pub node_target: Embedding,
+    /// Time-of-day slots `T^D` (`steps_per_day` rows).
+    pub time_of_day: Embedding,
+    /// Day-of-week slots `T^W` (7 rows).
+    pub day_of_week: Embedding,
+}
+
+impl SharedEmbeddings {
+    /// Randomly initialized tables for `n` nodes with `emb_dim`-wide vectors.
+    pub fn new<R: Rng>(n: usize, steps_per_day: usize, emb_dim: usize, rng: &mut R) -> Self {
+        Self {
+            node_source: Embedding::new(n, emb_dim, rng),
+            node_target: Embedding::new(n, emb_dim, rng),
+            time_of_day: Embedding::new(steps_per_day, emb_dim, rng),
+            day_of_week: Embedding::new(7, emb_dim, rng),
+        }
+    }
+
+    /// Embedding width.
+    pub fn dim(&self) -> usize {
+        self.node_source.dim()
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.node_source.count()
+    }
+
+    /// Full `E^u` table `[N, emb]`.
+    pub fn e_u(&self) -> &Tensor {
+        self.node_source.weights()
+    }
+
+    /// Full `E^d` table `[N, emb]`.
+    pub fn e_d(&self) -> &Tensor {
+        self.node_target.weights()
+    }
+
+    /// Lookup `T^D` rows for a flat list of time-of-day indices.
+    pub fn tod_rows(&self, indices: &[usize]) -> Tensor {
+        self.time_of_day.lookup(indices)
+    }
+
+    /// Lookup `T^W` rows for a flat list of day-of-week indices.
+    pub fn dow_rows(&self, indices: &[usize]) -> Tensor {
+        self.day_of_week.lookup(indices)
+    }
+}
+
+impl Module for SharedEmbeddings {
+    fn parameters(&self) -> Vec<Tensor> {
+        let mut p = self.node_source.parameters();
+        p.extend(self.node_target.parameters());
+        p.extend(self.time_of_day.parameters());
+        p.extend(self.day_of_week.parameters());
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn shapes() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let e = SharedEmbeddings::new(10, 288, 12, &mut rng);
+        assert_eq!(e.dim(), 12);
+        assert_eq!(e.num_nodes(), 10);
+        assert_eq!(e.e_u().shape(), vec![10, 12]);
+        assert_eq!(e.tod_rows(&[0, 287]).shape(), vec![2, 12]);
+        assert_eq!(e.dow_rows(&[6]).shape(), vec![1, 12]);
+        assert_eq!(e.parameters().len(), 4);
+    }
+
+    #[test]
+    fn tables_are_trainable_and_distinct() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let e = SharedEmbeddings::new(5, 288, 8, &mut rng);
+        assert!(e.e_u().requires_grad());
+        assert_ne!(e.e_u().value().data(), e.e_d().value().data());
+    }
+}

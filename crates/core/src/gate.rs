@@ -1,0 +1,128 @@
+//! The estimation gate (Eq. 3): a learned scalar in (0,1) per (time step,
+//! node) that roughly estimates the proportion of the diffusion signal in
+//! the raw input, relieving the first block of each layer from having to
+//! identify its share of the signal on its own.
+
+use crate::embeddings::SharedEmbeddings;
+use d2stgnn_tensor::nn::{Linear, Module};
+use d2stgnn_tensor::Tensor;
+use rand::Rng;
+
+/// Estimation gate `Λ_{t,i} = Sigmoid(σ((T^D_t ‖ T^W_t ‖ E^u_i ‖ E^d_i) W₁) W₂)`.
+pub struct EstimationGate {
+    w1: Linear,
+    w2: Linear,
+}
+
+impl EstimationGate {
+    /// New gate for embeddings of width `emb_dim` with a `hidden`-wide
+    /// intermediate layer.
+    pub fn new<R: Rng>(emb_dim: usize, hidden: usize, rng: &mut R) -> Self {
+        Self {
+            w1: Linear::new(4 * emb_dim, hidden, true, rng),
+            w2: Linear::new(hidden, 1, true, rng),
+        }
+    }
+
+    /// Compute the gate `Λ` with shape `[B, T_h, N, 1]`.
+    ///
+    /// `tod`/`dow` are flat per-input-step slot indices of length `B * T_h`.
+    pub fn forward(
+        &self,
+        emb: &SharedEmbeddings,
+        tod: &[usize],
+        dow: &[usize],
+        b: usize,
+        th: usize,
+        n: usize,
+    ) -> Tensor {
+        assert_eq!(tod.len(), b * th, "tod indices must be B*T_h");
+        assert_eq!(dow.len(), b * th, "dow indices must be B*T_h");
+        let e = emb.dim();
+        let t_d = emb
+            .tod_rows(tod)
+            .reshape(&[b, th, 1, e])
+            .broadcast_to(&[b, th, n, e]);
+        let t_w = emb
+            .dow_rows(dow)
+            .reshape(&[b, th, 1, e])
+            .broadcast_to(&[b, th, n, e]);
+        let e_u = emb.e_u().reshape(&[1, 1, n, e]).broadcast_to(&[b, th, n, e]);
+        let e_d = emb.e_d().reshape(&[1, 1, n, e]).broadcast_to(&[b, th, n, e]);
+        let feats = Tensor::concat(&[&t_d, &t_w, &e_u, &e_d], 3);
+        self.w2.forward(&self.w1.forward(&feats).relu()).sigmoid()
+    }
+}
+
+impl Module for EstimationGate {
+    fn parameters(&self) -> Vec<Tensor> {
+        let mut p = self.w1.parameters();
+        p.extend(self.w2.parameters());
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (SharedEmbeddings, EstimationGate, StdRng) {
+        let mut rng = StdRng::seed_from_u64(0);
+        let emb = SharedEmbeddings::new(6, 288, 8, &mut rng);
+        let gate = EstimationGate::new(8, 16, &mut rng);
+        (emb, gate, rng)
+    }
+
+    #[test]
+    fn output_shape_and_range() {
+        let (emb, gate, _) = setup();
+        let (b, th, n) = (2, 4, 6);
+        let tod: Vec<usize> = (0..b * th).map(|i| i % 288).collect();
+        let dow: Vec<usize> = (0..b * th).map(|i| i % 7).collect();
+        let lam = gate.forward(&emb, &tod, &dow, b, th, n);
+        assert_eq!(lam.shape(), vec![2, 4, 6, 1]);
+        for v in lam.value().data() {
+            assert!((0.0..=1.0).contains(v), "gate value {v} outside (0,1)");
+        }
+    }
+
+    #[test]
+    fn gate_varies_across_nodes_and_times() {
+        let (emb, gate, _) = setup();
+        let tod: Vec<usize> = vec![10, 150];
+        let dow: Vec<usize> = vec![1, 5];
+        let lam = gate.forward(&emb, &tod, &dow, 1, 2, 6).value();
+        // Different nodes produce different gate values.
+        assert_ne!(lam.at(&[0, 0, 0, 0]), lam.at(&[0, 0, 1, 0]));
+        // Different time slots produce different gate values.
+        assert_ne!(lam.at(&[0, 0, 0, 0]), lam.at(&[0, 1, 0, 0]));
+    }
+
+    #[test]
+    fn gradients_reach_embeddings_and_weights() {
+        let (emb, gate, _) = setup();
+        let tod = vec![0, 1];
+        let dow = vec![0, 0];
+        let lam = gate.forward(&emb, &tod, &dow, 1, 2, 6);
+        lam.sum_all().backward();
+        for p in gate.parameters().iter().chain(emb.parameters().iter()) {
+            assert!(p.grad().is_some());
+        }
+        // Only looked-up time rows receive gradient.
+        let g = emb.time_of_day.weights().grad().unwrap();
+        let row_norm = |r: usize| -> f32 {
+            g.data()[r * 8..(r + 1) * 8].iter().map(|v| v.abs()).sum()
+        };
+        assert!(row_norm(0) > 0.0 && row_norm(1) > 0.0);
+        assert_eq!(row_norm(100), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "B*T_h")]
+    fn wrong_index_length_panics() {
+        let (emb, gate, _) = setup();
+        gate.forward(&emb, &[0, 1, 2], &[0, 1, 2], 2, 2, 6);
+    }
+}

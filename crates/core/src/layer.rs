@@ -1,0 +1,308 @@
+//! The decoupled spatial-temporal layer (Section 4): estimation gate (Eq. 3),
+//! first block, residual decomposition (Eq. 1), second block, second residual
+//! (Eq. 2). Block order is configurable (`switch` ablation), and the gate /
+//! residual links can be disabled individually (Table 5) or together, which
+//! yields the *coupled* D²STGNN‡ of Table 4 where the blocks chain directly.
+
+use crate::config::{BlockOrder, D2stgnnConfig};
+use crate::diffusion::{DiffusionBlock, DiffusionBlockConfig};
+use crate::embeddings::SharedEmbeddings;
+use crate::gate::EstimationGate;
+use crate::graphs::{GraphContext, Transitions};
+use crate::inherent::{InherentBlock, InherentBlockConfig};
+use d2stgnn_tensor::nn::Module;
+use d2stgnn_tensor::{Array, Tensor};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Output of one decoupled layer.
+pub struct LayerOutput {
+    /// Diffusion forecast hidden states `[B, T_f, N, d]`.
+    pub forecast_dif: Tensor,
+    /// Inherent forecast hidden states `[B, T_f, N, d]`.
+    pub forecast_inh: Tensor,
+    /// Residual signal `X^{l+1}` fed to the next layer `[B, T_h, N, d]`.
+    pub residual: Tensor,
+}
+
+/// One decoupled spatial-temporal layer.
+pub struct DecoupledLayer {
+    gate: Option<EstimationGate>,
+    diffusion: DiffusionBlock,
+    inherent: InherentBlock,
+    order: BlockOrder,
+    use_residual: bool,
+}
+
+impl DecoupledLayer {
+    /// Build a layer from the model config.
+    pub fn new<R: Rng>(cfg: &D2stgnnConfig, rng: &mut R) -> Self {
+        let gate = cfg
+            .use_gate
+            .then(|| EstimationGate::new(cfg.emb_dim, cfg.hidden, rng));
+        let diffusion = DiffusionBlock::new(
+            DiffusionBlockConfig {
+                ks: cfg.ks,
+                kt: cfg.kt,
+                hidden: cfg.hidden,
+                tf: cfg.tf,
+                autoregressive: cfg.use_autoregressive,
+                use_adaptive: cfg.use_adaptive,
+            },
+            rng,
+        );
+        let inherent = InherentBlock::new(
+            InherentBlockConfig {
+                hidden: cfg.hidden,
+                heads: cfg.heads,
+                tf: cfg.tf,
+                kt: cfg.kt,
+                autoregressive: cfg.use_autoregressive,
+                use_gru: cfg.use_gru,
+                use_msa: cfg.use_msa,
+                dropout: cfg.dropout,
+            },
+            rng,
+        );
+        Self {
+            gate,
+            diffusion,
+            inherent,
+            order: cfg.order,
+            use_residual: cfg.use_residual,
+        }
+    }
+
+    /// Run the layer.
+    ///
+    /// * `x_l` — the layer input `X^l` `[B, T_h, N, d]`.
+    /// * `tod`/`dow` — flat `[B*T_h]` slot indices for the estimation gate.
+    #[allow(clippy::too_many_arguments)]
+    pub fn forward(
+        &self,
+        ctx: &GraphContext,
+        emb: &SharedEmbeddings,
+        x_l: &Tensor,
+        transitions: &Transitions,
+        adaptive: Option<&Tensor>,
+        tod: &[usize],
+        dow: &[usize],
+        training: bool,
+        rng: &mut StdRng,
+    ) -> LayerOutput {
+        let shape = x_l.shape();
+        let (b, th, n, _d) = (shape[0], shape[1], shape[2], shape[3]);
+        let lam = self
+            .gate
+            .as_ref()
+            .map(|g| g.forward(emb, tod, dow, b, th, n));
+        let gate_in = |x: &Tensor| match &lam {
+            Some(l) => l.mul(x),
+            None => x.clone(),
+        };
+        // Complement gate (1 - Λ) ⊙ x, used when residual links are ablated
+        // but the gate is kept: the second block then receives the gate's
+        // estimate of "its" share of the signal instead of a residual.
+        let gate_complement = |x: &Tensor| match &lam {
+            Some(l) => {
+                let ones = Tensor::constant(Array::ones(&l.shape()));
+                ones.sub(l).mul(x)
+            }
+            None => x.clone(),
+        };
+        let coupled = self.gate.is_none() && !self.use_residual;
+
+        match self.order {
+            BlockOrder::DiffusionFirst => {
+                let dif = self
+                    .diffusion
+                    .forward(ctx, &gate_in(x_l), transitions, adaptive);
+                // Eq. 1: X^inh = X^l - X_b^dif.
+                let x_inh = if self.use_residual {
+                    x_l.sub(&dif.backcast)
+                } else if coupled {
+                    dif.hidden.clone()
+                } else {
+                    gate_complement(x_l)
+                };
+                let inh = self.inherent.forward(&x_inh, training, rng);
+                // Eq. 2: X^{l+1} = X^inh - X_b^inh.
+                let residual = if self.use_residual {
+                    x_inh.sub(&inh.backcast)
+                } else {
+                    inh.hidden.clone()
+                };
+                LayerOutput {
+                    forecast_dif: dif.forecast,
+                    forecast_inh: inh.forecast,
+                    residual,
+                }
+            }
+            BlockOrder::InherentFirst => {
+                let inh = self
+                    .inherent
+                    .forward(&gate_complement(x_l), training, rng);
+                let x_dif = if self.use_residual {
+                    x_l.sub(&inh.backcast)
+                } else if coupled {
+                    inh.hidden.clone()
+                } else {
+                    gate_in(x_l)
+                };
+                let dif = self.diffusion.forward(ctx, &x_dif, transitions, adaptive);
+                let residual = if self.use_residual {
+                    x_dif.sub(&dif.backcast)
+                } else {
+                    dif.hidden.clone()
+                };
+                LayerOutput {
+                    forecast_dif: dif.forecast,
+                    forecast_inh: inh.forecast,
+                    residual,
+                }
+            }
+        }
+    }
+}
+
+impl Module for DecoupledLayer {
+    fn parameters(&self) -> Vec<Tensor> {
+        let mut p = Vec::new();
+        if let Some(g) = &self.gate {
+            p.extend(g.parameters());
+        }
+        p.extend(self.diffusion.parameters());
+        p.extend(self.inherent.parameters());
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use d2stgnn_graph::TrafficNetwork;
+    use rand::SeedableRng;
+
+    fn setup(cfg: &D2stgnnConfig) -> (GraphContext, SharedEmbeddings, DecoupledLayer, StdRng) {
+        let mut rng = StdRng::seed_from_u64(5);
+        let net = TrafficNetwork::random_geometric(cfg.num_nodes, 3, 0.02, &mut rng);
+        let ctx = GraphContext::new(&net);
+        let emb = SharedEmbeddings::new(cfg.num_nodes, cfg.steps_per_day, cfg.emb_dim, &mut rng);
+        let layer = DecoupledLayer::new(cfg, &mut rng);
+        (ctx, emb, layer, rng)
+    }
+
+    fn run(cfg: &D2stgnnConfig) -> LayerOutput {
+        let (ctx, emb, layer, mut rng) = setup(cfg);
+        let x = Tensor::constant(Array::randn(
+            &[2, cfg.th, cfg.num_nodes, cfg.hidden],
+            &mut rng,
+        ));
+        let tr = Transitions::Static {
+            p_f: ctx.p_f.clone(),
+            p_b: ctx.p_b.clone(),
+        };
+        let apt = crate::graphs::adaptive_transition(&emb);
+        let tod: Vec<usize> = (0..2 * cfg.th).map(|i| i % 288).collect();
+        let dow: Vec<usize> = (0..2 * cfg.th).map(|i| i % 7).collect();
+        layer.forward(&ctx, &emb, &x, &tr, Some(&apt), &tod, &dow, false, &mut rng)
+    }
+
+    fn small() -> D2stgnnConfig {
+        let mut cfg = D2stgnnConfig::small(6);
+        cfg.th = 6;
+        cfg.tf = 4;
+        cfg.kt = 2;
+        cfg
+    }
+
+    #[test]
+    fn shapes_default_order() {
+        let cfg = small();
+        let out = run(&cfg);
+        assert_eq!(out.forecast_dif.shape(), vec![2, 4, 6, 16]);
+        assert_eq!(out.forecast_inh.shape(), vec![2, 4, 6, 16]);
+        assert_eq!(out.residual.shape(), vec![2, 6, 6, 16]);
+    }
+
+    #[test]
+    fn shapes_switch_order() {
+        let mut cfg = small();
+        cfg.order = BlockOrder::InherentFirst;
+        let out = run(&cfg);
+        assert_eq!(out.forecast_dif.shape(), vec![2, 4, 6, 16]);
+        assert_eq!(out.residual.shape(), vec![2, 6, 6, 16]);
+    }
+
+    #[test]
+    fn every_ablation_variant_runs() {
+        for (gate, res) in [(false, true), (true, false), (false, false)] {
+            let mut cfg = small();
+            cfg.use_gate = gate;
+            cfg.use_residual = res;
+            let out = run(&cfg);
+            assert_eq!(out.residual.shape(), vec![2, 6, 6, 16]);
+        }
+        let mut cfg = small();
+        cfg.use_adaptive = false;
+        cfg.use_autoregressive = false;
+        run(&cfg);
+    }
+
+    #[test]
+    fn gate_changes_parameter_count() {
+        let cfg = small();
+        let (_, _, with_gate, _) = setup(&cfg);
+        let mut cfg2 = small();
+        cfg2.use_gate = false;
+        let (_, _, without_gate, _) = setup(&cfg2);
+        assert!(with_gate.num_parameters() > without_gate.num_parameters());
+    }
+
+    #[test]
+    fn residual_decomposition_subtracts_backcast() {
+        // With residuals on, the residual must differ from the input; with
+        // residuals off (pure coupling), the residual is the inherent hidden.
+        let cfg = small();
+        let (ctx, emb, layer, mut rng) = setup(&cfg);
+        let x = Tensor::constant(Array::randn(&[1, 6, 6, 16], &mut rng));
+        let tr = Transitions::Static {
+            p_f: ctx.p_f.clone(),
+            p_b: ctx.p_b.clone(),
+        };
+        let apt = crate::graphs::adaptive_transition(&emb);
+        let tod: Vec<usize> = (0..6).collect();
+        let dow = vec![0; 6];
+        let out = layer.forward(&ctx, &emb, &x, &tr, Some(&apt), &tod, &dow, false, &mut rng);
+        // Input = residual + dif backcast + inh backcast by construction:
+        // verify via the identity X^{l+1} = X^l - Xb_dif - Xb_inh.
+        let sum_check = x.sub(&out.residual); // = Xb_dif + Xb_inh
+        assert!(sum_check.value().data().iter().any(|v| v.abs() > 1e-6));
+    }
+
+    #[test]
+    fn gradients_flow_through_layer() {
+        let cfg = small();
+        let (ctx, emb, layer, mut rng) = setup(&cfg);
+        let x = Tensor::parameter(Array::randn(&[1, 6, 6, 16], &mut rng));
+        let tr = Transitions::Static {
+            p_f: ctx.p_f.clone(),
+            p_b: ctx.p_b.clone(),
+        };
+        let apt = crate::graphs::adaptive_transition(&emb);
+        let tod: Vec<usize> = (0..6).collect();
+        let dow = vec![0; 6];
+        let out = layer.forward(&ctx, &emb, &x, &tr, Some(&apt), &tod, &dow, true, &mut rng);
+        out.forecast_dif
+            .sum_all()
+            .add(&out.forecast_inh.sum_all())
+            .add(&out.residual.sum_all())
+            .backward();
+        assert!(x.grad().is_some());
+        for (i, p) in layer.parameters().iter().enumerate() {
+            assert!(p.grad().is_some(), "param {i} missing grad");
+        }
+        // Embeddings receive gradient through gate + adaptive matrix.
+        assert!(emb.e_u().grad().is_some());
+    }
+}

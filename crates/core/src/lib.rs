@@ -1,0 +1,36 @@
+//! # d2stgnn-core
+//!
+//! The paper's primary contribution: the Decoupled Spatial-Temporal
+//! Framework (DSTF) and its instantiation **D²STGNN** (Shao et al.,
+//! VLDB 2022), plus the training loop.
+//!
+//! Architecture map (paper section → module):
+//! * Eq. 3 estimation gate → [`gate`]
+//! * Eqs. 1–2 residual decomposition → [`layer`]
+//! * Eqs. 4–9 diffusion block (ST-localized convolution) → [`diffusion`]
+//! * Eqs. 10–12 inherent block (GRU + positional encoding + MSA) → [`inherent`]
+//! * Eq. 7 self-adaptive matrix, Eqs. 13–14 dynamic graph → [`graphs`]
+//! * Eq. 15 output composition, Eq. 16 MAE + curriculum → [`model`], [`training`]
+//!
+//! Every ablation of Table 5 is a flag on [`D2stgnnConfig`].
+
+#![warn(missing_docs)]
+
+pub mod checkpoint;
+pub mod config;
+pub mod diffusion;
+pub mod embeddings;
+pub mod forecast;
+pub mod gate;
+pub mod graphs;
+pub mod inherent;
+pub mod layer;
+pub mod model;
+pub mod traits;
+pub mod training;
+
+pub use checkpoint::{load as load_checkpoint, save as save_checkpoint, Checkpoint};
+pub use config::{BlockOrder, D2stgnnConfig};
+pub use model::D2stgnn;
+pub use traits::TrafficModel;
+pub use training::{EvalResult, TrainConfig, TrainReport, Trainer};

@@ -1,0 +1,402 @@
+//! Training loop (Section 5.4): Adam on masked MAE with curriculum learning
+//! (the supervised horizon grows during training) and early stopping on
+//! validation MAE, as in the paper's implementation.
+
+use crate::traits::TrafficModel;
+use d2stgnn_data::{metrics, Metrics, Split, WindowedDataset};
+use d2stgnn_tensor::losses::masked_mae_loss;
+use d2stgnn_tensor::optim::{clip_grad_norm, Adam, Optimizer};
+use d2stgnn_tensor::{Array, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Trainer configuration. Defaults mirror Section 6.1 (Adam, lr 1e-3,
+/// batch 32, early stopping) at CPU-friendly epoch counts.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TrainConfig {
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Maximum epochs.
+    pub max_epochs: usize,
+    /// Early-stopping patience (epochs without val improvement).
+    pub patience: usize,
+    /// Global gradient-norm clip.
+    pub clip_norm: f32,
+    /// Curriculum learning (`w/o cl` disables): the supervised horizon starts
+    /// at 1 and increases by one every `cl_step` iterations.
+    pub curriculum: bool,
+    /// Iterations per curriculum increment.
+    pub cl_step: usize,
+    /// Multiply the learning rate by this factor every `lr_decay_every`
+    /// epochs (1.0 disables; the common traffic-forecasting recipe decays
+    /// by 0.5 a few times over training).
+    pub lr_decay: f32,
+    /// Epochs between learning-rate decays.
+    pub lr_decay_every: usize,
+    /// Null value masked out of the loss and metrics (0 = failed sensor).
+    pub null_val: f32,
+    /// RNG seed for shuffling and dropout.
+    pub seed: u64,
+    /// Print per-epoch progress to stderr.
+    pub verbose: bool,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self {
+            lr: 1e-3,
+            batch_size: 32,
+            max_epochs: 30,
+            patience: 5,
+            clip_norm: 5.0,
+            curriculum: true,
+            cl_step: 30,
+            lr_decay: 1.0,
+            lr_decay_every: 10,
+            null_val: 0.0,
+            seed: 7,
+            verbose: false,
+        }
+    }
+}
+
+impl TrainConfig {
+    /// A very short schedule for smoke tests.
+    pub fn fast() -> Self {
+        Self {
+            max_epochs: 3,
+            patience: 3,
+            cl_step: 10,
+            ..Self::default()
+        }
+    }
+}
+
+/// Statistics of one training epoch.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct EpochStats {
+    /// Epoch index (0-based).
+    pub epoch: usize,
+    /// Mean training loss (real-scale masked MAE over supervised horizons).
+    pub train_loss: f32,
+    /// Validation MAE over all horizons.
+    pub val_mae: f32,
+    /// Wall-clock seconds for the epoch's training phase.
+    pub seconds: f64,
+}
+
+/// Result of a training run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TrainReport {
+    /// Per-epoch statistics.
+    pub epochs: Vec<EpochStats>,
+    /// Best validation MAE seen.
+    pub best_val_mae: f32,
+    /// Epoch index of the best validation MAE.
+    pub best_epoch: usize,
+    /// Mean training seconds per epoch (Figure 6's quantity).
+    pub avg_epoch_seconds: f64,
+}
+
+/// Per-split evaluation output.
+#[derive(Clone, Debug)]
+pub struct EvalResult {
+    /// Stacked de-normalized predictions `[S, T_f, N]`.
+    pub pred: Array,
+    /// Stacked raw targets `[S, T_f, N]`.
+    pub target: Array,
+    /// Metrics over all horizons jointly.
+    pub overall: Metrics,
+    /// Metrics at the paper's reporting horizons (3, 6, 12 when available).
+    pub horizons: Vec<(usize, Metrics)>,
+}
+
+/// Orchestrates optimization, curriculum, early stopping, and evaluation.
+pub struct Trainer {
+    cfg: TrainConfig,
+}
+
+impl Trainer {
+    /// New trainer.
+    pub fn new(cfg: TrainConfig) -> Self {
+        Self { cfg }
+    }
+
+    /// Trainer configuration.
+    pub fn config(&self) -> &TrainConfig {
+        &self.cfg
+    }
+
+    /// Train `model` on the dataset's train split, early-stopping on the
+    /// validation split, restoring the best parameters before returning.
+    pub fn train<M: TrafficModel + ?Sized>(&self, model: &M, data: &WindowedDataset) -> TrainReport {
+        let mut rng = StdRng::seed_from_u64(self.cfg.seed);
+        let mut opt = Adam::new(model.parameters(), self.cfg.lr);
+        let params = model.parameters();
+        let scaler = *data.scaler();
+        let tf = data.tf();
+
+        let mut report = TrainReport {
+            epochs: Vec::new(),
+            best_val_mae: f32::INFINITY,
+            best_epoch: 0,
+            avg_epoch_seconds: 0.0,
+        };
+        let mut best_params: Option<Vec<Array>> = None;
+        let mut since_best = 0usize;
+        let mut iteration = 0usize;
+        let mut max_level_reached = if self.cfg.curriculum { 1 } else { tf };
+
+        for epoch in 0..self.cfg.max_epochs {
+            // Learning-rate schedule.
+            if self.cfg.lr_decay != 1.0
+                && epoch > 0
+                && self.cfg.lr_decay_every > 0
+                && epoch % self.cfg.lr_decay_every == 0
+            {
+                opt.set_learning_rate(opt.learning_rate() * self.cfg.lr_decay);
+            }
+            let start = Instant::now();
+            let mut loss_sum = 0f64;
+            let mut loss_count = 0usize;
+            for idx in data.epoch_batches(Split::Train, self.cfg.batch_size, true, &mut rng) {
+                let batch = data.batch(Split::Train, &idx);
+                // Curriculum: supervise horizons 1..=level.
+                let level = if self.cfg.curriculum {
+                    (1 + iteration / self.cfg.cl_step.max(1)).min(tf)
+                } else {
+                    tf
+                };
+                max_level_reached = max_level_reached.max(level);
+                let pred_norm = model.forward(&batch, true, &mut rng);
+                let pred = pred_norm.scale(scaler.std()).add_scalar(scaler.mean());
+                let target = Tensor::constant(batch.y.clone());
+                let (pred_sup, target_sup) = if level < tf {
+                    (pred.slice_axis(1, 0, level), target.slice_axis(1, 0, level))
+                } else {
+                    (pred, target)
+                };
+                let loss = masked_mae_loss(&pred_sup, &target_sup, self.cfg.null_val);
+                let loss_val = loss.item();
+                assert!(
+                    loss_val.is_finite(),
+                    "training diverged: non-finite loss at epoch {epoch}"
+                );
+                loss.backward();
+                clip_grad_norm(&params, self.cfg.clip_norm);
+                opt.step();
+                loss_sum += loss_val as f64;
+                loss_count += 1;
+                iteration += 1;
+            }
+            let seconds = start.elapsed().as_secs_f64();
+
+            let val = self.evaluate(model, data, Split::Val);
+            let stats = EpochStats {
+                epoch,
+                train_loss: (loss_sum / loss_count.max(1) as f64) as f32,
+                val_mae: val.overall.mae,
+                seconds,
+            };
+            if self.cfg.verbose {
+                eprintln!(
+                    "[{}] epoch {epoch:3}: train {:.4}  val MAE {:.4}  ({seconds:.1}s)",
+                    model.name(),
+                    stats.train_loss,
+                    stats.val_mae
+                );
+            }
+            report.epochs.push(stats);
+
+            if val.overall.mae < report.best_val_mae {
+                report.best_val_mae = val.overall.mae;
+                report.best_epoch = epoch;
+                best_params = Some(params.iter().map(Tensor::value).collect());
+                since_best = 0;
+            } else {
+                since_best += 1;
+                if since_best >= self.cfg.patience {
+                    break;
+                }
+            }
+        }
+
+        if max_level_reached < tf {
+            eprintln!(
+                "[{}] WARNING: curriculum only reached horizon {max_level_reached}/{tf}; \
+                 horizons beyond that were never supervised. Lower cl_step or raise max_epochs.",
+                model.name()
+            );
+        }
+        // Restore the best parameters (early-stopping checkpoint).
+        if let Some(best) = best_params {
+            for (p, v) in params.iter().zip(best) {
+                p.set_value(v);
+            }
+        }
+        report.avg_epoch_seconds = report
+            .epochs
+            .iter()
+            .map(|e| e.seconds)
+            .sum::<f64>()
+            / report.epochs.len().max(1) as f64;
+        report
+    }
+
+    /// Evaluate on a split: de-normalized predictions, per-horizon metrics.
+    pub fn evaluate<M: TrafficModel + ?Sized>(
+        &self,
+        model: &M,
+        data: &WindowedDataset,
+        split: Split,
+    ) -> EvalResult {
+        let mut rng = StdRng::seed_from_u64(self.cfg.seed ^ 0x5eed);
+        let n = data.num_nodes();
+        let tf = data.tf();
+        let total = data.len(split);
+        let mut pred = Array::zeros(&[total, tf, n]);
+        let mut target = Array::zeros(&[total, tf, n]);
+        let mut row = 0usize;
+        for idx in data.epoch_batches(split, self.cfg.batch_size, false, &mut rng) {
+            let batch = data.batch(split, &idx);
+            // Inference mode: no autograd graph is recorded.
+            let out =
+                d2stgnn_tensor::no_grad(|| model.forward(&batch, false, &mut rng)).value();
+            let out = data.scaler().inverse_transform(&out);
+            let b = batch.batch_size();
+            let flat_pred = out.reshape(&[b, tf, n]).expect("squeeze channel");
+            let flat_targ = batch.y.reshape(&[b, tf, n]).expect("squeeze channel");
+            pred.assign_slice_axis(0, row, &flat_pred);
+            target.assign_slice_axis(0, row, &flat_targ);
+            row += b;
+        }
+        let overall = metrics::evaluate_overall(&pred, &target, self.cfg.null_val);
+        let hs: Vec<usize> = [3, 6, 12].into_iter().filter(|h| *h <= tf).collect();
+        let horizons = metrics::evaluate_horizons(&pred, &target, &hs, self.cfg.null_val);
+        EvalResult {
+            pred,
+            target,
+            overall,
+            horizons,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::D2stgnnConfig;
+    use crate::model::D2stgnn;
+    use d2stgnn_data::{simulate, SimulatorConfig};
+
+    fn tiny_dataset() -> WindowedDataset {
+        let mut sim = SimulatorConfig::tiny();
+        sim.num_nodes = 6;
+        sim.num_steps = 288;
+        sim.knn = 2;
+        WindowedDataset::new(simulate(&sim), 12, 12, (0.6, 0.2, 0.2))
+    }
+
+    fn tiny_model(data: &WindowedDataset) -> D2stgnn {
+        let mut cfg = D2stgnnConfig::small(6);
+        cfg.layers = 1;
+        cfg.hidden = 8;
+        cfg.emb_dim = 4;
+        cfg.heads = 2;
+        let mut rng = StdRng::seed_from_u64(1);
+        D2stgnn::new(cfg, &data.data().network.clone(), &mut rng)
+    }
+
+    #[test]
+    fn training_improves_validation_mae() {
+        let data = tiny_dataset();
+        let model = tiny_model(&data);
+        let trainer = Trainer::new(TrainConfig {
+            max_epochs: 4,
+            batch_size: 16,
+            lr: 3e-3,
+            curriculum: false,
+            ..TrainConfig::default()
+        });
+        let before = trainer.evaluate(&model, &data, Split::Val).overall.mae;
+        let report = trainer.train(&model, &data);
+        assert!(!report.epochs.is_empty());
+        assert!(
+            report.best_val_mae < before,
+            "val MAE did not improve: {before} -> {}",
+            report.best_val_mae
+        );
+        assert!(report.avg_epoch_seconds > 0.0);
+    }
+
+    #[test]
+    fn early_stopping_restores_best_parameters() {
+        let data = tiny_dataset();
+        let model = tiny_model(&data);
+        let trainer = Trainer::new(TrainConfig {
+            max_epochs: 3,
+            patience: 1,
+            ..TrainConfig::default()
+        });
+        let report = trainer.train(&model, &data);
+        // After restore, evaluating val reproduces the best recorded MAE.
+        let val = trainer.evaluate(&model, &data, Split::Val);
+        assert!(
+            (val.overall.mae - report.best_val_mae).abs() < 1e-4,
+            "restored {} vs best {}",
+            val.overall.mae,
+            report.best_val_mae
+        );
+    }
+
+    #[test]
+    fn curriculum_level_grows() {
+        // With curriculum on and a tiny cl_step, the first epoch supervises
+        // fewer horizons -> its loss reflects only near horizons. We test the
+        // mechanics indirectly: training still works and losses stay finite.
+        let data = tiny_dataset();
+        let model = tiny_model(&data);
+        let trainer = Trainer::new(TrainConfig {
+            max_epochs: 2,
+            cl_step: 2,
+            curriculum: true,
+            ..TrainConfig::default()
+        });
+        let report = trainer.train(&model, &data);
+        assert!(report.epochs.iter().all(|e| e.train_loss.is_finite()));
+    }
+
+    #[test]
+    fn lr_decay_schedule_runs_and_stays_finite() {
+        let data = tiny_dataset();
+        let model = tiny_model(&data);
+        let trainer = Trainer::new(TrainConfig {
+            max_epochs: 3,
+            patience: 5,
+            lr_decay: 0.5,
+            lr_decay_every: 1,
+            ..TrainConfig::default()
+        });
+        let report = trainer.train(&model, &data);
+        assert_eq!(report.epochs.len(), 3);
+        assert!(report.epochs.iter().all(|e| e.train_loss.is_finite()));
+    }
+
+    #[test]
+    fn evaluate_shapes_and_horizons() {
+        let data = tiny_dataset();
+        let model = tiny_model(&data);
+        let trainer = Trainer::new(TrainConfig::fast());
+        let eval = trainer.evaluate(&model, &data, Split::Test);
+        let s = data.len(Split::Test);
+        assert_eq!(eval.pred.shape(), &[s, 12, 6]);
+        assert_eq!(eval.target.shape(), &[s, 12, 6]);
+        let hs: Vec<usize> = eval.horizons.iter().map(|(h, _)| *h).collect();
+        assert_eq!(hs, vec![3, 6, 12]);
+        assert!(eval.overall.mae >= 0.0);
+    }
+}

@@ -1,0 +1,194 @@
+//! Exploratory diagnostics over traffic series: autocorrelation, average
+//! daily profiles, missing-data rates, and cross-sensor correlation. Used by
+//! the visualization binaries and by tests that validate the simulator
+//! produces data with the statistical signatures the paper's datasets show
+//! (strong daily periodicity, positive short-lag autocorrelation, localized
+//! spatial correlation).
+
+use crate::simulator::TrafficData;
+
+/// Lag-`k` autocorrelation of one sensor's series (zeros excluded as
+/// missing). Returns 0 for degenerate series.
+pub fn autocorrelation(data: &TrafficData, node: usize, lag: usize) -> f32 {
+    let t = data.num_steps();
+    if lag >= t {
+        return 0.0;
+    }
+    let series: Vec<f32> = (0..t).map(|i| data.values.at(&[i, node])).collect();
+    let valid: Vec<f32> = series.iter().copied().filter(|v| *v != 0.0).collect();
+    if valid.len() < 3 {
+        return 0.0;
+    }
+    let mean = valid.iter().sum::<f32>() / valid.len() as f32;
+    let var = valid.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>();
+    if var <= 1e-9 {
+        return 0.0;
+    }
+    let mut cov = 0.0f32;
+    for i in lag..t {
+        let (a, b) = (series[i], series[i - lag]);
+        if a != 0.0 && b != 0.0 {
+            cov += (a - mean) * (b - mean);
+        }
+    }
+    (cov / var).clamp(-1.0, 1.0)
+}
+
+/// Mean value per time-of-day slot for one sensor (weekdays only when
+/// `weekdays_only`). Missing (zero) readings are skipped.
+pub fn daily_profile(data: &TrafficData, node: usize, weekdays_only: bool) -> Vec<f32> {
+    let spd = data.steps_per_day;
+    let mut sums = vec![0f64; spd];
+    let mut counts = vec![0usize; spd];
+    for t in 0..data.num_steps() {
+        if weekdays_only && data.day_of_week(t) >= 5 {
+            continue;
+        }
+        let v = data.values.at(&[t, node]);
+        if v != 0.0 {
+            sums[data.time_of_day(t)] += v as f64;
+            counts[data.time_of_day(t)] += 1;
+        }
+    }
+    sums.iter()
+        .zip(&counts)
+        .map(|(s, c)| if *c > 0 { (*s / *c as f64) as f32 } else { 0.0 })
+        .collect()
+}
+
+/// Fraction of zero readings (sensor failures) across the dataset.
+pub fn missing_rate(data: &TrafficData) -> f32 {
+    let zeros = data.values.data().iter().filter(|v| **v == 0.0).count();
+    zeros as f32 / data.values.numel().max(1) as f32
+}
+
+/// Pearson correlation between two sensors' series (zeros excluded pairwise).
+pub fn cross_correlation(data: &TrafficData, a: usize, b: usize) -> f32 {
+    let t = data.num_steps();
+    let pairs: Vec<(f32, f32)> = (0..t)
+        .map(|i| (data.values.at(&[i, a]), data.values.at(&[i, b])))
+        .filter(|(x, y)| *x != 0.0 && *y != 0.0)
+        .collect();
+    if pairs.len() < 3 {
+        return 0.0;
+    }
+    let n = pairs.len() as f32;
+    let (mx, my) = (
+        pairs.iter().map(|(x, _)| x).sum::<f32>() / n,
+        pairs.iter().map(|(_, y)| y).sum::<f32>() / n,
+    );
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (x, y) in &pairs {
+        cov += (x - mx) * (y - my);
+        vx += (x - mx) * (x - mx);
+        vy += (y - my) * (y - my);
+    }
+    if vx <= 1e-9 || vy <= 1e-9 {
+        0.0
+    } else {
+        (cov / (vx.sqrt() * vy.sqrt())).clamp(-1.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulator::{simulate, SimulatorConfig};
+
+    fn data() -> TrafficData {
+        let mut cfg = SimulatorConfig::tiny();
+        cfg.num_steps = 7 * 288;
+        simulate(&cfg)
+    }
+
+    #[test]
+    fn short_lag_autocorrelation_is_high() {
+        let d = data();
+        let r1 = autocorrelation(&d, 0, 1);
+        assert!(r1 > 0.8, "lag-1 autocorrelation {r1}");
+        // Half-day lag correlates less than 5 minutes.
+        let r_half_day = autocorrelation(&d, 0, 144);
+        assert!(r1 > r_half_day, "{r1} !> {r_half_day}");
+    }
+
+    #[test]
+    fn daily_lag_beats_half_day_lag() {
+        // Strong daily periodicity: lag 288 (24 h) correlates more than
+        // lag 144 (12 h).
+        let d = data();
+        let day = autocorrelation(&d, 1, 288);
+        let half = autocorrelation(&d, 1, 144);
+        assert!(day > half, "day {day} !> half-day {half}");
+    }
+
+    #[test]
+    fn daily_profile_shows_rush_hour_dip() {
+        let d = data();
+        // Speed drops at peaks: min of profile should be around a rush hour
+        // (morning 7-10 or evening 16-19), not at 3am.
+        for node in 0..3 {
+            let profile = daily_profile(&d, node, true);
+            assert_eq!(profile.len(), 288);
+            let (min_slot, _) = profile
+                .iter()
+                .enumerate()
+                .filter(|(_, v)| **v > 0.0)
+                .min_by(|a, b| a.1.total_cmp(b.1))
+                .unwrap();
+            let hour = min_slot / 12;
+            assert!(
+                (6..=20).contains(&hour),
+                "node {node}: slowest hour {hour} is outside plausible rush windows"
+            );
+        }
+    }
+
+    #[test]
+    fn missing_rate_small_but_present() {
+        let mut cfg = SimulatorConfig::tiny();
+        cfg.failure_prob = 0.001;
+        cfg.num_steps = 7 * 288;
+        let d = simulate(&cfg);
+        let rate = missing_rate(&d);
+        assert!(rate > 0.0, "no failures simulated");
+        assert!(rate < 0.2, "failure rate implausibly high: {rate}");
+    }
+
+    #[test]
+    fn neighbours_correlate_more_than_average() {
+        let d = data();
+        // Find a connected pair and compare to the global mean correlation.
+        let n = d.num_nodes();
+        let mut neighbour_corr = Vec::new();
+        let mut all_corr = Vec::new();
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let c = cross_correlation(&d, i, j);
+                all_corr.push(c);
+                if d.network.weight(i, j) > 0.0 {
+                    neighbour_corr.push(c);
+                }
+            }
+        }
+        let mean = |v: &[f32]| v.iter().sum::<f32>() / v.len().max(1) as f32;
+        // All series share the daily cycle, so correlations are high across
+        // the board; adjacency should still add a margin on top.
+        assert!(
+            mean(&neighbour_corr) >= mean(&all_corr) - 0.05,
+            "neighbours {} vs all {}",
+            mean(&neighbour_corr),
+            mean(&all_corr)
+        );
+    }
+
+    #[test]
+    fn degenerate_inputs_return_zero() {
+        let d = data();
+        assert_eq!(autocorrelation(&d, 0, d.num_steps() + 5), 0.0);
+    }
+}

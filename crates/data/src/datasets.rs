@@ -1,0 +1,203 @@
+//! Named dataset profiles mirroring Table 2 of the paper.
+//!
+//! Each profile exists in two sizes: `full()` reproduces the paper's node and
+//! time-step counts exactly (hours of CPU training), while `scaled()` keeps
+//! the *character* of the dataset (signal kind, sampling rate, graph density,
+//! split fractions) at a size that trains on a laptop CPU in minutes. All
+//! experiment binaries default to `scaled()` and accept `--full`.
+
+use crate::simulator::{simulate, SignalKind, SimulatorConfig, TrafficData};
+use serde::{Deserialize, Serialize};
+
+/// The four benchmark datasets of the paper.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DatasetId {
+    /// LA County loop detectors, speed, 207 nodes.
+    MetrLa,
+    /// Bay Area PeMS, speed, 325 nodes.
+    PemsBay,
+    /// PeMS District 4, flow, 307 nodes.
+    Pems04,
+    /// PeMS District 8, flow, 170 nodes.
+    Pems08,
+}
+
+impl DatasetId {
+    /// All four datasets, in the paper's order.
+    pub fn all() -> [DatasetId; 4] {
+        [
+            DatasetId::MetrLa,
+            DatasetId::PemsBay,
+            DatasetId::Pems04,
+            DatasetId::Pems08,
+        ]
+    }
+
+    /// Display name as printed in the paper's tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DatasetId::MetrLa => "METR-LA",
+            DatasetId::PemsBay => "PEMS-BAY",
+            DatasetId::Pems04 => "PEMS04",
+            DatasetId::Pems08 => "PEMS08",
+        }
+    }
+
+    /// (train, validation, test) fractions used in Section 6.2.1: speed
+    /// datasets use 70/10/20, flow datasets 60/20/20.
+    pub fn split_fractions(&self) -> (f32, f32, f32) {
+        match self.kind() {
+            SignalKind::Speed => (0.7, 0.1, 0.2),
+            SignalKind::Flow => (0.6, 0.2, 0.2),
+        }
+    }
+
+    /// Speed or flow.
+    pub fn kind(&self) -> SignalKind {
+        match self {
+            DatasetId::MetrLa | DatasetId::PemsBay => SignalKind::Speed,
+            DatasetId::Pems04 | DatasetId::Pems08 => SignalKind::Flow,
+        }
+    }
+
+    /// Paper-sized profile (Table 2 statistics).
+    pub fn full(&self) -> SimulatorConfig {
+        let (nodes, steps, knn) = match self {
+            DatasetId::MetrLa => (207, 34_272, 9),   // 1722 edges ~ 8.3/node
+            DatasetId::PemsBay => (325, 52_116, 9),  // 2694 edges ~ 8.3/node
+            DatasetId::Pems04 => (307, 16_992, 2),   // 680 edges ~ 2.2/node
+            DatasetId::Pems08 => (170, 17_856, 3),   // 548 edges ~ 3.2/node
+        };
+        self.config(nodes, steps, knn)
+    }
+
+    /// CPU-friendly profile: ~1/8 the nodes, two weeks of data.
+    pub fn scaled(&self) -> SimulatorConfig {
+        let (nodes, knn) = match self {
+            DatasetId::MetrLa => (26, 5),
+            DatasetId::PemsBay => (32, 5),
+            DatasetId::Pems04 => (30, 2),
+            DatasetId::Pems08 => (21, 3),
+        };
+        self.config(nodes, 7 * 288, knn)
+    }
+
+    /// Smoke-test profile used by `--fast` runs and CI.
+    pub fn fast(&self) -> SimulatorConfig {
+        let mut cfg = self.scaled();
+        cfg.num_nodes = 10;
+        cfg.knn = 3;
+        cfg.num_steps = 4 * 288;
+        cfg
+    }
+
+    fn config(&self, nodes: usize, steps: usize, knn: usize) -> SimulatorConfig {
+        let kind = self.kind();
+        SimulatorConfig {
+            num_nodes: nodes,
+            num_steps: steps,
+            steps_per_day: 288,
+            kind,
+            knn,
+            kappa: 0.05,
+            ks: 2,
+            kt: 2,
+            diffusion_strength: 0.35,
+            dynamic_amplitude: 0.5,
+            noise_std: match kind {
+                SignalKind::Speed => 1.2,
+                SignalKind::Flow => 2.0,
+            },
+            incident_rate: 0.0012,
+            day_variability: 0.25,
+            failure_prob: 0.0003,
+            // Distinct seeds so the four datasets are genuinely different.
+            seed: match self {
+                DatasetId::MetrLa => 1001,
+                DatasetId::PemsBay => 1002,
+                DatasetId::Pems04 => 1003,
+                DatasetId::Pems08 => 1004,
+            },
+        }
+    }
+
+    /// Generate the dataset at the chosen profile.
+    pub fn generate(&self, profile: Profile) -> TrafficData {
+        let cfg = match profile {
+            Profile::Fast => self.fast(),
+            Profile::Scaled => self.scaled(),
+            Profile::Full => self.full(),
+        };
+        simulate(&cfg)
+    }
+}
+
+/// Size profile for experiments.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Profile {
+    /// Tiny smoke-test size.
+    Fast,
+    /// Laptop-scale default.
+    Scaled,
+    /// Paper-sized (Table 2).
+    Full,
+}
+
+impl Profile {
+    /// Parse from a CLI flag (`--fast` / `--full`; default scaled).
+    pub fn from_args(args: &[String]) -> Profile {
+        if args.iter().any(|a| a == "--full") {
+            Profile::Full
+        } else if args.iter().any(|a| a == "--fast") {
+            Profile::Fast
+        } else {
+            Profile::Scaled
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_statistics_match_paper() {
+        assert_eq!(DatasetId::MetrLa.full().num_nodes, 207);
+        assert_eq!(DatasetId::MetrLa.full().num_steps, 34_272);
+        assert_eq!(DatasetId::PemsBay.full().num_nodes, 325);
+        assert_eq!(DatasetId::PemsBay.full().num_steps, 52_116);
+        assert_eq!(DatasetId::Pems04.full().num_nodes, 307);
+        assert_eq!(DatasetId::Pems04.full().num_steps, 16_992);
+        assert_eq!(DatasetId::Pems08.full().num_nodes, 170);
+        assert_eq!(DatasetId::Pems08.full().num_steps, 17_856);
+    }
+
+    #[test]
+    fn kinds_and_splits_match_paper() {
+        assert_eq!(DatasetId::MetrLa.kind(), SignalKind::Speed);
+        assert_eq!(DatasetId::Pems04.kind(), SignalKind::Flow);
+        assert_eq!(DatasetId::PemsBay.split_fractions(), (0.7, 0.1, 0.2));
+        assert_eq!(DatasetId::Pems08.split_fractions(), (0.6, 0.2, 0.2));
+    }
+
+    #[test]
+    fn scaled_generation_works() {
+        let d = DatasetId::Pems08.generate(Profile::Fast);
+        assert_eq!(d.num_nodes(), 10);
+        assert_eq!(d.kind, SignalKind::Flow);
+    }
+
+    #[test]
+    fn profiles_parse_from_args() {
+        let to = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert_eq!(Profile::from_args(&to(&["--full"])), Profile::Full);
+        assert_eq!(Profile::from_args(&to(&["--fast"])), Profile::Fast);
+        assert_eq!(Profile::from_args(&to(&[])), Profile::Scaled);
+    }
+
+    #[test]
+    fn dataset_names() {
+        let names: Vec<&str> = DatasetId::all().iter().map(|d| d.name()).collect();
+        assert_eq!(names, vec!["METR-LA", "PEMS-BAY", "PEMS04", "PEMS08"]);
+    }
+}

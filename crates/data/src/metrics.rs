@@ -1,0 +1,153 @@
+//! Evaluation metrics (Eq. 17): MAE, RMSE, MAPE with the zero-masking
+//! convention of the DCRNN/Graph WaveNet evaluation scripts — entries whose
+//! ground truth equals the null value (0 by default, a failed sensor) are
+//! excluded from all three metrics.
+
+use d2stgnn_tensor::Array;
+use serde::{Deserialize, Serialize};
+
+/// The three headline metrics for one horizon.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Metrics {
+    /// Mean absolute error.
+    pub mae: f32,
+    /// Root mean squared error.
+    pub rmse: f32,
+    /// Mean absolute percentage error, as a fraction (0.065 = 6.5%).
+    pub mape: f32,
+}
+
+impl Metrics {
+    /// Compute all three metrics over flat prediction/target pairs,
+    /// masking out entries where the target equals `null_val`.
+    pub fn compute(pred: &[f32], target: &[f32], null_val: f32) -> Metrics {
+        assert_eq!(pred.len(), target.len(), "metric length mismatch");
+        let mut count = 0usize;
+        let (mut abs, mut sq, mut pct) = (0f64, 0f64, 0f64);
+        for (&p, &t) in pred.iter().zip(target) {
+            if (t - null_val).abs() < 1e-5 || !t.is_finite() {
+                continue;
+            }
+            let e = (p - t) as f64;
+            abs += e.abs();
+            sq += e * e;
+            pct += (e / t as f64).abs();
+            count += 1;
+        }
+        if count == 0 {
+            return Metrics {
+                mae: 0.0,
+                rmse: 0.0,
+                mape: 0.0,
+            };
+        }
+        let n = count as f64;
+        Metrics {
+            mae: (abs / n) as f32,
+            rmse: ((sq / n).sqrt()) as f32,
+            mape: (pct / n) as f32,
+        }
+    }
+
+    /// Format as the paper prints rows: `MAE RMSE MAPE%`.
+    pub fn row(&self) -> String {
+        format!("{:6.2} {:7.2} {:6.2}%", self.mae, self.rmse, self.mape * 100.0)
+    }
+}
+
+/// Per-horizon evaluation of stacked predictions.
+///
+/// `pred` and `target` are `[S, T_f, N]` (or `[S, T_f, N, 1]`); returns the
+/// metrics at each requested 1-based horizon (the paper reports 3, 6, 12).
+pub fn evaluate_horizons(
+    pred: &Array,
+    target: &Array,
+    horizons: &[usize],
+    null_val: f32,
+) -> Vec<(usize, Metrics)> {
+    assert_eq!(pred.shape(), target.shape(), "shape mismatch");
+    let shape = pred.shape();
+    assert!(shape.len() >= 3, "expected [S, T_f, N, ...]");
+    let tf = shape[1];
+    horizons
+        .iter()
+        .map(|&h| {
+            assert!(h >= 1 && h <= tf, "horizon {h} out of range 1..={tf}");
+            let p = pred.slice_axis(1, h - 1, h);
+            let t = target.slice_axis(1, h - 1, h);
+            (h, Metrics::compute(p.data(), t.data(), null_val))
+        })
+        .collect()
+}
+
+/// Aggregate metrics across all horizons at once.
+pub fn evaluate_overall(pred: &Array, target: &Array, null_val: f32) -> Metrics {
+    Metrics::compute(pred.data(), target.data(), null_val)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_values() {
+        let m = Metrics::compute(&[1.0, 2.0, 3.0], &[1.0, 4.0, 2.0], f32::NAN);
+        assert!((m.mae - 1.0).abs() < 1e-6);
+        assert!((m.rmse - (5.0f32 / 3.0).sqrt()).abs() < 1e-6);
+        assert!((m.mape - (0.5 + 0.5) / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_targets_masked() {
+        let m = Metrics::compute(&[5.0, 2.0], &[0.0, 4.0], 0.0);
+        // Only the second pair counts.
+        assert!((m.mae - 2.0).abs() < 1e-6);
+        assert!((m.mape - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn all_masked_returns_zero() {
+        let m = Metrics::compute(&[5.0], &[0.0], 0.0);
+        assert_eq!(m.mae, 0.0);
+        assert_eq!(m.rmse, 0.0);
+    }
+
+    #[test]
+    fn rmse_at_least_mae() {
+        let m = Metrics::compute(&[1.0, 5.0, 2.0, 8.0], &[0.5, 2.0, 2.5, 1.0], f32::NAN);
+        assert!(m.rmse >= m.mae);
+    }
+
+    #[test]
+    fn horizon_slicing() {
+        // S=1, Tf=3, N=1: errors 1, 2, 3 at horizons 1, 2, 3.
+        let pred = Array::from_vec(&[1, 3, 1], vec![2.0, 4.0, 6.0]).unwrap();
+        let targ = Array::from_vec(&[1, 3, 1], vec![1.0, 2.0, 3.0]).unwrap();
+        let hs = evaluate_horizons(&pred, &targ, &[1, 3], 0.0);
+        assert_eq!(hs[0].0, 1);
+        assert!((hs[0].1.mae - 1.0).abs() < 1e-6);
+        assert_eq!(hs[1].0, 3);
+        assert!((hs[1].1.mae - 3.0).abs() < 1e-6);
+        let overall = evaluate_overall(&pred, &targ, 0.0);
+        assert!((overall.mae - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn row_formatting() {
+        let m = Metrics {
+            mae: 2.56,
+            rmse: 4.88,
+            mape: 0.0648,
+        };
+        let row = m.row();
+        assert!(row.contains("2.56"));
+        assert!(row.contains("6.48%"));
+    }
+
+    #[test]
+    #[should_panic(expected = "horizon 5 out of range")]
+    fn horizon_out_of_range_panics() {
+        let a = Array::zeros(&[1, 3, 1]);
+        evaluate_horizons(&a, &a, &[5], 0.0);
+    }
+}

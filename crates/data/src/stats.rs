@@ -1,0 +1,200 @@
+//! Statistical significance testing (Section 6.1: "We perform significance
+//! test (t-test with p-value < 0.05) over all the experimental results") —
+//! the asterisks in the paper's Tables 3–5.
+//!
+//! A paired t-test over per-window absolute errors compares two models on
+//! the same test windows. With hundreds of paired samples the Student-t
+//! distribution is indistinguishable from the normal, so the two-tailed
+//! p-value uses the Gaussian CDF via an `erf` approximation (Abramowitz &
+//! Stegun 7.1.26, |error| < 1.5e-7) — documented rather than hidden.
+
+use d2stgnn_tensor::Array;
+
+/// Result of a paired t-test.
+#[derive(Clone, Copy, Debug)]
+pub struct TTestResult {
+    /// The t statistic (positive when the FIRST input has larger errors).
+    pub t: f64,
+    /// Two-tailed p-value (normal approximation; accurate for n >= 30).
+    pub p_value: f64,
+    /// Number of pairs.
+    pub n: usize,
+    /// Mean difference (first minus second).
+    pub mean_diff: f64,
+}
+
+impl TTestResult {
+    /// `true` if the SECOND sample is significantly smaller at `alpha`
+    /// (i.e. the second model's errors are significantly lower).
+    pub fn second_significantly_lower(&self, alpha: f64) -> bool {
+        self.mean_diff > 0.0 && self.p_value < alpha
+    }
+}
+
+/// Paired t-test over two equal-length samples.
+///
+/// # Panics
+/// If the lengths differ or fewer than 2 pairs are provided.
+pub fn paired_t_test(first: &[f64], second: &[f64]) -> TTestResult {
+    assert_eq!(first.len(), second.len(), "paired test needs equal lengths");
+    let n = first.len();
+    assert!(n >= 2, "need at least two pairs");
+    let diffs: Vec<f64> = first.iter().zip(second).map(|(a, b)| a - b).collect();
+    let mean = diffs.iter().sum::<f64>() / n as f64;
+    let var = diffs.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>() / (n - 1) as f64;
+    let se = (var / n as f64).sqrt();
+    let t = if se > 0.0 { mean / se } else { 0.0 };
+    let p_value = if se > 0.0 {
+        2.0 * (1.0 - normal_cdf(t.abs()))
+    } else if mean == 0.0 {
+        1.0
+    } else {
+        0.0
+    };
+    TTestResult {
+        t,
+        p_value,
+        n,
+        mean_diff: mean,
+    }
+}
+
+/// Per-window mean absolute errors for stacked predictions `[S, T_f, N]`
+/// against targets, masking the null value — the paired samples the paper's
+/// t-test runs on.
+pub fn per_window_mae(pred: &Array, target: &Array, null_val: f32) -> Vec<f64> {
+    assert_eq!(pred.shape(), target.shape(), "shape mismatch");
+    let shape = pred.shape();
+    let s = shape[0];
+    let per = pred.numel() / s.max(1);
+    (0..s)
+        .map(|w| {
+            let p = &pred.data()[w * per..(w + 1) * per];
+            let t = &target.data()[w * per..(w + 1) * per];
+            let mut acc = 0.0f64;
+            let mut count = 0usize;
+            for (a, b) in p.iter().zip(t) {
+                if (b - null_val).abs() > 1e-5 && b.is_finite() {
+                    acc += (a - b).abs() as f64;
+                    count += 1;
+                }
+            }
+            if count > 0 {
+                acc / count as f64
+            } else {
+                0.0
+            }
+        })
+        .collect()
+}
+
+/// Compare two models' stacked predictions on the same targets; `true`
+/// means the SECOND model is significantly better (p < alpha).
+pub fn significantly_better(
+    pred_baseline: &Array,
+    pred_challenger: &Array,
+    target: &Array,
+    null_val: f32,
+    alpha: f64,
+) -> (TTestResult, bool) {
+    let a = per_window_mae(pred_baseline, target, null_val);
+    let b = per_window_mae(pred_challenger, target, null_val);
+    let result = paired_t_test(&a, &b);
+    let better = result.second_significantly_lower(alpha);
+    (result, better)
+}
+
+/// Standard normal CDF via the Abramowitz & Stegun erf approximation.
+fn normal_cdf(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+fn erf(x: f64) -> f64 {
+    // A&S 7.1.26, max absolute error 1.5e-7.
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let poly = t
+        * (0.254_829_592
+            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+    sign * (1.0 - poly * (-x * x).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erf_known_values() {
+        assert!((erf(0.0)).abs() < 1e-9);
+        assert!((erf(1.0) - 0.842_700_79).abs() < 1e-6);
+        assert!((erf(-1.0) + 0.842_700_79).abs() < 1e-6);
+        assert!((erf(3.0) - 0.999_977_9).abs() < 1e-6);
+    }
+
+    #[test]
+    fn normal_cdf_symmetry() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-9);
+        assert!((normal_cdf(1.96) - 0.975).abs() < 1e-3);
+        assert!((normal_cdf(-1.96) - 0.025).abs() < 1e-3);
+    }
+
+    #[test]
+    fn identical_samples_are_not_significant() {
+        let a = vec![1.0, 2.0, 3.0, 4.0];
+        let r = paired_t_test(&a, &a);
+        assert_eq!(r.mean_diff, 0.0);
+        assert!(r.p_value > 0.9);
+        assert!(!r.second_significantly_lower(0.05));
+    }
+
+    #[test]
+    fn clear_improvement_is_significant() {
+        // Second model consistently 0.5 better with small noise.
+        let n = 200;
+        let first: Vec<f64> = (0..n).map(|i| 3.0 + 0.01 * ((i * 7) % 13) as f64).collect();
+        let second: Vec<f64> = first.iter().map(|v| v - 0.5).collect();
+        let r = paired_t_test(&first, &second);
+        assert!(r.mean_diff > 0.49);
+        assert!(r.p_value < 1e-6);
+        assert!(r.second_significantly_lower(0.05));
+    }
+
+    #[test]
+    fn noise_only_difference_is_insignificant() {
+        // Alternating ±0.1: mean difference zero.
+        let first: Vec<f64> = (0..100).map(|i| 2.0 + if i % 2 == 0 { 0.1 } else { -0.1 }).collect();
+        let second = vec![2.0f64; 100];
+        let r = paired_t_test(&first, &second);
+        assert!(r.p_value > 0.5, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn per_window_mae_masks_nulls() {
+        let pred = Array::from_vec(&[2, 1, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let targ = Array::from_vec(&[2, 1, 2], vec![0.0, 1.0, 1.0, 1.0]).unwrap();
+        let maes = per_window_mae(&pred, &targ, 0.0);
+        // Window 0: only the second element counts -> |2-1| = 1.
+        assert!((maes[0] - 1.0).abs() < 1e-9);
+        // Window 1: (|3-1| + |4-1|)/2 = 2.5.
+        assert!((maes[1] - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn significantly_better_end_to_end() {
+        // Challenger strictly closer to target in every window.
+        let target = Array::from_vec(&[50, 1, 1], (0..50).map(|i| 10.0 + i as f32).collect()).unwrap();
+        let baseline = target.add_scalar(2.0);
+        let challenger = target.add_scalar(0.5);
+        let (r, better) = significantly_better(&baseline, &challenger, &target, 0.0, 0.05);
+        assert!(better, "t = {}, p = {}", r.t, r.p_value);
+        let (_, worse) = significantly_better(&challenger, &baseline, &target, 0.0, 0.05);
+        assert!(!worse);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal lengths")]
+    fn mismatched_lengths_panic() {
+        paired_t_test(&[1.0], &[1.0, 2.0]);
+    }
+}

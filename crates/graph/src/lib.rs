@@ -1,0 +1,16 @@
+//! # d2stgnn-graph
+//!
+//! Traffic-network substrate for the D²STGNN reproduction: weighted sensor
+//! graphs built with the thresholded-Gaussian-kernel procedure of DCRNN, and
+//! the transition-matrix algebra (forward/backward transitions, diagonal-
+//! masked powers, spatial-temporal localized matrices of Eq. 4) that the
+//! diffusion model consumes.
+
+#![warn(missing_docs)]
+
+mod network;
+pub mod sparse;
+pub mod transition;
+
+pub use network::TrafficNetwork;
+pub use sparse::CsrMatrix;

@@ -1,0 +1,301 @@
+//! Compressed-sparse-row matrices for paper-scale graphs.
+//!
+//! The scaled experiment profiles use dense `N x N` transitions (N ≤ 40),
+//! but the `--full` profiles reach N = 325 where the road graphs are > 97 %
+//! sparse. `CsrMatrix` stores only the non-zeros and provides the two
+//! kernels the diffusion machinery needs: sparse × dense multiplication and
+//! diagonal masking, plus conversions for interoperating with the dense
+//! pipeline and tests.
+
+use d2stgnn_tensor::Array;
+
+/// A compressed-sparse-row matrix of `f32` values.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    /// Row start offsets into `col_idx`/`values`; length `rows + 1`.
+    row_ptr: Vec<usize>,
+    /// Column index per non-zero.
+    col_idx: Vec<usize>,
+    /// Non-zero values.
+    values: Vec<f32>,
+}
+
+impl CsrMatrix {
+    /// Build from a dense matrix, keeping entries with `|v| > threshold`.
+    pub fn from_dense(dense: &Array, threshold: f32) -> Self {
+        let shape = dense.shape();
+        assert_eq!(shape.len(), 2, "CSR conversion expects a matrix");
+        let (rows, cols) = (shape[0], shape[1]);
+        let mut row_ptr = Vec::with_capacity(rows + 1);
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        row_ptr.push(0);
+        for r in 0..rows {
+            for c in 0..cols {
+                let v = dense.data()[r * cols + c];
+                if v.abs() > threshold {
+                    col_idx.push(c);
+                    values.push(v);
+                }
+            }
+            row_ptr.push(col_idx.len());
+        }
+        Self {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// Build directly from triplets `(row, col, value)`; duplicate positions
+    /// are summed. Entries with row/col out of bounds panic.
+    pub fn from_triplets(rows: usize, cols: usize, triplets: &[(usize, usize, f32)]) -> Self {
+        let mut per_row: Vec<Vec<(usize, f32)>> = vec![Vec::new(); rows];
+        for &(r, c, v) in triplets {
+            assert!(r < rows && c < cols, "triplet ({r},{c}) out of bounds");
+            per_row[r].push((c, v));
+        }
+        let mut row_ptr = Vec::with_capacity(rows + 1);
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        row_ptr.push(0);
+        for row in &mut per_row {
+            row.sort_by_key(|(c, _)| *c);
+            let mut last: Option<usize> = None;
+            for &(c, v) in row.iter() {
+                if last == Some(c) {
+                    *values.last_mut().expect("duplicate implies prior value") += v;
+                } else {
+                    col_idx.push(c);
+                    values.push(v);
+                    last = Some(c);
+                }
+            }
+            row_ptr.push(col_idx.len());
+        }
+        Self {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// Matrix dimensions.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Number of stored non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Fraction of entries that are zero.
+    pub fn sparsity(&self) -> f32 {
+        1.0 - self.nnz() as f32 / (self.rows * self.cols).max(1) as f32
+    }
+
+    /// Value at `(r, c)` (zero when not stored).
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        let lo = self.row_ptr[r];
+        let hi = self.row_ptr[r + 1];
+        match self.col_idx[lo..hi].binary_search(&c) {
+            Ok(pos) => self.values[lo + pos],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Sparse × dense: `self [r,k] * dense [k,m] -> [r,m]`. Also accepts a
+    /// batched right operand `[B, k, m]`, returning `[B, r, m]`.
+    pub fn matmul(&self, dense: &Array) -> Array {
+        match dense.rank() {
+            2 => {
+                let shape = dense.shape();
+                assert_eq!(shape[0], self.cols, "spmm: inner dims");
+                let m = shape[1];
+                let mut out = Array::zeros(&[self.rows, m]);
+                self.spmm_into(dense.data(), out.data_mut(), m);
+                out
+            }
+            3 => {
+                let shape = dense.shape();
+                assert_eq!(shape[1], self.cols, "spmm: inner dims");
+                let (b, m) = (shape[0], shape[2]);
+                let mut out = Array::zeros(&[b, self.rows, m]);
+                for bi in 0..b {
+                    let src = &dense.data()[bi * self.cols * m..(bi + 1) * self.cols * m];
+                    let dst =
+                        &mut out.data_mut()[bi * self.rows * m..(bi + 1) * self.rows * m];
+                    self.spmm_into(src, dst, m);
+                }
+                out
+            }
+            r => panic!("spmm: unsupported right-operand rank {r}"),
+        }
+    }
+
+    fn spmm_into(&self, dense: &[f32], out: &mut [f32], m: usize) {
+        for r in 0..self.rows {
+            let out_row = &mut out[r * m..(r + 1) * m];
+            for i in self.row_ptr[r]..self.row_ptr[r + 1] {
+                let c = self.col_idx[i];
+                let w = self.values[i];
+                let dense_row = &dense[c * m..(c + 1) * m];
+                for (o, &d) in out_row.iter_mut().zip(dense_row) {
+                    *o += w * d;
+                }
+            }
+        }
+    }
+
+    /// Zero the diagonal (Eq. 4's mask) without changing the structure.
+    pub fn mask_diagonal(&self) -> CsrMatrix {
+        let mut out = self.clone();
+        for r in 0..out.rows {
+            for i in out.row_ptr[r]..out.row_ptr[r + 1] {
+                if out.col_idx[i] == r {
+                    out.values[i] = 0.0;
+                }
+            }
+        }
+        out
+    }
+
+    /// Row-normalize in place semantics (returns a new matrix); zero rows stay zero.
+    pub fn row_normalize(&self) -> CsrMatrix {
+        let mut out = self.clone();
+        for r in 0..out.rows {
+            let (lo, hi) = (out.row_ptr[r], out.row_ptr[r + 1]);
+            let sum: f32 = out.values[lo..hi].iter().sum();
+            if sum > 0.0 {
+                for v in &mut out.values[lo..hi] {
+                    *v /= sum;
+                }
+            }
+        }
+        out
+    }
+
+    /// Convert back to a dense array.
+    pub fn to_dense(&self) -> Array {
+        let mut out = Array::zeros(&[self.rows, self.cols]);
+        for r in 0..self.rows {
+            for i in self.row_ptr[r]..self.row_ptr[r + 1] {
+                out.data_mut()[r * self.cols + self.col_idx[i]] = self.values[i];
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample() -> Array {
+        Array::from_vec(
+            &[3, 3],
+            vec![0.0, 2.0, 0.0, 1.0, 0.5, 0.0, 0.0, 0.0, 3.0],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn dense_roundtrip() {
+        let d = sample();
+        let s = CsrMatrix::from_dense(&d, 0.0);
+        assert_eq!(s.nnz(), 4);
+        assert_eq!(s.shape(), (3, 3));
+        assert_eq!(s.to_dense().data(), d.data());
+        assert_eq!(s.get(0, 1), 2.0);
+        assert_eq!(s.get(0, 0), 0.0);
+        assert!((s.sparsity() - 5.0 / 9.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn threshold_prunes_small_entries() {
+        let s = CsrMatrix::from_dense(&sample(), 1.0);
+        assert_eq!(s.nnz(), 2); // only 2.0 and 3.0 survive
+    }
+
+    #[test]
+    fn triplets_sum_duplicates_and_sort() {
+        let s = CsrMatrix::from_triplets(2, 2, &[(0, 1, 1.0), (0, 1, 2.0), (1, 0, 4.0)]);
+        assert_eq!(s.get(0, 1), 3.0);
+        assert_eq!(s.get(1, 0), 4.0);
+        assert_eq!(s.nnz(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn triplets_reject_out_of_range() {
+        CsrMatrix::from_triplets(2, 2, &[(2, 0, 1.0)]);
+    }
+
+    #[test]
+    fn spmm_matches_dense_matmul() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let dense_a = {
+            let mut a = Array::randn(&[20, 20], &mut rng);
+            // Sparsify ~70%.
+            for v in a.data_mut() {
+                if v.abs() < 1.0 {
+                    *v = 0.0;
+                }
+            }
+            a
+        };
+        let b = Array::randn(&[20, 7], &mut rng);
+        let sparse = CsrMatrix::from_dense(&dense_a, 0.0);
+        let expect = dense_a.matmul(&b);
+        let got = sparse.matmul(&b);
+        for (x, y) in got.data().iter().zip(expect.data()) {
+            assert!((x - y).abs() < 1e-4);
+        }
+        // Batched right operand.
+        let b3 = Array::randn(&[4, 20, 5], &mut rng);
+        let got3 = sparse.matmul(&b3);
+        let expect3 = dense_a.matmul(&b3);
+        assert_eq!(got3.shape(), &[4, 20, 5]);
+        for (x, y) in got3.data().iter().zip(expect3.data()) {
+            assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn mask_and_normalize() {
+        let d = Array::from_vec(&[2, 2], vec![1.0, 3.0, 0.0, 2.0]).unwrap();
+        let s = CsrMatrix::from_dense(&d, 0.0);
+        let masked = s.mask_diagonal();
+        assert_eq!(masked.get(0, 0), 0.0);
+        assert_eq!(masked.get(1, 1), 0.0);
+        assert_eq!(masked.get(0, 1), 3.0);
+        let norm = s.row_normalize();
+        assert!((norm.get(0, 0) - 0.25).abs() < 1e-6);
+        assert!((norm.get(0, 1) - 0.75).abs() < 1e-6);
+        assert!((norm.get(1, 1) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn full_profile_adjacency_is_very_sparse() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let net = crate::TrafficNetwork::random_geometric(207, 9, 0.05, &mut rng);
+        let s = CsrMatrix::from_dense(&net.adjacency(), 0.0);
+        assert!(s.sparsity() > 0.9, "sparsity {}", s.sparsity());
+        // spmm against the dense path on the real structure.
+        let x = Array::randn(&[207, 4], &mut rng);
+        let got = s.matmul(&x);
+        let expect = net.adjacency().matmul(&x);
+        for (a, b) in got.data().iter().zip(expect.data()) {
+            assert!((a - b).abs() < 1e-3);
+        }
+    }
+}

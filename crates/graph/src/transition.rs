@@ -1,0 +1,175 @@
+//! Transition matrices for the diffusion process (Section 5.1).
+//!
+//! From a weighted adjacency `A` the paper derives a forward transition
+//! `P_f = A / rowsum(A)` and a backward transition `P_b = Aᵀ / rowsum(Aᵀ)`,
+//! raises them to the powers `k = 1..k_s`, masks the diagonal (self-influence
+//! belongs to the *inherent* model), and tiles them over `k_t` time lags into
+//! the spatial-temporal localized transition matrix of Eq. 4.
+
+use d2stgnn_tensor::Array;
+
+/// Row-normalize a non-negative matrix: `P = M / rowsum(M)`.
+/// All-zero rows stay zero (an isolated sensor diffuses nothing).
+pub fn row_normalize(m: &Array) -> Array {
+    let shape = m.shape();
+    assert_eq!(shape.len(), 2, "row_normalize expects a matrix");
+    let (rows, cols) = (shape[0], shape[1]);
+    let mut out = m.clone();
+    for r in 0..rows {
+        let row = &mut out.data_mut()[r * cols..(r + 1) * cols];
+        let sum: f32 = row.iter().sum();
+        if sum > 0.0 {
+            for v in row {
+                *v /= sum;
+            }
+        }
+    }
+    out
+}
+
+/// Forward transition matrix `P_f = A / rowsum(A)`.
+pub fn forward_transition(adj: &Array) -> Array {
+    row_normalize(adj)
+}
+
+/// Backward transition matrix `P_b = Aᵀ / rowsum(Aᵀ)`.
+pub fn backward_transition(adj: &Array) -> Array {
+    row_normalize(&adj.transpose())
+}
+
+/// `M ⊙ (1 - I)`: zero the diagonal so the diffusion model never looks at a
+/// node's own history (that is the inherent model's job).
+pub fn mask_diagonal(m: &Array) -> Array {
+    let n = m.shape()[0];
+    assert_eq!(m.shape(), &[n, n], "mask_diagonal expects square");
+    let mut out = m.clone();
+    for i in 0..n {
+        out.data_mut()[i * n + i] = 0.0;
+    }
+    out
+}
+
+/// Dense `P^k` by repeated multiplication (`k >= 1`).
+pub fn matrix_power(p: &Array, k: usize) -> Array {
+    assert!(k >= 1, "matrix_power requires k >= 1");
+    let mut acc = p.clone();
+    for _ in 1..k {
+        acc = acc.matmul(p);
+    }
+    acc
+}
+
+/// The diagonal-masked power series `[masked(P^1), ..., masked(P^ks)]` used
+/// by the spatial-temporal localized convolution (Eq. 8 sums over these).
+pub fn masked_powers(p: &Array, ks: usize) -> Vec<Array> {
+    (1..=ks).map(|k| mask_diagonal(&matrix_power(p, k))).collect()
+}
+
+/// The explicit spatial-temporal localized transition matrix of Eq. 4 for a
+/// single order `k`: `k_t` horizontal copies of `masked(P^k)`, shape
+/// `[N, k_t * N]`. The model itself uses the factored form (sum over lags),
+/// which is algebraically identical; this construction exists as the
+/// reference for tests and documentation.
+pub fn localized_transition(p: &Array, k: usize, kt: usize) -> Array {
+    assert!(kt >= 1, "temporal kernel must be >= 1");
+    let masked = mask_diagonal(&matrix_power(p, k));
+    let copies: Vec<&Array> = (0..kt).map(|_| &masked).collect();
+    Array::concat(&copies, 1).expect("copies share shape")
+}
+
+/// `true` if each row sums to 1 or 0 within `tol`.
+pub fn is_row_stochastic(p: &Array, tol: f32) -> bool {
+    let shape = p.shape();
+    let (rows, cols) = (shape[0], shape[1]);
+    (0..rows).all(|r| {
+        let s: f32 = p.data()[r * cols..(r + 1) * cols].iter().sum();
+        (s - 1.0).abs() < tol || s.abs() < tol
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain_adj() -> Array {
+        // 0 -> 1 -> 2, weighted.
+        Array::from_vec(&[3, 3], vec![0., 2., 0., 0., 0., 4., 0., 0., 0.]).unwrap()
+    }
+
+    #[test]
+    fn forward_rows_sum_to_one_or_zero() {
+        let p = forward_transition(&chain_adj());
+        assert!(is_row_stochastic(&p, 1e-6));
+        assert_eq!(p.at(&[0, 1]), 1.0);
+        assert_eq!(p.at(&[1, 2]), 1.0);
+        // Sink row stays zero rather than NaN.
+        assert_eq!(p.data()[6..9], [0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn backward_follows_transposed_edges() {
+        let p = backward_transition(&chain_adj());
+        assert!(is_row_stochastic(&p, 1e-6));
+        assert_eq!(p.at(&[1, 0]), 1.0);
+        assert_eq!(p.at(&[2, 1]), 1.0);
+    }
+
+    #[test]
+    fn power_composes_two_hops() {
+        let p = forward_transition(&chain_adj());
+        let p2 = matrix_power(&p, 2);
+        assert_eq!(p2.at(&[0, 2]), 1.0); // 0 -> 1 -> 2
+        assert_eq!(p2.at(&[0, 1]), 0.0);
+    }
+
+    #[test]
+    fn diagonal_masked() {
+        let mut m = Array::eye(3);
+        m.data_mut()[1] = 0.5; // off-diagonal survives
+        let masked = mask_diagonal(&m);
+        assert_eq!(masked.at(&[0, 0]), 0.0);
+        assert_eq!(masked.at(&[1, 1]), 0.0);
+        assert_eq!(masked.at(&[0, 1]), 0.5);
+    }
+
+    #[test]
+    fn masked_powers_lengths_and_zero_diag() {
+        let p = forward_transition(&chain_adj());
+        let powers = masked_powers(&p, 3);
+        assert_eq!(powers.len(), 3);
+        for pw in &powers {
+            for i in 0..3 {
+                assert_eq!(pw.at(&[i, i]), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn localized_matches_eq4_shape_and_tiling() {
+        let p = forward_transition(&chain_adj());
+        let lc = localized_transition(&p, 1, 3);
+        assert_eq!(lc.shape(), &[3, 9]);
+        let masked = mask_diagonal(&p);
+        for kp in 0..3 {
+            for i in 0..3 {
+                for j in 0..3 {
+                    assert_eq!(lc.at(&[i, kp * 3 + j]), masked.at(&[i, j]));
+                }
+            }
+        }
+        // Eq. 4 masking: P^lc[i, i + k'N] == 0 for all k'.
+        for kp in 0..3 {
+            for i in 0..3 {
+                assert_eq!(lc.at(&[i, kp * 3 + i]), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn stochastic_check_tolerates_sinks() {
+        let p = Array::from_vec(&[2, 2], vec![0.5, 0.5, 0.0, 0.0]).unwrap();
+        assert!(is_row_stochastic(&p, 1e-6));
+        let bad = Array::from_vec(&[1, 2], vec![0.7, 0.7]).unwrap();
+        assert!(!is_row_stochastic(&bad, 1e-6));
+    }
+}

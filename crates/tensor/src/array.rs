@@ -1,0 +1,969 @@
+//! Dense row-major `f32` N-dimensional arrays: the eager kernel layer under
+//! the autograd [`crate::Tensor`].
+//!
+//! Arrays are always contiguous. Broadcasting follows NumPy semantics.
+//! Hot-path binary ops have a fast path for identical shapes; `matmul` uses a
+//! cache-friendly ikj loop and splits rows across threads (crossbeam scoped
+//! threads) for large problems.
+
+use crate::error::TensorError;
+use crate::shape::{
+    broadcast_shapes, broadcast_strides, check_axis, numel, ravel, strides_for,
+};
+use rand::distributions::Distribution;
+use rand::Rng;
+use serde::de::Error as _;
+use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+/// Minimum `m * n * k` product before `matmul` spreads rows across threads.
+const PAR_MATMUL_THRESHOLD: usize = 64 * 64 * 64;
+
+/// A dense, contiguous, row-major array of `f32` values.
+#[derive(Clone, PartialEq)]
+pub struct Array {
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+#[derive(Serialize, Deserialize)]
+struct ArrayRepr {
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl Serialize for Array {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        ArrayRepr {
+            shape: self.shape.clone(),
+            data: self.data.clone(),
+        }
+        .serialize(serializer)
+    }
+}
+
+impl<'de> Deserialize<'de> for Array {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let repr = ArrayRepr::deserialize(deserializer)?;
+        Array::from_vec(&repr.shape, repr.data).map_err(D::Error::custom)
+    }
+}
+
+impl std::fmt::Debug for Array {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let preview: Vec<f32> = self.data.iter().take(8).copied().collect();
+        write!(
+            f,
+            "Array{{shape: {:?}, data: {:?}{}}}",
+            self.shape,
+            preview,
+            if self.data.len() > 8 { ", ..." } else { "" }
+        )
+    }
+}
+
+impl Array {
+    // ------------------------------------------------------------------
+    // Constructors
+    // ------------------------------------------------------------------
+
+    /// Create an array from a flat buffer; fails if lengths disagree.
+    pub fn from_vec(shape: &[usize], data: Vec<f32>) -> Result<Self, TensorError> {
+        if numel(shape) != data.len() {
+            return Err(TensorError::ShapeDataMismatch {
+                shape: shape.to_vec(),
+                len: data.len(),
+            });
+        }
+        Ok(Self {
+            shape: shape.to_vec(),
+            data,
+        })
+    }
+
+    /// All-zeros array.
+    pub fn zeros(shape: &[usize]) -> Self {
+        Self {
+            shape: shape.to_vec(),
+            data: vec![0.0; numel(shape)],
+        }
+    }
+
+    /// All-ones array.
+    pub fn ones(shape: &[usize]) -> Self {
+        Self::full(shape, 1.0)
+    }
+
+    /// Array filled with `value`.
+    pub fn full(shape: &[usize], value: f32) -> Self {
+        Self {
+            shape: shape.to_vec(),
+            data: vec![value; numel(shape)],
+        }
+    }
+
+    /// Rank-0 scalar.
+    pub fn scalar(value: f32) -> Self {
+        Self {
+            shape: vec![],
+            data: vec![value],
+        }
+    }
+
+    /// Identity matrix of size `n`.
+    pub fn eye(n: usize) -> Self {
+        let mut a = Self::zeros(&[n, n]);
+        for i in 0..n {
+            a.data[i * n + i] = 1.0;
+        }
+        a
+    }
+
+    /// `[0, 1, ..., n-1]` as a 1-D array.
+    pub fn arange(n: usize) -> Self {
+        Self {
+            shape: vec![n],
+            data: (0..n).map(|i| i as f32).collect(),
+        }
+    }
+
+    /// Standard-normal samples (Box–Muller via `rand`).
+    pub fn randn<R: Rng>(shape: &[usize], rng: &mut R) -> Self {
+        let dist = StandardNormal;
+        let data = (0..numel(shape)).map(|_| dist.sample(rng)).collect();
+        Self {
+            shape: shape.to_vec(),
+            data,
+        }
+    }
+
+    /// Uniform samples in `[lo, hi)`.
+    pub fn rand_uniform<R: Rng>(shape: &[usize], lo: f32, hi: f32, rng: &mut R) -> Self {
+        let data = (0..numel(shape)).map(|_| rng.gen_range(lo..hi)).collect();
+        Self {
+            shape: shape.to_vec(),
+            data,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// Dimensions of the array.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// Total number of elements.
+    pub fn numel(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Flat read-only view of the contents, row-major.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Flat mutable view of the contents, row-major.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consume the array, returning its flat buffer.
+    pub fn into_data(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element at multi-dimensional coordinates. Panics if out of range.
+    pub fn at(&self, coords: &[usize]) -> f32 {
+        debug_assert_eq!(coords.len(), self.rank());
+        let strides = strides_for(&self.shape);
+        self.data[ravel(coords, &strides)]
+    }
+
+    /// Set element at multi-dimensional coordinates.
+    pub fn set(&mut self, coords: &[usize], value: f32) {
+        let strides = strides_for(&self.shape);
+        let idx = ravel(coords, &strides);
+        self.data[idx] = value;
+    }
+
+    /// Value of a single-element array.
+    pub fn item(&self) -> f32 {
+        assert_eq!(self.numel(), 1, "item() requires exactly one element");
+        self.data[0]
+    }
+
+    /// `true` if any element is NaN or infinite.
+    pub fn has_non_finite(&self) -> bool {
+        self.data.iter().any(|v| !v.is_finite())
+    }
+
+    // ------------------------------------------------------------------
+    // Shape manipulation
+    // ------------------------------------------------------------------
+
+    /// Reinterpret with a new shape of identical element count.
+    pub fn reshape(&self, shape: &[usize]) -> Result<Self, TensorError> {
+        if numel(shape) != self.numel() {
+            return Err(TensorError::ShapeDataMismatch {
+                shape: shape.to_vec(),
+                len: self.numel(),
+            });
+        }
+        Ok(Self {
+            shape: shape.to_vec(),
+            data: self.data.clone(),
+        })
+    }
+
+    /// Generalized transpose: `perm` is a permutation of axis indices.
+    pub fn permute(&self, perm: &[usize]) -> Self {
+        assert_eq!(perm.len(), self.rank(), "permute: wrong length");
+        let mut seen = vec![false; perm.len()];
+        for &p in perm {
+            assert!(p < perm.len() && !seen[p], "permute: invalid permutation");
+            seen[p] = true;
+        }
+        let new_shape: Vec<usize> = perm.iter().map(|&p| self.shape[p]).collect();
+        let old_strides = strides_for(&self.shape);
+        let permuted_strides: Vec<usize> = perm.iter().map(|&p| old_strides[p]).collect();
+        let mut out = Self::zeros(&new_shape);
+        // Iterate output row-major; gather from source via permuted strides.
+        let n = out.numel();
+        let mut coords = vec![0usize; new_shape.len()];
+        for i in 0..n {
+            let src = ravel(&coords, &permuted_strides);
+            out.data[i] = self.data[src];
+            // increment coords
+            for ax in (0..new_shape.len()).rev() {
+                coords[ax] += 1;
+                if coords[ax] < new_shape[ax] {
+                    break;
+                }
+                coords[ax] = 0;
+            }
+        }
+        out
+    }
+
+    /// Swap the last two axes (matrix transpose for rank >= 2).
+    pub fn transpose(&self) -> Self {
+        assert!(self.rank() >= 2, "transpose requires rank >= 2");
+        let mut perm: Vec<usize> = (0..self.rank()).collect();
+        let r = self.rank();
+        perm.swap(r - 1, r - 2);
+        self.permute(&perm)
+    }
+
+    /// Materialize a broadcast of `self` to `target` shape.
+    pub fn broadcast_to(&self, target: &[usize]) -> Result<Self, TensorError> {
+        let merged = broadcast_shapes(&self.shape, target)?;
+        if merged != target {
+            return Err(TensorError::ShapeMismatch {
+                op: "broadcast_to",
+                lhs: self.shape.clone(),
+                rhs: target.to_vec(),
+            });
+        }
+        if self.shape == target {
+            return Ok(self.clone());
+        }
+        let bstrides = broadcast_strides(&self.shape, target);
+        let mut out = Self::zeros(target);
+        let mut coords = vec![0usize; target.len()];
+        for i in 0..out.numel() {
+            out.data[i] = self.data[ravel(&coords, &bstrides)];
+            for ax in (0..target.len()).rev() {
+                coords[ax] += 1;
+                if coords[ax] < target[ax] {
+                    break;
+                }
+                coords[ax] = 0;
+            }
+        }
+        Ok(out)
+    }
+
+    // ------------------------------------------------------------------
+    // Elementwise
+    // ------------------------------------------------------------------
+
+    /// Apply `f` to every element, producing a new array.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Self {
+        Self {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Apply `f` in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// Broadcasting binary operation.
+    pub fn zip(&self, other: &Self, f: impl Fn(f32, f32) -> f32) -> Self {
+        if self.shape == other.shape {
+            let data = self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect();
+            return Self {
+                shape: self.shape.clone(),
+                data,
+            };
+        }
+        let out_shape = broadcast_shapes(&self.shape, &other.shape)
+            .unwrap_or_else(|e| panic!("elementwise op: {e}"));
+        let sa = broadcast_strides(&self.shape, &out_shape);
+        let sb = broadcast_strides(&other.shape, &out_shape);
+        let mut out = Self::zeros(&out_shape);
+        let mut coords = vec![0usize; out_shape.len()];
+        for i in 0..out.numel() {
+            out.data[i] = f(self.data[ravel(&coords, &sa)], other.data[ravel(&coords, &sb)]);
+            for ax in (0..out_shape.len()).rev() {
+                coords[ax] += 1;
+                if coords[ax] < out_shape[ax] {
+                    break;
+                }
+                coords[ax] = 0;
+            }
+        }
+        out
+    }
+
+    /// Elementwise (broadcasting) addition.
+    pub fn add(&self, other: &Self) -> Self {
+        self.zip(other, |a, b| a + b)
+    }
+
+    /// Elementwise (broadcasting) subtraction.
+    pub fn sub(&self, other: &Self) -> Self {
+        self.zip(other, |a, b| a - b)
+    }
+
+    /// Elementwise (broadcasting) multiplication.
+    pub fn mul(&self, other: &Self) -> Self {
+        self.zip(other, |a, b| a * b)
+    }
+
+    /// Elementwise (broadcasting) division.
+    pub fn div(&self, other: &Self) -> Self {
+        self.zip(other, |a, b| a / b)
+    }
+
+    /// Accumulate `other * scale` into `self`; shapes must match exactly.
+    pub fn add_scaled_assign(&mut self, other: &Self, scale: f32) {
+        assert_eq!(self.shape, other.shape, "add_scaled_assign: shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += b * scale;
+        }
+    }
+
+    /// Multiply every element by `s`.
+    pub fn scale(&self, s: f32) -> Self {
+        self.map(|v| v * s)
+    }
+
+    /// Add `s` to every element.
+    pub fn add_scalar(&self, s: f32) -> Self {
+        self.map(|v| v + s)
+    }
+
+    // ------------------------------------------------------------------
+    // Reductions
+    // ------------------------------------------------------------------
+
+    /// Sum of all elements.
+    pub fn sum_all(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements (0 for empty arrays).
+    pub fn mean_all(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum_all() / self.data.len() as f32
+        }
+    }
+
+    /// Sum along `axis`. If `keepdim`, the axis remains with size 1.
+    pub fn sum_axis(&self, axis: usize, keepdim: bool) -> Self {
+        check_axis(axis, self.rank()).unwrap_or_else(|e| panic!("sum_axis: {e}"));
+        let mut out_shape = self.shape.clone();
+        out_shape[axis] = 1;
+        let outer: usize = self.shape[..axis].iter().product();
+        let mid = self.shape[axis];
+        let inner: usize = self.shape[axis + 1..].iter().product();
+        let mut out = Self::zeros(&out_shape);
+        for o in 0..outer {
+            for m in 0..mid {
+                let base = (o * mid + m) * inner;
+                let obase = o * inner;
+                for i in 0..inner {
+                    out.data[obase + i] += self.data[base + i];
+                }
+            }
+        }
+        if !keepdim {
+            out.shape.remove(axis);
+        }
+        out
+    }
+
+    /// Mean along `axis`.
+    pub fn mean_axis(&self, axis: usize, keepdim: bool) -> Self {
+        let n = self.shape[axis].max(1) as f32;
+        self.sum_axis(axis, keepdim).scale(1.0 / n)
+    }
+
+    /// Maximum along `axis` (keepdim).
+    pub fn max_axis_keepdim(&self, axis: usize) -> Self {
+        check_axis(axis, self.rank()).unwrap_or_else(|e| panic!("max_axis: {e}"));
+        let mut out_shape = self.shape.clone();
+        out_shape[axis] = 1;
+        let outer: usize = self.shape[..axis].iter().product();
+        let mid = self.shape[axis];
+        let inner: usize = self.shape[axis + 1..].iter().product();
+        let mut out = Self::full(&out_shape, f32::NEG_INFINITY);
+        for o in 0..outer {
+            for m in 0..mid {
+                let base = (o * mid + m) * inner;
+                let obase = o * inner;
+                for i in 0..inner {
+                    let v = self.data[base + i];
+                    if v > out.data[obase + i] {
+                        out.data[obase + i] = v;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Numerically stable softmax along `axis`.
+    pub fn softmax(&self, axis: usize) -> Self {
+        let max = self.max_axis_keepdim(axis);
+        let shifted = self.zip(&max, |a, m| (a - m).exp());
+        let denom = shifted.sum_axis(axis, true);
+        shifted.zip(&denom, |e, d| if d > 0.0 { e / d } else { 0.0 })
+    }
+
+    /// Reduce `self` (already shaped like `output`) back to `input_shape` by
+    /// summing over broadcast axes. Used to back-propagate through broadcasts.
+    pub fn reduce_to_shape(&self, input_shape: &[usize]) -> Self {
+        if self.shape == input_shape {
+            return self.clone();
+        }
+        let (leading, repeated) = crate::shape::reduction_axes(input_shape, &self.shape);
+        let mut cur = self.clone();
+        // Sum away leading axes first (axis 0 repeatedly).
+        for _ in 0..leading {
+            cur = cur.sum_axis(0, false);
+        }
+        // Then sum repeated axes with keepdim to preserve positions.
+        for &ax in &repeated {
+            cur = cur.sum_axis(ax - leading, true);
+        }
+        debug_assert_eq!(cur.shape(), input_shape);
+        cur
+    }
+
+    // ------------------------------------------------------------------
+    // Linear algebra
+    // ------------------------------------------------------------------
+
+    /// Matrix multiplication.
+    ///
+    /// Supports `[m,k] x [k,n]`, batched `[b,m,k] x [b,k,n]`, and mixed
+    /// `[b,m,k] x [k,n]` / `[m,k] x [b,k,n]` (the rank-2 side is broadcast
+    /// across the batch).
+    pub fn matmul(&self, other: &Self) -> Self {
+        match (self.rank(), other.rank()) {
+            (2, 2) => self.matmul2(other),
+            (3, 2) => {
+                let b = self.shape[0];
+                let (m, k) = (self.shape[1], self.shape[2]);
+                assert_eq!(k, other.shape[0], "matmul: inner dims {k} vs {}", other.shape[0]);
+                let n = other.shape[1];
+                let mut out = Self::zeros(&[b, m, n]);
+                for bi in 0..b {
+                    matmul_kernel(
+                        &self.data[bi * m * k..(bi + 1) * m * k],
+                        &other.data,
+                        &mut out.data[bi * m * n..(bi + 1) * m * n],
+                        m,
+                        k,
+                        n,
+                    );
+                }
+                out
+            }
+            (2, 3) => {
+                let b = other.shape[0];
+                let (m, k) = (self.shape[0], self.shape[1]);
+                assert_eq!(k, other.shape[1], "matmul: inner dims {k} vs {}", other.shape[1]);
+                let n = other.shape[2];
+                let mut out = Self::zeros(&[b, m, n]);
+                for bi in 0..b {
+                    matmul_kernel(
+                        &self.data,
+                        &other.data[bi * k * n..(bi + 1) * k * n],
+                        &mut out.data[bi * m * n..(bi + 1) * m * n],
+                        m,
+                        k,
+                        n,
+                    );
+                }
+                out
+            }
+            (3, 3) => {
+                assert_eq!(self.shape[0], other.shape[0], "matmul: batch mismatch");
+                let b = self.shape[0];
+                let (m, k) = (self.shape[1], self.shape[2]);
+                assert_eq!(k, other.shape[1], "matmul: inner dims {k} vs {}", other.shape[1]);
+                let n = other.shape[2];
+                let mut out = Self::zeros(&[b, m, n]);
+                for bi in 0..b {
+                    matmul_kernel(
+                        &self.data[bi * m * k..(bi + 1) * m * k],
+                        &other.data[bi * k * n..(bi + 1) * k * n],
+                        &mut out.data[bi * m * n..(bi + 1) * m * n],
+                        m,
+                        k,
+                        n,
+                    );
+                }
+                out
+            }
+            (a, b) => panic!("matmul: unsupported ranks {a} and {b}"),
+        }
+    }
+
+    fn matmul2(&self, other: &Self) -> Self {
+        let (m, k) = (self.shape[0], self.shape[1]);
+        assert_eq!(
+            k, other.shape[0],
+            "matmul: inner dims {k} vs {}",
+            other.shape[0]
+        );
+        let n = other.shape[1];
+        let mut out = Self::zeros(&[m, n]);
+        if m * n * k >= PAR_MATMUL_THRESHOLD && m >= 8 {
+            let threads = std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+                .min(8)
+                .min(m);
+            let rows_per = m.div_ceil(threads);
+            let a = &self.data;
+            let b = &other.data;
+            crossbeam::thread::scope(|s| {
+                for (ti, chunk) in out.data.chunks_mut(rows_per * n).enumerate() {
+                    let r0 = ti * rows_per;
+                    let rows = chunk.len() / n;
+                    s.spawn(move |_| {
+                        matmul_kernel(&a[r0 * k..(r0 + rows) * k], b, chunk, rows, k, n);
+                    });
+                }
+            })
+            .expect("matmul worker panicked");
+        } else {
+            matmul_kernel(&self.data, &other.data, &mut out.data, m, k, n);
+        }
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Combination / slicing
+    // ------------------------------------------------------------------
+
+    /// Concatenate arrays along `axis`. All other dimensions must agree.
+    pub fn concat(arrays: &[&Self], axis: usize) -> Result<Self, TensorError> {
+        if arrays.is_empty() {
+            return Err(TensorError::Empty("concat"));
+        }
+        let rank = arrays[0].rank();
+        check_axis(axis, rank)?;
+        for a in arrays {
+            if a.rank() != rank {
+                return Err(TensorError::ShapeMismatch {
+                    op: "concat",
+                    lhs: arrays[0].shape.clone(),
+                    rhs: a.shape.clone(),
+                });
+            }
+            for d in 0..rank {
+                if d != axis && a.shape[d] != arrays[0].shape[d] {
+                    return Err(TensorError::ShapeMismatch {
+                        op: "concat",
+                        lhs: arrays[0].shape.clone(),
+                        rhs: a.shape.clone(),
+                    });
+                }
+            }
+        }
+        let mut out_shape = arrays[0].shape.clone();
+        out_shape[axis] = arrays.iter().map(|a| a.shape[axis]).sum();
+        let outer: usize = out_shape[..axis].iter().product();
+        let inner: usize = out_shape[axis + 1..].iter().product();
+        let mut data = Vec::with_capacity(numel(&out_shape));
+        for o in 0..outer {
+            for a in arrays {
+                let mid = a.shape[axis];
+                let start = o * mid * inner;
+                data.extend_from_slice(&a.data[start..start + mid * inner]);
+            }
+        }
+        Ok(Self {
+            shape: out_shape,
+            data,
+        })
+    }
+
+    /// Stack arrays of identical shape along a new leading axis at `axis`.
+    pub fn stack(arrays: &[&Self], axis: usize) -> Result<Self, TensorError> {
+        if arrays.is_empty() {
+            return Err(TensorError::Empty("stack"));
+        }
+        let expanded: Vec<Self> = arrays
+            .iter()
+            .map(|a| {
+                let mut s = a.shape.clone();
+                s.insert(axis, 1);
+                a.reshape(&s).expect("stack reshape cannot fail")
+            })
+            .collect();
+        let refs: Vec<&Self> = expanded.iter().collect();
+        Self::concat(&refs, axis)
+    }
+
+    /// Slice `[start, end)` along `axis`.
+    pub fn slice_axis(&self, axis: usize, start: usize, end: usize) -> Self {
+        check_axis(axis, self.rank()).unwrap_or_else(|e| panic!("slice_axis: {e}"));
+        assert!(
+            start <= end && end <= self.shape[axis],
+            "slice_axis: range {start}..{end} out of bounds for dim {}",
+            self.shape[axis]
+        );
+        let outer: usize = self.shape[..axis].iter().product();
+        let mid = self.shape[axis];
+        let inner: usize = self.shape[axis + 1..].iter().product();
+        let mut out_shape = self.shape.clone();
+        out_shape[axis] = end - start;
+        let mut data = Vec::with_capacity(numel(&out_shape));
+        for o in 0..outer {
+            let base = (o * mid + start) * inner;
+            data.extend_from_slice(&self.data[base..base + (end - start) * inner]);
+        }
+        Self {
+            shape: out_shape,
+            data,
+        }
+    }
+
+    /// Write `src` into the `[start, start+len)` range of `axis` (len from src).
+    pub fn assign_slice_axis(&mut self, axis: usize, start: usize, src: &Self) {
+        assert_eq!(self.rank(), src.rank(), "assign_slice: rank mismatch");
+        for d in 0..self.rank() {
+            if d != axis {
+                assert_eq!(self.shape[d], src.shape[d], "assign_slice: dim {d} mismatch");
+            }
+        }
+        let len = src.shape[axis];
+        assert!(start + len <= self.shape[axis], "assign_slice: out of range");
+        let outer: usize = self.shape[..axis].iter().product();
+        let mid = self.shape[axis];
+        let inner: usize = self.shape[axis + 1..].iter().product();
+        for o in 0..outer {
+            let dst_base = (o * mid + start) * inner;
+            let src_base = o * len * inner;
+            self.data[dst_base..dst_base + len * inner]
+                .copy_from_slice(&src.data[src_base..src_base + len * inner]);
+        }
+    }
+
+    /// Gather rows along `axis` by index.
+    pub fn index_select(&self, axis: usize, indices: &[usize]) -> Self {
+        check_axis(axis, self.rank()).unwrap_or_else(|e| panic!("index_select: {e}"));
+        let outer: usize = self.shape[..axis].iter().product();
+        let mid = self.shape[axis];
+        let inner: usize = self.shape[axis + 1..].iter().product();
+        let mut out_shape = self.shape.clone();
+        out_shape[axis] = indices.len();
+        let mut data = Vec::with_capacity(numel(&out_shape));
+        for o in 0..outer {
+            for &idx in indices {
+                assert!(idx < mid, "index_select: index {idx} out of range {mid}");
+                let base = (o * mid + idx) * inner;
+                data.extend_from_slice(&self.data[base..base + inner]);
+            }
+        }
+        Self {
+            shape: out_shape,
+            data,
+        }
+    }
+
+    /// Scatter-add: the inverse of `index_select` for gradients. For each
+    /// position `j` in `indices`, adds the `j`-th slice of `src` into the
+    /// `indices[j]`-th slice of `self` along `axis`.
+    pub fn index_add(&mut self, axis: usize, indices: &[usize], src: &Self) {
+        let outer: usize = self.shape[..axis].iter().product();
+        let mid = self.shape[axis];
+        let inner: usize = self.shape[axis + 1..].iter().product();
+        assert_eq!(src.shape[axis], indices.len(), "index_add: count mismatch");
+        for o in 0..outer {
+            for (j, &idx) in indices.iter().enumerate() {
+                assert!(idx < mid, "index_add: index out of range");
+                let dst = (o * mid + idx) * inner;
+                let s = (o * indices.len() + j) * inner;
+                for i in 0..inner {
+                    self.data[dst + i] += src.data[s + i];
+                }
+            }
+        }
+    }
+}
+
+/// `out[m,n] += a[m,k] * b[k,n]` with an ikj loop ordering (out assumed zeroed).
+fn matmul_kernel(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let out_row = &mut out[i * n..(i + 1) * n];
+        for (p, &av) in a_row.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let b_row = &b[p * n..(p + 1) * n];
+            for (ov, &bv) in out_row.iter_mut().zip(b_row) {
+                *ov += av * bv;
+            }
+        }
+    }
+}
+
+/// Standard normal distribution via Box–Muller (avoids rand_distr dependency).
+struct StandardNormal;
+
+impl Distribution<f32> for StandardNormal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f32 {
+        loop {
+            let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+            let u2: f32 = rng.gen_range(0.0..1.0);
+            let r = (-2.0 * u1.ln()).sqrt();
+            let v = r * (2.0 * std::f32::consts::PI * u2).cos();
+            if v.is_finite() {
+                return v;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn arr(shape: &[usize], data: &[f32]) -> Array {
+        Array::from_vec(shape, data.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn constructors() {
+        assert_eq!(Array::zeros(&[2, 3]).numel(), 6);
+        assert_eq!(Array::ones(&[2]).data(), &[1.0, 1.0]);
+        assert_eq!(Array::full(&[2], 3.5).data(), &[3.5, 3.5]);
+        assert_eq!(Array::scalar(2.0).item(), 2.0);
+        assert_eq!(Array::eye(2).data(), &[1.0, 0.0, 0.0, 1.0]);
+        assert_eq!(Array::arange(3).data(), &[0.0, 1.0, 2.0]);
+        assert!(Array::from_vec(&[2, 2], vec![1.0]).is_err());
+    }
+
+    #[test]
+    fn randn_statistics() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let a = Array::randn(&[10_000], &mut rng);
+        let mean = a.mean_all();
+        let var = a.map(|v| v * v).mean_all() - mean * mean;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn elementwise_broadcast() {
+        let a = arr(&[2, 3], &[1., 2., 3., 4., 5., 6.]);
+        let b = arr(&[3], &[10., 20., 30.]);
+        assert_eq!(a.add(&b).data(), &[11., 22., 33., 14., 25., 36.]);
+        let c = arr(&[2, 1], &[1., 2.]);
+        assert_eq!(a.mul(&c).data(), &[1., 2., 3., 8., 10., 12.]);
+        assert_eq!(a.sub(&a).sum_all(), 0.0);
+        assert_eq!(a.div(&a).sum_all(), 6.0);
+        assert_eq!(a.scale(2.0).data()[5], 12.0);
+        assert_eq!(a.add_scalar(1.0).data()[0], 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "elementwise op")]
+    fn elementwise_incompatible_panics() {
+        let a = arr(&[2, 3], &[0.; 6]);
+        let b = arr(&[2, 4], &[0.; 8]);
+        let _ = a.add(&b);
+    }
+
+    #[test]
+    fn reductions() {
+        let a = arr(&[2, 3], &[1., 2., 3., 4., 5., 6.]);
+        assert_eq!(a.sum_all(), 21.0);
+        assert_eq!(a.mean_all(), 3.5);
+        assert_eq!(a.sum_axis(0, false).data(), &[5., 7., 9.]);
+        assert_eq!(a.sum_axis(1, false).data(), &[6., 15.]);
+        assert_eq!(a.sum_axis(1, true).shape(), &[2, 1]);
+        assert_eq!(a.mean_axis(1, false).data(), &[2., 5.]);
+        assert_eq!(a.max_axis_keepdim(1).data(), &[3., 6.]);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let a = arr(&[2, 3], &[1., 2., 3., 1000., 1000., 1000.]);
+        let s = a.softmax(1);
+        let sums = s.sum_axis(1, false);
+        assert!((sums.data()[0] - 1.0).abs() < 1e-6);
+        assert!((sums.data()[1] - 1.0).abs() < 1e-6);
+        assert!(!s.has_non_finite(), "softmax must be stable for big inputs");
+    }
+
+    #[test]
+    fn matmul_2d_known_values() {
+        let a = arr(&[2, 3], &[1., 2., 3., 4., 5., 6.]);
+        let b = arr(&[3, 2], &[7., 8., 9., 10., 11., 12.]);
+        let c = a.matmul(&b);
+        assert_eq!(c.shape(), &[2, 2]);
+        assert_eq!(c.data(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn matmul_batched_and_mixed() {
+        let a = arr(&[2, 2, 2], &[1., 0., 0., 1., 2., 0., 0., 2.]);
+        let b = arr(&[2, 2], &[1., 2., 3., 4.]);
+        let c = a.matmul(&b); // [2,2,2] x [2,2]
+        assert_eq!(c.shape(), &[2, 2, 2]);
+        assert_eq!(&c.data()[..4], &[1., 2., 3., 4.]);
+        assert_eq!(&c.data()[4..], &[2., 4., 6., 8.]);
+
+        let d = b.matmul(&a); // [2,2] x [2,2,2]
+        assert_eq!(d.shape(), &[2, 2, 2]);
+        assert_eq!(&d.data()[..4], &[1., 2., 3., 4.]);
+
+        let e = a.matmul(&a); // [2,2,2] x [2,2,2]
+        assert_eq!(&e.data()[4..], &[4., 0., 0., 4.]);
+    }
+
+    #[test]
+    fn matmul_parallel_matches_serial() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = Array::randn(&[80, 70], &mut rng);
+        let b = Array::randn(&[70, 90], &mut rng);
+        let big = a.matmul(&b);
+        // Serial reference.
+        let mut reference = Array::zeros(&[80, 90]);
+        matmul_kernel(a.data(), b.data(), reference.data_mut(), 80, 70, 90);
+        for (x, y) in big.data().iter().zip(reference.data()) {
+            assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn transpose_and_permute() {
+        let a = arr(&[2, 3], &[1., 2., 3., 4., 5., 6.]);
+        let t = a.transpose();
+        assert_eq!(t.shape(), &[3, 2]);
+        assert_eq!(t.data(), &[1., 4., 2., 5., 3., 6.]);
+        let b = arr(&[2, 3, 4], &(0..24).map(|i| i as f32).collect::<Vec<_>>());
+        let p = b.permute(&[2, 0, 1]);
+        assert_eq!(p.shape(), &[4, 2, 3]);
+        assert_eq!(p.at(&[1, 0, 2]), b.at(&[0, 2, 1]));
+    }
+
+    #[test]
+    fn concat_stack_slice() {
+        let a = arr(&[2, 2], &[1., 2., 3., 4.]);
+        let b = arr(&[2, 2], &[5., 6., 7., 8.]);
+        let c0 = Array::concat(&[&a, &b], 0).unwrap();
+        assert_eq!(c0.shape(), &[4, 2]);
+        assert_eq!(c0.data(), &[1., 2., 3., 4., 5., 6., 7., 8.]);
+        let c1 = Array::concat(&[&a, &b], 1).unwrap();
+        assert_eq!(c1.shape(), &[2, 4]);
+        assert_eq!(c1.data(), &[1., 2., 5., 6., 3., 4., 7., 8.]);
+        let s = Array::stack(&[&a, &b], 0).unwrap();
+        assert_eq!(s.shape(), &[2, 2, 2]);
+        assert_eq!(c1.slice_axis(1, 2, 4).data(), b.data());
+        assert_eq!(c0.slice_axis(0, 2, 4).data(), b.data());
+        assert!(Array::concat(&[], 0).is_err());
+        let bad = arr(&[3, 2], &[0.; 6]);
+        assert!(Array::concat(&[&a, &bad], 1).is_err());
+    }
+
+    #[test]
+    fn assign_slice_roundtrip() {
+        let mut z = Array::zeros(&[2, 4]);
+        let a = arr(&[2, 2], &[1., 2., 3., 4.]);
+        z.assign_slice_axis(1, 1, &a);
+        assert_eq!(z.data(), &[0., 1., 2., 0., 0., 3., 4., 0.]);
+        assert_eq!(z.slice_axis(1, 1, 3).data(), a.data());
+    }
+
+    #[test]
+    fn index_select_and_add() {
+        let a = arr(&[3, 2], &[1., 2., 3., 4., 5., 6.]);
+        let g = a.index_select(0, &[2, 0, 2]);
+        assert_eq!(g.shape(), &[3, 2]);
+        assert_eq!(g.data(), &[5., 6., 1., 2., 5., 6.]);
+        let mut acc = Array::zeros(&[3, 2]);
+        acc.index_add(0, &[2, 0, 2], &g);
+        assert_eq!(acc.data(), &[1., 2., 0., 0., 10., 12.]);
+    }
+
+    #[test]
+    fn broadcast_to_and_reduce_back() {
+        let a = arr(&[2, 1], &[1., 2.]);
+        let b = a.broadcast_to(&[2, 3]).unwrap();
+        assert_eq!(b.data(), &[1., 1., 1., 2., 2., 2.]);
+        let r = b.reduce_to_shape(&[2, 1]);
+        assert_eq!(r.data(), &[3., 6.]);
+        let c = arr(&[3], &[1., 1., 1.]);
+        let d = c.broadcast_to(&[2, 3]).unwrap();
+        assert_eq!(d.reduce_to_shape(&[3]).data(), &[2., 2., 2.]);
+        assert!(a.broadcast_to(&[3, 2]).is_err());
+    }
+
+    #[test]
+    fn reshape_checks_count() {
+        let a = arr(&[2, 3], &[0.; 6]);
+        assert!(a.reshape(&[3, 2]).is_ok());
+        assert!(a.reshape(&[4, 2]).is_err());
+    }
+
+    #[test]
+    fn non_finite_detection() {
+        let mut a = Array::zeros(&[2]);
+        assert!(!a.has_non_finite());
+        a.data_mut()[1] = f32::NAN;
+        assert!(a.has_non_finite());
+    }
+}

@@ -1,0 +1,90 @@
+//! Error types for tensor operations.
+
+use std::fmt;
+
+/// Errors produced by tensor construction and shape-sensitive operations.
+///
+/// Most hot-path operators (`add`, `matmul`, ...) panic on shape mismatch to
+/// keep the training loop free of `Result` plumbing, mirroring the behaviour
+/// of mainstream tensor libraries; the fallible constructors and reshaping
+/// entry points return [`TensorError`] so callers handling external input can
+/// recover gracefully.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// Element count does not match the product of the requested shape.
+    ShapeDataMismatch {
+        /// Requested dimensions.
+        shape: Vec<usize>,
+        /// Number of elements provided.
+        len: usize,
+    },
+    /// Two shapes are incompatible for the attempted operation.
+    ShapeMismatch {
+        /// Name of the operation.
+        op: &'static str,
+        /// Left-hand shape.
+        lhs: Vec<usize>,
+        /// Right-hand shape.
+        rhs: Vec<usize>,
+    },
+    /// An axis index was out of range for the given rank.
+    AxisOutOfRange {
+        /// Offending axis.
+        axis: usize,
+        /// Rank of the tensor.
+        rank: usize,
+    },
+    /// Empty input where at least one element is required.
+    Empty(&'static str),
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeDataMismatch { shape, len } => write!(
+                f,
+                "shape {:?} implies {} elements but {} were provided",
+                shape,
+                shape.iter().product::<usize>(),
+                len
+            ),
+            TensorError::ShapeMismatch { op, lhs, rhs } => {
+                write!(f, "{op}: incompatible shapes {lhs:?} and {rhs:?}")
+            }
+            TensorError::AxisOutOfRange { axis, rank } => {
+                write!(f, "axis {axis} out of range for rank {rank}")
+            }
+            TensorError::Empty(what) => write!(f, "empty input: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = TensorError::ShapeDataMismatch {
+            shape: vec![2, 3],
+            len: 5,
+        };
+        assert!(e.to_string().contains("6 elements"));
+        assert!(e.to_string().contains('5'));
+
+        let e = TensorError::ShapeMismatch {
+            op: "matmul",
+            lhs: vec![2, 3],
+            rhs: vec![4, 5],
+        };
+        assert!(e.to_string().contains("matmul"));
+
+        let e = TensorError::AxisOutOfRange { axis: 3, rank: 2 };
+        assert!(e.to_string().contains("axis 3"));
+
+        let e = TensorError::Empty("concat");
+        assert!(e.to_string().contains("concat"));
+    }
+}

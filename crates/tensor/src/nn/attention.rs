@@ -1,0 +1,198 @@
+//! Multi-head self-attention over the time axis (Vaswani et al. 2017), the
+//! long-term temporal model of the paper's inherent block (Eqs. 11–12).
+
+use super::init::xavier_uniform;
+use super::Module;
+use crate::array::Array;
+use crate::tensor::Tensor;
+use rand::Rng;
+
+/// Sinusoidal positional encoding `[t, d]` (Eq. 12; not trainable).
+pub fn positional_encoding(t: usize, d: usize) -> Array {
+    let mut pe = Array::zeros(&[t, d]);
+    for pos in 0..t {
+        for i in 0..d {
+            let exponent = 2.0 * (i / 2) as f32 / d as f32;
+            let angle = pos as f32 / 10_000f32.powf(exponent);
+            let v = if i % 2 == 0 { angle.sin() } else { angle.cos() };
+            pe.set(&[pos, i], v);
+        }
+    }
+    pe
+}
+
+/// Multi-head scaled dot-product self-attention applied along axis 1 of a
+/// `[B, T, d]` input (each batch row attends over its own T positions).
+///
+/// `d` must be divisible by the number of heads; the per-head width is
+/// `d / heads`, and an output projection `W^O` mixes the heads (Eq. 11).
+pub struct MultiHeadSelfAttention {
+    wq: Tensor,
+    wk: Tensor,
+    wv: Tensor,
+    wo: Tensor,
+    heads: usize,
+    d: usize,
+}
+
+impl MultiHeadSelfAttention {
+    /// New attention layer of width `d` with `heads` heads.
+    pub fn new<R: Rng>(d: usize, heads: usize, rng: &mut R) -> Self {
+        assert!(heads > 0 && d % heads == 0, "d ({d}) must divide into heads ({heads})");
+        Self {
+            wq: Tensor::parameter(xavier_uniform(&[d, d], rng)),
+            wk: Tensor::parameter(xavier_uniform(&[d, d], rng)),
+            wv: Tensor::parameter(xavier_uniform(&[d, d], rng)),
+            wo: Tensor::parameter(xavier_uniform(&[d, d], rng)),
+            heads,
+            d,
+        }
+    }
+
+    /// Model width.
+    pub fn width(&self) -> usize {
+        self.d
+    }
+
+    /// Number of heads.
+    pub fn num_heads(&self) -> usize {
+        self.heads
+    }
+
+    /// Forward pass: `[B, T, d] -> [B, T, d]`.
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        let shape = x.shape();
+        assert_eq!(shape.len(), 3, "attention expects [B, T, d]");
+        assert_eq!(shape[2], self.d, "attention width mismatch");
+        let (b, t) = (shape[0], shape[1]);
+        let dh = self.d / self.heads;
+
+        let split = |w: &Tensor| -> Tensor {
+            // [B,T,d] -> [B,T,H,dh] -> [B,H,T,dh] -> [B*H, T, dh]
+            x.reshape(&[b * t, self.d])
+                .matmul(w)
+                .reshape(&[b, t, self.heads, dh])
+                .permute(&[0, 2, 1, 3])
+                .reshape(&[b * self.heads, t, dh])
+        };
+        let q = split(&self.wq);
+        let k = split(&self.wk);
+        let v = split(&self.wv);
+
+        // Scores [B*H, T, T], scaled by sqrt(d_head).
+        let scores = q.matmul(&k.transpose()).scale(1.0 / (dh as f32).sqrt());
+        let attn = scores.softmax(2);
+        let ctx = attn.matmul(&v); // [B*H, T, dh]
+
+        // Merge heads and project.
+        ctx.reshape(&[b, self.heads, t, dh])
+            .permute(&[0, 2, 1, 3])
+            .reshape(&[b * t, self.d])
+            .matmul(&self.wo)
+            .reshape(&[b, t, self.d])
+    }
+}
+
+impl Module for MultiHeadSelfAttention {
+    fn parameters(&self) -> Vec<Tensor> {
+        vec![
+            self.wq.clone(),
+            self.wk.clone(),
+            self.wv.clone(),
+            self.wo.clone(),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn positional_encoding_values() {
+        let pe = positional_encoding(4, 6);
+        assert_eq!(pe.shape(), &[4, 6]);
+        // Position 0: sin(0)=0 on even dims, cos(0)=1 on odd dims.
+        assert_eq!(pe.at(&[0, 0]), 0.0);
+        assert_eq!(pe.at(&[0, 1]), 1.0);
+        assert_eq!(pe.at(&[0, 2]), 0.0);
+        // Position 1 dim 0: sin(1).
+        assert!((pe.at(&[1, 0]) - 1f32.sin()).abs() < 1e-6);
+        // All values bounded by 1.
+        assert!(pe.data().iter().all(|v| v.abs() <= 1.0));
+        // Distinct positions get distinct encodings.
+        assert_ne!(
+            &pe.data()[0..6],
+            &pe.data()[6..12],
+            "positions must be distinguishable"
+        );
+    }
+
+    #[test]
+    fn attention_shape_preserved() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let attn = MultiHeadSelfAttention::new(8, 2, &mut rng);
+        let x = Tensor::constant(Array::randn(&[3, 5, 8], &mut rng));
+        assert_eq!(attn.forward(&x).shape(), vec![3, 5, 8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn attention_rejects_bad_head_count() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = MultiHeadSelfAttention::new(7, 2, &mut rng);
+    }
+
+    #[test]
+    fn attention_is_permutation_sensitive_only_through_content() {
+        // Without positional encoding, permuting the time axis permutes the
+        // output the same way (attention is equivariant).
+        let mut rng = StdRng::seed_from_u64(1);
+        let attn = MultiHeadSelfAttention::new(4, 1, &mut rng);
+        let x = Array::randn(&[1, 3, 4], &mut rng);
+        let xr = {
+            // reverse time
+            let a = x.slice_axis(1, 0, 1);
+            let b = x.slice_axis(1, 1, 2);
+            let c = x.slice_axis(1, 2, 3);
+            Array::concat(&[&c, &b, &a], 1).unwrap()
+        };
+        let y = attn.forward(&Tensor::constant(x)).value();
+        let yr = attn.forward(&Tensor::constant(xr)).value();
+        for i in 0..4 {
+            assert!((y.at(&[0, 0, i]) - yr.at(&[0, 2, i])).abs() < 1e-5);
+            assert!((y.at(&[0, 2, i]) - yr.at(&[0, 0, i])).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn gradients_flow() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let attn = MultiHeadSelfAttention::new(4, 2, &mut rng);
+        let x = Tensor::parameter(Array::randn(&[2, 3, 4], &mut rng));
+        attn.forward(&x).square().sum_all().backward();
+        assert!(x.grad().is_some());
+        for p in attn.parameters() {
+            assert!(p.grad().is_some());
+        }
+    }
+
+    #[test]
+    fn heads_see_the_whole_sequence() {
+        // Changing the value at one time step must be able to change outputs
+        // at every other time step (infinite receptive field).
+        let mut rng = StdRng::seed_from_u64(3);
+        let attn = MultiHeadSelfAttention::new(4, 2, &mut rng);
+        let base = Array::randn(&[1, 6, 4], &mut rng);
+        let mut bumped = base.clone();
+        bumped.data_mut()[0] += 10.0; // time step 0
+        let y0 = attn.forward(&Tensor::constant(base)).value();
+        let y1 = attn.forward(&Tensor::constant(bumped)).value();
+        let diff_at_last: f32 = (0..4)
+            .map(|i| (y0.at(&[0, 5, i]) - y1.at(&[0, 5, i])).abs())
+            .sum();
+        assert!(diff_at_last > 1e-6, "no long-range influence");
+    }
+}

@@ -1,0 +1,138 @@
+//! Dilated causal 1-D convolution over the time axis, the temporal operator
+//! of the Graph WaveNet / STGCN baselines (gated TCN).
+
+use super::init::xavier_uniform;
+use super::Module;
+use crate::array::Array;
+use crate::tensor::Tensor;
+use rand::Rng;
+
+/// Causal 1-D convolution with kernel size 2 and a configurable dilation,
+/// applied along axis 1 of a `[B, T, c_in]` input.
+///
+/// `y_t = x_t W_1 + x_{t-r} W_0 + b`, valid for `t >= r`; the output length
+/// is `T - dilation` (no padding: the caller controls the shrinking
+/// receptive field exactly as WaveNet-style stacks do).
+pub struct CausalConv1d {
+    w0: Tensor, // lagged tap [c_in, c_out]
+    w1: Tensor, // current tap [c_in, c_out]
+    b: Tensor,
+    dilation: usize,
+    c_in: usize,
+    c_out: usize,
+}
+
+impl CausalConv1d {
+    /// New convolution with the given channel widths and dilation (>= 1).
+    pub fn new<R: Rng>(c_in: usize, c_out: usize, dilation: usize, rng: &mut R) -> Self {
+        assert!(dilation >= 1, "dilation must be >= 1");
+        Self {
+            w0: Tensor::parameter(xavier_uniform(&[c_in, c_out], rng)),
+            w1: Tensor::parameter(xavier_uniform(&[c_in, c_out], rng)),
+            b: Tensor::parameter(Array::zeros(&[c_out])),
+            dilation,
+            c_in,
+            c_out,
+        }
+    }
+
+    /// Output length for an input of length `t` (0 if the window is too short).
+    pub fn out_len(&self, t: usize) -> usize {
+        t.saturating_sub(self.dilation)
+    }
+
+    /// Dilation factor.
+    pub fn dilation(&self) -> usize {
+        self.dilation
+    }
+
+    /// Forward: `[B, T, c_in] -> [B, T - dilation, c_out]`.
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        let shape = x.shape();
+        assert_eq!(shape.len(), 3, "CausalConv1d expects [B, T, c_in]");
+        assert_eq!(shape[2], self.c_in, "channel mismatch");
+        let (b, t) = (shape[0], shape[1]);
+        assert!(
+            t > self.dilation,
+            "sequence length {t} too short for dilation {}",
+            self.dilation
+        );
+        let t_out = t - self.dilation;
+        let lagged = x.slice_axis(1, 0, t_out); // x_{t-r}
+        let current = x.slice_axis(1, self.dilation, t); // x_t
+        let flat = |v: &Tensor| v.reshape(&[b * t_out, self.c_in]);
+        flat(&current)
+            .matmul(&self.w1)
+            .add(&flat(&lagged).matmul(&self.w0))
+            .add(&self.b)
+            .reshape(&[b, t_out, self.c_out])
+    }
+}
+
+impl Module for CausalConv1d {
+    fn parameters(&self) -> Vec<Tensor> {
+        vec![self.w0.clone(), self.w1.clone(), self.b.clone()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn output_length_shrinks_by_dilation() {
+        let mut rng = StdRng::seed_from_u64(0);
+        for dil in 1..4 {
+            let conv = CausalConv1d::new(3, 5, dil, &mut rng);
+            let x = Tensor::constant(Array::randn(&[2, 10, 3], &mut rng));
+            assert_eq!(conv.forward(&x).shape(), vec![2, 10 - dil, 5]);
+            assert_eq!(conv.out_len(10), 10 - dil);
+        }
+    }
+
+    #[test]
+    fn causality_future_does_not_leak() {
+        // Output at position j (input time j+dilation) must not depend on
+        // inputs after time j+dilation.
+        let mut rng = StdRng::seed_from_u64(1);
+        let conv = CausalConv1d::new(1, 1, 2, &mut rng);
+        let base = Array::randn(&[1, 8, 1], &mut rng);
+        let mut bumped = base.clone();
+        bumped.data_mut()[7] += 5.0; // last time step
+        let y0 = conv.forward(&Tensor::constant(base)).value();
+        let y1 = conv.forward(&Tensor::constant(bumped)).value();
+        // All outputs except the last are identical.
+        for j in 0..5 {
+            assert_eq!(y0.at(&[0, j, 0]), y1.at(&[0, j, 0]));
+        }
+        assert_ne!(y0.at(&[0, 5, 0]), y1.at(&[0, 5, 0]));
+    }
+
+    #[test]
+    fn known_values() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let conv = CausalConv1d::new(1, 1, 1, &mut rng);
+        let ps = conv.parameters();
+        ps[0].set_value(Array::from_vec(&[1, 1], vec![10.0]).unwrap()); // lag tap
+        ps[1].set_value(Array::from_vec(&[1, 1], vec![1.0]).unwrap()); // current tap
+        ps[2].set_value(Array::from_vec(&[1], vec![0.5]).unwrap());
+        let x = Tensor::constant(Array::from_vec(&[1, 3, 1], vec![1., 2., 3.]).unwrap());
+        let y = conv.forward(&x).value();
+        // y_0 = x_1*1 + x_0*10 + 0.5 = 12.5 ; y_1 = 3 + 20 + 0.5 = 23.5
+        assert_eq!(y.data(), &[12.5, 23.5]);
+    }
+
+    #[test]
+    fn gradients_flow() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let conv = CausalConv1d::new(2, 3, 1, &mut rng);
+        let x = Tensor::parameter(Array::randn(&[2, 6, 2], &mut rng));
+        conv.forward(&x).square().sum_all().backward();
+        assert!(x.grad().is_some());
+        for p in conv.parameters() {
+            assert!(p.grad().is_some());
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Learnable embedding tables (node embeddings `E^u`/`E^d` and time-slot
+//! embeddings `T^D`/`T^W` of Section 4.2).
+
+use super::init::xavier_uniform;
+use super::Module;
+use crate::tensor::Tensor;
+use rand::Rng;
+
+/// A `[count, dim]` table of learnable vectors with index lookup.
+pub struct Embedding {
+    table: Tensor,
+    count: usize,
+    dim: usize,
+}
+
+impl Embedding {
+    /// New randomly initialized table.
+    pub fn new<R: Rng>(count: usize, dim: usize, rng: &mut R) -> Self {
+        Self {
+            table: Tensor::parameter(xavier_uniform(&[count, dim], rng)),
+            count,
+            dim,
+        }
+    }
+
+    /// Number of rows.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Vector width.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The full table as a tensor `[count, dim]` (for whole-table uses such
+    /// as the self-adaptive transition matrix, Eq. 7).
+    pub fn weights(&self) -> &Tensor {
+        &self.table
+    }
+
+    /// Look up rows: returns `[indices.len(), dim]`.
+    pub fn lookup(&self, indices: &[usize]) -> Tensor {
+        for &i in indices {
+            assert!(i < self.count, "embedding index {i} out of range {}", self.count);
+        }
+        self.table.index_select(0, indices)
+    }
+}
+
+impl Module for Embedding {
+    fn parameters(&self) -> Vec<Tensor> {
+        vec![self.table.clone()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lookup_shape_and_content() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let e = Embedding::new(5, 3, &mut rng);
+        let rows = e.lookup(&[4, 0, 4]);
+        assert_eq!(rows.shape(), vec![3, 3]);
+        let table = e.weights().value();
+        assert_eq!(&rows.value().data()[0..3], &table.data()[12..15]);
+        assert_eq!(&rows.value().data()[3..6], &table.data()[0..3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn lookup_rejects_bad_index() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let e = Embedding::new(5, 3, &mut rng);
+        e.lookup(&[5]);
+    }
+
+    #[test]
+    fn gradient_scattered_to_looked_up_rows_only() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let e = Embedding::new(4, 2, &mut rng);
+        let rows = e.lookup(&[1, 1]);
+        rows.sum_all().backward();
+        let g = e.weights().grad().unwrap();
+        assert_eq!(g.data(), &[0., 0., 2., 2., 0., 0., 0., 0.]);
+    }
+}

@@ -1,0 +1,196 @@
+//! Gated Recurrent Unit (Cho et al. 2014), the short-term temporal model of
+//! the paper's inherent block (Eq. 10).
+
+use super::init::xavier_uniform;
+use super::Module;
+use crate::array::Array;
+use crate::tensor::Tensor;
+use rand::Rng;
+
+/// Single GRU step.
+///
+/// Gate parameters follow Eq. 10 of the paper:
+/// `z = σ(W_z x + U_z h + b_z)`, `r = σ(W_r x + U_r h + b_r)`,
+/// `ĥ = tanh(W_h x + r ⊙ (U_h h + b_h))`, `h' = (1−z) ⊙ h + z ⊙ ĥ`.
+///
+/// The `z`/`r` input and recurrent projections are fused into single matmuls.
+pub struct GruCell {
+    w_zr: Tensor, // [in, 2h]
+    u_zr: Tensor, // [h, 2h]
+    b_zr: Tensor, // [2h]
+    w_h: Tensor,  // [in, h]
+    u_h: Tensor,  // [h, h]
+    b_h: Tensor,  // [h]
+    hidden: usize,
+}
+
+impl GruCell {
+    /// New cell mapping `input`-wide vectors to `hidden`-wide states.
+    pub fn new<R: Rng>(input: usize, hidden: usize, rng: &mut R) -> Self {
+        Self {
+            w_zr: Tensor::parameter(xavier_uniform(&[input, 2 * hidden], rng)),
+            u_zr: Tensor::parameter(xavier_uniform(&[hidden, 2 * hidden], rng)),
+            b_zr: Tensor::parameter(Array::zeros(&[2 * hidden])),
+            w_h: Tensor::parameter(xavier_uniform(&[input, hidden], rng)),
+            u_h: Tensor::parameter(xavier_uniform(&[hidden, hidden], rng)),
+            b_h: Tensor::parameter(Array::zeros(&[hidden])),
+            hidden,
+        }
+    }
+
+    /// Hidden width.
+    pub fn hidden_size(&self) -> usize {
+        self.hidden
+    }
+
+    /// One step: `x` is `[B, in]`, `h` is `[B, hidden]`; returns `[B, hidden]`.
+    pub fn step(&self, x: &Tensor, h: &Tensor) -> Tensor {
+        let gates = x.matmul(&self.w_zr).add(&h.matmul(&self.u_zr)).add(&self.b_zr);
+        let z = gates.slice_axis(1, 0, self.hidden).sigmoid();
+        let r = gates.slice_axis(1, self.hidden, 2 * self.hidden).sigmoid();
+        let cand = x
+            .matmul(&self.w_h)
+            .add(&r.mul(&h.matmul(&self.u_h).add(&self.b_h)))
+            .tanh();
+        // (1 - z) ⊙ h + z ⊙ ĥ
+        let ones = Tensor::constant(Array::ones(&z.shape()));
+        ones.sub(&z).mul(h).add(&z.mul(&cand))
+    }
+}
+
+impl Module for GruCell {
+    fn parameters(&self) -> Vec<Tensor> {
+        vec![
+            self.w_zr.clone(),
+            self.u_zr.clone(),
+            self.b_zr.clone(),
+            self.w_h.clone(),
+            self.u_h.clone(),
+            self.b_h.clone(),
+        ]
+    }
+}
+
+/// GRU unrolled over a sequence `[B, T, in] -> [B, T, hidden]`.
+pub struct Gru {
+    cell: GruCell,
+}
+
+impl Gru {
+    /// New sequence GRU.
+    pub fn new<R: Rng>(input: usize, hidden: usize, rng: &mut R) -> Self {
+        Self {
+            cell: GruCell::new(input, hidden, rng),
+        }
+    }
+
+    /// Underlying cell (for manual stepping, e.g. autoregressive decoding).
+    pub fn cell(&self) -> &GruCell {
+        &self.cell
+    }
+
+    /// Run over the full sequence starting from a zero state; returns the
+    /// stacked hidden states `[B, T, hidden]`.
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        let (states, _) = self.forward_with_state(x, None);
+        states
+    }
+
+    /// Run over the sequence; returns `([B, T, hidden], last_state [B, hidden])`.
+    pub fn forward_with_state(&self, x: &Tensor, h0: Option<&Tensor>) -> (Tensor, Tensor) {
+        let shape = x.shape();
+        assert_eq!(shape.len(), 3, "Gru expects [B, T, in]");
+        let (b, t) = (shape[0], shape[1]);
+        let mut h = match h0 {
+            Some(h0) => h0.clone(),
+            None => Tensor::constant(Array::zeros(&[b, self.cell.hidden])),
+        };
+        let mut outs = Vec::with_capacity(t);
+        for ti in 0..t {
+            let xt = x.slice_axis(1, ti, ti + 1).reshape(&[b, shape[2]]);
+            h = self.cell.step(&xt, &h);
+            outs.push(h.clone());
+        }
+        let refs: Vec<&Tensor> = outs.iter().collect();
+        (Tensor::stack(&refs, 1), h)
+    }
+}
+
+impl Module for Gru {
+    fn parameters(&self) -> Vec<Tensor> {
+        self.cell.parameters()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn shapes() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let gru = Gru::new(3, 5, &mut rng);
+        let x = Tensor::constant(Array::randn(&[2, 7, 3], &mut rng));
+        let (seq, last) = gru.forward_with_state(&x, None);
+        assert_eq!(seq.shape(), vec![2, 7, 5]);
+        assert_eq!(last.shape(), vec![2, 5]);
+        // Final stacked state equals the returned last state.
+        let tail = seq.slice_axis(1, 6, 7).reshape(&[2, 5]);
+        assert_eq!(tail.value().data(), last.value().data());
+    }
+
+    #[test]
+    fn zero_input_zero_state_stays_bounded() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let gru = Gru::new(2, 4, &mut rng);
+        let x = Tensor::constant(Array::zeros(&[1, 20, 2]));
+        let out = gru.forward(&x);
+        assert!(out.value().data().iter().all(|v| v.abs() <= 1.0));
+    }
+
+    #[test]
+    fn gradients_flow_to_all_parameters() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let gru = Gru::new(3, 4, &mut rng);
+        let x = Tensor::constant(Array::randn(&[2, 5, 3], &mut rng));
+        gru.forward(&x).square().sum_all().backward();
+        for (i, p) in gru.parameters().iter().enumerate() {
+            let g = p.grad().unwrap_or_else(|| panic!("param {i} missing grad"));
+            assert!(g.data().iter().any(|v| *v != 0.0), "param {i} grad all zero");
+        }
+    }
+
+    #[test]
+    fn gru_learns_to_remember_first_input() {
+        // Tiny task: output last hidden should regress the first input value.
+        let mut rng = StdRng::seed_from_u64(4);
+        let gru = Gru::new(1, 6, &mut rng);
+        let head = super::super::Linear::new(6, 1, true, &mut rng);
+        let xs = Array::randn(&[8, 4, 1], &mut rng);
+        let target = {
+            let first = xs.slice_axis(1, 0, 1);
+            Tensor::constant(first.reshape(&[8, 1]).unwrap())
+        };
+        let x = Tensor::constant(xs);
+        let mut losses = Vec::new();
+        for _ in 0..60 {
+            let (_, last) = gru.forward_with_state(&x, None);
+            let pred = head.forward(&last);
+            let loss = pred.sub(&target).square().mean_all();
+            losses.push(loss.item());
+            loss.backward();
+            for p in gru.parameters().into_iter().chain(head.parameters()) {
+                p.apply_grad(|v, g| v.add_scaled_assign(g, -0.1));
+                p.zero_grad();
+            }
+        }
+        assert!(
+            losses.last().unwrap() < &(losses[0] * 0.5),
+            "loss did not halve: {:?} -> {:?}",
+            losses[0],
+            losses.last().unwrap()
+        );
+    }
+}

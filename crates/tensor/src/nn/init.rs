@@ -1,0 +1,47 @@
+//! Weight initialization schemes.
+
+use crate::array::Array;
+use rand::Rng;
+
+/// Glorot/Xavier uniform initialization: `U(-a, a)` with
+/// `a = sqrt(6 / (fan_in + fan_out))`, fans taken from the last two axes
+/// (or the single axis for vectors).
+pub fn xavier_uniform<R: Rng>(shape: &[usize], rng: &mut R) -> Array {
+    let (fan_in, fan_out) = match shape.len() {
+        0 => (1, 1),
+        1 => (shape[0], shape[0]),
+        n => (shape[n - 2], shape[n - 1]),
+    };
+    let a = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    Array::rand_uniform(shape, -a, a, rng)
+}
+
+/// All-zeros initialization (biases).
+pub fn zeros_init(shape: &[usize]) -> Array {
+    Array::zeros(shape)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn xavier_bounds() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let w = xavier_uniform(&[100, 50], &mut rng);
+        let a = (6.0f32 / 150.0).sqrt();
+        assert!(w.data().iter().all(|v| v.abs() <= a));
+        // Not degenerate.
+        assert!(w.data().iter().any(|v| v.abs() > a / 2.0));
+    }
+
+    #[test]
+    fn xavier_vector_and_scalar() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(xavier_uniform(&[7], &mut rng).numel(), 7);
+        assert_eq!(xavier_uniform(&[], &mut rng).numel(), 1);
+        assert_eq!(zeros_init(&[3]).sum_all(), 0.0);
+    }
+}

@@ -1,0 +1,162 @@
+//! Long Short-Term Memory network, used by the FC-LSTM baseline (Sutskever
+//! et al. 2014 as cited by the paper).
+
+use super::init::xavier_uniform;
+use super::Module;
+use crate::array::Array;
+use crate::tensor::Tensor;
+use rand::Rng;
+
+/// Single LSTM step with fused gate projections.
+///
+/// Gate order in the fused matrices: input `i`, forget `f`, cell `g`, output `o`.
+/// The forget-gate bias is initialized to 1 (standard trick for gradient flow).
+pub struct LstmCell {
+    w: Tensor, // [in, 4h]
+    u: Tensor, // [h, 4h]
+    b: Tensor, // [4h]
+    hidden: usize,
+}
+
+impl LstmCell {
+    /// New cell mapping `input`-wide vectors to `hidden`-wide states.
+    pub fn new<R: Rng>(input: usize, hidden: usize, rng: &mut R) -> Self {
+        let mut b = Array::zeros(&[4 * hidden]);
+        for i in hidden..2 * hidden {
+            b.data_mut()[i] = 1.0; // forget gate bias
+        }
+        Self {
+            w: Tensor::parameter(xavier_uniform(&[input, 4 * hidden], rng)),
+            u: Tensor::parameter(xavier_uniform(&[hidden, 4 * hidden], rng)),
+            b: Tensor::parameter(b),
+            hidden,
+        }
+    }
+
+    /// Hidden width.
+    pub fn hidden_size(&self) -> usize {
+        self.hidden
+    }
+
+    /// One step: `x` `[B, in]`, state `(h, c)` each `[B, hidden]`.
+    pub fn step(&self, x: &Tensor, h: &Tensor, c: &Tensor) -> (Tensor, Tensor) {
+        let gates = x.matmul(&self.w).add(&h.matmul(&self.u)).add(&self.b);
+        let hsz = self.hidden;
+        let i = gates.slice_axis(1, 0, hsz).sigmoid();
+        let f = gates.slice_axis(1, hsz, 2 * hsz).sigmoid();
+        let g = gates.slice_axis(1, 2 * hsz, 3 * hsz).tanh();
+        let o = gates.slice_axis(1, 3 * hsz, 4 * hsz).sigmoid();
+        let c_next = f.mul(c).add(&i.mul(&g));
+        let h_next = o.mul(&c_next.tanh());
+        (h_next, c_next)
+    }
+}
+
+impl Module for LstmCell {
+    fn parameters(&self) -> Vec<Tensor> {
+        vec![self.w.clone(), self.u.clone(), self.b.clone()]
+    }
+}
+
+/// LSTM unrolled over a sequence.
+pub struct Lstm {
+    cell: LstmCell,
+}
+
+impl Lstm {
+    /// New sequence LSTM.
+    pub fn new<R: Rng>(input: usize, hidden: usize, rng: &mut R) -> Self {
+        Self {
+            cell: LstmCell::new(input, hidden, rng),
+        }
+    }
+
+    /// Underlying cell.
+    pub fn cell(&self) -> &LstmCell {
+        &self.cell
+    }
+
+    /// Run over `[B, T, in]`; returns `([B, T, h], (h_T, c_T))`.
+    pub fn forward_with_state(
+        &self,
+        x: &Tensor,
+        state: Option<(&Tensor, &Tensor)>,
+    ) -> (Tensor, (Tensor, Tensor)) {
+        let shape = x.shape();
+        assert_eq!(shape.len(), 3, "Lstm expects [B, T, in]");
+        let (b, t) = (shape[0], shape[1]);
+        let (mut h, mut c) = match state {
+            Some((h0, c0)) => (h0.clone(), c0.clone()),
+            None => (
+                Tensor::constant(Array::zeros(&[b, self.cell.hidden])),
+                Tensor::constant(Array::zeros(&[b, self.cell.hidden])),
+            ),
+        };
+        let mut outs = Vec::with_capacity(t);
+        for ti in 0..t {
+            let xt = x.slice_axis(1, ti, ti + 1).reshape(&[b, shape[2]]);
+            let (h2, c2) = self.cell.step(&xt, &h, &c);
+            h = h2;
+            c = c2;
+            outs.push(h.clone());
+        }
+        let refs: Vec<&Tensor> = outs.iter().collect();
+        (Tensor::stack(&refs, 1), (h, c))
+    }
+}
+
+impl Module for Lstm {
+    fn parameters(&self) -> Vec<Tensor> {
+        self.cell.parameters()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn shapes_and_state_consistency() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let lstm = Lstm::new(3, 5, &mut rng);
+        let x = Tensor::constant(Array::randn(&[2, 6, 3], &mut rng));
+        let (seq, (h, c)) = lstm.forward_with_state(&x, None);
+        assert_eq!(seq.shape(), vec![2, 6, 5]);
+        assert_eq!(h.shape(), vec![2, 5]);
+        assert_eq!(c.shape(), vec![2, 5]);
+        let tail = seq.slice_axis(1, 5, 6).reshape(&[2, 5]);
+        assert_eq!(tail.value().data(), h.value().data());
+    }
+
+    #[test]
+    fn forget_bias_initialized_to_one() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let cell = LstmCell::new(2, 3, &mut rng);
+        let b = cell.parameters()[2].value();
+        assert_eq!(&b.data()[3..6], &[1.0, 1.0, 1.0]);
+        assert_eq!(&b.data()[0..3], &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn gradients_reach_parameters() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let lstm = Lstm::new(2, 4, &mut rng);
+        let x = Tensor::constant(Array::randn(&[3, 5, 2], &mut rng));
+        let (seq, _) = lstm.forward_with_state(&x, None);
+        seq.square().sum_all().backward();
+        for p in lstm.parameters() {
+            assert!(p.grad().is_some());
+        }
+    }
+
+    #[test]
+    fn hidden_values_bounded() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let lstm = Lstm::new(1, 3, &mut rng);
+        let x = Tensor::constant(Array::full(&[1, 50, 1], 100.0));
+        let (seq, _) = lstm.forward_with_state(&x, None);
+        assert!(seq.value().data().iter().all(|v| v.abs() <= 1.0));
+    }
+}

@@ -1,0 +1,57 @@
+//! Neural-network building blocks: layers own parameter [`Tensor`]s and
+//! expose `forward`-style methods plus a uniform way to enumerate parameters
+//! for the optimizer.
+
+mod attention;
+mod conv;
+mod embedding;
+mod gru;
+mod init;
+mod linear;
+mod lstm;
+mod norm;
+
+pub use attention::{positional_encoding, MultiHeadSelfAttention};
+pub use conv::CausalConv1d;
+pub use embedding::Embedding;
+pub use gru::{GruCell, Gru};
+pub use init::{xavier_uniform, zeros_init};
+pub use linear::{Linear, Mlp};
+pub use norm::LayerNorm;
+pub use lstm::{LstmCell, Lstm};
+
+use crate::tensor::Tensor;
+
+/// Anything that owns trainable parameters.
+pub trait Module {
+    /// All trainable parameters, in a stable order.
+    fn parameters(&self) -> Vec<Tensor>;
+
+    /// Total number of scalar parameters.
+    fn num_parameters(&self) -> usize {
+        self.parameters().iter().map(Tensor::numel).sum()
+    }
+}
+
+/// Collect parameters from a list of modules.
+pub fn collect_parameters(modules: &[&dyn Module]) -> Vec<Tensor> {
+    modules.iter().flat_map(|m| m.parameters()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn collect_and_count() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let a = Linear::new(4, 3, true, &mut rng);
+        let b = Linear::new(3, 2, false, &mut rng);
+        let params = collect_parameters(&[&a, &b]);
+        assert_eq!(params.len(), 3); // W+b, W
+        assert_eq!(a.num_parameters(), 4 * 3 + 3);
+        assert_eq!(b.num_parameters(), 3 * 2);
+    }
+}

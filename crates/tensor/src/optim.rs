@@ -1,0 +1,295 @@
+//! Optimizers: SGD and Adam (the paper trains with Adam, lr 0.001), plus
+//! global-norm gradient clipping.
+
+use crate::array::Array;
+use crate::tensor::Tensor;
+use std::collections::HashMap;
+
+/// Scale all gradients so their global L2 norm is at most `max_norm`.
+/// Returns the pre-clipping norm.
+pub fn clip_grad_norm(params: &[Tensor], max_norm: f32) -> f32 {
+    let mut sq = 0.0f64;
+    for p in params {
+        if let Some(g) = p.grad() {
+            sq += g.data().iter().map(|v| (*v as f64) * (*v as f64)).sum::<f64>();
+        }
+    }
+    let norm = (sq.sqrt()) as f32;
+    if norm > max_norm && norm > 0.0 {
+        let scale = max_norm / norm;
+        for p in params {
+            if let Some(g) = p.grad() {
+                p.replace_grad(Some(g.scale(scale)));
+            }
+        }
+    }
+    norm
+}
+
+/// Common optimizer interface.
+pub trait Optimizer {
+    /// Apply one update step using the accumulated gradients, then clear them.
+    fn step(&mut self);
+    /// Clear gradients without updating.
+    fn zero_grad(&self);
+    /// Parameters managed by this optimizer.
+    fn params(&self) -> &[Tensor];
+    /// Current learning rate.
+    fn learning_rate(&self) -> f32;
+    /// Change the learning rate (schedules).
+    fn set_learning_rate(&mut self, lr: f32);
+}
+
+/// Plain stochastic gradient descent with optional momentum.
+pub struct Sgd {
+    params: Vec<Tensor>,
+    lr: f32,
+    momentum: f32,
+    velocity: HashMap<u64, Array>,
+}
+
+impl Sgd {
+    /// New SGD optimizer.
+    pub fn new(params: Vec<Tensor>, lr: f32, momentum: f32) -> Self {
+        Self {
+            params,
+            lr,
+            momentum,
+            velocity: HashMap::new(),
+        }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self) {
+        for p in &self.params {
+            let Some(g) = p.grad() else { continue };
+            if self.momentum > 0.0 {
+                let v = self
+                    .velocity
+                    .entry(p.id())
+                    .or_insert_with(|| Array::zeros(g.shape()));
+                *v = v.scale(self.momentum);
+                v.add_scaled_assign(&g, 1.0);
+                let upd = v.clone();
+                p.apply_grad(|val, _| val.add_scaled_assign(&upd, -self.lr));
+            } else {
+                p.apply_grad(|val, grad| val.add_scaled_assign(grad, -self.lr));
+            }
+            p.zero_grad();
+        }
+    }
+
+    fn zero_grad(&self) {
+        for p in &self.params {
+            p.zero_grad();
+        }
+    }
+
+    fn params(&self) -> &[Tensor] {
+        &self.params
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Adam (Kingma & Ba) with bias correction; defaults match the paper's setup
+/// (`lr = 1e-3`, `β₁ = 0.9`, `β₂ = 0.999`, `ε = 1e-8`).
+pub struct Adam {
+    params: Vec<Tensor>,
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    weight_decay: f32,
+    t: i32,
+    m: HashMap<u64, Array>,
+    v: HashMap<u64, Array>,
+}
+
+impl Adam {
+    /// Adam with paper defaults.
+    pub fn new(params: Vec<Tensor>, lr: f32) -> Self {
+        Self::with_config(params, lr, 0.9, 0.999, 1e-8, 0.0)
+    }
+
+    /// Fully configured Adam (optionally with decoupled weight decay).
+    pub fn with_config(
+        params: Vec<Tensor>,
+        lr: f32,
+        beta1: f32,
+        beta2: f32,
+        eps: f32,
+        weight_decay: f32,
+    ) -> Self {
+        Self {
+            params,
+            lr,
+            beta1,
+            beta2,
+            eps,
+            weight_decay,
+            t: 0,
+            m: HashMap::new(),
+            v: HashMap::new(),
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self) {
+        self.t += 1;
+        let b1t = 1.0 - self.beta1.powi(self.t);
+        let b2t = 1.0 - self.beta2.powi(self.t);
+        for p in &self.params {
+            let Some(g) = p.grad() else { continue };
+            let m = self
+                .m
+                .entry(p.id())
+                .or_insert_with(|| Array::zeros(g.shape()));
+            let v = self
+                .v
+                .entry(p.id())
+                .or_insert_with(|| Array::zeros(g.shape()));
+            for ((mi, vi), gi) in m
+                .data_mut()
+                .iter_mut()
+                .zip(v.data_mut().iter_mut())
+                .zip(g.data())
+            {
+                *mi = self.beta1 * *mi + (1.0 - self.beta1) * gi;
+                *vi = self.beta2 * *vi + (1.0 - self.beta2) * gi * gi;
+            }
+            let (lr, eps, wd) = (self.lr, self.eps, self.weight_decay);
+            let (mref, vref) = (&*m, &*v);
+            p.apply_grad(|val, _| {
+                for ((x, mi), vi) in val.data_mut().iter_mut().zip(mref.data()).zip(vref.data()) {
+                    let mhat = mi / b1t;
+                    let vhat = vi / b2t;
+                    let mut upd = mhat / (vhat.sqrt() + eps);
+                    if wd > 0.0 {
+                        upd += wd * *x;
+                    }
+                    *x -= lr * upd;
+                }
+            });
+            p.zero_grad();
+        }
+    }
+
+    fn zero_grad(&self) {
+        for p in &self.params {
+            p.zero_grad();
+        }
+    }
+
+    fn params(&self) -> &[Tensor] {
+        &self.params
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quadratic_param(start: f32) -> Tensor {
+        Tensor::parameter(Array::scalar(start))
+    }
+
+    #[test]
+    fn sgd_minimizes_quadratic() {
+        let x = quadratic_param(5.0);
+        let mut opt = Sgd::new(vec![x.clone()], 0.1, 0.0);
+        for _ in 0..100 {
+            let loss = x.square();
+            loss.backward();
+            opt.step();
+        }
+        assert!(x.item().abs() < 1e-3, "x = {}", x.item());
+    }
+
+    #[test]
+    fn sgd_momentum_converges() {
+        let x = quadratic_param(5.0);
+        let mut opt = Sgd::new(vec![x.clone()], 0.05, 0.9);
+        for _ in 0..100 {
+            x.square().backward();
+            opt.step();
+        }
+        assert!(x.item().abs() < 0.1, "x = {}", x.item());
+    }
+
+    #[test]
+    fn adam_minimizes_quadratic() {
+        let x = quadratic_param(5.0);
+        let mut opt = Adam::new(vec![x.clone()], 0.2);
+        for _ in 0..200 {
+            x.square().backward();
+            opt.step();
+        }
+        assert!(x.item().abs() < 1e-2, "x = {}", x.item());
+    }
+
+    #[test]
+    fn adam_handles_sparse_grads() {
+        // A parameter that only sometimes receives a gradient must not panic.
+        let x = quadratic_param(1.0);
+        let y = quadratic_param(1.0);
+        let mut opt = Adam::new(vec![x.clone(), y.clone()], 0.1);
+        for i in 0..10 {
+            if i % 2 == 0 {
+                x.square().backward();
+            } else {
+                y.square().backward();
+            }
+            opt.step();
+        }
+        assert!(x.item() < 1.0 && y.item() < 1.0);
+    }
+
+    #[test]
+    fn clip_grad_norm_caps_large_gradients() {
+        let x = Tensor::parameter(Array::from_vec(&[2], vec![0.0, 0.0]).unwrap());
+        let big = Tensor::constant(Array::from_vec(&[2], vec![30.0, 40.0]).unwrap());
+        x.mul(&big).sum_all().backward();
+        let pre = clip_grad_norm(&[x.clone()], 5.0);
+        assert!((pre - 50.0).abs() < 1e-3);
+        let g = x.grad().unwrap();
+        let post = (g.data()[0].powi(2) + g.data()[1].powi(2)).sqrt();
+        assert!((post - 5.0).abs() < 1e-3);
+        // Direction preserved.
+        assert!((g.data()[0] / g.data()[1] - 0.75).abs() < 1e-4);
+    }
+
+    #[test]
+    fn clip_noop_below_threshold() {
+        let x = Tensor::parameter(Array::from_vec(&[1], vec![0.0]).unwrap());
+        let c = Tensor::constant(Array::from_vec(&[1], vec![2.0]).unwrap());
+        x.mul(&c).sum_all().backward();
+        let pre = clip_grad_norm(&[x.clone()], 5.0);
+        assert_eq!(pre, 2.0);
+        assert_eq!(x.grad().unwrap().data(), &[2.0]);
+    }
+
+    #[test]
+    fn learning_rate_setter() {
+        let mut opt = Adam::new(vec![], 0.1);
+        assert_eq!(opt.learning_rate(), 0.1);
+        opt.set_learning_rate(0.01);
+        assert_eq!(opt.learning_rate(), 0.01);
+    }
+}

@@ -1,0 +1,103 @@
+//! Test utilities: numeric gradient checking.
+//!
+//! Exposed publicly so downstream crates (models, baselines) can gradcheck
+//! their composite layers in their own test suites.
+
+use crate::array::Array;
+use crate::tensor::Tensor;
+use rand::Rng;
+
+/// Verify analytic gradients of `f` against central finite differences.
+///
+/// `f` maps a slice of parameter tensors to a scalar tensor. One fresh set of
+/// random inputs per call; panics with a descriptive message on mismatch.
+/// `tol` is the max allowed absolute-or-relative deviation (f32 numerics
+/// usually need 1e-2 with the default epsilon).
+pub fn gradcheck<R: Rng>(
+    f: impl Fn(&[Tensor]) -> Tensor,
+    shapes: &[&[usize]],
+    rng: &mut R,
+    tol: f32,
+) {
+    let eps = 1e-2f32;
+    let inputs: Vec<Tensor> = shapes
+        .iter()
+        .map(|s| Tensor::parameter(Array::randn(s, rng)))
+        .collect();
+
+    let out = f(&inputs);
+    assert_eq!(out.numel(), 1, "gradcheck target must be scalar");
+    out.backward();
+
+    for (pi, input) in inputs.iter().enumerate() {
+        let analytic = input
+            .grad()
+            .unwrap_or_else(|| Array::zeros(&input.shape()));
+        let base = input.value();
+        for ei in 0..base.numel() {
+            let mut plus = base.clone();
+            plus.data_mut()[ei] += eps;
+            let mut minus = base.clone();
+            minus.data_mut()[ei] -= eps;
+
+            let fresh = |v: Array, at: usize| -> f32 {
+                let probe: Vec<Tensor> = inputs
+                    .iter()
+                    .enumerate()
+                    .map(|(i, inp)| {
+                        if i == at {
+                            Tensor::parameter(v.clone())
+                        } else {
+                            Tensor::parameter(inp.value())
+                        }
+                    })
+                    .collect();
+                f(&probe).item()
+            };
+
+            let numeric = (fresh(plus, pi) - fresh(minus, pi)) / (2.0 * eps);
+            let a = analytic.data()[ei];
+            let denom = 1.0f32.max(a.abs()).max(numeric.abs());
+            let err = (a - numeric).abs() / denom;
+            assert!(
+                err <= tol,
+                "gradcheck failed: input {pi} elem {ei}: analytic {a} vs numeric {numeric} (rel err {err})"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gradcheck_passes_on_simple_function() {
+        let mut rng = StdRng::seed_from_u64(0);
+        gradcheck(|x| x[0].square().sum_all(), &[&[3]], &mut rng, 1e-2);
+    }
+
+    #[test]
+    #[should_panic(expected = "gradcheck failed")]
+    fn gradcheck_catches_wrong_gradient() {
+        let mut rng = StdRng::seed_from_u64(0);
+        // Build an op with a deliberately wrong backward: y = 2x forward but
+        // claims dy/dx = 10.
+        gradcheck(
+            |x| {
+                let v = x[0].value().scale(2.0);
+                Tensor::from_op(
+                    v,
+                    vec![x[0].clone()],
+                    Box::new(|g| vec![Some(g.scale(10.0))]),
+                )
+                .sum_all()
+            },
+            &[&[2]],
+            &mut rng,
+            1e-2,
+        );
+    }
+}

@@ -1,0 +1,164 @@
+//! Property-based tests for the tensor engine: algebraic identities,
+//! broadcasting laws, and autograd consistency on randomized inputs.
+
+use d2stgnn_tensor::testing::gradcheck;
+use d2stgnn_tensor::{Array, Tensor};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arr_strategy(max_len: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-10.0f32..10.0, 1..max_len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn add_commutes_and_mul_distributes(data in arr_strategy(32)) {
+        let n = data.len();
+        let a = Array::from_vec(&[n], data.clone()).unwrap();
+        let b = Array::from_vec(&[n], data.iter().map(|v| v * 0.5 + 1.0).collect()).unwrap();
+        let c = Array::from_vec(&[n], data.iter().map(|v| v - 2.0).collect()).unwrap();
+        // a + b == b + a
+        let ab = a.add(&b);
+        let ba = b.add(&a);
+        prop_assert_eq!(ab.data(), ba.data());
+        // a * (b + c) ≈ a*b + a*c
+        let lhs = a.mul(&b.add(&c));
+        let rhs = a.mul(&b).add(&a.mul(&c));
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() < 1e-3, "{} vs {}", x, y);
+        }
+    }
+
+    #[test]
+    fn matmul_associates_with_identity(seed in 0u64..300, m in 1usize..6, k in 1usize..6) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Array::randn(&[m, k], &mut rng);
+        let eye = Array::eye(k);
+        let out = a.matmul(&eye);
+        for (x, y) in out.data().iter().zip(a.data()) {
+            prop_assert!((x - y).abs() < 1e-5);
+        }
+        let eye_m = Array::eye(m);
+        let out2 = eye_m.matmul(&a);
+        for (x, y) in out2.data().iter().zip(a.data()) {
+            prop_assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn matmul_matches_naive_reference(seed in 0u64..300) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (m, k, n) = (3usize, 4, 2);
+        let a = Array::randn(&[m, k], &mut rng);
+        let b = Array::randn(&[k, n], &mut rng);
+        let fast = a.matmul(&b);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f32;
+                for p in 0..k {
+                    acc += a.at(&[i, p]) * b.at(&[p, j]);
+                }
+                prop_assert!((fast.at(&[i, j]) - acc).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn softmax_invariant_to_constant_shift(data in arr_strategy(16), shift in -5.0f32..5.0) {
+        let n = data.len();
+        let a = Array::from_vec(&[1, n], data).unwrap();
+        let s1 = a.softmax(1);
+        let s2 = a.add_scalar(shift).softmax(1);
+        for (x, y) in s1.data().iter().zip(s2.data()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn transpose_is_involution(seed in 0u64..300, r in 1usize..5, c in 1usize..5) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Array::randn(&[r, c], &mut rng);
+        let tt = a.transpose().transpose();
+        prop_assert_eq!(tt.data(), a.data());
+    }
+
+    #[test]
+    fn sum_axis_totals_match_sum_all(seed in 0u64..300, r in 1usize..5, c in 1usize..5) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Array::randn(&[r, c], &mut rng);
+        let via0 = a.sum_axis(0, false).sum_all();
+        let via1 = a.sum_axis(1, false).sum_all();
+        let direct = a.sum_all();
+        prop_assert!((via0 - direct).abs() < 1e-3);
+        prop_assert!((via1 - direct).abs() < 1e-3);
+    }
+
+    #[test]
+    fn concat_slice_roundtrip(seed in 0u64..300, r in 1usize..4, c1 in 1usize..4, c2 in 1usize..4) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Array::randn(&[r, c1], &mut rng);
+        let b = Array::randn(&[r, c2], &mut rng);
+        let joined = Array::concat(&[&a, &b], 1).unwrap();
+        let left = joined.slice_axis(1, 0, c1);
+        let right = joined.slice_axis(1, c1, c1 + c2);
+        prop_assert_eq!(left.data(), a.data());
+        prop_assert_eq!(right.data(), b.data());
+    }
+
+    #[test]
+    fn backward_of_sum_is_ones(seed in 0u64..300, n in 1usize..20) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = Tensor::parameter(Array::randn(&[n], &mut rng));
+        x.sum_all().backward();
+        let g = x.grad().unwrap();
+        let ones = vec![1.0f32; n];
+        prop_assert_eq!(g.data(), ones.as_slice());
+    }
+
+    #[test]
+    fn chain_rule_scaling(seed in 0u64..300, s in -3.0f32..3.0) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = Tensor::parameter(Array::randn(&[4], &mut rng));
+        x.scale(s).sum_all().backward();
+        let g = x.grad().unwrap();
+        for v in g.data() {
+            prop_assert!((v - s).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn gradcheck_random_two_layer_net(seed in 0u64..40) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        gradcheck(
+            |inp| {
+                inp[0]
+                    .matmul(&inp[1])
+                    .tanh()
+                    .matmul(&inp[2])
+                    .sigmoid()
+                    .sum_all()
+            },
+            &[&[2, 3], &[3, 3], &[3, 1]],
+            &mut rng,
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn no_grad_value_equals_grad_value(seed in 0u64..200) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let base = Array::randn(&[3, 3], &mut rng);
+        let with_grad = {
+            let x = Tensor::parameter(base.clone());
+            x.matmul(&x).relu().sum_all().item()
+        };
+        let without = d2stgnn_tensor::no_grad(|| {
+            let x = Tensor::parameter(base.clone());
+            x.matmul(&x).relu().sum_all().item()
+        });
+        prop_assert_eq!(with_grad, without);
+    }
+}

@@ -1,0 +1,65 @@
+//! Compare D²STGNN against classical and deep baselines on one synthetic
+//! dataset — a miniature of the paper's Table 3.
+//!
+//! Run with: `cargo run --release --example compare_models`
+
+use d2stgnn::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn print_row(name: &str, horizons: &[(usize, Metrics)]) {
+    print!("{name:<10}");
+    for (h, m) in horizons {
+        print!(" | H{h:<2} MAE {:5.2} MAPE {:5.2}%", m.mae, m.mape * 100.0);
+    }
+    println!();
+}
+
+fn main() {
+    let mut sim = SimulatorConfig::tiny();
+    sim.num_nodes = 14;
+    sim.knn = 4;
+    sim.num_steps = 5 * 288;
+    let windowed = WindowedDataset::new(simulate(&sim), 12, 12, (0.7, 0.1, 0.2));
+    println!(
+        "dataset: {} sensors, {} train windows\n",
+        windowed.num_nodes(),
+        windowed.len(Split::Train)
+    );
+
+    // --- classical baselines: fit once, evaluate on the test split.
+    let mut ha = HistoricalAverage::new();
+    ha.fit(&windowed);
+    let (_, _, ha_h) = evaluate_classical(&ha, &windowed, Split::Test, 0.0);
+    print_row("HA", &ha_h);
+
+    let mut var = VectorAutoRegression::new(3, 1.0);
+    var.fit(&windowed);
+    let (_, _, var_h) = evaluate_classical(&var, &windowed, Split::Test, 0.0);
+    print_row("VAR", &var_h);
+
+    // --- deep models: same trainer, same budget, same seed.
+    let train_cfg = TrainConfig {
+        max_epochs: 4,
+        patience: 2,
+        cl_step: 5,
+        ..TrainConfig::default()
+    };
+    let trainer = Trainer::new(train_cfg);
+    let net = windowed.data().network.clone();
+
+    let mut rng = StdRng::seed_from_u64(0);
+    let gwnet = GraphWaveNet::new(&net, 16, 12, true, &mut rng);
+    trainer.train(&gwnet, &windowed);
+    print_row("GWNet", &trainer.evaluate(&gwnet, &windowed, Split::Test).horizons);
+
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut cfg = D2stgnnConfig::small(windowed.num_nodes());
+    cfg.layers = 2;
+    let d2 = D2stgnn::new(cfg, &net, &mut rng);
+    trainer.train(&d2, &windowed);
+    print_row("D2STGNN", &trainer.evaluate(&d2, &windowed, Split::Test).horizons);
+
+    println!("\n(for the full Table 3 comparison across four datasets run");
+    println!(" `cargo run -p d2stgnn-bench --release --bin table3`)");
+}

@@ -1,0 +1,93 @@
+//! Showcase the Decoupled Spatial-Temporal Framework itself: because the
+//! simulator exposes the ground-truth inherent and diffusion components
+//! (observed = inherent + diffusion), we can check that the two branches of
+//! a trained D²STGNN specialize the way the paper claims —
+//!
+//! * the *diffusion branch* reacts when a neighbour's input changes,
+//! * the *inherent branch* of an untouched node does not,
+//! * and the estimation gate varies over nodes and times of day.
+//!
+//! Run with: `cargo run --release --example decouple_signals`
+
+use d2stgnn::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // Strongly diffusive network so the split is pronounced.
+    let mut sim = SimulatorConfig::tiny();
+    sim.num_nodes = 10;
+    sim.knn = 3;
+    sim.num_steps = 4 * 288;
+    sim.diffusion_strength = 0.5;
+    let windowed = WindowedDataset::new(simulate(&sim), 12, 12, (0.7, 0.1, 0.2));
+
+    let mut cfg = D2stgnnConfig::small(10);
+    cfg.layers = 2;
+    let mut rng = StdRng::seed_from_u64(1);
+    let model = D2stgnn::new(cfg, &windowed.data().network.clone(), &mut rng);
+    let trainer = Trainer::new(TrainConfig {
+        max_epochs: 3,
+        patience: 2,
+        cl_step: 5,
+        verbose: true,
+        ..TrainConfig::default()
+    });
+    trainer.train(&model, &windowed);
+
+    // --- branch specialization probe -----------------------------------
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut batch = windowed.batch(Split::Test, &[0]);
+    let (dif0, inh0) = model.decompose(&batch, &mut rng);
+
+    // Perturb ALL inputs of sensor 0 and decompose again.
+    for t in 0..12 {
+        let v = batch.x.at(&[0, t, 0, 0]);
+        batch.x.set(&[0, t, 0, 0], v + 2.0);
+    }
+    let (dif1, inh1) = model.decompose(&batch, &mut rng);
+
+    // How much each branch's forecast for OTHER sensors moved.
+    let moved = |a: &Tensor, b: &Tensor| -> f32 {
+        let (av, bv) = (a.value(), b.value());
+        let mut acc = 0.0;
+        for t in 0..12 {
+            for i in 1..10 {
+                for d in 0..av.shape()[3] {
+                    acc += (av.at(&[0, t, i, d]) - bv.at(&[0, t, i, d])).abs();
+                }
+            }
+        }
+        acc
+    };
+    let dif_moved = moved(&dif0, &dif1);
+    let inh_moved = moved(&inh0, &inh1);
+    println!("\nperturbing sensor 0's inputs:");
+    println!("  diffusion-branch forecasts of OTHER sensors moved by {dif_moved:10.3}");
+    println!("  inherent-branch forecasts of OTHER sensors moved by  {inh_moved:10.3}");
+    println!(
+        "  -> spatial influence flows through the diffusion branch ({}x more)",
+        (dif_moved / inh_moved.max(1e-6)).round()
+    );
+
+    // --- estimation gate inspection -------------------------------------
+    // The gate (Eq. 3) should produce node- and time-dependent proportions.
+    let emb = model.embeddings();
+    let probe_tod = [8 * 12usize, 17 * 12, 3 * 12]; // 8am, 5pm, 3am slots
+    println!("\nestimation-gate inputs are learned embeddings; sampled rows:");
+    for &slot in &probe_tod {
+        let row = emb.tod_rows(&[slot]).value();
+        let norm: f32 = row.data().iter().map(|v| v * v).sum::<f32>().sqrt();
+        println!("  time-of-day slot {:4} ({:02}:{:02}) |T^D| = {norm:.3}", slot, slot / 12, (slot % 12) * 5);
+    }
+
+    // --- compare against the simulator's ground-truth split -------------
+    let truth = windowed.data();
+    let t_probe = truth.num_steps() - 100;
+    println!("\nsimulator ground truth at one step (sensor 0):");
+    println!("  observed  = {:6.2}", truth.values.at(&[t_probe, 0]));
+    println!("  inherent  = {:6.2}", truth.inherent.at(&[t_probe, 0]));
+    println!("  diffusion = {:6.2}", truth.diffusion.at(&[t_probe, 0]));
+    println!("\n(no real dataset can expose this split — it is why the synthetic");
+    println!(" substrate can verify the decoupling claim directly)");
+}

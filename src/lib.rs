@@ -1,0 +1,68 @@
+//! # d2stgnn
+//!
+//! A from-scratch Rust reproduction of **"Decoupled Dynamic Spatial-Temporal
+//! Graph Neural Network for Traffic Forecasting"** (Shao et al.,
+//! PVLDB 15(11), 2022) — the D²STGNN model, its Decoupled Spatial-Temporal
+//! Framework, the baselines it is compared against, and a synthetic traffic
+//! substrate standing in for the METR-LA / PEMS datasets.
+//!
+//! This facade re-exports the public API of the workspace crates:
+//!
+//! | Crate | Contents |
+//! |---|---|
+//! | [`tensor`] | N-d arrays, autograd, NN layers, optimizers, losses |
+//! | [`graph`] | traffic networks, transition-matrix algebra |
+//! | [`data`] | synthetic datasets, windows, scalers, metrics |
+//! | [`model`] | DSTF + D²STGNN + trainer (the paper's contribution) |
+//! | [`baselines`] | HA, VAR, SVR, FC-LSTM, DCRNN, Graph WaveNet, STGCN |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use d2stgnn::prelude::*;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! // Simulate a small traffic network and train a tiny D²STGNN on it.
+//! let mut sim = SimulatorConfig::tiny();
+//! sim.num_nodes = 6;
+//! sim.num_steps = 288;
+//! let data = WindowedDataset::new(simulate(&sim), 12, 12, (0.6, 0.2, 0.2));
+//!
+//! let mut cfg = D2stgnnConfig::small(6);
+//! cfg.layers = 1;
+//! cfg.hidden = 8;
+//! cfg.emb_dim = 4;
+//! cfg.heads = 2;
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let model = D2stgnn::new(cfg, &data.data().network.clone(), &mut rng);
+//!
+//! let trainer = Trainer::new(TrainConfig { max_epochs: 1, ..TrainConfig::default() });
+//! let report = trainer.train(&model, &data);
+//! assert!(report.best_val_mae.is_finite());
+//! ```
+
+#![warn(missing_docs)]
+
+pub use d2stgnn_baselines as baselines;
+pub use d2stgnn_core as model;
+pub use d2stgnn_data as data;
+pub use d2stgnn_graph as graph;
+pub use d2stgnn_tensor as tensor;
+
+/// Everything needed for typical use in one import.
+pub mod prelude {
+    pub use d2stgnn_baselines::{
+        evaluate_classical, ClassicalForecaster, Dcrnn, FcLstm, GraphWaveNet, HistoricalAverage,
+        LinearSvr, Stgcn, VectorAutoRegression,
+    };
+    pub use d2stgnn_core::{
+        checkpoint, BlockOrder, Checkpoint, D2stgnn, D2stgnnConfig, EvalResult, TrafficModel,
+        TrainConfig, TrainReport, Trainer,
+    };
+    pub use d2stgnn_data::{
+        simulate, Batch, DatasetId, Metrics, Profile, SignalKind, SimulatorConfig, Split,
+        StandardScaler, TrafficData, WindowedDataset,
+    };
+    pub use d2stgnn_graph::{transition, TrafficNetwork};
+    pub use d2stgnn_tensor::{nn::Module, Array, Tensor};
+}

@@ -1,0 +1,111 @@
+//! Integration tests that the ablation switches of Table 5 produce real
+//! architectural differences, not just renamed models.
+
+use d2stgnn::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn data() -> WindowedDataset {
+    let mut sim = SimulatorConfig::tiny();
+    sim.num_nodes = 7;
+    sim.knn = 3;
+    sim.num_steps = 2 * 288;
+    WindowedDataset::new(simulate(&sim), 12, 12, (0.6, 0.2, 0.2))
+}
+
+fn build(data: &WindowedDataset, f: impl FnOnce(&mut D2stgnnConfig)) -> D2stgnn {
+    let mut cfg = D2stgnnConfig::small(7);
+    cfg.layers = 2;
+    f(&mut cfg);
+    let mut rng = StdRng::seed_from_u64(42);
+    D2stgnn::new(cfg, &data.data().network.clone(), &mut rng)
+}
+
+#[test]
+fn each_component_toggle_changes_parameter_count() {
+    let d = data();
+    let full = build(&d, |_| {}).num_parameters();
+    let variants: Vec<(&str, Box<dyn FnOnce(&mut D2stgnnConfig)>)> = vec![
+        ("w/o gate", Box::new(|c: &mut D2stgnnConfig| c.use_gate = false)),
+        ("w/o dg", Box::new(|c| c.use_dynamic_graph = false)),
+        ("w/o gru", Box::new(|c| c.use_gru = false)),
+        ("w/o msa", Box::new(|c| c.use_msa = false)),
+        ("w/o apt", Box::new(|c| c.use_adaptive = false)),
+    ];
+    for (tag, f) in variants {
+        let ablated = build(&d, f).num_parameters();
+        assert!(
+            ablated < full,
+            "{tag}: expected fewer params than full ({ablated} vs {full})"
+        );
+    }
+}
+
+#[test]
+fn switch_order_keeps_parameter_count_but_changes_outputs() {
+    let d = data();
+    let a = build(&d, |_| {});
+    let b = build(&d, |c| c.order = BlockOrder::InherentFirst);
+    assert_eq!(a.num_parameters(), b.num_parameters());
+    let batch = d.batch(Split::Train, &[0]);
+    let mut rng = StdRng::seed_from_u64(0);
+    let pa = a.forward(&batch, false, &mut rng).value();
+    let pb = b.forward(&batch, false, &mut rng).value();
+    assert_ne!(pa.data(), pb.data());
+}
+
+#[test]
+fn autoregressive_toggle_changes_forecast_branch_shape_of_params() {
+    let d = data();
+    let with_ar = build(&d, |_| {});
+    let without_ar = build(&d, |c| c.use_autoregressive = false);
+    // Different forecast-branch head widths: parameter multisets differ.
+    let shapes = |m: &D2stgnn| {
+        let mut v: Vec<Vec<usize>> = m.parameters().iter().map(|p| p.shape()).collect();
+        v.sort();
+        v
+    };
+    assert_ne!(shapes(&with_ar), shapes(&without_ar));
+}
+
+#[test]
+fn every_variant_trains_one_epoch_without_nan() {
+    let d = data();
+    let trainer = Trainer::new(TrainConfig {
+        max_epochs: 1,
+        ..TrainConfig::default()
+    });
+    let toggles: Vec<Box<dyn FnOnce(&mut D2stgnnConfig)>> = vec![
+        Box::new(|_| {}),
+        Box::new(|c: &mut D2stgnnConfig| c.use_gate = false),
+        Box::new(|c| c.use_residual = false),
+        Box::new(|c| {
+            c.use_gate = false;
+            c.use_residual = false;
+        }),
+        Box::new(|c| c.use_dynamic_graph = false),
+        Box::new(|c| c.use_adaptive = false),
+        Box::new(|c| c.use_gru = false),
+        Box::new(|c| c.use_msa = false),
+        Box::new(|c| c.use_autoregressive = false),
+        Box::new(|c| c.order = BlockOrder::InherentFirst),
+    ];
+    for (i, f) in toggles.into_iter().enumerate() {
+        let model = build(&d, f);
+        let report = trainer.train(&model, &d);
+        assert!(
+            report.best_val_mae.is_finite(),
+            "variant {i} produced non-finite val MAE"
+        );
+    }
+}
+
+#[test]
+fn variant_tags_round_trip_through_config() {
+    let mut cfg = D2stgnnConfig::new(5);
+    cfg.use_gru = false;
+    cfg.use_msa = false;
+    let tag = cfg.variant_tag();
+    assert!(tag.contains("w/o gru"));
+    assert!(tag.contains("w/o msa"));
+}

@@ -1,0 +1,119 @@
+//! Integration tests for model checkpointing and failure handling across
+//! crate boundaries.
+
+use d2stgnn::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn data() -> WindowedDataset {
+    let mut sim = SimulatorConfig::tiny();
+    sim.num_nodes = 6;
+    sim.knn = 2;
+    sim.num_steps = 2 * 288;
+    WindowedDataset::new(simulate(&sim), 12, 12, (0.6, 0.2, 0.2))
+}
+
+fn model(data: &WindowedDataset, seed: u64) -> D2stgnn {
+    let mut cfg = D2stgnnConfig::small(6);
+    cfg.layers = 1;
+    cfg.hidden = 8;
+    cfg.emb_dim = 4;
+    cfg.heads = 2;
+    let mut rng = StdRng::seed_from_u64(seed);
+    D2stgnn::new(cfg, &data.data().network.clone(), &mut rng)
+}
+
+#[test]
+fn saved_model_reproduces_predictions_exactly() {
+    let d = data();
+    let m = model(&d, 0);
+    let trainer = Trainer::new(TrainConfig {
+        max_epochs: 1,
+        ..TrainConfig::default()
+    });
+    trainer.train(&m, &d);
+
+    let batch = d.batch(Split::Test, &[0, 1]);
+    let mut rng = StdRng::seed_from_u64(1);
+    let pred_before = m.forward(&batch, false, &mut rng).value();
+
+    let dir = std::env::temp_dir().join("d2stgnn-int-ckpt");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("model.json");
+    checkpoint::save(&m, "d2stgnn-test", &path).unwrap();
+
+    // A fresh model with the same architecture but different init.
+    let m2 = model(&d, 999);
+    let mut rng = StdRng::seed_from_u64(1);
+    let pred_fresh = m2.forward(&batch, false, &mut rng).value();
+    assert_ne!(pred_fresh.data(), pred_before.data());
+
+    let tag = checkpoint::load(&m2, &path).unwrap();
+    assert_eq!(tag, "d2stgnn-test");
+    let mut rng = StdRng::seed_from_u64(1);
+    let pred_after = m2.forward(&batch, false, &mut rng).value();
+    assert_eq!(pred_after.data(), pred_before.data());
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn checkpoint_rejects_architecture_mismatch() {
+    let d = data();
+    let m = model(&d, 0);
+    let ckpt = checkpoint::snapshot(&m, "small");
+
+    // Bigger model: more parameters.
+    let mut cfg = D2stgnnConfig::small(6);
+    cfg.layers = 2;
+    cfg.hidden = 8;
+    cfg.emb_dim = 4;
+    cfg.heads = 2;
+    let mut rng = StdRng::seed_from_u64(2);
+    let big = D2stgnn::new(cfg, &d.data().network.clone(), &mut rng);
+    assert!(checkpoint::restore(&big, &ckpt).is_err());
+}
+
+/// A deliberately broken model for failure-injection testing.
+struct NanModel {
+    inner: D2stgnn,
+}
+
+impl Module for NanModel {
+    fn parameters(&self) -> Vec<Tensor> {
+        self.inner.parameters()
+    }
+}
+
+impl TrafficModel for NanModel {
+    fn forward(&self, batch: &Batch, training: bool, rng: &mut StdRng) -> Tensor {
+        let ok = self.inner.forward(batch, training, rng);
+        // Poison the output.
+        ok.scale(f32::NAN)
+    }
+    fn name(&self) -> String {
+        "NaNModel".to_string()
+    }
+    fn horizon(&self) -> usize {
+        self.inner.horizon()
+    }
+}
+
+#[test]
+fn trainer_detects_divergence_instead_of_corrupting_silently() {
+    let d = data();
+    let bad = NanModel { inner: model(&d, 3) };
+    let trainer = Trainer::new(TrainConfig {
+        max_epochs: 1,
+        ..TrainConfig::default()
+    });
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        trainer.train(&bad, &d);
+    }));
+    let err = result.expect_err("training on NaN output must fail loudly");
+    let msg = err
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+        .unwrap_or_default();
+    assert!(msg.contains("diverged"), "unexpected panic message: {msg}");
+}

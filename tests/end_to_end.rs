@@ -1,0 +1,132 @@
+//! End-to-end integration: simulate → window → train → evaluate, across the
+//! crate boundaries, with the full D²STGNN pipeline.
+
+use d2stgnn::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn tiny_windowed(nodes: usize, steps: usize, seed: u64) -> WindowedDataset {
+    let mut sim = SimulatorConfig::tiny();
+    sim.num_nodes = nodes;
+    sim.knn = 3;
+    sim.num_steps = steps;
+    sim.seed = seed;
+    WindowedDataset::new(simulate(&sim), 12, 12, (0.6, 0.2, 0.2))
+}
+
+fn tiny_model(data: &WindowedDataset, seed: u64) -> D2stgnn {
+    let mut cfg = D2stgnnConfig::small(data.num_nodes());
+    cfg.layers = 1;
+    cfg.hidden = 8;
+    cfg.emb_dim = 4;
+    cfg.heads = 2;
+    let mut rng = StdRng::seed_from_u64(seed);
+    D2stgnn::new(cfg, &data.data().network.clone(), &mut rng)
+}
+
+#[test]
+fn training_improves_over_untrained_model() {
+    let data = tiny_windowed(8, 3 * 288, 11);
+    let model = tiny_model(&data, 0);
+    let trainer = Trainer::new(TrainConfig {
+        max_epochs: 3,
+        patience: 3,
+        batch_size: 32,
+        cl_step: 10,
+        ..TrainConfig::default()
+    });
+    let before = trainer.evaluate(&model, &data, Split::Test).overall.mae;
+    let report = trainer.train(&model, &data);
+    let after = trainer.evaluate(&model, &data, Split::Test).overall.mae;
+    assert!(
+        after < before * 0.8,
+        "test MAE barely moved: {before} -> {after}"
+    );
+    assert!(report.epochs.iter().all(|e| e.train_loss.is_finite()));
+}
+
+#[test]
+fn trained_model_beats_climatology_given_incident_heavy_data() {
+    // With a high incident rate, a recent-history model must beat HA, which
+    // can only predict the periodic component.
+    let mut sim = SimulatorConfig::tiny();
+    sim.num_nodes = 8;
+    sim.knn = 3;
+    sim.num_steps = 5 * 288;
+    sim.incident_rate = 0.004;
+    sim.noise_std = 1.5;
+    let data = WindowedDataset::new(simulate(&sim), 12, 12, (0.6, 0.2, 0.2));
+
+    let mut ha = HistoricalAverage::new();
+    ha.fit(&data);
+    let (_, _, ha_h) = evaluate_classical(&ha, &data, Split::Test, 0.0);
+
+    let model = tiny_model(&data, 1);
+    let trainer = Trainer::new(TrainConfig {
+        max_epochs: 6,
+        patience: 3,
+        cl_step: 10,
+        ..TrainConfig::default()
+    });
+    trainer.train(&model, &data);
+    let d2 = trainer.evaluate(&model, &data, Split::Test);
+
+    // Compare at horizon 3 (15 min), where recent context matters most.
+    let d2_h3 = d2.horizons.iter().find(|(h, _)| *h == 3).unwrap().1.mae;
+    let ha_h3 = ha_h.iter().find(|(h, _)| *h == 3).unwrap().1.mae;
+    assert!(
+        d2_h3 < ha_h3,
+        "D2STGNN H3 MAE {d2_h3} did not beat HA {ha_h3}"
+    );
+}
+
+#[test]
+fn predictions_are_physical_after_denormalization() {
+    let data = tiny_windowed(8, 3 * 288, 13);
+    let model = tiny_model(&data, 2);
+    let trainer = Trainer::new(TrainConfig {
+        max_epochs: 2,
+        ..TrainConfig::default()
+    });
+    trainer.train(&model, &data);
+    let eval = trainer.evaluate(&model, &data, Split::Test);
+    // A barely-trained unconstrained regressor can overshoot; the invariants
+    // are finiteness and staying within a generous multiple of the physical
+    // range (silent NaN/explosion is what this guards against).
+    for v in eval.pred.data() {
+        assert!(v.is_finite());
+        assert!((-150.0..300.0).contains(v), "exploded prediction {v}");
+    }
+    assert_eq!(eval.pred.shape(), eval.target.shape());
+}
+
+#[test]
+fn deterministic_given_seeds() {
+    let data = tiny_windowed(6, 2 * 288, 17);
+    let run = || {
+        let model = tiny_model(&data, 5);
+        let trainer = Trainer::new(TrainConfig {
+            max_epochs: 1,
+            seed: 9,
+            ..TrainConfig::default()
+        });
+        trainer.train(&model, &data);
+        trainer.evaluate(&model, &data, Split::Test).overall.mae
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b, "same seeds must give identical results");
+}
+
+#[test]
+fn all_four_dataset_profiles_window_cleanly() {
+    for id in DatasetId::all() {
+        let data = id.generate(Profile::Fast);
+        let windowed = WindowedDataset::new(data, 12, 12, id.split_fractions());
+        assert!(windowed.len(Split::Train) > 0, "{}", id.name());
+        assert!(windowed.len(Split::Test) > 0, "{}", id.name());
+        let batch = windowed.batch(Split::Train, &[0]);
+        assert_eq!(batch.x.shape()[1], 12);
+        assert_eq!(batch.y.shape()[1], 12);
+    }
+}

@@ -1,0 +1,137 @@
+//! Property-based tests (proptest) on cross-crate invariants: metrics,
+//! scalers, windows, transition matrices, and autograd consistency under
+//! random inputs.
+
+use d2stgnn::prelude::*;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn metrics_are_zero_iff_exact(values in prop::collection::vec(1.0f32..100.0, 1..50)) {
+        let m = Metrics::compute(&values, &values, 0.0);
+        prop_assert_eq!(m.mae, 0.0);
+        prop_assert_eq!(m.rmse, 0.0);
+        prop_assert_eq!(m.mape, 0.0);
+    }
+
+    #[test]
+    fn metrics_shift_invariance_of_mae(
+        values in prop::collection::vec(1.0f32..100.0, 1..50),
+        shift in 0.5f32..5.0,
+    ) {
+        // Predicting y + c gives MAE exactly c.
+        let pred: Vec<f32> = values.iter().map(|v| v + shift).collect();
+        let m = Metrics::compute(&pred, &values, 0.0);
+        prop_assert!((m.mae - shift).abs() < 1e-3);
+        prop_assert!((m.rmse - shift).abs() < 1e-3);
+    }
+
+    #[test]
+    fn rmse_dominates_mae(
+        pred in prop::collection::vec(1.0f32..100.0, 2..40),
+        noise in prop::collection::vec(-5.0f32..5.0, 2..40),
+    ) {
+        let n = pred.len().min(noise.len());
+        let target: Vec<f32> = pred[..n].iter().zip(&noise[..n]).map(|(p, e)| p + e).collect();
+        let m = Metrics::compute(&pred[..n], &target, 0.0);
+        prop_assert!(m.rmse >= m.mae - 1e-5);
+    }
+
+    #[test]
+    fn scaler_roundtrips(values in prop::collection::vec(-50f32..120.0, 2..100)) {
+        let scaler = StandardScaler::fit(&values);
+        let arr = Array::from_vec(&[values.len()], values.clone()).unwrap();
+        let back = scaler.inverse_transform(&scaler.transform(&arr));
+        for (a, b) in back.data().iter().zip(&values) {
+            prop_assert!((a - b).abs() < 1e-2, "{} vs {}", a, b);
+        }
+    }
+
+    #[test]
+    fn transition_matrices_stay_row_stochastic(seed in 0u64..500, n in 3usize..20, k in 2usize..5) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let net = TrafficNetwork::random_geometric(n, k.min(n - 1), 0.02, &mut rng);
+        let p = transition::forward_transition(&net.adjacency());
+        prop_assert!(transition::is_row_stochastic(&p, 1e-4));
+        // Powers of a row-stochastic matrix remain row-stochastic (rows that
+        // can reach a sink may lose mass only through all-zero rows).
+        let p2 = transition::matrix_power(&p, 2);
+        let rows_ok = (0..n).all(|r| {
+            let s: f32 = p2.data()[r * n..(r + 1) * n].iter().sum();
+            s <= 1.0 + 1e-4
+        });
+        prop_assert!(rows_ok);
+    }
+
+    #[test]
+    fn gaussian_kernel_weights_monotone_in_distance(d1 in 0.1f32..2.0, d2 in 0.1f32..2.0) {
+        // Two 3-node line graphs differing in one distance: the closer pair
+        // gets at least the weight of the farther pair.
+        let build = |d: f32| {
+            let dist = vec![0.0, d, 10.0, d, 0.0, 10.0, 10.0, 10.0, 0.0];
+            TrafficNetwork::from_distances(3, &dist, Some(1.0), 0.0, vec![])
+        };
+        let (near, far) = if d1 <= d2 { (d1, d2) } else { (d2, d1) };
+        let w_near = build(near).weight(0, 1);
+        let w_far = build(far).weight(0, 1);
+        prop_assert!(w_near >= w_far - 1e-6);
+    }
+
+    #[test]
+    fn window_batches_respect_raw_series(
+        seed in 0u64..100,
+        idx in 0usize..10,
+    ) {
+        let mut sim = SimulatorConfig::tiny();
+        sim.num_nodes = 5;
+        sim.num_steps = 288;
+        sim.seed = seed;
+        let windowed = WindowedDataset::new(simulate(&sim), 12, 12, (0.6, 0.2, 0.2));
+        let idx = idx % windowed.len(Split::Train);
+        let start = windowed.window_starts(Split::Train)[idx];
+        let batch = windowed.batch(Split::Train, &[idx]);
+        let raw = &windowed.data().values;
+        let scaler = windowed.scaler();
+        // Inputs are the normalized raw series; targets the raw series.
+        for t in 0..12 {
+            let expect = (raw.at(&[start + t, 2]) - scaler.mean()) / scaler.std();
+            prop_assert!((batch.x.at(&[0, t, 2, 0]) - expect).abs() < 1e-5);
+            prop_assert_eq!(batch.y.at(&[0, t, 2, 0]), raw.at(&[start + 12 + t, 2]));
+        }
+    }
+
+    #[test]
+    fn softmax_tensor_rows_normalize(seed in 0u64..200, rows in 1usize..6, cols in 2usize..8) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = Tensor::constant(Array::randn(&[rows, cols], &mut rng));
+        let s = x.softmax(1).value();
+        for r in 0..rows {
+            let sum: f32 = s.data()[r * cols..(r + 1) * cols].iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn autograd_linearity_of_gradients(seed in 0u64..200) {
+        // d/dx of (a*f + b*g) = a*df + b*dg for scalar outputs.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let base = Array::randn(&[4], &mut rng);
+        let grad_of = |scale_sq: f32, scale_sum: f32| -> Vec<f32> {
+            let x = Tensor::parameter(base.clone());
+            let y = x.square().sum_all().scale(scale_sq)
+                .add(&x.sum_all().scale(scale_sum));
+            y.backward();
+            x.grad().unwrap().data().to_vec()
+        };
+        let g1 = grad_of(2.0, 0.0);
+        let g2 = grad_of(0.0, 3.0);
+        let g12 = grad_of(2.0, 3.0);
+        for i in 0..4 {
+            prop_assert!((g12[i] - (g1[i] + g2[i])).abs() < 1e-4);
+        }
+    }
+}
