@@ -55,6 +55,7 @@ pub fn evaluate_classical<F: ClassicalForecaster>(
 /// Historical Average: traffic as a periodic process — the prediction for a
 /// future slot is the training-set average of that (time-of-day, weekday/
 /// weekend) slot for that sensor.
+#[derive(Clone)]
 pub struct HistoricalAverage {
     /// `[2, steps_per_day, N]` means (weekday class 0, weekend class 1).
     table: Option<Array>,
@@ -72,6 +73,47 @@ impl HistoricalAverage {
 
     fn day_class(dow: usize) -> usize {
         usize::from(dow >= 5)
+    }
+
+    /// Steps per day the table was fitted with (`0` before [`fit`]).
+    ///
+    /// [`fit`]: ClassicalForecaster::fit
+    pub fn steps_per_day(&self) -> usize {
+        self.steps_per_day
+    }
+
+    /// `true` once [`ClassicalForecaster::fit`] has run.
+    pub fn is_fitted(&self) -> bool {
+        self.table.is_some()
+    }
+
+    /// Predict `[tf, N]` raw-scale values for forecast steps starting at the
+    /// given `(day-of-week, time-of-day slot)`, without needing the dataset.
+    ///
+    /// This is the serving entry point: a live request knows only the clock
+    /// position of its first forecast step. Slots wrap around midnight and
+    /// advance the weekday.
+    ///
+    /// # Panics
+    /// If the model is unfitted.
+    pub fn predict_slots(&self, start_dow: usize, start_slot: usize, tf: usize) -> Array {
+        let table = self
+            .table
+            .as_ref()
+            .expect("fit() must run before predict()");
+        let spd = self.steps_per_day;
+        let n = table.shape()[2];
+        let mut out = Array::zeros(&[tf, n]);
+        for h in 0..tf {
+            let abs = start_slot + h;
+            let slot = abs % spd;
+            let dow = (start_dow + abs / spd) % 7;
+            let cls = Self::day_class(dow);
+            for i in 0..n {
+                out.set(&[h, i], table.at(&[cls, slot, i]));
+            }
+        }
+        out
     }
 }
 
@@ -112,14 +154,23 @@ impl ClassicalForecaster for HistoricalAverage {
         let table_data: Vec<f32> = sums
             .iter()
             .zip(&counts)
-            .map(|(s, c)| if *c > 0 { (*s / *c as f64) as f32 } else { global })
+            .map(|(s, c)| {
+                if *c > 0 {
+                    (*s / *c as f64) as f32
+                } else {
+                    global
+                }
+            })
             .collect();
         self.table = Some(Array::from_vec(&[2, spd, n], table_data).expect("table shape"));
         self.steps_per_day = spd;
     }
 
     fn predict(&self, data: &WindowedDataset, t_end: usize) -> Array {
-        let table = self.table.as_ref().expect("fit() must run before predict()");
+        let table = self
+            .table
+            .as_ref()
+            .expect("fit() must run before predict()");
         let raw = data.data();
         let (tf, n) = (data.tf(), data.num_nodes());
         let mut out = Array::zeros(&[tf, n]);
@@ -230,23 +281,21 @@ impl ClassicalForecaster for VectorAutoRegression {
         let mut history: Vec<Vec<f32>> = (0..p)
             .map(|lag| {
                 (0..n)
-                    .map(|i| {
-                        (raw.values.at(&[t_end - 1 - lag, i]) - scaler.mean()) / scaler.std()
-                    })
+                    .map(|i| (raw.values.at(&[t_end - 1 - lag, i]) - scaler.mean()) / scaler.std())
                     .collect()
             })
             .collect();
         let mut out = Array::zeros(&[tf, n]);
         for h in 0..tf {
             let mut next = vec![0f32; n];
-            for j in 0..n {
+            for (j, slot) in next.iter_mut().enumerate() {
                 let mut acc = coef.at(&[d - 1, j]); // intercept
-                for lag in 0..p {
-                    for i in 0..n {
-                        acc += coef.at(&[lag * n + i, j]) * history[lag][i];
+                for (lag, lagged) in history.iter().enumerate() {
+                    for (i, v) in lagged.iter().enumerate() {
+                        acc += coef.at(&[lag * n + i, j]) * v;
                     }
                 }
-                next[j] = acc;
+                *slot = acc;
             }
             for (i, v) in next.iter().enumerate() {
                 out.set(&[h, i], v * scaler.std() + scaler.mean());
@@ -274,11 +323,7 @@ fn solve_multi(a: &[f64], b: &[f64], d: usize, m: usize) -> Vec<f64> {
     for col in 0..d {
         // Partial pivot.
         let pivot = (col..d)
-            .max_by(|&r1, &r2| {
-                aug[r1 * w + col]
-                    .abs()
-                    .total_cmp(&aug[r2 * w + col].abs())
-            })
+            .max_by(|&r1, &r2| aug[r1 * w + col].abs().total_cmp(&aug[r2 * w + col].abs()))
             .expect("non-empty range");
         assert!(
             aug[pivot * w + col].abs() > 1e-12,
@@ -362,9 +407,8 @@ impl ClassicalForecaster for LinearSvr {
         let feat = th + 1;
         let mut w = vec![0f32; tf * feat];
         let mut rng = StdRng::seed_from_u64(self.seed);
-        let norm = |t: usize, i: usize| -> f32 {
-            (raw.values.at(&[t, i]) - scaler.mean()) / scaler.std()
-        };
+        let norm =
+            |t: usize, i: usize| -> f32 { (raw.values.at(&[t, i]) - scaler.mean()) / scaler.std() };
         let usable = train_end.saturating_sub(th + tf);
         assert!(usable > 0, "not enough training data for SVR");
         let samples = usable * n;
@@ -377,8 +421,12 @@ impl ClassicalForecaster for LinearSvr {
                 for h in 0..tf {
                     let y = norm(start + th + h, node);
                     let wrow = &mut w[h * feat..(h + 1) * feat];
-                    let pred: f32 =
-                        wrow[..th].iter().zip(&x).map(|(wv, xv)| wv * xv).sum::<f32>() + wrow[th];
+                    let pred: f32 = wrow[..th]
+                        .iter()
+                        .zip(&x)
+                        .map(|(wv, xv)| wv * xv)
+                        .sum::<f32>()
+                        + wrow[th];
                     let err = pred - y;
                     // Epsilon-insensitive subgradient.
                     let g = if err > self.epsilon {
@@ -399,7 +447,10 @@ impl ClassicalForecaster for LinearSvr {
     }
 
     fn predict(&self, data: &WindowedDataset, t_end: usize) -> Array {
-        let w = self.weights.as_ref().expect("fit() must run before predict()");
+        let w = self
+            .weights
+            .as_ref()
+            .expect("fit() must run before predict()");
         let raw = data.data();
         let scaler = data.scaler();
         let (th, tf, n) = (data.th(), data.tf(), data.num_nodes());
@@ -463,12 +514,8 @@ mod tests {
         let (pred, target, horizons) = evaluate_classical(&ha, &data, Split::Test, 0.0);
         assert_eq!(pred.shape(), target.shape());
         let mae = horizons[0].1.mae;
-        let naive_mae = metrics::Metrics::compute(
-            &vec![0.0; target.numel()],
-            target.data(),
-            0.0,
-        )
-        .mae;
+        let naive_mae =
+            metrics::Metrics::compute(&vec![0.0; target.numel()], target.data(), 0.0).mae;
         assert!(mae < naive_mae * 0.3, "HA MAE {mae} vs naive {naive_mae}");
     }
 
@@ -519,7 +566,11 @@ mod tests {
         svr.fit(&data);
         let (_, target, h) = evaluate_classical(&svr, &data, Split::Test, 0.0);
         let mean = target.mean_all();
-        assert!(h[0].1.mae < mean * 0.25, "SVR MAE {} vs mean {mean}", h[0].1.mae);
+        assert!(
+            h[0].1.mae < mean * 0.25,
+            "SVR MAE {} vs mean {mean}",
+            h[0].1.mae
+        );
     }
 
     #[test]

@@ -46,8 +46,12 @@ impl DiffusionConv {
         };
         Self {
             w0: Linear::new(c_in, c_out, true, rng),
-            wf: (0..k).map(|_| Linear::new(c_in, c_out, false, rng)).collect(),
-            wb: (0..k).map(|_| Linear::new(c_in, c_out, false, rng)).collect(),
+            wf: (0..k)
+                .map(|_| Linear::new(c_in, c_out, false, rng))
+                .collect(),
+            wb: (0..k)
+                .map(|_| Linear::new(c_in, c_out, false, rng))
+                .collect(),
             pf: powers(&p_f),
             pb: powers(&p_b),
         }

@@ -108,8 +108,7 @@ mod tests {
         let (model, data, mut rng) = setup();
         let batch = data.batch(Split::Train, &[0, 1, 2, 3]);
         let target = Tensor::constant(
-            data.scaler()
-                .transform(&batch.y), // compare in normalized space
+            data.scaler().transform(&batch.y), // compare in normalized space
         );
         let loss_of = |m: &FcLstm, rng: &mut StdRng| {
             d2stgnn_tensor::losses::mae_loss(&m.forward(&batch, true, rng), &target)

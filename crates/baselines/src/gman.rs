@@ -101,7 +101,11 @@ impl StAttBlock {
             .reshape(&[b, n, t, d])
             .permute(&[0, 2, 1, 3]);
         // Gated fusion (Eq. 9 of GMAN): z = sigmoid(HS Wz + HT Wz').
-        let z = self.gate_s.forward(&sp).add(&self.gate_t.forward(&tp)).sigmoid();
+        let z = self
+            .gate_s
+            .forward(&sp)
+            .add(&self.gate_t.forward(&tp))
+            .sigmoid();
         let ones = Tensor::constant(Array::ones(&z.shape()));
         let fused = z.mul(&sp).add(&ones.sub(&z).mul(&tp));
         self.norm.forward(&h.add(&fused))
@@ -147,7 +151,9 @@ impl Gman {
         Self {
             st_emb: StEmbedding::new(num_nodes, steps_per_day, d, rng),
             input_proj: Linear::new(1, d, true, rng),
-            blocks: (0..blocks).map(|_| StAttBlock::new(d, heads, rng)).collect(),
+            blocks: (0..blocks)
+                .map(|_| StAttBlock::new(d, heads, rng))
+                .collect(),
             transform_q: Linear::new(d, d, false, rng),
             transform_k: Linear::new(d, d, false, rng),
             head: Mlp::new(d, d, 1, rng),
@@ -159,7 +165,13 @@ impl Gman {
     }
 
     /// Future (tod, dow) indices extrapolated from each window's last step.
-    fn future_slots(&self, tod: &[usize], dow: &[usize], b: usize, th: usize) -> (Vec<usize>, Vec<usize>) {
+    fn future_slots(
+        &self,
+        tod: &[usize],
+        dow: &[usize],
+        b: usize,
+        th: usize,
+    ) -> (Vec<usize>, Vec<usize>) {
         let spd = self.steps_per_day;
         let mut ftod = Vec::with_capacity(b * self.tf);
         let mut fdow = Vec::with_capacity(b * self.tf);

@@ -137,9 +137,7 @@ impl TrafficModel for GraphWaveNet {
         let ch = self.channels;
         let apt = self.adaptive();
         // [B, T, N, ch]
-        let mut x = self
-            .input_proj
-            .forward(&Tensor::constant(batch.x.clone()));
+        let mut x = self.input_proj.forward(&Tensor::constant(batch.x.clone()));
         let mut t = th;
         let mut skip_sum: Option<Tensor> = None;
         for block in &self.blocks {

@@ -30,7 +30,7 @@ pub use astgcn::Astgcn;
 pub use classical::{
     evaluate_classical, ClassicalForecaster, HistoricalAverage, LinearSvr, VectorAutoRegression,
 };
-pub use dcrnn::{Dcrnn, DcgruCell, DiffusionConv};
+pub use dcrnn::{DcgruCell, Dcrnn, DiffusionConv};
 pub use dgcrn::Dgcrn;
 pub use fc_lstm::FcLstm;
 pub use gman::Gman;

@@ -69,7 +69,9 @@ impl DilatedInception {
         let ts = s.shape()[1];
         let tl = l.shape()[1];
         let s_aligned = s.slice_axis(1, ts - tl, ts);
-        self.mix.forward(&Tensor::concat(&[&s_aligned, &l], 2)).tanh()
+        self.mix
+            .forward(&Tensor::concat(&[&s_aligned, &l], 2))
+            .tanh()
     }
 }
 

@@ -87,10 +87,7 @@ impl TrafficModel for Stgcn {
                 .reshape(&[b, n, t1, ch])
                 .permute(&[0, 2, 1, 3])
                 .reshape(&[b * t1, n, ch]);
-            let z = blk
-                .spatial
-                .forward(&self.p_hat.matmul(&spatial_in))
-                .relu();
+            let z = blk.spatial.forward(&self.p_hat.matmul(&spatial_in)).relu();
             // Temporal conv 2.
             let back = z
                 .reshape(&[b, t1, n, ch])

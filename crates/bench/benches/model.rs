@@ -6,7 +6,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use d2stgnn_baselines::{Dcrnn, FcLstm, GraphWaveNet, Stgcn};
 use d2stgnn_core::{D2stgnn, D2stgnnConfig, TrafficModel};
-use d2stgnn_data::{simulate, Batch, Split, SimulatorConfig, WindowedDataset};
+use d2stgnn_data::{simulate, Batch, SimulatorConfig, Split, WindowedDataset};
 use d2stgnn_tensor::losses::mae_loss;
 use d2stgnn_tensor::nn::Module;
 use d2stgnn_tensor::optim::{Adam, Optimizer};

@@ -32,11 +32,18 @@ fn main() {
     }
     print!(
         "{}",
-        table::render_bars("Figure 6: average training time per epoch (METR-LA)", &bars, "s")
+        table::render_bars(
+            "Figure 6: average training time per epoch (METR-LA)",
+            &bars,
+            "s"
+        )
     );
     println!("\n{:<16} {:>12} {:>12}", "Model", "s/epoch", "#params");
     for r in &rows {
-        println!("{:<16} {:>12.2} {:>12}", r.model, r.avg_epoch_seconds, r.params);
+        println!(
+            "{:<16} {:>12.2} {:>12}",
+            r.model, r.avg_epoch_seconds, r.params
+        );
     }
     println!("\nExpected shape (paper): GWNet and MTGNN fastest; DGCRN and GMAN");
     println!("slowest; D2STGNN in between, with the dynamic graph adding modest");

@@ -65,7 +65,14 @@ fn main() {
         ks_curve.push((format!("k_s = {ks}"), mae as f64));
         record(format!("ks={ks}"), mae, secs, &mut results);
     }
-    print!("{}", table::render_bars("Figure 7(a): test MAE vs spatial kernel k_s", &ks_curve, "MAE"));
+    print!(
+        "{}",
+        table::render_bars(
+            "Figure 7(a): test MAE vs spatial kernel k_s",
+            &ks_curve,
+            "MAE"
+        )
+    );
 
     // (a) temporal kernel sweep (k_s fixed at the paper default 2).
     let mut kt_curve = Vec::new();
@@ -75,7 +82,14 @@ fn main() {
         kt_curve.push((format!("k_t = {kt}"), mae as f64));
         record(format!("kt={kt}"), mae, secs, &mut results);
     }
-    print!("{}", table::render_bars("Figure 7(a): test MAE vs temporal kernel k_t", &kt_curve, "MAE"));
+    print!(
+        "{}",
+        table::render_bars(
+            "Figure 7(a): test MAE vs temporal kernel k_t",
+            &kt_curve,
+            "MAE"
+        )
+    );
 
     // (b) hidden dimension sweep.
     let mut d_curve = Vec::new();
@@ -88,7 +102,14 @@ fn main() {
         d_curve.push((format!("d = {d}"), mae as f64));
         record(format!("d={d}"), mae, secs, &mut results);
     }
-    print!("{}", table::render_bars("Figure 7(b): test MAE vs hidden dimension d", &d_curve, "MAE"));
+    print!(
+        "{}",
+        table::render_bars(
+            "Figure 7(b): test MAE vs hidden dimension d",
+            &d_curve,
+            "MAE"
+        )
+    );
 
     println!("\nExpected shape (paper): MAE improves up to k about 2-3 then flattens or");
     println!("degrades (spatial-temporal locality); d is U-shaped (small d underfits,");

@@ -32,7 +32,10 @@ fn ascii_chart(truth: &[f32], pred: &[f32], height: usize) -> String {
         let _ = writeln!(out, "|{}", String::from_utf8_lossy(&row));
     }
     let _ = writeln!(out, "+{}", "-".repeat(truth.len()));
-    let _ = writeln!(out, "  '*' = ground truth, 'o' = D2STGNN prediction  (range {min:.1}..{max:.1})");
+    let _ = writeln!(
+        out,
+        "  '*' = ground truth, 'o' = D2STGNN prediction  (range {min:.1}..{max:.1})"
+    );
     out
 }
 

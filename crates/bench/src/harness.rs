@@ -6,9 +6,7 @@ use d2stgnn_baselines::{
     evaluate_classical, Astgcn, ClassicalForecaster, Dcrnn, Dgcrn, FcLstm, Gman, GraphWaveNet,
     HistoricalAverage, LinearSvr, Mtgnn, Stgcn, Stsgcn, VectorAutoRegression,
 };
-use d2stgnn_core::{
-    BlockOrder, D2stgnn, D2stgnnConfig, TrafficModel, TrainConfig, Trainer,
-};
+use d2stgnn_core::{BlockOrder, D2stgnn, D2stgnnConfig, TrafficModel, TrainConfig, Trainer};
 use d2stgnn_data::{DatasetId, Metrics, Profile, Split, WindowedDataset};
 
 use rand::rngs::StdRng;
@@ -47,8 +45,8 @@ impl D2Variant {
     pub fn label(&self) -> &'static str {
         match self {
             D2Variant::Full => "D2STGNN",
-            D2Variant::StaticGraph => "D2STGNN+",  // dagger
-            D2Variant::Coupled => "D2STGNN++",     // double dagger
+            D2Variant::StaticGraph => "D2STGNN+", // dagger
+            D2Variant::Coupled => "D2STGNN++",    // double dagger
             D2Variant::Switch => "switch",
             D2Variant::WithoutGate => "w/o gate",
             D2Variant::WithoutResidual => "w/o res",
@@ -261,10 +259,15 @@ pub fn run_model(
 ) -> RunResult {
     let null_val = 0.0;
     match spec {
-        ModelSpec::Ha => run_classical_model(&mut HistoricalAverage::new(), dataset, data, null_val),
-        ModelSpec::Var => {
-            run_classical_model(&mut VectorAutoRegression::new(3, 1.0), dataset, data, null_val)
+        ModelSpec::Ha => {
+            run_classical_model(&mut HistoricalAverage::new(), dataset, data, null_val)
         }
+        ModelSpec::Var => run_classical_model(
+            &mut VectorAutoRegression::new(3, 1.0),
+            dataset,
+            data,
+            null_val,
+        ),
         ModelSpec::Svr => run_classical_model(&mut LinearSvr::new(), dataset, data, null_val),
         ModelSpec::FcLstm => {
             let (hidden, ..) = model_size(profile);
@@ -287,8 +290,13 @@ pub fn run_model(
         ModelSpec::GWnet => {
             let (hidden, ..) = model_size(profile);
             let mut rng = StdRng::seed_from_u64(seed);
-            let model =
-                GraphWaveNet::new(&data.data().network.clone(), hidden, data.tf(), true, &mut rng);
+            let model = GraphWaveNet::new(
+                &data.data().network.clone(),
+                hidden,
+                data.tf(),
+                true,
+                &mut rng,
+            );
             run_neural_model(&model, dataset, data, profile, true, seed)
         }
         ModelSpec::Astgcn => {
@@ -449,7 +457,12 @@ fn with_neural_model<T>(
     let mut rng = StdRng::seed_from_u64(seed);
     let net = data.data().network.clone();
     match spec {
-        ModelSpec::FcLstm => f(&FcLstm::new(data.num_nodes(), hidden * 4, data.tf(), &mut rng)),
+        ModelSpec::FcLstm => f(&FcLstm::new(
+            data.num_nodes(),
+            hidden * 4,
+            data.tf(),
+            &mut rng,
+        )),
         ModelSpec::Dcrnn => f(&Dcrnn::new(&net, hidden, 2, data.tf(), &mut rng)),
         ModelSpec::Stgcn => f(&Stgcn::new(&net, hidden, data.tf(), &mut rng)),
         ModelSpec::GWnet => f(&GraphWaveNet::new(&net, hidden, data.tf(), true, &mut rng)),

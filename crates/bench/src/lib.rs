@@ -22,6 +22,6 @@ pub mod harness;
 pub mod table;
 
 pub use harness::{
-    d2_config, model_size, run_model, run_timing, save_results, train_config, D2Variant,
-    ModelSpec, RunResult,
+    d2_config, model_size, run_model, run_timing, save_results, train_config, D2Variant, ModelSpec,
+    RunResult,
 };

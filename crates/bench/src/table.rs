@@ -61,7 +61,11 @@ pub fn render_winners(rows: &[RunResult]) -> String {
 /// Render a simple horizontal ASCII bar chart (used by Figure 6).
 pub fn render_bars(title: &str, items: &[(String, f64)], unit: &str) -> String {
     let mut out = format!("\n=== {title} ===\n");
-    let max = items.iter().map(|(_, v)| *v).fold(f64::MIN, f64::max).max(1e-9);
+    let max = items
+        .iter()
+        .map(|(_, v)| *v)
+        .fold(f64::MIN, f64::max)
+        .max(1e-9);
     for (label, v) in items {
         let width = ((v / max) * 50.0).round() as usize;
         out.push_str(&format!(

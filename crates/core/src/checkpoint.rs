@@ -8,8 +8,11 @@ use d2stgnn_tensor::Array;
 use serde::{Deserialize, Serialize};
 use std::path::Path;
 
+/// Current checkpoint format version written by [`snapshot`].
+pub const FORMAT_VERSION: u32 = 2;
+
 /// A serialized set of model parameters.
-#[derive(Serialize, Deserialize)]
+#[derive(Clone, Serialize, Deserialize)]
 pub struct Checkpoint {
     /// Format version for forward compatibility.
     pub version: u32,
@@ -17,6 +20,58 @@ pub struct Checkpoint {
     pub model: String,
     /// Parameter values in the module's canonical order.
     pub parameters: Vec<Array>,
+    /// Total number of scalar parameters (v2+; `None` in v1 files).
+    pub param_count: Option<u64>,
+    /// FNV-1a checksum over every parameter's f32 bit pattern in canonical
+    /// order (v2+; `None` in v1 files). Detects silent corruption.
+    pub checksum: Option<u64>,
+}
+
+/// FNV-1a over the little-endian f32 bit patterns of all parameter arrays in
+/// order. Bit-pattern based, so `-0.0`/`0.0` and distinct NaN payloads hash
+/// differently and the digest is platform independent.
+pub fn params_checksum(parameters: &[Array]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for array in parameters {
+        for v in array.data() {
+            for b in v.to_bits().to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+        }
+    }
+    h
+}
+
+impl Checkpoint {
+    /// Total scalar parameter count of the stored arrays.
+    pub fn total_params(&self) -> u64 {
+        self.parameters.iter().map(|a| a.data().len() as u64).sum()
+    }
+
+    /// Verify the stored integrity metadata against the parameter payload.
+    ///
+    /// v1 checkpoints carry no metadata and pass vacuously; v2 checkpoints
+    /// must match both the parameter count and the checksum.
+    pub fn verify_integrity(&self) -> Result<(), CheckpointError> {
+        if let Some(expected) = self.param_count {
+            let actual = self.total_params();
+            if actual != expected {
+                return Err(CheckpointError::Mismatch(format!(
+                    "checkpoint declares {expected} scalar parameters but payload has {actual}"
+                )));
+            }
+        }
+        if let Some(expected) = self.checksum {
+            let actual = params_checksum(&self.parameters);
+            if actual != expected {
+                return Err(CheckpointError::Mismatch(format!(
+                    "checkpoint checksum {expected:#018x} does not match payload {actual:#018x}"
+                )));
+            }
+        }
+        Ok(())
+    }
 }
 
 /// Errors from checkpoint I/O.
@@ -50,10 +105,15 @@ impl From<std::io::Error> for CheckpointError {
 
 /// Capture a module's parameters.
 pub fn snapshot<M: Module + ?Sized>(model: &M, tag: &str) -> Checkpoint {
+    let parameters: Vec<Array> = model.parameters().iter().map(|p| p.value()).collect();
+    let param_count = parameters.iter().map(|a| a.data().len() as u64).sum();
+    let checksum = params_checksum(&parameters);
     Checkpoint {
-        version: 1,
+        version: FORMAT_VERSION,
         model: tag.to_string(),
-        parameters: model.parameters().iter().map(|p| p.value()).collect(),
+        parameters,
+        param_count: Some(param_count),
+        checksum: Some(checksum),
     }
 }
 
@@ -90,11 +150,19 @@ pub fn save<M: Module + ?Sized>(model: &M, tag: &str, path: &Path) -> Result<(),
     Ok(())
 }
 
-/// Load a module's parameters from a JSON file.
-pub fn load<M: Module + ?Sized>(model: &M, path: &Path) -> Result<String, CheckpointError> {
+/// Parse a checkpoint from a JSON file and verify its integrity metadata
+/// (v2+ files; v1 files have none and are accepted as-is).
+pub fn read(path: &Path) -> Result<Checkpoint, CheckpointError> {
     let json = std::fs::read_to_string(path)?;
     let ckpt: Checkpoint =
         serde_json::from_str(&json).map_err(|e| CheckpointError::Parse(e.to_string()))?;
+    ckpt.verify_integrity()?;
+    Ok(ckpt)
+}
+
+/// Load a module's parameters from a JSON file, verifying integrity first.
+pub fn load<M: Module + ?Sized>(model: &M, path: &Path) -> Result<String, CheckpointError> {
+    let ckpt = read(path)?;
     restore(model, &ckpt)?;
     Ok(ckpt.model)
 }
@@ -149,6 +217,70 @@ mod tests {
         assert_eq!(tag, "lin");
         assert_eq!(a.parameters()[0].value(), before);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn snapshot_carries_integrity_metadata() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = Linear::new(3, 4, true, &mut rng);
+        let ckpt = snapshot(&a, "lin");
+        assert_eq!(ckpt.version, FORMAT_VERSION);
+        assert_eq!(ckpt.param_count, Some(3 * 4 + 4));
+        assert_eq!(ckpt.checksum, Some(params_checksum(&ckpt.parameters)));
+        ckpt.verify_integrity().unwrap();
+    }
+
+    #[test]
+    fn v1_checkpoint_without_metadata_still_loads() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let a = Linear::new(2, 3, true, &mut rng);
+        // Serialize, then strip the v2 fields to fabricate a v1-era file.
+        let mut ckpt = snapshot(&a, "legacy");
+        ckpt.version = 1;
+        ckpt.param_count = None;
+        ckpt.checksum = None;
+        let json = serde_json::to_string(&ckpt).unwrap();
+        assert!(!json.contains("\"param_count\":1") && json.contains("\"version\":1"));
+        let dir = std::env::temp_dir().join("d2stgnn-ckpt-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("v1.json");
+        std::fs::write(&path, &json).unwrap();
+        let loaded = read(&path).unwrap();
+        assert_eq!(loaded.version, 1);
+        assert_eq!(loaded.param_count, None);
+        assert_eq!(loaded.checksum, None);
+        load(&a, &path).unwrap();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupted_payload_is_rejected() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let a = Linear::new(2, 2, true, &mut rng);
+        let dir = std::env::temp_dir().join("d2stgnn-ckpt-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("corrupt.json");
+        save(&a, "lin", &path).unwrap();
+        // Flip one stored bias element (zero-initialized, so its JSON form is
+        // exact) without updating the checksum.
+        let json = std::fs::read_to_string(&path).unwrap();
+        let tampered = json.replacen("\"data\":[0,0]", "\"data\":[1,0]", 1);
+        assert_ne!(json, tampered, "tamper target value not found in JSON");
+        std::fs::write(&path, &tampered).unwrap();
+        let err = load(&a, &path).unwrap_err();
+        assert!(matches!(err, CheckpointError::Mismatch(_)), "got {err}");
+        assert!(err.to_string().contains("checksum"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn wrong_param_count_is_rejected() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let a = Linear::new(2, 2, true, &mut rng);
+        let mut ckpt = snapshot(&a, "lin");
+        ckpt.param_count = Some(ckpt.total_params() + 1);
+        let err = ckpt.verify_integrity().unwrap_err();
+        assert!(err.to_string().contains("scalar parameters"));
     }
 
     #[test]

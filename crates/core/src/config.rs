@@ -127,7 +127,7 @@ impl D2stgnnConfig {
         if self.hidden == 0 || self.emb_dim == 0 {
             return Err("hidden and emb_dim must be positive".into());
         }
-        if self.heads == 0 || self.hidden % self.heads != 0 {
+        if self.heads == 0 || !self.hidden.is_multiple_of(self.heads) {
             return Err(format!(
                 "heads ({}) must divide hidden ({})",
                 self.heads, self.hidden

@@ -138,10 +138,10 @@ impl DiffusionBlock {
 
         for (matrix, weights) in matrices {
             let mut power = matrix.clone_tensor();
-            for k in 0..self.cfg.ks {
+            for (k, weight) in weights.iter().enumerate().take(self.cfg.ks) {
                 let masked = matrix.mask(&power, ctx, b);
                 let agg = matrix.apply(&masked, &z_flat, b, th, n, d);
-                let term = weights[k].forward(&agg);
+                let term = weight.forward(&agg);
                 h = Some(match h {
                     Some(acc) => acc.add(&term),
                     None => term,
@@ -151,7 +151,9 @@ impl DiffusionBlock {
                 }
             }
         }
-        let hidden = h.expect("at least one transition matrix").reshape(&[b, th, n, d]);
+        let hidden = h
+            .expect("at least one transition matrix")
+            .reshape(&[b, th, n, d]);
 
         // --- branches operate per node: [B, Th, N, d] -> [B*N, Th, d].
         let per_node = hidden.permute(&[0, 2, 1, 3]).reshape(&[b * n, th, d]);
@@ -216,7 +218,7 @@ impl MatrixRef<'_> {
             MatrixRef::Shared(_) => masked.matmul(z_flat),
             // Per-window matrices must be repeated across the Th axis first.
             MatrixRef::PerWindow(_) => {
-                let idx: Vec<usize> = (0..b).flat_map(|bi| std::iter::repeat(bi).take(th)).collect();
+                let idx: Vec<usize> = (0..b).flat_map(|bi| std::iter::repeat_n(bi, th)).collect();
                 let tiled = masked.index_select(0, &idx); // [B*Th, N, N]
                 debug_assert_eq!(tiled.shape()[0], b * th);
                 debug_assert_eq!(tiled.shape()[1], n);
@@ -337,7 +339,7 @@ mod tests {
 
         // Explicit Eq. 4 route for the last time step t = 2.
         let p_lc = transition::localized_transition(&ctx.p_f.value(), 1, 2); // [5, 10]
-        // X^lc stacks lag τ=1 then τ=0 blocks (older first per Eq. 5).
+                                                                             // X^lc stacks lag τ=1 then τ=0 blocks (older first per Eq. 5).
         let w_relu = |tau: usize, t: usize| -> Array {
             let xt = Tensor::constant(x.slice_axis(1, t, t + 1).reshape(&[5, 6]).unwrap());
             block.lag_proj[tau].forward(&xt).relu().value()
@@ -380,8 +382,14 @@ mod tests {
             p_f: Tensor::constant(transition::forward_transition(&net.adjacency())),
             p_b: Tensor::constant(Array::zeros(&[2, 2])),
         };
-        let h0 = block.forward(&ctx, &Tensor::constant(base), &tr, None).hidden.value();
-        let h1 = block.forward(&ctx, &Tensor::constant(bumped), &tr, None).hidden.value();
+        let h0 = block
+            .forward(&ctx, &Tensor::constant(base), &tr, None)
+            .hidden
+            .value();
+        let h1 = block
+            .forward(&ctx, &Tensor::constant(bumped), &tr, None)
+            .hidden
+            .value();
         // Node 0's hidden state is unchanged: its only source, after the
         // diagonal mask, is node 1's (unperturbed) input.
         for t in 0..4 {
@@ -390,7 +398,9 @@ mod tests {
             }
         }
         // Node 1's hidden state changes (it aggregates node 0).
-        let moved: f32 = (0..6).map(|j| (h0.at(&[0, 3, 1, j]) - h1.at(&[0, 3, 1, j])).abs()).sum();
+        let moved: f32 = (0..6)
+            .map(|j| (h0.at(&[0, 3, 1, j]) - h1.at(&[0, 3, 1, j])).abs())
+            .sum();
         assert!(moved > 1e-6);
     }
 

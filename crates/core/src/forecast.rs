@@ -75,7 +75,11 @@ impl ForecastBranch {
                 let refs: Vec<&Tensor> = outs.iter().collect();
                 Tensor::stack(&refs, 1)
             }
-            ForecastBranch::Direct { head, tf: tf_cfg, d: d_cfg } => {
+            ForecastBranch::Direct {
+                head,
+                tf: tf_cfg,
+                d: d_cfg,
+            } => {
                 assert_eq!(tf, *tf_cfg, "direct branch built for tf={tf_cfg}, got {tf}");
                 assert_eq!(d, *d_cfg, "direct branch width mismatch");
                 let last = h.slice_axis(1, t - 1, t).reshape(&[bp, d]);

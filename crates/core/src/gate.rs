@@ -47,8 +47,14 @@ impl EstimationGate {
             .dow_rows(dow)
             .reshape(&[b, th, 1, e])
             .broadcast_to(&[b, th, n, e]);
-        let e_u = emb.e_u().reshape(&[1, 1, n, e]).broadcast_to(&[b, th, n, e]);
-        let e_d = emb.e_d().reshape(&[1, 1, n, e]).broadcast_to(&[b, th, n, e]);
+        let e_u = emb
+            .e_u()
+            .reshape(&[1, 1, n, e])
+            .broadcast_to(&[b, th, n, e]);
+        let e_d = emb
+            .e_d()
+            .reshape(&[1, 1, n, e])
+            .broadcast_to(&[b, th, n, e]);
         let feats = Tensor::concat(&[&t_d, &t_w, &e_u, &e_d], 3);
         self.w2.forward(&self.w1.forward(&feats).relu()).sigmoid()
     }
@@ -112,9 +118,8 @@ mod tests {
         }
         // Only looked-up time rows receive gradient.
         let g = emb.time_of_day.weights().grad().unwrap();
-        let row_norm = |r: usize| -> f32 {
-            g.data()[r * 8..(r + 1) * 8].iter().map(|v| v.abs()).sum()
-        };
+        let row_norm =
+            |r: usize| -> f32 { g.data()[r * 8..(r + 1) * 8].iter().map(|v| v.abs()).sum() };
         assert!(row_norm(0) > 0.0 && row_norm(1) > 0.0);
         assert_eq!(row_norm(100), 0.0);
     }

@@ -202,7 +202,10 @@ mod tests {
         let (_, emb, _) = setup();
         let p = adaptive_transition(&emb);
         assert_eq!(p.shape(), vec![8, 8]);
-        assert!(d2stgnn_graph::transition::is_row_stochastic(&p.value(), 1e-4));
+        assert!(d2stgnn_graph::transition::is_row_stochastic(
+            &p.value(),
+            1e-4
+        ));
         p.sum_all().backward();
         assert!(emb.e_u().grad().is_some());
         assert!(emb.e_d().grad().is_some());

@@ -57,7 +57,9 @@ impl InherentBlock {
         let d = cfg.hidden;
         let gru = cfg.use_gru.then(|| Gru::new(d, d, rng));
         let input_proj = (!cfg.use_gru).then(|| Linear::new(d, d, true, rng));
-        let msa = cfg.use_msa.then(|| MultiHeadSelfAttention::new(d, cfg.heads, rng));
+        let msa = cfg
+            .use_msa
+            .then(|| MultiHeadSelfAttention::new(d, cfg.heads, rng));
         let forecast = if cfg.autoregressive {
             ForecastBranch::sliding(cfg.kt, d, rng)
         } else {
@@ -179,8 +181,14 @@ mod tests {
         assert!(no_msa.num_parameters() < full.num_parameters());
         // Both ablated blocks still run.
         let x = Tensor::constant(Array::randn(&[1, 6, 3, 8], &mut rng));
-        assert_eq!(no_gru.forward(&x, false, &mut rng).hidden.shape(), vec![1, 6, 3, 8]);
-        assert_eq!(no_msa.forward(&x, false, &mut rng).hidden.shape(), vec![1, 6, 3, 8]);
+        assert_eq!(
+            no_gru.forward(&x, false, &mut rng).hidden.shape(),
+            vec![1, 6, 3, 8]
+        );
+        assert_eq!(
+            no_msa.forward(&x, false, &mut rng).hidden.shape(),
+            vec![1, 6, 3, 8]
+        );
     }
 
     #[test]
@@ -198,8 +206,14 @@ mod tests {
                 bumped.data_mut()[idx] += 4.0;
             }
         }
-        let h0 = block.forward(&Tensor::constant(base), false, &mut rng).hidden.value();
-        let h1 = block.forward(&Tensor::constant(bumped), false, &mut rng).hidden.value();
+        let h0 = block
+            .forward(&Tensor::constant(base), false, &mut rng)
+            .hidden
+            .value();
+        let h1 = block
+            .forward(&Tensor::constant(bumped), false, &mut rng)
+            .hidden
+            .value();
         for t in 0..5 {
             for j in 0..8 {
                 assert_eq!(h0.at(&[0, t, 1, j]), h1.at(&[0, t, 1, j]));
@@ -218,9 +232,17 @@ mod tests {
         for j in 0..8 {
             bumped.data_mut()[j] += 3.0; // t=0
         }
-        let h0 = block.forward(&Tensor::constant(base), false, &mut rng).hidden.value();
-        let h1 = block.forward(&Tensor::constant(bumped), false, &mut rng).hidden.value();
-        let diff: f32 = (0..8).map(|j| (h0.at(&[0, 7, 0, j]) - h1.at(&[0, 7, 0, j])).abs()).sum();
+        let h0 = block
+            .forward(&Tensor::constant(base), false, &mut rng)
+            .hidden
+            .value();
+        let h1 = block
+            .forward(&Tensor::constant(bumped), false, &mut rng)
+            .hidden
+            .value();
+        let diff: f32 = (0..8)
+            .map(|j| (h0.at(&[0, 7, 0, j]) - h1.at(&[0, 7, 0, j])).abs())
+            .sum();
         assert!(diff > 1e-5, "no long-range influence: {diff}");
     }
 

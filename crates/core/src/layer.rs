@@ -139,9 +139,7 @@ impl DecoupledLayer {
                 }
             }
             BlockOrder::InherentFirst => {
-                let inh = self
-                    .inherent
-                    .forward(&gate_complement(x_l), training, rng);
+                let inh = self.inherent.forward(&gate_complement(x_l), training, rng);
                 let x_dif = if self.use_residual {
                     x_l.sub(&inh.backcast)
                 } else if coupled {

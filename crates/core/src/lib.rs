@@ -26,11 +26,11 @@ pub mod graphs;
 pub mod inherent;
 pub mod layer;
 pub mod model;
-pub mod traits;
 pub mod training;
+pub mod traits;
 
 pub use checkpoint::{load as load_checkpoint, save as save_checkpoint, Checkpoint};
 pub use config::{BlockOrder, D2stgnnConfig};
 pub use model::D2stgnn;
-pub use traits::TrafficModel;
 pub use training::{EvalResult, TrainConfig, TrainReport, Trainer};
+pub use traits::TrafficModel;

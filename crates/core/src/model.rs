@@ -32,7 +32,8 @@ impl D2stgnn {
     /// # Panics
     /// If the config fails validation or disagrees with the network size.
     pub fn new<R: Rng>(cfg: D2stgnnConfig, network: &TrafficNetwork, rng: &mut R) -> Self {
-        cfg.validate().unwrap_or_else(|e| panic!("invalid config: {e}"));
+        cfg.validate()
+            .unwrap_or_else(|e| panic!("invalid config: {e}"));
         assert_eq!(
             cfg.num_nodes,
             network.num_nodes(),
@@ -41,13 +42,14 @@ impl D2stgnn {
             network.num_nodes()
         );
         let ctx = GraphContext::new(network);
-        let embeddings =
-            SharedEmbeddings::new(cfg.num_nodes, cfg.steps_per_day, cfg.emb_dim, rng);
+        let embeddings = SharedEmbeddings::new(cfg.num_nodes, cfg.steps_per_day, cfg.emb_dim, rng);
         let input_proj = Linear::new(cfg.in_channels, cfg.hidden, true, rng);
-        let dynamic_graph = cfg.use_dynamic_graph.then(|| {
-            DynamicGraphLearner::new(cfg.th, cfg.hidden, cfg.emb_dim, cfg.hidden, rng)
-        });
-        let layers = (0..cfg.layers).map(|_| DecoupledLayer::new(&cfg, rng)).collect();
+        let dynamic_graph = cfg
+            .use_dynamic_graph
+            .then(|| DynamicGraphLearner::new(cfg.th, cfg.hidden, cfg.emb_dim, cfg.hidden, rng));
+        let layers = (0..cfg.layers)
+            .map(|_| DecoupledLayer::new(&cfg, rng))
+            .collect();
         let regression = Mlp::new(cfg.hidden, cfg.hidden, cfg.out_channels, rng);
         Self {
             cfg,
@@ -98,17 +100,17 @@ impl D2stgnn {
         let x0 = self.input_proj.forward(&Tensor::constant(batch.x.clone()));
 
         // Algorithm 1 line 1: self-adaptive matrix (Eq. 7).
-        let adaptive = self.cfg.use_adaptive.then(|| adaptive_transition(&self.embeddings));
+        let adaptive = self
+            .cfg
+            .use_adaptive
+            .then(|| adaptive_transition(&self.embeddings));
 
         // Algorithm 1 line 2: dynamic transitions (Eq. 14), one per window.
         let transitions = match &self.dynamic_graph {
             Some(dg) => {
-                let tod_last: Vec<usize> =
-                    (0..b).map(|bi| batch.tod[(bi + 1) * th - 1]).collect();
-                let dow_last: Vec<usize> =
-                    (0..b).map(|bi| batch.dow[(bi + 1) * th - 1]).collect();
-                let (p_f, p_b) =
-                    dg.forward(&self.ctx, &self.embeddings, &x0, &tod_last, &dow_last);
+                let tod_last: Vec<usize> = (0..b).map(|bi| batch.tod[(bi + 1) * th - 1]).collect();
+                let dow_last: Vec<usize> = (0..b).map(|bi| batch.dow[(bi + 1) * th - 1]).collect();
+                let (p_f, p_b) = dg.forward(&self.ctx, &self.embeddings, &x0, &tod_last, &dow_last);
                 Transitions::Dynamic { p_f, p_b }
             }
             None => Transitions::Static {
@@ -219,16 +221,23 @@ mod tests {
 
     #[test]
     fn every_table5_variant_forward_passes() {
-        let variants: Vec<(&str, Box<dyn Fn(&mut D2stgnnConfig)>)> = vec![
-            ("switch", Box::new(|c: &mut D2stgnnConfig| {
-                c.order = crate::config::BlockOrder::InherentFirst;
-            })),
+        type Variant = (&'static str, Box<dyn Fn(&mut D2stgnnConfig)>);
+        let variants: Vec<Variant> = vec![
+            (
+                "switch",
+                Box::new(|c: &mut D2stgnnConfig| {
+                    c.order = crate::config::BlockOrder::InherentFirst;
+                }),
+            ),
             ("w/o gate", Box::new(|c| c.use_gate = false)),
             ("w/o res", Box::new(|c| c.use_residual = false)),
-            ("w/o decouple", Box::new(|c| {
-                c.use_gate = false;
-                c.use_residual = false;
-            })),
+            (
+                "w/o decouple",
+                Box::new(|c| {
+                    c.use_gate = false;
+                    c.use_residual = false;
+                }),
+            ),
             ("w/o dg", Box::new(|c| c.use_dynamic_graph = false)),
             ("w/o apt", Box::new(|c| c.use_adaptive = false)),
             ("w/o gru", Box::new(|c| c.use_gru = false)),
@@ -255,7 +264,7 @@ mod tests {
 
     #[test]
     fn one_training_step_reduces_loss() {
-        let (model, windowed, mut rng) = tiny_setup(|c| c.layers = 1);
+        let (model, windowed, rng) = tiny_setup(|c| c.layers = 1);
         let batch = windowed.batch(Split::Train, &[0, 1]);
         let scaler = *windowed.scaler();
         let target = Tensor::constant(batch.y.clone());
@@ -264,12 +273,15 @@ mod tests {
             let pred = pred_norm.scale(scaler.std()).add_scalar(scaler.mean());
             d2stgnn_tensor::losses::masked_mae_loss(&pred, &target, 0.0)
         };
-        let l0 = loss_of(&model, &mut rng);
+        // Evaluate both losses from the same rng state (identical dropout
+        // masks) and keep the step small: Adam's first update is roughly
+        // lr * sign(grad) per element, which overshoots at larger rates.
+        let l0 = loss_of(&model, &mut rng.clone());
         l0.backward();
-        let mut opt = d2stgnn_tensor::optim::Adam::new(model.parameters(), 0.01);
+        let mut opt = d2stgnn_tensor::optim::Adam::new(model.parameters(), 1e-3);
         use d2stgnn_tensor::optim::Optimizer;
         opt.step();
-        let l1 = loss_of(&model, &mut rng);
+        let l1 = loss_of(&model, &mut rng.clone());
         assert!(
             l1.item() < l0.item(),
             "loss did not decrease: {} -> {}",
@@ -317,4 +329,3 @@ mod tests {
         D2stgnn::new(D2stgnnConfig::small(8), &net, &mut rng);
     }
 }
-

@@ -133,7 +133,11 @@ impl Trainer {
 
     /// Train `model` on the dataset's train split, early-stopping on the
     /// validation split, restoring the best parameters before returning.
-    pub fn train<M: TrafficModel + ?Sized>(&self, model: &M, data: &WindowedDataset) -> TrainReport {
+    pub fn train<M: TrafficModel + ?Sized>(
+        &self,
+        model: &M,
+        data: &WindowedDataset,
+    ) -> TrainReport {
         let mut rng = StdRng::seed_from_u64(self.cfg.seed);
         let mut opt = Adam::new(model.parameters(), self.cfg.lr);
         let params = model.parameters();
@@ -238,11 +242,7 @@ impl Trainer {
                 p.set_value(v);
             }
         }
-        report.avg_epoch_seconds = report
-            .epochs
-            .iter()
-            .map(|e| e.seconds)
-            .sum::<f64>()
+        report.avg_epoch_seconds = report.epochs.iter().map(|e| e.seconds).sum::<f64>()
             / report.epochs.len().max(1) as f64;
         report
     }
@@ -264,8 +264,7 @@ impl Trainer {
         for idx in data.epoch_batches(split, self.cfg.batch_size, false, &mut rng) {
             let batch = data.batch(split, &idx);
             // Inference mode: no autograd graph is recorded.
-            let out =
-                d2stgnn_tensor::no_grad(|| model.forward(&batch, false, &mut rng)).value();
+            let out = d2stgnn_tensor::no_grad(|| model.forward(&batch, false, &mut rng)).value();
             let out = data.scaler().inverse_transform(&out);
             let b = batch.batch_size();
             let flat_pred = out.reshape(&[b, tf, n]).expect("squeeze channel");

@@ -63,10 +63,10 @@ impl DatasetId {
     /// Paper-sized profile (Table 2 statistics).
     pub fn full(&self) -> SimulatorConfig {
         let (nodes, steps, knn) = match self {
-            DatasetId::MetrLa => (207, 34_272, 9),   // 1722 edges ~ 8.3/node
-            DatasetId::PemsBay => (325, 52_116, 9),  // 2694 edges ~ 8.3/node
-            DatasetId::Pems04 => (307, 16_992, 2),   // 680 edges ~ 2.2/node
-            DatasetId::Pems08 => (170, 17_856, 3),   // 548 edges ~ 3.2/node
+            DatasetId::MetrLa => (207, 34_272, 9), // 1722 edges ~ 8.3/node
+            DatasetId::PemsBay => (325, 52_116, 9), // 2694 edges ~ 8.3/node
+            DatasetId::Pems04 => (307, 16_992, 2), // 680 edges ~ 2.2/node
+            DatasetId::Pems08 => (170, 17_856, 3), // 548 edges ~ 3.2/node
         };
         self.config(nodes, steps, knn)
     }

@@ -12,8 +12,8 @@
 //! or plotted with external tooling.
 
 use crate::simulator::{SignalKind, TrafficData};
-use d2stgnn_tensor::Array;
 use d2stgnn_graph::TrafficNetwork;
+use d2stgnn_tensor::Array;
 use std::fmt::Write as _;
 use std::path::Path;
 
@@ -51,7 +51,8 @@ pub fn parse_values_csv(text: &str) -> Result<Array, IoError> {
         if line.is_empty() {
             continue;
         }
-        let parsed: Result<Vec<f32>, _> = line.split(',').map(|c| c.trim().parse::<f32>()).collect();
+        let parsed: Result<Vec<f32>, _> =
+            line.split(',').map(|c| c.trim().parse::<f32>()).collect();
         match parsed {
             Ok(vals) => {
                 if let Some(first) = rows.first() {
@@ -174,7 +175,11 @@ pub fn adjacency_to_csv(network: &TrafficNetwork) -> String {
 }
 
 /// Save a dataset (values + adjacency) next to each other.
-pub fn save_dataset(data: &TrafficData, values_path: &Path, adjacency_path: &Path) -> Result<(), IoError> {
+pub fn save_dataset(
+    data: &TrafficData,
+    values_path: &Path,
+    adjacency_path: &Path,
+) -> Result<(), IoError> {
     std::fs::write(values_path, values_to_csv(&data.values))?;
     std::fs::write(adjacency_path, adjacency_to_csv(&data.network))?;
     Ok(())

@@ -51,7 +51,12 @@ impl Metrics {
 
     /// Format as the paper prints rows: `MAE RMSE MAPE%`.
     pub fn row(&self) -> String {
-        format!("{:6.2} {:7.2} {:6.2}%", self.mae, self.rmse, self.mape * 100.0)
+        format!(
+            "{:6.2} {:7.2} {:6.2}%",
+            self.mae,
+            self.rmse,
+            self.mape * 100.0
+        )
     }
 }
 

@@ -16,8 +16,8 @@
 //! the decoupling framework actually separates them, which no real dataset
 //! allows.
 
-use d2stgnn_tensor::Array;
 use d2stgnn_graph::{transition, TrafficNetwork};
+use d2stgnn_tensor::Array;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -139,15 +139,14 @@ impl TrafficData {
 
 /// Generate a dataset from the config (deterministic in `config.seed`).
 pub fn simulate(config: &SimulatorConfig) -> TrafficData {
-    assert!(config.num_nodes > 0 && config.num_steps > 0, "empty simulation");
+    assert!(
+        config.num_nodes > 0 && config.num_steps > 0,
+        "empty simulation"
+    );
     assert!(config.steps_per_day > 0, "steps_per_day must be positive");
     let mut rng = StdRng::seed_from_u64(config.seed);
-    let network = TrafficNetwork::random_geometric(
-        config.num_nodes,
-        config.knn,
-        config.kappa,
-        &mut rng,
-    );
+    let network =
+        TrafficNetwork::random_geometric(config.num_nodes, config.knn, config.kappa, &mut rng);
     let (t_total, n) = (config.num_steps, config.num_nodes);
 
     // Per-node inherent profile parameters.
@@ -215,11 +214,10 @@ pub fn simulate(config: &SimulatorConfig) -> TrafficData {
             };
             let morning = gaussian_bump(tod, 8.0 / 24.0 + phase_jitter[i], peak_width[i]);
             let evening = gaussian_bump(tod, 17.5 / 24.0 + phase_jitter[i], peak_width[i]);
-            let congestion = (weekend
-                * day_factor[i]
-                * (morning_amp[i] * morning + evening_amp[i] * evening)
-                + incident)
-                .min(0.95);
+            let congestion =
+                (weekend * day_factor[i] * (morning_amp[i] * morning + evening_amp[i] * evening)
+                    + incident)
+                    .min(0.95);
             ar[i] = rho * ar[i] + rng.gen_range(-1.0f32..1.0) * config.noise_std;
             let inh = match config.kind {
                 // Congestion lowers speed.
@@ -240,14 +238,15 @@ pub fn simulate(config: &SimulatorConfig) -> TrafficData {
         if t > 0 {
             for tau in 1..=config.kt.min(t) {
                 let x_lag = values.slice_axis(0, t - tau, t - tau + 1); // [1, N]
-                // Deviation from each node's base keeps the process stable:
-                // only congestion (not the base level) diffuses.
+                                                                        // Deviation from each node's base keeps the process stable:
+                                                                        // only congestion (not the base level) diffuses.
                 let mut dev = x_lag.clone();
-                for i in 0..n {
-                    dev.data_mut()[i] -= node_base[i] * match config.kind {
-                        SignalKind::Speed => 1.0,
-                        SignalKind::Flow => 0.35,
-                    };
+                for (d, base) in dev.data_mut().iter_mut().zip(&node_base) {
+                    *d -= base
+                        * match config.kind {
+                            SignalKind::Speed => 1.0,
+                            SignalKind::Flow => 0.35,
+                        };
                 }
                 let lag_decay = 0.6f32.powi(tau as i32 - 1);
                 for (k_idx, p_k) in powers.iter().enumerate() {
@@ -266,12 +265,12 @@ pub fn simulate(config: &SimulatorConfig) -> TrafficData {
         }
 
         // --- superpose, apply sensor failures and physical limits ---
-        for i in 0..n {
-            if failed_until[i] <= t && rng.gen::<f32>() < config.failure_prob {
-                failed_until[i] = t + rng.gen_range(3..30);
+        for (i, failed) in failed_until.iter_mut().enumerate() {
+            if *failed <= t && rng.gen::<f32>() < config.failure_prob {
+                *failed = t + rng.gen_range(3..30);
             }
             let raw = inherent.at(&[t, i]) + diffusion.at(&[t, i]);
-            let obs = if t < failed_until[i] {
+            let obs = if t < *failed {
                 0.0
             } else {
                 match config.kind {

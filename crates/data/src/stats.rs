@@ -116,7 +116,8 @@ fn erf(x: f64) -> f64 {
     let t = 1.0 / (1.0 + 0.327_591_1 * x);
     let poly = t
         * (0.254_829_592
-            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+            + t * (-0.284_496_736
+                + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
     sign * (1.0 - poly * (-x * x).exp())
 }
 
@@ -163,7 +164,9 @@ mod tests {
     #[test]
     fn noise_only_difference_is_insignificant() {
         // Alternating ±0.1: mean difference zero.
-        let first: Vec<f64> = (0..100).map(|i| 2.0 + if i % 2 == 0 { 0.1 } else { -0.1 }).collect();
+        let first: Vec<f64> = (0..100)
+            .map(|i| 2.0 + if i % 2 == 0 { 0.1 } else { -0.1 })
+            .collect();
         let second = vec![2.0f64; 100];
         let r = paired_t_test(&first, &second);
         assert!(r.p_value > 0.5, "p = {}", r.p_value);
@@ -183,7 +186,8 @@ mod tests {
     #[test]
     fn significantly_better_end_to_end() {
         // Challenger strictly closer to target in every window.
-        let target = Array::from_vec(&[50, 1, 1], (0..50).map(|i| 10.0 + i as f32).collect()).unwrap();
+        let target =
+            Array::from_vec(&[50, 1, 1], (0..50).map(|i| 10.0 + i as f32).collect()).unwrap();
         let baseline = target.add_scalar(2.0);
         let challenger = target.add_scalar(0.5);
         let (r, better) = significantly_better(&baseline, &challenger, &target, 0.0, 0.05);

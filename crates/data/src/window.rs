@@ -61,7 +61,10 @@ impl WindowedDataset {
     pub fn new(data: TrafficData, th: usize, tf: usize, fractions: (f32, f32, f32)) -> Self {
         let t_total = data.num_steps();
         let w = th + tf;
-        assert!(t_total >= 3 * w, "series too short: {t_total} steps for window {w}");
+        assert!(
+            t_total >= 3 * w,
+            "series too short: {t_total} steps for window {w}"
+        );
         let (ftr, fva, _fte) = fractions;
         assert!(ftr > 0.0 && fva >= 0.0 && ftr + fva < 1.0, "bad fractions");
         let train_end = (t_total as f32 * ftr) as usize;
@@ -135,7 +138,11 @@ impl WindowedDataset {
     /// `(train_end, val_end)` boundaries in raw time steps; classical
     /// baselines fit on `values[..train_end]`.
     pub fn split_bounds(&self) -> (usize, usize) {
-        let train_end = self.train_starts.last().map(|s| s + self.th + self.tf).unwrap_or(0);
+        let train_end = self
+            .train_starts
+            .last()
+            .map(|s| s + self.th + self.tf)
+            .unwrap_or(0);
         let val_end = self
             .val_starts
             .last()

@@ -54,7 +54,11 @@ impl TrafficNetwork {
     ) -> Self {
         assert_eq!(distances.len(), n * n, "distances must be n x n");
         let sigma = sigma.unwrap_or_else(|| {
-            let finite: Vec<f32> = distances.iter().copied().filter(|d| d.is_finite()).collect();
+            let finite: Vec<f32> = distances
+                .iter()
+                .copied()
+                .filter(|d| d.is_finite())
+                .collect();
             let mean = finite.iter().sum::<f32>() / finite.len().max(1) as f32;
             let var = finite.iter().map(|d| (d - mean) * (d - mean)).sum::<f32>()
                 / finite.len().max(1) as f32;
@@ -108,7 +112,11 @@ impl TrafficNetwork {
         }
         // Scale distances so the Gaussian kernel has useful dynamic range.
         let scale = {
-            let finite: Vec<f32> = distances.iter().copied().filter(|d| d.is_finite()).collect();
+            let finite: Vec<f32> = distances
+                .iter()
+                .copied()
+                .filter(|d| d.is_finite())
+                .collect();
             let mean = finite.iter().sum::<f32>() / finite.len().max(1) as f32;
             mean.max(1e-6)
         };

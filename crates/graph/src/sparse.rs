@@ -130,8 +130,7 @@ impl CsrMatrix {
                 let mut out = Array::zeros(&[b, self.rows, m]);
                 for bi in 0..b {
                     let src = &dense.data()[bi * self.cols * m..(bi + 1) * self.cols * m];
-                    let dst =
-                        &mut out.data_mut()[bi * self.rows * m..(bi + 1) * self.rows * m];
+                    let dst = &mut out.data_mut()[bi * self.rows * m..(bi + 1) * self.rows * m];
                     self.spmm_into(src, dst, m);
                 }
                 out
@@ -201,11 +200,7 @@ mod tests {
     use rand::SeedableRng;
 
     fn sample() -> Array {
-        Array::from_vec(
-            &[3, 3],
-            vec![0.0, 2.0, 0.0, 1.0, 0.5, 0.0, 0.0, 0.0, 3.0],
-        )
-        .unwrap()
+        Array::from_vec(&[3, 3], vec![0.0, 2.0, 0.0, 1.0, 0.5, 0.0, 0.0, 0.0, 3.0]).unwrap()
     }
 
     #[test]

@@ -62,7 +62,9 @@ pub fn matrix_power(p: &Array, k: usize) -> Array {
 /// The diagonal-masked power series `[masked(P^1), ..., masked(P^ks)]` used
 /// by the spatial-temporal localized convolution (Eq. 8 sums over these).
 pub fn masked_powers(p: &Array, ks: usize) -> Vec<Array> {
-    (1..=ks).map(|k| mask_diagonal(&matrix_power(p, k))).collect()
+    (1..=ks)
+        .map(|k| mask_diagonal(&matrix_power(p, k)))
+        .collect()
 }
 
 /// The explicit spatial-temporal localized transition matrix of Eq. 4 for a

@@ -1,0 +1,48 @@
+//! Typed serving errors.
+
+use d2stgnn_core::checkpoint::CheckpointError;
+
+/// Errors surfaced by the serving engine.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The bounded request queue is full and no fallback is registered.
+    Overloaded,
+    /// The request's deadline passed before a worker reached it and no
+    /// fallback is registered.
+    DeadlineExceeded,
+    /// No model with the requested name is registered.
+    UnknownModel(String),
+    /// The request payload disagrees with the registered model's shape.
+    BadRequest(String),
+    /// The server is shutting down and no longer accepts requests.
+    ShuttingDown,
+    /// A checkpoint failed to validate or restore.
+    Checkpoint(CheckpointError),
+    /// The worker serving this request disappeared (poisoned or panicked).
+    WorkerLost,
+    /// A worker failed to rebuild its model replica.
+    Internal(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Overloaded => write!(f, "request queue full, request shed"),
+            ServeError::DeadlineExceeded => write!(f, "deadline exceeded before processing"),
+            ServeError::UnknownModel(name) => write!(f, "no registered model named {name:?}"),
+            ServeError::BadRequest(msg) => write!(f, "bad request: {msg}"),
+            ServeError::ShuttingDown => write!(f, "server is shutting down"),
+            ServeError::Checkpoint(e) => write!(f, "checkpoint: {e}"),
+            ServeError::WorkerLost => write!(f, "worker dropped the request"),
+            ServeError::Internal(msg) => write!(f, "internal serving failure: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<CheckpointError> for ServeError {
+    fn from(e: CheckpointError) -> Self {
+        ServeError::Checkpoint(e)
+    }
+}

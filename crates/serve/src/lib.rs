@@ -1,0 +1,39 @@
+//! Embeddable inference engine for trained D²STGNN models (and any other
+//! [`d2stgnn_core::TrafficModel`]).
+//!
+//! The moving parts, mirroring the paper's deployment sketch (Fig. 8: one
+//! trained estimator shared by many downstream consumers):
+//!
+//! - [`ModelRegistry`] — named, versioned checkpoints. [`ModelRegistry::reload`]
+//!   hot-swaps a model: micro-batches already being processed finish on the
+//!   old version, the next batch picks up the new one.
+//! - [`Server`] — a bounded request queue drained by micro-batching workers.
+//!   A worker fuses up to [`ServeConfig::max_batch`] same-model requests
+//!   (waiting at most [`ServeConfig::max_wait`]) into one `no_grad` forward
+//!   and fans the rows back to per-request channels. Batched results are
+//!   bit-identical to serving each request alone.
+//! - Degradation — a fitted [`d2stgnn_baselines::HistoricalAverage`] can be
+//!   registered as fallback; shed requests (full queue) and requests whose
+//!   deadline passed are answered from its lookup table instead of failing.
+//! - [`ServerStats`] — request/batch/shed/fallback counters plus p50/p95
+//!   end-to-end latency.
+//!
+//! ```no_run
+//! use d2stgnn_serve::{ModelRegistry, ServeConfig, Server};
+//! use std::sync::Arc;
+//!
+//! let registry = Arc::new(ModelRegistry::new());
+//! // registry.register("d2stgnn", factory, checkpoint, scaler, [12, 207])
+//! let server = Server::start(Arc::clone(&registry), ServeConfig::default());
+//! // let forecast = server.infer(request)?;
+//! ```
+
+mod error;
+mod registry;
+mod server;
+mod stats;
+
+pub use error::ServeError;
+pub use registry::{ModelFactory, ModelRegistry, ModelVersion};
+pub use server::{Forecast, ForecastHandle, InferRequest, ServeConfig, Server};
+pub use stats::{ServerStats, StatsRecorder};

@@ -1,0 +1,451 @@
+//! The inference server: a bounded request queue drained by a pool of
+//! micro-batching workers.
+//!
+//! Each worker pops a request, waits up to [`ServeConfig::max_wait`] for more
+//! requests to the same model (up to [`ServeConfig::max_batch`]), runs one
+//! `no_grad` forward over the stacked batch, and fans results back over
+//! per-request channels. Because evaluation-mode forwards are deterministic
+//! and every operator treats batch rows independently, a request's forecast
+//! is bit-identical whether it was served alone or inside a micro-batch.
+//!
+//! Overload behavior: when the queue is full, a request is shed — answered
+//! immediately by the registered [`HistoricalAverage`] fallback if present,
+//! or rejected with [`ServeError::Overloaded`]. Requests whose deadline
+//! passes while queued degrade to the fallback the same way.
+
+use crate::error::ServeError;
+use crate::registry::{ModelRegistry, ModelVersion};
+use crate::stats::{ServerStats, StatsRecorder};
+use d2stgnn_baselines::HistoricalAverage;
+use d2stgnn_core::TrafficModel;
+use d2stgnn_data::Batch;
+use d2stgnn_tensor::{no_grad, Array};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Worker-pool and batching knobs.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Worker threads (each holds its own model replicas).
+    pub workers: usize,
+    /// Maximum requests fused into one forward pass.
+    pub max_batch: usize,
+    /// How long a worker holds an open batch waiting for more requests.
+    pub max_wait: Duration,
+    /// Bounded queue capacity; beyond this, requests are shed.
+    pub queue_capacity: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            workers: 2,
+            max_batch: 8,
+            max_wait: Duration::from_millis(2),
+            queue_capacity: 64,
+        }
+    }
+}
+
+/// One inference request: a raw-scale input window plus its clock features.
+#[derive(Clone, Debug)]
+pub struct InferRequest {
+    /// Registered model name to serve with.
+    pub model: String,
+    /// Raw-scale input window `[T_h, N, 1]` (the server normalizes).
+    pub window: Array,
+    /// Time-of-day slot per input step (`T_h` entries).
+    pub tod: Vec<usize>,
+    /// Day-of-week per input step (`T_h` entries).
+    pub dow: Vec<usize>,
+    /// Absolute deadline; once passed the request degrades to the fallback.
+    pub deadline: Option<Instant>,
+}
+
+/// A served forecast.
+#[derive(Clone, Debug)]
+pub struct Forecast {
+    /// Name of the model that actually answered (`"HA"` for the fallback).
+    pub model: String,
+    /// Registry generation that served the request (0 for the fallback).
+    pub generation: u64,
+    /// Raw-scale forecast `[T_f, N]`.
+    pub values: Array,
+    /// Whether the fallback answered instead of the requested model.
+    pub fallback: bool,
+}
+
+/// Handle to an in-flight request.
+#[derive(Debug)]
+pub struct ForecastHandle {
+    rx: Receiver<Result<Forecast, ServeError>>,
+}
+
+impl ForecastHandle {
+    /// Block until the forecast (or error) arrives.
+    pub fn wait(self) -> Result<Forecast, ServeError> {
+        self.rx.recv().unwrap_or(Err(ServeError::WorkerLost))
+    }
+
+    /// Block up to `timeout`; `None` if nothing arrived in time.
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<Result<Forecast, ServeError>> {
+        self.rx.recv_timeout(timeout).ok()
+    }
+}
+
+struct Pending {
+    request: InferRequest,
+    enqueued: Instant,
+    tx: Sender<Result<Forecast, ServeError>>,
+}
+
+struct Shared {
+    config: ServeConfig,
+    registry: Arc<ModelRegistry>,
+    queue: Mutex<VecDeque<Pending>>,
+    notify: Condvar,
+    shutdown: AtomicBool,
+    fallback: Mutex<Option<Arc<HistoricalAverage>>>,
+    stats: StatsRecorder,
+}
+
+/// The serving engine. Dropping it (or calling [`Server::shutdown`]) drains
+/// the queue and joins the workers.
+pub struct Server {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Start the worker pool against a registry.
+    pub fn start(registry: Arc<ModelRegistry>, config: ServeConfig) -> Self {
+        assert!(config.workers >= 1, "need at least one worker");
+        assert!(config.max_batch >= 1, "max_batch must be at least 1");
+        assert!(
+            config.queue_capacity >= 1,
+            "queue_capacity must be at least 1"
+        );
+        let shared = Arc::new(Shared {
+            config: config.clone(),
+            registry,
+            queue: Mutex::new(VecDeque::new()),
+            notify: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            fallback: Mutex::new(None),
+            stats: StatsRecorder::default(),
+        });
+        let workers = (0..config.workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("d2stgnn-serve-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker")
+            })
+            .collect();
+        Self { shared, workers }
+    }
+
+    /// Register the cheap classical fallback used for shed and late
+    /// requests.
+    ///
+    /// # Panics
+    /// If the model is unfitted.
+    pub fn set_fallback(&self, fallback: HistoricalAverage) {
+        assert!(
+            fallback.is_fitted(),
+            "fallback must be fitted before registration"
+        );
+        *self.shared.fallback.lock().expect("fallback lock") = Some(Arc::new(fallback));
+    }
+
+    /// Validate and enqueue a request. Returns immediately with a handle;
+    /// on a full queue the request is shed (fallback answer if registered,
+    /// [`ServeError::Overloaded`] otherwise).
+    pub fn submit(&self, request: InferRequest) -> Result<ForecastHandle, ServeError> {
+        if self.shared.shutdown.load(Ordering::Acquire) {
+            return Err(ServeError::ShuttingDown);
+        }
+        let version = self
+            .shared
+            .registry
+            .get(&request.model)
+            .ok_or_else(|| ServeError::UnknownModel(request.model.clone()))?;
+        validate(&request, &version)?;
+
+        let (tx, rx) = std::sync::mpsc::channel();
+        {
+            let mut queue = self.shared.queue.lock().expect("queue lock");
+            if queue.len() >= self.shared.config.queue_capacity {
+                drop(queue);
+                self.shared.stats.shed();
+                let fallback = self.shared.fallback.lock().expect("fallback lock").clone();
+                return match fallback {
+                    Some(ha) => {
+                        self.shared.stats.fallback();
+                        let forecast = fallback_forecast(&ha, &version, &request);
+                        tx.send(Ok(forecast)).ok();
+                        Ok(ForecastHandle { rx })
+                    }
+                    None => Err(ServeError::Overloaded),
+                };
+            }
+            queue.push_back(Pending {
+                request,
+                enqueued: Instant::now(),
+                tx,
+            });
+            self.shared.stats.accepted();
+        }
+        self.shared.notify.notify_all();
+        Ok(ForecastHandle { rx })
+    }
+
+    /// Convenience: submit and block for the answer.
+    pub fn infer(&self, request: InferRequest) -> Result<Forecast, ServeError> {
+        self.submit(request)?.wait()
+    }
+
+    /// Snapshot the server counters.
+    pub fn stats(&self) -> ServerStats {
+        self.shared.stats.snapshot()
+    }
+
+    /// The registry this server reads from.
+    pub fn registry(&self) -> &Arc<ModelRegistry> {
+        &self.shared.registry
+    }
+
+    /// Stop accepting requests, drain the queue, and join the workers.
+    pub fn shutdown(mut self) {
+        self.stop_workers();
+    }
+
+    fn stop_workers(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.notify.notify_all();
+        for handle in self.workers.drain(..) {
+            handle.join().ok();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop_workers();
+    }
+}
+
+fn validate(request: &InferRequest, version: &ModelVersion) -> Result<(), ServeError> {
+    let [th, n] = version.input_shape();
+    if request.window.shape() != [th, n, 1] {
+        return Err(ServeError::BadRequest(format!(
+            "window shape {:?}, model {} expects [{th}, {n}, 1]",
+            request.window.shape(),
+            version.name()
+        )));
+    }
+    if request.tod.len() != th || request.dow.len() != th {
+        return Err(ServeError::BadRequest(format!(
+            "tod/dow have {}/{} entries, expected {th}",
+            request.tod.len(),
+            request.dow.len()
+        )));
+    }
+    if request.dow.iter().any(|d| *d >= 7) {
+        return Err(ServeError::BadRequest(
+            "day-of-week out of range".to_string(),
+        ));
+    }
+    Ok(())
+}
+
+/// Answer a request from the historical-average table, keyed by the clock
+/// position of the first forecast step (the step after the window's last
+/// input step; `predict_slots` wraps midnight and the weekday).
+fn fallback_forecast(
+    fallback: &HistoricalAverage,
+    version: &ModelVersion,
+    request: &InferRequest,
+) -> Forecast {
+    let last = request.tod.len() - 1;
+    let values =
+        fallback.predict_slots(request.dow[last], request.tod[last] + 1, version.horizon());
+    Forecast {
+        model: "HA".to_string(),
+        generation: 0,
+        values,
+        fallback: true,
+    }
+}
+
+/// Per-worker replica cache: model name -> (generation it was built from,
+/// live instance).
+type ReplicaCache = HashMap<String, (u64, Box<dyn TrafficModel>)>;
+
+fn worker_loop(shared: &Shared) {
+    let mut cache: ReplicaCache = HashMap::new();
+    // Evaluation-mode forwards never draw from the rng (dropout is identity),
+    // so a fixed-seed per-worker rng keeps `forward`'s signature satisfied
+    // without threading state anywhere.
+    let mut rng = StdRng::seed_from_u64(0);
+    loop {
+        let mut queue = shared.queue.lock().expect("queue lock");
+        loop {
+            if !queue.is_empty() {
+                break;
+            }
+            if shared.shutdown.load(Ordering::Acquire) {
+                return;
+            }
+            queue = shared.notify.wait(queue).expect("queue lock");
+        }
+        let first = queue.pop_front().expect("non-empty queue");
+        let model_name = first.request.model.clone();
+        // Resolve the version once per micro-batch: every request fused into
+        // this batch is served by it, even if a reload lands mid-collection.
+        let version = shared.registry.get(&model_name);
+        let mut batch = vec![first];
+        let hold_until = Instant::now() + shared.config.max_wait;
+        while batch.len() < shared.config.max_batch {
+            if let Some(pos) = queue.iter().position(|p| p.request.model == model_name) {
+                batch.push(queue.remove(pos).expect("position valid"));
+                continue;
+            }
+            let now = Instant::now();
+            if now >= hold_until || shared.shutdown.load(Ordering::Acquire) {
+                break;
+            }
+            let (guard, _timeout) = shared
+                .notify
+                .wait_timeout(queue, hold_until - now)
+                .expect("queue lock");
+            queue = guard;
+        }
+        drop(queue);
+        process_batch(shared, &mut cache, version, batch, &mut rng);
+        shared.notify.notify_all();
+    }
+}
+
+fn process_batch(
+    shared: &Shared,
+    cache: &mut ReplicaCache,
+    version: Option<Arc<ModelVersion>>,
+    pending: Vec<Pending>,
+    rng: &mut StdRng,
+) {
+    let Some(version) = version else {
+        let name = pending
+            .first()
+            .map(|p| p.request.model.clone())
+            .unwrap_or_default();
+        for p in pending {
+            p.tx.send(Err(ServeError::UnknownModel(name.clone()))).ok();
+        }
+        return;
+    };
+
+    // Degrade requests whose deadline already passed.
+    let now = Instant::now();
+    let fallback = shared.fallback.lock().expect("fallback lock").clone();
+    let mut live = Vec::with_capacity(pending.len());
+    for p in pending {
+        let expired = p.request.deadline.is_some_and(|d| now > d);
+        if !expired {
+            live.push(p);
+            continue;
+        }
+        shared.stats.deadline_miss();
+        match &fallback {
+            Some(ha) => {
+                shared.stats.fallback();
+                p.tx.send(Ok(fallback_forecast(ha, &version, &p.request)))
+                    .ok();
+            }
+            None => {
+                p.tx.send(Err(ServeError::DeadlineExceeded)).ok();
+            }
+        }
+    }
+    if live.is_empty() {
+        return;
+    }
+
+    // Rebuild this worker's replica if the registry generation moved.
+    let cached_generation = cache.get(version.name()).map(|(g, _)| *g);
+    if cached_generation != Some(version.generation()) {
+        match version.instantiate() {
+            Ok(model) => {
+                cache.insert(version.name().to_string(), (version.generation(), model));
+            }
+            Err(e) => {
+                let msg = e.to_string();
+                for p in live {
+                    p.tx.send(Err(ServeError::Internal(msg.clone()))).ok();
+                }
+                return;
+            }
+        }
+    }
+    let model = cache
+        .get(version.name())
+        .expect("replica just ensured")
+        .1
+        .as_ref();
+
+    // Stack the windows into one normalized batch.
+    let [th, n] = version.input_shape();
+    let scaler = version.scaler();
+    let b = live.len();
+    let mut x = Array::zeros(&[b, th, n, 1]);
+    let mut tod = Vec::with_capacity(b * th);
+    let mut dow = Vec::with_capacity(b * th);
+    for (bi, p) in live.iter().enumerate() {
+        for t in 0..th {
+            tod.push(p.request.tod[t]);
+            dow.push(p.request.dow[t]);
+            for i in 0..n {
+                let raw = p.request.window.at(&[t, i, 0]);
+                x.set(&[bi, t, i, 0], (raw - scaler.mean()) / scaler.std());
+            }
+        }
+    }
+    let tf = version.horizon();
+    let batch = Batch {
+        x,
+        y: Array::zeros(&[b, tf, n, 1]),
+        tod,
+        dow,
+    };
+
+    let out = no_grad(|| model.forward(&batch, false, rng)).value();
+    shared.stats.batch_done(b);
+
+    // Fan the rows back out, de-normalized.
+    for (bi, p) in live.into_iter().enumerate() {
+        let mut values = Array::zeros(&[tf, n]);
+        for t in 0..tf {
+            for i in 0..n {
+                values.set(
+                    &[t, i],
+                    out.at(&[bi, t, i, 0]) * scaler.std() + scaler.mean(),
+                );
+            }
+        }
+        shared.stats.request_done(p.enqueued.elapsed());
+        p.tx.send(Ok(Forecast {
+            model: version.name().to_string(),
+            generation: version.generation(),
+            values,
+            fallback: false,
+        }))
+        .ok();
+    }
+}

@@ -1,0 +1,154 @@
+//! Server-side counters and latency percentiles.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// How many recent request latencies the percentile window keeps.
+const LATENCY_WINDOW: usize = 4096;
+
+/// Point-in-time snapshot of server counters.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ServerStats {
+    /// Requests accepted into the queue.
+    pub requests: u64,
+    /// Requests answered by a model forward pass.
+    pub completed: u64,
+    /// Micro-batches executed.
+    pub batches: u64,
+    /// Requests shed because the queue was full.
+    pub sheds: u64,
+    /// Requests answered by the registered fallback.
+    pub fallback_served: u64,
+    /// Requests whose deadline passed before a worker reached them.
+    pub deadline_misses: u64,
+    /// Median end-to-end latency over the recent window (zero when empty).
+    pub p50_latency: Duration,
+    /// 95th-percentile end-to-end latency over the recent window.
+    pub p95_latency: Duration,
+    /// Mean requests per executed micro-batch (zero before the first batch).
+    pub mean_batch_size: f64,
+}
+
+/// Lock-light recorder the server and its workers write into.
+#[derive(Default)]
+pub struct StatsRecorder {
+    requests: AtomicU64,
+    completed: AtomicU64,
+    batches: AtomicU64,
+    batched_requests: AtomicU64,
+    sheds: AtomicU64,
+    fallback_served: AtomicU64,
+    deadline_misses: AtomicU64,
+    /// Ring buffer of recent latencies in nanoseconds.
+    latencies: Mutex<Vec<u64>>,
+    cursor: AtomicU64,
+}
+
+impl StatsRecorder {
+    pub(crate) fn accepted(&self) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn shed(&self) {
+        self.sheds.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn fallback(&self) {
+        self.fallback_served.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn deadline_miss(&self) {
+        self.deadline_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn batch_done(&self, size: usize) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batched_requests
+            .fetch_add(size as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn request_done(&self, latency: Duration) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        let nanos = latency.as_nanos().min(u64::MAX as u128) as u64;
+        let slot = self.cursor.fetch_add(1, Ordering::Relaxed) as usize % LATENCY_WINDOW;
+        let mut window = self.latencies.lock().expect("stats lock");
+        if slot < window.len() {
+            window[slot] = nanos;
+        } else {
+            window.push(nanos);
+        }
+    }
+
+    /// Snapshot the counters and recompute percentiles.
+    pub fn snapshot(&self) -> ServerStats {
+        let (p50, p95) = {
+            let window = self.latencies.lock().expect("stats lock");
+            percentiles(&window)
+        };
+        let batches = self.batches.load(Ordering::Relaxed);
+        let batched = self.batched_requests.load(Ordering::Relaxed);
+        ServerStats {
+            requests: self.requests.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            batches,
+            sheds: self.sheds.load(Ordering::Relaxed),
+            fallback_served: self.fallback_served.load(Ordering::Relaxed),
+            deadline_misses: self.deadline_misses.load(Ordering::Relaxed),
+            p50_latency: p50,
+            p95_latency: p95,
+            mean_batch_size: if batches > 0 {
+                batched as f64 / batches as f64
+            } else {
+                0.0
+            },
+        }
+    }
+}
+
+fn percentiles(nanos: &[u64]) -> (Duration, Duration) {
+    if nanos.is_empty() {
+        return (Duration::ZERO, Duration::ZERO);
+    }
+    let mut sorted = nanos.to_vec();
+    sorted.sort_unstable();
+    let pick = |q: f64| -> Duration {
+        let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+        Duration::from_nanos(sorted[idx])
+    };
+    (pick(0.50), pick(0.95))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_snapshot_is_zeroed() {
+        let s = StatsRecorder::default().snapshot();
+        assert_eq!(s.requests, 0);
+        assert_eq!(s.p50_latency, Duration::ZERO);
+        assert_eq!(s.mean_batch_size, 0.0);
+    }
+
+    #[test]
+    fn percentiles_over_known_distribution() {
+        let rec = StatsRecorder::default();
+        for ms in 1..=100u64 {
+            rec.request_done(Duration::from_millis(ms));
+        }
+        let s = rec.snapshot();
+        assert_eq!(s.completed, 100);
+        // Nearest-rank at (len-1) * 0.5 = 49.5 rounds up to index 50.
+        assert_eq!(s.p50_latency, Duration::from_millis(51));
+        assert_eq!(s.p95_latency, Duration::from_millis(95));
+    }
+
+    #[test]
+    fn mean_batch_size_tracks_batches() {
+        let rec = StatsRecorder::default();
+        rec.batch_done(8);
+        rec.batch_done(4);
+        assert_eq!(rec.snapshot().mean_batch_size, 6.0);
+    }
+}

@@ -1,0 +1,344 @@
+//! End-to-end serving tests: micro-batch equivalence, hot-swap semantics,
+//! deadline degradation, and overload shedding.
+
+use d2stgnn_baselines::{ClassicalForecaster, HistoricalAverage};
+use d2stgnn_core::{checkpoint, D2stgnn, D2stgnnConfig, TrafficModel};
+use d2stgnn_data::{simulate, SimulatorConfig, Split, WindowedDataset};
+use d2stgnn_serve::{InferRequest, ModelFactory, ModelRegistry, ServeConfig, ServeError, Server};
+use d2stgnn_tensor::{no_grad, Array};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn dataset() -> WindowedDataset {
+    let mut cfg = SimulatorConfig::tiny();
+    cfg.num_nodes = 6;
+    cfg.num_steps = 2 * 288;
+    cfg.knn = 2;
+    WindowedDataset::new(simulate(&cfg), 12, 12, (0.6, 0.2, 0.2))
+}
+
+fn model_config(n: usize) -> D2stgnnConfig {
+    let mut cfg = D2stgnnConfig::small(n);
+    cfg.layers = 1;
+    cfg
+}
+
+fn factory_for(data: &WindowedDataset, seed: u64) -> ModelFactory {
+    let cfg = model_config(data.num_nodes());
+    let network = data.data().network.clone();
+    Arc::new(move || {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Box::new(D2stgnn::new(cfg.clone(), &network, &mut rng)) as Box<dyn TrafficModel>
+    })
+}
+
+/// Build a raw-scale request from a dataset window.
+fn request_for(data: &WindowedDataset, split: Split, widx: usize, model: &str) -> InferRequest {
+    let start = data.window_starts(split)[widx];
+    let (th, n) = (data.th(), data.num_nodes());
+    let raw = data.data();
+    let mut window = Array::zeros(&[th, n, 1]);
+    let mut tod = Vec::with_capacity(th);
+    let mut dow = Vec::with_capacity(th);
+    for t in 0..th {
+        tod.push(raw.time_of_day(start + t));
+        dow.push(raw.day_of_week(start + t));
+        for i in 0..n {
+            window.set(&[t, i, 0], raw.values.at(&[start + t, i]));
+        }
+    }
+    InferRequest {
+        model: model.to_string(),
+        window,
+        tod,
+        dow,
+        deadline: None,
+    }
+}
+
+/// Register a fresh seed-`seed` model under `name`; returns its generation.
+fn register(registry: &ModelRegistry, data: &WindowedDataset, name: &str, seed: u64) -> u64 {
+    let factory = factory_for(data, seed);
+    let model = factory();
+    let ckpt = checkpoint::snapshot(model.as_ref() as &dyn d2stgnn_tensor::nn::Module, name);
+    registry
+        .register(
+            name,
+            factory,
+            ckpt,
+            *data.scaler(),
+            [data.th(), data.num_nodes()],
+        )
+        .expect("register")
+}
+
+#[test]
+fn batched_forward_is_bit_identical_to_sequential() {
+    let data = dataset();
+    let registry = Arc::new(ModelRegistry::new());
+    register(&registry, &data, "d2stgnn", 7);
+
+    // Sequential reference: the same weights, one window at a time.
+    let reference = factory_for(&data, 7)();
+    let scaler = *data.scaler();
+    let mut rng = StdRng::seed_from_u64(0);
+    let expected: Vec<Array> = (0..8)
+        .map(|w| {
+            let batch = data.batch(Split::Test, &[w]);
+            let out = no_grad(|| reference.forward(&batch, false, &mut rng)).value();
+            let (tf, n) = (data.tf(), data.num_nodes());
+            let mut vals = Array::zeros(&[tf, n]);
+            for t in 0..tf {
+                for i in 0..n {
+                    vals.set(
+                        &[t, i],
+                        out.at(&[0, t, i, 0]) * scaler.std() + scaler.mean(),
+                    );
+                }
+            }
+            vals
+        })
+        .collect();
+
+    // One worker, batch of 8, generous hold window: all eight requests fuse
+    // into a single forward pass.
+    let server = Server::start(
+        Arc::clone(&registry),
+        ServeConfig {
+            workers: 1,
+            max_batch: 8,
+            max_wait: Duration::from_secs(5),
+            queue_capacity: 64,
+        },
+    );
+    let handles: Vec<_> = (0..8)
+        .map(|w| {
+            server
+                .submit(request_for(&data, Split::Test, w, "d2stgnn"))
+                .unwrap()
+        })
+        .collect();
+    for (w, handle) in handles.into_iter().enumerate() {
+        let forecast = handle.wait().unwrap();
+        assert!(!forecast.fallback);
+        assert_eq!(forecast.model, "d2stgnn");
+        assert_eq!(
+            forecast.values.data(),
+            expected[w].data(),
+            "window {w} differs between batched and sequential serving"
+        );
+    }
+    let stats = server.stats();
+    assert_eq!(stats.completed, 8);
+    assert_eq!(stats.batches, 1, "expected one fused micro-batch");
+    assert_eq!(stats.mean_batch_size, 8.0);
+    assert!(stats.p95_latency >= stats.p50_latency);
+    server.shutdown();
+}
+
+#[test]
+fn hot_swap_keeps_in_flight_requests_on_old_model() {
+    let data = dataset();
+    let registry = Arc::new(ModelRegistry::new());
+    let gen1 = register(&registry, &data, "d2stgnn", 7);
+
+    // One worker with room for a second request: it pops the first request,
+    // resolves the model version, and holds the batch open.
+    let server = Server::start(
+        Arc::clone(&registry),
+        ServeConfig {
+            workers: 1,
+            max_batch: 2,
+            max_wait: Duration::from_secs(5),
+            queue_capacity: 64,
+        },
+    );
+    let a = server
+        .submit(request_for(&data, Split::Test, 0, "d2stgnn"))
+        .unwrap();
+    // Let the worker pick up the request and pin its version.
+    std::thread::sleep(Duration::from_millis(150));
+
+    // Reload with different weights mid-collection.
+    let swapped = factory_for(&data, 1234)();
+    let ckpt = checkpoint::snapshot(swapped.as_ref() as &dyn d2stgnn_tensor::nn::Module, "v2");
+    let gen2 = registry.reload("d2stgnn", ckpt).unwrap();
+    assert!(gen2 > gen1);
+
+    // This request joins the already-open batch: both must be answered by
+    // the generation that was live when the batch started.
+    let b = server
+        .submit(request_for(&data, Split::Test, 1, "d2stgnn"))
+        .unwrap();
+    let fa = a.wait().unwrap();
+    let fb = b.wait().unwrap();
+    assert_eq!(
+        fa.generation, gen1,
+        "in-flight request migrated off its model"
+    );
+    assert_eq!(
+        fb.generation, gen1,
+        "batched request migrated off its model"
+    );
+
+    // The next batch picks up the new generation, with different weights.
+    let fc = server
+        .infer(request_for(&data, Split::Test, 0, "d2stgnn"))
+        .unwrap();
+    assert_eq!(fc.generation, gen2);
+    assert_ne!(
+        fa.values.data(),
+        fc.values.data(),
+        "same window, swapped weights should forecast differently"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn deadline_exceeded_request_gets_fallback_answer() {
+    let data = dataset();
+    let registry = Arc::new(ModelRegistry::new());
+    register(&registry, &data, "d2stgnn", 7);
+    let server = Server::start(
+        Arc::clone(&registry),
+        ServeConfig {
+            workers: 1,
+            max_batch: 1,
+            max_wait: Duration::ZERO,
+            queue_capacity: 64,
+        },
+    );
+    let mut ha = HistoricalAverage::new();
+    ha.fit(&data);
+    server.set_fallback(ha);
+
+    let mut request = request_for(&data, Split::Test, 2, "d2stgnn");
+    request.deadline = Some(Instant::now() - Duration::from_millis(5));
+    let last = request.tod.len() - 1;
+    let (start_dow, start_slot) = (request.dow[last], request.tod[last] + 1);
+    let forecast = server.infer(request).unwrap();
+
+    assert!(forecast.fallback);
+    assert_eq!(forecast.model, "HA");
+    assert_eq!(forecast.generation, 0);
+    // Identical to querying the table directly (fit is deterministic).
+    let mut reference = HistoricalAverage::new();
+    reference.fit(&data);
+    let expected = reference.predict_slots(start_dow, start_slot, data.tf());
+    assert_eq!(forecast.values.data(), expected.data());
+
+    let stats = server.stats();
+    assert_eq!(stats.deadline_misses, 1);
+    assert_eq!(stats.fallback_served, 1);
+    assert_eq!(stats.completed, 0);
+    server.shutdown();
+}
+
+/// Start a server whose single worker is pinned holding an open batch for
+/// model `"a"`, then fill the queue with a model-`"b"` request. Returns the
+/// server and a drained-later handle pair.
+fn overloaded_server(data: &WindowedDataset, registry: &Arc<ModelRegistry>) -> Server {
+    register(registry, data, "a", 7);
+    register(registry, data, "b", 8);
+    let server = Server::start(
+        Arc::clone(registry),
+        ServeConfig {
+            workers: 1,
+            max_batch: 2,
+            max_wait: Duration::from_secs(5),
+            queue_capacity: 1,
+        },
+    );
+    // Worker pops this and holds the batch open waiting for more "a" traffic.
+    server
+        .submit(request_for(data, Split::Test, 0, "a"))
+        .unwrap();
+    std::thread::sleep(Duration::from_millis(150));
+    // Fills the queue (capacity 1) while the worker is busy.
+    server
+        .submit(request_for(data, Split::Test, 0, "b"))
+        .unwrap();
+    server
+}
+
+#[test]
+fn full_queue_without_fallback_returns_overloaded() {
+    let data = dataset();
+    let registry = Arc::new(ModelRegistry::new());
+    let server = overloaded_server(&data, &registry);
+    let err = server
+        .submit(request_for(&data, Split::Test, 1, "b"))
+        .expect_err("queue is full");
+    assert!(matches!(err, ServeError::Overloaded), "got {err}");
+    assert_eq!(server.stats().sheds, 1);
+    server.shutdown();
+}
+
+#[test]
+fn full_queue_with_fallback_serves_classical_answer() {
+    let data = dataset();
+    let registry = Arc::new(ModelRegistry::new());
+    let server = overloaded_server(&data, &registry);
+    let mut ha = HistoricalAverage::new();
+    ha.fit(&data);
+    server.set_fallback(ha);
+
+    let shed = server
+        .submit(request_for(&data, Split::Test, 1, "b"))
+        .expect("fallback absorbs the overload");
+    let forecast = shed.wait().unwrap();
+    assert!(forecast.fallback);
+    assert_eq!(forecast.model, "HA");
+    assert_eq!(forecast.values.shape(), &[data.tf(), data.num_nodes()]);
+    let stats = server.stats();
+    assert_eq!(stats.sheds, 1);
+    assert_eq!(stats.fallback_served, 1);
+    server.shutdown();
+}
+
+#[test]
+fn unknown_model_and_bad_shapes_are_rejected() {
+    let data = dataset();
+    let registry = Arc::new(ModelRegistry::new());
+    register(&registry, &data, "d2stgnn", 7);
+    let server = Server::start(Arc::clone(&registry), ServeConfig::default());
+
+    let err = server
+        .submit(request_for(&data, Split::Test, 0, "nope"))
+        .expect_err("unregistered model");
+    assert!(matches!(err, ServeError::UnknownModel(_)));
+
+    let mut bad = request_for(&data, Split::Test, 0, "d2stgnn");
+    bad.window = Array::zeros(&[3, 3, 1]);
+    let err = server.submit(bad).expect_err("wrong window shape");
+    assert!(matches!(err, ServeError::BadRequest(_)));
+
+    let mut bad = request_for(&data, Split::Test, 0, "d2stgnn");
+    bad.tod.pop();
+    let err = server.submit(bad).expect_err("short tod");
+    assert!(matches!(err, ServeError::BadRequest(_)));
+    server.shutdown();
+}
+
+#[test]
+fn registry_rejects_corrupt_checkpoints_and_unknown_reloads() {
+    let data = dataset();
+    let registry = ModelRegistry::new();
+    let factory = factory_for(&data, 7);
+    let model = factory();
+    let mut ckpt =
+        checkpoint::snapshot(model.as_ref() as &dyn d2stgnn_tensor::nn::Module, "d2stgnn");
+    // Corrupt one weight after the checksum was computed.
+    ckpt.parameters[0].data_mut()[0] += 1.0;
+    let err = registry
+        .register("d2stgnn", factory.clone(), ckpt, *data.scaler(), [12, 6])
+        .expect_err("corrupt checkpoint");
+    assert!(matches!(err, ServeError::Checkpoint(_)), "got {err}");
+
+    let ckpt = checkpoint::snapshot(model.as_ref() as &dyn d2stgnn_tensor::nn::Module, "d2stgnn");
+    let err = registry.reload("missing", ckpt).expect_err("unknown name");
+    assert!(matches!(err, ServeError::UnknownModel(_)));
+    assert!(registry.names().is_empty());
+}

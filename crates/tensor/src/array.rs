@@ -3,13 +3,11 @@
 //!
 //! Arrays are always contiguous. Broadcasting follows NumPy semantics.
 //! Hot-path binary ops have a fast path for identical shapes; `matmul` uses a
-//! cache-friendly ikj loop and splits rows across threads (crossbeam scoped
+//! cache-friendly ikj loop and splits rows across threads (std scoped
 //! threads) for large problems.
 
 use crate::error::TensorError;
-use crate::shape::{
-    broadcast_shapes, broadcast_strides, check_axis, numel, ravel, strides_for,
-};
+use crate::shape::{broadcast_shapes, broadcast_strides, check_axis, numel, ravel, strides_for};
 use rand::distributions::Distribution;
 use rand::Rng;
 use serde::de::Error as _;
@@ -330,7 +328,10 @@ impl Array {
         let mut out = Self::zeros(&out_shape);
         let mut coords = vec![0usize; out_shape.len()];
         for i in 0..out.numel() {
-            out.data[i] = f(self.data[ravel(&coords, &sa)], other.data[ravel(&coords, &sb)]);
+            out.data[i] = f(
+                self.data[ravel(&coords, &sa)],
+                other.data[ravel(&coords, &sb)],
+            );
             for ax in (0..out_shape.len()).rev() {
                 coords[ax] += 1;
                 if coords[ax] < out_shape[ax] {
@@ -495,7 +496,11 @@ impl Array {
             (3, 2) => {
                 let b = self.shape[0];
                 let (m, k) = (self.shape[1], self.shape[2]);
-                assert_eq!(k, other.shape[0], "matmul: inner dims {k} vs {}", other.shape[0]);
+                assert_eq!(
+                    k, other.shape[0],
+                    "matmul: inner dims {k} vs {}",
+                    other.shape[0]
+                );
                 let n = other.shape[1];
                 let mut out = Self::zeros(&[b, m, n]);
                 for bi in 0..b {
@@ -513,7 +518,11 @@ impl Array {
             (2, 3) => {
                 let b = other.shape[0];
                 let (m, k) = (self.shape[0], self.shape[1]);
-                assert_eq!(k, other.shape[1], "matmul: inner dims {k} vs {}", other.shape[1]);
+                assert_eq!(
+                    k, other.shape[1],
+                    "matmul: inner dims {k} vs {}",
+                    other.shape[1]
+                );
                 let n = other.shape[2];
                 let mut out = Self::zeros(&[b, m, n]);
                 for bi in 0..b {
@@ -532,7 +541,11 @@ impl Array {
                 assert_eq!(self.shape[0], other.shape[0], "matmul: batch mismatch");
                 let b = self.shape[0];
                 let (m, k) = (self.shape[1], self.shape[2]);
-                assert_eq!(k, other.shape[1], "matmul: inner dims {k} vs {}", other.shape[1]);
+                assert_eq!(
+                    k, other.shape[1],
+                    "matmul: inner dims {k} vs {}",
+                    other.shape[1]
+                );
                 let n = other.shape[2];
                 let mut out = Self::zeros(&[b, m, n]);
                 for bi in 0..b {
@@ -569,16 +582,15 @@ impl Array {
             let rows_per = m.div_ceil(threads);
             let a = &self.data;
             let b = &other.data;
-            crossbeam::thread::scope(|s| {
+            std::thread::scope(|s| {
                 for (ti, chunk) in out.data.chunks_mut(rows_per * n).enumerate() {
                     let r0 = ti * rows_per;
                     let rows = chunk.len() / n;
-                    s.spawn(move |_| {
+                    s.spawn(move || {
                         matmul_kernel(&a[r0 * k..(r0 + rows) * k], b, chunk, rows, k, n);
                     });
                 }
-            })
-            .expect("matmul worker panicked");
+            });
         } else {
             matmul_kernel(&self.data, &other.data, &mut out.data, m, k, n);
         }
@@ -678,11 +690,17 @@ impl Array {
         assert_eq!(self.rank(), src.rank(), "assign_slice: rank mismatch");
         for d in 0..self.rank() {
             if d != axis {
-                assert_eq!(self.shape[d], src.shape[d], "assign_slice: dim {d} mismatch");
+                assert_eq!(
+                    self.shape[d], src.shape[d],
+                    "assign_slice: dim {d} mismatch"
+                );
             }
         }
         let len = src.shape[axis];
-        assert!(start + len <= self.shape[axis], "assign_slice: out of range");
+        assert!(
+            start + len <= self.shape[axis],
+            "assign_slice: out of range"
+        );
         let outer: usize = self.shape[..axis].iter().product();
         let mid = self.shape[axis];
         let inner: usize = self.shape[axis + 1..].iter().product();

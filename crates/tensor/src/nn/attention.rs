@@ -38,7 +38,10 @@ pub struct MultiHeadSelfAttention {
 impl MultiHeadSelfAttention {
     /// New attention layer of width `d` with `heads` heads.
     pub fn new<R: Rng>(d: usize, heads: usize, rng: &mut R) -> Self {
-        assert!(heads > 0 && d % heads == 0, "d ({d}) must divide into heads ({heads})");
+        assert!(
+            heads > 0 && d.is_multiple_of(heads),
+            "d ({d}) must divide into heads ({heads})"
+        );
         Self {
             wq: Tensor::parameter(xavier_uniform(&[d, d], rng)),
             wk: Tensor::parameter(xavier_uniform(&[d, d], rng)),

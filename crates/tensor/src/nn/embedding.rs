@@ -42,7 +42,11 @@ impl Embedding {
     /// Look up rows: returns `[indices.len(), dim]`.
     pub fn lookup(&self, indices: &[usize]) -> Tensor {
         for &i in indices {
-            assert!(i < self.count, "embedding index {i} out of range {}", self.count);
+            assert!(
+                i < self.count,
+                "embedding index {i} out of range {}",
+                self.count
+            );
         }
         self.table.index_select(0, indices)
     }

@@ -45,7 +45,10 @@ impl GruCell {
 
     /// One step: `x` is `[B, in]`, `h` is `[B, hidden]`; returns `[B, hidden]`.
     pub fn step(&self, x: &Tensor, h: &Tensor) -> Tensor {
-        let gates = x.matmul(&self.w_zr).add(&h.matmul(&self.u_zr)).add(&self.b_zr);
+        let gates = x
+            .matmul(&self.w_zr)
+            .add(&h.matmul(&self.u_zr))
+            .add(&self.b_zr);
         let z = gates.slice_axis(1, 0, self.hidden).sigmoid();
         let r = gates.slice_axis(1, self.hidden, 2 * self.hidden).sigmoid();
         let cand = x
@@ -158,7 +161,10 @@ mod tests {
         gru.forward(&x).square().sum_all().backward();
         for (i, p) in gru.parameters().iter().enumerate() {
             let g = p.grad().unwrap_or_else(|| panic!("param {i} missing grad"));
-            assert!(g.data().iter().any(|v| *v != 0.0), "param {i} grad all zero");
+            assert!(
+                g.data().iter().any(|v| *v != 0.0),
+                "param {i} grad all zero"
+            );
         }
     }
 

@@ -14,11 +14,11 @@ mod norm;
 pub use attention::{positional_encoding, MultiHeadSelfAttention};
 pub use conv::CausalConv1d;
 pub use embedding::Embedding;
-pub use gru::{GruCell, Gru};
+pub use gru::{Gru, GruCell};
 pub use init::{xavier_uniform, zeros_init};
 pub use linear::{Linear, Mlp};
+pub use lstm::{Lstm, LstmCell};
 pub use norm::LayerNorm;
-pub use lstm::{LstmCell, Lstm};
 
 use crate::tensor::Tensor;
 

@@ -21,12 +21,7 @@ impl Tensor {
         Tensor::from_op(
             out,
             vec![self.clone(), other.clone()],
-            Box::new(move |g| {
-                vec![
-                    Some(g.reduce_to_shape(&sa)),
-                    Some(g.reduce_to_shape(&sb)),
-                ]
-            }),
+            Box::new(move |g| vec![Some(g.reduce_to_shape(&sa)), Some(g.reduce_to_shape(&sb))]),
         )
     }
 
@@ -105,11 +100,7 @@ impl Tensor {
     /// Add a scalar constant.
     pub fn add_scalar(&self, s: f32) -> Tensor {
         let out = self.with_value(|a| a.add_scalar(s));
-        Tensor::from_op(
-            out,
-            vec![self.clone()],
-            Box::new(|g| vec![Some(g.clone())]),
-        )
+        Tensor::from_op(out, vec![self.clone()], Box::new(|g| vec![Some(g.clone())]))
     }
 
     /// Rectified linear unit.
@@ -119,9 +110,7 @@ impl Tensor {
         Tensor::from_op(
             out,
             vec![self.clone()],
-            Box::new(move |g| {
-                vec![Some(g.zip(&xv, |gv, x| if x > 0.0 { gv } else { 0.0 }))]
-            }),
+            Box::new(move |g| vec![Some(g.zip(&xv, |gv, x| if x > 0.0 { gv } else { 0.0 }))]),
         )
     }
 
@@ -166,7 +155,9 @@ impl Tensor {
             out,
             vec![self.clone()],
             Box::new(move |g| {
-                vec![Some(g.zip(&xv, |gv, x| gv * x.signum() * if x == 0.0 { 0.0 } else { 1.0 }))]
+                vec![Some(g.zip(&xv, |gv, x| {
+                    gv * x.signum() * if x == 0.0 { 0.0 } else { 1.0 }
+                }))]
             }),
         )
     }
@@ -189,7 +180,12 @@ impl Tensor {
         Tensor::from_op(
             out,
             vec![self.clone()],
-            Box::new(move |g| vec![Some(g.zip(&y, |gv, yv| if yv > 0.0 { gv * 0.5 / yv } else { 0.0 }))]),
+            Box::new(move |g| {
+                vec![Some(g.zip(
+                    &y,
+                    |gv, yv| if yv > 0.0 { gv * 0.5 / yv } else { 0.0 },
+                ))]
+            }),
         )
     }
 
@@ -203,7 +199,13 @@ impl Tensor {
         let keep = 1.0 - p;
         let shape = self.shape();
         let mask_data: Vec<f32> = (0..self.numel())
-            .map(|_| if rng.gen::<f32>() < keep { 1.0 / keep } else { 0.0 })
+            .map(|_| {
+                if rng.gen::<f32>() < keep {
+                    1.0 / keep
+                } else {
+                    0.0
+                }
+            })
             .collect();
         let mask = Array::from_vec(&shape, mask_data).expect("mask shape");
         let out = self.with_value(|a| a.mul(&mask));
@@ -557,7 +559,11 @@ mod tests {
             1e-2,
         );
         gradcheck(
-            |inputs| Tensor::concat(&[&inputs[0], &inputs[1]], 1).square().sum_all(),
+            |inputs| {
+                Tensor::concat(&[&inputs[0], &inputs[1]], 1)
+                    .square()
+                    .sum_all()
+            },
             &[&[2, 2], &[2, 3]],
             &mut rng,
             1e-2,

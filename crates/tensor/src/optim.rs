@@ -11,7 +11,11 @@ pub fn clip_grad_norm(params: &[Tensor], max_norm: f32) -> f32 {
     let mut sq = 0.0f64;
     for p in params {
         if let Some(g) = p.grad() {
-            sq += g.data().iter().map(|v| (*v as f64) * (*v as f64)).sum::<f64>();
+            sq += g
+                .data()
+                .iter()
+                .map(|v| (*v as f64) * (*v as f64))
+                .sum::<f64>();
         }
     }
     let norm = (sq.sqrt()) as f32;
@@ -266,7 +270,7 @@ mod tests {
         let x = Tensor::parameter(Array::from_vec(&[2], vec![0.0, 0.0]).unwrap());
         let big = Tensor::constant(Array::from_vec(&[2], vec![30.0, 40.0]).unwrap());
         x.mul(&big).sum_all().backward();
-        let pre = clip_grad_norm(&[x.clone()], 5.0);
+        let pre = clip_grad_norm(std::slice::from_ref(&x), 5.0);
         assert!((pre - 50.0).abs() < 1e-3);
         let g = x.grad().unwrap();
         let post = (g.data()[0].powi(2) + g.data()[1].powi(2)).sqrt();
@@ -280,7 +284,7 @@ mod tests {
         let x = Tensor::parameter(Array::from_vec(&[1], vec![0.0]).unwrap());
         let c = Tensor::constant(Array::from_vec(&[1], vec![2.0]).unwrap());
         x.mul(&c).sum_all().backward();
-        let pre = clip_grad_norm(&[x.clone()], 5.0);
+        let pre = clip_grad_norm(std::slice::from_ref(&x), 5.0);
         assert_eq!(pre, 2.0);
         assert_eq!(x.grad().unwrap().data(), &[2.0]);
     }

@@ -118,8 +118,7 @@ impl Tensor {
 
     /// Internal: build an op node.
     pub(crate) fn from_op(value: Array, parents: Vec<Tensor>, backward: BackwardFn) -> Self {
-        let requires_grad =
-            !no_grad_active() && parents.iter().any(|p| p.node.requires_grad);
+        let requires_grad = !no_grad_active() && parents.iter().any(|p| p.node.requires_grad);
         Tensor {
             node: Rc::new(Node {
                 id: NEXT_ID.fetch_add(1, Ordering::Relaxed),

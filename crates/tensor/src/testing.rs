@@ -30,9 +30,7 @@ pub fn gradcheck<R: Rng>(
     out.backward();
 
     for (pi, input) in inputs.iter().enumerate() {
-        let analytic = input
-            .grad()
-            .unwrap_or_else(|| Array::zeros(&input.shape()));
+        let analytic = input.grad().unwrap_or_else(|| Array::zeros(&input.shape()));
         let base = input.value();
         for ei in 0..base.numel() {
             let mut plus = base.clone();

@@ -51,14 +51,20 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(0);
     let gwnet = GraphWaveNet::new(&net, 16, 12, true, &mut rng);
     trainer.train(&gwnet, &windowed);
-    print_row("GWNet", &trainer.evaluate(&gwnet, &windowed, Split::Test).horizons);
+    print_row(
+        "GWNet",
+        &trainer.evaluate(&gwnet, &windowed, Split::Test).horizons,
+    );
 
     let mut rng = StdRng::seed_from_u64(0);
     let mut cfg = D2stgnnConfig::small(windowed.num_nodes());
     cfg.layers = 2;
     let d2 = D2stgnn::new(cfg, &net, &mut rng);
     trainer.train(&d2, &windowed);
-    print_row("D2STGNN", &trainer.evaluate(&d2, &windowed, Split::Test).horizons);
+    print_row(
+        "D2STGNN",
+        &trainer.evaluate(&d2, &windowed, Split::Test).horizons,
+    );
 
     println!("\n(for the full Table 3 comparison across four datasets run");
     println!(" `cargo run -p d2stgnn-bench --release --bin table3`)");

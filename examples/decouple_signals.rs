@@ -78,7 +78,12 @@ fn main() {
     for &slot in &probe_tod {
         let row = emb.tod_rows(&[slot]).value();
         let norm: f32 = row.data().iter().map(|v| v * v).sum::<f32>().sqrt();
-        println!("  time-of-day slot {:4} ({:02}:{:02}) |T^D| = {norm:.3}", slot, slot / 12, (slot % 12) * 5);
+        println!(
+            "  time-of-day slot {:4} ({:02}:{:02}) |T^D| = {norm:.3}",
+            slot,
+            slot / 12,
+            (slot % 12) * 5
+        );
     }
 
     // --- compare against the simulator's ground-truth split -------------

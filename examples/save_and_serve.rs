@@ -1,20 +1,44 @@
 //! The deployment loop: train a model, checkpoint it to JSON, export the
 //! dataset to the CSV interchange format, then — as a separate "service"
-//! would — reload both and serve a forecast. Demonstrates
-//! `d2stgnn::model::checkpoint` and `d2stgnn::data::io`.
+//! would — reload both into the inference engine and serve forecasts through
+//! it. Demonstrates `d2stgnn::model::checkpoint`, `d2stgnn::data::io`, and
+//! `d2stgnn::serve`.
 //!
 //! Run with: `cargo run --release --example save_and_serve`
 
 use d2stgnn::data::io;
 use d2stgnn::prelude::*;
+use d2stgnn::serve::ModelFactory;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::Arc;
 
-fn build_model(n: usize, seed: u64) -> D2stgnnConfig {
+fn model_config(n: usize) -> D2stgnnConfig {
     let mut cfg = D2stgnnConfig::small(n);
     cfg.layers = 1;
-    let _ = seed;
     cfg
+}
+
+/// Build a raw-scale request for the window whose input starts at `start`.
+fn request_at(data: &WindowedDataset, start: usize, model: &str) -> InferRequest {
+    let (th, n) = (data.th(), data.num_nodes());
+    let raw = data.data();
+    let mut window = Array::zeros(&[th, n, 1]);
+    let (mut tod, mut dow) = (Vec::new(), Vec::new());
+    for t in 0..th {
+        tod.push(raw.time_of_day(start + t));
+        dow.push(raw.day_of_week(start + t));
+        for i in 0..n {
+            window.set(&[t, i, 0], raw.values.at(&[start + t, i]));
+        }
+    }
+    InferRequest {
+        model: model.to_string(),
+        window,
+        tod,
+        dow,
+        deadline: None,
+    }
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -36,7 +60,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let data = WindowedDataset::new(raw, 12, 12, (0.7, 0.1, 0.2));
     let mut rng = StdRng::seed_from_u64(0);
-    let model = D2stgnn::new(build_model(10, 0), &data.data().network.clone(), &mut rng);
+    let model = D2stgnn::new(model_config(10), &data.data().network.clone(), &mut rng);
     let trainer = Trainer::new(TrainConfig {
         max_epochs: 2,
         cl_step: 5,
@@ -52,32 +76,68 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // ----- serving side (fresh process in real life) ---------------------
     let served_data = io::load_dataset(&values_csv, &adj_csv, 288, SignalKind::Speed)?;
     let served = WindowedDataset::new(served_data, 12, 12, (0.7, 0.1, 0.2));
-    let mut rng = StdRng::seed_from_u64(99); // different init...
-    let fresh = D2stgnn::new(build_model(10, 99), &served.data().network.clone(), &mut rng);
-    let tag = checkpoint::load(&fresh, &ckpt_path)?; // ...restored here
-    println!("restored checkpoint '{tag}'");
 
-    // Serve the latest window (inference mode: no autograd graph).
-    let last = served.len(Split::Test) - 1;
-    let batch = served.batch(Split::Test, &[last]);
-    let mut rng = StdRng::seed_from_u64(1);
-    let pred = d2stgnn::tensor::no_grad(|| fresh.forward(&batch, false, &mut rng)).value();
-    let pred = served.scaler().inverse_transform(&pred);
+    // The registry holds the checkpoint plus a factory that rebuilds the
+    // architecture; integrity (v2 checksum) is verified on read.
+    let ckpt = checkpoint::read(&ckpt_path)?;
+    println!(
+        "read checkpoint '{}' ({} parameters, checksum {:?})",
+        ckpt.model,
+        ckpt.total_params(),
+        ckpt.checksum.map(|c| format!("{c:#x}"))
+    );
+    let network = served.data().network.clone();
+    let factory: ModelFactory = Arc::new(move || {
+        let mut rng = StdRng::seed_from_u64(99); // weights come from the checkpoint
+        Box::new(D2stgnn::new(model_config(10), &network, &mut rng))
+    });
+    let registry = Arc::new(ModelRegistry::new());
+    registry.register(
+        "d2stgnn",
+        factory,
+        ckpt,
+        *served.scaler(),
+        [served.th(), served.num_nodes()],
+    )?;
 
+    let server = Server::start(Arc::clone(&registry), ServeConfig::default());
+    let mut ha = HistoricalAverage::new();
+    ha.fit(&served);
+    server.set_fallback(ha);
+
+    // Serve the latest test window.
+    let last_start = *served
+        .window_starts(Split::Test)
+        .last()
+        .expect("test windows");
+    let forecast = server.infer(request_at(&served, last_start, "d2stgnn"))?;
     println!("\n15-minute-ahead forecast per sensor (mph):");
     for i in 0..served.num_nodes() {
-        print!("{:6.1}", pred.at(&[0, 2, i, 0]));
+        print!("{:6.1}", forecast.values.at(&[2, i]));
     }
     println!();
 
-    // The round trip is exact: the served model equals the trained one.
-    let original = trainer.evaluate(&model, &served, Split::Test).overall;
-    let restored = trainer.evaluate(&fresh, &served, Split::Test).overall;
+    // The round trip is exact: served output equals the trained model's own.
+    let batch = served.batch(Split::Test, &[served.len(Split::Test) - 1]);
+    let mut rng = StdRng::seed_from_u64(1);
+    let direct = d2stgnn::tensor::no_grad(|| model.forward(&batch, false, &mut rng)).value();
+    let direct = served.scaler().inverse_transform(&direct);
+    let mut max_diff = 0f32;
+    for t in 0..served.tf() {
+        for i in 0..served.num_nodes() {
+            max_diff = max_diff.max((direct.at(&[0, t, i, 0]) - forecast.values.at(&[t, i])).abs());
+        }
+    }
     println!(
-        "\ntest MAE original {:.4} vs restored {:.4} (identical: {})",
-        original.mae,
-        restored.mae,
-        (original.mae - restored.mae).abs() < 1e-6
+        "\nserved vs in-process forecast max |diff| = {max_diff} (identical: {})",
+        max_diff == 0.0
     );
+
+    let stats = server.stats();
+    println!(
+        "server stats: {} requests, {} batches, p50 {:?}, p95 {:?}",
+        stats.requests, stats.batches, stats.p50_latency, stats.p95_latency
+    );
+    server.shutdown();
     Ok(())
 }

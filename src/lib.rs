@@ -15,6 +15,7 @@
 //! | [`data`] | synthetic datasets, windows, scalers, metrics |
 //! | [`model`] | DSTF + D²STGNN + trainer (the paper's contribution) |
 //! | [`baselines`] | HA, VAR, SVR, FC-LSTM, DCRNN, Graph WaveNet, STGCN |
+//! | [`serve`] | model registry, micro-batching inference server, fallback |
 //!
 //! ## Quickstart
 //!
@@ -47,6 +48,7 @@ pub use d2stgnn_baselines as baselines;
 pub use d2stgnn_core as model;
 pub use d2stgnn_data as data;
 pub use d2stgnn_graph as graph;
+pub use d2stgnn_serve as serve;
 pub use d2stgnn_tensor as tensor;
 
 /// Everything needed for typical use in one import.
@@ -64,5 +66,8 @@ pub mod prelude {
         StandardScaler, TrafficData, WindowedDataset,
     };
     pub use d2stgnn_graph::{transition, TrafficNetwork};
+    pub use d2stgnn_serve::{
+        Forecast, InferRequest, ModelRegistry, ServeConfig, ServeError, Server, ServerStats,
+    };
     pub use d2stgnn_tensor::{nn::Module, Array, Tensor};
 }

@@ -25,8 +25,12 @@ fn build(data: &WindowedDataset, f: impl FnOnce(&mut D2stgnnConfig)) -> D2stgnn 
 fn each_component_toggle_changes_parameter_count() {
     let d = data();
     let full = build(&d, |_| {}).num_parameters();
-    let variants: Vec<(&str, Box<dyn FnOnce(&mut D2stgnnConfig)>)> = vec![
-        ("w/o gate", Box::new(|c: &mut D2stgnnConfig| c.use_gate = false)),
+    type Toggle = Box<dyn FnOnce(&mut D2stgnnConfig)>;
+    let variants: Vec<(&str, Toggle)> = vec![
+        (
+            "w/o gate",
+            Box::new(|c: &mut D2stgnnConfig| c.use_gate = false),
+        ),
         ("w/o dg", Box::new(|c| c.use_dynamic_graph = false)),
         ("w/o gru", Box::new(|c| c.use_gru = false)),
         ("w/o msa", Box::new(|c| c.use_msa = false)),
@@ -75,7 +79,8 @@ fn every_variant_trains_one_epoch_without_nan() {
         max_epochs: 1,
         ..TrainConfig::default()
     });
-    let toggles: Vec<Box<dyn FnOnce(&mut D2stgnnConfig)>> = vec![
+    type Toggle = Box<dyn FnOnce(&mut D2stgnnConfig)>;
+    let toggles: Vec<Toggle> = vec![
         Box::new(|_| {}),
         Box::new(|c: &mut D2stgnnConfig| c.use_gate = false),
         Box::new(|c| c.use_residual = false),

@@ -101,7 +101,9 @@ impl TrafficModel for NanModel {
 #[test]
 fn trainer_detects_divergence_instead_of_corrupting_silently() {
     let d = data();
-    let bad = NanModel { inner: model(&d, 3) };
+    let bad = NanModel {
+        inner: model(&d, 3),
+    };
     let trainer = Trainer::new(TrainConfig {
         max_epochs: 1,
         ..TrainConfig::default()

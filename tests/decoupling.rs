@@ -54,7 +54,10 @@ fn cross_node_influence_flows_only_through_the_diffusion_branch() {
 
     let dif_moved = moved_except(&dif0, &dif1, 0);
     let inh_moved = moved_except(&inh0, &inh1, 0);
-    assert!(dif_moved > 1e-4, "diffusion branch ignored a neighbour change");
+    assert!(
+        dif_moved > 1e-4,
+        "diffusion branch ignored a neighbour change"
+    );
     // NOTE: with residual decomposition the inherent block's INPUT already
     // contains the diffusion backcast, so some cross-node signal leaks into
     // the inherent branch by design (Eq. 1). The diffusion branch must still
@@ -152,5 +155,8 @@ fn simulator_ground_truth_split_is_learnable_signal() {
     let dif_var = var(&data.diffusion);
     let inh_var = var(&data.inherent);
     assert!(dif_var > 0.1, "diffusion variance too small: {dif_var}");
-    assert!(inh_var > dif_var, "inherent should dominate: {inh_var} vs {dif_var}");
+    assert!(
+        inh_var > dif_var,
+        "inherent should dominate: {inh_var} vs {dif_var}"
+    );
 }

@@ -1,0 +1,47 @@
+//! Deserialization traits, mirroring `serde::de`.
+
+use crate::value::{Value, ValueError};
+
+/// Error trait every deserializer error implements (mirrors
+/// `serde::de::Error`).
+pub trait Error: Sized + std::fmt::Display {
+    /// Build an error from any displayable message.
+    fn custom<T: std::fmt::Display>(msg: T) -> Self;
+}
+
+/// A data format that can yield a [`Value`] tree.
+pub trait Deserializer<'de>: Sized {
+    /// Error type.
+    type Error: Error;
+
+    /// Surrender the parsed value tree.
+    fn take_value(self) -> Result<Value, Self::Error>;
+}
+
+/// A type constructible from any [`Deserializer`].
+pub trait Deserialize<'de>: Sized {
+    /// Deserialize `Self` from the given deserializer.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// Owned deserialization, mirroring `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+/// Deserializer over an in-memory [`Value`] tree; the backend used by derived
+/// impls to convert nested fields.
+pub struct ValueDeserializer(pub Value);
+
+impl<'de> Deserializer<'de> for ValueDeserializer {
+    type Error = ValueError;
+
+    fn take_value(self) -> Result<Value, ValueError> {
+        Ok(self.0)
+    }
+}
+
+/// Build any deserializable type from a [`Value`] tree.
+pub fn from_value<T: DeserializeOwned>(value: Value) -> Result<T, ValueError> {
+    T::deserialize(ValueDeserializer(value))
+}

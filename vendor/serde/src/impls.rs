@@ -1,0 +1,269 @@
+//! `Serialize` / `Deserialize` impls for the primitive and container types
+//! the workspace serializes.
+
+use crate::de::{self, Deserialize, Deserializer, Error as DeError};
+use crate::ser::{self, Error as SerError, Serialize, Serializer};
+use crate::value::{Number, Value};
+
+// ---------------------------------------------------------------------------
+// Integers
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_value(Value::Number(Number::PosInt(*self as u64)))
+            }
+        }
+
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                match deserializer.take_value()? {
+                    Value::Number(Number::PosInt(v)) => <$t>::try_from(v)
+                        .map_err(|_| D::Error::custom(format!(
+                            "integer {v} out of range for {}", stringify!($t)))),
+                    other => Err(D::Error::custom(format!(
+                        "expected unsigned integer, got {}", other.kind()))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                let v = *self as i64;
+                let num = if v >= 0 {
+                    Number::PosInt(v as u64)
+                } else {
+                    Number::NegInt(v)
+                };
+                serializer.serialize_value(Value::Number(num))
+            }
+        }
+
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                let wide: i128 = match deserializer.take_value()? {
+                    Value::Number(Number::PosInt(v)) => v as i128,
+                    Value::Number(Number::NegInt(v)) => v as i128,
+                    other => {
+                        return Err(D::Error::custom(format!(
+                            "expected integer, got {}", other.kind())))
+                    }
+                };
+                <$t>::try_from(wide).map_err(|_| D::Error::custom(format!(
+                    "integer {wide} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+
+// ---------------------------------------------------------------------------
+// Floats — non-finite values serialize as null (matching serde_json) and
+// null deserializes back to NaN.
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                let v = *self as f64;
+                let value = if v.is_finite() {
+                    Value::Number(Number::Float(v))
+                } else {
+                    Value::Null
+                };
+                serializer.serialize_value(value)
+            }
+        }
+
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                match deserializer.take_value()? {
+                    Value::Number(Number::Float(v)) => Ok(v as $t),
+                    Value::Number(Number::PosInt(v)) => Ok(v as $t),
+                    Value::Number(Number::NegInt(v)) => Ok(v as $t),
+                    Value::Null => Ok(<$t>::NAN),
+                    other => Err(D::Error::custom(format!(
+                        "expected number, got {}", other.kind()))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+// ---------------------------------------------------------------------------
+// bool / strings
+// ---------------------------------------------------------------------------
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Bool(*self))
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_value()? {
+            Value::Bool(b) => Ok(b),
+            other => Err(D::Error::custom(format!(
+                "expected bool, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::String(self.to_string()))
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::String(self.clone()))
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_value()? {
+            Value::String(s) => Ok(s),
+            other => Err(D::Error::custom(format!(
+                "expected string, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Containers
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut items = Vec::with_capacity(self.len());
+        for item in self {
+            items.push(ser::to_value(item).map_err(S::Error::custom)?);
+        }
+        serializer.serialize_value(Value::Array(items))
+    }
+}
+
+impl<'de, T: for<'a> Deserialize<'a>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_value()? {
+            Value::Array(items) => items
+                .into_iter()
+                .enumerate()
+                .map(|(i, v)| {
+                    de::from_value(v).map_err(|e| D::Error::custom(format!("array index {i}: {e}")))
+                })
+                .collect(),
+            other => Err(D::Error::custom(format!(
+                "expected array, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut items = Vec::with_capacity(self.len());
+        for item in self {
+            items.push(ser::to_value(item).map_err(S::Error::custom)?);
+        }
+        serializer.serialize_value(Value::Array(items))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            Some(v) => v.serialize(serializer),
+            None => serializer.serialize_value(Value::Null),
+        }
+    }
+}
+
+impl<'de, T: for<'a> Deserialize<'a>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_value()? {
+            Value::Null => Ok(None),
+            value => de::from_value(value).map(Some).map_err(D::Error::custom),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                let items = vec![
+                    $(ser::to_value(&self.$idx).map_err(S::Error::custom)?),+
+                ];
+                serializer.serialize_value(Value::Array(items))
+            }
+        }
+
+        impl<'de, $($name: for<'a> Deserialize<'a>),+> Deserialize<'de> for ($($name,)+) {
+            fn deserialize<__D: Deserializer<'de>>(deserializer: __D) -> Result<Self, __D::Error> {
+                const ARITY: usize = [$($idx),+].len();
+                match deserializer.take_value()? {
+                    Value::Array(items) if items.len() == ARITY => {
+                        let mut iter = items.into_iter();
+                        Ok((
+                            $({
+                                let _ = $idx;
+                                de::from_value(iter.next().expect("length checked"))
+                                    .map_err(<__D::Error as DeError>::custom)?
+                            },)+
+                        ))
+                    }
+                    Value::Array(items) => Err(<__D::Error as DeError>::custom(format!(
+                        "expected array of length {ARITY}, got {}", items.len()))),
+                    other => Err(<__D::Error as DeError>::custom(format!(
+                        "expected array, got {}", other.kind()))),
+                }
+            }
+        }
+    )+};
+}
+
+impl_tuple!(
+    (A: 0),
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3),
+);
+
+impl Serialize for Value {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(self.clone())
+    }
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.take_value()
+    }
+}

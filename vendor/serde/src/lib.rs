@@ -1,0 +1,23 @@
+//! Offline drop-in replacement for the subset of `serde` this workspace uses.
+//!
+//! The build container cannot reach crates.io, so instead of the real serde's
+//! visitor-based data model this shim routes everything through one concrete
+//! in-memory tree, [`Value`]. The public trait *signatures* match serde's
+//! (`Serialize::serialize<S: Serializer>`, `Deserialize::deserialize<D:
+//! Deserializer<'de>>`, `ser::Error` / `de::Error` with `custom`), so code
+//! written against idiomatic serde — including hand-written impls and the
+//! `#[derive(Serialize, Deserialize)]` macros from the sibling
+//! `serde_derive` shim — compiles unchanged.
+
+pub mod de;
+pub mod ser;
+
+mod impls;
+mod value;
+
+pub use de::{Deserialize, DeserializeOwned, Deserializer};
+pub use ser::{Serialize, Serializer};
+pub use value::{Number, Value, ValueError};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,44 @@
+//! Serialization traits, mirroring `serde::ser`.
+
+use crate::value::{Value, ValueError};
+
+/// Error trait every serializer error implements (mirrors `serde::ser::Error`).
+pub trait Error: Sized + std::fmt::Display {
+    /// Build an error from any displayable message.
+    fn custom<T: std::fmt::Display>(msg: T) -> Self;
+}
+
+/// A data format that can accept a [`Value`] tree.
+pub trait Serializer: Sized {
+    /// Output on success.
+    type Ok;
+    /// Error type.
+    type Error: Error;
+
+    /// Consume a finished value tree.
+    fn serialize_value(self, value: Value) -> Result<Self::Ok, Self::Error>;
+}
+
+/// A type that can describe itself to any [`Serializer`].
+pub trait Serialize {
+    /// Serialize `self` into the given serializer.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// Serializer producing the in-memory [`Value`] tree; the backend used by
+/// derived impls to convert nested fields.
+pub struct ValueSerializer;
+
+impl Serializer for ValueSerializer {
+    type Ok = Value;
+    type Error = ValueError;
+
+    fn serialize_value(self, value: Value) -> Result<Value, ValueError> {
+        Ok(value)
+    }
+}
+
+/// Convert any serializable value into a [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value, ValueError> {
+    value.serialize(ValueSerializer)
+}

@@ -1,0 +1,70 @@
+//! The concrete data model every serializer/deserializer in this shim
+//! round-trips through.
+
+/// A JSON-like value tree. Object keys keep insertion order so output is
+/// stable across runs.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null` (also the marker for absent struct fields on deserialize).
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any numeric value.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An ordered sequence.
+    Array(Vec<Value>),
+    /// Key/value pairs in insertion order.
+    Object(Vec<(String, Value)>),
+}
+
+/// Numeric payload preserving integer fidelity (a `u64` checksum must not go
+/// through `f64`).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Number {
+    /// Non-negative integers.
+    PosInt(u64),
+    /// Negative integers.
+    NegInt(i64),
+    /// Everything else.
+    Float(f64),
+}
+
+impl Value {
+    /// Human-readable name of the variant, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Number(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// The error type used by the in-memory [`Value`] serializer/deserializer.
+#[derive(Clone, Debug)]
+pub struct ValueError(pub String);
+
+impl std::fmt::Display for ValueError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ValueError {}
+
+impl crate::ser::Error for ValueError {
+    fn custom<T: std::fmt::Display>(msg: T) -> Self {
+        ValueError(msg.to_string())
+    }
+}
+
+impl crate::de::Error for ValueError {
+    fn custom<T: std::fmt::Display>(msg: T) -> Self {
+        ValueError(msg.to_string())
+    }
+}

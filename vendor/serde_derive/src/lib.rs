@@ -1,0 +1,383 @@
+//! Offline drop-in replacement for `serde_derive`, written directly against
+//! `proc_macro` (no `syn`/`quote` available in this container).
+//!
+//! Supports what the workspace actually derives:
+//! - non-generic structs with named fields,
+//! - non-generic enums with unit, newtype, and struct variants,
+//! - no `#[serde(...)]` attributes.
+//!
+//! Structs serialize to objects, unit variants to strings, newtype/struct
+//! variants to single-key objects (serde's externally-tagged default), so the
+//! JSON written by the real serde_json for these shapes parses back
+//! unchanged. Missing struct fields deserialize as `null`, which lets
+//! `Option` fields default to `None` — the hook used for checkpoint
+//! format-version back-compat.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Input {
+    name: String,
+    data: Data,
+}
+
+enum Data {
+    Struct(Vec<String>),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Newtype,
+    Struct(Vec<String>),
+}
+
+/// Advance past one `#[...]` attribute (including doc comments, which reach
+/// us already desugared to `#[doc = "..."]`). Returns the new cursor.
+fn skip_attributes(tokens: &[TokenTree], mut i: usize) -> usize {
+    while let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() != '#' {
+            break;
+        }
+        match tokens.get(i + 1) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => i += 2,
+            _ => panic!("serde_derive shim: malformed attribute"),
+        }
+    }
+    i
+}
+
+/// Advance past `pub` / `pub(...)` visibility. Returns the new cursor.
+fn skip_visibility(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_visibility(&tokens, skip_attributes(&tokens, 0));
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" || id.to_string() == "enum" => {
+            id.to_string()
+        }
+        other => panic!("serde_derive shim: expected struct or enum, found {other:?}"),
+    };
+    i += 1;
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive shim: expected type name, found {other:?}"),
+    };
+    i += 1;
+
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        _ => panic!("serde_derive shim: `{name}` must be a non-generic brace struct/enum"),
+    };
+
+    let data = if kind == "struct" {
+        Data::Struct(parse_named_fields(body))
+    } else {
+        Data::Enum(parse_variants(body))
+    };
+    Input { name, data }
+}
+
+/// Parse `name: Type, ...` out of a brace body, returning the field names.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_visibility(&tokens, skip_attributes(&tokens, i));
+        let fname = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde_derive shim: expected field name, found {other:?}"),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive shim: expected `:` after `{fname}`, found {other:?}"),
+        }
+        // Consume the type: everything until a comma outside angle brackets.
+        let mut depth = 0i32;
+        while let Some(tok) = tokens.get(i) {
+            if let TokenTree::Punct(p) = tok {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        fields.push(fname);
+    }
+    fields
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attributes(&tokens, i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde_derive shim: expected variant name, found {other:?}"),
+        };
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = g
+                    .stream()
+                    .into_iter()
+                    .filter(|t| matches!(t, TokenTree::Punct(p) if p.as_char() == ','))
+                    .count()
+                    + 1;
+                assert!(
+                    arity == 1,
+                    "serde_derive shim: tuple variant `{name}` must have exactly one field"
+                );
+                i += 1;
+                VariantKind::Newtype
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                i += 1;
+                VariantKind::Struct(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            None => {}
+            other => panic!("serde_derive shim: expected `,` after variant, found {other:?}"),
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+const SER_ERR: &str = "<__S::Error as ::serde::ser::Error>::custom";
+const DE_ERR: &str = "<__D::Error as ::serde::de::Error>::custom";
+
+/// `fields -> Vec<(String, Value)>` builder statements; `access` maps a field
+/// name to the expression that borrows it (e.g. `&self.f` or `__f`).
+fn gen_push_fields(out: &mut String, fields: &[String], access: impl Fn(&str) -> String) {
+    out.push_str(
+        "let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+         ::std::vec::Vec::new();\n",
+    );
+    for f in fields {
+        out.push_str(&format!(
+            "__fields.push((::std::string::String::from(\"{f}\"), \
+             ::serde::ser::to_value({access}).map_err({SER_ERR})?));\n",
+            access = access(f),
+        ));
+    }
+}
+
+/// Expression extracting field `f` of type-checked target out of a mutable
+/// `Vec<(String, Value)>` named `__obj` (missing fields become `Null`).
+fn gen_take_field(ctx: &str, f: &str) -> String {
+    format!(
+        "{{ let __v = match __obj.iter().position(|(__k, _)| __k == \"{f}\") {{\
+             ::std::option::Option::Some(__i) => __obj.swap_remove(__i).1,\
+             ::std::option::Option::None => ::serde::Value::Null,\
+         }};\
+         ::serde::de::from_value(__v)\
+             .map_err(|__e| {DE_ERR}(::std::format!(\"{ctx}.{f}: {{}}\", __e)))? }}"
+    )
+}
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let mut body = String::new();
+    match &input.data {
+        Data::Struct(fields) => {
+            gen_push_fields(&mut body, fields, |f| format!("&self.{f}"));
+            body.push_str("serializer.serialize_value(::serde::Value::Object(__fields))\n");
+        }
+        Data::Enum(variants) => {
+            body.push_str("match self {\n");
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => body.push_str(&format!(
+                        "{name}::{vname} => serializer.serialize_value(\
+                         ::serde::Value::String(::std::string::String::from(\"{vname}\"))),\n"
+                    )),
+                    VariantKind::Newtype => body.push_str(&format!(
+                        "{name}::{vname}(__f0) => {{\
+                           let __inner = ::serde::ser::to_value(__f0).map_err({SER_ERR})?;\
+                           serializer.serialize_value(::serde::Value::Object(::std::vec![\
+                             (::std::string::String::from(\"{vname}\"), __inner)]))\
+                         }}\n"
+                    )),
+                    VariantKind::Struct(fields) => {
+                        let pattern = fields.join(", ");
+                        let mut inner = String::new();
+                        gen_push_fields(&mut inner, fields, |f| f.to_string());
+                        body.push_str(&format!(
+                            "{name}::{vname} {{ {pattern} }} => {{\
+                               {inner}\
+                               serializer.serialize_value(::serde::Value::Object(::std::vec![\
+                                 (::std::string::String::from(\"{vname}\"), \
+                                  ::serde::Value::Object(__fields))]))\
+                             }}\n"
+                        ));
+                    }
+                }
+            }
+            body.push_str("}\n");
+        }
+    }
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(unused_mut, clippy::all)]\n\
+         impl ::serde::ser::Serialize for {name} {{\n\
+             fn serialize<__S: ::serde::ser::Serializer>(&self, serializer: __S)\
+                 -> ::std::result::Result<__S::Ok, __S::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}\n"
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let mut body = String::new();
+    body.push_str("let __value = ::serde::de::Deserializer::take_value(deserializer)?;\n");
+    match &input.data {
+        Data::Struct(fields) => {
+            body.push_str(&format!(
+                "let mut __obj = match __value {{\
+                   ::serde::Value::Object(__m) => __m,\
+                   __other => return ::std::result::Result::Err({DE_ERR}(::std::format!(\
+                     \"{name}: expected object, got {{}}\", __other.kind()))),\
+                 }};\n"
+            ));
+            body.push_str(&format!("::std::result::Result::Ok({name} {{\n"));
+            for f in fields {
+                body.push_str(&format!("{f}: {},\n", gen_take_field(name, f)));
+            }
+            body.push_str("})\n");
+        }
+        Data::Enum(variants) => {
+            body.push_str("match __value {\n");
+            // Unit variants arrive as plain strings.
+            body.push_str("::serde::Value::String(__s) => match __s.as_str() {\n");
+            for v in variants {
+                if matches!(v.kind, VariantKind::Unit) {
+                    let vname = &v.name;
+                    body.push_str(&format!(
+                        "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),\n"
+                    ));
+                }
+            }
+            body.push_str(&format!(
+                "__other => ::std::result::Result::Err({DE_ERR}(::std::format!(\
+                   \"unknown {name} variant {{}}\", __other))),\n\
+                 }},\n"
+            ));
+            // Data-carrying variants arrive as single-key objects.
+            body.push_str(
+                "::serde::Value::Object(mut __m) if __m.len() == 1 => {\
+                   let (__k, __v) = __m.remove(0);\
+                   match __k.as_str() {\n",
+            );
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {}
+                    VariantKind::Newtype => body.push_str(&format!(
+                        "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}(\
+                           ::serde::de::from_value(__v).map_err(|__e| {DE_ERR}(\
+                             ::std::format!(\"{name}::{vname}: {{}}\", __e)))?)),\n"
+                    )),
+                    VariantKind::Struct(fields) => {
+                        let mut arms = String::new();
+                        for f in fields {
+                            arms.push_str(&format!(
+                                "{f}: {},\n",
+                                gen_take_field(&format!("{name}::{vname}"), f)
+                            ));
+                        }
+                        body.push_str(&format!(
+                            "\"{vname}\" => {{\
+                               let mut __obj = match __v {{\
+                                 ::serde::Value::Object(__m) => __m,\
+                                 __other => return ::std::result::Result::Err({DE_ERR}(\
+                                   ::std::format!(\"{name}::{vname}: expected object, got {{}}\",\
+                                   __other.kind()))),\
+                               }};\
+                               ::std::result::Result::Ok({name}::{vname} {{ {arms} }})\
+                             }}\n"
+                        ));
+                    }
+                }
+            }
+            body.push_str(&format!(
+                "__other => ::std::result::Result::Err({DE_ERR}(::std::format!(\
+                   \"unknown {name} variant {{}}\", __other))),\n\
+                 }}\n}},\n"
+            ));
+            body.push_str(&format!(
+                "__other => ::std::result::Result::Err({DE_ERR}(::std::format!(\
+                   \"{name}: expected string or single-key object, got {{}}\", __other.kind()))),\n\
+                 }}\n"
+            ));
+        }
+    }
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(unused_mut, clippy::all)]\n\
+         impl<'de> ::serde::de::Deserialize<'de> for {name} {{\n\
+             fn deserialize<__D: ::serde::de::Deserializer<'de>>(deserializer: __D)\
+                 -> ::std::result::Result<Self, __D::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}\n"
+    )
+}
+
+/// Derive `serde::Serialize` (shim).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_serialize(&parsed)
+        .parse()
+        .expect("serde_derive shim: generated invalid Serialize impl")
+}
+
+/// Derive `serde::Deserialize` (shim).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_deserialize(&parsed)
+        .parse()
+        .expect("serde_derive shim: generated invalid Deserialize impl")
+}
