@@ -14,6 +14,7 @@
 //!   the DGCRN-dagger row of Table 4).
 
 #![warn(missing_docs)]
+#![deny(unsafe_code)]
 
 pub mod astgcn;
 pub mod classical;

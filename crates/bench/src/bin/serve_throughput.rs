@@ -119,7 +119,7 @@ fn main() {
             queue_capacity: budget,
         };
         let workers = config.workers;
-        let server = Server::start(registry, config);
+        let server = Server::start(registry, config).expect("start server");
         server.set_fallback(ha.clone());
 
         let t0 = Instant::now();
@@ -132,7 +132,7 @@ fn main() {
         }
         let elapsed = t0.elapsed();
         let stats = server.stats();
-        server.shutdown();
+        server.shutdown().expect("clean shutdown");
 
         let row = ThroughputRow {
             max_batch,

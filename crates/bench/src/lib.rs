@@ -17,6 +17,7 @@
 //! (paper-sized) profiles and write JSON artifacts to `target/experiments/`.
 
 #![warn(missing_docs)]
+#![deny(unsafe_code)]
 
 pub mod harness;
 pub mod table;

@@ -74,34 +74,7 @@ impl Checkpoint {
     }
 }
 
-/// Errors from checkpoint I/O.
-#[derive(Debug)]
-pub enum CheckpointError {
-    /// Filesystem failure.
-    Io(std::io::Error),
-    /// Malformed JSON.
-    Parse(String),
-    /// Parameter count or shapes disagree with the target model.
-    Mismatch(String),
-}
-
-impl std::fmt::Display for CheckpointError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            CheckpointError::Io(e) => write!(f, "checkpoint I/O: {e}"),
-            CheckpointError::Parse(e) => write!(f, "checkpoint parse: {e}"),
-            CheckpointError::Mismatch(e) => write!(f, "checkpoint mismatch: {e}"),
-        }
-    }
-}
-
-impl std::error::Error for CheckpointError {}
-
-impl From<std::io::Error> for CheckpointError {
-    fn from(e: std::io::Error) -> Self {
-        CheckpointError::Io(e)
-    }
-}
+pub use crate::error::CheckpointError;
 
 /// Capture a module's parameters.
 pub fn snapshot<M: Module + ?Sized>(model: &M, tag: &str) -> Checkpoint {
@@ -175,7 +148,7 @@ mod tests {
     use rand::SeedableRng;
 
     #[test]
-    fn snapshot_restore_roundtrip() {
+    fn snapshot_restore_roundtrip() -> Result<(), CheckpointError> {
         let mut rng = StdRng::seed_from_u64(0);
         let a = Linear::new(3, 2, true, &mut rng);
         let ckpt = snapshot(&a, "linear");
@@ -184,8 +157,9 @@ mod tests {
             p.set_value(Array::zeros(&p.shape()));
         }
         assert_eq!(a.parameters()[0].value().sum_all(), 0.0);
-        restore(&a, &ckpt).unwrap();
+        restore(&a, &ckpt)?;
         assert_eq!(a.parameters()[0].value(), ckpt.parameters[0]);
+        Ok(())
     }
 
     #[test]
@@ -194,29 +168,30 @@ mod tests {
         let a = Linear::new(3, 2, true, &mut rng);
         let b = Linear::new(4, 2, true, &mut rng);
         let ckpt = snapshot(&a, "a");
-        let err = restore(&b, &ckpt).unwrap_err();
+        let err = restore(&b, &ckpt).expect_err("shape mismatch must be rejected");
         assert!(matches!(err, CheckpointError::Mismatch(_)));
         let c = Linear::new(3, 2, false, &mut rng);
-        let err = restore(&c, &ckpt).unwrap_err();
+        let err = restore(&c, &ckpt).expect_err("count mismatch must be rejected");
         assert!(err.to_string().contains("parameters"));
     }
 
     #[test]
-    fn file_roundtrip() {
+    fn file_roundtrip() -> Result<(), CheckpointError> {
         let mut rng = StdRng::seed_from_u64(1);
         let a = Linear::new(2, 2, true, &mut rng);
         let dir = std::env::temp_dir().join("d2stgnn-ckpt-test");
-        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::create_dir_all(&dir)?;
         let path = dir.join("lin.json");
-        save(&a, "lin", &path).unwrap();
+        save(&a, "lin", &path)?;
         let before = a.parameters()[0].value();
         for p in a.parameters() {
             p.set_value(Array::zeros(&p.shape()));
         }
-        let tag = load(&a, &path).unwrap();
+        let tag = load(&a, &path)?;
         assert_eq!(tag, "lin");
         assert_eq!(a.parameters()[0].value(), before);
         std::fs::remove_file(&path).ok();
+        Ok(())
     }
 
     #[test]
@@ -227,11 +202,11 @@ mod tests {
         assert_eq!(ckpt.version, FORMAT_VERSION);
         assert_eq!(ckpt.param_count, Some(3 * 4 + 4));
         assert_eq!(ckpt.checksum, Some(params_checksum(&ckpt.parameters)));
-        ckpt.verify_integrity().unwrap();
+        ckpt.verify_integrity().expect("fresh snapshot must verify");
     }
 
     #[test]
-    fn v1_checkpoint_without_metadata_still_loads() {
+    fn v1_checkpoint_without_metadata_still_loads() -> Result<(), CheckpointError> {
         let mut rng = StdRng::seed_from_u64(4);
         let a = Linear::new(2, 3, true, &mut rng);
         // Serialize, then strip the v2 fields to fabricate a v1-era file.
@@ -239,38 +214,41 @@ mod tests {
         ckpt.version = 1;
         ckpt.param_count = None;
         ckpt.checksum = None;
-        let json = serde_json::to_string(&ckpt).unwrap();
+        let json =
+            serde_json::to_string(&ckpt).map_err(|e| CheckpointError::Parse(e.to_string()))?;
         assert!(!json.contains("\"param_count\":1") && json.contains("\"version\":1"));
         let dir = std::env::temp_dir().join("d2stgnn-ckpt-test");
-        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::create_dir_all(&dir)?;
         let path = dir.join("v1.json");
-        std::fs::write(&path, &json).unwrap();
-        let loaded = read(&path).unwrap();
+        std::fs::write(&path, &json)?;
+        let loaded = read(&path)?;
         assert_eq!(loaded.version, 1);
         assert_eq!(loaded.param_count, None);
         assert_eq!(loaded.checksum, None);
-        load(&a, &path).unwrap();
+        load(&a, &path)?;
         std::fs::remove_file(&path).ok();
+        Ok(())
     }
 
     #[test]
-    fn corrupted_payload_is_rejected() {
+    fn corrupted_payload_is_rejected() -> Result<(), CheckpointError> {
         let mut rng = StdRng::seed_from_u64(5);
         let a = Linear::new(2, 2, true, &mut rng);
         let dir = std::env::temp_dir().join("d2stgnn-ckpt-test");
-        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::create_dir_all(&dir)?;
         let path = dir.join("corrupt.json");
-        save(&a, "lin", &path).unwrap();
+        save(&a, "lin", &path)?;
         // Flip one stored bias element (zero-initialized, so its JSON form is
         // exact) without updating the checksum.
-        let json = std::fs::read_to_string(&path).unwrap();
+        let json = std::fs::read_to_string(&path)?;
         let tampered = json.replacen("\"data\":[0,0]", "\"data\":[1,0]", 1);
         assert_ne!(json, tampered, "tamper target value not found in JSON");
-        std::fs::write(&path, &tampered).unwrap();
-        let err = load(&a, &path).unwrap_err();
+        std::fs::write(&path, &tampered)?;
+        let err = load(&a, &path).expect_err("tampered payload must be rejected");
         assert!(matches!(err, CheckpointError::Mismatch(_)), "got {err}");
         assert!(err.to_string().contains("checksum"));
         std::fs::remove_file(&path).ok();
+        Ok(())
     }
 
     #[test]
@@ -279,7 +257,9 @@ mod tests {
         let a = Linear::new(2, 2, true, &mut rng);
         let mut ckpt = snapshot(&a, "lin");
         ckpt.param_count = Some(ckpt.total_params() + 1);
-        let err = ckpt.verify_integrity().unwrap_err();
+        let err = ckpt
+            .verify_integrity()
+            .expect_err("inflated param count must be rejected");
         assert!(err.to_string().contains("scalar parameters"));
     }
 
@@ -287,7 +267,8 @@ mod tests {
     fn load_reports_missing_file() {
         let mut rng = StdRng::seed_from_u64(1);
         let a = Linear::new(2, 2, true, &mut rng);
-        let err = load(&a, Path::new("/nonexistent/ckpt.json")).unwrap_err();
+        let err = load(&a, Path::new("/nonexistent/ckpt.json"))
+            .expect_err("missing file must surface an I/O error");
         assert!(matches!(err, CheckpointError::Io(_)));
     }
 }

@@ -1,5 +1,6 @@
 //! Model configuration, including every ablation toggle of Table 5.
 
+use crate::error::ConfigError;
 use serde::{Deserialize, Serialize};
 
 /// Which block runs first inside each decoupled layer (the *switch* ablation
@@ -120,7 +121,7 @@ impl D2stgnnConfig {
     }
 
     /// Validate invariants; returns a human-readable complaint on failure.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), ConfigError> {
         if self.num_nodes == 0 {
             return Err("num_nodes must be positive".into());
         }
@@ -131,13 +132,14 @@ impl D2stgnnConfig {
             return Err(format!(
                 "heads ({}) must divide hidden ({})",
                 self.heads, self.hidden
-            ));
+            )
+            .into());
         }
         if self.ks == 0 || self.kt == 0 {
             return Err("ks and kt must be >= 1".into());
         }
         if self.kt > self.th {
-            return Err(format!("kt ({}) cannot exceed th ({})", self.kt, self.th));
+            return Err(format!("kt ({}) cannot exceed th ({})", self.kt, self.th).into());
         }
         if self.layers == 0 {
             return Err("need at least one layer".into());

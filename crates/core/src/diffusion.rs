@@ -115,7 +115,9 @@ impl DiffusionBlock {
                 None => shifted,
             });
         }
-        let z = z.expect("th >= 1 guarantees at least one lag");
+        let Some(z) = z else {
+            crate::error::violation("th >= 1 guarantees at least one lag")
+        };
 
         // --- Eq. 8: sum over transition matrices and spatial orders.
         let z_flat = z.reshape(&[b * th, n, d]);
@@ -132,7 +134,9 @@ impl DiffusionBlock {
             }
         }
         if self.cfg.use_adaptive {
-            let apt = adaptive.expect("use_adaptive requires an adaptive matrix");
+            let Some(apt) = adaptive else {
+                crate::error::violation("use_adaptive requires an adaptive matrix")
+            };
             matrices.push((MatrixRef::Shared(apt), &self.conv_weights[2]));
         }
 
@@ -151,9 +155,10 @@ impl DiffusionBlock {
                 }
             }
         }
-        let hidden = h
-            .expect("at least one transition matrix")
-            .reshape(&[b, th, n, d]);
+        let Some(h) = h else {
+            crate::error::violation("at least one transition matrix is always configured")
+        };
+        let hidden = h.reshape(&[b, th, n, d]);
 
         // --- branches operate per node: [B, Th, N, d] -> [B*N, Th, d].
         let per_node = hidden.permute(&[0, 2, 1, 3]).reshape(&[b * n, th, d]);

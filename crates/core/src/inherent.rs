@@ -95,7 +95,11 @@ impl InherentBlock {
         // Eq. 12: positional encoding, then Eq. 11: long-term model with a
         // residual connection around the attention.
         if let Some(msa) = &self.msa {
-            let pe = Tensor::constant(positional_encoding(th, d).reshape(&[1, th, d]).expect("pe"));
+            let pe_arr = crate::error::require(
+                positional_encoding(th, d).reshape(&[1, th, d]),
+                "positional encoding reshape",
+            );
+            let pe = Tensor::constant(pe_arr);
             let with_pe = h.add(&pe.broadcast_to(&[b * n, th, d]));
             let attended = msa
                 .forward(&with_pe)

@@ -15,11 +15,13 @@
 //! Every ablation of Table 5 is a flag on [`D2stgnnConfig`].
 
 #![warn(missing_docs)]
+#![deny(unsafe_code)]
 
 pub mod checkpoint;
 pub mod config;
 pub mod diffusion;
 pub mod embeddings;
+pub mod error;
 pub mod forecast;
 pub mod gate;
 pub mod graphs;
@@ -31,6 +33,7 @@ pub mod traits;
 
 pub use checkpoint::{load as load_checkpoint, save as save_checkpoint, Checkpoint};
 pub use config::{BlockOrder, D2stgnnConfig};
+pub use error::{CheckpointError, ConfigError};
 pub use model::D2stgnn;
 pub use training::{EvalResult, TrainConfig, TrainReport, Trainer};
 pub use traits::TrafficModel;

@@ -33,7 +33,7 @@ impl D2stgnn {
     /// If the config fails validation or disagrees with the network size.
     pub fn new<R: Rng>(cfg: D2stgnnConfig, network: &TrafficNetwork, rng: &mut R) -> Self {
         cfg.validate()
-            .unwrap_or_else(|e| panic!("invalid config: {e}"));
+            .unwrap_or_else(|e| crate::error::violation(e));
         assert_eq!(
             cfg.num_nodes,
             network.num_nodes(),
@@ -145,11 +145,10 @@ impl D2stgnn {
             });
             x_l = out.residual;
         }
-        (
-            dif_sum.expect("at least one layer"),
-            inh_sum.expect("at least one layer"),
-            x_l,
-        )
+        let (Some(dif), Some(inh)) = (dif_sum, inh_sum) else {
+            crate::error::violation("at least one layer is guaranteed by config validation")
+        };
+        (dif, inh, x_l)
     }
 }
 

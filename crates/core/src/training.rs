@@ -267,8 +267,8 @@ impl Trainer {
             let out = d2stgnn_tensor::no_grad(|| model.forward(&batch, false, &mut rng)).value();
             let out = data.scaler().inverse_transform(&out);
             let b = batch.batch_size();
-            let flat_pred = out.reshape(&[b, tf, n]).expect("squeeze channel");
-            let flat_targ = batch.y.reshape(&[b, tf, n]).expect("squeeze channel");
+            let flat_pred = crate::error::require(out.reshape(&[b, tf, n]), "squeeze channel");
+            let flat_targ = crate::error::require(batch.y.reshape(&[b, tf, n]), "squeeze channel");
             pred.assign_slice_axis(0, row, &flat_pred);
             target.assign_slice_axis(0, row, &flat_targ);
             row += b;

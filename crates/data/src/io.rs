@@ -17,31 +17,7 @@ use d2stgnn_tensor::Array;
 use std::fmt::Write as _;
 use std::path::Path;
 
-/// Errors from dataset I/O.
-#[derive(Debug)]
-pub enum IoError {
-    /// Filesystem failure.
-    Io(std::io::Error),
-    /// Structural or numeric problem in the file, with row context.
-    Format(String),
-}
-
-impl std::fmt::Display for IoError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            IoError::Io(e) => write!(f, "dataset I/O: {e}"),
-            IoError::Format(m) => write!(f, "dataset format: {m}"),
-        }
-    }
-}
-
-impl std::error::Error for IoError {}
-
-impl From<std::io::Error> for IoError {
-    fn from(e: std::io::Error) -> Self {
-        IoError::Io(e)
-    }
-}
+pub use crate::error::IoError;
 
 /// Parse a values CSV into `[T, N]`.
 pub fn parse_values_csv(text: &str) -> Result<Array, IoError> {
@@ -191,13 +167,14 @@ mod tests {
     use crate::simulator::{simulate, SimulatorConfig};
 
     #[test]
-    fn parse_values_with_and_without_header() {
+    fn parse_values_with_and_without_header() -> Result<(), IoError> {
         let with = "a,b\n1,2\n3,4\n";
-        let v = parse_values_csv(with).unwrap();
+        let v = parse_values_csv(with)?;
         assert_eq!(v.shape(), &[2, 2]);
         assert_eq!(v.data(), &[1., 2., 3., 4.]);
         let without = "1,2\n3,4\n";
-        assert_eq!(parse_values_csv(without).unwrap().data(), &[1., 2., 3., 4.]);
+        assert_eq!(parse_values_csv(without)?.data(), &[1., 2., 3., 4.]);
+        Ok(())
     }
 
     #[test]
@@ -216,17 +193,17 @@ mod tests {
     }
 
     #[test]
-    fn roundtrip_simulated_dataset() {
+    fn roundtrip_simulated_dataset() -> Result<(), IoError> {
         let mut cfg = SimulatorConfig::tiny();
         cfg.num_nodes = 5;
         cfg.num_steps = 50;
         let data = simulate(&cfg);
         let dir = std::env::temp_dir().join("d2stgnn-io-test");
-        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::create_dir_all(&dir)?;
         let vp = dir.join("values.csv");
         let ap = dir.join("adj.csv");
-        save_dataset(&data, &vp, &ap).unwrap();
-        let back = load_dataset(&vp, &ap, 288, data.kind).unwrap();
+        save_dataset(&data, &vp, &ap)?;
+        let back = load_dataset(&vp, &ap, 288, data.kind)?;
         assert_eq!(back.num_steps(), 50);
         assert_eq!(back.num_nodes(), 5);
         for (a, b) in back.values.data().iter().zip(data.values.data()) {
@@ -235,35 +212,39 @@ mod tests {
         assert_eq!(back.network.num_edges(), data.network.num_edges());
         std::fs::remove_file(vp).ok();
         std::fs::remove_file(ap).ok();
+        Ok(())
     }
 
     #[test]
-    fn load_rejects_sensor_count_mismatch() {
+    fn load_rejects_sensor_count_mismatch() -> Result<(), IoError> {
         let dir = std::env::temp_dir().join("d2stgnn-io-test2");
-        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::create_dir_all(&dir)?;
         let vp = dir.join("values.csv");
         let ap = dir.join("adj.csv");
-        std::fs::write(&vp, "1,2,3\n4,5,6\n").unwrap();
-        std::fs::write(&ap, "0,1\n1,0\n").unwrap();
-        let err = load_dataset(&vp, &ap, 288, SignalKind::Speed).unwrap_err();
+        std::fs::write(&vp, "1,2,3\n4,5,6\n")?;
+        std::fs::write(&ap, "0,1\n1,0\n")?;
+        let err = load_dataset(&vp, &ap, 288, SignalKind::Speed)
+            .expect_err("sensor count mismatch must be rejected");
         assert!(err.to_string().contains("sensors"));
+        Ok(())
     }
 
     #[test]
-    fn loaded_dataset_windows_and_trains() {
+    fn loaded_dataset_windows_and_trains() -> Result<(), IoError> {
         // A loaded (header-less) CSV goes through the normal pipeline.
         let mut csv = String::new();
         for t in 0..200 {
             csv.push_str(&format!("{},{},{}\n", 50.0 + (t % 7) as f32, 60.0, 55.0));
         }
         let dir = std::env::temp_dir().join("d2stgnn-io-test3");
-        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::create_dir_all(&dir)?;
         let vp = dir.join("values.csv");
         let ap = dir.join("adj.csv");
-        std::fs::write(&vp, csv).unwrap();
-        std::fs::write(&ap, "0,1,0\n1,0,1\n0,1,0\n").unwrap();
-        let data = load_dataset(&vp, &ap, 288, SignalKind::Speed).unwrap();
+        std::fs::write(&vp, csv)?;
+        std::fs::write(&ap, "0,1,0\n1,0,1\n0,1,0\n")?;
+        let data = load_dataset(&vp, &ap, 288, SignalKind::Speed)?;
         let windowed = crate::window::WindowedDataset::new(data, 12, 12, (0.6, 0.2, 0.2));
         assert!(windowed.len(crate::window::Split::Train) > 0);
+        Ok(())
     }
 }

@@ -7,9 +7,11 @@
 //! z-score scaling, and the masked MAE/RMSE/MAPE metrics of Eq. 17.
 
 #![warn(missing_docs)]
+#![deny(unsafe_code)]
 
 pub mod analysis;
 pub mod datasets;
+pub mod error;
 pub mod io;
 pub mod metrics;
 pub mod scaler;

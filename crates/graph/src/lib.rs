@@ -7,6 +7,7 @@
 //! diffusion model consumes.
 
 #![warn(missing_docs)]
+#![deny(unsafe_code)]
 
 mod network;
 pub mod sparse;

@@ -67,8 +67,8 @@ impl CsrMatrix {
             row.sort_by_key(|(c, _)| *c);
             let mut last: Option<usize> = None;
             for &(c, v) in row.iter() {
-                if last == Some(c) {
-                    *values.last_mut().expect("duplicate implies prior value") += v;
+                if let (Some(prev), true) = (values.last_mut(), last == Some(c)) {
+                    *prev += v;
                 } else {
                     col_idx.push(c);
                     values.push(v);
@@ -114,7 +114,12 @@ impl CsrMatrix {
     /// Sparse × dense: `self [r,k] * dense [k,m] -> [r,m]`. Also accepts a
     /// batched right operand `[B, k, m]`, returning `[B, r, m]`.
     pub fn matmul(&self, dense: &Array) -> Array {
-        match dense.rank() {
+        let rank = dense.rank();
+        assert!(
+            rank == 2 || rank == 3,
+            "spmm: unsupported right-operand rank {rank}"
+        );
+        match rank {
             2 => {
                 let shape = dense.shape();
                 assert_eq!(shape[0], self.cols, "spmm: inner dims");
@@ -135,7 +140,7 @@ impl CsrMatrix {
                 }
                 out
             }
-            r => panic!("spmm: unsupported right-operand rank {r}"),
+            _ => unreachable!("rank asserted above"),
         }
     }
 

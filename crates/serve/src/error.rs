@@ -20,6 +20,9 @@ pub enum ServeError {
     Checkpoint(CheckpointError),
     /// The worker serving this request disappeared (poisoned or panicked).
     WorkerLost,
+    /// A worker failed to exit within the shutdown grace period; its thread
+    /// was detached so the caller regains control.
+    WorkerHung,
     /// A worker failed to rebuild its model replica.
     Internal(String),
 }
@@ -34,6 +37,9 @@ impl std::fmt::Display for ServeError {
             ServeError::ShuttingDown => write!(f, "server is shutting down"),
             ServeError::Checkpoint(e) => write!(f, "checkpoint: {e}"),
             ServeError::WorkerLost => write!(f, "worker dropped the request"),
+            ServeError::WorkerHung => {
+                write!(f, "worker did not exit within the shutdown grace period")
+            }
             ServeError::Internal(msg) => write!(f, "internal serving failure: {msg}"),
         }
     }

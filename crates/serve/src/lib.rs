@@ -22,18 +22,32 @@
 //! use d2stgnn_serve::{ModelRegistry, ServeConfig, Server};
 //! use std::sync::Arc;
 //!
+//! # fn main() -> Result<(), d2stgnn_serve::ServeError> {
 //! let registry = Arc::new(ModelRegistry::new());
 //! // registry.register("d2stgnn", factory, checkpoint, scaler, [12, 207])
-//! let server = Server::start(Arc::clone(&registry), ServeConfig::default());
+//! let server = Server::start(Arc::clone(&registry), ServeConfig::default())?;
 //! // let forecast = server.infer(request)?;
+//! server.shutdown()?;
+//! # Ok(())
+//! # }
 //! ```
+//!
+//! Concurrency hygiene: all internal locks are [`lockorder::OrderedMutex`]es,
+//! which in debug and `sanitize` builds record the global lock-acquisition
+//! graph and panic on an inversion (deadlock potential) instead of hanging.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
 
 mod error;
+pub mod lockorder;
 mod registry;
 mod server;
 mod stats;
 
 pub use error::ServeError;
 pub use registry::{ModelFactory, ModelRegistry, ModelVersion};
-pub use server::{Forecast, ForecastHandle, InferRequest, ServeConfig, Server};
+pub use server::{
+    Forecast, ForecastHandle, InferRequest, ServeConfig, Server, DEFAULT_SHUTDOWN_GRACE,
+};
 pub use stats::{ServerStats, StatsRecorder};

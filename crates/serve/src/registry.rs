@@ -10,13 +10,14 @@
 //! where in-flight batches finish on the version they started with.
 
 use crate::error::ServeError;
+use crate::lockorder::OrderedMutex;
 use d2stgnn_core::checkpoint::{self, Checkpoint};
 use d2stgnn_core::TrafficModel;
 use d2stgnn_data::StandardScaler;
 use d2stgnn_tensor::nn::Module;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 /// Builds a fresh, un-restored model instance. Must be deterministic in
 /// architecture (the checkpoint supplies the weights).
@@ -71,10 +72,18 @@ impl ModelVersion {
 }
 
 /// Thread-safe map of named model versions with hot-swap reload.
-#[derive(Default)]
 pub struct ModelRegistry {
-    entries: Mutex<HashMap<String, Arc<ModelVersion>>>,
+    entries: OrderedMutex<HashMap<String, Arc<ModelVersion>>>,
     generation: AtomicU64,
+}
+
+impl Default for ModelRegistry {
+    fn default() -> Self {
+        Self {
+            entries: OrderedMutex::new("serve.registry.entries", HashMap::new()),
+            generation: AtomicU64::new(0),
+        }
+    }
 }
 
 impl ModelRegistry {
@@ -117,7 +126,6 @@ impl ModelRegistry {
         };
         self.entries
             .lock()
-            .expect("registry lock")
             .insert(name.to_string(), Arc::new(version));
         Ok(generation)
     }
@@ -144,29 +152,18 @@ impl ModelRegistry {
         version.instantiate()?;
         self.entries
             .lock()
-            .expect("registry lock")
             .insert(name.to_string(), Arc::new(version));
         Ok(generation)
     }
 
     /// Current version of a model, if registered.
     pub fn get(&self, name: &str) -> Option<Arc<ModelVersion>> {
-        self.entries
-            .lock()
-            .expect("registry lock")
-            .get(name)
-            .cloned()
+        self.entries.lock().get(name).cloned()
     }
 
     /// Names of all registered models, sorted.
     pub fn names(&self) -> Vec<String> {
-        let mut names: Vec<String> = self
-            .entries
-            .lock()
-            .expect("registry lock")
-            .keys()
-            .cloned()
-            .collect();
+        let mut names: Vec<String> = self.entries.lock().keys().cloned().collect();
         names.sort();
         names
     }

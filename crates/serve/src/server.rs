@@ -12,8 +12,16 @@
 //! immediately by the registered [`HistoricalAverage`] fallback if present,
 //! or rejected with [`ServeError::Overloaded`]. Requests whose deadline
 //! passes while queued degrade to the fallback the same way.
+//!
+//! Concurrency hygiene: every mutex in the serving path is an
+//! [`crate::lockorder::OrderedMutex`], so debug and `sanitize` builds verify
+//! the global lock-acquisition order on every `lock()`. Response channels are
+//! rendezvous-bounded (`sync_channel(1)`; exactly one message ever crosses),
+//! and shutdown joins workers under a grace period instead of blocking
+//! forever on a wedged replica.
 
 use crate::error::ServeError;
+use crate::lockorder::{self, OrderedMutex};
 use crate::registry::{ModelRegistry, ModelVersion};
 use crate::stats::{ServerStats, StatsRecorder};
 use d2stgnn_baselines::HistoricalAverage;
@@ -23,11 +31,15 @@ use d2stgnn_tensor::{no_grad, Array};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{Receiver, Sender};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::{Arc, Condvar};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Grace period [`Server::shutdown`] (and `Drop`) gives workers to exit
+/// before declaring them hung and detaching.
+pub const DEFAULT_SHUTDOWN_GRACE: Duration = Duration::from_secs(5);
 
 /// Worker-pool and batching knobs.
 #[derive(Clone, Debug)]
@@ -102,29 +114,35 @@ impl ForecastHandle {
 struct Pending {
     request: InferRequest,
     enqueued: Instant,
-    tx: Sender<Result<Forecast, ServeError>>,
+    /// Bounded one-shot response slot: exactly one message is ever sent, so
+    /// the capacity-1 buffer means `send` never blocks a worker.
+    tx: SyncSender<Result<Forecast, ServeError>>,
 }
 
 struct Shared {
     config: ServeConfig,
     registry: Arc<ModelRegistry>,
-    queue: Mutex<VecDeque<Pending>>,
+    queue: OrderedMutex<VecDeque<Pending>>,
     notify: Condvar,
     shutdown: AtomicBool,
-    fallback: Mutex<Option<Arc<HistoricalAverage>>>,
+    /// Number of worker threads that have left `worker_loop` (normally or by
+    /// panic); shutdown waits on this instead of an unbounded `join`.
+    exited: AtomicUsize,
+    fallback: OrderedMutex<Option<Arc<HistoricalAverage>>>,
     stats: StatsRecorder,
 }
 
 /// The serving engine. Dropping it (or calling [`Server::shutdown`]) drains
-/// the queue and joins the workers.
+/// the queue and joins the workers, up to a grace period.
 pub struct Server {
     shared: Arc<Shared>,
     workers: Vec<JoinHandle<()>>,
 }
 
 impl Server {
-    /// Start the worker pool against a registry.
-    pub fn start(registry: Arc<ModelRegistry>, config: ServeConfig) -> Self {
+    /// Start the worker pool against a registry. Fails (cleaning up any
+    /// already-spawned workers) if the OS refuses a thread.
+    pub fn start(registry: Arc<ModelRegistry>, config: ServeConfig) -> Result<Self, ServeError> {
         assert!(config.workers >= 1, "need at least one worker");
         assert!(config.max_batch >= 1, "max_batch must be at least 1");
         assert!(
@@ -134,22 +152,33 @@ impl Server {
         let shared = Arc::new(Shared {
             config: config.clone(),
             registry,
-            queue: Mutex::new(VecDeque::new()),
+            queue: OrderedMutex::new("serve.queue", VecDeque::new()),
             notify: Condvar::new(),
             shutdown: AtomicBool::new(false),
-            fallback: Mutex::new(None),
+            exited: AtomicUsize::new(0),
+            fallback: OrderedMutex::new("serve.fallback", None),
             stats: StatsRecorder::default(),
         });
-        let workers = (0..config.workers)
-            .map(|i| {
-                let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("d2stgnn-serve-{i}"))
-                    .spawn(move || worker_loop(&shared))
-                    .expect("spawn worker")
-            })
-            .collect();
-        Self { shared, workers }
+        let mut server = Self {
+            shared: Arc::clone(&shared),
+            workers: Vec::with_capacity(config.workers),
+        };
+        for i in 0..config.workers {
+            let shared = Arc::clone(&shared);
+            match std::thread::Builder::new()
+                .name(format!("d2stgnn-serve-{i}"))
+                .spawn(move || worker_loop(&shared))
+            {
+                Ok(handle) => server.workers.push(handle),
+                Err(e) => {
+                    // Tear down the partial pool before reporting; the
+                    // already-running workers exit promptly on the flag.
+                    let _ = server.stop_workers(DEFAULT_SHUTDOWN_GRACE);
+                    return Err(ServeError::Internal(format!("spawn worker {i}: {e}")));
+                }
+            }
+        }
+        Ok(server)
     }
 
     /// Register the cheap classical fallback used for shed and late
@@ -162,7 +191,7 @@ impl Server {
             fallback.is_fitted(),
             "fallback must be fitted before registration"
         );
-        *self.shared.fallback.lock().expect("fallback lock") = Some(Arc::new(fallback));
+        *self.shared.fallback.lock() = Some(Arc::new(fallback));
     }
 
     /// Validate and enqueue a request. Returns immediately with a handle;
@@ -179,13 +208,13 @@ impl Server {
             .ok_or_else(|| ServeError::UnknownModel(request.model.clone()))?;
         validate(&request, &version)?;
 
-        let (tx, rx) = std::sync::mpsc::channel();
+        let (tx, rx) = sync_channel(1);
         {
-            let mut queue = self.shared.queue.lock().expect("queue lock");
+            let mut queue = self.shared.queue.lock();
             if queue.len() >= self.shared.config.queue_capacity {
                 drop(queue);
                 self.shared.stats.shed();
-                let fallback = self.shared.fallback.lock().expect("fallback lock").clone();
+                let fallback = self.shared.fallback.lock().clone();
                 return match fallback {
                     Some(ha) => {
                         self.shared.stats.fallback();
@@ -222,23 +251,59 @@ impl Server {
         &self.shared.registry
     }
 
-    /// Stop accepting requests, drain the queue, and join the workers.
-    pub fn shutdown(mut self) {
-        self.stop_workers();
+    /// Stop accepting requests, drain the queue, and join the workers with
+    /// the [`DEFAULT_SHUTDOWN_GRACE`] grace period.
+    pub fn shutdown(self) -> Result<(), ServeError> {
+        self.shutdown_timeout(DEFAULT_SHUTDOWN_GRACE)
     }
 
-    fn stop_workers(&mut self) {
+    /// Stop accepting requests, drain the queue, and join the workers.
+    ///
+    /// If any worker fails to exit within `grace` (for example a replica
+    /// wedged inside a forward pass), its thread is detached and
+    /// [`ServeError::WorkerHung`] is returned — the caller regains control
+    /// instead of blocking forever.
+    pub fn shutdown_timeout(mut self, grace: Duration) -> Result<(), ServeError> {
+        self.stop_workers(grace)
+    }
+
+    fn stop_workers(&mut self, grace: Duration) -> Result<(), ServeError> {
+        if self.workers.is_empty() {
+            return Ok(());
+        }
         self.shared.shutdown.store(true, Ordering::Release);
         self.shared.notify.notify_all();
+        let total = self.workers.len();
+        let deadline = Instant::now() + grace;
+        {
+            let mut queue = self.shared.queue.lock();
+            while self.shared.exited.load(Ordering::Acquire) < total {
+                let now = Instant::now();
+                if now >= deadline {
+                    drop(queue);
+                    // Detach the hung threads; their Shared Arc keeps the
+                    // state they touch alive, so this leaks a thread, not
+                    // memory safety.
+                    self.workers.clear();
+                    return Err(ServeError::WorkerHung);
+                }
+                let (guard, _timed_out) =
+                    lockorder::wait_timeout(&self.shared.notify, queue, deadline - now);
+                queue = guard;
+            }
+        }
+        // Every worker has left its loop; these joins only await thread
+        // teardown and cannot block meaningfully.
         for handle in self.workers.drain(..) {
             handle.join().ok();
         }
+        Ok(())
     }
 }
 
 impl Drop for Server {
     fn drop(&mut self) {
-        self.stop_workers();
+        let _ = self.stop_workers(DEFAULT_SHUTDOWN_GRACE);
     }
 }
 
@@ -289,14 +354,31 @@ fn fallback_forecast(
 /// live instance).
 type ReplicaCache = HashMap<String, (u64, Box<dyn TrafficModel>)>;
 
+/// Signals worker exit (normal return or panic) so shutdown can bound its
+/// wait: bump the exit counter, then nudge the condvar. Briefly taking the
+/// queue lock between the two serializes against the shutdown thread's
+/// check-then-wait, closing the lost-wakeup window.
+struct ExitSignal<'a> {
+    shared: &'a Shared,
+}
+
+impl Drop for ExitSignal<'_> {
+    fn drop(&mut self) {
+        self.shared.exited.fetch_add(1, Ordering::Release);
+        drop(self.shared.queue.lock());
+        self.shared.notify.notify_all();
+    }
+}
+
 fn worker_loop(shared: &Shared) {
+    let _exit_signal = ExitSignal { shared };
     let mut cache: ReplicaCache = HashMap::new();
     // Evaluation-mode forwards never draw from the rng (dropout is identity),
     // so a fixed-seed per-worker rng keeps `forward`'s signature satisfied
     // without threading state anywhere.
     let mut rng = StdRng::seed_from_u64(0);
     loop {
-        let mut queue = shared.queue.lock().expect("queue lock");
+        let mut queue = shared.queue.lock();
         loop {
             if !queue.is_empty() {
                 break;
@@ -304,28 +386,32 @@ fn worker_loop(shared: &Shared) {
             if shared.shutdown.load(Ordering::Acquire) {
                 return;
             }
-            queue = shared.notify.wait(queue).expect("queue lock");
+            queue = lockorder::wait(&shared.notify, queue);
         }
-        let first = queue.pop_front().expect("non-empty queue");
+        let Some(first) = queue.pop_front() else {
+            continue;
+        };
         let model_name = first.request.model.clone();
         // Resolve the version once per micro-batch: every request fused into
         // this batch is served by it, even if a reload lands mid-collection.
+        // (Lock order: serve.queue is held while the registry lock is taken,
+        // never the reverse.)
         let version = shared.registry.get(&model_name);
         let mut batch = vec![first];
         let hold_until = Instant::now() + shared.config.max_wait;
         while batch.len() < shared.config.max_batch {
             if let Some(pos) = queue.iter().position(|p| p.request.model == model_name) {
-                batch.push(queue.remove(pos).expect("position valid"));
+                if let Some(p) = queue.remove(pos) {
+                    batch.push(p);
+                }
                 continue;
             }
             let now = Instant::now();
             if now >= hold_until || shared.shutdown.load(Ordering::Acquire) {
                 break;
             }
-            let (guard, _timeout) = shared
-                .notify
-                .wait_timeout(queue, hold_until - now)
-                .expect("queue lock");
+            let (guard, _timed_out) =
+                lockorder::wait_timeout(&shared.notify, queue, hold_until - now);
             queue = guard;
         }
         drop(queue);
@@ -354,7 +440,7 @@ fn process_batch(
 
     // Degrade requests whose deadline already passed.
     let now = Instant::now();
-    let fallback = shared.fallback.lock().expect("fallback lock").clone();
+    let fallback = shared.fallback.lock().clone();
     let mut live = Vec::with_capacity(pending.len());
     for p in pending {
         let expired = p.request.deadline.is_some_and(|d| now > d);
@@ -394,11 +480,17 @@ fn process_batch(
             }
         }
     }
-    let model = cache
-        .get(version.name())
-        .expect("replica just ensured")
-        .1
-        .as_ref();
+    let Some((_, model)) = cache.get(version.name()) else {
+        // Unreachable after the insert above; answer rather than abort.
+        for p in live {
+            p.tx.send(Err(ServeError::Internal(
+                "replica cache lost the model just built".to_string(),
+            )))
+            .ok();
+        }
+        return;
+    };
+    let model = model.as_ref();
 
     // Stack the windows into one normalized batch.
     let [th, n] = version.input_shape();

@@ -1,7 +1,7 @@
 //! Server-side counters and latency percentiles.
 
+use crate::lockorder::OrderedMutex;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
 use std::time::Duration;
 
 /// How many recent request latencies the percentile window keeps.
@@ -31,7 +31,6 @@ pub struct ServerStats {
 }
 
 /// Lock-light recorder the server and its workers write into.
-#[derive(Default)]
 pub struct StatsRecorder {
     requests: AtomicU64,
     completed: AtomicU64,
@@ -41,8 +40,24 @@ pub struct StatsRecorder {
     fallback_served: AtomicU64,
     deadline_misses: AtomicU64,
     /// Ring buffer of recent latencies in nanoseconds.
-    latencies: Mutex<Vec<u64>>,
+    latencies: OrderedMutex<Vec<u64>>,
     cursor: AtomicU64,
+}
+
+impl Default for StatsRecorder {
+    fn default() -> Self {
+        Self {
+            requests: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            batched_requests: AtomicU64::new(0),
+            sheds: AtomicU64::new(0),
+            fallback_served: AtomicU64::new(0),
+            deadline_misses: AtomicU64::new(0),
+            latencies: OrderedMutex::new("serve.stats.latencies", Vec::new()),
+            cursor: AtomicU64::new(0),
+        }
+    }
 }
 
 impl StatsRecorder {
@@ -72,7 +87,7 @@ impl StatsRecorder {
         self.completed.fetch_add(1, Ordering::Relaxed);
         let nanos = latency.as_nanos().min(u64::MAX as u128) as u64;
         let slot = self.cursor.fetch_add(1, Ordering::Relaxed) as usize % LATENCY_WINDOW;
-        let mut window = self.latencies.lock().expect("stats lock");
+        let mut window = self.latencies.lock();
         if slot < window.len() {
             window[slot] = nanos;
         } else {
@@ -83,7 +98,7 @@ impl StatsRecorder {
     /// Snapshot the counters and recompute percentiles.
     pub fn snapshot(&self) -> ServerStats {
         let (p50, p95) = {
-            let window = self.latencies.lock().expect("stats lock");
+            let window = self.latencies.lock();
             percentiles(&window)
         };
         let batches = self.batches.load(Ordering::Relaxed);

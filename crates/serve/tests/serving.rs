@@ -112,7 +112,8 @@ fn batched_forward_is_bit_identical_to_sequential() {
             max_wait: Duration::from_secs(5),
             queue_capacity: 64,
         },
-    );
+    )
+    .expect("start server");
     let handles: Vec<_> = (0..8)
         .map(|w| {
             server
@@ -135,7 +136,7 @@ fn batched_forward_is_bit_identical_to_sequential() {
     assert_eq!(stats.batches, 1, "expected one fused micro-batch");
     assert_eq!(stats.mean_batch_size, 8.0);
     assert!(stats.p95_latency >= stats.p50_latency);
-    server.shutdown();
+    server.shutdown().expect("clean shutdown");
 }
 
 #[test]
@@ -154,7 +155,8 @@ fn hot_swap_keeps_in_flight_requests_on_old_model() {
             max_wait: Duration::from_secs(5),
             queue_capacity: 64,
         },
-    );
+    )
+    .expect("start server");
     let a = server
         .submit(request_for(&data, Split::Test, 0, "d2stgnn"))
         .unwrap();
@@ -193,7 +195,7 @@ fn hot_swap_keeps_in_flight_requests_on_old_model() {
         fc.values.data(),
         "same window, swapped weights should forecast differently"
     );
-    server.shutdown();
+    server.shutdown().expect("clean shutdown");
 }
 
 #[test]
@@ -209,7 +211,8 @@ fn deadline_exceeded_request_gets_fallback_answer() {
             max_wait: Duration::ZERO,
             queue_capacity: 64,
         },
-    );
+    )
+    .expect("start server");
     let mut ha = HistoricalAverage::new();
     ha.fit(&data);
     server.set_fallback(ha);
@@ -233,7 +236,7 @@ fn deadline_exceeded_request_gets_fallback_answer() {
     assert_eq!(stats.deadline_misses, 1);
     assert_eq!(stats.fallback_served, 1);
     assert_eq!(stats.completed, 0);
-    server.shutdown();
+    server.shutdown().expect("clean shutdown");
 }
 
 /// Start a server whose single worker is pinned holding an open batch for
@@ -250,7 +253,8 @@ fn overloaded_server(data: &WindowedDataset, registry: &Arc<ModelRegistry>) -> S
             max_wait: Duration::from_secs(5),
             queue_capacity: 1,
         },
-    );
+    )
+    .expect("start server");
     // Worker pops this and holds the batch open waiting for more "a" traffic.
     server
         .submit(request_for(data, Split::Test, 0, "a"))
@@ -273,7 +277,7 @@ fn full_queue_without_fallback_returns_overloaded() {
         .expect_err("queue is full");
     assert!(matches!(err, ServeError::Overloaded), "got {err}");
     assert_eq!(server.stats().sheds, 1);
-    server.shutdown();
+    server.shutdown().expect("clean shutdown");
 }
 
 #[test]
@@ -295,7 +299,7 @@ fn full_queue_with_fallback_serves_classical_answer() {
     let stats = server.stats();
     assert_eq!(stats.sheds, 1);
     assert_eq!(stats.fallback_served, 1);
-    server.shutdown();
+    server.shutdown().expect("clean shutdown");
 }
 
 #[test]
@@ -303,7 +307,8 @@ fn unknown_model_and_bad_shapes_are_rejected() {
     let data = dataset();
     let registry = Arc::new(ModelRegistry::new());
     register(&registry, &data, "d2stgnn", 7);
-    let server = Server::start(Arc::clone(&registry), ServeConfig::default());
+    let server =
+        Server::start(Arc::clone(&registry), ServeConfig::default()).expect("start server");
 
     let err = server
         .submit(request_for(&data, Split::Test, 0, "nope"))
@@ -319,7 +324,7 @@ fn unknown_model_and_bad_shapes_are_rejected() {
     bad.tod.pop();
     let err = server.submit(bad).expect_err("short tod");
     assert!(matches!(err, ServeError::BadRequest(_)));
-    server.shutdown();
+    server.shutdown().expect("clean shutdown");
 }
 
 #[test]

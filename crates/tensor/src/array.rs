@@ -322,7 +322,7 @@ impl Array {
             };
         }
         let out_shape = broadcast_shapes(&self.shape, &other.shape)
-            .unwrap_or_else(|e| panic!("elementwise op: {e}"));
+            .unwrap_or_else(|e| crate::error::violation(format_args!("elementwise op: {e}")));
         let sa = broadcast_strides(&self.shape, &out_shape);
         let sb = broadcast_strides(&other.shape, &out_shape);
         let mut out = Self::zeros(&out_shape);
@@ -401,7 +401,7 @@ impl Array {
 
     /// Sum along `axis`. If `keepdim`, the axis remains with size 1.
     pub fn sum_axis(&self, axis: usize, keepdim: bool) -> Self {
-        check_axis(axis, self.rank()).unwrap_or_else(|e| panic!("sum_axis: {e}"));
+        crate::error::require(check_axis(axis, self.rank()), "sum_axis");
         let mut out_shape = self.shape.clone();
         out_shape[axis] = 1;
         let outer: usize = self.shape[..axis].iter().product();
@@ -431,7 +431,7 @@ impl Array {
 
     /// Maximum along `axis` (keepdim).
     pub fn max_axis_keepdim(&self, axis: usize) -> Self {
-        check_axis(axis, self.rank()).unwrap_or_else(|e| panic!("max_axis: {e}"));
+        crate::error::require(check_axis(axis, self.rank()), "max_axis");
         let mut out_shape = self.shape.clone();
         out_shape[axis] = 1;
         let outer: usize = self.shape[..axis].iter().product();
@@ -560,7 +560,9 @@ impl Array {
                 }
                 out
             }
-            (a, b) => panic!("matmul: unsupported ranks {a} and {b}"),
+            (a, b) => {
+                crate::error::violation(format_args!("matmul: unsupported ranks {a} and {b}"))
+            }
         }
     }
 
@@ -654,7 +656,7 @@ impl Array {
             .map(|a| {
                 let mut s = a.shape.clone();
                 s.insert(axis, 1);
-                a.reshape(&s).expect("stack reshape cannot fail")
+                crate::error::require(a.reshape(&s), "stack")
             })
             .collect();
         let refs: Vec<&Self> = expanded.iter().collect();
@@ -663,7 +665,7 @@ impl Array {
 
     /// Slice `[start, end)` along `axis`.
     pub fn slice_axis(&self, axis: usize, start: usize, end: usize) -> Self {
-        check_axis(axis, self.rank()).unwrap_or_else(|e| panic!("slice_axis: {e}"));
+        crate::error::require(check_axis(axis, self.rank()), "slice_axis");
         assert!(
             start <= end && end <= self.shape[axis],
             "slice_axis: range {start}..{end} out of bounds for dim {}",
@@ -714,7 +716,7 @@ impl Array {
 
     /// Gather rows along `axis` by index.
     pub fn index_select(&self, axis: usize, indices: &[usize]) -> Self {
-        check_axis(axis, self.rank()).unwrap_or_else(|e| panic!("index_select: {e}"));
+        crate::error::require(check_axis(axis, self.rank()), "index_select");
         let outer: usize = self.shape[..axis].iter().product();
         let mid = self.shape[axis];
         let inner: usize = self.shape[axis + 1..].iter().product();

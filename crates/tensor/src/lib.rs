@@ -26,6 +26,7 @@
 //! ```
 
 #![warn(missing_docs)]
+#![deny(unsafe_code)]
 
 mod array;
 mod error;
@@ -33,6 +34,8 @@ pub mod losses;
 pub mod nn;
 mod ops;
 pub mod optim;
+#[cfg(feature = "sanitize")]
+mod sanitize;
 pub mod shape;
 mod tensor;
 pub mod testing;

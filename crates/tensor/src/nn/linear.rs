@@ -31,7 +31,8 @@ impl Linear {
     /// Apply the layer to `x` whose last axis must equal `in_features`.
     pub fn forward(&self, x: &Tensor) -> Tensor {
         let shape = x.shape();
-        let last = *shape.last().expect("linear input must have rank >= 1");
+        assert!(!shape.is_empty(), "linear input must have rank >= 1");
+        let last = shape[shape.len() - 1];
         assert_eq!(
             last, self.in_features,
             "linear: expected last dim {}, got {last}",
@@ -44,7 +45,8 @@ impl Linear {
             y = y.add(b);
         }
         let mut out_shape = shape;
-        *out_shape.last_mut().unwrap() = self.out_features;
+        let last_axis = out_shape.len() - 1;
+        out_shape[last_axis] = self.out_features;
         y.reshape(&out_shape)
     }
 

@@ -33,7 +33,8 @@ impl LayerNorm {
     /// Forward pass over any rank >= 1 input whose last axis is `dim`.
     pub fn forward(&self, x: &Tensor) -> Tensor {
         let shape = x.shape();
-        let last = *shape.last().expect("layer norm needs rank >= 1");
+        assert!(!shape.is_empty(), "layer norm needs rank >= 1");
+        let last = shape[shape.len() - 1];
         assert_eq!(last, self.dim, "layer norm width mismatch");
         let axis = shape.len() - 1;
         let mean = x.mean_axis(axis, true);

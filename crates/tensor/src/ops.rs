@@ -207,7 +207,7 @@ impl Tensor {
                 }
             })
             .collect();
-        let mask = Array::from_vec(&shape, mask_data).expect("mask shape");
+        let mask = crate::error::require(Array::from_vec(&shape, mask_data), "dropout mask");
         let out = self.with_value(|a| a.mul(&mask));
         Tensor::from_op(
             out,
@@ -251,11 +251,16 @@ impl Tensor {
         let orig = self.shape();
         let out = self
             .with_value(|a| a.reshape(shape))
-            .unwrap_or_else(|e| panic!("reshape: {e}"));
+            .unwrap_or_else(|e| crate::error::violation(format_args!("reshape: {e}")));
         Tensor::from_op(
             out,
             vec![self.clone()],
-            Box::new(move |g| vec![Some(g.reshape(&orig).expect("reshape grad"))]),
+            Box::new(move |g| {
+                vec![Some(crate::error::require(
+                    g.reshape(&orig),
+                    "reshape grad",
+                ))]
+            }),
         )
     }
 
@@ -288,7 +293,7 @@ impl Tensor {
         assert!(!tensors.is_empty(), "concat: empty input");
         let values: Vec<Array> = tensors.iter().map(|t| t.value()).collect();
         let refs: Vec<&Array> = values.iter().collect();
-        let out = Array::concat(&refs, axis).unwrap_or_else(|e| panic!("concat: {e}"));
+        let out = crate::error::require(Array::concat(&refs, axis), "concat");
         let sizes: Vec<usize> = values.iter().map(|v| v.shape()[axis]).collect();
         let parents: Vec<Tensor> = tensors.iter().map(|&t| t.clone()).collect();
         Tensor::from_op(
@@ -357,7 +362,7 @@ impl Tensor {
         let orig = self.shape();
         let out = self
             .with_value(|a| a.broadcast_to(target))
-            .unwrap_or_else(|e| panic!("broadcast_to: {e}"));
+            .unwrap_or_else(|e| crate::error::violation(format_args!("broadcast_to: {e}")));
         Tensor::from_op(
             out,
             vec![self.clone()],
@@ -399,9 +404,12 @@ impl Tensor {
                 } else {
                     let mut s = g.shape().to_vec();
                     s.insert(axis, 1);
-                    g.reshape(&s).expect("sum_axis grad reshape")
+                    crate::error::require(g.reshape(&s), "sum_axis grad reshape")
                 };
-                vec![Some(g_keep.broadcast_to(&orig).expect("sum_axis grad bc"))]
+                vec![Some(crate::error::require(
+                    g_keep.broadcast_to(&orig),
+                    "sum_axis grad bc",
+                ))]
             }),
         )
     }

@@ -119,6 +119,8 @@ impl Tensor {
     /// Internal: build an op node.
     pub(crate) fn from_op(value: Array, parents: Vec<Tensor>, backward: BackwardFn) -> Self {
         let requires_grad = !no_grad_active() && parents.iter().any(|p| p.node.requires_grad);
+        #[cfg(feature = "sanitize")]
+        crate::sanitize::check_op_output(NEXT_ID.load(Ordering::Relaxed), &value);
         Tensor {
             node: Rc::new(Node {
                 id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
@@ -273,10 +275,24 @@ impl Tensor {
             let (Some(grad_out), Some(backward)) = (grad_out, t.node.backward.as_ref()) else {
                 continue;
             };
+            #[cfg(feature = "sanitize")]
+            crate::sanitize::check_grad(
+                "output gradient",
+                t.node.id,
+                &grad_out,
+                t.node.value.borrow().shape(),
+            );
             let parent_grads = backward(&grad_out);
             debug_assert_eq!(parent_grads.len(), t.node.parents.len());
             for (parent, grad) in t.node.parents.iter().zip(parent_grads) {
                 if let Some(g) = grad {
+                    #[cfg(feature = "sanitize")]
+                    crate::sanitize::check_grad(
+                        "parent gradient",
+                        parent.node.id,
+                        &g,
+                        parent.node.value.borrow().shape(),
+                    );
                     if parent.node.requires_grad {
                         accumulate(&parent.node, g);
                     }

@@ -19,10 +19,19 @@ pub fn gradcheck<R: Rng>(
     rng: &mut R,
     tol: f32,
 ) {
+    let inputs: Vec<Array> = shapes.iter().map(|s| Array::randn(s, rng)).collect();
+    gradcheck_on(f, &inputs, tol);
+}
+
+/// [`gradcheck`] with caller-chosen input values instead of fresh random
+/// ones — needed for ops with kinks or domain restrictions (`relu`, `abs`,
+/// `sqrt`), where the probe points must sit safely away from the
+/// non-differentiable locus.
+pub fn gradcheck_on(f: impl Fn(&[Tensor]) -> Tensor, input_values: &[Array], tol: f32) {
     let eps = 1e-2f32;
-    let inputs: Vec<Tensor> = shapes
+    let inputs: Vec<Tensor> = input_values
         .iter()
-        .map(|s| Tensor::parameter(Array::randn(s, rng)))
+        .map(|a| Tensor::parameter(a.clone()))
         .collect();
 
     let out = f(&inputs);
@@ -60,6 +69,71 @@ pub fn gradcheck<R: Rng>(
             assert!(
                 err <= tol,
                 "gradcheck failed: input {pi} elem {ei}: analytic {a} vs numeric {numeric} (rel err {err})"
+            );
+        }
+    }
+}
+
+/// Gradcheck for stateful modules (nn layers, whole models): verifies the
+/// analytic gradient of `loss` with respect to each tensor in `parameters`
+/// against central finite differences, probing the first
+/// `max_elems_per_param` elements of every parameter (exhaustive checking of
+/// large weight matrices is too slow for CI).
+///
+/// `loss` must be deterministic across calls (run the module in evaluation
+/// mode or with a reseeded rng) and must read the *current* values of
+/// `parameters` on every invocation — true for any `Module` built on
+/// [`Tensor::parameter`] leaves.
+pub fn gradcheck_module(
+    loss: impl Fn() -> Tensor,
+    parameters: &[Tensor],
+    max_elems_per_param: usize,
+    tol: f32,
+) {
+    gradcheck_module_with_eps(loss, parameters, max_elems_per_param, 1e-2, tol);
+}
+
+/// [`gradcheck_module`] with a caller-chosen step size. Deep models need a
+/// smaller `eps` than the 1e-2 default: with thousands of relu
+/// pre-activations downstream of each weight, a large perturbation almost
+/// surely flips some unit's sign and the central difference then measures a
+/// secant across the kink rather than the local slope.
+pub fn gradcheck_module_with_eps(
+    loss: impl Fn() -> Tensor,
+    parameters: &[Tensor],
+    max_elems_per_param: usize,
+    eps: f32,
+    tol: f32,
+) {
+    for p in parameters {
+        p.zero_grad();
+    }
+    let out = loss();
+    assert_eq!(out.numel(), 1, "gradcheck_module target must be scalar");
+    out.backward();
+
+    for (pi, param) in parameters.iter().enumerate() {
+        let analytic = param.grad().unwrap_or_else(|| Array::zeros(&param.shape()));
+        let base = param.value();
+        let probes = base.numel().min(max_elems_per_param);
+        for ei in 0..probes {
+            let mut plus = base.clone();
+            plus.data_mut()[ei] += eps;
+            param.set_value(plus);
+            let f_plus = loss().item();
+            let mut minus = base.clone();
+            minus.data_mut()[ei] -= eps;
+            param.set_value(minus);
+            let f_minus = loss().item();
+            param.set_value(base.clone());
+
+            let numeric = (f_plus - f_minus) / (2.0 * eps);
+            let a = analytic.data()[ei];
+            let denom = 1.0f32.max(a.abs()).max(numeric.abs());
+            let err = (a - numeric).abs() / denom;
+            assert!(
+                err <= tol,
+                "gradcheck_module failed: parameter {pi} elem {ei}: analytic {a} vs numeric {numeric} (rel err {err})"
             );
         }
     }

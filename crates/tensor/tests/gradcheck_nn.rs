@@ -1,0 +1,167 @@
+//! Finite-difference gradient checks for every nn layer: parameters via
+//! `gradcheck_module` (probing the leading elements of each weight) and
+//! inputs via `gradcheck` where the layer is smooth in its input.
+
+use d2stgnn_tensor::nn::{
+    CausalConv1d, Embedding, Gru, LayerNorm, Linear, Lstm, Mlp, Module, MultiHeadSelfAttention,
+};
+use d2stgnn_tensor::testing::{gradcheck, gradcheck_module};
+use d2stgnn_tensor::{Array, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const TOL: f32 = 1e-2;
+/// Leading elements probed per parameter tensor (full matrices are too slow).
+const PROBES: usize = 6;
+
+fn rng() -> StdRng {
+    StdRng::seed_from_u64(11)
+}
+
+#[test]
+fn gradcheck_linear_params_and_input() {
+    let mut r = rng();
+    let layer = Linear::new(3, 2, true, &mut r);
+    let x = Tensor::constant(Array::randn(&[4, 3], &mut r));
+    gradcheck_module(
+        || layer.forward(&x).square().sum_all(),
+        &layer.parameters(),
+        PROBES,
+        TOL,
+    );
+    gradcheck(
+        |v| layer.forward(&v[0]).square().sum_all(),
+        &[&[4, 3]],
+        &mut r,
+        TOL,
+    );
+}
+
+#[test]
+fn gradcheck_mlp() {
+    let mut r = rng();
+    let mlp = Mlp::new(3, 5, 2, &mut r);
+    let x = Tensor::constant(Array::randn(&[4, 3], &mut r));
+    gradcheck_module(
+        || mlp.forward(&x).square().sum_all(),
+        &mlp.parameters(),
+        PROBES,
+        TOL,
+    );
+}
+
+#[test]
+fn gradcheck_layer_norm() {
+    let mut r = rng();
+    let ln = LayerNorm::new(4);
+    // Nudge gain/bias off their 1/0 init so the check is non-trivial.
+    for (i, p) in ln.parameters().iter().enumerate() {
+        p.set_value(
+            Array::randn(&p.shape(), &mut r).map(|v| v * 0.1 + if i == 0 { 1.0 } else { 0.0 }),
+        );
+    }
+    let x = Tensor::constant(Array::randn(&[3, 4], &mut r));
+    gradcheck_module(
+        || ln.forward(&x).square().sum_all(),
+        &ln.parameters(),
+        PROBES,
+        TOL,
+    );
+    gradcheck(
+        |v| ln.forward(&v[0]).square().sum_all(),
+        &[&[3, 4]],
+        &mut r,
+        TOL,
+    );
+}
+
+#[test]
+fn gradcheck_embedding_with_repeated_lookup() {
+    let mut r = rng();
+    let emb = Embedding::new(5, 3, &mut r);
+    gradcheck_module(
+        || emb.lookup(&[2, 0, 2]).square().sum_all(),
+        &emb.parameters(),
+        PROBES,
+        TOL,
+    );
+}
+
+#[test]
+fn gradcheck_gru_params_and_input() {
+    let mut r = rng();
+    let gru = Gru::new(3, 4, &mut r);
+    let x = Tensor::constant(Array::randn(&[2, 3, 3], &mut r));
+    gradcheck_module(
+        || gru.forward(&x).square().sum_all(),
+        &gru.parameters(),
+        PROBES,
+        TOL,
+    );
+    gradcheck(
+        |v| gru.forward(&v[0]).square().sum_all(),
+        &[&[2, 3, 3]],
+        &mut r,
+        TOL,
+    );
+}
+
+#[test]
+fn gradcheck_lstm_params_and_input() {
+    let mut r = rng();
+    let lstm = Lstm::new(3, 4, &mut r);
+    let x = Tensor::constant(Array::randn(&[2, 3, 3], &mut r));
+    gradcheck_module(
+        || {
+            let (out, _) = lstm.forward_with_state(&x, None);
+            out.square().sum_all()
+        },
+        &lstm.parameters(),
+        PROBES,
+        TOL,
+    );
+    gradcheck(
+        |v| lstm.forward_with_state(&v[0], None).0.square().sum_all(),
+        &[&[2, 3, 3]],
+        &mut r,
+        TOL,
+    );
+}
+
+#[test]
+fn gradcheck_attention_params_and_input() {
+    let mut r = rng();
+    let attn = MultiHeadSelfAttention::new(4, 2, &mut r);
+    let x = Tensor::constant(Array::randn(&[1, 3, 4], &mut r));
+    gradcheck_module(
+        || attn.forward(&x).square().sum_all(),
+        &attn.parameters(),
+        PROBES,
+        TOL,
+    );
+    gradcheck(
+        |v| attn.forward(&v[0]).square().sum_all(),
+        &[&[1, 3, 4]],
+        &mut r,
+        TOL,
+    );
+}
+
+#[test]
+fn gradcheck_causal_conv_params_and_input() {
+    let mut r = rng();
+    let conv = CausalConv1d::new(2, 3, 2, &mut r);
+    let x = Tensor::constant(Array::randn(&[1, 5, 2], &mut r));
+    gradcheck_module(
+        || conv.forward(&x).square().sum_all(),
+        &conv.parameters(),
+        PROBES,
+        TOL,
+    );
+    gradcheck(
+        |v| conv.forward(&v[0]).square().sum_all(),
+        &[&[1, 5, 2]],
+        &mut r,
+        TOL,
+    );
+}

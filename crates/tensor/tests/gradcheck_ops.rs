@@ -1,0 +1,340 @@
+//! Finite-difference gradient checks for every differentiable op in `ops.rs`
+//! and every loss in `losses.rs`.
+//!
+//! Smooth ops draw random probe points; ops with kinks or restricted domains
+//! (`relu`, `abs`, `sqrt`, `div`, the L1-style losses, `huber`'s branch
+//! boundary) use hand-picked inputs sitting safely away from the
+//! non-differentiable locus, since central differences with `eps = 1e-2`
+//! straddle any kink closer than that.
+
+use d2stgnn_tensor::testing::{gradcheck, gradcheck_on};
+use d2stgnn_tensor::{losses, Array, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const TOL: f32 = 1e-2;
+
+fn arr(shape: &[usize], vals: &[f32]) -> Array {
+    Array::from_vec(shape, vals.to_vec()).expect("shape/data agree")
+}
+
+fn rng() -> StdRng {
+    StdRng::seed_from_u64(42)
+}
+
+// ---------------------------------------------------------------------
+// Elementwise binary ops
+// ---------------------------------------------------------------------
+
+#[test]
+fn gradcheck_add_sub_mul() {
+    let mut r = rng();
+    gradcheck(
+        |x| x[0].add(&x[1]).sum_all(),
+        &[&[2, 3], &[2, 3]],
+        &mut r,
+        TOL,
+    );
+    gradcheck(
+        |x| x[0].sub(&x[1]).sum_all(),
+        &[&[2, 3], &[2, 3]],
+        &mut r,
+        TOL,
+    );
+    gradcheck(
+        |x| x[0].mul(&x[1]).mean_all(),
+        &[&[2, 3], &[2, 3]],
+        &mut r,
+        TOL,
+    );
+}
+
+#[test]
+fn gradcheck_add_broadcasts() {
+    let mut r = rng();
+    // [2,3] + [3] broadcast on the leading axis.
+    gradcheck(|x| x[0].add(&x[1]).sum_all(), &[&[2, 3], &[3]], &mut r, TOL);
+    gradcheck(
+        |x| x[0].mul(&x[1]).sum_all(),
+        &[&[2, 3], &[1, 3]],
+        &mut r,
+        TOL,
+    );
+}
+
+#[test]
+fn gradcheck_div_off_zero() {
+    // Denominators well away from 0 so the probe never crosses the pole.
+    gradcheck_on(
+        |x| x[0].div(&x[1]).sum_all(),
+        &[
+            arr(&[4], &[1.0, -2.0, 0.5, 3.0]),
+            arr(&[4], &[2.0, 1.5, -3.0, 0.8]),
+        ],
+        TOL,
+    );
+}
+
+// ---------------------------------------------------------------------
+// Elementwise unary ops
+// ---------------------------------------------------------------------
+
+#[test]
+fn gradcheck_neg_scale_add_scalar() {
+    let mut r = rng();
+    gradcheck(|x| x[0].neg().sum_all(), &[&[5]], &mut r, TOL);
+    gradcheck(|x| x[0].scale(-2.5).sum_all(), &[&[5]], &mut r, TOL);
+    gradcheck(
+        |x| x[0].add_scalar(3.0).square().sum_all(),
+        &[&[5]],
+        &mut r,
+        TOL,
+    );
+}
+
+#[test]
+fn gradcheck_relu_off_kink() {
+    gradcheck_on(
+        |x| x[0].relu().sum_all(),
+        &[arr(&[6], &[-2.0, -0.7, -0.1, 0.1, 0.9, 2.5])],
+        TOL,
+    );
+}
+
+#[test]
+fn gradcheck_sigmoid_tanh_exp() {
+    let mut r = rng();
+    gradcheck(|x| x[0].sigmoid().sum_all(), &[&[2, 3]], &mut r, TOL);
+    gradcheck(|x| x[0].tanh().sum_all(), &[&[2, 3]], &mut r, TOL);
+    gradcheck(|x| x[0].exp().sum_all(), &[&[2, 3]], &mut r, TOL);
+}
+
+#[test]
+fn gradcheck_abs_off_kink() {
+    gradcheck_on(
+        |x| x[0].abs().sum_all(),
+        &[arr(&[5], &[-1.5, -0.4, 0.3, 1.1, 2.0])],
+        TOL,
+    );
+}
+
+#[test]
+fn gradcheck_square() {
+    let mut r = rng();
+    gradcheck(|x| x[0].square().sum_all(), &[&[3, 2]], &mut r, TOL);
+}
+
+#[test]
+fn gradcheck_sqrt_positive_domain() {
+    gradcheck_on(
+        |x| x[0].sqrt().sum_all(),
+        &[arr(&[4], &[0.5, 1.0, 2.25, 4.0])],
+        TOL,
+    );
+}
+
+#[test]
+fn gradcheck_dropout_with_deterministic_mask() {
+    // Reseeding per call makes the mask a deterministic function of the
+    // input shape, so finite differences see a fixed linear map.
+    gradcheck_on(
+        |x| {
+            let mut mask_rng = StdRng::seed_from_u64(7);
+            x[0].dropout(0.4, true, &mut mask_rng).sum_all()
+        },
+        &[arr(&[8], &[1.0, -2.0, 0.5, 3.0, -1.0, 0.8, -0.3, 2.2])],
+        TOL,
+    );
+}
+
+// ---------------------------------------------------------------------
+// Linear algebra and shape ops
+// ---------------------------------------------------------------------
+
+#[test]
+fn gradcheck_matmul_2d_and_batched() {
+    let mut r = rng();
+    gradcheck(
+        |x| x[0].matmul(&x[1]).sum_all(),
+        &[&[2, 3], &[3, 4]],
+        &mut r,
+        TOL,
+    );
+    gradcheck(
+        |x| x[0].matmul(&x[1]).square().sum_all(),
+        &[&[2, 2, 3], &[2, 3, 2]],
+        &mut r,
+        TOL,
+    );
+}
+
+#[test]
+fn gradcheck_reshape_transpose_permute() {
+    let mut r = rng();
+    gradcheck(
+        |x| x[0].reshape(&[6]).square().sum_all(),
+        &[&[2, 3]],
+        &mut r,
+        TOL,
+    );
+    gradcheck(
+        |x| x[0].transpose().square().sum_all(),
+        &[&[2, 3]],
+        &mut r,
+        TOL,
+    );
+    gradcheck(
+        |x| x[0].permute(&[2, 0, 1]).square().sum_all(),
+        &[&[2, 3, 4]],
+        &mut r,
+        TOL,
+    );
+}
+
+#[test]
+fn gradcheck_concat_and_stack() {
+    let mut r = rng();
+    gradcheck(
+        |x| Tensor::concat(&[&x[0], &x[1]], 1).square().sum_all(),
+        &[&[2, 2], &[2, 3]],
+        &mut r,
+        TOL,
+    );
+    gradcheck(
+        |x| Tensor::stack(&[&x[0], &x[1]], 0).square().sum_all(),
+        &[&[2, 3], &[2, 3]],
+        &mut r,
+        TOL,
+    );
+}
+
+#[test]
+fn gradcheck_slice_and_index_select() {
+    let mut r = rng();
+    gradcheck(
+        |x| x[0].slice_axis(1, 1, 3).square().sum_all(),
+        &[&[2, 4]],
+        &mut r,
+        TOL,
+    );
+    // Repeated indices exercise gradient accumulation into the same row.
+    gradcheck(
+        |x| x[0].index_select(0, &[2, 0, 2]).square().sum_all(),
+        &[&[3, 2]],
+        &mut r,
+        TOL,
+    );
+}
+
+#[test]
+fn gradcheck_broadcast_to() {
+    let mut r = rng();
+    gradcheck(
+        |x| x[0].broadcast_to(&[4, 2, 3]).square().sum_all(),
+        &[&[2, 3]],
+        &mut r,
+        TOL,
+    );
+}
+
+// ---------------------------------------------------------------------
+// Reductions and softmax
+// ---------------------------------------------------------------------
+
+#[test]
+fn gradcheck_reductions() {
+    let mut r = rng();
+    gradcheck(|x| x[0].sum_all(), &[&[2, 3]], &mut r, TOL);
+    gradcheck(|x| x[0].mean_all(), &[&[2, 3]], &mut r, TOL);
+    gradcheck(
+        |x| x[0].sum_axis(1, false).square().sum_all(),
+        &[&[2, 3]],
+        &mut r,
+        TOL,
+    );
+    gradcheck(
+        |x| x[0].sum_axis(0, true).square().sum_all(),
+        &[&[2, 3]],
+        &mut r,
+        TOL,
+    );
+    gradcheck(
+        |x| x[0].mean_axis(1, false).square().sum_all(),
+        &[&[3, 4]],
+        &mut r,
+        TOL,
+    );
+}
+
+#[test]
+fn gradcheck_softmax() {
+    let mut r = rng();
+    // Compose with a fixed projection so every softmax output influences the
+    // scalar differently (sum_all alone has zero gradient by normalization).
+    gradcheck(
+        |x| {
+            let w = Tensor::constant(arr(&[1, 3], &[0.3, -1.2, 0.9]));
+            x[0].softmax(1).mul(&w.broadcast_to(&[2, 3])).sum_all()
+        },
+        &[&[2, 3]],
+        &mut r,
+        TOL,
+    );
+}
+
+// ---------------------------------------------------------------------
+// Losses
+// ---------------------------------------------------------------------
+
+#[test]
+fn gradcheck_mse_loss() {
+    let mut r = rng();
+    gradcheck(
+        |x| losses::mse_loss(&x[0], &x[1]),
+        &[&[2, 3], &[2, 3]],
+        &mut r,
+        TOL,
+    );
+}
+
+#[test]
+fn gradcheck_mae_loss_off_kink() {
+    // pred and target separated by > eps everywhere: |p - t| stays smooth.
+    gradcheck_on(
+        |x| losses::mae_loss(&x[0], &x[1]),
+        &[
+            arr(&[4], &[1.0, -2.0, 3.0, 0.5]),
+            arr(&[4], &[0.2, -1.0, 4.5, -0.5]),
+        ],
+        TOL,
+    );
+}
+
+#[test]
+fn gradcheck_masked_mae_loss() {
+    // Target rows equal to the null value (0.0) are masked out; their pred
+    // entries must receive exactly zero gradient, which the finite
+    // difference confirms.
+    gradcheck_on(
+        |x| {
+            let target = Tensor::constant(arr(&[4], &[0.2, 0.0, 4.5, 0.0]));
+            losses::masked_mae_loss(&x[0], &target, 0.0)
+        },
+        &[arr(&[4], &[1.0, -2.0, 3.0, 0.5])],
+        TOL,
+    );
+}
+
+#[test]
+fn gradcheck_huber_loss_both_branches() {
+    // Errors of 0.3 (quadratic branch) and 2.0/1.5/3.5 (linear branch) with
+    // delta = 1: both branches checked, all probes > eps away from delta.
+    gradcheck_on(
+        |x| {
+            let target = Tensor::constant(arr(&[4], &[0.7, -2.0, 4.5, -3.0]));
+            losses::huber_loss(&x[0], &target, 1.0)
+        },
+        &[arr(&[4], &[1.0, 0.0, 3.0, 0.5])],
+        TOL,
+    );
+}

@@ -1,0 +1,1034 @@
+//! Offline static-analysis driver for the d2stgnn workspace.
+//!
+//! `xlint` walks the workspace's `.rs` sources and enforces repo-specific
+//! correctness rules with `file:line` diagnostics and an allowlist file
+//! (`xlint.allow` at the workspace root). It is intentionally lexical — no
+//! syn, no rustc plumbing — so it runs offline with zero dependencies and
+//! stays fast enough to gate every CI run.
+//!
+//! Rules:
+//!
+//! * `no-panic` — no `.unwrap()` / `.expect(` / `panic!` / `todo!` /
+//!   `unimplemented!` in library code of `serve`, `core`, `graph`, and
+//!   `tensor` (`#[cfg(test)]` modules and `tests/`, `benches/`, `examples/`
+//!   directories are exempt).
+//! * `cast-in-loop` — no numeric `as` casts inside loop bodies of the two
+//!   kernel files `crates/tensor/src/ops.rs` and `crates/graph/src/sparse.rs`
+//!   (casts in hot loops hide float↔int truncation bugs; hoist them out).
+//! * `result-error` — every `pub fn` returning `Result` must name an error
+//!   type declared in that crate's `src/error.rs` (no `Result<_, String>`,
+//!   no bare `Result<T>` aliases).
+//! * `serve-concurrency` — no `thread::sleep` and no unbounded channel
+//!   construction (`mpsc::channel`) in `serve` library code.
+//! * `deny-unsafe` — `#![deny(unsafe_code)]` (or `forbid`) present at each
+//!   crate root under `crates/`.
+
+#![deny(unsafe_code)]
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Crates whose `src/` trees are subject to the `no-panic` rule.
+pub const PANIC_FREE_CRATES: &[&str] = &["serve", "core", "graph", "tensor"];
+
+/// Crates whose `pub fn` Result signatures must use the crate's `error.rs`.
+pub const RESULT_ERROR_CRATES: &[&str] = &["serve", "core", "graph", "tensor", "data"];
+
+/// Files whose loop bodies must stay free of numeric `as` casts.
+pub const KERNEL_FILES: &[&str] = &["crates/tensor/src/ops.rs", "crates/graph/src/sparse.rs"];
+
+/// All rule identifiers, in report order.
+pub const RULES: &[&str] = &[
+    "no-panic",
+    "cast-in-loop",
+    "result-error",
+    "serve-concurrency",
+    "deny-unsafe",
+];
+
+/// One lint finding at a source location.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Rule identifier (one of [`RULES`]).
+    pub rule: &'static str,
+    /// Workspace-relative path, forward slashes.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable description of the violation.
+    pub message: String,
+    /// The offending source line, trimmed.
+    pub excerpt: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}\n    | {}",
+            self.path, self.line, self.rule, self.message, self.excerpt
+        )
+    }
+}
+
+/// One entry of the `xlint.allow` file: `<rule> <path> [substring]`.
+#[derive(Debug, Clone)]
+pub struct AllowEntry {
+    /// Rule this entry suppresses.
+    pub rule: String,
+    /// Workspace-relative path it applies to.
+    pub path: String,
+    /// Optional substring the offending source line must contain.
+    pub pattern: String,
+    /// Line number in `xlint.allow` (for unused-entry reporting).
+    pub line_no: usize,
+}
+
+/// Parsed allowlist with per-entry use tracking.
+#[derive(Debug, Default)]
+pub struct Allowlist {
+    /// All parsed entries.
+    pub entries: Vec<AllowEntry>,
+}
+
+impl Allowlist {
+    /// Parse the `xlint.allow` format: one entry per line,
+    /// `<rule> <path> [substring...]`; `#` starts a comment.
+    pub fn parse(text: &str) -> Allowlist {
+        let mut entries = Vec::new();
+        for (i, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.splitn(3, char::is_whitespace);
+            let (Some(rule), Some(path)) = (parts.next(), parts.next()) else {
+                continue;
+            };
+            entries.push(AllowEntry {
+                rule: rule.to_string(),
+                path: path.to_string(),
+                pattern: parts.next().unwrap_or("").trim().to_string(),
+                line_no: i + 1,
+            });
+        }
+        Allowlist { entries }
+    }
+
+    fn matches(&self, diag: &Diagnostic, used: &mut [bool]) -> bool {
+        let mut hit = false;
+        for (i, e) in self.entries.iter().enumerate() {
+            if e.rule == diag.rule
+                && e.path == diag.path
+                && (e.pattern.is_empty() || diag.excerpt.contains(&e.pattern))
+            {
+                used[i] = true;
+                hit = true;
+            }
+        }
+        hit
+    }
+}
+
+/// Result of linting the workspace.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Diagnostics not covered by the allowlist (failures).
+    pub active: Vec<Diagnostic>,
+    /// Diagnostics suppressed by an allowlist entry.
+    pub suppressed: Vec<Diagnostic>,
+    /// Allowlist entries that matched nothing (stale debt records).
+    pub unused_allows: Vec<AllowEntry>,
+    /// Number of `.rs` files scanned.
+    pub files_checked: usize,
+}
+
+impl Report {
+    /// Count of active (un-allowlisted) diagnostics for one rule.
+    pub fn count(&self, rule: &str) -> usize {
+        self.active.iter().filter(|d| d.rule == rule).count()
+    }
+
+    /// True when the tree is clean modulo the allowlist.
+    pub fn is_clean(&self) -> bool {
+        self.active.is_empty()
+    }
+}
+
+/// Replace comments, string literals, and char literals with spaces,
+/// preserving the line structure so offsets still map to source lines.
+pub fn sanitize_source(src: &str) -> String {
+    let bytes = src.as_bytes();
+    let mut out = vec![0u8; bytes.len()];
+    out.copy_from_slice(bytes);
+    let mut i = 0;
+    let blank = |out: &mut [u8], from: usize, to: usize| {
+        for b in &mut out[from..to] {
+            if *b != b'\n' {
+                *b = b' ';
+            }
+        }
+    };
+    while i < bytes.len() {
+        match bytes[i] {
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                let end = bytes[i..]
+                    .iter()
+                    .position(|&b| b == b'\n')
+                    .map_or(bytes.len(), |p| i + p);
+                blank(&mut out, i, end);
+                i = end;
+            }
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'*' => {
+                let start = i;
+                let mut depth = 1usize;
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                blank(&mut out, start, i);
+            }
+            b'r' | b'b'
+                if {
+                    // Raw string r"..." / r#"..."# (and br variants).
+                    let mut j = i + 1;
+                    if bytes[i] == b'b' && j < bytes.len() && bytes[j] == b'r' {
+                        j += 1;
+                    }
+                    let mut hashes = 0;
+                    while j < bytes.len() && bytes[j] == b'#' {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    (bytes[i] == b'r'
+                        || hashes > 0
+                        || (i + 1 < bytes.len() && bytes[i + 1] == b'r'))
+                        && j < bytes.len()
+                        && bytes[j] == b'"'
+                        && (bytes[i] == b'r' || bytes.get(i + 1) == Some(&b'r'))
+                } =>
+            {
+                let start = i;
+                let mut j = i + 1;
+                if bytes[start] == b'b' {
+                    j += 1; // skip the 'r'
+                }
+                let mut hashes = 0;
+                while j < bytes.len() && bytes[j] == b'#' {
+                    hashes += 1;
+                    j += 1;
+                }
+                j += 1; // opening quote
+                let closer: Vec<u8> = std::iter::once(b'"')
+                    .chain(std::iter::repeat_n(b'#', hashes))
+                    .collect();
+                while j < bytes.len() {
+                    if bytes[j..].starts_with(&closer) {
+                        j += closer.len();
+                        break;
+                    }
+                    j += 1;
+                }
+                blank(&mut out, start, j.min(bytes.len()));
+                i = j;
+            }
+            b'"' => {
+                let start = i;
+                i += 1;
+                while i < bytes.len() {
+                    match bytes[i] {
+                        b'\\' => i += 2,
+                        b'"' => {
+                            i += 1;
+                            break;
+                        }
+                        _ => i += 1,
+                    }
+                }
+                blank(&mut out, start, i.min(bytes.len()));
+            }
+            b'\'' => {
+                // Distinguish char literal 'x' / '\n' from lifetime 'a.
+                if i + 1 < bytes.len() && bytes[i + 1] == b'\\' {
+                    let start = i;
+                    i += 2;
+                    while i < bytes.len() && bytes[i] != b'\'' {
+                        i += 1;
+                    }
+                    i = (i + 1).min(bytes.len());
+                    blank(&mut out, start, i);
+                } else {
+                    // Find the char boundary after the single char.
+                    let rest = &src[i + 1..];
+                    let clen = rest.chars().next().map_or(0, char::len_utf8);
+                    if clen > 0 && bytes.get(i + 1 + clen) == Some(&b'\'') {
+                        blank(&mut out, i, i + clen + 2);
+                        i += clen + 2;
+                    } else {
+                        i += 1; // lifetime: leave as-is
+                    }
+                }
+            }
+            _ => i += 1,
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Byte spans (start, end) of `#[cfg(test)]`-gated items in sanitized source.
+pub fn test_spans(sanitized: &str) -> Vec<(usize, usize)> {
+    let bytes = sanitized.as_bytes();
+    let mut spans = Vec::new();
+    let needle = b"#[cfg(test)]";
+    let mut i = 0;
+    while i + needle.len() <= bytes.len() {
+        if &bytes[i..i + needle.len()] == needle {
+            // Find the opening brace of the gated item and match it.
+            let mut j = i + needle.len();
+            while j < bytes.len() && bytes[j] != b'{' && bytes[j] != b';' {
+                j += 1;
+            }
+            if j < bytes.len() && bytes[j] == b'{' {
+                let mut depth = 0usize;
+                let start = i;
+                while j < bytes.len() {
+                    match bytes[j] {
+                        b'{' => depth += 1,
+                        b'}' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                spans.push((start, (j + 1).min(bytes.len())));
+                i = j;
+            }
+        }
+        i += 1;
+    }
+    spans
+}
+
+fn line_starts(text: &str) -> Vec<usize> {
+    let mut starts = vec![0usize];
+    for (i, b) in text.bytes().enumerate() {
+        if b == b'\n' {
+            starts.push(i + 1);
+        }
+    }
+    starts
+}
+
+fn offset_to_line(starts: &[usize], offset: usize) -> usize {
+    match starts.binary_search(&offset) {
+        Ok(i) => i + 1,
+        Err(i) => i,
+    }
+}
+
+fn raw_line(source: &str, starts: &[usize], line: usize) -> String {
+    let begin = starts[line - 1];
+    let end = starts.get(line).map_or(source.len(), |&e| e - 1);
+    let mut s = source[begin..end].trim().to_string();
+    if s.len() > 100 {
+        let mut cut = 100;
+        while !s.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        s.truncate(cut);
+        s.push('…');
+    }
+    s
+}
+
+fn in_spans(spans: &[(usize, usize)], offset: usize) -> bool {
+    spans.iter().any(|&(s, e)| offset >= s && offset < e)
+}
+
+fn is_ident(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Find every occurrence of `needle` in `hay` whose preceding byte is not an
+/// identifier character (word-boundary on the left).
+fn find_bounded(hay: &str, needle: &str) -> Vec<usize> {
+    let mut found = Vec::new();
+    let mut from = 0;
+    while let Some(p) = hay[from..].find(needle) {
+        let at = from + p;
+        if at == 0 || !is_ident(hay.as_bytes()[at - 1]) {
+            found.push(at);
+        }
+        from = at + needle.len();
+    }
+    found
+}
+
+/// Path classification helpers.
+fn crate_of(rel: &str) -> Option<&str> {
+    let rest = rel.strip_prefix("crates/")?;
+    rest.split('/').next()
+}
+
+fn in_library_src(rel: &str) -> bool {
+    // Library code = crates/<name>/src/**; integration tests, benches and
+    // examples live outside src/ and are exempt.
+    let Some(rest) = rel.strip_prefix("crates/") else {
+        return false;
+    };
+    let mut parts = rest.split('/');
+    let _crate_name = parts.next();
+    matches!(parts.next(), Some("src"))
+}
+
+const NUMERIC_TYPES: &[&str] = &[
+    "f32", "f64", "usize", "isize", "u8", "u16", "u32", "u64", "u128", "i8", "i16", "i32", "i64",
+    "i128",
+];
+
+/// Lint a single source file. `error_types` holds the names declared in the
+/// owning crate's `src/error.rs` (empty set when the crate has none).
+pub fn lint_file(rel: &str, source: &str, error_types: &BTreeSet<String>) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    if !in_library_src(rel) {
+        return diags;
+    }
+    let Some(krate) = crate_of(rel) else {
+        return diags;
+    };
+    let sanitized = sanitize_source(source);
+    let spans = test_spans(&sanitized);
+    let starts = line_starts(source);
+
+    let push = |rule: &'static str, offset: usize, message: String, diags: &mut Vec<Diagnostic>| {
+        let line = offset_to_line(&starts, offset);
+        diags.push(Diagnostic {
+            rule,
+            path: rel.to_string(),
+            line,
+            message,
+            excerpt: raw_line(source, &starts, line),
+        });
+    };
+
+    // Rule: no-panic.
+    if PANIC_FREE_CRATES.contains(&krate) {
+        for (needle, what) in [
+            (".unwrap()", "`.unwrap()`"),
+            (".expect(", "`.expect(..)`"),
+            ("panic!", "`panic!`"),
+            ("todo!", "`todo!`"),
+            ("unimplemented!", "`unimplemented!`"),
+        ] {
+            let hits = if needle.starts_with('.') {
+                // Method calls: no boundary needed on the left of the dot.
+                let mut v = Vec::new();
+                let mut from = 0;
+                while let Some(p) = sanitized[from..].find(needle) {
+                    v.push(from + p);
+                    from = from + p + needle.len();
+                }
+                v
+            } else {
+                find_bounded(&sanitized, needle)
+            };
+            for at in hits {
+                if !in_spans(&spans, at) {
+                    push(
+                        "no-panic",
+                        at,
+                        format!("{what} in library code (propagate an error or use the crate's invariant funnel)"),
+                        &mut diags,
+                    );
+                }
+            }
+        }
+    }
+
+    // Rule: cast-in-loop.
+    if KERNEL_FILES.contains(&rel) {
+        for at in casts_in_loops(&sanitized) {
+            if !in_spans(&spans, at) {
+                push(
+                    "cast-in-loop",
+                    at,
+                    "numeric `as` cast inside a kernel loop (hoist it out of the loop)".to_string(),
+                    &mut diags,
+                );
+            }
+        }
+    }
+
+    // Rule: result-error.
+    if RESULT_ERROR_CRATES.contains(&krate) {
+        for (at, problem) in result_signature_problems(&sanitized, error_types) {
+            if !in_spans(&spans, at) {
+                push("result-error", at, problem, &mut diags);
+            }
+        }
+    }
+
+    // Rule: serve-concurrency.
+    if krate == "serve" {
+        for needle in ["thread::sleep", "mpsc::channel"] {
+            for at in find_bounded(&sanitized, needle) {
+                if !in_spans(&spans, at) {
+                    push(
+                        "serve-concurrency",
+                        at,
+                        format!(
+                            "`{needle}` in serve library code (use bounded channels and condvar waits)"
+                        ),
+                        &mut diags,
+                    );
+                }
+            }
+        }
+        // Bare `channel()` from a direct import is also unbounded (the
+        // path-qualified form is already reported above).
+        for at in find_bounded(&sanitized, "channel()") {
+            let qualified = sanitized[..at].ends_with("mpsc::");
+            if !qualified && !in_spans(&spans, at) {
+                push(
+                    "serve-concurrency",
+                    at,
+                    "unbounded `channel()` in serve library code (use `sync_channel`)".to_string(),
+                    &mut diags,
+                );
+            }
+        }
+    }
+
+    diags
+}
+
+/// Offsets of numeric `as` casts that occur inside loop bodies.
+fn casts_in_loops(sanitized: &str) -> Vec<usize> {
+    let bytes = sanitized.as_bytes();
+    // Brace stack: true when the block was opened by a loop header.
+    let mut stack: Vec<bool> = Vec::new();
+    let mut stmt_start = 0usize;
+    let mut found = Vec::new();
+    let mut loop_depth = 0usize;
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'{' => {
+                let stmt = &sanitized[stmt_start..i];
+                let is_loop = ["for", "while", "loop"]
+                    .iter()
+                    .any(|kw| find_bounded_word(stmt, kw));
+                stack.push(is_loop);
+                if is_loop {
+                    loop_depth += 1;
+                }
+                stmt_start = i + 1;
+            }
+            b'}' => {
+                if let Some(was_loop) = stack.pop() {
+                    if was_loop {
+                        loop_depth -= 1;
+                    }
+                }
+                stmt_start = i + 1;
+            }
+            b';' => stmt_start = i + 1,
+            b'a' if loop_depth > 0
+                // Word-bounded `as` followed by a numeric type name.
+                && bytes[i..].starts_with(b"as")
+                    && (i == 0 || !is_ident(bytes[i - 1]))
+                    && bytes.get(i + 2).is_some_and(|&b| b == b' ' || b == b'\n') =>
+            {
+                let mut j = i + 2;
+                while j < bytes.len() && (bytes[j] == b' ' || bytes[j] == b'\n') {
+                    j += 1;
+                }
+                let tok_end = (j..bytes.len())
+                    .find(|&k| !is_ident(bytes[k]))
+                    .unwrap_or(bytes.len());
+                let tok = &sanitized[j..tok_end];
+                if NUMERIC_TYPES.contains(&tok) {
+                    found.push(i);
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    found
+}
+
+/// Word-boundary containment check (both sides).
+fn find_bounded_word(hay: &str, word: &str) -> bool {
+    for at in find_bounded(hay, word) {
+        let end = at + word.len();
+        if end >= hay.len() || !is_ident(hay.as_bytes()[end]) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Scan `pub fn` signatures returning `Result` and check the error type is
+/// one of `error_types`. Returns (offset, message) pairs.
+fn result_signature_problems(
+    sanitized: &str,
+    error_types: &BTreeSet<String>,
+) -> Vec<(usize, String)> {
+    let mut problems = Vec::new();
+    for at in find_bounded(sanitized, "pub fn ") {
+        // Signature runs to the body `{` or `;` at zero paren/angle depth.
+        let bytes = sanitized.as_bytes();
+        let mut j = at;
+        let mut paren = 0i32;
+        let mut angle = 0i32;
+        let mut sig_end = sanitized.len();
+        while j < bytes.len() {
+            match bytes[j] {
+                b'(' => paren += 1,
+                b')' => paren -= 1,
+                b'<' => angle += 1,
+                b'>' if j > 0 && bytes[j - 1] != b'-' && bytes[j - 1] != b'=' => angle -= 1,
+                b'{' | b';' if paren == 0 && angle <= 0 => {
+                    sig_end = j;
+                    break;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        let sig = &sanitized[at..sig_end];
+        let Some(arrow) = sig.find("->") else {
+            continue;
+        };
+        let ret = &sig[arrow + 2..];
+        // Only flag genuine `Result<...>` returns; `fmt::Result` and names
+        // like `TTestResult` don't count.
+        let Some(rpos) = find_bounded(ret, "Result<").first().copied() else {
+            if find_bounded_word(ret, "Result") && !ret.contains("fmt::Result") {
+                problems.push((
+                    at,
+                    "pub fn returns a bare `Result` alias; spell out `Result<T, E>` with an error \
+                     type from this crate's error.rs"
+                        .to_string(),
+                ));
+            }
+            continue;
+        };
+        // Extract the generic argument list of Result<...>.
+        let args_start = rpos + "Result<".len();
+        let rbytes = ret.as_bytes();
+        let mut depth = 1i32;
+        let mut k = args_start;
+        let mut top_comma = None;
+        while k < rbytes.len() && depth > 0 {
+            match rbytes[k] {
+                b'<' => depth += 1,
+                b'>' => depth -= 1,
+                b'(' => depth += 1,
+                b')' => depth -= 1,
+                b',' if depth == 1 && top_comma.is_none() => top_comma = Some(k),
+                _ => {}
+            }
+            k += 1;
+        }
+        let Some(comma) = top_comma else {
+            problems.push((
+                at,
+                "pub fn returns `Result<T>` without naming an error type from this crate's \
+                 error.rs"
+                    .to_string(),
+            ));
+            continue;
+        };
+        let err_ty = ret[comma + 1..k - 1].trim();
+        // Last path segment, generics stripped.
+        let base = err_ty
+            .split('<')
+            .next()
+            .unwrap_or(err_ty)
+            .rsplit("::")
+            .next()
+            .unwrap_or(err_ty)
+            .trim();
+        if error_types.is_empty() {
+            problems.push((
+                at,
+                format!(
+                    "pub fn returns `Result<_, {base}>` but this crate has no src/error.rs \
+                     declaring error types"
+                ),
+            ));
+        } else if !error_types.contains(base) {
+            problems.push((
+                at,
+                format!(
+                    "pub fn error type `{base}` is not declared in this crate's error.rs \
+                     (declared: {:?})",
+                    error_types.iter().collect::<Vec<_>>()
+                ),
+            ));
+        }
+    }
+    problems
+}
+
+/// Parse type names declared in an `error.rs` source.
+pub fn declared_error_types(source: &str) -> BTreeSet<String> {
+    let sanitized = sanitize_source(source);
+    let mut names = BTreeSet::new();
+    for intro in ["pub enum ", "pub struct ", "pub type "] {
+        for at in find_bounded(&sanitized, intro) {
+            let rest = &sanitized[at + intro.len()..];
+            let name: String = rest
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                .collect();
+            if !name.is_empty() {
+                names.insert(name);
+            }
+        }
+    }
+    names
+}
+
+fn walk_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name == ".git" {
+                continue;
+            }
+            walk_rs_files(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+/// Lint every crate under `<root>/crates`, applying `allow`.
+pub fn lint_workspace(root: &Path, allow: &Allowlist) -> io::Result<Report> {
+    let crates_dir = root.join("crates");
+    let mut files = Vec::new();
+    walk_rs_files(&crates_dir, &mut files)?;
+    files.sort();
+
+    let mut all: Vec<Diagnostic> = Vec::new();
+
+    // Per-crate error.rs declarations for the result-error rule.
+    let mut crate_errors: std::collections::BTreeMap<String, BTreeSet<String>> = Default::default();
+    for entry in fs::read_dir(&crates_dir)? {
+        let dir = entry?.path();
+        if !dir.is_dir() {
+            continue;
+        }
+        let name = dir
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        let error_rs = dir.join("src/error.rs");
+        let types = if error_rs.is_file() {
+            declared_error_types(&fs::read_to_string(&error_rs)?)
+        } else {
+            BTreeSet::new()
+        };
+        crate_errors.insert(name, types);
+
+        // Rule: deny-unsafe at each crate root.
+        let lib_rs = dir.join("src/lib.rs");
+        if lib_rs.is_file() {
+            let src = fs::read_to_string(&lib_rs)?;
+            let sanitized = sanitize_source(&src);
+            if !sanitized.contains("#![deny(unsafe_code)]")
+                && !sanitized.contains("#![forbid(unsafe_code)]")
+            {
+                all.push(Diagnostic {
+                    rule: "deny-unsafe",
+                    path: rel_path(root, &lib_rs),
+                    line: 1,
+                    message: "crate root is missing `#![deny(unsafe_code)]`".to_string(),
+                    excerpt: src.lines().next().unwrap_or("").trim().to_string(),
+                });
+            }
+        }
+    }
+
+    let empty = BTreeSet::new();
+    let files_checked = files.len();
+    for path in files {
+        let rel = rel_path(root, &path);
+        let source = fs::read_to_string(&path)?;
+        let types = crate_of(&rel)
+            .and_then(|c| crate_errors.get(c))
+            .unwrap_or(&empty);
+        all.extend(lint_file(&rel, &source, types));
+    }
+
+    let mut used = vec![false; allow.entries.len()];
+    let mut report = Report {
+        files_checked,
+        ..Default::default()
+    };
+    for diag in all {
+        if allow.matches(&diag, &mut used) {
+            report.suppressed.push(diag);
+        } else {
+            report.active.push(diag);
+        }
+    }
+    report.unused_allows = allow
+        .entries
+        .iter()
+        .zip(&used)
+        .filter(|(_, &u)| !u)
+        .map(|(e, _)| e.clone())
+        .collect();
+    report
+        .active
+        .sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    Ok(report)
+}
+
+/// Locate the workspace root: walk up from `start` looking for a `Cargo.toml`
+/// that declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(d);
+                }
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn no_errors() -> BTreeSet<String> {
+        BTreeSet::new()
+    }
+
+    fn tensor_errors() -> BTreeSet<String> {
+        let mut s = BTreeSet::new();
+        s.insert("TensorError".to_string());
+        s
+    }
+
+    #[test]
+    fn sanitizer_strips_comments_and_strings() {
+        let src = "let x = \"panic!\"; // .unwrap()\n/* todo! */ let y = 'a';";
+        let clean = sanitize_source(src);
+        assert!(!clean.contains("panic!"));
+        assert!(!clean.contains(".unwrap()"));
+        assert!(!clean.contains("todo!"));
+        assert!(clean.contains("let x ="));
+        assert!(clean.contains("let y ="));
+        assert_eq!(clean.lines().count(), src.lines().count());
+    }
+
+    #[test]
+    fn sanitizer_handles_raw_strings_and_lifetimes() {
+        let src = "fn f<'a>(x: &'a str) { let s = r#\"panic!\"#; }";
+        let clean = sanitize_source(src);
+        assert!(!clean.contains("panic!"));
+        assert!(clean.contains("fn f<'a>"));
+    }
+
+    #[test]
+    fn unwrap_in_library_code_is_flagged() {
+        let src = "pub fn f() -> u32 { some().unwrap() }\n";
+        let diags = lint_file("crates/core/src/foo.rs", src, &no_errors());
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, "no-panic");
+        assert_eq!(diags[0].line, 1);
+    }
+
+    #[test]
+    fn test_modules_and_test_dirs_are_exempt() {
+        let src = "pub fn f() {}\n#[cfg(test)]\nmod tests {\n    fn g() { x.unwrap(); panic!(\"\") }\n}\n";
+        assert!(lint_file("crates/core/src/foo.rs", src, &no_errors()).is_empty());
+        let banned = "fn g() { x.unwrap() }\n";
+        assert!(lint_file("crates/core/tests/foo.rs", banned, &no_errors()).is_empty());
+        assert!(lint_file("crates/core/benches/foo.rs", banned, &no_errors()).is_empty());
+        assert!(lint_file("crates/core/examples/foo.rs", banned, &no_errors()).is_empty());
+    }
+
+    #[test]
+    fn expect_and_macros_are_flagged_but_lookalikes_are_not() {
+        let src = "pub fn f() { a.expect(\"x\"); panic!(\"y\"); todo!(); }\n";
+        let diags = lint_file("crates/tensor/src/foo.rs", src, &no_errors());
+        assert_eq!(diags.len(), 3, "{diags:?}");
+        // Lookalikes: expect_err, should_panic attribute name, unwrap_or_else.
+        let ok = "pub fn g() { a.expect_err(\"x\"); b.unwrap_or_else(|_| 0); }\n";
+        assert!(lint_file("crates/tensor/src/foo.rs", ok, &no_errors()).is_empty());
+    }
+
+    #[test]
+    fn data_crate_is_not_subject_to_no_panic() {
+        let src = "pub fn f() { a.unwrap(); }\n";
+        assert!(lint_file("crates/data/src/foo.rs", src, &no_errors()).is_empty());
+    }
+
+    #[test]
+    fn cast_inside_kernel_loop_is_flagged() {
+        let src = "pub fn k(n: usize) {\n    for i in 0..n {\n        let x = i as f32;\n    }\n    let y = n as f32;\n}\n";
+        let diags = lint_file("crates/tensor/src/ops.rs", src, &tensor_errors());
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, "cast-in-loop");
+        assert_eq!(diags[0].line, 3);
+        // Same content in a non-kernel file: clean.
+        assert!(lint_file("crates/tensor/src/other.rs", src, &tensor_errors()).is_empty());
+    }
+
+    #[test]
+    fn cast_outside_loop_is_fine() {
+        let src = "pub fn k(n: usize) -> f32 { n as f32 }\n";
+        assert!(lint_file("crates/tensor/src/ops.rs", src, &tensor_errors()).is_empty());
+    }
+
+    #[test]
+    fn result_error_rule_checks_declared_types() {
+        let good = "pub fn f() -> Result<(), TensorError> { Ok(()) }\n";
+        assert!(lint_file("crates/tensor/src/foo.rs", good, &tensor_errors()).is_empty());
+        let foreign = "pub fn f() -> Result<(), String> { Ok(()) }\n";
+        let diags = lint_file("crates/tensor/src/foo.rs", foreign, &tensor_errors());
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, "result-error");
+        let alias = "pub fn f() -> Result<u8> { Ok(1) }\n";
+        let diags = lint_file("crates/tensor/src/foo.rs", alias, &tensor_errors());
+        assert_eq!(diags.len(), 1, "{diags:?}");
+    }
+
+    #[test]
+    fn result_lookalikes_and_fmt_result_pass() {
+        let src = "pub fn t() -> TTestResult { TTestResult }\n";
+        assert!(lint_file("crates/data/src/foo.rs", src, &no_errors()).is_empty());
+        // fmt::Result appears in Display impls, which are not `pub fn`.
+        let src = "impl fmt::Display for X { fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result { Ok(()) } }\n";
+        assert!(lint_file("crates/data/src/foo.rs", src, &no_errors()).is_empty());
+    }
+
+    #[test]
+    fn nested_result_in_option_is_checked() {
+        let good = "pub fn w() -> Option<Result<u8, TensorError>> { None }\n";
+        assert!(lint_file("crates/tensor/src/foo.rs", good, &tensor_errors()).is_empty());
+        let bad = "pub fn w() -> Option<Result<u8, String>> { None }\n";
+        assert_eq!(
+            lint_file("crates/tensor/src/foo.rs", bad, &tensor_errors()).len(),
+            1
+        );
+    }
+
+    #[test]
+    fn serve_concurrency_rule() {
+        let src = "pub fn f() { std::thread::sleep(d); let (tx, rx) = mpsc::channel(); }\n";
+        let diags = lint_file("crates/serve/src/foo.rs", src, &no_errors());
+        assert_eq!(diags.len(), 2, "{diags:?}");
+        assert!(diags.iter().all(|d| d.rule == "serve-concurrency"));
+        let ok = "pub fn f() { let (tx, rx) = mpsc::sync_channel(1); }\n";
+        assert!(lint_file("crates/serve/src/foo.rs", ok, &no_errors()).is_empty());
+    }
+
+    #[test]
+    fn declared_error_types_parses_enums_structs_aliases() {
+        let src = "pub enum AError { X }\npub struct BError;\npub type CError = AError;\nenum Private {}\n";
+        let names = declared_error_types(src);
+        assert!(names.contains("AError") && names.contains("BError") && names.contains("CError"));
+        assert!(!names.contains("Private"));
+    }
+
+    #[test]
+    fn allowlist_suppresses_and_tracks_usage() {
+        let allow = Allowlist::parse(
+            "# comment\nno-panic crates/core/src/foo.rs some().unwrap()\nno-panic crates/core/src/unused.rs\n",
+        );
+        assert_eq!(allow.entries.len(), 2);
+        let diag = Diagnostic {
+            rule: "no-panic",
+            path: "crates/core/src/foo.rs".to_string(),
+            line: 1,
+            message: String::new(),
+            excerpt: "let x = some().unwrap();".to_string(),
+        };
+        let mut used = vec![false; 2];
+        assert!(allow.matches(&diag, &mut used));
+        assert_eq!(used, vec![true, false]);
+    }
+
+    #[test]
+    fn banned_pattern_in_a_synthetic_workspace_fails() {
+        // Acceptance demo: introducing a banned pattern makes xlint fail.
+        let dir = std::env::temp_dir().join(format!("xlint-demo-{}", std::process::id()));
+        let src_dir = dir.join("crates/core/src");
+        std::fs::create_dir_all(&src_dir).unwrap();
+        std::fs::write(dir.join("Cargo.toml"), "[workspace]\n").unwrap();
+        std::fs::write(
+            dir.join("crates/core").join("Cargo.toml"),
+            "[package]\nname = \"core\"\n",
+        )
+        .unwrap();
+        std::fs::write(
+            src_dir.join("lib.rs"),
+            "#![deny(unsafe_code)]\npub fn f() -> u32 { some().unwrap() }\n",
+        )
+        .unwrap();
+        let report = lint_workspace(&dir, &Allowlist::default()).unwrap();
+        assert!(!report.is_clean());
+        assert_eq!(report.count("no-panic"), 1);
+        // Allowlisting the single site makes it pass again.
+        let allow = Allowlist::parse("no-panic crates/core/src/lib.rs some().unwrap()\n");
+        let report = lint_workspace(&dir, &allow).unwrap();
+        assert!(report.is_clean(), "{:?}", report.active);
+        assert_eq!(report.suppressed.len(), 1);
+        // Missing deny(unsafe_code) is caught too.
+        std::fs::write(src_dir.join("lib.rs"), "pub fn f() -> u32 { 0 }\n").unwrap();
+        let report = lint_workspace(&dir, &Allowlist::default()).unwrap();
+        assert_eq!(report.count("deny-unsafe"), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn real_workspace_is_clean_modulo_allowlist() {
+        let root = find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+            .expect("workspace root above xlint");
+        let allow_text = std::fs::read_to_string(root.join("xlint.allow")).unwrap_or_default();
+        let allow = Allowlist::parse(&allow_text);
+        assert!(allow.entries.len() <= 10, "allowlist budget exceeded");
+        let report = lint_workspace(&root, &allow).unwrap();
+        let rendered: Vec<String> = report.active.iter().map(|d| d.to_string()).collect();
+        assert!(report.is_clean(), "xlint debt:\n{}", rendered.join("\n"));
+    }
+}

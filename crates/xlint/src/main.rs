@@ -1,0 +1,62 @@
+//! CLI entry point: `cargo run -p xlint` from anywhere in the workspace.
+//!
+//! Exit status is non-zero when any un-allowlisted diagnostic is found.
+//! The allowlist lives in `xlint.allow` at the workspace root.
+
+#![deny(unsafe_code)]
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use xlint::{find_workspace_root, lint_workspace, Allowlist, RULES};
+
+fn main() -> ExitCode {
+    // Prefer the invocation directory (works for a checked-out tree), falling
+    // back to the location this binary was compiled from.
+    let cwd = std::env::current_dir().unwrap_or_else(|_| Path::new(".").to_path_buf());
+    let root = find_workspace_root(&cwd)
+        .or_else(|| find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR"))));
+    let Some(root) = root else {
+        eprintln!("xlint: could not locate a workspace root (Cargo.toml with [workspace])");
+        return ExitCode::FAILURE;
+    };
+
+    let allow_text = std::fs::read_to_string(root.join("xlint.allow")).unwrap_or_default();
+    let allow = Allowlist::parse(&allow_text);
+
+    let report = match lint_workspace(&root, &allow) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("xlint: I/O error while scanning {}: {e}", root.display());
+            return ExitCode::FAILURE;
+        }
+    };
+
+    for diag in &report.active {
+        eprintln!("{diag}");
+    }
+    for entry in &report.unused_allows {
+        eprintln!(
+            "xlint: warning: unused allowlist entry at xlint.allow:{} ({} {} {})",
+            entry.line_no, entry.rule, entry.path, entry.pattern
+        );
+    }
+
+    let summary: Vec<String> = RULES
+        .iter()
+        .map(|r| format!("{r}={}", report.count(r)))
+        .collect();
+    eprintln!(
+        "xlint: {} files checked; active diagnostics: {} ({}); suppressed by allowlist: {}",
+        report.files_checked,
+        report.active.len(),
+        summary.join(" "),
+        report.suppressed.len(),
+    );
+
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

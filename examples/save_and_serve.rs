@@ -100,7 +100,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         [served.th(), served.num_nodes()],
     )?;
 
-    let server = Server::start(Arc::clone(&registry), ServeConfig::default());
+    let server =
+        Server::start(Arc::clone(&registry), ServeConfig::default()).expect("start server");
     let mut ha = HistoricalAverage::new();
     ha.fit(&served);
     server.set_fallback(ha);
@@ -138,6 +139,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "server stats: {} requests, {} batches, p50 {:?}, p95 {:?}",
         stats.requests, stats.batches, stats.p50_latency, stats.p95_latency
     );
-    server.shutdown();
+    server.shutdown().expect("clean shutdown");
     Ok(())
 }

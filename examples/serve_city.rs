@@ -74,7 +74,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             max_wait: Duration::from_millis(2),
             queue_capacity: 32,
         },
-    );
+    )
+    .expect("start server");
     let mut ha = HistoricalAverage::new();
     ha.fit(&data);
     server.set_fallback(ha);
@@ -128,6 +129,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         stats.p50_latency,
         stats.p95_latency
     );
-    server.shutdown();
+    server.shutdown().expect("clean shutdown");
     Ok(())
 }

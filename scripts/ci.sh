@@ -16,4 +16,12 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> xlint (workspace static analysis)"
+cargo run -q -p xlint
+
+echo "==> cargo test -q --features sanitize (autograd + lock-order sanitizers)"
+cargo test -q --features sanitize
+cargo test -q -p d2stgnn-tensor --features sanitize
+cargo test -q -p d2stgnn-serve --features sanitize
+
 echo "CI OK"

@@ -43,6 +43,7 @@
 //! ```
 
 #![warn(missing_docs)]
+#![deny(unsafe_code)]
 
 pub use d2stgnn_baselines as baselines;
 pub use d2stgnn_core as model;
