@@ -1,0 +1,248 @@
+//! End-to-end smoke check for the telemetry layer (`crates/obsv`).
+//!
+//! Trains a tiny D²STGNN for two epochs, serves a handful of requests
+//! through the batching engine, then validates what the telemetry layer
+//! captured:
+//!
+//! * every JSONL line parses and carries the v1 schema keys
+//!   (`type`/`name`/`id`/`parent`/`ts_us`, plus `dur_us` on spans);
+//! * at least two `d2stgnn_core_train_epoch` spans and all three serve
+//!   stage spans (`batch`/`forward`/`postprocess`) are present;
+//! * the Prometheus dump exposes `d2stgnn_serve_requests_total` and a
+//!   `quantile="0.99"` summary line;
+//! * the tape profiler counted ops during training.
+//!
+//! Exits non-zero on any failure, so CI can gate on it. Run with:
+//! `cargo run -p d2stgnn-bench --features obsv --bin obsv_smoke`
+
+#[cfg(not(feature = "obsv"))]
+fn main() {
+    eprintln!(
+        "obsv_smoke needs the telemetry feature; rerun as: \
+         cargo run -p d2stgnn-bench --features obsv --bin obsv_smoke"
+    );
+    std::process::exit(1);
+}
+
+#[cfg(feature = "obsv")]
+fn main() {
+    smoke::run();
+}
+
+#[cfg(feature = "obsv")]
+mod smoke {
+    use d2stgnn_bench::{train_config, write_bench_artifact};
+    use d2stgnn_core::{checkpoint, D2stgnn, D2stgnnConfig, Trainer};
+    use d2stgnn_data::{simulate, Profile, SimulatorConfig, Split, WindowedDataset};
+    use d2stgnn_serve::{InferRequest, ModelFactory, ModelRegistry, ServeConfig, Server};
+    use d2stgnn_tensor::{Array, Tape};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use serde::{Number, Value};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    const JSONL_PATH: &str = "target/experiments/obsv_smoke.jsonl";
+    const SERVE_REQUESTS: usize = 8;
+
+    pub fn run() {
+        std::fs::create_dir_all("target/experiments").expect("create experiments dir");
+        d2stgnn_obsv::init_jsonl(JSONL_PATH).expect("open jsonl sink");
+
+        let data =
+            WindowedDataset::new(simulate(&SimulatorConfig::tiny()), 12, 12, (0.6, 0.2, 0.2));
+        let n = data.num_nodes();
+        eprintln!("[obsv_smoke] training 2 epochs on tiny simulator ({n} nodes)");
+
+        Tape::start_profiling();
+        let mut rng = StdRng::seed_from_u64(0);
+        let model = D2stgnn::new(model_config(n), &data.data().network.clone(), &mut rng);
+        let mut cfg = train_config(Profile::Fast, true, 0);
+        cfg.max_epochs = 2;
+        cfg.patience = 2;
+        cfg.verbose = false;
+        let report = Trainer::new(cfg).train(&model, &data);
+        Tape::stop_profiling();
+        let profile = Tape::profile_report();
+        assert!(
+            !profile.ops.is_empty(),
+            "tape profiler saw no ops during training"
+        );
+        eprintln!("[obsv_smoke] tape profile:\n{}", profile.format_table());
+
+        eprintln!("[obsv_smoke] serving {SERVE_REQUESTS} requests");
+        let completed = serve_batch(&data, &model);
+        assert_eq!(completed, SERVE_REQUESTS as u64, "all requests complete");
+
+        d2stgnn_obsv::flush().expect("flush sink");
+        d2stgnn_obsv::shutdown();
+        assert_eq!(d2stgnn_obsv::dropped_lines(), 0, "sink dropped lines");
+
+        let (lines, epoch_spans) = validate_jsonl();
+        let prom = d2stgnn_obsv::render_prometheus();
+        assert!(
+            prom.contains("d2stgnn_serve_requests_total"),
+            "prometheus dump missing serve request counter"
+        );
+        assert!(
+            prom.contains("quantile=\"0.99\""),
+            "prometheus dump missing p99 quantile"
+        );
+
+        let config = format!(
+            r#"{{"profile":"fast","epochs":2,"serve_requests":{SERVE_REQUESTS},"nodes":{n}}}"#
+        );
+        let results = format!(
+            r#"{{"jsonl_lines":{lines},"epoch_spans":{epoch_spans},"train_epochs":{},"avg_epoch_seconds":{}}}"#,
+            report.epochs.len(),
+            report.avg_epoch_seconds
+        );
+        let artifact =
+            write_bench_artifact("obsv_smoke", &config, &results).expect("write artifact");
+
+        println!(
+            "[obsv_smoke] OK: {lines} JSONL lines, {epoch_spans} epoch spans, \
+             prometheus + p99 present, artifact at {}",
+            artifact.display()
+        );
+    }
+
+    /// Spin up the batching server over the trained model, push a few
+    /// requests through it, and return the completed count.
+    fn serve_batch(data: &WindowedDataset, model: &D2stgnn) -> u64 {
+        let ckpt = checkpoint::snapshot(model, "obsv-smoke");
+        let network = data.data().network.clone();
+        let factory: ModelFactory = Arc::new(move || {
+            let mut rng = StdRng::seed_from_u64(0);
+            Box::new(D2stgnn::new(
+                model_config(network.num_nodes()),
+                &network,
+                &mut rng,
+            ))
+        });
+        let registry = Arc::new(ModelRegistry::new());
+        registry
+            .register(
+                "d2stgnn",
+                factory,
+                ckpt,
+                *data.scaler(),
+                [data.th(), data.num_nodes()],
+            )
+            .expect("register model");
+        let server = Server::start(
+            registry,
+            ServeConfig {
+                workers: 1,
+                max_batch: 4,
+                max_wait: Duration::from_millis(2),
+                queue_capacity: SERVE_REQUESTS,
+            },
+        )
+        .expect("start server");
+
+        let starts = data.window_starts(Split::Test).to_vec();
+        let handles: Vec<_> = (0..SERVE_REQUESTS)
+            .map(|k| {
+                let req = request_at(data, starts[k % starts.len()]);
+                server.submit(req).expect("queue sized to budget")
+            })
+            .collect();
+        for h in handles {
+            h.wait().expect("forecast");
+        }
+        let completed = server.stats().completed;
+        server.shutdown().expect("clean shutdown");
+        completed
+    }
+
+    /// One-layer small model, shared by training and the serve factory so
+    /// the checkpoint restores into the exact architecture it came from.
+    fn model_config(n: usize) -> D2stgnnConfig {
+        let mut cfg = D2stgnnConfig::small(n);
+        cfg.layers = 1;
+        cfg
+    }
+
+    fn request_at(data: &WindowedDataset, start: usize) -> InferRequest {
+        let (th, n) = (data.th(), data.num_nodes());
+        let raw = data.data();
+        let mut window = Array::zeros(&[th, n, 1]);
+        let (mut tod, mut dow) = (Vec::new(), Vec::new());
+        for t in 0..th {
+            tod.push(raw.time_of_day(start + t));
+            dow.push(raw.day_of_week(start + t));
+            for i in 0..n {
+                window.set(&[t, i, 0], raw.values.at(&[start + t, i]));
+            }
+        }
+        InferRequest {
+            model: "d2stgnn".to_string(),
+            window,
+            tod,
+            dow,
+            deadline: None,
+        }
+    }
+
+    /// Parse the JSONL file back, check the v1 record schema on every line,
+    /// and return (total lines, number of training-epoch spans).
+    fn validate_jsonl() -> (usize, usize) {
+        let text = std::fs::read_to_string(JSONL_PATH).expect("read jsonl back");
+        let mut lines = 0usize;
+        let mut epoch_spans = 0usize;
+        let mut seen_serve = [false; 3];
+        const SERVE_SPANS: [&str; 3] = [
+            "d2stgnn_serve_batch",
+            "d2stgnn_serve_forward",
+            "d2stgnn_serve_postprocess",
+        ];
+        for line in text.lines() {
+            lines += 1;
+            let value: Value = serde_json::from_str(line)
+                .unwrap_or_else(|e| panic!("line {lines} is not valid JSON ({e}): {line}"));
+            let Value::Object(fields) = value else {
+                panic!("line {lines} is not an object: {line}");
+            };
+            let get = |key: &str| fields.iter().find(|(k, _)| k == key).map(|(_, v)| v);
+            let kind = match get("type") {
+                Some(Value::String(s)) if s == "span" || s == "event" => s.clone(),
+                other => panic!("line {lines}: bad `type` {other:?}"),
+            };
+            let name = match get("name") {
+                Some(Value::String(s)) => s.clone(),
+                other => panic!("line {lines}: bad `name` {other:?}"),
+            };
+            for key in ["id", "parent", "ts_us"] {
+                assert!(
+                    matches!(get(key), Some(Value::Number(Number::PosInt(_)))),
+                    "line {lines}: `{key}` missing or not an unsigned integer"
+                );
+            }
+            if kind == "span" {
+                assert!(
+                    matches!(get("dur_us"), Some(Value::Number(Number::PosInt(_)))),
+                    "line {lines}: span without `dur_us`"
+                );
+            }
+            assert!(
+                matches!(get("fields"), Some(Value::Object(_))),
+                "line {lines}: `fields` missing or not an object"
+            );
+            if kind == "span" && name == "d2stgnn_core_train_epoch" {
+                epoch_spans += 1;
+            }
+            if let Some(i) = SERVE_SPANS.iter().position(|s| *s == name) {
+                seen_serve[i] = true;
+            }
+        }
+        assert!(
+            epoch_spans >= 2,
+            "expected >=2 training epoch spans, saw {epoch_spans}"
+        );
+        for (i, seen) in seen_serve.iter().enumerate() {
+            assert!(seen, "serve stage span `{}` never emitted", SERVE_SPANS[i]);
+        }
+        (lines, epoch_spans)
+    }
+}

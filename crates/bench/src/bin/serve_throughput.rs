@@ -32,6 +32,7 @@ struct ThroughputRow {
     req_per_s: f64,
     p50_ms: f64,
     p95_ms: f64,
+    p99_ms: f64,
     mean_batch_size: f64,
 }
 
@@ -92,6 +93,7 @@ fn main() {
     let mut ha = HistoricalAverage::new();
     ha.fit(&data);
 
+    let mut rows = Vec::new();
     for max_batch in [1usize, 4, 16] {
         let network = data.data().network.clone();
         let factory: ModelFactory = Arc::new(move || {
@@ -144,8 +146,16 @@ fn main() {
             req_per_s: stats.requests as f64 / elapsed.as_secs_f64(),
             p50_ms: stats.p50_latency.as_secs_f64() * 1e3,
             p95_ms: stats.p95_latency.as_secs_f64() * 1e3,
+            p99_ms: stats.p99_latency.as_secs_f64() * 1e3,
             mean_batch_size: stats.mean_batch_size,
         };
         println!("{}", serde_json::to_string(&row).expect("row serialize"));
+        rows.push(row);
     }
+
+    let config = format!(r#"{{"requests":{budget},"batch_sizes":[1,4,16],"workers":2}}"#);
+    let results = serde_json::to_string(&rows).expect("rows serialize");
+    let path = d2stgnn_bench::write_bench_artifact("serve_throughput", &config, &results)
+        .expect("write artifact");
+    eprintln!("[serve_throughput] artifact: {}", path.display());
 }

@@ -500,19 +500,108 @@ fn with_neural_model<T>(
     }
 }
 
-/// Write results as JSON under `target/experiments/<name>.json`.
+/// Write results as JSON under `target/experiments/<name>.json`, plus the
+/// companion `BENCH_<name>.json` telemetry artifact (see
+/// [`write_bench_artifact`]).
 pub fn save_results(name: &str, results: &[RunResult]) -> std::io::Result<std::path::PathBuf> {
     let dir = std::path::Path::new("target/experiments");
     std::fs::create_dir_all(dir)?;
     let path = dir.join(format!("{name}.json"));
     let json = serde_json::to_string_pretty(results).expect("results serialize");
-    std::fs::write(&path, json)?;
+    std::fs::write(&path, &json)?;
+    write_bench_artifact(name, "null", &json)?;
     Ok(path)
+}
+
+/// Schema tag stamped into every `BENCH_<name>.json` artifact.
+pub const BENCH_SCHEMA: &str = "d2stgnn-bench-v1";
+
+/// Write `target/experiments/BENCH_<name>.json`: a self-describing benchmark
+/// artifact bundling a unique run id, the configuration that produced the
+/// run, a snapshot of the telemetry registry (empty unless built with the
+/// `obsv` feature), and the run's results. `config_json` and `results_json`
+/// must be valid JSON documents (pass `"null"` when there is nothing to
+/// record).
+pub fn write_bench_artifact(
+    name: &str,
+    config_json: &str,
+    results_json: &str,
+) -> std::io::Result<std::path::PathBuf> {
+    let dir = std::path::Path::new("target/experiments");
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("BENCH_{name}.json"));
+    std::fs::write(
+        &path,
+        compose_bench_artifact(name, config_json, results_json)?,
+    )?;
+    Ok(path)
+}
+
+fn compose_bench_artifact(
+    name: &str,
+    config_json: &str,
+    results_json: &str,
+) -> std::io::Result<String> {
+    let parse = |label: &str, s: &str| -> std::io::Result<serde::Value> {
+        serde_json::from_str(s).map_err(|e| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("bench artifact {label} is not valid JSON: {e}"),
+            )
+        })
+    };
+    let config = parse("config", config_json)?;
+    let results = parse("results", results_json)?;
+    let metrics = parse("metrics", &d2stgnn_obsv::registry().snapshot().to_json())?;
+    let doc = serde::Value::Object(vec![
+        ("schema".into(), serde::Value::String(BENCH_SCHEMA.into())),
+        ("run_id".into(), serde::Value::String(bench_run_id())),
+        ("name".into(), serde::Value::String(name.into())),
+        ("config".into(), config),
+        ("metrics".into(), metrics),
+        ("results".into(), results),
+    ]);
+    let mut json = serde_json::to_string_pretty(&doc).expect("artifact serialize");
+    json.push('\n');
+    Ok(json)
+}
+
+/// Best-effort unique id for one benchmark invocation: wall-clock micros
+/// since the epoch plus the process id, both in hex.
+fn bench_run_id() -> String {
+    let micros = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_micros())
+        .unwrap_or(0);
+    format!("{micros:x}-{:x}", std::process::id())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn bench_artifact_carries_schema_run_id_and_payloads() {
+        let json = compose_bench_artifact("unit", r#"{"epochs":2}"#, r#"[{"mae":1.5}]"#).unwrap();
+        let doc: serde::Value = serde_json::from_str(&json).unwrap();
+        let serde::Value::Object(fields) = doc else {
+            panic!("artifact must be an object");
+        };
+        let get = |key: &str| {
+            fields
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v)
+                .unwrap_or_else(|| panic!("missing key {key}"))
+        };
+        assert_eq!(get("schema"), &serde::Value::String(BENCH_SCHEMA.into()));
+        assert!(matches!(get("run_id"), serde::Value::String(s) if !s.is_empty()));
+        assert_eq!(get("name"), &serde::Value::String("unit".into()));
+        assert!(matches!(get("config"), serde::Value::Object(_)));
+        assert!(matches!(get("metrics"), serde::Value::Object(_)));
+        assert!(matches!(get("results"), serde::Value::Array(_)));
+        assert!(compose_bench_artifact("bad", "{not json", "null").is_err());
+    }
 
     #[test]
     fn lineup_matches_paper_order() {

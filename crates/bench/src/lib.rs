@@ -23,6 +23,6 @@ pub mod harness;
 pub mod table;
 
 pub use harness::{
-    d2_config, model_size, run_model, run_timing, save_results, train_config, D2Variant, ModelSpec,
-    RunResult,
+    d2_config, model_size, run_model, run_timing, save_results, train_config, write_bench_artifact,
+    D2Variant, ModelSpec, RunResult, BENCH_SCHEMA,
 };

@@ -164,10 +164,14 @@ impl Trainer {
             {
                 opt.set_learning_rate(opt.learning_rate() * self.cfg.lr_decay);
             }
+            let mut epoch_span = d2stgnn_obsv::span!("d2stgnn_core_train_epoch", epoch = epoch);
+            d2stgnn_obsv::record!(epoch_span, lr = f64::from(opt.learning_rate()));
+            d2stgnn_obsv::gauge_set!("d2stgnn_core_train_lr", f64::from(opt.learning_rate()));
             let start = Instant::now();
             let mut loss_sum = 0f64;
             let mut loss_count = 0usize;
             for idx in data.epoch_batches(Split::Train, self.cfg.batch_size, true, &mut rng) {
+                let mut batch_span = d2stgnn_obsv::span!("d2stgnn_core_train_batch");
                 let batch = data.batch(Split::Train, &idx);
                 // Curriculum: supervise horizons 1..=level.
                 let level = if self.cfg.curriculum {
@@ -191,8 +195,17 @@ impl Trainer {
                     "training diverged: non-finite loss at epoch {epoch}"
                 );
                 loss.backward();
-                clip_grad_norm(&params, self.cfg.clip_norm);
+                let grad_norm = clip_grad_norm(&params, self.cfg.clip_norm);
                 opt.step();
+                d2stgnn_obsv::counter_add!("d2stgnn_core_train_batches_total", 1);
+                d2stgnn_obsv::record!(batch_span, level = level);
+                d2stgnn_obsv::record!(batch_span, loss = loss_val);
+                d2stgnn_obsv::record!(batch_span, grad_norm = grad_norm);
+                d2stgnn_obsv::record!(
+                    batch_span,
+                    grad_norm_clipped = grad_norm.min(self.cfg.clip_norm)
+                );
+                d2stgnn_obsv::observe!("d2stgnn_core_train_grad_norm", f64::from(grad_norm));
                 loss_sum += loss_val as f64;
                 loss_count += 1;
                 iteration += 1;
@@ -206,13 +219,17 @@ impl Trainer {
                 val_mae: val.overall.mae,
                 seconds,
             };
+            d2stgnn_obsv::record!(epoch_span, train_loss = stats.train_loss);
+            d2stgnn_obsv::record!(epoch_span, val_mae = stats.val_mae);
+            d2stgnn_obsv::record!(epoch_span, seconds = seconds);
+            drop(epoch_span);
             if self.cfg.verbose {
-                eprintln!(
+                d2stgnn_obsv::console_line(&format!(
                     "[{}] epoch {epoch:3}: train {:.4}  val MAE {:.4}  ({seconds:.1}s)",
                     model.name(),
                     stats.train_loss,
                     stats.val_mae
-                );
+                ));
             }
             report.epochs.push(stats);
 
@@ -230,11 +247,19 @@ impl Trainer {
         }
 
         if max_level_reached < tf {
-            eprintln!(
-                "[{}] WARNING: curriculum only reached horizon {max_level_reached}/{tf}; \
-                 horizons beyond that were never supervised. Lower cl_step or raise max_epochs.",
-                model.name()
+            d2stgnn_obsv::event!(
+                "d2stgnn_core_train_curriculum_truncated",
+                max_level = max_level_reached,
+                horizon = tf
             );
+            if self.cfg.verbose {
+                d2stgnn_obsv::console_line(&format!(
+                    "[{}] WARNING: curriculum only reached horizon {max_level_reached}/{tf}; \
+                     horizons beyond that were never supervised. Lower cl_step or raise \
+                     max_epochs.",
+                    model.name()
+                ));
+            }
         }
         // Restore the best parameters (early-stopping checkpoint).
         if let Some(best) = best_params {

@@ -1,0 +1,113 @@
+//! Prometheus text-format exposition of the metrics registry.
+//!
+//! Counters and gauges render as their native types; histograms render as
+//! Prometheus *summaries* (pre-computed `quantile="0.5|0.95|0.99"` series
+//! plus `_sum` and `_count`), since the log-bucket layout is an internal
+//! detail and the quantile estimates are what dashboards consume.
+
+use crate::metrics::{registry, MetricsSnapshot, Registry};
+
+/// Render the global registry in the Prometheus text exposition format.
+pub fn render_prometheus() -> String {
+    render_prometheus_for(registry())
+}
+
+/// Render a specific registry (tests use private registries).
+pub fn render_prometheus_for(reg: &Registry) -> String {
+    render_snapshot(&reg.snapshot())
+}
+
+fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        out.push_str(&v.to_string());
+    } else if v.is_nan() {
+        out.push_str("NaN");
+    } else if v > 0.0 {
+        out.push_str("+Inf");
+    } else {
+        out.push_str("-Inf");
+    }
+}
+
+fn render_snapshot(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for (name, value) in &snap.counters {
+        out.push_str("# TYPE ");
+        out.push_str(name);
+        out.push_str(" counter\n");
+        out.push_str(name);
+        out.push(' ');
+        out.push_str(&value.to_string());
+        out.push('\n');
+    }
+    for (name, value) in &snap.gauges {
+        out.push_str("# TYPE ");
+        out.push_str(name);
+        out.push_str(" gauge\n");
+        out.push_str(name);
+        out.push(' ');
+        push_f64(&mut out, *value);
+        out.push('\n');
+    }
+    for (name, h) in &snap.histograms {
+        out.push_str("# TYPE ");
+        out.push_str(name);
+        out.push_str(" summary\n");
+        for (q, v) in [("0.5", h.p50), ("0.95", h.p95), ("0.99", h.p99)] {
+            out.push_str(name);
+            out.push_str("{quantile=\"");
+            out.push_str(q);
+            out.push_str("\"} ");
+            push_f64(&mut out, v);
+            out.push('\n');
+        }
+        out.push_str(name);
+        out.push_str("_sum ");
+        push_f64(&mut out, h.sum);
+        out.push('\n');
+        out.push_str(name);
+        out.push_str("_count ");
+        out.push_str(&h.count.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_all_metric_kinds() {
+        let reg = Registry::new();
+        reg.counter("d2stgnn_test_requests_total").add(7);
+        reg.gauge("d2stgnn_test_queue_depth").set(3.5);
+        let h = reg.histogram("d2stgnn_test_latency_seconds");
+        for i in 1..=100 {
+            h.observe(f64::from(i) / 1000.0);
+        }
+        let text = render_prometheus_for(&reg);
+        assert!(text.contains("# TYPE d2stgnn_test_requests_total counter\n"));
+        assert!(text.contains("d2stgnn_test_requests_total 7\n"));
+        assert!(text.contains("# TYPE d2stgnn_test_queue_depth gauge\n"));
+        assert!(text.contains("d2stgnn_test_queue_depth 3.5\n"));
+        assert!(text.contains("# TYPE d2stgnn_test_latency_seconds summary\n"));
+        assert!(text.contains("d2stgnn_test_latency_seconds{quantile=\"0.5\"}"));
+        assert!(text.contains("d2stgnn_test_latency_seconds{quantile=\"0.95\"}"));
+        assert!(text.contains("d2stgnn_test_latency_seconds{quantile=\"0.99\"}"));
+        assert!(text.contains("d2stgnn_test_latency_seconds_count 100\n"));
+        // Every non-comment line is `name[{labels}] value`.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let mut parts = line.rsplitn(2, ' ');
+            let value = parts.next().unwrap();
+            assert!(value.parse::<f64>().is_ok(), "bad value in line: {line}");
+            assert!(parts.next().is_some());
+        }
+    }
+
+    #[test]
+    fn empty_registry_renders_empty() {
+        let reg = Registry::new();
+        assert!(render_prometheus_for(&reg).is_empty());
+    }
+}

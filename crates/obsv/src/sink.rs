@@ -1,0 +1,166 @@
+//! Bounded JSONL event sink.
+//!
+//! Span and event records are rendered to single JSON lines *outside* the
+//! sink lock, then appended to an in-memory buffer; the buffer is written
+//! through when it reaches [`BUFFER_LINES`], on [`flush`], and when the
+//! sink is replaced or dropped. When no sink is installed, records are
+//! discarded (metrics still accumulate). Write failures drop the buffered
+//! lines and count them in [`dropped_lines`] instead of panicking inside
+//! instrumented code.
+//!
+//! Record schema (one JSON object per line):
+//!
+//! ```json
+//! {"type":"span","name":"d2stgnn_core_train_epoch","id":7,"parent":3,
+//!  "ts_us":120034,"dur_us":95021,"fields":{"epoch":0,"train_loss":1.25}}
+//! {"type":"event","name":"...","id":8,"parent":7,"ts_us":130001,"fields":{}}
+//! ```
+//!
+//! `ts_us` is microseconds since the first record of the process (monotonic
+//! clock), `dur_us` is present on spans only.
+
+use crate::span::{escape_json_into, FieldValue};
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock, PoisonError};
+use std::time::{Duration, Instant};
+
+/// Buffered lines before an inline write-through.
+const BUFFER_LINES: usize = 1024;
+
+struct SinkState {
+    writer: Box<dyn Write + Send>,
+    buf: Vec<String>,
+}
+
+impl SinkState {
+    fn flush_buffer(&mut self) -> std::io::Result<()> {
+        for line in &self.buf {
+            self.writer.write_all(line.as_bytes())?;
+            self.writer.write_all(b"\n")?;
+        }
+        self.buf.clear();
+        self.writer.flush()
+    }
+}
+
+impl Drop for SinkState {
+    fn drop(&mut self) {
+        // Flushed on drop; errors at teardown are unreportable.
+        if self.flush_buffer().is_err() {
+            DROPPED.fetch_add(self.buf.len() as u64, Ordering::Relaxed);
+        }
+    }
+}
+
+static SINK: Mutex<Option<SinkState>> = Mutex::new(None);
+static DROPPED: AtomicU64 = AtomicU64::new(0);
+static BASE: OnceLock<Instant> = OnceLock::new();
+
+fn lock_sink() -> std::sync::MutexGuard<'static, Option<SinkState>> {
+    SINK.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Route telemetry records to a JSONL file at `path` (created/truncated).
+/// Replaces (and flushes) any previously installed sink.
+pub fn init_jsonl(path: impl AsRef<Path>) -> std::io::Result<()> {
+    let file = File::create(path)?;
+    set_writer(Box::new(BufWriter::new(file)));
+    Ok(())
+}
+
+/// Route telemetry records to an arbitrary writer (tests use in-memory
+/// buffers). Replaces (and flushes) any previously installed sink.
+pub fn set_writer(writer: Box<dyn Write + Send>) {
+    let previous = lock_sink().replace(SinkState {
+        writer,
+        buf: Vec::new(),
+    });
+    drop(previous); // flushes via SinkState::drop outside the replace call
+}
+
+/// Write buffered lines through to the sink writer.
+pub fn flush() -> std::io::Result<()> {
+    match lock_sink().as_mut() {
+        Some(state) => state.flush_buffer(),
+        None => Ok(()),
+    }
+}
+
+/// Flush and uninstall the sink. Subsequent records are discarded until a
+/// new sink is installed.
+pub fn shutdown() {
+    *lock_sink() = None; // SinkState::drop flushes
+}
+
+/// Lines lost to sink write failures (not: lines emitted with no sink
+/// installed, which are intentionally discarded).
+pub fn dropped_lines() -> u64 {
+    DROPPED.load(Ordering::Relaxed)
+}
+
+/// Microseconds since the process's first telemetry record.
+fn ts_micros(at: Instant) -> u64 {
+    let base = *BASE.get_or_init(|| at);
+    at.saturating_duration_since(base).as_micros() as u64
+}
+
+/// Render and enqueue one record. `dur` present for spans, absent for
+/// events.
+pub(crate) fn emit_record(
+    kind: &str,
+    name: &str,
+    id: u64,
+    parent: u64,
+    start: Instant,
+    dur: Option<Duration>,
+    fields: &[(&'static str, FieldValue)],
+) {
+    // Cheap early-out before rendering: no sink, no work.
+    {
+        if lock_sink().is_none() {
+            return;
+        }
+    }
+    let mut line = String::with_capacity(96 + fields.len() * 24);
+    line.push_str("{\"type\":\"");
+    line.push_str(kind);
+    line.push_str("\",\"name\":\"");
+    escape_json_into(name, &mut line);
+    line.push_str("\",\"id\":");
+    line.push_str(&id.to_string());
+    line.push_str(",\"parent\":");
+    line.push_str(&parent.to_string());
+    line.push_str(",\"ts_us\":");
+    line.push_str(&ts_micros(start).to_string());
+    if let Some(d) = dur {
+        line.push_str(",\"dur_us\":");
+        line.push_str(&(d.as_micros() as u64).to_string());
+    }
+    line.push_str(",\"fields\":{");
+    for (i, (key, value)) in fields.iter().enumerate() {
+        if i > 0 {
+            line.push(',');
+        }
+        line.push('"');
+        escape_json_into(key, &mut line);
+        line.push_str("\":");
+        value.render_json(&mut line);
+    }
+    line.push_str("}}");
+
+    let mut guard = lock_sink();
+    let Some(state) = guard.as_mut() else {
+        return; // sink removed between the early-out and now
+    };
+    state.buf.push(line);
+    if state.buf.len() >= BUFFER_LINES {
+        let pending = state.buf.len() as u64;
+        if state.flush_buffer().is_err() {
+            DROPPED.fetch_add(pending, Ordering::Relaxed);
+            state.buf.clear();
+        }
+    }
+}

@@ -15,7 +15,7 @@
 //! - Degradation — a fitted [`d2stgnn_baselines::HistoricalAverage`] can be
 //!   registered as fallback; shed requests (full queue) and requests whose
 //!   deadline passed are answered from its lookup table instead of failing.
-//! - [`ServerStats`] — request/batch/shed/fallback counters plus p50/p95
+//! - [`ServerStats`] — request/batch/shed/fallback counters plus p50/p95/p99
 //!   end-to-end latency.
 //!
 //! ```no_run

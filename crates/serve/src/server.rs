@@ -231,6 +231,7 @@ impl Server {
                 tx,
             });
             self.shared.stats.accepted();
+            d2stgnn_obsv::gauge_set!("d2stgnn_serve_queue_depth", queue.len() as f64);
         }
         self.shared.notify.notify_all();
         Ok(ForecastHandle { rx })
@@ -414,6 +415,7 @@ fn worker_loop(shared: &Shared) {
                 lockorder::wait_timeout(&shared.notify, queue, hold_until - now);
             queue = guard;
         }
+        d2stgnn_obsv::gauge_set!("d2stgnn_serve_queue_depth", queue.len() as f64);
         drop(queue);
         process_batch(shared, &mut cache, version, batch, &mut rng);
         shared.notify.notify_all();
@@ -438,11 +440,18 @@ fn process_batch(
         return;
     };
 
+    let mut batch_span = d2stgnn_obsv::span!("d2stgnn_serve_batch");
+    d2stgnn_obsv::record!(batch_span, model = version.name());
+
     // Degrade requests whose deadline already passed.
     let now = Instant::now();
     let fallback = shared.fallback.lock().clone();
     let mut live = Vec::with_capacity(pending.len());
     for p in pending {
+        d2stgnn_obsv::observe!(
+            "d2stgnn_serve_queue_wait_seconds",
+            now.saturating_duration_since(p.enqueued).as_secs_f64()
+        );
         let expired = p.request.deadline.is_some_and(|d| now > d);
         if !expired {
             live.push(p);
@@ -517,10 +526,18 @@ fn process_batch(
         dow,
     };
 
-    let out = no_grad(|| model.forward(&batch, false, rng)).value();
+    d2stgnn_obsv::record!(batch_span, batch_size = b);
+    let out = {
+        let _forward_span = d2stgnn_obsv::span!("d2stgnn_serve_forward", batch_size = b);
+        d2stgnn_obsv::gauge_add!("d2stgnn_serve_in_flight", b as f64);
+        let out = no_grad(|| model.forward(&batch, false, rng)).value();
+        d2stgnn_obsv::gauge_add!("d2stgnn_serve_in_flight", -(b as f64));
+        out
+    };
     shared.stats.batch_done(b);
 
     // Fan the rows back out, de-normalized.
+    let _post_span = d2stgnn_obsv::span!("d2stgnn_serve_postprocess", batch_size = b);
     for (bi, p) in live.into_iter().enumerate() {
         let mut values = Array::zeros(&[tf, n]);
         for t in 0..tf {

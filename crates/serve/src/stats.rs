@@ -1,4 +1,11 @@
 //! Server-side counters and latency percentiles.
+//!
+//! Every counter bump and latency observation is mirrored into the
+//! `d2stgnn_serve_*` metrics of [`d2stgnn_obsv`] (a no-op unless the `obsv`
+//! feature is on), so the Prometheus dump and the [`ServerStats`] snapshot
+//! tell the same story. The exact-window percentiles here stay authoritative
+//! for `ServerStats`; the obsv histogram trades a bounded (~12%) quantile
+//! error for a full-lifetime view and text exposition.
 
 use crate::lockorder::OrderedMutex;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -26,6 +33,8 @@ pub struct ServerStats {
     pub p50_latency: Duration,
     /// 95th-percentile end-to-end latency over the recent window.
     pub p95_latency: Duration,
+    /// 99th-percentile end-to-end latency over the recent window.
+    pub p99_latency: Duration,
     /// Mean requests per executed micro-batch (zero before the first batch).
     pub mean_batch_size: f64,
 }
@@ -63,28 +72,35 @@ impl Default for StatsRecorder {
 impl StatsRecorder {
     pub(crate) fn accepted(&self) {
         self.requests.fetch_add(1, Ordering::Relaxed);
+        d2stgnn_obsv::counter_add!("d2stgnn_serve_requests_total", 1);
     }
 
     pub(crate) fn shed(&self) {
         self.sheds.fetch_add(1, Ordering::Relaxed);
+        d2stgnn_obsv::counter_add!("d2stgnn_serve_sheds_total", 1);
     }
 
     pub(crate) fn fallback(&self) {
         self.fallback_served.fetch_add(1, Ordering::Relaxed);
+        d2stgnn_obsv::counter_add!("d2stgnn_serve_fallback_total", 1);
     }
 
     pub(crate) fn deadline_miss(&self) {
         self.deadline_misses.fetch_add(1, Ordering::Relaxed);
+        d2stgnn_obsv::counter_add!("d2stgnn_serve_deadline_misses_total", 1);
     }
 
     pub(crate) fn batch_done(&self, size: usize) {
         self.batches.fetch_add(1, Ordering::Relaxed);
         self.batched_requests
             .fetch_add(size as u64, Ordering::Relaxed);
+        d2stgnn_obsv::counter_add!("d2stgnn_serve_batches_total", 1);
+        d2stgnn_obsv::observe!("d2stgnn_serve_batch_size", size as f64);
     }
 
     pub(crate) fn request_done(&self, latency: Duration) {
         self.completed.fetch_add(1, Ordering::Relaxed);
+        d2stgnn_obsv::observe!("d2stgnn_serve_request_seconds", latency.as_secs_f64());
         let nanos = latency.as_nanos().min(u64::MAX as u128) as u64;
         let slot = self.cursor.fetch_add(1, Ordering::Relaxed) as usize % LATENCY_WINDOW;
         let mut window = self.latencies.lock();
@@ -97,7 +113,7 @@ impl StatsRecorder {
 
     /// Snapshot the counters and recompute percentiles.
     pub fn snapshot(&self) -> ServerStats {
-        let (p50, p95) = {
+        let (p50, p95, p99) = {
             let window = self.latencies.lock();
             percentiles(&window)
         };
@@ -112,6 +128,7 @@ impl StatsRecorder {
             deadline_misses: self.deadline_misses.load(Ordering::Relaxed),
             p50_latency: p50,
             p95_latency: p95,
+            p99_latency: p99,
             mean_batch_size: if batches > 0 {
                 batched as f64 / batches as f64
             } else {
@@ -121,9 +138,9 @@ impl StatsRecorder {
     }
 }
 
-fn percentiles(nanos: &[u64]) -> (Duration, Duration) {
+fn percentiles(nanos: &[u64]) -> (Duration, Duration, Duration) {
     if nanos.is_empty() {
-        return (Duration::ZERO, Duration::ZERO);
+        return (Duration::ZERO, Duration::ZERO, Duration::ZERO);
     }
     let mut sorted = nanos.to_vec();
     sorted.sort_unstable();
@@ -131,7 +148,7 @@ fn percentiles(nanos: &[u64]) -> (Duration, Duration) {
         let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
         Duration::from_nanos(sorted[idx])
     };
-    (pick(0.50), pick(0.95))
+    (pick(0.50), pick(0.95), pick(0.99))
 }
 
 #[cfg(test)]
@@ -157,6 +174,8 @@ mod tests {
         // Nearest-rank at (len-1) * 0.5 = 49.5 rounds up to index 50.
         assert_eq!(s.p50_latency, Duration::from_millis(51));
         assert_eq!(s.p95_latency, Duration::from_millis(95));
+        // (len-1) * 0.99 = 98.01 rounds down to index 98.
+        assert_eq!(s.p99_latency, Duration::from_millis(99));
     }
 
     #[test]

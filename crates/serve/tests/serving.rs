@@ -136,6 +136,36 @@ fn batched_forward_is_bit_identical_to_sequential() {
     assert_eq!(stats.batches, 1, "expected one fused micro-batch");
     assert_eq!(stats.mean_batch_size, 8.0);
     assert!(stats.p95_latency >= stats.p50_latency);
+    assert!(stats.p99_latency >= stats.p95_latency);
+    server.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn latency_percentiles_populate_and_stay_ordered() {
+    let data = dataset();
+    let registry = Arc::new(ModelRegistry::new());
+    register(&registry, &data, "d2stgnn", 7);
+
+    let server = Server::start(
+        Arc::clone(&registry),
+        ServeConfig {
+            workers: 1,
+            max_batch: 4,
+            max_wait: Duration::from_millis(1),
+            queue_capacity: 64,
+        },
+    )
+    .expect("start server");
+    for w in 0..12 {
+        server
+            .infer(request_for(&data, Split::Test, w % 4, "d2stgnn"))
+            .expect("infer");
+    }
+    let stats = server.stats();
+    assert_eq!(stats.completed, 12);
+    assert!(stats.p50_latency > Duration::ZERO);
+    assert!(stats.p95_latency >= stats.p50_latency);
+    assert!(stats.p99_latency >= stats.p95_latency);
     server.shutdown().expect("clean shutdown");
 }
 

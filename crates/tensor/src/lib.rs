@@ -34,6 +34,7 @@ pub mod losses;
 pub mod nn;
 mod ops;
 pub mod optim;
+mod profile;
 #[cfg(feature = "sanitize")]
 mod sanitize;
 pub mod shape;
@@ -42,4 +43,5 @@ pub mod testing;
 
 pub use array::Array;
 pub use error::TensorError;
+pub use profile::{OpStat, ProfileReport, Tape};
 pub use tensor::{no_grad, Tensor};

@@ -16,6 +16,7 @@ impl Tensor {
 
     /// Elementwise addition with broadcasting.
     pub fn add(&self, other: &Tensor) -> Tensor {
+        let _prof = crate::profile::op_scope("add");
         let out = self.with_value(|a| other.with_value(|b| a.add(b)));
         let (sa, sb) = (self.shape(), other.shape());
         Tensor::from_op(
@@ -27,6 +28,7 @@ impl Tensor {
 
     /// Elementwise subtraction with broadcasting.
     pub fn sub(&self, other: &Tensor) -> Tensor {
+        let _prof = crate::profile::op_scope("sub");
         let out = self.with_value(|a| other.with_value(|b| a.sub(b)));
         let (sa, sb) = (self.shape(), other.shape());
         Tensor::from_op(
@@ -43,6 +45,7 @@ impl Tensor {
 
     /// Elementwise multiplication with broadcasting.
     pub fn mul(&self, other: &Tensor) -> Tensor {
+        let _prof = crate::profile::op_scope("mul");
         let (av, bv) = (self.value(), other.value());
         let out = av.mul(&bv);
         let (sa, sb) = (av.shape().to_vec(), bv.shape().to_vec());
@@ -60,6 +63,7 @@ impl Tensor {
 
     /// Elementwise division with broadcasting.
     pub fn div(&self, other: &Tensor) -> Tensor {
+        let _prof = crate::profile::op_scope("div");
         let (av, bv) = (self.value(), other.value());
         let out = av.div(&bv);
         let (sa, sb) = (av.shape().to_vec(), bv.shape().to_vec());
@@ -84,11 +88,13 @@ impl Tensor {
 
     /// Negation.
     pub fn neg(&self) -> Tensor {
+        let _prof = crate::profile::op_scope("neg");
         self.scale(-1.0)
     }
 
     /// Multiply by a scalar constant.
     pub fn scale(&self, s: f32) -> Tensor {
+        let _prof = crate::profile::op_scope("scale");
         let out = self.with_value(|a| a.scale(s));
         Tensor::from_op(
             out,
@@ -99,12 +105,14 @@ impl Tensor {
 
     /// Add a scalar constant.
     pub fn add_scalar(&self, s: f32) -> Tensor {
+        let _prof = crate::profile::op_scope("add_scalar");
         let out = self.with_value(|a| a.add_scalar(s));
         Tensor::from_op(out, vec![self.clone()], Box::new(|g| vec![Some(g.clone())]))
     }
 
     /// Rectified linear unit.
     pub fn relu(&self) -> Tensor {
+        let _prof = crate::profile::op_scope("relu");
         let xv = self.value();
         let out = xv.map(|v| v.max(0.0));
         Tensor::from_op(
@@ -116,6 +124,7 @@ impl Tensor {
 
     /// Logistic sigmoid.
     pub fn sigmoid(&self) -> Tensor {
+        let _prof = crate::profile::op_scope("sigmoid");
         let out = self.with_value(|a| a.map(|v| 1.0 / (1.0 + (-v).exp())));
         let y = out.clone();
         Tensor::from_op(
@@ -127,6 +136,7 @@ impl Tensor {
 
     /// Hyperbolic tangent.
     pub fn tanh(&self) -> Tensor {
+        let _prof = crate::profile::op_scope("tanh");
         let out = self.with_value(|a| a.map(f32::tanh));
         let y = out.clone();
         Tensor::from_op(
@@ -138,6 +148,7 @@ impl Tensor {
 
     /// Elementwise exponential.
     pub fn exp(&self) -> Tensor {
+        let _prof = crate::profile::op_scope("exp");
         let out = self.with_value(|a| a.map(f32::exp));
         let y = out.clone();
         Tensor::from_op(
@@ -149,6 +160,7 @@ impl Tensor {
 
     /// Elementwise absolute value (subgradient 0 at 0).
     pub fn abs(&self) -> Tensor {
+        let _prof = crate::profile::op_scope("abs");
         let xv = self.value();
         let out = xv.map(f32::abs);
         Tensor::from_op(
@@ -164,6 +176,7 @@ impl Tensor {
 
     /// Elementwise square.
     pub fn square(&self) -> Tensor {
+        let _prof = crate::profile::op_scope("square");
         let xv = self.value();
         let out = xv.map(|v| v * v);
         Tensor::from_op(
@@ -175,6 +188,7 @@ impl Tensor {
 
     /// Elementwise square root.
     pub fn sqrt(&self) -> Tensor {
+        let _prof = crate::profile::op_scope("sqrt");
         let out = self.with_value(|a| a.map(f32::sqrt));
         let y = out.clone();
         Tensor::from_op(
@@ -192,6 +206,7 @@ impl Tensor {
     /// Inverted dropout: keeps each element with probability `1 - p`,
     /// scaling survivors by `1/(1-p)`. Identity when `training` is false.
     pub fn dropout<R: Rng>(&self, p: f32, training: bool, rng: &mut R) -> Tensor {
+        let _prof = crate::profile::op_scope("dropout");
         assert!((0.0..1.0).contains(&p), "dropout p must be in [0,1)");
         if !training || p == 0.0 {
             return self.clone();
@@ -222,6 +237,7 @@ impl Tensor {
 
     /// Matrix multiplication (2-D, batched 3-D, or mixed; see [`Array::matmul`]).
     pub fn matmul(&self, other: &Tensor) -> Tensor {
+        let _prof = crate::profile::op_scope("matmul");
         let (av, bv) = (self.value(), other.value());
         let out = av.matmul(&bv);
         let (ra, rb) = (av.rank(), bv.rank());
@@ -248,6 +264,7 @@ impl Tensor {
 
     /// Reshape to a new shape with the same element count.
     pub fn reshape(&self, shape: &[usize]) -> Tensor {
+        let _prof = crate::profile::op_scope("reshape");
         let orig = self.shape();
         let out = self
             .with_value(|a| a.reshape(shape))
@@ -266,6 +283,7 @@ impl Tensor {
 
     /// Swap the last two axes.
     pub fn transpose(&self) -> Tensor {
+        let _prof = crate::profile::op_scope("transpose");
         let out = self.with_value(|a| a.transpose());
         Tensor::from_op(
             out,
@@ -276,6 +294,7 @@ impl Tensor {
 
     /// Permute axes.
     pub fn permute(&self, perm: &[usize]) -> Tensor {
+        let _prof = crate::profile::op_scope("permute");
         let out = self.with_value(|a| a.permute(perm));
         let mut inverse = vec![0usize; perm.len()];
         for (i, &p) in perm.iter().enumerate() {
@@ -290,6 +309,7 @@ impl Tensor {
 
     /// Concatenate tensors along `axis`.
     pub fn concat(tensors: &[&Tensor], axis: usize) -> Tensor {
+        let _prof = crate::profile::op_scope("concat");
         assert!(!tensors.is_empty(), "concat: empty input");
         let values: Vec<Array> = tensors.iter().map(|t| t.value()).collect();
         let refs: Vec<&Array> = values.iter().collect();
@@ -313,6 +333,7 @@ impl Tensor {
 
     /// Stack same-shaped tensors along a new axis.
     pub fn stack(tensors: &[&Tensor], axis: usize) -> Tensor {
+        let _prof = crate::profile::op_scope("stack");
         assert!(!tensors.is_empty(), "stack: empty input");
         let expanded: Vec<Tensor> = tensors
             .iter()
@@ -328,6 +349,7 @@ impl Tensor {
 
     /// Slice `[start, end)` along `axis`.
     pub fn slice_axis(&self, axis: usize, start: usize, end: usize) -> Tensor {
+        let _prof = crate::profile::op_scope("slice_axis");
         let orig = self.shape();
         let out = self.with_value(|a| a.slice_axis(axis, start, end));
         Tensor::from_op(
@@ -343,6 +365,7 @@ impl Tensor {
 
     /// Gather slices along `axis` by index (embedding lookup when axis 0).
     pub fn index_select(&self, axis: usize, indices: &[usize]) -> Tensor {
+        let _prof = crate::profile::op_scope("index_select");
         let orig = self.shape();
         let idx = indices.to_vec();
         let out = self.with_value(|a| a.index_select(axis, indices));
@@ -359,6 +382,7 @@ impl Tensor {
 
     /// Materialized broadcast to `target` shape.
     pub fn broadcast_to(&self, target: &[usize]) -> Tensor {
+        let _prof = crate::profile::op_scope("broadcast_to");
         let orig = self.shape();
         let out = self
             .with_value(|a| a.broadcast_to(target))
@@ -376,6 +400,7 @@ impl Tensor {
 
     /// Sum of all elements (scalar output).
     pub fn sum_all(&self) -> Tensor {
+        let _prof = crate::profile::op_scope("sum_all");
         let orig = self.shape();
         let out = Array::scalar(self.with_value(|a| a.sum_all()));
         Tensor::from_op(
@@ -387,12 +412,14 @@ impl Tensor {
 
     /// Mean of all elements (scalar output).
     pub fn mean_all(&self) -> Tensor {
+        let _prof = crate::profile::op_scope("mean_all");
         let n = self.numel().max(1) as f32;
         self.sum_all().scale(1.0 / n)
     }
 
     /// Sum along `axis`.
     pub fn sum_axis(&self, axis: usize, keepdim: bool) -> Tensor {
+        let _prof = crate::profile::op_scope("sum_axis");
         let orig = self.shape();
         let out = self.with_value(|a| a.sum_axis(axis, keepdim));
         Tensor::from_op(
@@ -416,12 +443,14 @@ impl Tensor {
 
     /// Mean along `axis`.
     pub fn mean_axis(&self, axis: usize, keepdim: bool) -> Tensor {
+        let _prof = crate::profile::op_scope("mean_axis");
         let n = self.shape()[axis].max(1) as f32;
         self.sum_axis(axis, keepdim).scale(1.0 / n)
     }
 
     /// Numerically stable softmax along `axis`.
     pub fn softmax(&self, axis: usize) -> Tensor {
+        let _prof = crate::profile::op_scope("softmax");
         let out = self.with_value(|a| a.softmax(axis));
         let y = out.clone();
         Tensor::from_op(

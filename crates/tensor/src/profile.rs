@@ -1,0 +1,219 @@
+//! Optional tape profiler (cargo feature `obsv`).
+//!
+//! When profiling is armed via [`Tape::start_profiling`], every tensor op
+//! records its kind, call count, and cumulative wall time, and every graph
+//! node charges its value-buffer size against a live/peak tape-memory
+//! account (discharged when the node drops). [`Tape::profile_report`]
+//! surfaces the result. Nested ops (a loss calling `sub`/`abs`) each count
+//! under their own kind, so cumulative times overlap and do not sum to wall
+//! time.
+//!
+//! All state is thread-local (the tape itself is single-threaded) and the
+//! whole API exists without the feature — calls just do nothing and reports
+//! come back empty — so downstream code compiles identically either way.
+
+#[cfg(feature = "obsv")]
+use std::cell::{Cell, RefCell};
+#[cfg(feature = "obsv")]
+use std::collections::BTreeMap;
+#[cfg(feature = "obsv")]
+use std::time::Instant;
+
+/// Per-op-kind aggregate in a [`ProfileReport`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct OpStat {
+    /// Op kind (the tensor method name, or `"backward"` for the sweep).
+    pub kind: &'static str,
+    /// Number of calls while profiling was active.
+    pub calls: u64,
+    /// Cumulative wall time across those calls.
+    pub seconds: f64,
+}
+
+/// Snapshot of the profiler, from [`Tape::profile_report`]. Empty (no ops,
+/// zero bytes) when the `obsv` feature is off or profiling never ran.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ProfileReport {
+    /// Per-op aggregates, sorted by kind.
+    pub ops: Vec<OpStat>,
+    /// Graph nodes created while profiling was active.
+    pub nodes_created: u64,
+    /// Value-buffer bytes currently held by profiled live nodes.
+    pub live_tape_bytes: usize,
+    /// High-water mark of [`Self::live_tape_bytes`].
+    pub peak_tape_bytes: usize,
+}
+
+impl ProfileReport {
+    /// Render as an aligned text table, ops sorted by cumulative time.
+    pub fn format_table(&self) -> String {
+        let mut rows = self.ops.clone();
+        rows.sort_by(|a, b| b.seconds.total_cmp(&a.seconds));
+        let mut out = String::new();
+        out.push_str(&format!("{:<16} {:>10} {:>12}\n", "op", "calls", "seconds"));
+        for r in &rows {
+            out.push_str(&format!(
+                "{:<16} {:>10} {:>12.6}\n",
+                r.kind, r.calls, r.seconds
+            ));
+        }
+        out.push_str(&format!(
+            "nodes created: {}   tape bytes: {} live / {} peak\n",
+            self.nodes_created, self.live_tape_bytes, self.peak_tape_bytes
+        ));
+        out
+    }
+}
+
+/// Handle to the (thread-local) autograd tape's profiler. A unit struct:
+/// all methods are associated functions so call sites read
+/// `Tape::start_profiling()`.
+pub struct Tape;
+
+#[cfg(feature = "obsv")]
+#[derive(Default)]
+struct ProfState {
+    per_op: BTreeMap<&'static str, (u64, u64)>, // kind -> (calls, nanos)
+    nodes_created: u64,
+    live_bytes: usize,
+    peak_bytes: usize,
+}
+
+#[cfg(feature = "obsv")]
+thread_local! {
+    static ACTIVE: Cell<bool> = const { Cell::new(false) };
+    static STATE: RefCell<ProfState> = RefCell::new(ProfState::default());
+}
+
+impl Tape {
+    /// Reset counters and start profiling ops on this thread.
+    pub fn start_profiling() {
+        #[cfg(feature = "obsv")]
+        {
+            Self::reset_profile();
+            ACTIVE.with(|a| a.set(true));
+        }
+    }
+
+    /// Stop profiling; accumulated counters remain readable.
+    pub fn stop_profiling() {
+        #[cfg(feature = "obsv")]
+        ACTIVE.with(|a| a.set(false));
+    }
+
+    /// Whether profiling is currently active on this thread. Always `false`
+    /// without the `obsv` feature.
+    pub fn is_profiling() -> bool {
+        #[cfg(feature = "obsv")]
+        {
+            ACTIVE.with(Cell::get)
+        }
+        #[cfg(not(feature = "obsv"))]
+        {
+            false
+        }
+    }
+
+    /// Zero all counters (does not change whether profiling is active).
+    pub fn reset_profile() {
+        #[cfg(feature = "obsv")]
+        STATE.with(|s| *s.borrow_mut() = ProfState::default());
+    }
+
+    /// Snapshot the profiler state. Empty without the `obsv` feature.
+    pub fn profile_report() -> ProfileReport {
+        #[cfg(feature = "obsv")]
+        {
+            STATE.with(|s| {
+                let s = s.borrow();
+                ProfileReport {
+                    ops: s
+                        .per_op
+                        .iter()
+                        .map(|(kind, (calls, nanos))| OpStat {
+                            kind,
+                            calls: *calls,
+                            seconds: *nanos as f64 * 1e-9,
+                        })
+                        .collect(),
+                    nodes_created: s.nodes_created,
+                    live_tape_bytes: s.live_bytes,
+                    peak_tape_bytes: s.peak_bytes,
+                }
+            })
+        }
+        #[cfg(not(feature = "obsv"))]
+        {
+            ProfileReport::default()
+        }
+    }
+}
+
+/// RAII timing scope for one op call; see [`op_scope`].
+pub(crate) struct OpScope {
+    #[cfg(feature = "obsv")]
+    timed: Option<(&'static str, Instant)>,
+}
+
+/// Open a timing scope for op `kind`. Ops call this first thing; the scope
+/// closes (and records) when the returned guard drops at the end of the op.
+/// Free when profiling is inactive or the feature is off.
+#[inline]
+pub(crate) fn op_scope(kind: &'static str) -> OpScope {
+    #[cfg(feature = "obsv")]
+    {
+        OpScope {
+            timed: ACTIVE.with(Cell::get).then(|| (kind, Instant::now())),
+        }
+    }
+    #[cfg(not(feature = "obsv"))]
+    {
+        let _ = kind;
+        OpScope {}
+    }
+}
+
+#[cfg(feature = "obsv")]
+impl Drop for OpScope {
+    fn drop(&mut self) {
+        let Some((kind, start)) = self.timed.take() else {
+            return;
+        };
+        let nanos = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        STATE.with(|s| {
+            let mut s = s.borrow_mut();
+            let entry = s.per_op.entry(kind).or_insert((0, 0));
+            entry.0 += 1;
+            entry.1 = entry.1.saturating_add(nanos);
+        });
+    }
+}
+
+/// Charge `bytes` of node value storage to the live/peak account. Returns
+/// the amount actually charged (0 when profiling is inactive) so the node
+/// can discharge exactly that much on drop.
+#[cfg(feature = "obsv")]
+pub(crate) fn charge_bytes(bytes: usize) -> usize {
+    if !ACTIVE.with(Cell::get) {
+        return 0;
+    }
+    STATE.with(|s| {
+        let mut s = s.borrow_mut();
+        s.nodes_created += 1;
+        s.live_bytes = s.live_bytes.saturating_add(bytes);
+        s.peak_bytes = s.peak_bytes.max(s.live_bytes);
+    });
+    bytes
+}
+
+/// Release a node's previously charged bytes.
+#[cfg(feature = "obsv")]
+pub(crate) fn discharge_bytes(bytes: usize) {
+    if bytes == 0 {
+        return;
+    }
+    STATE.with(|s| {
+        let mut s = s.borrow_mut();
+        s.live_bytes = s.live_bytes.saturating_sub(bytes);
+    });
+}

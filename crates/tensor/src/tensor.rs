@@ -53,10 +53,16 @@ pub(crate) struct Node {
     pub(crate) requires_grad: bool,
     pub(crate) parents: Vec<Tensor>,
     pub(crate) backward: Option<BackwardFn>,
+    /// Value-buffer bytes charged to the tape profiler at creation (0 when
+    /// profiling was inactive); discharged on drop.
+    #[cfg(feature = "obsv")]
+    pub(crate) profiled_bytes: usize,
 }
 
 impl Drop for Node {
     fn drop(&mut self) {
+        #[cfg(feature = "obsv")]
+        crate::profile::discharge_bytes(self.profiled_bytes);
         // Long op chains (unrolled RNNs) would otherwise drop recursively
         // through `parents` and overflow the stack; unlink iteratively.
         let mut stack = std::mem::take(&mut self.parents);
@@ -104,6 +110,8 @@ impl Tensor {
     }
 
     fn leaf(value: Array, requires_grad: bool) -> Self {
+        #[cfg(feature = "obsv")]
+        let profiled_bytes = crate::profile::charge_bytes(value.numel() * 4);
         Tensor {
             node: Rc::new(Node {
                 id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
@@ -112,6 +120,8 @@ impl Tensor {
                 requires_grad,
                 parents: Vec::new(),
                 backward: None,
+                #[cfg(feature = "obsv")]
+                profiled_bytes,
             }),
         }
     }
@@ -121,6 +131,8 @@ impl Tensor {
         let requires_grad = !no_grad_active() && parents.iter().any(|p| p.node.requires_grad);
         #[cfg(feature = "sanitize")]
         crate::sanitize::check_op_output(NEXT_ID.load(Ordering::Relaxed), &value);
+        #[cfg(feature = "obsv")]
+        let profiled_bytes = crate::profile::charge_bytes(value.numel() * 4);
         Tensor {
             node: Rc::new(Node {
                 id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
@@ -130,6 +142,8 @@ impl Tensor {
                 // Without gradients there is no reason to retain the graph.
                 parents: if requires_grad { parents } else { Vec::new() },
                 backward: if requires_grad { Some(backward) } else { None },
+                #[cfg(feature = "obsv")]
+                profiled_bytes,
             }),
         }
     }
@@ -233,6 +247,7 @@ impl Tensor {
 
     /// Back-propagate with an explicit seed gradient (same shape as value).
     pub fn backward_with(&self, seed: Array) {
+        let _prof = crate::profile::op_scope("backward");
         assert_eq!(
             seed.shape(),
             self.node.value.borrow().shape(),

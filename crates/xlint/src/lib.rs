@@ -9,9 +9,13 @@
 //! Rules:
 //!
 //! * `no-panic` — no `.unwrap()` / `.expect(` / `panic!` / `todo!` /
-//!   `unimplemented!` in library code of `serve`, `core`, `graph`, and
-//!   `tensor` (`#[cfg(test)]` modules and `tests/`, `benches/`, `examples/`
+//!   `unimplemented!` in library code of `serve`, `core`, `graph`, `tensor`,
+//!   and `obsv` (`#[cfg(test)]` modules and `tests/`, `benches/`, `examples/`
 //!   directories are exempt).
+//! * `no-print` — no `println!` / `eprintln!` / `print!` / `eprint!` in
+//!   library code of any crate except `obsv` (whose `console_line` is the
+//!   one sanctioned console funnel); progress output goes through the
+//!   telemetry layer. Table/bench binaries are allowlisted by path prefix.
 //! * `cast-in-loop` — no numeric `as` casts inside loop bodies of the two
 //!   kernel files `crates/tensor/src/ops.rs` and `crates/graph/src/sparse.rs`
 //!   (casts in hot loops hide float↔int truncation bugs; hoist them out).
@@ -32,7 +36,11 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 /// Crates whose `src/` trees are subject to the `no-panic` rule.
-pub const PANIC_FREE_CRATES: &[&str] = &["serve", "core", "graph", "tensor"];
+pub const PANIC_FREE_CRATES: &[&str] = &["serve", "core", "graph", "tensor", "obsv"];
+
+/// The one crate allowed to print to the console from library code: its
+/// `console_line` is the funnel everything else must route through.
+pub const PRINT_FUNNEL_CRATE: &str = "obsv";
 
 /// Crates whose `pub fn` Result signatures must use the crate's `error.rs`.
 pub const RESULT_ERROR_CRATES: &[&str] = &["serve", "core", "graph", "tensor", "data"];
@@ -43,6 +51,7 @@ pub const KERNEL_FILES: &[&str] = &["crates/tensor/src/ops.rs", "crates/graph/sr
 /// All rule identifiers, in report order.
 pub const RULES: &[&str] = &[
     "no-panic",
+    "no-print",
     "cast-in-loop",
     "result-error",
     "serve-concurrency",
@@ -79,7 +88,8 @@ impl fmt::Display for Diagnostic {
 pub struct AllowEntry {
     /// Rule this entry suppresses.
     pub rule: String,
-    /// Workspace-relative path it applies to.
+    /// Workspace-relative path it applies to. A trailing `/` makes the
+    /// entry a directory prefix covering every file underneath it.
     pub path: String,
     /// Optional substring the offending source line must contain.
     pub pattern: String,
@@ -122,7 +132,7 @@ impl Allowlist {
         let mut hit = false;
         for (i, e) in self.entries.iter().enumerate() {
             if e.rule == diag.rule
-                && e.path == diag.path
+                && path_covers(&e.path, &diag.path)
                 && (e.pattern.is_empty() || diag.excerpt.contains(&e.pattern))
             {
                 used[i] = true;
@@ -130,6 +140,18 @@ impl Allowlist {
             }
         }
         hit
+    }
+}
+
+/// Allowlist path matching: exact by default; a trailing `/` makes the
+/// entry a directory prefix.
+fn path_covers(entry: &str, diag_path: &str) -> bool {
+    if let Some(prefix) = entry.strip_suffix('/') {
+        diag_path
+            .strip_prefix(prefix)
+            .is_some_and(|rest| rest.starts_with('/'))
+    } else {
+        entry == diag_path
     }
 }
 
@@ -453,6 +475,25 @@ pub fn lint_file(rel: &str, source: &str, error_types: &BTreeSet<String>) -> Vec
                         "no-panic",
                         at,
                         format!("{what} in library code (propagate an error or use the crate's invariant funnel)"),
+                        &mut diags,
+                    );
+                }
+            }
+        }
+    }
+
+    // Rule: no-print.
+    if krate != PRINT_FUNNEL_CRATE {
+        for needle in ["println!", "eprintln!", "print!", "eprint!"] {
+            for at in find_bounded(&sanitized, needle) {
+                if !in_spans(&spans, at) {
+                    push(
+                        "no-print",
+                        at,
+                        format!(
+                            "`{needle}` in library code (route progress through \
+                             `d2stgnn_obsv::console_line` or the telemetry macros)"
+                        ),
                         &mut diags,
                     );
                 }
@@ -900,6 +941,75 @@ mod tests {
     fn data_crate_is_not_subject_to_no_panic() {
         let src = "pub fn f() { a.unwrap(); }\n";
         assert!(lint_file("crates/data/src/foo.rs", src, &no_errors()).is_empty());
+    }
+
+    #[test]
+    fn obsv_crate_is_subject_to_no_panic() {
+        let src = "pub fn f() { a.unwrap(); }\n";
+        let diags = lint_file("crates/obsv/src/foo.rs", src, &no_errors());
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, "no-panic");
+    }
+
+    #[test]
+    fn prints_in_library_code_are_flagged_everywhere_but_obsv() {
+        let src =
+            "pub fn f() { println!(\"a\"); eprintln!(\"b\"); print!(\"c\"); eprint!(\"d\"); }\n";
+        let diags = lint_file("crates/data/src/foo.rs", src, &no_errors());
+        assert_eq!(diags.len(), 4, "{diags:?}");
+        assert!(diags.iter().all(|d| d.rule == "no-print"));
+        // The funnel crate itself may print.
+        assert!(lint_file("crates/obsv/src/foo.rs", src, &no_errors()).is_empty());
+        // Test modules and out-of-src test files stay exempt.
+        let test_only = "#[cfg(test)]\nmod tests {\n    fn g() { println!(\"x\"); }\n}\n";
+        assert!(lint_file("crates/data/src/foo.rs", test_only, &no_errors()).is_empty());
+        assert!(lint_file("crates/data/tests/foo.rs", src, &no_errors()).is_empty());
+    }
+
+    #[test]
+    fn print_lookalikes_are_not_flagged() {
+        // `eprintln!` must not double-count as `println!`, and identifiers
+        // containing the words are ignored.
+        let src = "pub fn f() { eprintln!(\"b\"); my_println!(\"x\"); pretty_print(1); }\n";
+        let diags = lint_file("crates/data/src/foo.rs", src, &no_errors());
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0].message.contains("eprintln!"));
+    }
+
+    #[test]
+    fn allowlist_directory_prefix_covers_contained_files() {
+        assert!(path_covers(
+            "crates/bench/src/bin/",
+            "crates/bench/src/bin/table3.rs"
+        ));
+        assert!(!path_covers(
+            "crates/bench/src/bin/",
+            "crates/bench/src/binary.rs"
+        ));
+        assert!(!path_covers(
+            "crates/bench/src/bin/",
+            "crates/bench/src/bin"
+        ));
+        assert!(path_covers(
+            "crates/core/src/lib.rs",
+            "crates/core/src/lib.rs"
+        ));
+        assert!(!path_covers(
+            "crates/core/src/lib.rs",
+            "crates/core/src/lib.rs2"
+        ));
+
+        let allow = Allowlist::parse("no-print crates/bench/src/bin/\n");
+        let diag = Diagnostic {
+            rule: "no-print",
+            path: "crates/bench/src/bin/table3.rs".to_string(),
+            line: 1,
+            message: String::new(),
+            excerpt: "println!(\"row\");".to_string(),
+        };
+        let mut used = vec![false; 1];
+        assert!(allow.matches(&diag, &mut used));
+        assert_eq!(used, vec![true]);
     }
 
     #[test]

@@ -24,4 +24,17 @@ cargo test -q --features sanitize
 cargo test -q -p d2stgnn-tensor --features sanitize
 cargo test -q -p d2stgnn-serve --features sanitize
 
+echo "==> telemetry layer: tests with the obsv feature off and on"
+cargo test -q -p d2stgnn-obsv
+cargo test -q -p d2stgnn-obsv --features enabled
+cargo test -q -p d2stgnn-tensor --features obsv
+cargo test -q -p d2stgnn-core --features obsv
+cargo test -q -p d2stgnn-serve --features obsv
+cargo test -q --features obsv
+cargo clippy -p d2stgnn-obsv --all-targets --features enabled -- -D warnings
+cargo clippy -p d2stgnn-bench --all-targets --features obsv -- -D warnings
+
+echo "==> obsv smoke run (2-epoch tiny train + served batch, JSONL validated)"
+cargo run -q -p d2stgnn-bench --features obsv --bin obsv_smoke
+
 echo "CI OK"
