@@ -1,0 +1,207 @@
+//! Tensor kernel microbenchmarks: serial (pre-pool naive GEMM / forced-serial
+//! elementwise) vs the tiled + pooled hot path.
+//!
+//! For GEMM the serial baseline is [`Array::matmul_reference`] — the naive
+//! triple loop the repo shipped before the compute pool landed — so the
+//! reported `speedup` is exactly "this PR vs the seed kernel". The
+//! `tiled_serial_ms` series isolates how much of that comes from cache tiling
+//! alone (`pool::with_serial`), and `parallel_speedup` is the residual gain
+//! from pool threads (≈1.0 on a single-core container).
+//!
+//! Writes `target/experiments/BENCH_tensor_kernels.json` (schema
+//! `d2stgnn-bench-v1`). `--fast` shrinks shapes and reps for the CI smoke.
+
+use std::time::Instant;
+
+use d2stgnn_bench::write_bench_artifact;
+use d2stgnn_tensor::{pool, Array};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct KernelRow {
+    kernel: String,
+    shape: String,
+    /// Estimated scalar ops (2mnk for GEMM, numel otherwise).
+    flops: u64,
+    serial_ms: f64,
+    /// GEMM only: the new tiled kernel forced serial (0.0 elsewhere).
+    tiled_serial_ms: f64,
+    pooled_ms: f64,
+    gflops_serial: f64,
+    gflops_pooled: f64,
+    /// serial_ms / pooled_ms — gain over the pre-pool implementation.
+    speedup: f64,
+    /// tiled_serial_ms / pooled_ms — gain attributable to pool threads.
+    parallel_speedup: f64,
+}
+
+#[derive(Serialize)]
+struct BenchConfig {
+    fast: bool,
+    reps: usize,
+    threads: usize,
+    par_threshold: usize,
+}
+
+/// Pseudo-random data with exact zeros so the GEMM zero-skip is realistic.
+fn fill(n: usize, seed: u32) -> Vec<f32> {
+    let mut state = seed.wrapping_mul(2_654_435_761).wrapping_add(12345);
+    (0..n)
+        .map(|_| {
+            state = state.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+            if state.is_multiple_of(31) {
+                0.0
+            } else {
+                (state >> 8) as f32 / 16_777_216.0 - 0.5
+            }
+        })
+        .collect()
+}
+
+fn arr(shape: &[usize], seed: u32) -> Array {
+    let n = shape.iter().product();
+    Array::from_vec(shape, fill(n, seed)).expect("bench shape")
+}
+
+/// Best-of-`reps` wall time in milliseconds; `sink` defeats dead-code
+/// elimination across reps.
+fn time_best(reps: usize, sink: &mut f64, mut f: impl FnMut() -> Array) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let out = f();
+        best = best.min(start.elapsed().as_secs_f64() * 1e3);
+        *sink += f64::from(out.data()[0]);
+    }
+    best
+}
+
+fn gemm_row(n: usize, reps: usize, sink: &mut f64) -> KernelRow {
+    let a = arr(&[n, n], n as u32);
+    let b = arr(&[n, n], n as u32 + 1);
+    let serial_ms = time_best(reps, sink, || a.matmul_reference(&b));
+    let tiled_serial_ms = time_best(reps, sink, || pool::with_serial(|| a.matmul(&b)));
+    let pooled_ms = time_best(reps, sink, || a.matmul(&b));
+    let flops = 2 * (n as u64).pow(3);
+    KernelRow {
+        kernel: "gemm".into(),
+        shape: format!("{n}x{n}x{n}"),
+        flops,
+        serial_ms,
+        tiled_serial_ms,
+        pooled_ms,
+        gflops_serial: flops as f64 / serial_ms / 1e6,
+        gflops_pooled: flops as f64 / pooled_ms / 1e6,
+        speedup: serial_ms / pooled_ms,
+        parallel_speedup: tiled_serial_ms / pooled_ms,
+    }
+}
+
+fn elementwise_row(kernel: &str, numel: usize, reps: usize, sink: &mut f64) -> KernelRow {
+    let a = arr(&[numel], 101);
+    let b = arr(&[numel], 102);
+    let mut op = |serial: bool| -> f64 {
+        let run = || match kernel {
+            "add" => a.add(&b),
+            "mul" => a.mul(&b),
+            "relu" => a.map(|v| v.max(0.0)),
+            "sum_axis" => a
+                .reshape(&[numel / 1024, 1024])
+                .expect("bench reshape")
+                .sum_axis(0, false),
+            other => unreachable!("unknown kernel {other}"),
+        };
+        if serial {
+            time_best(reps, sink, || pool::with_serial(run))
+        } else {
+            time_best(reps, sink, run)
+        }
+    };
+    let serial_ms = op(true);
+    let pooled_ms = op(false);
+    KernelRow {
+        kernel: kernel.into(),
+        shape: format!("{numel}"),
+        flops: numel as u64,
+        serial_ms,
+        tiled_serial_ms: 0.0,
+        pooled_ms,
+        gflops_serial: numel as f64 / serial_ms / 1e6,
+        gflops_pooled: numel as f64 / pooled_ms / 1e6,
+        speedup: serial_ms / pooled_ms,
+        parallel_speedup: 0.0,
+    }
+}
+
+fn main() {
+    // Pool every kernel regardless of size so the pooled series actually
+    // exercises the worker pool even at smoke shapes. Must precede the
+    // first tensor op (the pool reads its environment once per process).
+    if std::env::var_os("D2_PAR_THRESHOLD").is_none() {
+        std::env::set_var("D2_PAR_THRESHOLD", "1");
+    }
+    let fast = std::env::args().any(|a| a == "--fast");
+    let (gemm_sizes, numel, reps): (&[usize], usize, usize) = if fast {
+        (&[48, 128], 1 << 17, 3)
+    } else {
+        (&[64, 128, 256, 384, 512], 1 << 21, 3)
+    };
+
+    let mut sink = 0.0;
+    let mut rows = Vec::new();
+    for &n in gemm_sizes {
+        eprintln!("[tensor_kernels] gemm {n}x{n}x{n}...");
+        rows.push(gemm_row(n, reps, &mut sink));
+    }
+    for kernel in ["add", "mul", "relu", "sum_axis"] {
+        eprintln!("[tensor_kernels] {kernel} n={numel}...");
+        rows.push(elementwise_row(kernel, numel, reps, &mut sink));
+    }
+
+    println!(
+        "{:<10} {:>12} {:>10} {:>10} {:>10} {:>8} {:>8} {:>9} {:>9}",
+        "kernel", "shape", "serial", "tiled", "pooled", "GF/s", "GF/s", "speedup", "par"
+    );
+    println!(
+        "{:<10} {:>12} {:>10} {:>10} {:>10} {:>8} {:>8} {:>9} {:>9}",
+        "", "", "ms", "ms", "ms", "serial", "pooled", "", ""
+    );
+    for r in &rows {
+        println!(
+            "{:<10} {:>12} {:>10.3} {:>10.3} {:>10.3} {:>8.2} {:>8.2} {:>8.2}x {:>8.2}x",
+            r.kernel,
+            r.shape,
+            r.serial_ms,
+            r.tiled_serial_ms,
+            r.pooled_ms,
+            r.gflops_serial,
+            r.gflops_pooled,
+            r.speedup,
+            r.parallel_speedup,
+        );
+    }
+
+    let stats = pool::stats();
+    let config = BenchConfig {
+        fast,
+        reps,
+        threads: stats.threads,
+        par_threshold: stats.par_threshold,
+    };
+    eprintln!(
+        "[tensor_kernels] pool: threads={} pooled_tasks={} pooled_chunks={} \
+         bufpool hits/misses/recycled={}/{}/{} (sink {sink:.3})",
+        stats.threads,
+        stats.pooled_tasks,
+        stats.pooled_chunks,
+        stats.bufpool_hits,
+        stats.bufpool_misses,
+        stats.bufpool_recycled,
+    );
+    let config_json = serde_json::to_string(&config).expect("config serialize");
+    let results_json = serde_json::to_string(&rows).expect("results serialize");
+    match write_bench_artifact("tensor_kernels", &config_json, &results_json) {
+        Ok(path) => eprintln!("[tensor_kernels] wrote {}", path.display()),
+        Err(e) => eprintln!("[tensor_kernels] could not write artifact: {e}"),
+    }
+}

@@ -29,11 +29,14 @@
 #![deny(unsafe_code)]
 
 mod array;
+mod buffers;
 mod error;
+mod gemm;
 pub mod losses;
 pub mod nn;
 mod ops;
 pub mod optim;
+pub mod pool;
 mod profile;
 #[cfg(feature = "sanitize")]
 mod sanitize;

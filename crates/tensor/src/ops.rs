@@ -5,7 +5,7 @@
 //! Broadcasting binary ops reduce the output gradient back to each input's
 //! shape by summing over broadcast axes.
 
-use crate::array::Array;
+use crate::array::{Array, UnaryKind};
 use crate::tensor::Tensor;
 use rand::Rng;
 
@@ -114,7 +114,7 @@ impl Tensor {
     pub fn relu(&self) -> Tensor {
         let _prof = crate::profile::op_scope("relu");
         let xv = self.value();
-        let out = xv.map(|v| v.max(0.0));
+        let out = xv.map_op(UnaryKind::Relu);
         Tensor::from_op(
             out,
             vec![self.clone()],
@@ -125,7 +125,7 @@ impl Tensor {
     /// Logistic sigmoid.
     pub fn sigmoid(&self) -> Tensor {
         let _prof = crate::profile::op_scope("sigmoid");
-        let out = self.with_value(|a| a.map(|v| 1.0 / (1.0 + (-v).exp())));
+        let out = self.with_value(|a| a.map_op(UnaryKind::Sigmoid));
         let y = out.clone();
         Tensor::from_op(
             out,
@@ -137,7 +137,7 @@ impl Tensor {
     /// Hyperbolic tangent.
     pub fn tanh(&self) -> Tensor {
         let _prof = crate::profile::op_scope("tanh");
-        let out = self.with_value(|a| a.map(f32::tanh));
+        let out = self.with_value(|a| a.map_op(UnaryKind::Tanh));
         let y = out.clone();
         Tensor::from_op(
             out,
@@ -149,7 +149,7 @@ impl Tensor {
     /// Elementwise exponential.
     pub fn exp(&self) -> Tensor {
         let _prof = crate::profile::op_scope("exp");
-        let out = self.with_value(|a| a.map(f32::exp));
+        let out = self.with_value(|a| a.map_op(UnaryKind::Exp));
         let y = out.clone();
         Tensor::from_op(
             out,
@@ -162,7 +162,7 @@ impl Tensor {
     pub fn abs(&self) -> Tensor {
         let _prof = crate::profile::op_scope("abs");
         let xv = self.value();
-        let out = xv.map(f32::abs);
+        let out = xv.map_op(UnaryKind::Abs);
         Tensor::from_op(
             out,
             vec![self.clone()],
@@ -178,7 +178,7 @@ impl Tensor {
     pub fn square(&self) -> Tensor {
         let _prof = crate::profile::op_scope("square");
         let xv = self.value();
-        let out = xv.map(|v| v * v);
+        let out = xv.map_op(UnaryKind::Square);
         Tensor::from_op(
             out,
             vec![self.clone()],
@@ -189,7 +189,7 @@ impl Tensor {
     /// Elementwise square root.
     pub fn sqrt(&self) -> Tensor {
         let _prof = crate::profile::op_scope("sqrt");
-        let out = self.with_value(|a| a.map(f32::sqrt));
+        let out = self.with_value(|a| a.map_op(UnaryKind::Sqrt));
         let y = out.clone();
         Tensor::from_op(
             out,
@@ -241,19 +241,24 @@ impl Tensor {
         let (av, bv) = (self.value(), other.value());
         let out = av.matmul(&bv);
         let (ra, rb) = (av.rank(), bv.rank());
+        // The closure captures a parent's value only if the *other* parent
+        // needs a gradient (dA needs B, dB needs A); a matmul against a
+        // frozen weight or constant input then retains nothing for it.
+        let bv = self.requires_grad().then_some(bv);
+        let av = other.requires_grad().then_some(av);
         Tensor::from_op(
             out,
             vec![self.clone(), other.clone()],
             Box::new(move |g| {
-                let da = match (ra, rb) {
+                let da = bv.as_ref().map(|bv| match (ra, rb) {
                     (2, 3) => g.matmul(&bv.transpose()).sum_axis(0, false),
                     _ => g.matmul(&bv.transpose()),
-                };
-                let db = match (ra, rb) {
+                });
+                let db = av.as_ref().map(|av| match (ra, rb) {
                     (3, 2) => av.transpose().matmul(g).sum_axis(0, false),
                     _ => av.transpose().matmul(g),
-                };
-                vec![Some(da), Some(db)]
+                });
+                vec![da, db]
             }),
         )
     }

@@ -26,8 +26,12 @@ pub struct OpStat {
     pub kind: &'static str,
     /// Number of calls while profiling was active.
     pub calls: u64,
-    /// Cumulative wall time across those calls.
+    /// Cumulative wall time across those calls. Pool execution is included:
+    /// the caller participates in (and blocks on) its pooled chunks, so a
+    /// pooled op's wall time covers the whole parallel kernel.
     pub seconds: f64,
+    /// Calls that dispatched at least one kernel to the compute pool.
+    pub pooled_calls: u64,
 }
 
 /// Snapshot of the profiler, from [`Tape::profile_report`]. Empty (no ops,
@@ -50,11 +54,14 @@ impl ProfileReport {
         let mut rows = self.ops.clone();
         rows.sort_by(|a, b| b.seconds.total_cmp(&a.seconds));
         let mut out = String::new();
-        out.push_str(&format!("{:<16} {:>10} {:>12}\n", "op", "calls", "seconds"));
+        out.push_str(&format!(
+            "{:<16} {:>10} {:>12} {:>8}\n",
+            "op", "calls", "seconds", "pooled"
+        ));
         for r in &rows {
             out.push_str(&format!(
-                "{:<16} {:>10} {:>12.6}\n",
-                r.kind, r.calls, r.seconds
+                "{:<16} {:>10} {:>12.6} {:>8}\n",
+                r.kind, r.calls, r.seconds, r.pooled_calls
             ));
         }
         out.push_str(&format!(
@@ -73,7 +80,7 @@ pub struct Tape;
 #[cfg(feature = "obsv")]
 #[derive(Default)]
 struct ProfState {
-    per_op: BTreeMap<&'static str, (u64, u64)>, // kind -> (calls, nanos)
+    per_op: BTreeMap<&'static str, (u64, u64, u64)>, // kind -> (calls, nanos, pooled_calls)
     nodes_created: u64,
     live_bytes: usize,
     peak_bytes: usize,
@@ -83,6 +90,9 @@ struct ProfState {
 thread_local! {
     static ACTIVE: Cell<bool> = const { Cell::new(false) };
     static STATE: RefCell<ProfState> = RefCell::new(ProfState::default());
+    /// Monotonic count of pool dispatches from this thread; `OpScope`
+    /// diffs it to attribute pool usage to the op that was open.
+    static POOL_DISPATCHES: Cell<u64> = const { Cell::new(0) };
 }
 
 impl Tape {
@@ -130,10 +140,11 @@ impl Tape {
                     ops: s
                         .per_op
                         .iter()
-                        .map(|(kind, (calls, nanos))| OpStat {
+                        .map(|(kind, (calls, nanos, pooled))| OpStat {
                             kind,
                             calls: *calls,
                             seconds: *nanos as f64 * 1e-9,
+                            pooled_calls: *pooled,
                         })
                         .collect(),
                     nodes_created: s.nodes_created,
@@ -152,7 +163,7 @@ impl Tape {
 /// RAII timing scope for one op call; see [`op_scope`].
 pub(crate) struct OpScope {
     #[cfg(feature = "obsv")]
-    timed: Option<(&'static str, Instant)>,
+    timed: Option<(&'static str, Instant, u64)>,
 }
 
 /// Open a timing scope for op `kind`. Ops call this first thing; the scope
@@ -163,7 +174,9 @@ pub(crate) fn op_scope(kind: &'static str) -> OpScope {
     #[cfg(feature = "obsv")]
     {
         OpScope {
-            timed: ACTIVE.with(Cell::get).then(|| (kind, Instant::now())),
+            timed: ACTIVE
+                .with(Cell::get)
+                .then(|| (kind, Instant::now(), POOL_DISPATCHES.with(Cell::get))),
         }
     }
     #[cfg(not(feature = "obsv"))]
@@ -173,18 +186,29 @@ pub(crate) fn op_scope(kind: &'static str) -> OpScope {
     }
 }
 
+/// Called by the compute pool on every pooled dispatch so `OpScope` can
+/// attribute pool usage to the op whose scope is open. No-op without the
+/// `obsv` feature.
+#[inline]
+pub(crate) fn note_pooled_dispatch() {
+    #[cfg(feature = "obsv")]
+    POOL_DISPATCHES.with(|c| c.set(c.get() + 1));
+}
+
 #[cfg(feature = "obsv")]
 impl Drop for OpScope {
     fn drop(&mut self) {
-        let Some((kind, start)) = self.timed.take() else {
+        let Some((kind, start, dispatches_at_open)) = self.timed.take() else {
             return;
         };
         let nanos = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        let pooled = POOL_DISPATCHES.with(Cell::get) > dispatches_at_open;
         STATE.with(|s| {
             let mut s = s.borrow_mut();
-            let entry = s.per_op.entry(kind).or_insert((0, 0));
+            let entry = s.per_op.entry(kind).or_insert((0, 0, 0));
             entry.0 += 1;
             entry.1 = entry.1.saturating_add(nanos);
+            entry.2 += u64::from(pooled);
         });
     }
 }

@@ -1,0 +1,159 @@
+//! Bit-identical determinism of the pooled kernels across thread counts.
+//!
+//! The compute pool promises that chunk boundaries depend only on problem
+//! size, never on `D2_THREADS`, so every pooled kernel must produce the
+//! exact same bytes at any parallelism — including fully serial. Because
+//! the pool reads its environment exactly once per process, the matrix of
+//! thread counts is exercised by re-running this test binary as a child
+//! process (one spawn per configuration) and comparing the raw little-endian
+//! `f32` bytes each child writes.
+
+use std::process::Command;
+
+use d2stgnn_tensor::{pool, Array, Tensor};
+
+/// When set, `child_emit_workload` runs the workload and writes its output
+/// bytes to the file this variable names; unset, that test is a no-op.
+const CHILD_OUT_ENV: &str = "D2_DETERMINISM_CHILD_OUT";
+
+/// Deterministic pseudo-random data with exact zeros sprinkled in so the
+/// GEMM zero-skip path is exercised.
+fn fill(n: usize, seed: u32) -> Vec<f32> {
+    let mut state = seed.wrapping_mul(2_654_435_761).wrapping_add(12345);
+    (0..n)
+        .map(|_| {
+            state = state.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+            if state.is_multiple_of(17) {
+                0.0
+            } else {
+                (state >> 8) as f32 / 16_777_216.0 - 0.5
+            }
+        })
+        .collect()
+}
+
+fn arr(shape: &[usize], seed: u32) -> Array {
+    let n: usize = shape.iter().product();
+    Array::from_vec(shape, fill(n, seed)).unwrap()
+}
+
+/// The reference workload: every kernel family the pool dispatches —
+/// 2-D and batched matmul (awkward non-tile-multiple shapes), elementwise
+/// binary/unary chains spanning multiple chunks, and axis reductions —
+/// concatenated into one flat output vector.
+fn workload() -> Vec<f32> {
+    let mut out = Vec::new();
+
+    // 2-D GEMM, shapes that are not multiples of the 4x16 micro-tile or
+    // the 16-row chunk.
+    let a = arr(&[37, 29], 1);
+    let b = arr(&[29, 41], 2);
+    out.extend_from_slice(a.matmul(&b).data());
+
+    // Batched matmul: 3-D x 2-D and 3-D x 3-D.
+    let c = arr(&[3, 19, 23], 3);
+    let d = arr(&[23, 17], 4);
+    out.extend_from_slice(c.matmul(&d).data());
+    let e = arr(&[2, 11, 13], 5);
+    let f = arr(&[2, 13, 7], 6);
+    out.extend_from_slice(e.matmul(&f).data());
+
+    // Elementwise chain across >1 chunk (numel 35_005 > the 32_768 chunk):
+    // ((x + y) * z).relu() through the autograd ops, then sigmoid/tanh.
+    let x = Tensor::constant(arr(&[5, 7001], 7));
+    let y = Tensor::constant(arr(&[5, 7001], 8));
+    let z = Tensor::constant(arr(&[5, 7001], 9));
+    let chain = x.add(&y).mul(&z).relu();
+    out.extend_from_slice(chain.value().data());
+    out.extend_from_slice(chain.sigmoid().value().data());
+    out.extend_from_slice(chain.tanh().value().data());
+
+    // Axis reductions over both an outer and the inner axis, plus scalars.
+    let r = arr(&[48, 1031], 10);
+    out.extend_from_slice(r.sum_axis(0, false).data());
+    out.extend_from_slice(r.sum_axis(1, false).data());
+    out.extend_from_slice(r.mean_axis(0, true).data());
+    out.push(r.sum_all());
+    out.push(r.mean_all());
+
+    out
+}
+
+fn to_bytes(values: &[f32]) -> Vec<u8> {
+    values.iter().flat_map(|v| v.to_le_bytes()).collect()
+}
+
+/// Child entry point: gated on [`CHILD_OUT_ENV`] so it is inert in a normal
+/// test run. Under a forced-pool environment it also cross-checks the pooled
+/// workload against `pool::with_serial` and the reference GEMM in-process.
+#[test]
+fn child_emit_workload() {
+    let Ok(path) = std::env::var(CHILD_OUT_ENV) else {
+        return;
+    };
+    let pooled = workload();
+    let serial = pool::with_serial(workload);
+    assert_eq!(
+        to_bytes(&pooled),
+        to_bytes(&serial),
+        "pooled workload diverged from with_serial in the same process"
+    );
+    // Value equality (not bitwise): the tiled kernel drops the reference
+    // kernel's zero-skip, which can only flip a zero's sign bit.
+    let a = arr(&[67, 43], 11);
+    let b = arr(&[43, 53], 12);
+    let (tiled, reference) = (a.matmul(&b), a.matmul_reference(&b));
+    assert!(
+        tiled
+            .data()
+            .iter()
+            .zip(reference.data())
+            .all(|(x, y)| x == y),
+        "tiled matmul diverged from the reference kernel"
+    );
+    std::fs::write(&path, to_bytes(&pooled)).unwrap();
+}
+
+fn run_child(dir: &std::path::Path, tag: &str, threads: &str, threshold: &str) -> Vec<u8> {
+    let out = dir.join(format!("{tag}.bin"));
+    let status = Command::new(std::env::current_exe().unwrap())
+        .args(["--exact", "child_emit_workload", "--test-threads", "1"])
+        .env(CHILD_OUT_ENV, &out)
+        .env("D2_THREADS", threads)
+        .env("D2_PAR_THRESHOLD", threshold)
+        .status()
+        .unwrap();
+    assert!(status.success(), "child run `{tag}` failed");
+    std::fs::read(&out).unwrap()
+}
+
+#[test]
+fn workload_is_bit_identical_across_thread_counts() {
+    let dir = std::env::temp_dir().join(format!("d2-determinism-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // Baseline: a child that never pools (threshold above any workload).
+    let never_pool = usize::MAX.to_string();
+    let baseline = run_child(&dir, "serial", "1", &never_pool);
+    assert_eq!(
+        baseline.len() % 4,
+        0,
+        "workload bytes must be whole little-endian f32s"
+    );
+    assert!(
+        baseline.len() > 4 * 100_000,
+        "workload unexpectedly small: {} bytes",
+        baseline.len()
+    );
+
+    // Every op pools (threshold 1) at 1, 2, and 8 threads.
+    for threads in ["1", "2", "8"] {
+        let run = run_child(&dir, &format!("pooled-{threads}"), threads, "1");
+        assert_eq!(
+            run, baseline,
+            "pooled workload at D2_THREADS={threads} diverged from the serial baseline"
+        );
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -24,6 +24,11 @@
 //!   no bare `Result<T>` aliases).
 //! * `serve-concurrency` — no `thread::sleep` and no unbounded channel
 //!   construction (`mpsc::channel`) in `serve` library code.
+//! * `no-raw-threads` — no `thread::spawn` / `thread::scope` /
+//!   `thread::Builder` in library code of any crate: long-lived workers
+//!   belong to the two sanctioned thread owners (the tensor compute pool
+//!   and the serve request loop), which are allowlisted by path. Everything
+//!   else submits work through `d2stgnn_tensor::pool`.
 //! * `deny-unsafe` — `#![deny(unsafe_code)]` (or `forbid`) present at each
 //!   crate root under `crates/`.
 
@@ -55,6 +60,7 @@ pub const RULES: &[&str] = &[
     "cast-in-loop",
     "result-error",
     "serve-concurrency",
+    "no-raw-threads",
     "deny-unsafe",
 ];
 
@@ -549,6 +555,24 @@ pub fn lint_file(rel: &str, source: &str, error_types: &BTreeSet<String>) -> Vec
                     "serve-concurrency",
                     at,
                     "unbounded `channel()` in serve library code (use `sync_channel`)".to_string(),
+                    &mut diags,
+                );
+            }
+        }
+    }
+
+    // Rule: no-raw-threads (all crates; the sanctioned thread owners are
+    // suppressed via xlint.allow so new spawn sites surface as debt).
+    for needle in ["thread::spawn", "thread::scope", "thread::Builder"] {
+        for at in find_bounded(&sanitized, needle) {
+            if !in_spans(&spans, at) {
+                push(
+                    "no-raw-threads",
+                    at,
+                    format!(
+                        "`{needle}` in library code (submit work through the tensor compute \
+                         pool instead of owning OS threads)"
+                    ),
                     &mut diags,
                 );
             }
@@ -1070,6 +1094,33 @@ mod tests {
         assert!(diags.iter().all(|d| d.rule == "serve-concurrency"));
         let ok = "pub fn f() { let (tx, rx) = mpsc::sync_channel(1); }\n";
         assert!(lint_file("crates/serve/src/foo.rs", ok, &no_errors()).is_empty());
+    }
+
+    #[test]
+    fn raw_threads_are_flagged_in_any_crate() {
+        let src = "pub fn f() { std::thread::spawn(|| {}); }\n";
+        let diags = lint_file("crates/data/src/foo.rs", src, &no_errors());
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, "no-raw-threads");
+        let src = "pub fn g() { thread::scope(|s| { s.spawn(|| {}); }); }\n";
+        let diags = lint_file("crates/tensor/src/foo.rs", src, &no_errors());
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, "no-raw-threads");
+        let src = "pub fn h() { let b = thread::Builder::new(); }\n";
+        let diags = lint_file("crates/serve/src/foo.rs", src, &no_errors());
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, "no-raw-threads");
+    }
+
+    #[test]
+    fn raw_threads_in_tests_and_lookalikes_pass() {
+        let test_only = "#[cfg(test)]\nmod tests {\n    fn g() { std::thread::spawn(|| {}); }\n}\n";
+        assert!(lint_file("crates/serve/src/foo.rs", test_only, &no_errors()).is_empty());
+        let src = "pub fn f() { std::thread::spawn(|| {}); }\n";
+        assert!(lint_file("crates/serve/tests/foo.rs", src, &no_errors()).is_empty());
+        // Identifiers that merely contain the words are not flagged.
+        let ok = "pub fn f() { my_thread::spawner(); pool_thread::building(); }\n";
+        assert!(lint_file("crates/core/src/foo.rs", ok, &no_errors()).is_empty());
     }
 
     #[test]

@@ -37,4 +37,20 @@ cargo clippy -p d2stgnn-bench --all-targets --features obsv -- -D warnings
 echo "==> obsv smoke run (2-epoch tiny train + served batch, JSONL validated)"
 cargo run -q -p d2stgnn-bench --features obsv --bin obsv_smoke
 
+echo "==> tensor kernel bench smoke (release, artifact schema + speedup floor)"
+cargo run -q --release -p d2stgnn-bench --bin tensor_kernels -- --fast
+python3 - <<'EOF'
+import json
+doc = json.load(open("target/experiments/BENCH_tensor_kernels.json"))
+assert doc["schema"] == "d2stgnn-bench-v1", doc["schema"]
+assert doc["name"] == "tensor_kernels"
+gemm = [r for r in doc["results"] if r["kernel"] == "gemm"]
+assert gemm, "bench artifact has no gemm rows"
+largest = max(gemm, key=lambda r: r["flops"])
+# Smoke shapes are tiny, so require only "no slower than the seed kernel";
+# the committed full-size artifact is where the 2x+ shows up.
+assert largest["speedup"] >= 1.0, (largest["shape"], largest["speedup"])
+print(f"bench smoke OK: {largest['shape']} speedup {largest['speedup']:.2f}x")
+EOF
+
 echo "CI OK"

@@ -1,0 +1,57 @@
+//! End-to-end gradient check with the compute pool forced on.
+//!
+//! The regular e2e gradcheck (`gradcheck_e2e.rs`) runs with default
+//! thresholds, where the tiny model's kernels stay below the pooling
+//! cutoff. This binary sets `D2_PAR_THRESHOLD=1` before the first tensor
+//! op — the pool reads its environment exactly once per process, which is
+//! why this lives in its own integration-test binary — so every matmul,
+//! elementwise op, and reduction in the forward pass dispatches through
+//! the worker pool, and the finite-difference check then proves pooled
+//! forward values are consistent with the analytic gradients.
+
+use d2stgnn::prelude::*;
+use d2stgnn_tensor::testing::gradcheck_module_with_eps;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const TOL: f32 = 1e-2;
+const PROBES: usize = 2;
+const EPS: f32 = 1e-4;
+
+#[test]
+fn gradcheck_full_forecast_step_with_pool_forced_on() {
+    // Must precede every tensor op in this process (single-test binary).
+    std::env::set_var("D2_PAR_THRESHOLD", "1");
+    std::env::set_var("D2_THREADS", "4");
+
+    let mut sim = SimulatorConfig::tiny();
+    sim.num_nodes = 4;
+    sim.num_steps = 2 * 288;
+    sim.knn = 2;
+    let data = WindowedDataset::new(simulate(&sim), 12, 12, (0.6, 0.2, 0.2));
+
+    let mut cfg = D2stgnnConfig::small(4);
+    cfg.layers = 1;
+    let mut rng = StdRng::seed_from_u64(17);
+    let model = D2stgnn::new(cfg, &data.data().network.clone(), &mut rng);
+    let batch = data.batch(Split::Train, &[0]);
+
+    gradcheck_module_with_eps(
+        || {
+            let mut fwd_rng = StdRng::seed_from_u64(0);
+            let forecast = model.forward(&batch, false, &mut fwd_rng);
+            forecast.scale(0.5).square().mean_all()
+        },
+        &model.parameters(),
+        PROBES,
+        EPS,
+        TOL,
+    );
+
+    let stats = d2stgnn_tensor::pool::stats();
+    assert!(
+        stats.pooled_tasks > 0,
+        "threshold 1 should have routed kernels through the pool: {stats:?}"
+    );
+    assert_eq!(stats.threads, 4, "D2_THREADS=4 should win over detection");
+}
