@@ -19,7 +19,7 @@ fn run_with(
     let mut rng = StdRng::seed_from_u64(7);
     let model = D2stgnn::new(cfg, &data.data().network.clone(), &mut rng);
     let trainer = Trainer::new(train_config(profile, true, 7));
-    let report = trainer.train(&model, data);
+    let report = trainer.train(&model, data).expect("training failed");
     let eval = trainer.evaluate(&model, data, Split::Test);
     (eval.overall.mae, report.avg_epoch_seconds)
 }

@@ -51,7 +51,7 @@ fn main() {
     let model = D2stgnn::new(cfg, &data.data().network.clone(), &mut rng);
     let trainer = Trainer::new(train_config(profile, true, 7));
     eprintln!("[fig8] training...");
-    trainer.train(&model, &data);
+    trainer.train(&model, &data).expect("training failed");
     let eval = trainer.evaluate(&model, &data, Split::Test);
 
     // Horizon-3 series: prediction for window s is the value at start+th+2.

@@ -61,7 +61,9 @@ mod smoke {
         cfg.max_epochs = 2;
         cfg.patience = 2;
         cfg.verbose = false;
-        let report = Trainer::new(cfg).train(&model, &data);
+        let report = Trainer::new(cfg)
+            .train(&model, &data)
+            .expect("training failed");
         Tape::stop_profiling();
         let profile = Tape::profile_report();
         assert!(

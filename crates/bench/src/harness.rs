@@ -392,7 +392,7 @@ fn run_neural_model<M: TrafficModel>(
     seed: u64,
 ) -> RunResult {
     let trainer = Trainer::new(train_config(profile, curriculum, seed));
-    let report = trainer.train(model, data);
+    let report = trainer.train(model, data).expect("training failed");
     let eval = trainer.evaluate(model, data, Split::Test);
     RunResult {
         model: model.name(),
@@ -426,7 +426,7 @@ pub fn run_timing(
         _ => {
             let result = with_neural_model(spec, data, profile, seed, |model| {
                 let trainer = build_trainer();
-                let report = trainer.train(model, data);
+                let report = trainer.train(model, data).expect("training failed");
                 let eval = trainer.evaluate(model, data, Split::Test);
                 RunResult {
                     model: model.name(),

@@ -1,15 +1,29 @@
 //! Model checkpointing: save/load the flat parameter list of any
-//! [`crate::TrafficModel`] (or any [`Module`]) as JSON. Shapes are validated on
-//! load, so a checkpoint can only be restored into an identically
+//! [`crate::TrafficModel`] (or any [`Module`]) as JSON. Shapes are validated
+//! on load, so a checkpoint can only be restored into an identically
 //! configured model.
+//!
+//! Format history:
+//! * **v1** — parameters only.
+//! * **v2** — adds `param_count` + FNV-1a `checksum` integrity metadata.
+//! * **v3** — adds an optional [`TrainState`]: the full mutable state of a
+//!   training run (Adam moments, RNG words, curriculum/epoch counters,
+//!   early-stopping bookkeeping, best-params snapshot) with its own
+//!   checksum, enabling exact, bit-identical resume after a crash. Files are
+//!   written crash-safely via [`write_atomic`] (temp file + fsync + rename).
+//!
+//! Every older version still loads: missing fields deserialize to `None`.
 
+use crate::training::{EpochStats, TrainConfig};
 use d2stgnn_tensor::nn::Module;
+use d2stgnn_tensor::optim::AdamState;
 use d2stgnn_tensor::Array;
 use serde::{Deserialize, Serialize};
+use std::io::Write;
 use std::path::Path;
 
 /// Current checkpoint format version written by [`snapshot`].
-pub const FORMAT_VERSION: u32 = 2;
+pub const FORMAT_VERSION: u32 = 3;
 
 /// A serialized set of model parameters.
 #[derive(Clone, Serialize, Deserialize)]
@@ -25,22 +39,118 @@ pub struct Checkpoint {
     /// FNV-1a checksum over every parameter's f32 bit pattern in canonical
     /// order (v2+; `None` in v1 files). Detects silent corruption.
     pub checksum: Option<u64>,
+    /// Full training-run state (v3+; `None` in model-only snapshots and all
+    /// older files). Ignored by inference-only consumers such as the serving
+    /// registry, which restore just `parameters`.
+    pub train: Option<TrainState>,
+}
+
+/// Everything mutable about an in-flight training run, captured at a batch
+/// boundary so [`crate::Trainer::train`] can resume bit-identically.
+#[derive(Clone, Serialize, Deserialize)]
+pub struct TrainState {
+    /// Trainer configuration at save time; resume verifies the
+    /// trajectory-affecting fields still match.
+    pub config: TrainConfig,
+    /// Epoch currently in progress (0-based).
+    pub epoch: usize,
+    /// Batches already completed within `epoch`.
+    pub batch_cursor: usize,
+    /// Shuffled window order of the in-progress epoch (chunked by
+    /// `config.batch_size` to recover the batch sequence).
+    pub epoch_order: Vec<usize>,
+    /// Global iteration counter (drives the curriculum level).
+    pub iteration: usize,
+    /// Running loss sum over the in-progress epoch.
+    pub loss_sum: f64,
+    /// Batches contributing to `loss_sum`.
+    pub loss_count: usize,
+    /// Highest curriculum level supervised so far.
+    pub max_level: usize,
+    /// Epochs since the last validation improvement.
+    pub since_best: usize,
+    /// Best validation MAE so far (`None` before the first evaluation).
+    pub best_val_mae: Option<f32>,
+    /// Epoch index of the best validation MAE.
+    pub best_epoch: usize,
+    /// Parameter snapshot at the best epoch (early-stopping restore target).
+    pub best_params: Option<Vec<Array>>,
+    /// Per-epoch statistics of the run so far.
+    pub epochs: Vec<EpochStats>,
+    /// Adam step counter and moment estimates, in parameter order.
+    pub optimizer: AdamState,
+    /// Learning rate in effect (after schedules and divergence halving).
+    pub lr: f32,
+    /// Shuffling/dropout RNG state words (`StdRng::state`).
+    pub rng: Vec<u64>,
+    /// Divergence rollbacks consumed so far.
+    pub rollbacks: usize,
+    /// FNV-1a over the optimizer moments, best-params snapshot, and RNG
+    /// words (`None` only in hand-built states). Detects silent corruption
+    /// of the non-parameter payload.
+    pub state_checksum: Option<u64>,
+}
+
+impl TrainState {
+    /// FNV-1a digest over the state's array payloads (optimizer moments and
+    /// the best-params snapshot) plus the RNG words.
+    pub fn compute_checksum(&self) -> u64 {
+        let mut h = Fnv1a::new();
+        for slot in self.optimizer.m.iter().chain(self.optimizer.v.iter()) {
+            match slot {
+                Some(a) => h.update_array(a),
+                // Distinguish `[None, x]` from `[x, None]`.
+                None => h.update_bytes(&[0xff]),
+            }
+        }
+        if let Some(best) = &self.best_params {
+            for a in best {
+                h.update_array(a);
+            }
+        }
+        for w in &self.rng {
+            h.update_bytes(&w.to_le_bytes());
+        }
+        h.finish()
+    }
+}
+
+/// Incremental FNV-1a hasher shared by the parameter and train-state
+/// checksums.
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    fn new() -> Self {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn update_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    fn update_array(&mut self, array: &Array) {
+        for v in array.data() {
+            self.update_bytes(&v.to_bits().to_le_bytes());
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
 }
 
 /// FNV-1a over the little-endian f32 bit patterns of all parameter arrays in
 /// order. Bit-pattern based, so `-0.0`/`0.0` and distinct NaN payloads hash
 /// differently and the digest is platform independent.
 pub fn params_checksum(parameters: &[Array]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut h = Fnv1a::new();
     for array in parameters {
-        for v in array.data() {
-            for b in v.to_bits().to_le_bytes() {
-                h ^= b as u64;
-                h = h.wrapping_mul(0x100_0000_01b3);
-            }
-        }
+        h.update_array(array);
     }
-    h
+    h.finish()
 }
 
 impl Checkpoint {
@@ -52,7 +162,8 @@ impl Checkpoint {
     /// Verify the stored integrity metadata against the parameter payload.
     ///
     /// v1 checkpoints carry no metadata and pass vacuously; v2 checkpoints
-    /// must match both the parameter count and the checksum.
+    /// must match both the parameter count and the checksum; v3 checkpoints
+    /// additionally verify the train-state checksum when one is present.
     pub fn verify_integrity(&self) -> Result<(), CheckpointError> {
         if let Some(expected) = self.param_count {
             let actual = self.total_params();
@@ -68,6 +179,17 @@ impl Checkpoint {
                 return Err(CheckpointError::Mismatch(format!(
                     "checkpoint checksum {expected:#018x} does not match payload {actual:#018x}"
                 )));
+            }
+        }
+        if let Some(train) = &self.train {
+            if let Some(expected) = train.state_checksum {
+                let actual = train.compute_checksum();
+                if actual != expected {
+                    return Err(CheckpointError::Mismatch(format!(
+                        "train-state checksum {expected:#018x} does not match payload \
+                         {actual:#018x}"
+                    )));
+                }
             }
         }
         Ok(())
@@ -87,6 +209,7 @@ pub fn snapshot<M: Module + ?Sized>(model: &M, tag: &str) -> Checkpoint {
         parameters,
         param_count: Some(param_count),
         checksum: Some(checksum),
+        train: None,
     }
 }
 
@@ -115,12 +238,42 @@ pub fn restore<M: Module + ?Sized>(model: &M, ckpt: &Checkpoint) -> Result<(), C
     Ok(())
 }
 
-/// Save a module's parameters to a JSON file.
-pub fn save<M: Module + ?Sized>(model: &M, tag: &str, path: &Path) -> Result<(), CheckpointError> {
-    let ckpt = snapshot(model, tag);
-    let json = serde_json::to_string(&ckpt).map_err(|e| CheckpointError::Parse(e.to_string()))?;
-    std::fs::write(path, json)?;
+/// Write `bytes` to `path` crash-safely: serialize into a same-directory
+/// temp file, fsync it, then atomically rename it over the destination. A
+/// process killed at any instant leaves either the previous file intact or
+/// the complete new one — never a truncated hybrid. The directory itself is
+/// fsynced best-effort so the rename survives a power loss too.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), CheckpointError> {
+    let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    if let Err(e) = std::fs::rename(&tmp, path) {
+        std::fs::remove_file(&tmp).ok();
+        return Err(e.into());
+    }
+    if let Some(dir) = dir {
+        if let Ok(d) = std::fs::File::open(dir) {
+            d.sync_all().ok();
+        }
+    }
     Ok(())
+}
+
+/// Serialize a checkpoint value to `path` via [`write_atomic`].
+pub fn persist(ckpt: &Checkpoint, path: &Path) -> Result<(), CheckpointError> {
+    let json = serde_json::to_string(ckpt).map_err(|e| CheckpointError::Parse(e.to_string()))?;
+    write_atomic(path, json.as_bytes())
+}
+
+/// Save a module's parameters to a JSON file (crash-safe write).
+pub fn save<M: Module + ?Sized>(model: &M, tag: &str, path: &Path) -> Result<(), CheckpointError> {
+    persist(&snapshot(model, tag), path)
 }
 
 /// Parse a checkpoint from a JSON file and verify its integrity metadata
@@ -270,5 +423,140 @@ mod tests {
         let err = load(&a, Path::new("/nonexistent/ckpt.json"))
             .expect_err("missing file must surface an I/O error");
         assert!(matches!(err, CheckpointError::Io(_)));
+    }
+
+    fn arr(data: &[f32]) -> Array {
+        Array::from_vec(&[data.len()], data.to_vec()).expect("test array")
+    }
+
+    fn sample_train_state() -> TrainState {
+        let mut s = TrainState {
+            config: TrainConfig::default(),
+            epoch: 1,
+            batch_cursor: 3,
+            epoch_order: vec![4, 2, 0, 1, 3],
+            iteration: 8,
+            loss_sum: 1.5,
+            loss_count: 3,
+            max_level: 2,
+            since_best: 1,
+            best_val_mae: Some(0.75),
+            best_epoch: 0,
+            best_params: Some(vec![arr(&[0.1, -0.2])]),
+            epochs: vec![EpochStats {
+                epoch: 0,
+                train_loss: 1.0,
+                val_mae: 0.75,
+                seconds: 0.5,
+            }],
+            optimizer: AdamState {
+                t: 8,
+                m: vec![Some(arr(&[1.0, 2.0])), None, Some(arr(&[-3.5]))],
+                v: vec![Some(arr(&[0.5, 0.25])), None, Some(arr(&[0.125]))],
+            },
+            lr: 5e-4,
+            rng: vec![1, 2, 3, 4],
+            rollbacks: 1,
+            state_checksum: None,
+        };
+        s.state_checksum = Some(s.compute_checksum());
+        s
+    }
+
+    #[test]
+    fn v3_train_state_roundtrips() -> Result<(), CheckpointError> {
+        let mut rng = StdRng::seed_from_u64(8);
+        let a = Linear::new(2, 2, true, &mut rng);
+        let mut ckpt = snapshot(&a, "trainer");
+        ckpt.train = Some(sample_train_state());
+        let dir = std::env::temp_dir().join("d2stgnn-ckpt-test");
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.join("v3.json");
+        persist(&ckpt, &path)?;
+        let loaded = read(&path)?;
+        assert_eq!(loaded.version, FORMAT_VERSION);
+        let t = loaded.train.expect("v3 file must carry training state");
+        assert_eq!(t.epoch, 1);
+        assert_eq!(t.batch_cursor, 3);
+        assert_eq!(t.epoch_order, vec![4, 2, 0, 1, 3]);
+        assert_eq!(t.iteration, 8);
+        assert_eq!(t.rng, vec![1, 2, 3, 4]);
+        assert_eq!(t.rollbacks, 1);
+        assert_eq!(t.best_val_mae.map(f32::to_bits), Some(0.75f32.to_bits()));
+        assert_eq!(t.lr.to_bits(), 5e-4f32.to_bits());
+        assert_eq!(t.optimizer.t, 8);
+        assert!(t.optimizer.m[1].is_none() && t.optimizer.v[1].is_none());
+        assert_eq!(
+            t.optimizer.m[0].as_ref().map(Array::data),
+            Some([1.0, 2.0].as_slice())
+        );
+        assert_eq!(t.config.batch_size, TrainConfig::default().batch_size);
+        std::fs::remove_file(&path).ok();
+        Ok(())
+    }
+
+    #[test]
+    fn tampered_train_state_is_rejected() -> Result<(), CheckpointError> {
+        let mut rng = StdRng::seed_from_u64(9);
+        let a = Linear::new(2, 2, true, &mut rng);
+        let mut ckpt = snapshot(&a, "trainer");
+        ckpt.train = Some(sample_train_state());
+        let dir = std::env::temp_dir().join("d2stgnn-ckpt-test");
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.join("v3-tampered.json");
+        persist(&ckpt, &path)?;
+        let json = std::fs::read_to_string(&path)?;
+        let tampered = json.replacen("\"rng\":[1,2,3,4]", "\"rng\":[1,2,3,5]", 1);
+        assert_ne!(json, tampered, "tamper target not found in JSON");
+        std::fs::write(&path, &tampered)?;
+        let err = match read(&path) {
+            Ok(_) => panic!("tampered train state must be rejected"),
+            Err(e) => e,
+        };
+        assert!(err.to_string().contains("train-state"), "got {err}");
+        std::fs::remove_file(&path).ok();
+        Ok(())
+    }
+
+    #[test]
+    fn v2_checkpoint_without_train_key_still_loads() -> Result<(), CheckpointError> {
+        let mut rng = StdRng::seed_from_u64(10);
+        let a = Linear::new(2, 3, true, &mut rng);
+        let mut ckpt = snapshot(&a, "legacy-v2");
+        ckpt.version = 2;
+        let json =
+            serde_json::to_string(&ckpt).map_err(|e| CheckpointError::Parse(e.to_string()))?;
+        // A real v2 file has no "train" key at all; strip the null the v3
+        // serializer emits.
+        let json = json.replacen(",\"train\":null", "", 1);
+        assert!(!json.contains("train"), "v2 fixture must lack the field");
+        let dir = std::env::temp_dir().join("d2stgnn-ckpt-test");
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.join("v2.json");
+        std::fs::write(&path, &json)?;
+        let loaded = read(&path)?;
+        assert_eq!(loaded.version, 2);
+        assert!(loaded.train.is_none());
+        load(&a, &path)?;
+        std::fs::remove_file(&path).ok();
+        Ok(())
+    }
+
+    #[test]
+    fn write_atomic_replaces_and_leaves_no_temp() -> Result<(), CheckpointError> {
+        let dir = std::env::temp_dir().join("d2stgnn-ckpt-test");
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.join("atomic.json");
+        write_atomic(&path, b"first")?;
+        write_atomic(&path, b"second")?;
+        assert_eq!(std::fs::read_to_string(&path)?, "second");
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        assert!(
+            !Path::new(&tmp).exists(),
+            "temp file must not survive a successful write"
+        );
+        std::fs::remove_file(&path).ok();
+        Ok(())
     }
 }

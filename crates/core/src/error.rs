@@ -56,6 +56,61 @@ impl From<std::io::Error> for CheckpointError {
     }
 }
 
+/// Errors surfaced by [`crate::Trainer::train`]. Training failures are
+/// recoverable library conditions, not invariant violations, so they are
+/// typed instead of routed through the panic funnel.
+#[derive(Debug)]
+pub enum TrainError {
+    /// A non-finite loss or gradient survived every rollback in the budget.
+    Diverged {
+        /// Epoch in progress when the final divergence was detected.
+        epoch: usize,
+        /// Global iteration (batch) counter at detection.
+        iteration: usize,
+        /// Rollbacks consumed before giving up.
+        rollbacks: usize,
+    },
+    /// The dataset's validation split contains no windows: early stopping
+    /// would compare against all-zero metrics and stop at epoch 0.
+    EmptyValidation,
+    /// Reading or writing a training checkpoint failed.
+    Checkpoint(CheckpointError),
+    /// A resume checkpoint is unusable for this run (not a v3 full-state
+    /// file, or its recorded configuration disagrees with the trainer's).
+    ResumeMismatch(String),
+}
+
+impl fmt::Display for TrainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrainError::Diverged {
+                epoch,
+                iteration,
+                rollbacks,
+            } => write!(
+                f,
+                "training diverged: non-finite loss/gradient at epoch {epoch} iteration \
+                 {iteration} after {rollbacks} rollback(s)"
+            ),
+            TrainError::EmptyValidation => write!(
+                f,
+                "validation split is empty: early stopping would track all-zero metrics \
+                 (use a non-zero validation fraction)"
+            ),
+            TrainError::Checkpoint(e) => write!(f, "train checkpoint: {e}"),
+            TrainError::ResumeMismatch(e) => write!(f, "resume mismatch: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TrainError {}
+
+impl From<CheckpointError> for TrainError {
+    fn from(e: CheckpointError) -> Self {
+        TrainError::Checkpoint(e)
+    }
+}
+
 /// The crate's single panic funnel for unrecoverable invariant violations.
 ///
 /// Model construction and the forward pass keep their documented

@@ -31,9 +31,9 @@ pub mod model;
 pub mod training;
 pub mod traits;
 
-pub use checkpoint::{load as load_checkpoint, save as save_checkpoint, Checkpoint};
+pub use checkpoint::{load as load_checkpoint, save as save_checkpoint, Checkpoint, TrainState};
 pub use config::{BlockOrder, D2stgnnConfig};
-pub use error::{CheckpointError, ConfigError};
+pub use error::{CheckpointError, ConfigError, TrainError};
 pub use model::D2stgnn;
 pub use training::{EvalResult, TrainConfig, TrainReport, Trainer};
 pub use traits::TrafficModel;

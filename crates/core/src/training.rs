@@ -1,7 +1,18 @@
 //! Training loop (Section 5.4): Adam on masked MAE with curriculum learning
 //! (the supervised horizon grows during training) and early stopping on
 //! validation MAE, as in the paper's implementation.
+//!
+//! The loop is fault tolerant: it can persist a full-state checkpoint
+//! ([`crate::checkpoint::TrainState`], format v3) at epoch boundaries and at
+//! a configurable mid-epoch cadence via crash-safe atomic writes, resume a
+//! killed run bit-identically ([`TrainConfig::resume_from`]), and recover
+//! from divergence (non-finite loss or gradient norm) by rolling back to the
+//! last good state with a halved learning rate, up to
+//! [`TrainConfig::divergence_retries`] times before reporting
+//! [`TrainError::Diverged`].
 
+use crate::checkpoint::{self, TrainState};
+use crate::error::TrainError;
 use crate::traits::TrafficModel;
 use d2stgnn_data::{metrics, Metrics, Split, WindowedDataset};
 use d2stgnn_tensor::losses::masked_mae_loss;
@@ -10,6 +21,7 @@ use d2stgnn_tensor::{Array, Tensor};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
+use std::path::Path;
 use std::time::Instant;
 
 /// Trainer configuration. Defaults mirror Section 6.1 (Adam, lr 1e-3,
@@ -43,6 +55,24 @@ pub struct TrainConfig {
     pub seed: u64,
     /// Print per-epoch progress to stderr.
     pub verbose: bool,
+    /// Write a full-state checkpoint (format v3) to this path, crash-safely,
+    /// at every epoch boundary and every
+    /// [`TrainConfig::checkpoint_every_batches`] batches. `None` disables
+    /// persistence (divergence rollback still works from the in-memory
+    /// restore point).
+    pub checkpoint_path: Option<String>,
+    /// Mid-epoch checkpoint cadence in batches (0 = epoch boundaries only).
+    /// Also how often the in-memory divergence restore point is refreshed.
+    pub checkpoint_every_batches: usize,
+    /// Resume from this v3 full-state checkpoint before training: the run
+    /// continues exactly where it stopped (same shuffle order, dropout
+    /// stream, optimizer moments, curriculum level, and early-stopping
+    /// bookkeeping), producing bit-identical final parameters.
+    pub resume_from: Option<String>,
+    /// Divergence rollbacks allowed before the run fails with
+    /// [`TrainError::Diverged`]. Each rollback restores the last good state
+    /// and halves the learning rate.
+    pub divergence_retries: usize,
 }
 
 impl Default for TrainConfig {
@@ -60,6 +90,10 @@ impl Default for TrainConfig {
             null_val: 0.0,
             seed: 7,
             verbose: false,
+            checkpoint_path: None,
+            checkpoint_every_batches: 0,
+            resume_from: None,
+            divergence_retries: 3,
         }
     }
 }
@@ -76,7 +110,8 @@ impl TrainConfig {
     }
 }
 
-/// Statistics of one training epoch.
+/// Statistics of one training epoch. After a mid-epoch resume, `seconds`
+/// covers only the portion of the epoch run by the resuming process.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct EpochStats {
     /// Epoch index (0-based).
@@ -100,6 +135,11 @@ pub struct TrainReport {
     pub best_epoch: usize,
     /// Mean training seconds per epoch (Figure 6's quantity).
     pub avg_epoch_seconds: f64,
+    /// Divergence rollbacks consumed over the whole run.
+    pub rollbacks: usize,
+    /// Learning rate in effect when training finished (after schedules and
+    /// divergence halving).
+    pub final_lr: f32,
 }
 
 /// Per-split evaluation output.
@@ -115,7 +155,33 @@ pub struct EvalResult {
     pub horizons: Vec<(usize, Metrics)>,
 }
 
-/// Orchestrates optimization, curriculum, early stopping, and evaluation.
+/// Mutable loop state, grouped so the checkpoint capture/restore paths and
+/// the divergence rollback handle every field uniformly.
+struct LoopVars {
+    epoch: usize,
+    batch_cursor: usize,
+    epoch_order: Vec<usize>,
+    iteration: usize,
+    loss_sum: f64,
+    loss_count: usize,
+    max_level: usize,
+    since_best: usize,
+    best_val_mae: Option<f32>,
+    best_epoch: usize,
+    best_params: Option<Vec<Array>>,
+    epochs: Vec<EpochStats>,
+    rollbacks: usize,
+}
+
+/// In-memory rollback target: parameter values plus the matching
+/// [`TrainState`], captured at the same points a checkpoint would be written.
+struct Restorepoint {
+    params: Vec<Array>,
+    state: TrainState,
+}
+
+/// Orchestrates optimization, curriculum, early stopping, evaluation, and
+/// fault tolerance (checkpoint/resume/rollback).
 pub struct Trainer {
     cfg: TrainConfig,
 }
@@ -133,53 +199,115 @@ impl Trainer {
 
     /// Train `model` on the dataset's train split, early-stopping on the
     /// validation split, restoring the best parameters before returning.
+    ///
+    /// # Errors
+    /// * [`TrainError::EmptyValidation`] if the validation split has no
+    ///   windows (early stopping would track all-zero metrics and freeze the
+    ///   epoch-0 parameters as "best").
+    /// * [`TrainError::Diverged`] if a non-finite loss or gradient norm
+    ///   survives every rollback in [`TrainConfig::divergence_retries`].
+    /// * [`TrainError::Checkpoint`] / [`TrainError::ResumeMismatch`] for
+    ///   unreadable, corrupt, or incompatible checkpoint files.
     pub fn train<M: TrafficModel + ?Sized>(
         &self,
         model: &M,
         data: &WindowedDataset,
-    ) -> TrainReport {
+    ) -> Result<TrainReport, TrainError> {
+        if data.is_empty(Split::Val) {
+            return Err(TrainError::EmptyValidation);
+        }
         let mut rng = StdRng::seed_from_u64(self.cfg.seed);
         let mut opt = Adam::new(model.parameters(), self.cfg.lr);
         let params = model.parameters();
         let scaler = *data.scaler();
         let tf = data.tf();
 
-        let mut report = TrainReport {
-            epochs: Vec::new(),
-            best_val_mae: f32::INFINITY,
+        let mut vars = LoopVars {
+            epoch: 0,
+            batch_cursor: 0,
+            epoch_order: Vec::new(),
+            iteration: 0,
+            loss_sum: 0.0,
+            loss_count: 0,
+            max_level: if self.cfg.curriculum { 1 } else { tf },
+            since_best: 0,
+            best_val_mae: None,
             best_epoch: 0,
-            avg_epoch_seconds: 0.0,
+            best_params: None,
+            epochs: Vec::new(),
+            rollbacks: 0,
         };
-        let mut best_params: Option<Vec<Array>> = None;
-        let mut since_best = 0usize;
-        let mut iteration = 0usize;
-        let mut max_level_reached = if self.cfg.curriculum { 1 } else { tf };
 
-        for epoch in 0..self.cfg.max_epochs {
-            // Learning-rate schedule.
-            if self.cfg.lr_decay != 1.0
-                && epoch > 0
-                && self.cfg.lr_decay_every > 0
-                && epoch % self.cfg.lr_decay_every == 0
-            {
-                opt.set_learning_rate(opt.learning_rate() * self.cfg.lr_decay);
+        if let Some(path) = &self.cfg.resume_from {
+            let ckpt = checkpoint::read(Path::new(path))?;
+            let state = ckpt.train.as_ref().ok_or_else(|| {
+                TrainError::ResumeMismatch(format!(
+                    "{path} is a model-only (v{}) checkpoint without training state",
+                    ckpt.version
+                ))
+            })?;
+            self.check_resume_config(&state.config)?;
+            checkpoint::restore(model, &ckpt)?;
+            apply_state(state, &mut vars, &mut opt, &mut rng)?;
+            d2stgnn_obsv::counter_add!("d2stgnn_core_train_resume_total", 1);
+            d2stgnn_obsv::event!(
+                "d2stgnn_core_train_resume",
+                epoch = vars.epoch,
+                iteration = vars.iteration,
+                batch_cursor = vars.batch_cursor
+            );
+            if self.cfg.verbose {
+                d2stgnn_obsv::console_line(&format!(
+                    "[{}] resumed from {path}: epoch {} batch {} iteration {}",
+                    model.name(),
+                    vars.epoch,
+                    vars.batch_cursor,
+                    vars.iteration
+                ));
+            }
+        }
+
+        let mut last_good = self.restorepoint(&params, &vars, &opt, &rng);
+
+        'training: while vars.epoch < self.cfg.max_epochs {
+            let epoch = vars.epoch;
+            if vars.epoch_order.is_empty() && vars.batch_cursor == 0 {
+                // Fresh epoch (not a mid-epoch resume): apply the lr
+                // schedule, then draw the shuffled window order.
+                if self.cfg.lr_decay != 1.0
+                    && epoch > 0
+                    && self.cfg.lr_decay_every > 0
+                    && epoch.is_multiple_of(self.cfg.lr_decay_every)
+                {
+                    opt.set_learning_rate(opt.learning_rate() * self.cfg.lr_decay);
+                }
+                vars.epoch_order = data
+                    .epoch_batches(Split::Train, self.cfg.batch_size, true, &mut rng)
+                    .into_iter()
+                    .flatten()
+                    .collect();
+                vars.loss_sum = 0.0;
+                vars.loss_count = 0;
             }
             let mut epoch_span = d2stgnn_obsv::span!("d2stgnn_core_train_epoch", epoch = epoch);
             d2stgnn_obsv::record!(epoch_span, lr = f64::from(opt.learning_rate()));
             d2stgnn_obsv::gauge_set!("d2stgnn_core_train_lr", f64::from(opt.learning_rate()));
             let start = Instant::now();
-            let mut loss_sum = 0f64;
-            let mut loss_count = 0usize;
-            for idx in data.epoch_batches(Split::Train, self.cfg.batch_size, true, &mut rng) {
+            let bs = self.cfg.batch_size.max(1);
+            let num_batches = vars.epoch_order.len().div_ceil(bs);
+            while vars.batch_cursor < num_batches {
                 let mut batch_span = d2stgnn_obsv::span!("d2stgnn_core_train_batch");
+                let lo = vars.batch_cursor * bs;
+                let hi = (lo + bs).min(vars.epoch_order.len());
+                let idx: Vec<usize> = vars.epoch_order[lo..hi].to_vec();
                 let batch = data.batch(Split::Train, &idx);
                 // Curriculum: supervise horizons 1..=level.
                 let level = if self.cfg.curriculum {
-                    (1 + iteration / self.cfg.cl_step.max(1)).min(tf)
+                    (1 + vars.iteration / self.cfg.cl_step.max(1)).min(tf)
                 } else {
                     tf
                 };
-                max_level_reached = max_level_reached.max(level);
+                vars.max_level = vars.max_level.max(level);
                 let pred_norm = model.forward(&batch, true, &mut rng);
                 let pred = pred_norm.scale(scaler.std()).add_scalar(scaler.mean());
                 let target = Tensor::constant(batch.y.clone());
@@ -190,12 +318,55 @@ impl Trainer {
                 };
                 let loss = masked_mae_loss(&pred_sup, &target_sup, self.cfg.null_val);
                 let loss_val = loss.item();
-                assert!(
-                    loss_val.is_finite(),
-                    "training diverged: non-finite loss at epoch {epoch}"
-                );
-                loss.backward();
-                let grad_norm = clip_grad_norm(&params, self.cfg.clip_norm);
+                let mut grad_norm = f32::NAN;
+                let mut diverged = !loss_val.is_finite();
+                if !diverged {
+                    loss.backward();
+                    grad_norm = clip_grad_norm(&params, self.cfg.clip_norm);
+                    // A non-finite norm means clipping was a no-op and the
+                    // gradients are poisoned; do not let Adam consume them.
+                    diverged = !grad_norm.is_finite();
+                }
+                if diverged {
+                    for p in &params {
+                        p.zero_grad();
+                    }
+                    d2stgnn_obsv::counter_add!("d2stgnn_core_train_divergence_total", 1);
+                    d2stgnn_obsv::event!(
+                        "d2stgnn_core_train_divergence",
+                        epoch = epoch,
+                        iteration = vars.iteration,
+                        loss = f64::from(loss_val),
+                        grad_norm = f64::from(grad_norm)
+                    );
+                    if vars.rollbacks >= self.cfg.divergence_retries {
+                        return Err(TrainError::Diverged {
+                            epoch,
+                            iteration: vars.iteration,
+                            rollbacks: vars.rollbacks,
+                        });
+                    }
+                    let consumed = vars.rollbacks + 1;
+                    // Halve the restore point's lr so repeated rollbacks
+                    // keep shrinking it.
+                    last_good.state.lr *= 0.5;
+                    for (p, v) in params.iter().zip(&last_good.params) {
+                        p.set_value(v.clone());
+                    }
+                    apply_state(&last_good.state, &mut vars, &mut opt, &mut rng)?;
+                    vars.rollbacks = consumed;
+                    d2stgnn_obsv::counter_add!("d2stgnn_core_train_rollback_total", 1);
+                    if self.cfg.verbose {
+                        d2stgnn_obsv::console_line(&format!(
+                            "[{}] divergence at epoch {epoch}: rolled back (retry {consumed}/{}) \
+                             with lr {:.3e}",
+                            model.name(),
+                            self.cfg.divergence_retries,
+                            opt.learning_rate()
+                        ));
+                    }
+                    continue 'training;
+                }
                 opt.step();
                 d2stgnn_obsv::counter_add!("d2stgnn_core_train_batches_total", 1);
                 d2stgnn_obsv::record!(batch_span, level = level);
@@ -206,16 +377,27 @@ impl Trainer {
                     grad_norm_clipped = grad_norm.min(self.cfg.clip_norm)
                 );
                 d2stgnn_obsv::observe!("d2stgnn_core_train_grad_norm", f64::from(grad_norm));
-                loss_sum += loss_val as f64;
-                loss_count += 1;
-                iteration += 1;
+                vars.loss_sum += loss_val as f64;
+                vars.loss_count += 1;
+                vars.iteration += 1;
+                vars.batch_cursor += 1;
+                if self.cfg.checkpoint_every_batches > 0
+                    && vars
+                        .batch_cursor
+                        .is_multiple_of(self.cfg.checkpoint_every_batches)
+                {
+                    last_good = self.restorepoint(&params, &vars, &opt, &rng);
+                    if let Some(path) = &self.cfg.checkpoint_path {
+                        write_checkpoint(model, &last_good.state, path)?;
+                    }
+                }
             }
             let seconds = start.elapsed().as_secs_f64();
 
             let val = self.evaluate(model, data, Split::Val);
             let stats = EpochStats {
                 epoch,
-                train_loss: (loss_sum / loss_count.max(1) as f64) as f32,
+                train_loss: (vars.loss_sum / vars.loss_count.max(1) as f64) as f32,
                 val_mae: val.overall.mae,
                 seconds,
             };
@@ -231,45 +413,143 @@ impl Trainer {
                     stats.val_mae
                 ));
             }
-            report.epochs.push(stats);
+            vars.epochs.push(stats);
 
-            if val.overall.mae < report.best_val_mae {
-                report.best_val_mae = val.overall.mae;
-                report.best_epoch = epoch;
-                best_params = Some(params.iter().map(Tensor::value).collect());
-                since_best = 0;
+            let improved = vars.best_val_mae.is_none_or(|best| val.overall.mae < best);
+            if improved {
+                vars.best_val_mae = Some(val.overall.mae);
+                vars.best_epoch = epoch;
+                vars.best_params = Some(params.iter().map(Tensor::value).collect());
+                vars.since_best = 0;
             } else {
-                since_best += 1;
-                if since_best >= self.cfg.patience {
-                    break;
-                }
+                vars.since_best += 1;
+            }
+
+            // Epoch boundary: advance, refresh the restore point, persist.
+            vars.epoch += 1;
+            vars.batch_cursor = 0;
+            vars.epoch_order.clear();
+            vars.loss_sum = 0.0;
+            vars.loss_count = 0;
+            last_good = self.restorepoint(&params, &vars, &opt, &rng);
+            if let Some(path) = &self.cfg.checkpoint_path {
+                write_checkpoint(model, &last_good.state, path)?;
+            }
+            if !improved && vars.since_best >= self.cfg.patience {
+                break;
             }
         }
 
-        if max_level_reached < tf {
+        if vars.max_level < tf {
             d2stgnn_obsv::event!(
                 "d2stgnn_core_train_curriculum_truncated",
-                max_level = max_level_reached,
+                max_level = vars.max_level,
                 horizon = tf
             );
             if self.cfg.verbose {
                 d2stgnn_obsv::console_line(&format!(
-                    "[{}] WARNING: curriculum only reached horizon {max_level_reached}/{tf}; \
-                     horizons beyond that were never supervised. Lower cl_step or raise \
-                     max_epochs.",
-                    model.name()
+                    "[{}] WARNING: curriculum only reached horizon {}/{tf}; horizons beyond \
+                     that were never supervised. Lower cl_step or raise max_epochs.",
+                    model.name(),
+                    vars.max_level
                 ));
             }
         }
         // Restore the best parameters (early-stopping checkpoint).
-        if let Some(best) = best_params {
+        if let Some(best) = vars.best_params {
             for (p, v) in params.iter().zip(best) {
                 p.set_value(v);
             }
         }
-        report.avg_epoch_seconds = report.epochs.iter().map(|e| e.seconds).sum::<f64>()
-            / report.epochs.len().max(1) as f64;
-        report
+        Ok(TrainReport {
+            best_val_mae: vars.best_val_mae.unwrap_or(f32::INFINITY),
+            best_epoch: vars.best_epoch,
+            avg_epoch_seconds: vars.epochs.iter().map(|e| e.seconds).sum::<f64>()
+                / vars.epochs.len().max(1) as f64,
+            epochs: vars.epochs,
+            rollbacks: vars.rollbacks,
+            final_lr: opt.learning_rate(),
+        })
+    }
+
+    /// Capture the in-memory rollback target (parameters + full state), the
+    /// same payload a persisted checkpoint carries.
+    fn restorepoint(
+        &self,
+        params: &[Tensor],
+        vars: &LoopVars,
+        opt: &Adam,
+        rng: &StdRng,
+    ) -> Restorepoint {
+        let mut state = TrainState {
+            config: self.cfg.clone(),
+            epoch: vars.epoch,
+            batch_cursor: vars.batch_cursor,
+            epoch_order: vars.epoch_order.clone(),
+            iteration: vars.iteration,
+            loss_sum: vars.loss_sum,
+            loss_count: vars.loss_count,
+            max_level: vars.max_level,
+            since_best: vars.since_best,
+            best_val_mae: vars.best_val_mae,
+            best_epoch: vars.best_epoch,
+            best_params: vars.best_params.clone(),
+            epochs: vars.epochs.clone(),
+            optimizer: opt.export_state(),
+            lr: opt.learning_rate(),
+            rng: rng.state().to_vec(),
+            rollbacks: vars.rollbacks,
+            state_checksum: None,
+        };
+        state.state_checksum = Some(state.compute_checksum());
+        Restorepoint {
+            params: params.iter().map(Tensor::value).collect(),
+            state,
+        }
+    }
+
+    /// Reject resume checkpoints whose trajectory-affecting configuration
+    /// differs from this trainer's. Bounds (`max_epochs`, `patience`) and
+    /// I/O fields may differ — extending a finished run is legitimate.
+    fn check_resume_config(&self, saved: &TrainConfig) -> Result<(), TrainError> {
+        let c = &self.cfg;
+        let mut diffs: Vec<&str> = Vec::new();
+        if saved.lr != c.lr {
+            diffs.push("lr");
+        }
+        if saved.batch_size != c.batch_size {
+            diffs.push("batch_size");
+        }
+        if saved.clip_norm != c.clip_norm {
+            diffs.push("clip_norm");
+        }
+        if saved.curriculum != c.curriculum {
+            diffs.push("curriculum");
+        }
+        if saved.cl_step != c.cl_step {
+            diffs.push("cl_step");
+        }
+        if saved.lr_decay != c.lr_decay {
+            diffs.push("lr_decay");
+        }
+        if saved.lr_decay_every != c.lr_decay_every {
+            diffs.push("lr_decay_every");
+        }
+        if !(saved.null_val == c.null_val || (saved.null_val.is_nan() && c.null_val.is_nan())) {
+            diffs.push("null_val");
+        }
+        if saved.seed != c.seed {
+            diffs.push("seed");
+        }
+        if diffs.is_empty() {
+            Ok(())
+        } else {
+            Err(TrainError::ResumeMismatch(format!(
+                "checkpoint was written with different {}; resuming would not reproduce the \
+                 interrupted trajectory",
+                diffs.join(", ")
+            )))
+        }
     }
 
     /// Evaluate on a split: de-normalized predictions, per-horizon metrics.
@@ -310,12 +590,62 @@ impl Trainer {
     }
 }
 
+/// Restore optimizer, RNG, and loop counters from a [`TrainState`].
+fn apply_state(
+    state: &TrainState,
+    vars: &mut LoopVars,
+    opt: &mut Adam,
+    rng: &mut StdRng,
+) -> Result<(), TrainError> {
+    opt.import_state(&state.optimizer)
+        .map_err(|e| TrainError::ResumeMismatch(format!("optimizer state: {e}")))?;
+    opt.set_learning_rate(state.lr);
+    let words: [u64; 4] = state.rng.as_slice().try_into().map_err(|_| {
+        TrainError::ResumeMismatch(format!(
+            "expected 4 RNG state words, found {}",
+            state.rng.len()
+        ))
+    })?;
+    *rng = StdRng::from_state(words);
+    vars.epoch = state.epoch;
+    vars.batch_cursor = state.batch_cursor;
+    vars.epoch_order = state.epoch_order.clone();
+    vars.iteration = state.iteration;
+    vars.loss_sum = state.loss_sum;
+    vars.loss_count = state.loss_count;
+    vars.max_level = state.max_level;
+    vars.since_best = state.since_best;
+    vars.best_val_mae = state.best_val_mae;
+    vars.best_epoch = state.best_epoch;
+    vars.best_params = state.best_params.clone();
+    vars.epochs = state.epochs.clone();
+    vars.rollbacks = state.rollbacks;
+    Ok(())
+}
+
+/// Persist a full-state checkpoint (format v3) via the crash-safe writer.
+fn write_checkpoint<M: TrafficModel + ?Sized>(
+    model: &M,
+    state: &TrainState,
+    path: &str,
+) -> Result<(), TrainError> {
+    let mut span = d2stgnn_obsv::span!("d2stgnn_core_train_checkpoint");
+    let mut ckpt = checkpoint::snapshot(model, &model.name());
+    ckpt.train = Some(state.clone());
+    checkpoint::persist(&ckpt, Path::new(path))?;
+    d2stgnn_obsv::record!(span, epoch = state.epoch);
+    d2stgnn_obsv::record!(span, iteration = state.iteration);
+    d2stgnn_obsv::counter_add!("d2stgnn_core_train_checkpoints_total", 1);
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::config::D2stgnnConfig;
     use crate::model::D2stgnn;
-    use d2stgnn_data::{simulate, SimulatorConfig};
+    use d2stgnn_data::{simulate, Batch, SimulatorConfig};
+    use std::cell::Cell;
 
     fn tiny_dataset() -> WindowedDataset {
         let mut sim = SimulatorConfig::tiny();
@@ -335,6 +665,43 @@ mod tests {
         D2stgnn::new(cfg, &data.data().network.clone(), &mut rng)
     }
 
+    fn params_digest<M: TrafficModel + ?Sized>(model: &M) -> u64 {
+        let values: Vec<Array> = model.parameters().iter().map(Tensor::value).collect();
+        checkpoint::params_checksum(&values)
+    }
+
+    /// Wraps a model and poisons the first `poison` *training* forwards with
+    /// NaN predictions, simulating transient numeric blow-ups.
+    struct FlakyModel {
+        inner: D2stgnn,
+        poison: Cell<usize>,
+    }
+
+    impl d2stgnn_tensor::nn::Module for FlakyModel {
+        fn parameters(&self) -> Vec<Tensor> {
+            self.inner.parameters()
+        }
+    }
+
+    impl TrafficModel for FlakyModel {
+        fn forward(&self, batch: &Batch, training: bool, rng: &mut StdRng) -> Tensor {
+            let out = self.inner.forward(batch, training, rng);
+            if training && self.poison.get() > 0 {
+                self.poison.set(self.poison.get() - 1);
+                return out.scale(f32::NAN);
+            }
+            out
+        }
+
+        fn name(&self) -> String {
+            "flaky".to_string()
+        }
+
+        fn horizon(&self) -> usize {
+            self.inner.horizon()
+        }
+    }
+
     #[test]
     fn training_improves_validation_mae() {
         let data = tiny_dataset();
@@ -347,7 +714,7 @@ mod tests {
             ..TrainConfig::default()
         });
         let before = trainer.evaluate(&model, &data, Split::Val).overall.mae;
-        let report = trainer.train(&model, &data);
+        let report = trainer.train(&model, &data).expect("training must succeed");
         assert!(!report.epochs.is_empty());
         assert!(
             report.best_val_mae < before,
@@ -355,6 +722,8 @@ mod tests {
             report.best_val_mae
         );
         assert!(report.avg_epoch_seconds > 0.0);
+        assert_eq!(report.rollbacks, 0);
+        assert_eq!(report.final_lr, 3e-3);
     }
 
     #[test]
@@ -366,7 +735,7 @@ mod tests {
             patience: 1,
             ..TrainConfig::default()
         });
-        let report = trainer.train(&model, &data);
+        let report = trainer.train(&model, &data).expect("training must succeed");
         // After restore, evaluating val reproduces the best recorded MAE.
         let val = trainer.evaluate(&model, &data, Split::Val);
         assert!(
@@ -390,7 +759,7 @@ mod tests {
             curriculum: true,
             ..TrainConfig::default()
         });
-        let report = trainer.train(&model, &data);
+        let report = trainer.train(&model, &data).expect("training must succeed");
         assert!(report.epochs.iter().all(|e| e.train_loss.is_finite()));
     }
 
@@ -405,9 +774,15 @@ mod tests {
             lr_decay_every: 1,
             ..TrainConfig::default()
         });
-        let report = trainer.train(&model, &data);
+        let report = trainer.train(&model, &data).expect("training must succeed");
         assert_eq!(report.epochs.len(), 3);
         assert!(report.epochs.iter().all(|e| e.train_loss.is_finite()));
+        // Decayed at epochs 1 and 2: 1e-3 * 0.5^2.
+        assert!(
+            (report.final_lr - 0.25e-3).abs() < 1e-9,
+            "{}",
+            report.final_lr
+        );
     }
 
     #[test]
@@ -422,5 +797,164 @@ mod tests {
         let hs: Vec<usize> = eval.horizons.iter().map(|(h, _)| *h).collect();
         assert_eq!(hs, vec![3, 6, 12]);
         assert!(eval.overall.mae >= 0.0);
+    }
+
+    #[test]
+    fn empty_validation_split_is_rejected() {
+        // Regression: an empty val split used to make every epoch's val MAE
+        // exactly 0.0, so epoch 0 was recorded as "best" and early stopping
+        // froze the untrained parameters.
+        let mut sim = SimulatorConfig::tiny();
+        sim.num_nodes = 6;
+        sim.num_steps = 288;
+        sim.knn = 2;
+        let data = WindowedDataset::new(simulate(&sim), 12, 12, (0.8, 0.0, 0.2));
+        assert!(
+            data.is_empty(Split::Val),
+            "fixture must have no val windows"
+        );
+        let model = tiny_model(&data);
+        let err = Trainer::new(TrainConfig::fast())
+            .train(&model, &data)
+            .expect_err("empty validation split must be rejected");
+        assert!(matches!(err, TrainError::EmptyValidation), "got {err}");
+    }
+
+    #[test]
+    fn transient_divergence_rolls_back_and_halves_lr() {
+        let data = tiny_dataset();
+        let model = FlakyModel {
+            inner: tiny_model(&data),
+            poison: Cell::new(1),
+        };
+        let trainer = Trainer::new(TrainConfig {
+            max_epochs: 1,
+            curriculum: false,
+            ..TrainConfig::default()
+        });
+        let report = trainer
+            .train(&model, &data)
+            .expect("a single poisoned batch must be recoverable");
+        assert_eq!(report.rollbacks, 1);
+        assert!(
+            (report.final_lr - 0.5e-3).abs() < 1e-9,
+            "rollback must halve the lr, got {}",
+            report.final_lr
+        );
+        assert!(report.epochs.iter().all(|e| e.train_loss.is_finite()));
+    }
+
+    #[test]
+    fn persistent_divergence_is_a_typed_error_not_a_panic() {
+        // Regression: a non-finite loss used to abort the process via
+        // `assert!`; it must now surface as `TrainError::Diverged` after the
+        // rollback budget is exhausted.
+        let data = tiny_dataset();
+        let model = FlakyModel {
+            inner: tiny_model(&data),
+            poison: Cell::new(usize::MAX),
+        };
+        let trainer = Trainer::new(TrainConfig {
+            max_epochs: 1,
+            divergence_retries: 2,
+            ..TrainConfig::default()
+        });
+        let err = trainer
+            .train(&model, &data)
+            .expect_err("permanent NaN must end in Diverged");
+        match err {
+            TrainError::Diverged {
+                epoch, rollbacks, ..
+            } => {
+                assert_eq!(epoch, 0);
+                assert_eq!(rollbacks, 2);
+            }
+            other => panic!("expected Diverged, got {other}"),
+        }
+    }
+
+    #[test]
+    fn resume_at_epoch_boundary_is_bit_identical() {
+        let data = tiny_dataset();
+        let dir = std::env::temp_dir().join("d2stgnn-train-resume-test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("boundary.json");
+        let cfg = TrainConfig {
+            max_epochs: 2,
+            batch_size: 16,
+            curriculum: false,
+            ..TrainConfig::default()
+        };
+        // Reference: uninterrupted 2-epoch run.
+        let model_a = tiny_model(&data);
+        Trainer::new(cfg.clone())
+            .train(&model_a, &data)
+            .expect("reference run");
+        let reference = params_digest(&model_a);
+        // Interrupted: 1 epoch with checkpointing, then resume to 2 epochs.
+        let model_b = tiny_model(&data);
+        let mut first = cfg.clone();
+        first.max_epochs = 1;
+        first.checkpoint_path = Some(path.to_string_lossy().into_owned());
+        Trainer::new(first)
+            .train(&model_b, &data)
+            .expect("first leg");
+        let model_c = tiny_model(&data);
+        let mut second = cfg.clone();
+        second.resume_from = Some(path.to_string_lossy().into_owned());
+        let report = Trainer::new(second)
+            .train(&model_c, &data)
+            .expect("resumed leg");
+        assert_eq!(report.epochs.len(), 2, "resume must keep epoch-0 stats");
+        assert_eq!(
+            params_digest(&model_c),
+            reference,
+            "resumed parameters must be bit-identical to the uninterrupted run"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn resume_rejects_model_only_checkpoint() {
+        let data = tiny_dataset();
+        let model = tiny_model(&data);
+        let dir = std::env::temp_dir().join("d2stgnn-train-resume-test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("model-only.json");
+        checkpoint::save(&model, "m", &path).expect("save");
+        let mut cfg = TrainConfig::fast();
+        cfg.resume_from = Some(path.to_string_lossy().into_owned());
+        let err = Trainer::new(cfg)
+            .train(&model, &data)
+            .expect_err("model-only checkpoint must not resume");
+        assert!(matches!(err, TrainError::ResumeMismatch(_)), "got {err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn resume_rejects_config_mismatch() {
+        let data = tiny_dataset();
+        let model = tiny_model(&data);
+        let dir = std::env::temp_dir().join("d2stgnn-train-resume-test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("mismatch.json");
+        let mut cfg = TrainConfig::fast();
+        cfg.max_epochs = 1;
+        cfg.checkpoint_path = Some(path.to_string_lossy().into_owned());
+        Trainer::new(cfg.clone())
+            .train(&model, &data)
+            .expect("first leg");
+        let mut other = cfg;
+        other.checkpoint_path = None;
+        other.resume_from = Some(path.to_string_lossy().into_owned());
+        other.seed = 999;
+        let err = Trainer::new(other)
+            .train(&model, &data)
+            .expect_err("seed mismatch must be rejected");
+        match err {
+            TrainError::ResumeMismatch(msg) => assert!(msg.contains("seed"), "{msg}"),
+            other => panic!("expected ResumeMismatch, got {other}"),
+        }
+        std::fs::remove_file(&path).ok();
     }
 }

@@ -377,3 +377,62 @@ fn registry_rejects_corrupt_checkpoints_and_unknown_reloads() {
     assert!(matches!(err, ServeError::UnknownModel(_)));
     assert!(registry.names().is_empty());
 }
+
+#[test]
+fn v3_training_checkpoint_registers_reloads_and_serves() {
+    // The trainer's full-state checkpoints (format v3, with optimizer
+    // moments, RNG words, etc.) must be directly servable: the registry
+    // restores the parameters and ignores the training payload.
+    let data = dataset();
+    let registry = Arc::new(ModelRegistry::new());
+    let factory = factory_for(&data, 7);
+    let model = factory();
+    let dir = std::env::temp_dir().join("d2stgnn-serve-v3");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("train.json");
+    let cfg = d2stgnn_core::TrainConfig {
+        max_epochs: 1,
+        checkpoint_path: Some(path.to_string_lossy().into_owned()),
+        ..d2stgnn_core::TrainConfig::default()
+    };
+    d2stgnn_core::Trainer::new(cfg)
+        .train(model.as_ref(), &data)
+        .expect("training");
+
+    let ckpt = checkpoint::read(&path).expect("v3 checkpoint reads back");
+    assert!(ckpt.train.is_some(), "trainer must persist full state");
+    registry
+        .register(
+            "d2stgnn",
+            factory.clone(),
+            ckpt,
+            *data.scaler(),
+            [data.th(), data.num_nodes()],
+        )
+        .expect("serving must accept a v3 full-state checkpoint");
+
+    let server = Server::start(
+        Arc::clone(&registry),
+        ServeConfig {
+            workers: 1,
+            max_batch: 1,
+            max_wait: Duration::from_millis(1),
+            queue_capacity: 8,
+        },
+    )
+    .expect("start server");
+    let forecast = server
+        .submit(request_for(&data, Split::Test, 0, "d2stgnn"))
+        .expect("submit")
+        .wait()
+        .expect("forecast");
+    assert!(!forecast.fallback);
+    assert!(forecast.values.data().iter().all(|v| v.is_finite()));
+    server.shutdown().expect("clean shutdown");
+
+    // Hot swap with another v3 checkpoint bumps the generation.
+    let ckpt = checkpoint::read(&path).expect("v3 checkpoint reads back");
+    let gen2 = registry.reload("d2stgnn", ckpt).expect("reload v3");
+    assert!(gen2 > 0);
+    std::fs::remove_file(&path).ok();
+}

@@ -14,14 +14,26 @@ pub fn mse_loss(pred: &Tensor, target: &Tensor) -> Tensor {
     pred.sub(target).square().mean_all()
 }
 
-/// Masked MAE: entries where `target == null_val` are excluded, matching the
-/// DCRNN/Graph WaveNet evaluation convention the paper follows. The mask is
-/// treated as a constant (no gradient through it).
+/// Masked MAE: entries where `target == null_val` — and entries whose target
+/// is NaN/Inf, regardless of `null_val` — are excluded, matching the
+/// DCRNN/Graph WaveNet evaluation convention the paper follows *and* the
+/// mask `d2stgnn-data`'s `Metrics::compute` applies, so a corrupt target
+/// can never poison the loss while leaving the reported metrics clean. The
+/// mask is treated as a constant (no gradient through it).
 pub fn masked_mae_loss(pred: &Tensor, target: &Tensor, null_val: f32) -> Tensor {
-    let mask = mask_of(&target.value(), null_val);
+    let tv = target.value();
+    let mask = mask_of(&tv, null_val);
     let count = mask.sum_all().max(1.0);
     let mask_t = Tensor::constant(mask);
-    pred.sub(target)
+    // `0 * NaN` is NaN, so multiplying the mask in cannot neutralize a
+    // non-finite target; substitute a finite sentinel at masked positions
+    // (its value never reaches the loss — the mask zeroes that term).
+    let target = if tv.data().iter().all(|v| v.is_finite()) {
+        target.clone()
+    } else {
+        Tensor::constant(tv.map(|v| if v.is_finite() { v } else { 0.0 }))
+    };
+    pred.sub(&target)
         .abs()
         .mul(&mask_t)
         .sum_all()
@@ -30,11 +42,12 @@ pub fn masked_mae_loss(pred: &Tensor, target: &Tensor, null_val: f32) -> Tensor 
 
 fn mask_of(target: &Array, null_val: f32) -> Array {
     target.map(|v| {
-        let is_null = if null_val.is_nan() {
-            v.is_nan()
-        } else {
-            (v - null_val).abs() < 1e-5
-        };
+        let is_null = !v.is_finite()
+            || if null_val.is_nan() {
+                v.is_nan()
+            } else {
+                (v - null_val).abs() < 1e-5
+            };
         if is_null {
             0.0
         } else {
@@ -101,6 +114,53 @@ mod tests {
         let y = t(&[0.0, 0.0]);
         let l = masked_mae_loss(&p, &y, 0.0);
         assert_eq!(l.item(), 0.0);
+    }
+
+    #[test]
+    fn masked_mae_drops_nonfinite_targets() {
+        // A finite null_val used to keep NaN/Inf targets in the mask; they
+        // must now be excluded exactly like Metrics::compute excludes them.
+        let p = t(&[2.0, 5.0, 5.0, 5.0]);
+        let y = t(&[1.0, f32::NAN, f32::INFINITY, 3.0]);
+        let l = masked_mae_loss(&p, &y, 0.0);
+        // Only entries 0 and 3 count: (|2-1| + |5-3|)/2 = 1.5.
+        assert!((l.item() - 1.5).abs() < 1e-6, "{}", l.item());
+        l.backward();
+        let g = p.grad().unwrap();
+        assert_eq!(g.data()[1], 0.0);
+        assert_eq!(g.data()[2], 0.0);
+        assert!(g.data()[0].is_finite() && g.data()[3].is_finite());
+    }
+
+    #[test]
+    fn masked_mae_mask_agrees_with_metrics_mask() {
+        // Pin the loss mask to the metrics mask: for data mixing nulls and
+        // non-finite corruption, the mean the loss computes must equal the
+        // MAE a metrics-style masked mean computes over the same pairs.
+        let pred = [2.0f32, 7.0, 4.0, -1.0, 9.0, 3.5];
+        let targ = [1.0f32, 0.0, f32::NAN, f32::NEG_INFINITY, 8.0, 3.0];
+        let null_val = 0.0f32;
+        let l = masked_mae_loss(&t(&pred), &t(&targ), null_val);
+        // Reference mean with the metrics convention: skip target==null_val
+        // and non-finite targets.
+        let (mut sum, mut n) = (0.0f64, 0usize);
+        for (&p, &y) in pred.iter().zip(&targ) {
+            if (y - null_val).abs() < 1e-5 || !y.is_finite() {
+                continue;
+            }
+            sum += f64::from((p - y).abs());
+            n += 1;
+        }
+        let expect = (sum / n as f64) as f32;
+        assert!((l.item() - expect).abs() < 1e-6, "{} vs {expect}", l.item());
+    }
+
+    #[test]
+    fn masked_mae_nan_null_val_still_masks_all_nonfinite() {
+        let p = t(&[1.0, 1.0, 1.0]);
+        let y = t(&[f32::NAN, f32::INFINITY, 3.0]);
+        let l = masked_mae_loss(&p, &y, f32::NAN);
+        assert!((l.item() - 2.0).abs() < 1e-6, "{}", l.item());
     }
 
     #[test]

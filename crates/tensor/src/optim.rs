@@ -2,11 +2,20 @@
 //! global-norm gradient clipping.
 
 use crate::array::Array;
+use crate::error::TensorError;
 use crate::tensor::Tensor;
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Scale all gradients so their global L2 norm is at most `max_norm`.
 /// Returns the pre-clipping norm.
+///
+/// A single non-finite gradient element makes the returned norm non-finite;
+/// in that case the gradients are left untouched (scaling by `max / NaN`
+/// would only smear the poison around) and the caller is expected to treat
+/// the step as diverged — the trainer's rollback path does exactly that.
+/// Callers must therefore check `norm.is_finite()` before applying an
+/// optimizer step.
 pub fn clip_grad_norm(params: &[Tensor], max_norm: f32) -> f32 {
     let mut sq = 0.0f64;
     for p in params {
@@ -19,6 +28,17 @@ pub fn clip_grad_norm(params: &[Tensor], max_norm: f32) -> f32 {
         }
     }
     let norm = (sq.sqrt()) as f32;
+    if !norm.is_finite() {
+        #[cfg(feature = "obsv")]
+        {
+            d2stgnn_obsv::counter_add!("d2stgnn_tensor_optim_nonfinite_grad_total", 1);
+            d2stgnn_obsv::event!(
+                "d2stgnn_tensor_optim_nonfinite_grad",
+                norm = f64::from(norm)
+            );
+        }
+        return norm;
+    }
     if norm > max_norm && norm > 0.0 {
         let scale = max_norm / norm;
         for p in params {
@@ -103,6 +123,22 @@ impl Optimizer for Sgd {
     }
 }
 
+/// Serializable snapshot of an [`Adam`] optimizer's mutable state: the step
+/// counter plus first/second moment estimates aligned with the optimizer's
+/// parameter order (`None` for parameters that have not yet received a
+/// gradient). Produced by [`Adam::export_state`], consumed by
+/// [`Adam::import_state`] — the checkpoint/resume hook for exactly
+/// reproducible training restarts.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct AdamState {
+    /// Bias-correction step counter.
+    pub t: i32,
+    /// First-moment estimates, one slot per parameter in optimizer order.
+    pub m: Vec<Option<Array>>,
+    /// Second-moment estimates, one slot per parameter in optimizer order.
+    pub v: Vec<Option<Array>>,
+}
+
 /// Adam (Kingma & Ba) with bias correction; defaults match the paper's setup
 /// (`lr = 1e-3`, `β₁ = 0.9`, `β₂ = 0.999`, `ε = 1e-8`).
 pub struct Adam {
@@ -143,6 +179,64 @@ impl Adam {
             m: HashMap::new(),
             v: HashMap::new(),
         }
+    }
+
+    /// Export the mutable state (step counter + moment estimates) in
+    /// parameter order. Together with the parameter values themselves this is
+    /// everything needed to resume training bit-identically.
+    pub fn export_state(&self) -> AdamState {
+        AdamState {
+            t: self.t,
+            m: self
+                .params
+                .iter()
+                .map(|p| self.m.get(&p.id()).cloned())
+                .collect(),
+            v: self
+                .params
+                .iter()
+                .map(|p| self.v.get(&p.id()).cloned())
+                .collect(),
+        }
+    }
+
+    /// Restore state produced by [`Adam::export_state`]. Slot counts and
+    /// moment shapes must match this optimizer's parameters.
+    pub fn import_state(&mut self, state: &AdamState) -> Result<(), TensorError> {
+        if state.m.len() != self.params.len() || state.v.len() != self.params.len() {
+            return Err(TensorError::ShapeMismatch {
+                op: "adam_import_state",
+                lhs: vec![self.params.len()],
+                rhs: vec![state.m.len(), state.v.len()],
+            });
+        }
+        for moments in [&state.m, &state.v] {
+            for (p, slot) in self.params.iter().zip(moments.iter()) {
+                if let Some(a) = slot {
+                    if a.shape() != p.shape() {
+                        return Err(TensorError::ShapeMismatch {
+                            op: "adam_import_state",
+                            lhs: p.shape(),
+                            rhs: a.shape().to_vec(),
+                        });
+                    }
+                }
+            }
+        }
+        self.t = state.t;
+        self.m.clear();
+        self.v.clear();
+        for (p, slot) in self.params.iter().zip(&state.m) {
+            if let Some(a) = slot {
+                self.m.insert(p.id(), a.clone());
+            }
+        }
+        for (p, slot) in self.params.iter().zip(&state.v) {
+            if let Some(a) = slot {
+                self.v.insert(p.id(), a.clone());
+            }
+        }
+        Ok(())
     }
 }
 
@@ -287,6 +381,104 @@ mod tests {
         let pre = clip_grad_norm(std::slice::from_ref(&x), 5.0);
         assert_eq!(pre, 2.0);
         assert_eq!(x.grad().unwrap().data(), &[2.0]);
+    }
+
+    #[test]
+    fn clip_reports_nonfinite_norm_and_leaves_grads_alone() {
+        let x = Tensor::parameter(Array::from_vec(&[2], vec![0.0, 0.0]).unwrap());
+        x.sum_all().backward();
+        x.replace_grad(Some(Array::from_vec(&[2], vec![f32::NAN, 3.0]).unwrap()));
+        let norm = clip_grad_norm(std::slice::from_ref(&x), 5.0);
+        assert!(
+            !norm.is_finite(),
+            "poisoned norm must be non-finite: {norm}"
+        );
+        // The gradient is reported, not silently rescaled.
+        let g = x.grad().unwrap();
+        assert!(g.data()[0].is_nan());
+        assert_eq!(g.data()[1], 3.0);
+    }
+
+    #[test]
+    fn clip_reports_infinite_norm() {
+        let x = Tensor::parameter(Array::from_vec(&[1], vec![0.0]).unwrap());
+        x.sum_all().backward();
+        x.replace_grad(Some(Array::from_vec(&[1], vec![f32::INFINITY]).unwrap()));
+        let norm = clip_grad_norm(std::slice::from_ref(&x), 5.0);
+        assert!(!norm.is_finite());
+    }
+
+    #[test]
+    fn adam_state_roundtrip_resumes_identically() {
+        // Two optimizers over identical parameters: one steps straight
+        // through, the other is snapshotted/restored halfway. Trajectories
+        // must match bit-for-bit.
+        let run = |resume: bool| -> Vec<f32> {
+            let x = Tensor::parameter(Array::from_vec(&[2], vec![5.0, -3.0]).unwrap());
+            let mut opt = Adam::new(vec![x.clone()], 0.1);
+            for _ in 0..10 {
+                x.square().sum_all().backward();
+                opt.step();
+            }
+            if resume {
+                let state = opt.export_state();
+                let mut fresh = Adam::new(vec![x.clone()], 0.1);
+                fresh.import_state(&state).unwrap();
+                opt = fresh;
+            }
+            for _ in 0..10 {
+                x.square().sum_all().backward();
+                opt.step();
+            }
+            x.value().data().to_vec()
+        };
+        let plain = run(false);
+        let resumed = run(true);
+        assert_eq!(
+            plain.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            resumed.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        );
+    }
+
+    #[test]
+    fn adam_state_export_keeps_sparse_slots() {
+        let x = quadratic_param(1.0);
+        let y = quadratic_param(1.0);
+        let mut opt = Adam::new(vec![x.clone(), y.clone()], 0.1);
+        x.square().backward();
+        opt.step();
+        let state = opt.export_state();
+        assert_eq!(state.t, 1);
+        assert!(state.m[0].is_some() && state.v[0].is_some());
+        assert!(state.m[1].is_none() && state.v[1].is_none());
+        let mut opt2 = Adam::new(vec![x.clone(), y], 0.1);
+        opt2.import_state(&state).unwrap();
+        let re = opt2.export_state();
+        assert!(re.m[1].is_none());
+        assert_eq!(
+            re.m[0].as_ref().unwrap().data(),
+            state.m[0].as_ref().unwrap().data()
+        );
+    }
+
+    #[test]
+    fn adam_import_rejects_mismatched_state() {
+        let x = quadratic_param(1.0);
+        let mut opt = Adam::new(vec![x.clone()], 0.1);
+        // Wrong slot count.
+        let bad = AdamState {
+            t: 1,
+            m: vec![],
+            v: vec![],
+        };
+        assert!(opt.import_state(&bad).is_err());
+        // Wrong moment shape.
+        let bad = AdamState {
+            t: 1,
+            m: vec![Some(Array::zeros(&[3]))],
+            v: vec![None],
+        };
+        assert!(opt.import_state(&bad).is_err());
     }
 
     #[test]

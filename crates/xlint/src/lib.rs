@@ -53,9 +53,20 @@ pub const RESULT_ERROR_CRATES: &[&str] = &["serve", "core", "graph", "tensor", "
 /// Files whose loop bodies must stay free of numeric `as` casts.
 pub const KERNEL_FILES: &[&str] = &["crates/tensor/src/ops.rs", "crates/graph/src/sparse.rs"];
 
+/// Files on recoverable control paths where even `assert!` is banned in
+/// library code: a failed runtime check there must surface as a typed error
+/// (`TrainError`, `CheckpointError`), never abort the process. The training
+/// loop earned the entry when a non-finite loss `assert!` was downgraded to
+/// divergence rollback + `TrainError::Diverged`.
+pub const NO_ASSERT_FILES: &[&str] = &[
+    "crates/core/src/training.rs",
+    "crates/core/src/checkpoint.rs",
+];
+
 /// All rule identifiers, in report order.
 pub const RULES: &[&str] = &[
     "no-panic",
+    "no-assert",
     "no-print",
     "cast-in-loop",
     "result-error",
@@ -481,6 +492,33 @@ pub fn lint_file(rel: &str, source: &str, error_types: &BTreeSet<String>) -> Vec
                         "no-panic",
                         at,
                         format!("{what} in library code (propagate an error or use the crate's invariant funnel)"),
+                        &mut diags,
+                    );
+                }
+            }
+        }
+    }
+
+    // Rule: no-assert (recoverable paths only: a failed check must surface
+    // as a typed error, not abort the process mid-training).
+    if NO_ASSERT_FILES.contains(&rel) {
+        for needle in [
+            "assert!",
+            "assert_eq!",
+            "assert_ne!",
+            "debug_assert!",
+            "debug_assert_eq!",
+            "debug_assert_ne!",
+        ] {
+            for at in find_bounded(&sanitized, needle) {
+                if !in_spans(&spans, at) {
+                    push(
+                        "no-assert",
+                        at,
+                        format!(
+                            "`{needle}` on a recoverable path (return a typed error such as \
+                             `TrainError` instead of aborting)"
+                        ),
                         &mut diags,
                     );
                 }
@@ -965,6 +1003,20 @@ mod tests {
     fn data_crate_is_not_subject_to_no_panic() {
         let src = "pub fn f() { a.unwrap(); }\n";
         assert!(lint_file("crates/data/src/foo.rs", src, &no_errors()).is_empty());
+    }
+
+    #[test]
+    fn asserts_on_recoverable_paths_are_flagged() {
+        let src = "pub fn f(x: f32) { assert!(x.is_finite()); assert_eq!(1, 1); \
+                   debug_assert!(true); }\n";
+        let diags = lint_file("crates/core/src/training.rs", src, &no_errors());
+        assert_eq!(diags.len(), 3, "{diags:?}");
+        assert!(diags.iter().all(|d| d.rule == "no-assert"));
+        // Other core files keep their assert-on-misuse contract.
+        assert!(lint_file("crates/core/src/model.rs", src, &no_errors()).is_empty());
+        // Test modules inside the designated files stay exempt.
+        let test_only = "#[cfg(test)]\nmod tests {\n    fn g() { assert!(true); }\n}\n";
+        assert!(lint_file("crates/core/src/training.rs", test_only, &no_errors()).is_empty());
     }
 
     #[test]

@@ -50,7 +50,7 @@ fn main() {
 
     let mut rng = StdRng::seed_from_u64(0);
     let gwnet = GraphWaveNet::new(&net, 16, 12, true, &mut rng);
-    trainer.train(&gwnet, &windowed);
+    trainer.train(&gwnet, &windowed).expect("training failed");
     print_row(
         "GWNet",
         &trainer.evaluate(&gwnet, &windowed, Split::Test).horizons,
@@ -60,7 +60,7 @@ fn main() {
     let mut cfg = D2stgnnConfig::small(windowed.num_nodes());
     cfg.layers = 2;
     let d2 = D2stgnn::new(cfg, &net, &mut rng);
-    trainer.train(&d2, &windowed);
+    trainer.train(&d2, &windowed).expect("training failed");
     print_row(
         "D2STGNN",
         &trainer.evaluate(&d2, &windowed, Split::Test).horizons,

@@ -33,7 +33,7 @@ fn main() {
         verbose: true,
         ..TrainConfig::default()
     });
-    trainer.train(&model, &windowed);
+    trainer.train(&model, &windowed).expect("training failed");
 
     // --- branch specialization probe -----------------------------------
     let mut rng = StdRng::seed_from_u64(2);

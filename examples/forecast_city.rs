@@ -65,7 +65,7 @@ fn main() {
         verbose: true,
         ..TrainConfig::default()
     });
-    trainer.train(&model, &windowed);
+    trainer.train(&model, &windowed).expect("training failed");
 
     // Find a test window whose LAST input step lands in the morning rush
     // (around 8am) — the situation of the paper's Figure 2.

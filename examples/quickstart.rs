@@ -50,7 +50,7 @@ fn main() {
         verbose: true,
         ..TrainConfig::default()
     });
-    let report = trainer.train(&model, &windowed);
+    let report = trainer.train(&model, &windowed).expect("training failed");
     println!(
         "trained {} epochs, best val MAE {:.3} (epoch {}), {:.1}s/epoch",
         report.epochs.len(),

@@ -67,7 +67,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         verbose: true,
         ..TrainConfig::default()
     });
-    trainer.train(&model, &data);
+    trainer.train(&model, &data).expect("training failed");
 
     let ckpt_path = dir.join("model.json");
     checkpoint::save(&model, "d2stgnn-demo", &ckpt_path)?;

@@ -54,7 +54,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         verbose: false,
         ..TrainConfig::default()
     });
-    trainer.train(&model, &data);
+    trainer.train(&model, &data).expect("training failed");
     let v1 = checkpoint::snapshot(&model, "d2stgnn-v1");
 
     let network = data.data().network.clone();
@@ -98,7 +98,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Retrain briefly and hot-swap: traffic keeps flowing during the reload.
-    trainer.train(&model, &data);
+    trainer.train(&model, &data).expect("training failed");
     let gen2 = registry.reload("d2stgnn", checkpoint::snapshot(&model, "d2stgnn-v2"))?;
     let forecast = server.infer(request_at(&data, starts[0]))?;
     println!(

@@ -37,6 +37,9 @@ cargo clippy -p d2stgnn-bench --all-targets --features obsv -- -D warnings
 echo "==> obsv smoke run (2-epoch tiny train + served batch, JSONL validated)"
 cargo run -q -p d2stgnn-bench --features obsv --bin obsv_smoke
 
+echo "==> resume fault-injection smoke (SIGKILL mid-epoch, bit-identical resume)"
+cargo test -q --test resume_e2e -- --exact sigkill_mid_epoch_then_resume_is_bit_identical
+
 echo "==> tensor kernel bench smoke (release, artifact schema + speedup floor)"
 cargo run -q --release -p d2stgnn-bench --bin tensor_kernels -- --fast
 python3 - <<'EOF'

@@ -38,7 +38,7 @@
 //! let model = D2stgnn::new(cfg, &data.data().network.clone(), &mut rng);
 //!
 //! let trainer = Trainer::new(TrainConfig { max_epochs: 1, ..TrainConfig::default() });
-//! let report = trainer.train(&model, &data);
+//! let report = trainer.train(&model, &data).expect("training failed");
 //! assert!(report.best_val_mae.is_finite());
 //! ```
 
@@ -60,7 +60,7 @@ pub mod prelude {
     };
     pub use d2stgnn_core::{
         checkpoint, BlockOrder, Checkpoint, D2stgnn, D2stgnnConfig, EvalResult, TrafficModel,
-        TrainConfig, TrainReport, Trainer,
+        TrainConfig, TrainError, TrainReport, TrainState, Trainer,
     };
     pub use d2stgnn_data::{
         simulate, Batch, DatasetId, Metrics, Profile, SignalKind, SimulatorConfig, Split,

@@ -97,7 +97,7 @@ fn every_variant_trains_one_epoch_without_nan() {
     ];
     for (i, f) in toggles.into_iter().enumerate() {
         let model = build(&d, f);
-        let report = trainer.train(&model, &d);
+        let report = trainer.train(&model, &d).expect("training failed");
         assert!(
             report.best_val_mae.is_finite(),
             "variant {i} produced non-finite val MAE"

@@ -110,7 +110,7 @@ fn residual_identity_holds_in_the_decouple_block() {
         cl_step: 10,
         ..TrainConfig::default()
     });
-    trainer.train(&model, &data);
+    trainer.train(&model, &data).expect("training failed");
     // After training, forecasts from the two branches are complementary:
     // the summed forecast is closer to the target than either branch through
     // the regression head alone would suggest. Proxy: both branches carry

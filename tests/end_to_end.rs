@@ -36,7 +36,7 @@ fn training_improves_over_untrained_model() {
         ..TrainConfig::default()
     });
     let before = trainer.evaluate(&model, &data, Split::Test).overall.mae;
-    let report = trainer.train(&model, &data);
+    let report = trainer.train(&model, &data).expect("training failed");
     let after = trainer.evaluate(&model, &data, Split::Test).overall.mae;
     assert!(
         after < before * 0.8,
@@ -68,7 +68,7 @@ fn trained_model_beats_climatology_given_incident_heavy_data() {
         cl_step: 10,
         ..TrainConfig::default()
     });
-    trainer.train(&model, &data);
+    trainer.train(&model, &data).expect("training failed");
     let d2 = trainer.evaluate(&model, &data, Split::Test);
 
     // Compare at horizon 3 (15 min), where recent context matters most.
@@ -88,7 +88,7 @@ fn predictions_are_physical_after_denormalization() {
         max_epochs: 2,
         ..TrainConfig::default()
     });
-    trainer.train(&model, &data);
+    trainer.train(&model, &data).expect("training failed");
     let eval = trainer.evaluate(&model, &data, Split::Test);
     // A barely-trained unconstrained regressor can overshoot; the invariants
     // are finiteness and staying within a generous multiple of the physical
@@ -110,7 +110,7 @@ fn deterministic_given_seeds() {
             seed: 9,
             ..TrainConfig::default()
         });
-        trainer.train(&model, &data);
+        trainer.train(&model, &data).expect("training failed");
         trainer.evaluate(&model, &data, Split::Test).overall.mae
     };
     let a = run();

@@ -1,0 +1,210 @@
+//! Crash/resume fault injection: SIGKILL a training run mid-epoch at a
+//! randomized batch count, resume it from the last checkpoint, and require
+//! the final parameters to be bit-identical to an uninterrupted run.
+//!
+//! The trainer promises exact resume: the v3 checkpoint captures optimizer
+//! moments, RNG state, the in-progress epoch's shuffle order and cursor, and
+//! the early-stopping bookkeeping, and every file write is atomic (temp +
+//! fsync + rename), so a kill at any instant leaves a loadable checkpoint.
+//! The matrix also runs at `D2_THREADS` 1 and 8 because the compute pool
+//! reads its environment once per process and must not affect the bytes.
+
+use std::process::Command;
+use std::time::{Duration, Instant};
+
+use d2stgnn::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Mode of the child process: "fresh" trains from scratch, "resume"
+/// continues from the checkpoint. Unset, the child test is a no-op.
+const MODE_ENV: &str = "D2_RESUME_E2E_MODE";
+/// Checkpoint path shared by the interrupted and resuming children.
+const CKPT_ENV: &str = "D2_RESUME_E2E_CKPT";
+/// File the child writes its final parameter bytes to on success.
+const OUT_ENV: &str = "D2_RESUME_E2E_OUT";
+
+fn dataset() -> WindowedDataset {
+    let mut sim = SimulatorConfig::tiny();
+    sim.num_nodes = 6;
+    sim.knn = 2;
+    sim.num_steps = 2 * 288;
+    WindowedDataset::new(simulate(&sim), 12, 12, (0.6, 0.2, 0.2))
+}
+
+fn model(data: &WindowedDataset) -> D2stgnn {
+    let mut cfg = D2stgnnConfig::small(6);
+    cfg.layers = 1;
+    cfg.hidden = 8;
+    cfg.emb_dim = 4;
+    cfg.heads = 2;
+    let mut rng = StdRng::seed_from_u64(11);
+    D2stgnn::new(cfg, &data.data().network.clone(), &mut rng)
+}
+
+fn train_config(ckpt: &str) -> TrainConfig {
+    TrainConfig {
+        max_epochs: 2,
+        batch_size: 16,
+        patience: 10,
+        curriculum: true,
+        cl_step: 8,
+        checkpoint_path: Some(ckpt.to_string()),
+        checkpoint_every_batches: 1,
+        ..TrainConfig::default()
+    }
+}
+
+fn param_bytes<M: TrafficModel + ?Sized>(m: &M) -> Vec<u8> {
+    m.parameters()
+        .iter()
+        .flat_map(|p| {
+            p.value()
+                .data()
+                .iter()
+                .flat_map(|v| v.to_le_bytes())
+                .collect::<Vec<u8>>()
+        })
+        .collect()
+}
+
+/// Child entry point, inert without [`MODE_ENV`]. Trains (or resumes) the
+/// deterministic workload and writes the final parameter bytes to
+/// [`OUT_ENV`] — the parent SIGKILLs the "fresh" run partway through, so
+/// only runs that complete ever produce an output file.
+#[test]
+fn child_train_workload() {
+    let Ok(mode) = std::env::var(MODE_ENV) else {
+        return;
+    };
+    let ckpt = std::env::var(CKPT_ENV).expect("child needs a checkpoint path");
+    let out = std::env::var(OUT_ENV).expect("child needs an output path");
+    let data = dataset();
+    let m = model(&data);
+    let mut cfg = train_config(&ckpt);
+    if mode == "resume" {
+        cfg.resume_from = Some(ckpt.clone());
+    }
+    let report = Trainer::new(cfg)
+        .train(&m, &data)
+        .expect("child training failed");
+    assert_eq!(
+        report.epochs.len(),
+        2,
+        "a {mode} run must end with both epochs' stats"
+    );
+    std::fs::write(&out, param_bytes(&m)).expect("child output write");
+}
+
+fn spawn_child(
+    mode: &str,
+    ckpt: &std::path::Path,
+    out: &std::path::Path,
+    threads: &str,
+) -> std::process::Child {
+    Command::new(std::env::current_exe().expect("current_exe"))
+        .args(["--exact", "child_train_workload", "--test-threads", "1"])
+        .env(MODE_ENV, mode)
+        .env(CKPT_ENV, ckpt)
+        .env(OUT_ENV, out)
+        .env("D2_THREADS", threads)
+        .spawn()
+        .expect("spawn child")
+}
+
+/// Parse `"iteration":N` out of the checkpoint JSON (the field the trainer
+/// advances every batch).
+fn checkpoint_iteration(path: &std::path::Path) -> Option<u64> {
+    let json = std::fs::read_to_string(path).ok()?;
+    let at = json.find("\"iteration\":")? + "\"iteration\":".len();
+    let digits: String = json[at..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits.parse().ok()
+}
+
+fn run_interrupted_then_resumed(
+    dir: &std::path::Path,
+    threads: &str,
+    kill_at_iteration: u64,
+) -> Vec<u8> {
+    let ckpt = dir.join(format!("interrupted-{threads}.json"));
+    let out = dir.join(format!("resumed-{threads}.bin"));
+
+    // Leg 1: train from scratch, SIGKILL once the checkpoint shows the
+    // target iteration (mid-epoch: each epoch has ~21 batches).
+    let mut victim = spawn_child("fresh", &ckpt, &out, threads);
+    let deadline = Instant::now() + Duration::from_secs(300);
+    loop {
+        if let Some(it) = checkpoint_iteration(&ckpt) {
+            if it >= kill_at_iteration {
+                victim.kill().expect("SIGKILL victim");
+                break;
+            }
+        }
+        if let Some(status) = victim.try_wait().expect("poll victim") {
+            panic!("victim finished (status {status}) before iteration {kill_at_iteration}");
+        }
+        assert!(
+            Instant::now() < deadline,
+            "victim never reached iteration {kill_at_iteration}"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    victim.wait().expect("reap victim");
+    assert!(
+        !out.exists(),
+        "killed child must not have produced final output"
+    );
+    let resumed_from = checkpoint_iteration(&ckpt).expect("checkpoint readable after kill");
+    assert!(resumed_from >= kill_at_iteration);
+
+    // Leg 2: resume from the surviving checkpoint and run to completion.
+    let status = spawn_child("resume", &ckpt, &out, threads)
+        .wait()
+        .expect("wait resume child");
+    assert!(status.success(), "resume child failed (threads={threads})");
+    std::fs::read(&out).expect("resumed output")
+}
+
+#[test]
+fn sigkill_mid_epoch_then_resume_is_bit_identical() {
+    let dir = std::env::temp_dir().join(format!("d2-resume-e2e-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+
+    // Randomize the kill point across runs (but log it for reproduction).
+    // Two epochs of ~21 batches: anything in [3, 30] lands mid-run, and
+    // points >= 21 land inside epoch 1.
+    let entropy = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.subsec_nanos() as u64)
+        .unwrap_or(0)
+        ^ u64::from(std::process::id());
+    let kill_at = 3 + entropy % 28;
+    eprintln!("resume_e2e: killing at iteration {kill_at}");
+
+    for threads in ["1", "8"] {
+        // Reference: uninterrupted run in its own process.
+        let ref_ckpt = dir.join(format!("reference-{threads}.json"));
+        let ref_out = dir.join(format!("reference-{threads}.bin"));
+        let status = spawn_child("fresh", &ref_ckpt, &ref_out, threads)
+            .wait()
+            .expect("wait reference child");
+        assert!(
+            status.success(),
+            "reference child failed (threads={threads})"
+        );
+        let reference = std::fs::read(&ref_out).expect("reference output");
+        assert!(!reference.is_empty() && reference.len().is_multiple_of(4));
+
+        let resumed = run_interrupted_then_resumed(&dir, threads, kill_at);
+        assert_eq!(
+            resumed, reference,
+            "resumed parameters diverged from the uninterrupted run \
+             (threads={threads}, killed at iteration {kill_at})"
+        );
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}
