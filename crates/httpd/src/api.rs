@@ -1,0 +1,114 @@
+//! JSON wire types for the HTTP API.
+//!
+//! The shapes mirror [`d2stgnn_serve::InferRequest`] / `Forecast` with two
+//! additions used only by the front-end: `deadline_ms` (a relative budget
+//! the server converts to an absolute [`std::time::Instant`]) and the
+//! routing hints `sensor` / `city` consumed by
+//! [`crate::router::ShardRouter`].
+
+use serde::{Deserialize, Serialize};
+
+/// `POST /v1/forecast` request body.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ForecastBody {
+    /// Registered model name to serve with.
+    pub model: String,
+    /// Raw-scale input window, `window[t][n]` over `T_h` steps × `N` sensors.
+    pub window: Vec<Vec<f32>>,
+    /// Time-of-day slot per input step (`T_h` entries).
+    pub tod: Vec<usize>,
+    /// Day-of-week per input step (`T_h` entries).
+    pub dow: Vec<usize>,
+    /// Optional latency budget in milliseconds; past it the request
+    /// degrades to the fallback (or fails 504 without one).
+    pub deadline_ms: Option<u64>,
+    /// Optional sensor id used for hash-based shard routing.
+    pub sensor: Option<u64>,
+    /// Optional city name checked against the router's pin table before
+    /// hashing (pin table beats hash).
+    pub city: Option<String>,
+}
+
+/// `POST /v1/forecast` success reply.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ForecastReply {
+    /// Model that actually answered (`"HA"` when the fallback degraded).
+    pub model: String,
+    /// Registry generation that served the request (0 for the fallback).
+    pub generation: u64,
+    /// Whether the fallback answered instead of the requested model.
+    pub fallback: bool,
+    /// Shard that served the request.
+    pub shard: u64,
+    /// Raw-scale forecast, `values[t][n]` over `T_f` steps × `N` sensors.
+    pub values: Vec<Vec<f32>>,
+}
+
+/// `GET /healthz` reply.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HealthReply {
+    /// Always `"ok"` while the listener is accepting.
+    pub status: String,
+    /// Number of shards currently routable.
+    pub shards: u64,
+    /// Total queue depth across shards at the time of the probe.
+    pub queue_depth: u64,
+}
+
+/// `GET /models` reply.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ModelsReply {
+    /// Union of model names registered across all shards, sorted, deduped.
+    pub models: Vec<String>,
+}
+
+/// Error body attached to every non-2xx reply.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ErrorReply {
+    /// Human-readable description of the failure.
+    pub error: String,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forecast_body_round_trips() {
+        let body = ForecastBody {
+            model: "d2stgnn".into(),
+            window: vec![vec![1.0, 2.0], vec![3.0, 4.0]],
+            tod: vec![0, 1],
+            dow: vec![2, 2],
+            deadline_ms: Some(250),
+            sensor: Some(17),
+            city: None,
+        };
+        let json = serde_json::to_string(&body).unwrap();
+        let back: ForecastBody = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.model, "d2stgnn");
+        assert_eq!(back.window, vec![vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(back.deadline_ms, Some(250));
+        assert_eq!(back.sensor, Some(17));
+        assert_eq!(back.city, None);
+    }
+
+    #[test]
+    fn optional_fields_default_to_none() {
+        let json = r#"{"model":"m","window":[[1.0]],"tod":[0],"dow":[0]}"#;
+        let body: ForecastBody = serde_json::from_str(json).unwrap();
+        assert_eq!(body.deadline_ms, None);
+        assert_eq!(body.sensor, None);
+        assert_eq!(body.city, None);
+    }
+
+    #[test]
+    fn error_reply_serializes() {
+        let json = serde_json::to_string(&ErrorReply {
+            error: "nope".into(),
+        })
+        .unwrap();
+        assert!(json.contains("\"error\""));
+        assert!(json.contains("nope"));
+    }
+}

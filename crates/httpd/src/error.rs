@@ -1,0 +1,73 @@
+//! Typed errors for the HTTP front-end.
+
+/// Errors surfaced by the HTTP server itself (not by individual requests,
+/// which are answered with HTTP status codes instead).
+#[derive(Debug)]
+pub enum HttpdError {
+    /// Binding, accepting, or socket-option plumbing failed.
+    Io(std::io::Error),
+    /// The server is shutting down.
+    ShuttingDown,
+    /// A worker failed to exit within the shutdown grace period; its thread
+    /// was detached so the caller regains control.
+    WorkerHung,
+    /// Configuration rejected up front (zero workers, empty backlog, ...).
+    Config(String),
+}
+
+impl std::fmt::Display for HttpdError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpdError::Io(e) => write!(f, "socket error: {e}"),
+            HttpdError::ShuttingDown => write!(f, "http server is shutting down"),
+            HttpdError::WorkerHung => {
+                write!(
+                    f,
+                    "http worker did not exit within the shutdown grace period"
+                )
+            }
+            HttpdError::Config(msg) => write!(f, "bad httpd config: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for HttpdError {}
+
+impl From<std::io::Error> for HttpdError {
+    fn from(e: std::io::Error) -> Self {
+        HttpdError::Io(e)
+    }
+}
+
+/// A malformed, oversized, or unsupported request, carrying the HTTP status
+/// the connection should answer with before closing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// HTTP status code to answer with (400, 413, 431, 501, 505).
+    pub status: u16,
+    /// Human-readable description, echoed in the error response body.
+    pub message: String,
+}
+
+impl ParseError {
+    /// Build an error answering with `status`.
+    pub fn new(status: u16, message: impl Into<String>) -> Self {
+        Self {
+            status,
+            message: message.into(),
+        }
+    }
+
+    /// 400 Bad Request.
+    pub fn bad_request(message: impl Into<String>) -> Self {
+        Self::new(400, message)
+    }
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "http {}: {}", self.status, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}

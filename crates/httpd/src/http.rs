@@ -1,0 +1,207 @@
+//! HTTP/1.1 request/response types and the response serializer.
+
+use crate::error::HttpdError;
+use std::io::Write;
+
+/// HTTP protocol version of a parsed request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HttpVersion {
+    /// HTTP/1.0 — connections close unless `Connection: keep-alive`.
+    Http10,
+    /// HTTP/1.1 — connections persist unless `Connection: close`.
+    Http11,
+}
+
+/// One parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Request method (`GET`, `POST`, ...), uppercase token.
+    pub method: String,
+    /// Request target as sent (path plus optional `?query`).
+    pub target: String,
+    /// Protocol version.
+    pub version: HttpVersion,
+    /// Header name/value pairs in arrival order (names as sent).
+    pub headers: Vec<(String, String)>,
+    /// Request body (`Content-Length` bytes; empty when absent).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First header value whose name matches case-insensitively.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Request path: the target with any `?query` suffix removed.
+    pub fn path(&self) -> &str {
+        self.target.split('?').next().unwrap_or(&self.target)
+    }
+
+    /// Whether the connection should stay open after this exchange,
+    /// following the version default and any `Connection` header.
+    pub fn wants_keep_alive(&self) -> bool {
+        match self.header("connection") {
+            Some(v) if v.eq_ignore_ascii_case("close") => false,
+            Some(v) if v.eq_ignore_ascii_case("keep-alive") => true,
+            _ => self.version == HttpVersion::Http11,
+        }
+    }
+}
+
+/// Standard reason phrase for the status codes this server emits.
+pub fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        505 => "HTTP Version Not Supported",
+        _ => "Unknown",
+    }
+}
+
+/// An HTTP response under construction.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// Extra headers beyond the always-present `Content-Length`,
+    /// `Content-Type`, and `Connection`.
+    pub headers: Vec<(String, String)>,
+    /// MIME type of the body.
+    pub content_type: &'static str,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: impl Into<Vec<u8>>) -> Self {
+        Self {
+            status,
+            headers: Vec::new(),
+            content_type: "application/json",
+            body: body.into(),
+        }
+    }
+
+    /// A plain-text response.
+    pub fn text(status: u16, body: impl Into<Vec<u8>>) -> Self {
+        Self {
+            status,
+            headers: Vec::new(),
+            content_type: "text/plain; charset=utf-8",
+            body: body.into(),
+        }
+    }
+
+    /// A JSON `{"error": ...}` body for an error status.
+    pub fn error(status: u16, message: &str) -> Self {
+        let body = serde_json::to_string(&crate::api::ErrorReply {
+            error: message.to_string(),
+        })
+        .unwrap_or_else(|_| "{\"error\":\"unrenderable\"}".to_string());
+        Self::json(status, body)
+    }
+
+    /// Attach an extra header.
+    pub fn with_header(mut self, name: &str, value: impl std::fmt::Display) -> Self {
+        self.headers.push((name.to_string(), value.to_string()));
+        self
+    }
+
+    /// Serialize status line, headers, and body onto `w`. `keep_alive`
+    /// selects the `Connection` header the peer should honor.
+    pub fn write_to(&self, w: &mut impl Write, keep_alive: bool) -> Result<(), HttpdError> {
+        let mut head = String::with_capacity(128);
+        head.push_str("HTTP/1.1 ");
+        head.push_str(&self.status.to_string());
+        head.push(' ');
+        head.push_str(reason_phrase(self.status));
+        head.push_str("\r\n");
+        for (name, value) in &self.headers {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        head.push_str("Content-Type: ");
+        head.push_str(self.content_type);
+        head.push_str("\r\nContent-Length: ");
+        head.push_str(&self.body.len().to_string());
+        head.push_str("\r\nConnection: ");
+        head.push_str(if keep_alive { "keep-alive" } else { "close" });
+        head.push_str("\r\n\r\n");
+        w.write_all(head.as_bytes())?;
+        w.write_all(&self.body)?;
+        w.flush()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn request(version: HttpVersion, headers: &[(&str, &str)]) -> Request {
+        Request {
+            method: "GET".into(),
+            target: "/healthz?verbose=1".into(),
+            version,
+            headers: headers
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+            body: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn header_lookup_is_case_insensitive() {
+        let r = request(HttpVersion::Http11, &[("X-Tenant", "acme")]);
+        assert_eq!(r.header("x-tenant"), Some("acme"));
+        assert_eq!(r.header("X-TENANT"), Some("acme"));
+        assert_eq!(r.header("x-missing"), None);
+    }
+
+    #[test]
+    fn path_strips_query() {
+        let r = request(HttpVersion::Http11, &[]);
+        assert_eq!(r.path(), "/healthz");
+    }
+
+    #[test]
+    fn keep_alive_follows_version_and_connection_header() {
+        assert!(request(HttpVersion::Http11, &[]).wants_keep_alive());
+        assert!(!request(HttpVersion::Http10, &[]).wants_keep_alive());
+        assert!(!request(HttpVersion::Http11, &[("Connection", "close")]).wants_keep_alive());
+        assert!(request(HttpVersion::Http10, &[("Connection", "keep-alive")]).wants_keep_alive());
+    }
+
+    #[test]
+    fn response_serializes_with_length_and_connection() {
+        let mut out = Vec::new();
+        Response::text(200, "ok")
+            .with_header("Retry-After", 2)
+            .write_to(&mut out, false)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Retry-After: 2\r\n"));
+        assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\nok"));
+    }
+}

@@ -1,0 +1,371 @@
+//! Incremental HTTP/1.1 request parser.
+//!
+//! [`RequestParser`] consumes bytes in whatever chunks the socket delivers
+//! ([`RequestParser::feed`]) and yields complete requests on demand
+//! ([`RequestParser::next_request`]): request line, headers, and a
+//! `Content-Length`-delimited body. Pipelined requests are supported — bytes
+//! beyond the current request stay buffered for the next call.
+//!
+//! Bounded-resource invariants (each mapped to a status code):
+//!
+//! * the head (request line + headers) may not exceed
+//!   [`ParserLimits::max_head_bytes`] → **431**;
+//! * the declared body may not exceed [`ParserLimits::max_body_bytes`] →
+//!   **413**;
+//! * anything malformed (bad request line, bad header syntax, bad or
+//!   conflicting `Content-Length`) → **400**;
+//! * `Transfer-Encoding` bodies are not implemented → **501**;
+//! * versions other than HTTP/1.0 and HTTP/1.1 → **505**.
+//!
+//! After any error the parser is poisoned: the connection must answer with
+//! the error's status and close, because the byte stream can no longer be
+//! framed reliably.
+
+use crate::error::ParseError;
+use crate::http::{HttpVersion, Request};
+
+/// Size caps enforced while parsing.
+#[derive(Debug, Clone, Copy)]
+pub struct ParserLimits {
+    /// Maximum bytes of request line + headers (terminator included).
+    pub max_head_bytes: usize,
+    /// Maximum `Content-Length` accepted.
+    pub max_body_bytes: usize,
+}
+
+impl Default for ParserLimits {
+    fn default() -> Self {
+        Self {
+            max_head_bytes: 8 * 1024,
+            max_body_bytes: 1024 * 1024,
+        }
+    }
+}
+
+/// Streaming request parser; see the module docs for the contract.
+#[derive(Debug)]
+pub struct RequestParser {
+    limits: ParserLimits,
+    buf: Vec<u8>,
+    poisoned: bool,
+}
+
+impl RequestParser {
+    /// Fresh parser for one connection.
+    pub fn new(limits: ParserLimits) -> Self {
+        Self {
+            limits,
+            buf: Vec::new(),
+            poisoned: false,
+        }
+    }
+
+    /// Append bytes read from the socket.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes currently buffered (unconsumed partial input).
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Try to parse the next complete request out of the buffer.
+    ///
+    /// `Ok(None)` means "need more bytes"; `Err` poisons the parser (every
+    /// later call returns the same error).
+    pub fn next_request(&mut self) -> Result<Option<Request>, ParseError> {
+        if self.poisoned {
+            return Err(ParseError::bad_request("parser already failed"));
+        }
+        match self.try_parse() {
+            Ok(v) => Ok(v),
+            Err(e) => {
+                self.poisoned = true;
+                Err(e)
+            }
+        }
+    }
+
+    fn try_parse(&mut self) -> Result<Option<Request>, ParseError> {
+        // Robustness: ignore CRLFs between pipelined requests (RFC 9112 §2.2).
+        let mut start = 0;
+        while self.buf[start..].starts_with(b"\r\n") {
+            start += 2;
+        }
+        let Some(head_len) = find_head_end(&self.buf[start..]) else {
+            // Incomplete head: enforce the size cap on what has accumulated.
+            if self.buf.len() - start > self.limits.max_head_bytes {
+                return Err(ParseError::new(
+                    431,
+                    format!("request head exceeds {} bytes", self.limits.max_head_bytes),
+                ));
+            }
+            if start > 0 {
+                self.buf.drain(..start);
+            }
+            return Ok(None);
+        };
+        if head_len > self.limits.max_head_bytes {
+            return Err(ParseError::new(
+                431,
+                format!("request head exceeds {} bytes", self.limits.max_head_bytes),
+            ));
+        }
+
+        let head = String::from_utf8_lossy(&self.buf[start..start + head_len]).into_owned();
+        let mut lines = head.split("\r\n");
+        let request_line = lines.next().unwrap_or("");
+        let (method, target, version) = parse_request_line(request_line)?;
+
+        let mut headers = Vec::new();
+        for line in lines {
+            if line.is_empty() {
+                continue;
+            }
+            headers.push(parse_header_line(line)?);
+        }
+
+        let content_length = content_length(&headers, self.limits.max_body_bytes)?;
+        let body_start = start + head_len + 4; // past the \r\n\r\n terminator
+        if self.buf.len() < body_start + content_length {
+            // Head is complete but the body is still in flight.
+            return Ok(None);
+        }
+        let body = self.buf[body_start..body_start + content_length].to_vec();
+        self.buf.drain(..body_start + content_length);
+        Ok(Some(Request {
+            method,
+            target,
+            version,
+            headers,
+            body,
+        }))
+    }
+}
+
+/// Offset of the `\r\n\r\n` head terminator, i.e. the head length.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+fn is_token_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b"!#$%&'*+-.^_`|~".contains(&b)
+}
+
+fn parse_request_line(line: &str) -> Result<(String, String, HttpVersion), ParseError> {
+    let mut parts = line.split(' ');
+    let (Some(method), Some(target), Some(version), None) =
+        (parts.next(), parts.next(), parts.next(), parts.next())
+    else {
+        return Err(ParseError::bad_request(format!(
+            "malformed request line {line:?}"
+        )));
+    };
+    if method.is_empty() || !method.bytes().all(is_token_byte) {
+        return Err(ParseError::bad_request(format!("bad method {method:?}")));
+    }
+    if target.is_empty()
+        || !(target.starts_with('/') || target == "*")
+        || target.bytes().any(|b| b <= b' ' || b == 0x7f)
+    {
+        return Err(ParseError::bad_request(format!(
+            "bad request target {target:?}"
+        )));
+    }
+    let version = match version {
+        "HTTP/1.1" => HttpVersion::Http11,
+        "HTTP/1.0" => HttpVersion::Http10,
+        v if v.starts_with("HTTP/") => {
+            return Err(ParseError::new(505, format!("unsupported version {v:?}")))
+        }
+        v => return Err(ParseError::bad_request(format!("bad version {v:?}"))),
+    };
+    Ok((method.to_uppercase(), target.to_string(), version))
+}
+
+fn parse_header_line(line: &str) -> Result<(String, String), ParseError> {
+    let Some((name, value)) = line.split_once(':') else {
+        return Err(ParseError::bad_request(format!(
+            "header line without a colon: {line:?}"
+        )));
+    };
+    if name.is_empty() || !name.bytes().all(is_token_byte) {
+        return Err(ParseError::bad_request(format!("bad header name {name:?}")));
+    }
+    let value = value.trim_matches(|c| c == ' ' || c == '\t');
+    if value.bytes().any(|b| (b < b' ' && b != b'\t') || b == 0x7f) {
+        return Err(ParseError::bad_request(format!(
+            "control bytes in header {name:?}"
+        )));
+    }
+    Ok((name.to_string(), value.to_string()))
+}
+
+/// Resolve the body length from the headers, enforcing the cap.
+fn content_length(headers: &[(String, String)], max: usize) -> Result<usize, ParseError> {
+    if headers
+        .iter()
+        .any(|(k, _)| k.eq_ignore_ascii_case("transfer-encoding"))
+    {
+        return Err(ParseError::new(501, "transfer-encoding not supported"));
+    }
+    let mut length: Option<usize> = None;
+    for (k, v) in headers {
+        if !k.eq_ignore_ascii_case("content-length") {
+            continue;
+        }
+        if v.is_empty() || !v.bytes().all(|b| b.is_ascii_digit()) {
+            return Err(ParseError::bad_request(format!("bad content-length {v:?}")));
+        }
+        let parsed: usize = v
+            .parse()
+            .map_err(|_| ParseError::bad_request(format!("content-length overflow {v:?}")))?;
+        if let Some(previous) = length {
+            if previous != parsed {
+                return Err(ParseError::bad_request(
+                    "conflicting content-length headers",
+                ));
+            }
+        }
+        length = Some(parsed);
+    }
+    let length = length.unwrap_or(0);
+    if length > max {
+        return Err(ParseError::new(
+            413,
+            format!("declared body of {length} bytes exceeds {max}"),
+        ));
+    }
+    Ok(length)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_all(input: &[u8]) -> Result<Vec<Request>, ParseError> {
+        let mut parser = RequestParser::new(ParserLimits::default());
+        parser.feed(input);
+        let mut out = Vec::new();
+        while let Some(req) = parser.next_request()? {
+            out.push(req);
+        }
+        Ok(out)
+    }
+
+    #[test]
+    fn parses_a_simple_get() {
+        let reqs = parse_all(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!(reqs.len(), 1);
+        assert_eq!(reqs[0].method, "GET");
+        assert_eq!(reqs[0].path(), "/healthz");
+        assert_eq!(reqs[0].version, HttpVersion::Http11);
+        assert!(reqs[0].body.is_empty());
+    }
+
+    #[test]
+    fn parses_post_with_body_and_pipelined_follow_up() {
+        let reqs = parse_all(
+            b"POST /v1/forecast HTTP/1.1\r\nContent-Length: 4\r\n\r\nabcdGET / HTTP/1.1\r\n\r\n",
+        )
+        .unwrap();
+        assert_eq!(reqs.len(), 2);
+        assert_eq!(reqs[0].body, b"abcd");
+        assert_eq!(reqs[1].method, "GET");
+    }
+
+    #[test]
+    fn byte_at_a_time_feeding_yields_the_same_request() {
+        let raw = b"POST /v1/forecast HTTP/1.1\r\nX-Tenant: acme\r\nContent-Length: 3\r\n\r\nxyz";
+        let mut parser = RequestParser::new(ParserLimits::default());
+        let mut got = None;
+        for b in raw.iter() {
+            parser.feed(std::slice::from_ref(b));
+            if let Some(req) = parser.next_request().unwrap() {
+                got = Some(req);
+            }
+        }
+        let req = got.expect("request completes on the last byte");
+        assert_eq!(req.header("x-tenant"), Some("acme"));
+        assert_eq!(req.body, b"xyz");
+    }
+
+    #[test]
+    fn oversized_head_is_431() {
+        let limits = ParserLimits {
+            max_head_bytes: 64,
+            max_body_bytes: 1024,
+        };
+        let mut parser = RequestParser::new(limits);
+        parser.feed(b"GET / HTTP/1.1\r\n");
+        parser.feed(&[b'a'; 80]);
+        let err = loop {
+            match parser.next_request() {
+                Ok(None) => parser.feed(b"b"),
+                Ok(Some(_)) => panic!("should not complete"),
+                Err(e) => break e,
+            }
+        };
+        assert_eq!(err.status, 431);
+    }
+
+    #[test]
+    fn oversized_declared_body_is_413() {
+        let limits = ParserLimits {
+            max_head_bytes: 1024,
+            max_body_bytes: 8,
+        };
+        let mut parser = RequestParser::new(limits);
+        parser.feed(b"POST / HTTP/1.1\r\nContent-Length: 9\r\n\r\n");
+        assert_eq!(parser.next_request().unwrap_err().status, 413);
+    }
+
+    #[test]
+    fn bad_content_length_is_400() {
+        for bad in ["nan", "-3", "1 2", "0x10", ""] {
+            let raw = format!("POST / HTTP/1.1\r\nContent-Length: {bad}\r\n\r\n");
+            let err = parse_all(raw.as_bytes()).unwrap_err();
+            assert_eq!(err.status, 400, "content-length {bad:?}");
+        }
+        // Duplicates that agree pass; duplicates that disagree fail.
+        assert!(
+            parse_all(b"POST / HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 2\r\n\r\nok")
+                .is_ok()
+        );
+        let err = parse_all(b"POST / HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 3\r\n\r\nok")
+            .unwrap_err();
+        assert_eq!(err.status, 400);
+    }
+
+    #[test]
+    fn malformed_lines_are_400_and_poison_the_parser() {
+        let mut parser = RequestParser::new(ParserLimits::default());
+        parser.feed(b"GET\r\n\r\n");
+        assert_eq!(parser.next_request().unwrap_err().status, 400);
+        // Poisoned: even a now-valid stream keeps failing.
+        parser.feed(b"GET / HTTP/1.1\r\n\r\n");
+        assert!(parser.next_request().is_err());
+    }
+
+    #[test]
+    fn version_and_encoding_rejections() {
+        assert_eq!(
+            parse_all(b"GET / HTTP/2.0\r\n\r\n").unwrap_err().status,
+            505
+        );
+        assert_eq!(
+            parse_all(b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n")
+                .unwrap_err()
+                .status,
+            501
+        );
+    }
+
+    #[test]
+    fn leading_crlf_between_requests_is_tolerated() {
+        let reqs = parse_all(b"\r\n\r\nGET / HTTP/1.1\r\n\r\n\r\nGET /m HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(reqs.len(), 2);
+        assert_eq!(reqs[1].target, "/m");
+    }
+}

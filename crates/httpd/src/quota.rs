@@ -1,0 +1,173 @@
+//! Per-tenant token-bucket quotas.
+//!
+//! Each tenant (the `X-Tenant` request header; `"anonymous"` when absent)
+//! owns a token bucket refilled at [`QuotaConfig::rate_per_sec`] up to
+//! [`QuotaConfig::burst`]. A request takes one token; an empty bucket denies
+//! with the number of whole seconds until a token accrues, which the server
+//! surfaces as `429` + `Retry-After`.
+//!
+//! Bounded-resource invariant: at most [`QuotaConfig::max_tenants`] buckets
+//! are tracked. When a new tenant would exceed the cap, the
+//! longest-untouched bucket is evicted — an attacker cycling tenant names
+//! can reset its own clock but cannot grow the map without bound.
+
+use d2stgnn_serve::lockorder::OrderedMutex;
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Token-bucket parameters shared by every tenant.
+#[derive(Debug, Clone, Copy)]
+pub struct QuotaConfig {
+    /// Sustained requests per second granted to each tenant.
+    pub rate_per_sec: f64,
+    /// Bucket capacity: how far a tenant may burst above the rate.
+    pub burst: f64,
+    /// Maximum number of tenant buckets kept (LRU-evicted beyond this).
+    pub max_tenants: usize,
+}
+
+impl Default for QuotaConfig {
+    fn default() -> Self {
+        Self {
+            rate_per_sec: 50.0,
+            burst: 100.0,
+            max_tenants: 10_000,
+        }
+    }
+}
+
+/// Outcome of a quota check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuotaDecision {
+    /// A token was taken; serve the request.
+    Allowed,
+    /// Bucket empty; retry after this many whole seconds (at least 1).
+    Denied {
+        /// Seconds until one token accrues, rounded up.
+        retry_after_secs: u64,
+    },
+}
+
+struct Bucket {
+    tokens: f64,
+    touched: Instant,
+}
+
+/// The tenant → bucket table.
+pub struct TenantQuotas {
+    config: QuotaConfig,
+    buckets: OrderedMutex<HashMap<String, Bucket>>,
+}
+
+impl TenantQuotas {
+    /// Empty table under `config`.
+    pub fn new(config: QuotaConfig) -> Self {
+        Self {
+            config,
+            buckets: OrderedMutex::new("httpd.quota.buckets", HashMap::new()),
+        }
+    }
+
+    /// Take one token from `tenant`'s bucket (creating it full on first
+    /// sight), or report how long until one accrues.
+    pub fn check(&self, tenant: &str) -> QuotaDecision {
+        let now = Instant::now();
+        let mut buckets = self.buckets.lock();
+        if !buckets.contains_key(tenant) && buckets.len() >= self.config.max_tenants.max(1) {
+            // Evict the longest-untouched bucket to stay bounded.
+            if let Some(stalest) = buckets
+                .iter()
+                .min_by_key(|(_, b)| b.touched)
+                .map(|(k, _)| k.clone())
+            {
+                buckets.remove(&stalest);
+            }
+        }
+        let bucket = buckets.entry(tenant.to_string()).or_insert(Bucket {
+            tokens: self.config.burst,
+            touched: now,
+        });
+        let dt = now.saturating_duration_since(bucket.touched).as_secs_f64();
+        bucket.tokens = (bucket.tokens + dt * self.config.rate_per_sec).min(self.config.burst);
+        bucket.touched = now;
+        if bucket.tokens >= 1.0 {
+            bucket.tokens -= 1.0;
+            QuotaDecision::Allowed
+        } else {
+            let deficit = 1.0 - bucket.tokens;
+            let secs = if self.config.rate_per_sec > 0.0 {
+                (deficit / self.config.rate_per_sec).ceil()
+            } else {
+                f64::INFINITY
+            };
+            let capped = if secs.is_finite() {
+                (secs as u64).max(1)
+            } else {
+                u64::MAX
+            };
+            QuotaDecision::Denied {
+                retry_after_secs: capped,
+            }
+        }
+    }
+
+    /// Number of tenants currently tracked.
+    pub fn tenants(&self) -> usize {
+        self.buckets.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quotas(rate: f64, burst: f64) -> TenantQuotas {
+        TenantQuotas::new(QuotaConfig {
+            rate_per_sec: rate,
+            burst,
+            max_tenants: 4,
+        })
+    }
+
+    #[test]
+    fn burst_then_denied_with_retry_after() {
+        let q = quotas(1.0, 3.0);
+        for _ in 0..3 {
+            assert_eq!(q.check("acme"), QuotaDecision::Allowed);
+        }
+        match q.check("acme") {
+            QuotaDecision::Denied { retry_after_secs } => assert!(retry_after_secs >= 1),
+            other => panic!("expected denial, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tenants_are_isolated() {
+        let q = quotas(1.0, 1.0);
+        assert_eq!(q.check("a"), QuotaDecision::Allowed);
+        assert!(matches!(q.check("a"), QuotaDecision::Denied { .. }));
+        // A different tenant still has its own full bucket.
+        assert_eq!(q.check("b"), QuotaDecision::Allowed);
+    }
+
+    #[test]
+    fn tenant_table_stays_bounded() {
+        let q = quotas(1.0, 1.0);
+        for i in 0..100 {
+            q.check(&format!("tenant-{i}"));
+        }
+        assert!(q.tenants() <= 4);
+    }
+
+    #[test]
+    fn zero_rate_denies_forever() {
+        let q = quotas(0.0, 1.0);
+        assert_eq!(q.check("x"), QuotaDecision::Allowed);
+        assert!(matches!(
+            q.check("x"),
+            QuotaDecision::Denied {
+                retry_after_secs: u64::MAX
+            }
+        ));
+    }
+}

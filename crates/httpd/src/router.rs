@@ -1,0 +1,212 @@
+//! Shard router: partitions forecast traffic across N [`Server`] instances.
+//!
+//! Placement is decided in two steps:
+//!
+//! 1. **Pin table** — an operator can pin a city name to a shard
+//!    ([`ShardRouter::pin_city`]); pinned cities always land there while the
+//!    shard exists.
+//! 2. **Rendezvous hashing** — otherwise the request's key (sensor id if
+//!    present, else city, else a fixed default) is combined with each shard
+//!    id under FNV-1a and the highest score wins. Rendezvous (highest
+//!    random weight) hashing means adding or removing a shard only moves
+//!    the keys that hashed to it — every other key keeps its assignment,
+//!    so per-shard model caches and HA fallbacks stay warm across resizes.
+
+use crate::error::HttpdError;
+use d2stgnn_serve::lockorder::OrderedMutex;
+use d2stgnn_serve::{Server, ServerStats};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// FNV-1a 64-bit over `bytes`, seeded so distinct (shard, key) pairs mix.
+fn fnv1a(seed: u64, bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325_u64 ^ seed.wrapping_mul(0x100_0000_01b3);
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
+struct Shard {
+    id: u64,
+    server: Arc<Server>,
+}
+
+struct RouterState {
+    shards: Vec<Shard>,
+    /// city → shard id; consulted before hashing.
+    pins: HashMap<String, u64>,
+}
+
+/// Routing key for one request, in precedence order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteKey<'a> {
+    /// Hash by sensor id.
+    Sensor(u64),
+    /// Pin-table lookup by city name, falling back to hashing the name.
+    City(&'a str),
+    /// No hint: a fixed default key (all such requests share a shard).
+    Default,
+}
+
+impl<'a> RouteKey<'a> {
+    /// Derive the key from optional request hints (sensor beats city).
+    pub fn from_hints(sensor: Option<u64>, city: Option<&'a str>) -> Self {
+        match (sensor, city) {
+            (Some(s), _) => RouteKey::Sensor(s),
+            (None, Some(c)) => RouteKey::City(c),
+            (None, None) => RouteKey::Default,
+        }
+    }
+
+    fn bytes(&self) -> Vec<u8> {
+        match self {
+            RouteKey::Sensor(s) => s.to_le_bytes().to_vec(),
+            RouteKey::City(c) => c.as_bytes().to_vec(),
+            RouteKey::Default => b"default".to_vec(),
+        }
+    }
+}
+
+/// Partitions requests across shards; see the module docs for policy.
+pub struct ShardRouter {
+    state: OrderedMutex<RouterState>,
+}
+
+impl Default for ShardRouter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ShardRouter {
+    /// An empty router (routes nothing until a shard is added).
+    pub fn new() -> Self {
+        Self {
+            state: OrderedMutex::new(
+                "httpd.router.state",
+                RouterState {
+                    shards: Vec::new(),
+                    pins: HashMap::new(),
+                },
+            ),
+        }
+    }
+
+    /// Register `server` as shard `id`. Ids must be unique.
+    pub fn add_shard(&self, id: u64, server: Arc<Server>) -> Result<(), HttpdError> {
+        let mut state = self.state.lock();
+        if state.shards.iter().any(|s| s.id == id) {
+            return Err(HttpdError::Config(format!("duplicate shard id {id}")));
+        }
+        state.shards.push(Shard { id, server });
+        Ok(())
+    }
+
+    /// Drop shard `id` from rotation, returning its server (so the caller
+    /// can drain/shut it down). Pins to it fall back to hashing.
+    pub fn remove_shard(&self, id: u64) -> Option<Arc<Server>> {
+        let mut state = self.state.lock();
+        let idx = state.shards.iter().position(|s| s.id == id)?;
+        let shard = state.shards.remove(idx);
+        Some(shard.server)
+    }
+
+    /// Pin `city` to shard `id` (must exist). Overwrites an earlier pin.
+    pub fn pin_city(&self, city: &str, id: u64) -> Result<(), HttpdError> {
+        let mut state = self.state.lock();
+        if !state.shards.iter().any(|s| s.id == id) {
+            return Err(HttpdError::Config(format!(
+                "cannot pin {city:?} to unknown shard {id}"
+            )));
+        }
+        state.pins.insert(city.to_string(), id);
+        Ok(())
+    }
+
+    /// Pick the shard for `key`; `None` while no shards are registered.
+    pub fn route(&self, key: RouteKey<'_>) -> Option<(u64, Arc<Server>)> {
+        let state = self.state.lock();
+        if state.shards.is_empty() {
+            return None;
+        }
+        if let RouteKey::City(city) = key {
+            if let Some(&pinned) = state.pins.get(city) {
+                if let Some(shard) = state.shards.iter().find(|s| s.id == pinned) {
+                    return Some((shard.id, Arc::clone(&shard.server)));
+                }
+            }
+        }
+        let key_bytes = key.bytes();
+        let winner = state
+            .shards
+            .iter()
+            .max_by_key(|s| (fnv1a(s.id, &key_bytes), s.id))?;
+        Some((winner.id, Arc::clone(&winner.server)))
+    }
+
+    /// Number of shards currently in rotation.
+    pub fn shard_count(&self) -> usize {
+        self.state.lock().shards.len()
+    }
+
+    /// Union of model names registered across all shards, sorted, deduped.
+    pub fn model_names(&self) -> Vec<String> {
+        let state = self.state.lock();
+        let mut names: Vec<String> = state
+            .shards
+            .iter()
+            .flat_map(|s| s.server.registry().names())
+            .collect();
+        names.sort();
+        names.dedup();
+        names
+    }
+
+    /// Sum of queue depths across shards (for health and admission views).
+    pub fn total_queue_depth(&self) -> usize {
+        let state = self.state.lock();
+        state.shards.iter().map(|s| s.server.queue_depth()).sum()
+    }
+
+    /// Per-shard serving stats, in shard order.
+    pub fn shard_stats(&self) -> Vec<(u64, ServerStats)> {
+        let state = self.state.lock();
+        state
+            .shards
+            .iter()
+            .map(|s| (s.id, s.server.stats()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_is_deterministic_and_seed_sensitive() {
+        assert_eq!(fnv1a(1, b"abc"), fnv1a(1, b"abc"));
+        assert_ne!(fnv1a(1, b"abc"), fnv1a(2, b"abc"));
+        assert_ne!(fnv1a(1, b"abc"), fnv1a(1, b"abd"));
+    }
+
+    #[test]
+    fn route_key_precedence() {
+        assert_eq!(
+            RouteKey::from_hints(Some(4), Some("sf")),
+            RouteKey::Sensor(4)
+        );
+        assert_eq!(RouteKey::from_hints(None, Some("sf")), RouteKey::City("sf"));
+        assert_eq!(RouteKey::from_hints(None, None), RouteKey::Default);
+    }
+
+    #[test]
+    fn empty_router_routes_nothing() {
+        let router = ShardRouter::new();
+        assert!(router.route(RouteKey::Sensor(1)).is_none());
+        assert_eq!(router.shard_count(), 0);
+        assert!(router.model_names().is_empty());
+    }
+}

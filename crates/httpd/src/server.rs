@@ -1,0 +1,639 @@
+//! The HTTP front-end: listener, bounded worker pool, request handling.
+//!
+//! Thread model (this crate and the serve request loop are the workspace's
+//! sanctioned thread owners, see `xlint.allow`):
+//!
+//! - One **accept thread** polls a nonblocking listener. Fresh connections
+//!   go into a bounded queue; when it is full the connection is answered
+//!   `503` + `Retry-After` and closed immediately, so the backlog can never
+//!   grow past [`HttpdConfig::max_pending_connections`].
+//! - [`HttpdConfig::workers`] **connection workers** pop from that queue and
+//!   own one connection at a time for its whole keep-alive lifetime: read
+//!   with a socket timeout, parse incrementally, answer, repeat up to
+//!   [`HttpdConfig::keep_alive_requests`] exchanges.
+//!
+//! Every resource is bounded: pending connections, header/body bytes
+//! ([`ParserLimits`]), per-connection exchanges, read/write stall time,
+//! tenant buckets, and the downstream serve queue (admission control
+//! answers `503` from [`d2stgnn_serve::Server::is_overloaded`] before
+//! enqueueing).
+
+use crate::api::{ForecastBody, ForecastReply, HealthReply, ModelsReply};
+use crate::error::HttpdError;
+use crate::http::{Request, Response};
+use crate::parser::{ParserLimits, RequestParser};
+use crate::quota::{QuotaConfig, QuotaDecision, TenantQuotas};
+use crate::router::{RouteKey, ShardRouter};
+use d2stgnn_serve::lockorder::{self, OrderedMutex};
+use d2stgnn_serve::{InferRequest, ServeError};
+use d2stgnn_tensor::Array;
+use std::collections::VecDeque;
+use std::io::Read;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Grace period [`HttpServer::shutdown`] (and `Drop`) gives threads to exit.
+pub const HTTPD_SHUTDOWN_GRACE: Duration = Duration::from_secs(5);
+
+/// Front-end knobs. Defaults suit tests and small deployments.
+#[derive(Debug, Clone)]
+pub struct HttpdConfig {
+    /// Connection-worker threads (each owns one connection at a time).
+    pub workers: usize,
+    /// Bound on accepted-but-unclaimed connections; beyond it new
+    /// connections are answered `503` and closed by the accept thread.
+    pub max_pending_connections: usize,
+    /// Maximum request/response exchanges per connection before the server
+    /// closes it (`Connection: close` on the last response).
+    pub keep_alive_requests: usize,
+    /// Socket read timeout: an idle keep-alive connection is closed after
+    /// this long; a stalled mid-request read is answered `408`.
+    pub read_timeout: Duration,
+    /// Socket write timeout for responses.
+    pub write_timeout: Duration,
+    /// Parser head/body byte limits.
+    pub limits: ParserLimits,
+    /// Per-tenant token-bucket quotas; `None` disables quota checks.
+    pub quota: Option<QuotaConfig>,
+    /// How long a worker waits for the shard to produce a forecast before
+    /// answering `504`.
+    pub forecast_wait: Duration,
+    /// `Retry-After` seconds attached to shed (`503`) responses.
+    pub retry_after_secs: u64,
+}
+
+impl Default for HttpdConfig {
+    fn default() -> Self {
+        Self {
+            workers: 4,
+            max_pending_connections: 64,
+            keep_alive_requests: 100,
+            read_timeout: Duration::from_secs(2),
+            write_timeout: Duration::from_secs(2),
+            limits: ParserLimits::default(),
+            quota: None,
+            forecast_wait: Duration::from_secs(5),
+            retry_after_secs: 1,
+        }
+    }
+}
+
+/// Monotonic front-end counters (lock-free; see [`HttpdStatsSnapshot`]).
+#[derive(Debug, Default)]
+struct HttpdStats {
+    connections_accepted: AtomicU64,
+    connections_dropped: AtomicU64,
+    requests: AtomicU64,
+    responses_2xx: AtomicU64,
+    responses_4xx: AtomicU64,
+    responses_5xx: AtomicU64,
+    quota_denied: AtomicU64,
+    shed: AtomicU64,
+    parse_errors: AtomicU64,
+    read_timeouts: AtomicU64,
+}
+
+/// Point-in-time copy of the front-end counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HttpdStatsSnapshot {
+    /// Connections the accept thread handed to workers.
+    pub connections_accepted: u64,
+    /// Connections refused with `503` because the pending queue was full.
+    pub connections_dropped: u64,
+    /// Requests fully parsed and dispatched to a route.
+    pub requests: u64,
+    /// Responses with a 2xx status.
+    pub responses_2xx: u64,
+    /// Responses with a 4xx status.
+    pub responses_4xx: u64,
+    /// Responses with a 5xx status.
+    pub responses_5xx: u64,
+    /// Requests denied by a tenant quota (`429`).
+    pub quota_denied: u64,
+    /// Requests shed by admission control (`503`, shard queue full).
+    pub shed: u64,
+    /// Connections closed after a malformed request.
+    pub parse_errors: u64,
+    /// Reads that hit the socket timeout (idle close or `408`).
+    pub read_timeouts: u64,
+}
+
+impl HttpdStats {
+    fn snapshot(&self) -> HttpdStatsSnapshot {
+        HttpdStatsSnapshot {
+            connections_accepted: self.connections_accepted.load(Ordering::Relaxed),
+            connections_dropped: self.connections_dropped.load(Ordering::Relaxed),
+            requests: self.requests.load(Ordering::Relaxed),
+            responses_2xx: self.responses_2xx.load(Ordering::Relaxed),
+            responses_4xx: self.responses_4xx.load(Ordering::Relaxed),
+            responses_5xx: self.responses_5xx.load(Ordering::Relaxed),
+            quota_denied: self.quota_denied.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            parse_errors: self.parse_errors.load(Ordering::Relaxed),
+            read_timeouts: self.read_timeouts.load(Ordering::Relaxed),
+        }
+    }
+}
+
+struct Shared {
+    config: HttpdConfig,
+    router: Arc<ShardRouter>,
+    quotas: Option<TenantQuotas>,
+    /// Accepted connections waiting for a worker (bounded by config).
+    conns: OrderedMutex<VecDeque<TcpStream>>,
+    notify: Condvar,
+    shutdown: AtomicBool,
+    stats: HttpdStats,
+}
+
+/// The HTTP/1.1 front-end. Dropping it (or calling
+/// [`HttpServer::shutdown`]) stops the listener and joins the threads, up
+/// to a grace period.
+pub struct HttpServer {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl HttpServer {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"`) and start the accept thread plus
+    /// worker pool, fronting the shards registered in `router`.
+    pub fn bind(
+        addr: &str,
+        router: Arc<ShardRouter>,
+        config: HttpdConfig,
+    ) -> Result<Self, HttpdError> {
+        if config.workers == 0 {
+            return Err(HttpdError::Config("workers must be at least 1".into()));
+        }
+        if config.max_pending_connections == 0 {
+            return Err(HttpdError::Config(
+                "max_pending_connections must be at least 1".into(),
+            ));
+        }
+        if config.keep_alive_requests == 0 {
+            return Err(HttpdError::Config(
+                "keep_alive_requests must be at least 1".into(),
+            ));
+        }
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+
+        let shared = Arc::new(Shared {
+            quotas: config.quota.map(TenantQuotas::new),
+            config,
+            router,
+            conns: OrderedMutex::new("httpd.conns", VecDeque::new()),
+            notify: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            stats: HttpdStats::default(),
+        });
+        let mut server = Self {
+            shared: Arc::clone(&shared),
+            local_addr,
+            threads: Vec::with_capacity(shared.config.workers + 1),
+        };
+
+        let accept_shared = Arc::clone(&shared);
+        let accept = std::thread::Builder::new()
+            .name("d2stgnn-httpd-accept".to_string())
+            .spawn(move || accept_loop(&accept_shared, &listener));
+        match accept {
+            Ok(handle) => server.threads.push(handle),
+            Err(e) => {
+                let _ = server.stop(HTTPD_SHUTDOWN_GRACE);
+                return Err(HttpdError::Io(e));
+            }
+        }
+        for i in 0..shared.config.workers {
+            let worker_shared = Arc::clone(&shared);
+            let worker = std::thread::Builder::new()
+                .name(format!("d2stgnn-httpd-{i}"))
+                .spawn(move || worker_loop(&worker_shared));
+            match worker {
+                Ok(handle) => server.threads.push(handle),
+                Err(e) => {
+                    let _ = server.stop(HTTPD_SHUTDOWN_GRACE);
+                    return Err(HttpdError::Io(e));
+                }
+            }
+        }
+        Ok(server)
+    }
+
+    /// The bound socket address (resolves port 0 binds).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The shard router this front-end serves from.
+    pub fn router(&self) -> &Arc<ShardRouter> {
+        &self.shared.router
+    }
+
+    /// Snapshot the front-end counters.
+    pub fn stats(&self) -> HttpdStatsSnapshot {
+        self.shared.stats.snapshot()
+    }
+
+    /// Stop accepting, finish in-flight exchanges, and join all threads.
+    pub fn shutdown(mut self) -> Result<(), HttpdError> {
+        self.stop(HTTPD_SHUTDOWN_GRACE)
+    }
+
+    fn stop(&mut self, grace: Duration) -> Result<(), HttpdError> {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.notify.notify_all();
+        let deadline = Instant::now() + grace;
+        while self.threads.iter().any(|t| !t.is_finished()) && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let mut hung = false;
+        for handle in self.threads.drain(..) {
+            if handle.is_finished() {
+                let _ = handle.join();
+            } else {
+                // Detach: the thread exits on its next timeout tick, but the
+                // caller regains control now.
+                hung = true;
+            }
+        }
+        if hung {
+            Err(HttpdError::WorkerHung)
+        } else {
+            Ok(())
+        }
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        if !self.threads.is_empty() {
+            let _ = self.stop(HTTPD_SHUTDOWN_GRACE);
+        }
+    }
+}
+
+fn accept_loop(shared: &Arc<Shared>, listener: &TcpListener) {
+    while !shared.shutdown.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let mut stream = Some(stream);
+                let mut depth = 0;
+                {
+                    let mut conns = shared.conns.lock();
+                    if conns.len() < shared.config.max_pending_connections {
+                        if let Some(s) = stream.take() {
+                            conns.push_back(s);
+                        }
+                        depth = conns.len();
+                    }
+                }
+                match stream {
+                    None => {
+                        shared
+                            .stats
+                            .connections_accepted
+                            .fetch_add(1, Ordering::Relaxed);
+                        d2stgnn_obsv::gauge_set!("d2stgnn_httpd_pending_connections", depth as f64);
+                        shared.notify.notify_one();
+                    }
+                    Some(mut rejected) => {
+                        // Queue full: shed at the door with an honest 503 so
+                        // the client backs off instead of waiting on an
+                        // unclaimed socket.
+                        shared
+                            .stats
+                            .connections_dropped
+                            .fetch_add(1, Ordering::Relaxed);
+                        d2stgnn_obsv::counter_add!("d2stgnn_httpd_connections_dropped_total", 1);
+                        let _ = rejected.set_write_timeout(Some(shared.config.write_timeout));
+                        let _ = Response::error(503, "connection backlog full")
+                            .with_header("Retry-After", shared.config.retry_after_secs)
+                            .write_to(&mut rejected, false);
+                    }
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                // Nonblocking poll: nothing to accept right now.
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(_) => {
+                // Transient accept failure (e.g. EMFILE); back off briefly.
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    loop {
+        let stream = {
+            let mut conns = shared.conns.lock();
+            loop {
+                if let Some(stream) = conns.pop_front() {
+                    d2stgnn_obsv::gauge_set!(
+                        "d2stgnn_httpd_pending_connections",
+                        conns.len() as f64
+                    );
+                    break Some(stream);
+                }
+                if shared.shutdown.load(Ordering::Acquire) {
+                    break None;
+                }
+                let (guard, _timed_out) =
+                    lockorder::wait_timeout(&shared.notify, conns, Duration::from_millis(100));
+                conns = guard;
+            }
+        };
+        match stream {
+            Some(stream) => handle_connection(shared, stream),
+            None => return,
+        }
+    }
+}
+
+fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
+    let mut span = d2stgnn_obsv::span!("httpd.connection");
+    let _ = stream.set_read_timeout(Some(shared.config.read_timeout));
+    let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
+    let _ = stream.set_nodelay(true);
+
+    let mut parser = RequestParser::new(shared.config.limits);
+    let mut served: usize = 0;
+    let mut buf = [0u8; 8192];
+    loop {
+        // Pull one request out of the parser, reading as needed.
+        let next = loop {
+            match parser.next_request() {
+                Ok(Some(request)) => break Ok(request),
+                Err(e) => break Err(e),
+                Ok(None) => {}
+            }
+            if shared.shutdown.load(Ordering::Acquire) {
+                d2stgnn_obsv::record!(span, requests = served);
+                return;
+            }
+            match stream.read(&mut buf) {
+                Ok(0) => {
+                    // Peer closed.
+                    d2stgnn_obsv::record!(span, requests = served);
+                    return;
+                }
+                Ok(n) => parser.feed(&buf[..n]),
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    shared.stats.read_timeouts.fetch_add(1, Ordering::Relaxed);
+                    if parser.buffered() > 0 {
+                        // Stalled mid-request: tell the peer before closing.
+                        let _ = Response::error(408, "timed out reading request")
+                            .write_to(&mut stream, false);
+                    }
+                    d2stgnn_obsv::record!(span, requests = served);
+                    return;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    d2stgnn_obsv::record!(span, requests = served);
+                    return;
+                }
+            }
+        };
+
+        match next {
+            Ok(request) => {
+                served += 1;
+                let keep_alive = request.wants_keep_alive()
+                    && served < shared.config.keep_alive_requests
+                    && !shared.shutdown.load(Ordering::Acquire);
+                let response = handle_request(shared, &request);
+                count_status(shared, response.status);
+                if response.write_to(&mut stream, keep_alive).is_err() || !keep_alive {
+                    d2stgnn_obsv::record!(span, requests = served);
+                    return;
+                }
+            }
+            Err(parse) => {
+                shared.stats.parse_errors.fetch_add(1, Ordering::Relaxed);
+                count_status(shared, parse.status);
+                let _ = Response::error(parse.status, &parse.message).write_to(&mut stream, false);
+                d2stgnn_obsv::record!(span, requests = served);
+                return;
+            }
+        }
+    }
+}
+
+fn count_status(shared: &Arc<Shared>, status: u16) {
+    let counter = match status {
+        200..=299 => &shared.stats.responses_2xx,
+        400..=499 => &shared.stats.responses_4xx,
+        _ => &shared.stats.responses_5xx,
+    };
+    counter.fetch_add(1, Ordering::Relaxed);
+}
+
+fn handle_request(shared: &Arc<Shared>, request: &Request) -> Response {
+    let started = Instant::now();
+    let mut span = d2stgnn_obsv::span!("httpd.request");
+    d2stgnn_obsv::record!(span, method = request.method.as_str());
+    d2stgnn_obsv::record!(span, path = request.path());
+    shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+    d2stgnn_obsv::counter_add!("d2stgnn_httpd_requests_total", 1);
+
+    let response = match (request.method.as_str(), request.path()) {
+        ("GET", "/healthz") => health(shared),
+        ("GET", "/models") => models(shared),
+        ("GET", "/metrics") => metrics(shared),
+        ("POST", "/v1/forecast") => forecast(shared, request),
+        (_, "/healthz" | "/models" | "/metrics" | "/v1/forecast") => {
+            Response::error(405, "method not allowed on this route")
+        }
+        _ => Response::error(404, "no such route"),
+    };
+    d2stgnn_obsv::record!(span, status = u64::from(response.status));
+    d2stgnn_obsv::observe!(
+        "d2stgnn_httpd_request_seconds",
+        started.elapsed().as_secs_f64()
+    );
+    response
+}
+
+fn json_or_500<T: serde::Serialize>(value: &T) -> Response {
+    match serde_json::to_string(value) {
+        Ok(body) => Response::json(200, body),
+        Err(e) => Response::error(500, &format!("response serialization failed: {e}")),
+    }
+}
+
+fn health(shared: &Arc<Shared>) -> Response {
+    json_or_500(&HealthReply {
+        status: "ok".to_string(),
+        shards: shared.router.shard_count() as u64,
+        queue_depth: shared.router.total_queue_depth() as u64,
+    })
+}
+
+fn models(shared: &Arc<Shared>) -> Response {
+    json_or_500(&ModelsReply {
+        models: shared.router.model_names(),
+    })
+}
+
+fn metrics(shared: &Arc<Shared>) -> Response {
+    let snap = shared.stats.snapshot();
+    let mut out = String::with_capacity(1024);
+    let mut counter = |name: &str, value: u64| {
+        out.push_str("# TYPE ");
+        out.push_str(name);
+        out.push_str(" counter\n");
+        out.push_str(name);
+        out.push(' ');
+        out.push_str(&value.to_string());
+        out.push('\n');
+    };
+    counter(
+        "d2stgnn_httpd_connections_accepted_total",
+        snap.connections_accepted,
+    );
+    counter(
+        "d2stgnn_httpd_connections_dropped_total",
+        snap.connections_dropped,
+    );
+    counter("d2stgnn_httpd_requests_total", snap.requests);
+    counter("d2stgnn_httpd_responses_2xx_total", snap.responses_2xx);
+    counter("d2stgnn_httpd_responses_4xx_total", snap.responses_4xx);
+    counter("d2stgnn_httpd_responses_5xx_total", snap.responses_5xx);
+    counter("d2stgnn_httpd_quota_denied_total", snap.quota_denied);
+    counter("d2stgnn_httpd_shed_total", snap.shed);
+    counter("d2stgnn_httpd_parse_errors_total", snap.parse_errors);
+    counter("d2stgnn_httpd_read_timeouts_total", snap.read_timeouts);
+    let mut gauge = |name: &str, value: u64| {
+        out.push_str("# TYPE ");
+        out.push_str(name);
+        out.push_str(" gauge\n");
+        out.push_str(name);
+        out.push(' ');
+        out.push_str(&value.to_string());
+        out.push('\n');
+    };
+    gauge("d2stgnn_httpd_shards", shared.router.shard_count() as u64);
+    gauge(
+        "d2stgnn_httpd_shard_queue_depth",
+        shared.router.total_queue_depth() as u64,
+    );
+    // Append the workspace-wide telemetry registry (empty when the obsv
+    // feature is off).
+    out.push_str(&d2stgnn_obsv::render_prometheus());
+    Response::text(200, out)
+}
+
+fn forecast(shared: &Arc<Shared>, request: &Request) -> Response {
+    let tenant = request.header("x-tenant").unwrap_or("anonymous");
+    if let Some(quotas) = &shared.quotas {
+        if let QuotaDecision::Denied { retry_after_secs } = quotas.check(tenant) {
+            shared.stats.quota_denied.fetch_add(1, Ordering::Relaxed);
+            d2stgnn_obsv::counter_add!("d2stgnn_httpd_quota_denied_total", 1);
+            return Response::error(429, &format!("tenant {tenant:?} quota exhausted"))
+                .with_header("Retry-After", retry_after_secs);
+        }
+    }
+    let text = match std::str::from_utf8(&request.body) {
+        Ok(t) => t,
+        Err(_) => return Response::error(400, "request body is not UTF-8"),
+    };
+    let body: ForecastBody = match serde_json::from_str(text) {
+        Ok(b) => b,
+        Err(e) => return Response::error(400, &format!("bad forecast body: {e}")),
+    };
+
+    let key = RouteKey::from_hints(body.sensor, body.city.as_deref());
+    let Some((shard_id, server)) = shared.router.route(key) else {
+        return Response::error(503, "no shards registered")
+            .with_header("Retry-After", shared.config.retry_after_secs);
+    };
+
+    // Admission control: shed before enqueueing when the shard queue is at
+    // capacity, so the bounded serve queue never sees the overflow.
+    if server.is_overloaded() {
+        shared.stats.shed.fetch_add(1, Ordering::Relaxed);
+        d2stgnn_obsv::counter_add!("d2stgnn_httpd_shed_total", 1);
+        return Response::error(503, "shard queue full, request shed")
+            .with_header("Retry-After", shared.config.retry_after_secs);
+    }
+
+    let steps = body.window.len();
+    if steps == 0 {
+        return Response::error(400, "window must have at least one step");
+    }
+    let nodes = body.window[0].len();
+    if nodes == 0 || body.window.iter().any(|row| row.len() != nodes) {
+        return Response::error(400, "window rows must be non-empty and equal length");
+    }
+    let mut data = Vec::with_capacity(steps * nodes);
+    for row in &body.window {
+        data.extend_from_slice(row);
+    }
+    let window = match Array::from_vec(&[steps, nodes, 1], data) {
+        Ok(a) => a,
+        Err(e) => return Response::error(400, &format!("bad window: {e}")),
+    };
+    let deadline = body
+        .deadline_ms
+        .map(|ms| Instant::now() + Duration::from_millis(ms));
+    let infer = InferRequest {
+        model: body.model.clone(),
+        window,
+        tod: body.tod.clone(),
+        dow: body.dow.clone(),
+        deadline,
+    };
+
+    let handle = match server.submit(infer) {
+        Ok(h) => h,
+        Err(e) => return serve_error_response(shared, &e),
+    };
+    match handle.wait_timeout(shared.config.forecast_wait) {
+        None => Response::error(504, "forecast did not complete within the gateway budget"),
+        Some(Err(e)) => serve_error_response(shared, &e),
+        Some(Ok(forecast)) => {
+            let width = forecast.values.shape().last().copied().unwrap_or(1).max(1);
+            let values: Vec<Vec<f32>> = forecast
+                .values
+                .data()
+                .chunks(width)
+                .map(<[f32]>::to_vec)
+                .collect();
+            json_or_500(&ForecastReply {
+                model: forecast.model,
+                generation: forecast.generation,
+                fallback: forecast.fallback,
+                shard: shard_id,
+                values,
+            })
+        }
+    }
+}
+
+fn serve_error_response(shared: &Arc<Shared>, e: &ServeError) -> Response {
+    match e {
+        ServeError::Overloaded => {
+            shared.stats.shed.fetch_add(1, Ordering::Relaxed);
+            d2stgnn_obsv::counter_add!("d2stgnn_httpd_shed_total", 1);
+            Response::error(503, "shard queue full, request shed")
+                .with_header("Retry-After", shared.config.retry_after_secs)
+        }
+        ServeError::DeadlineExceeded => Response::error(504, &e.to_string()),
+        ServeError::UnknownModel(_) => Response::error(404, &e.to_string()),
+        ServeError::BadRequest(_) => Response::error(400, &e.to_string()),
+        ServeError::ShuttingDown => Response::error(503, &e.to_string())
+            .with_header("Retry-After", shared.config.retry_after_secs),
+        _ => Response::error(500, &e.to_string()),
+    }
+}

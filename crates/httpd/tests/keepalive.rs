@@ -1,0 +1,110 @@
+//! Keep-alive semantics: connection reuse, per-connection request caps,
+//! pipelining, and HTTP/1.0 close-by-default.
+
+mod common;
+
+use common::Client;
+use d2stgnn_httpd::{HttpServer, HttpdConfig, ShardRouter};
+use std::sync::Arc;
+
+fn boot(config: HttpdConfig) -> HttpServer {
+    HttpServer::bind("127.0.0.1:0", Arc::new(ShardRouter::new()), config).expect("bind")
+}
+
+#[test]
+fn keep_alive_serves_many_requests_on_one_connection() {
+    let server = boot(HttpdConfig::default());
+    let mut client = Client::connect(server.local_addr());
+    for _ in 0..5 {
+        client.get("/healthz");
+        let resp = client.read_response().expect("response");
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.header("connection"), Some("keep-alive"));
+        assert!(resp.body_text().contains("\"status\""));
+    }
+    let stats = server.stats();
+    assert_eq!(stats.connections_accepted, 1, "one connection, reused");
+    assert_eq!(stats.requests, 5);
+    server.shutdown().expect("shutdown");
+}
+
+#[test]
+fn connection_closes_at_request_cap() {
+    let server = boot(HttpdConfig {
+        keep_alive_requests: 2,
+        ..HttpdConfig::default()
+    });
+    let mut client = Client::connect(server.local_addr());
+    client.get("/healthz");
+    let first = client.read_response().expect("first");
+    assert_eq!(first.header("connection"), Some("keep-alive"));
+    client.get("/healthz");
+    let second = client.read_response().expect("second");
+    assert_eq!(second.header("connection"), Some("close"));
+    // The server hangs up after the capped exchange.
+    assert!(client.read_response().is_none());
+    server.shutdown().expect("shutdown");
+}
+
+#[test]
+fn pipelined_requests_are_answered_in_order() {
+    let server = boot(HttpdConfig::default());
+    let mut client = Client::connect(server.local_addr());
+    client.send(b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\nGET /models HTTP/1.1\r\nHost: t\r\n\r\n");
+    let first = client.read_response().expect("first");
+    assert_eq!(first.status, 200);
+    assert!(first.body_text().contains("\"status\""), "healthz first");
+    let second = client.read_response().expect("second");
+    assert_eq!(second.status, 200);
+    assert!(second.body_text().contains("\"models\""), "models second");
+    server.shutdown().expect("shutdown");
+}
+
+#[test]
+fn http10_closes_by_default_and_connection_close_is_honored() {
+    let server = boot(HttpdConfig::default());
+
+    let mut old = Client::connect(server.local_addr());
+    old.send(b"GET /healthz HTTP/1.0\r\n\r\n");
+    let resp = old.read_response().expect("response");
+    assert_eq!(resp.status, 200);
+    assert_eq!(resp.header("connection"), Some("close"));
+    assert!(old.read_response().is_none());
+
+    let mut explicit = Client::connect(server.local_addr());
+    explicit.send(b"GET /healthz HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n");
+    let resp = explicit.read_response().expect("response");
+    assert_eq!(resp.header("connection"), Some("close"));
+    assert!(explicit.read_response().is_none());
+    server.shutdown().expect("shutdown");
+}
+
+#[test]
+fn unknown_routes_and_methods_are_typed_errors() {
+    let server = boot(HttpdConfig::default());
+    let addr = server.local_addr();
+    assert_eq!(common::get_once(addr, "/nope").status, 404);
+
+    let mut client = Client::connect(addr);
+    client.send(b"DELETE /healthz HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n");
+    assert_eq!(client.read_response().expect("response").status, 405);
+
+    // Error responses still parse as JSON with an `error` field.
+    let resp = common::get_once(addr, "/missing");
+    assert!(resp.body_text().contains("\"error\""));
+    server.shutdown().expect("shutdown");
+}
+
+#[test]
+fn metrics_route_exposes_httpd_counters() {
+    let server = boot(HttpdConfig::default());
+    let addr = server.local_addr();
+    common::get_once(addr, "/healthz");
+    let resp = common::get_once(addr, "/metrics");
+    assert_eq!(resp.status, 200);
+    let text = resp.body_text();
+    assert!(text.contains("d2stgnn_httpd_requests_total"), "{text}");
+    assert!(text.contains("d2stgnn_httpd_connections_accepted_total"));
+    assert!(text.contains("d2stgnn_httpd_shards 0"));
+    server.shutdown().expect("shutdown");
+}

@@ -1,0 +1,87 @@
+//! Per-tenant quota enforcement over HTTP: 429 + Retry-After past the
+//! burst, tenant isolation, and the anonymous bucket.
+//!
+//! The router is left empty on purpose: quota checks run before routing, so
+//! an allowed request answers 400/503 (bad body / no shards) while a denied
+//! one answers 429 — cheap to distinguish without booting a model.
+
+mod common;
+
+use common::post_once;
+use d2stgnn_httpd::{HttpServer, HttpdConfig, QuotaConfig, ShardRouter};
+use std::sync::Arc;
+
+fn boot(burst: f64) -> HttpServer {
+    let config = HttpdConfig {
+        quota: Some(QuotaConfig {
+            rate_per_sec: 0.5,
+            burst,
+            max_tenants: 100,
+        }),
+        ..HttpdConfig::default()
+    };
+    HttpServer::bind("127.0.0.1:0", Arc::new(ShardRouter::new()), config).expect("bind")
+}
+
+#[test]
+fn tenant_is_denied_past_burst_with_retry_after() {
+    let server = boot(2.0);
+    let addr = server.local_addr();
+    for _ in 0..2 {
+        let resp = post_once(addr, "/v1/forecast", "{}", &[("X-Tenant", "acme")]);
+        assert_ne!(resp.status, 429, "within burst");
+    }
+    let denied = post_once(addr, "/v1/forecast", "{}", &[("X-Tenant", "acme")]);
+    assert_eq!(denied.status, 429);
+    let retry: u64 = denied
+        .header("retry-after")
+        .expect("Retry-After header")
+        .parse()
+        .expect("numeric Retry-After");
+    assert!(retry >= 1);
+    assert!(denied.body_text().contains("quota"));
+    assert_eq!(server.stats().quota_denied, 1);
+    server.shutdown().expect("shutdown");
+}
+
+#[test]
+fn tenants_have_independent_buckets() {
+    let server = boot(1.0);
+    let addr = server.local_addr();
+    assert_ne!(
+        post_once(addr, "/v1/forecast", "{}", &[("X-Tenant", "a")]).status,
+        429
+    );
+    assert_eq!(
+        post_once(addr, "/v1/forecast", "{}", &[("X-Tenant", "a")]).status,
+        429
+    );
+    // A different tenant still has a full bucket.
+    assert_ne!(
+        post_once(addr, "/v1/forecast", "{}", &[("X-Tenant", "b")]).status,
+        429
+    );
+    server.shutdown().expect("shutdown");
+}
+
+#[test]
+fn requests_without_tenant_header_share_the_anonymous_bucket() {
+    let server = boot(1.0);
+    let addr = server.local_addr();
+    assert_ne!(post_once(addr, "/v1/forecast", "{}", &[]).status, 429);
+    assert_eq!(post_once(addr, "/v1/forecast", "{}", &[]).status, 429);
+    server.shutdown().expect("shutdown");
+}
+
+#[test]
+fn quotas_only_gate_the_forecast_route() {
+    let server = boot(1.0);
+    let addr = server.local_addr();
+    // Exhaust the anonymous bucket.
+    post_once(addr, "/v1/forecast", "{}", &[]);
+    assert_eq!(post_once(addr, "/v1/forecast", "{}", &[]).status, 429);
+    // Health and models stay reachable regardless.
+    assert_eq!(common::get_once(addr, "/healthz").status, 200);
+    assert_eq!(common::get_once(addr, "/models").status, 200);
+    server.shutdown().expect("shutdown");
+}

@@ -1,0 +1,125 @@
+//! Shard-routing behavior: rendezvous stability under shard add/remove,
+//! city pinning, and end-to-end HTTP routing to the shard the router picks.
+
+mod common;
+
+use common::{empty_shard, forecast_json, post_once, shard};
+use d2stgnn_httpd::{HttpServer, HttpdConfig, RouteKey, ShardRouter};
+use d2stgnn_serve::ServeConfig;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+fn routed(router: &ShardRouter, keys: &[u64]) -> HashMap<u64, u64> {
+    keys.iter()
+        .map(|&k| {
+            let (id, _) = router.route(RouteKey::Sensor(k)).expect("route");
+            (k, id)
+        })
+        .collect()
+}
+
+#[test]
+fn removing_a_shard_only_moves_its_own_keys() {
+    let router = ShardRouter::new();
+    for id in 0..3 {
+        router.add_shard(id, empty_shard()).expect("add shard");
+    }
+    let keys: Vec<u64> = (0..200).collect();
+    let before = routed(&router, &keys);
+    assert!(
+        (0..3).all(|id| before.values().any(|&v| v == id)),
+        "rendezvous should spread 200 keys over 3 shards: {before:?}"
+    );
+
+    let removed = router.remove_shard(1).expect("shard 1 exists");
+    drop(removed);
+    let after = routed(&router, &keys);
+    for (&key, &shard_before) in &before {
+        if shard_before == 1 {
+            assert_ne!(after[&key], 1, "keys on the removed shard move");
+        } else {
+            assert_eq!(
+                after[&key], shard_before,
+                "key {key} must keep its shard when an unrelated shard leaves"
+            );
+        }
+    }
+}
+
+#[test]
+fn adding_a_shard_only_steals_keys_it_wins() {
+    let router = ShardRouter::new();
+    router.add_shard(0, empty_shard()).expect("add");
+    router.add_shard(1, empty_shard()).expect("add");
+    let keys: Vec<u64> = (0..200).collect();
+    let before = routed(&router, &keys);
+    router.add_shard(2, empty_shard()).expect("add");
+    let after = routed(&router, &keys);
+    let mut stolen = 0;
+    for (&key, &shard_before) in &before {
+        if after[&key] != shard_before {
+            assert_eq!(after[&key], 2, "a moved key may only move to the new shard");
+            stolen += 1;
+        }
+    }
+    assert!(stolen > 0, "a third shard should win some keys");
+    assert!(stolen < keys.len(), "a third shard must not win every key");
+}
+
+#[test]
+fn pinned_cities_beat_hashing_until_the_shard_leaves() {
+    let router = ShardRouter::new();
+    router.add_shard(0, empty_shard()).expect("add");
+    router.add_shard(1, empty_shard()).expect("add");
+    router.pin_city("metr-la", 1).expect("pin");
+    let (id, _) = router.route(RouteKey::City("metr-la")).expect("route");
+    assert_eq!(id, 1, "pin table wins");
+    // Pinning to an unknown shard is a config error.
+    assert!(router.pin_city("pems-bay", 9).is_err());
+    // Once the pinned shard leaves, the city falls back to hashing.
+    router.remove_shard(1);
+    let (id, _) = router.route(RouteKey::City("metr-la")).expect("route");
+    assert_eq!(id, 0, "falls back to the surviving shard");
+}
+
+#[test]
+fn duplicate_shard_ids_are_rejected() {
+    let router = ShardRouter::new();
+    router.add_shard(7, empty_shard()).expect("add");
+    assert!(router.add_shard(7, empty_shard()).is_err());
+    assert_eq!(router.shard_count(), 1);
+}
+
+#[test]
+fn http_requests_land_on_the_shard_the_router_picks() {
+    let data = common::dataset();
+    let router = Arc::new(ShardRouter::new());
+    for id in 0..2 {
+        router
+            .add_shard(id, shard(&data, &["m"], ServeConfig::default()))
+            .expect("add shard");
+    }
+    let server =
+        HttpServer::bind("127.0.0.1:0", Arc::clone(&router), HttpdConfig::default()).expect("bind");
+    let addr = server.local_addr();
+
+    let mut seen = std::collections::HashSet::new();
+    for sensor in 0..8u64 {
+        let (predicted, _) = router.route(RouteKey::Sensor(sensor)).expect("route");
+        let body = forecast_json(&data, "m", Some(sensor));
+        let resp = post_once(addr, "/v1/forecast", &body, &[]);
+        assert_eq!(resp.status, 200, "{}", resp.body_text());
+        let text = resp.body_text();
+        assert!(
+            text.contains(&format!("\"shard\":{predicted}")),
+            "sensor {sensor} should land on shard {predicted}: {text}"
+        );
+        seen.insert(predicted);
+    }
+    assert_eq!(seen.len(), 2, "eight sensors should exercise both shards");
+
+    // /models unions the registries across shards.
+    let models = common::get_once(addr, "/models");
+    assert!(models.body_text().contains("\"m\""));
+    server.shutdown().expect("shutdown");
+}

@@ -1,0 +1,138 @@
+//! Admission control under overload: requests beyond the shard's bounded
+//! queue are shed with `503` + `Retry-After` before touching the serve
+//! queue, and the queue-depth accessors that drive the decision are live.
+
+mod common;
+
+use common::{forecast_json, post_once, shard};
+use d2stgnn_httpd::{HttpServer, HttpdConfig, ShardRouter};
+use d2stgnn_serve::ServeConfig;
+use std::sync::Arc;
+use std::time::Duration;
+
+#[test]
+fn overloaded_shard_sheds_with_retry_after() {
+    let data = common::dataset();
+    // One worker, capacity-1 queue, and a long batch-collection window: a
+    // model-"a" request parks the worker collecting an "a" batch, so "b"
+    // traffic piles into the bounded queue.
+    let serve = shard(
+        &data,
+        &["a", "b"],
+        ServeConfig {
+            workers: 1,
+            max_batch: 2,
+            max_wait: Duration::from_millis(600),
+            queue_capacity: 1,
+        },
+    );
+    let router = Arc::new(ShardRouter::new());
+    router.add_shard(0, Arc::clone(&serve)).expect("add shard");
+    let server = HttpServer::bind(
+        "127.0.0.1:0",
+        router,
+        HttpdConfig {
+            forecast_wait: Duration::from_secs(20),
+            retry_after_secs: 2,
+            ..HttpdConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.local_addr();
+
+    // Prime: park the worker in an "a" batch-collection window.
+    let prime_body = forecast_json(&data, "a", Some(0));
+    let primer = std::thread::spawn(move || post_once(addr, "/v1/forecast", &prime_body, &[]));
+    // Give the worker time to pop the primer before flooding.
+    std::thread::sleep(Duration::from_millis(200));
+
+    // Three "b" requests against a capacity-1 queue: one queues, two shed.
+    let b_body = forecast_json(&data, "b", Some(1));
+    let statuses: Vec<_> = (0..3)
+        .map(|_| {
+            let body = b_body.clone();
+            std::thread::spawn(move || post_once(addr, "/v1/forecast", &body, &[]))
+        })
+        .collect::<Vec<_>>()
+        .into_iter()
+        .map(|h| h.join().expect("client thread"))
+        .collect();
+
+    let ok = statuses.iter().filter(|r| r.status == 200).count();
+    let shed: Vec<_> = statuses.iter().filter(|r| r.status == 503).collect();
+    let debug: Vec<(u16, String)> = statuses.iter().map(|r| (r.status, r.body_text())).collect();
+    assert_eq!(
+        ok, 1,
+        "exactly one b-request fits the capacity-1 queue: {debug:?}"
+    );
+    assert_eq!(shed.len(), 2, "the rest are shed");
+    for resp in &shed {
+        assert_eq!(resp.header("retry-after"), Some("2"));
+        assert!(resp.body_text().contains("shed"), "{}", resp.body_text());
+    }
+
+    let prime_resp = primer.join().expect("primer thread");
+    assert_eq!(prime_resp.status, 200);
+
+    assert_eq!(server.stats().shed, 2);
+    server.shutdown().expect("shutdown");
+    match Arc::try_unwrap(serve) {
+        Ok(s) => s.shutdown().expect("serve shutdown"),
+        Err(_) => panic!("router still holds the shard"),
+    }
+}
+
+#[test]
+fn queue_depth_accessors_mirror_the_live_queue() {
+    let data = common::dataset();
+    let serve = shard(
+        &data,
+        &["a", "b"],
+        ServeConfig {
+            workers: 1,
+            max_batch: 2,
+            max_wait: Duration::from_millis(400),
+            queue_capacity: 1,
+        },
+    );
+    assert_eq!(serve.queue_depth(), 0);
+    assert_eq!(serve.queue_capacity(), 1);
+    assert!(!serve.is_overloaded());
+    assert_eq!(serve.stats().queue_depth, 0);
+    // Park the worker on "a", then fill the queue with a "b".
+    let req_a = {
+        let json = forecast_json(&data, "a", None);
+        let body: d2stgnn_httpd::api::ForecastBody = serde_json::from_str(&json).expect("body");
+        body
+    };
+    let to_infer =
+        |b: &d2stgnn_httpd::api::ForecastBody, model: &str| d2stgnn_serve::InferRequest {
+            model: model.to_string(),
+            window: d2stgnn_tensor::Array::from_vec(
+                &[b.window.len(), b.window[0].len(), 1],
+                b.window.iter().flatten().copied().collect(),
+            )
+            .expect("window"),
+            tod: b.tod.clone(),
+            dow: b.dow.clone(),
+            deadline: None,
+        };
+    let h_a = serve.submit(to_infer(&req_a, "a")).expect("submit a");
+    std::thread::sleep(Duration::from_millis(150));
+    let h_b = serve.submit(to_infer(&req_a, "b")).expect("submit b");
+    assert_eq!(serve.queue_depth(), 1, "b waits while the a-batch is open");
+    assert!(serve.is_overloaded(), "depth reached capacity");
+    assert_eq!(
+        serve.stats().queue_depth,
+        1,
+        "ServerStats mirrors the live depth"
+    );
+    h_a.wait().expect("a answered");
+    h_b.wait().expect("b answered");
+    assert_eq!(serve.queue_depth(), 0);
+    assert!(!serve.is_overloaded());
+    match Arc::try_unwrap(serve) {
+        Ok(s) => s.shutdown().expect("serve shutdown"),
+        Err(_) => panic!("unexpected extra shard handle"),
+    }
+}

@@ -123,6 +123,10 @@ struct Shared {
     config: ServeConfig,
     registry: Arc<ModelRegistry>,
     queue: OrderedMutex<VecDeque<Pending>>,
+    /// Mirror of `queue.len()`, updated at every push/pop under the queue
+    /// lock, so admission control can read the depth without contending on
+    /// the queue mutex (or scraping the obsv gauge).
+    depth: AtomicUsize,
     notify: Condvar,
     shutdown: AtomicBool,
     /// Number of worker threads that have left `worker_loop` (normally or by
@@ -153,6 +157,7 @@ impl Server {
             config: config.clone(),
             registry,
             queue: OrderedMutex::new("serve.queue", VecDeque::new()),
+            depth: AtomicUsize::new(0),
             notify: Condvar::new(),
             shutdown: AtomicBool::new(false),
             exited: AtomicUsize::new(0),
@@ -231,6 +236,7 @@ impl Server {
                 tx,
             });
             self.shared.stats.accepted();
+            self.shared.depth.store(queue.len(), Ordering::Release);
             d2stgnn_obsv::gauge_set!("d2stgnn_serve_queue_depth", queue.len() as f64);
         }
         self.shared.notify.notify_all();
@@ -244,7 +250,29 @@ impl Server {
 
     /// Snapshot the server counters.
     pub fn stats(&self) -> ServerStats {
-        self.shared.stats.snapshot()
+        let mut stats = self.shared.stats.snapshot();
+        stats.queue_depth = self.queue_depth() as u64;
+        stats
+    }
+
+    /// Number of requests currently waiting in the bounded queue. Lock-free:
+    /// reads a mirror that push/pop sites maintain under the queue lock, so
+    /// front-end admission control can poll it per request without touching
+    /// the queue mutex (or scraping the `d2stgnn_serve_queue_depth` gauge).
+    pub fn queue_depth(&self) -> usize {
+        self.shared.depth.load(Ordering::Acquire)
+    }
+
+    /// True when the queue is at capacity: a request submitted now would be
+    /// shed (fallback answer or [`ServeError::Overloaded`]). Front ends use
+    /// this to reject early with a retryable status instead of submitting.
+    pub fn is_overloaded(&self) -> bool {
+        self.queue_depth() >= self.shared.config.queue_capacity
+    }
+
+    /// The configured bounded-queue capacity, for watermark-based admission.
+    pub fn queue_capacity(&self) -> usize {
+        self.shared.config.queue_capacity
     }
 
     /// The registry this server reads from.
@@ -392,6 +420,7 @@ fn worker_loop(shared: &Shared) {
         let Some(first) = queue.pop_front() else {
             continue;
         };
+        shared.depth.store(queue.len(), Ordering::Release);
         let model_name = first.request.model.clone();
         // Resolve the version once per micro-batch: every request fused into
         // this batch is served by it, even if a reload lands mid-collection.
@@ -405,6 +434,7 @@ fn worker_loop(shared: &Shared) {
                 if let Some(p) = queue.remove(pos) {
                     batch.push(p);
                 }
+                shared.depth.store(queue.len(), Ordering::Release);
                 continue;
             }
             let now = Instant::now();
@@ -415,6 +445,7 @@ fn worker_loop(shared: &Shared) {
                 lockorder::wait_timeout(&shared.notify, queue, hold_until - now);
             queue = guard;
         }
+        shared.depth.store(queue.len(), Ordering::Release);
         d2stgnn_obsv::gauge_set!("d2stgnn_serve_queue_depth", queue.len() as f64);
         drop(queue);
         process_batch(shared, &mut cache, version, batch, &mut rng);

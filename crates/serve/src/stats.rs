@@ -29,6 +29,10 @@ pub struct ServerStats {
     pub fallback_served: u64,
     /// Requests whose deadline passed before a worker reached them.
     pub deadline_misses: u64,
+    /// Requests waiting in the bounded queue at snapshot time. Filled by
+    /// [`crate::Server::stats`] from the live queue-depth mirror; zero when a
+    /// [`StatsRecorder`] is snapshotted without a server attached.
+    pub queue_depth: u64,
     /// Median end-to-end latency over the recent window (zero when empty).
     pub p50_latency: Duration,
     /// 95th-percentile end-to-end latency over the recent window.
@@ -126,6 +130,7 @@ impl StatsRecorder {
             sheds: self.sheds.load(Ordering::Relaxed),
             fallback_served: self.fallback_served.load(Ordering::Relaxed),
             deadline_misses: self.deadline_misses.load(Ordering::Relaxed),
+            queue_depth: 0,
             p50_latency: p50,
             p95_latency: p95,
             p99_latency: p99,

@@ -56,4 +56,32 @@ assert largest["speedup"] >= 1.0, (largest["shape"], largest["speedup"])
 print(f"bench smoke OK: {largest['shape']} speedup {largest['speedup']:.2f}x")
 EOF
 
+echo "==> httpd front-end: crate tests + 2-shard scale-out smoke"
+cargo test -q -p d2stgnn-httpd
+cargo test -q -p d2stgnn-httpd --features sanitize
+cargo run -q --release -p d2stgnn-bench --bin loadgen -- --fast
+python3 - <<'EOF'
+import json
+doc = json.load(open("target/experiments/BENCH_serve_scaleout.json"))
+assert doc["schema"] == "d2stgnn-bench-v1", doc["schema"]
+assert doc["name"] == "serve_scaleout"
+res = doc["results"]
+phases = {r["phase"]: r for r in res["phases"]}
+assert set(phases) == {"saturate_1shard", "saturate_2shard", "overload_4x"}
+summary = res["summary"]
+# The smoke run is short and noisy; require only a clear scaling signal.
+# The committed full-run artifact is where the 1.7x+ floor is enforced.
+assert summary["scaleout_ratio"] >= 1.3, summary["scaleout_ratio"]
+assert summary["overload_shed_503"] > 0, "admission control never engaged"
+assert summary["overload_p99_ms"] < 1000.0, summary["overload_p99_ms"]
+committed = json.load(open("BENCH_serve_scaleout.json"))
+full = json.loads(committed["results"]) if isinstance(committed["results"], str) else committed["results"]
+assert full["summary"]["scaleout_ratio"] >= 1.7, full["summary"]["scaleout_ratio"]
+print(
+    f"scale-out smoke OK: {summary['scaleout_ratio']:.2f}x live, "
+    f"{full['summary']['scaleout_ratio']:.2f}x committed, "
+    f"p99 {summary['overload_p99_ms']:.0f} ms under 4x load"
+)
+EOF
+
 echo "CI OK"

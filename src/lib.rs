@@ -49,6 +49,7 @@ pub use d2stgnn_baselines as baselines;
 pub use d2stgnn_core as model;
 pub use d2stgnn_data as data;
 pub use d2stgnn_graph as graph;
+pub use d2stgnn_httpd as httpd;
 pub use d2stgnn_serve as serve;
 pub use d2stgnn_tensor as tensor;
 
@@ -67,6 +68,7 @@ pub mod prelude {
         StandardScaler, TrafficData, WindowedDataset,
     };
     pub use d2stgnn_graph::{transition, TrafficNetwork};
+    pub use d2stgnn_httpd::{HttpServer, HttpdConfig, QuotaConfig, RouteKey, ShardRouter};
     pub use d2stgnn_serve::{
         Forecast, InferRequest, ModelRegistry, ServeConfig, ServeError, Server, ServerStats,
     };
