@@ -97,10 +97,10 @@ impl HistoricalAverage {
     /// # Panics
     /// If the model is unfitted.
     pub fn predict_slots(&self, start_dow: usize, start_slot: usize, tf: usize) -> Array {
-        let table = self
-            .table
-            .as_ref()
-            .expect("fit() must run before predict()");
+        let table = crate::error::required(
+            self.table.as_ref(),
+            "HistoricalAverage::fit() must run before predict()",
+        );
         let spd = self.steps_per_day;
         let n = table.shape()[2];
         let mut out = Array::zeros(&[tf, n]);
@@ -162,15 +162,18 @@ impl ClassicalForecaster for HistoricalAverage {
                 }
             })
             .collect();
-        self.table = Some(Array::from_vec(&[2, spd, n], table_data).expect("table shape"));
+        self.table = Some(crate::error::require(
+            Array::from_vec(&[2, spd, n], table_data),
+            "table shape",
+        ));
         self.steps_per_day = spd;
     }
 
     fn predict(&self, data: &WindowedDataset, t_end: usize) -> Array {
-        let table = self
-            .table
-            .as_ref()
-            .expect("fit() must run before predict()");
+        let table = crate::error::required(
+            self.table.as_ref(),
+            "HistoricalAverage::fit() must run before predict()",
+        );
         let raw = data.data();
         let (tf, n) = (data.tf(), data.num_nodes());
         let mut out = Array::zeros(&[tf, n]);
@@ -266,13 +269,15 @@ impl ClassicalForecaster for VectorAutoRegression {
             xtx[a * d + a] += self.lambda;
         }
         let w = solve_multi(&xtx, &xty, d, n);
-        self.coef = Some(
-            Array::from_vec(&[d, n], w.iter().map(|v| *v as f32).collect()).expect("coef shape"),
-        );
+        self.coef = Some(crate::error::require(
+            Array::from_vec(&[d, n], w.iter().map(|v| *v as f32).collect()),
+            "coef shape",
+        ));
     }
 
     fn predict(&self, data: &WindowedDataset, t_end: usize) -> Array {
-        let coef = self.coef.as_ref().expect("fit() must run before predict()");
+        let coef =
+            crate::error::required(self.coef.as_ref(), "Var::fit() must run before predict()");
         let raw = data.data();
         let scaler = data.scaler();
         let (tf, n, p) = (data.tf(), data.num_nodes(), self.p);
@@ -322,9 +327,10 @@ fn solve_multi(a: &[f64], b: &[f64], d: usize, m: usize) -> Vec<f64> {
     let w = d + m;
     for col in 0..d {
         // Partial pivot.
-        let pivot = (col..d)
-            .max_by(|&r1, &r2| aug[r1 * w + col].abs().total_cmp(&aug[r2 * w + col].abs()))
-            .expect("non-empty range");
+        let pivot = crate::error::required(
+            (col..d).max_by(|&r1, &r2| aug[r1 * w + col].abs().total_cmp(&aug[r2 * w + col].abs())),
+            "pivot search range is non-empty",
+        );
         assert!(
             aug[pivot * w + col].abs() > 1e-12,
             "singular system in ridge solve"
@@ -443,14 +449,17 @@ impl ClassicalForecaster for LinearSvr {
                 }
             }
         }
-        self.weights = Some(Array::from_vec(&[tf, feat], w).expect("weights shape"));
+        self.weights = Some(crate::error::require(
+            Array::from_vec(&[tf, feat], w),
+            "weights shape",
+        ));
     }
 
     fn predict(&self, data: &WindowedDataset, t_end: usize) -> Array {
-        let w = self
-            .weights
-            .as_ref()
-            .expect("fit() must run before predict()");
+        let w = crate::error::required(
+            self.weights.as_ref(),
+            "LinearSvr::fit() must run before predict()",
+        );
         let raw = data.data();
         let scaler = data.scaler();
         let (th, tf, n) = (data.th(), data.tf(), data.num_nodes());

@@ -1,0 +1,34 @@
+//! The baselines crate's single panic funnel for invariant violations.
+//!
+//! Baseline models keep the documented panic-on-misuse contract (predicting
+//! before fitting, internally inconsistent shapes), but every such abort
+//! routes through this module so the `xlint` panic-reachability rule sees
+//! exactly one sanctioned funnel for the whole crate.
+
+use std::fmt;
+
+/// The crate's single panic funnel for unrecoverable invariant violations.
+#[cold]
+#[track_caller]
+pub(crate) fn violation(detail: impl fmt::Display) -> ! {
+    panic!("{detail}")
+}
+
+/// Unwrap a result whose failure is an internal invariant violation.
+#[track_caller]
+pub(crate) fn require<T, E: fmt::Display>(result: Result<T, E>, context: &str) -> T {
+    match result {
+        Ok(v) => v,
+        Err(e) => violation(format_args!("{context}: {e}")),
+    }
+}
+
+/// Unwrap an option whose absence is an internal invariant violation —
+/// the fit-before-predict contract of the classical baselines.
+#[track_caller]
+pub(crate) fn required<T>(option: Option<T>, what: &str) -> T {
+    match option {
+        Some(v) => v,
+        None => violation(what),
+    }
+}

@@ -167,7 +167,7 @@ impl TrafficModel for GraphWaveNet {
             x = z.add(&cropped).relu().reshape(&[b, t2, n, ch]);
             t = t2;
         }
-        let skip = skip_sum.expect("at least one block ran").relu(); // [B*N, ch]
+        let skip = crate::error::required(skip_sum, "at least one block ran").relu(); // [B*N, ch]
         let out = self.head.forward(&skip); // [B*N, tf]
         out.reshape(&[b, n, self.tf])
             .permute(&[0, 2, 1])

@@ -20,6 +20,7 @@ pub mod astgcn;
 pub mod classical;
 pub mod dcrnn;
 pub mod dgcrn;
+mod error;
 pub mod fc_lstm;
 pub mod gman;
 pub mod gwnet;

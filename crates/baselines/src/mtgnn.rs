@@ -172,7 +172,7 @@ impl TrafficModel for Mtgnn {
             x = z.add(&cropped).relu().reshape(&[b, t2, n, d]);
             t = t2;
         }
-        let skip = skip_sum.expect("at least one block ran").relu();
+        let skip = crate::error::required(skip_sum, "at least one block ran").relu();
         self.head
             .forward(&skip)
             .reshape(&[b, n, self.tf])

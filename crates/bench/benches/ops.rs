@@ -80,7 +80,7 @@ fn bench_localized_factored_vs_explicit(c: &mut Criterion) {
     let mut group = c.benchmark_group("eq4_localized_conv");
     group.bench_function("explicit_tiled", |b| {
         b.iter(|| {
-            let p_lc = transition::localized_transition(&p, 1, kt); // [N, kt*N]
+            let p_lc = transition::localized_transition(&p, 1, kt).unwrap(); // [N, kt*N]
             let refs: Vec<&Array> = feats.iter().collect();
             let x_lc = Array::concat(&refs, 0).unwrap(); // [kt*N, d]
             black_box(p_lc.matmul(&x_lc))

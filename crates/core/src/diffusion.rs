@@ -343,8 +343,8 @@ mod tests {
         let out = block.forward(&ctx, &Tensor::constant(x.clone()), &tr, None);
 
         // Explicit Eq. 4 route for the last time step t = 2.
-        let p_lc = transition::localized_transition(&ctx.p_f.value(), 1, 2); // [5, 10]
-                                                                             // X^lc stacks lag τ=1 then τ=0 blocks (older first per Eq. 5).
+        let p_lc = transition::localized_transition(&ctx.p_f.value(), 1, 2).unwrap(); // [5, 10]
+                                                                                      // X^lc stacks lag τ=1 then τ=0 blocks (older first per Eq. 5).
         let w_relu = |tau: usize, t: usize| -> Array {
             let xt = Tensor::constant(x.slice_axis(1, t, t + 1).reshape(&[5, 6]).unwrap());
             block.lag_proj[tau].forward(&xt).relu().value()

@@ -89,7 +89,7 @@ impl InherentBlock {
         let mut h = match (&self.gru, &self.input_proj) {
             (Some(gru), _) => gru.forward(&seq),
             (None, Some(proj)) => proj.forward(&seq).relu(),
-            (None, None) => unreachable!("one of gru/input_proj always exists"),
+            (None, None) => crate::error::violation("one of gru/input_proj always exists"),
         };
 
         // Eq. 12: positional encoding, then Eq. 11: long-term model with a

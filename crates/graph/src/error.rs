@@ -1,0 +1,56 @@
+//! Typed errors for recoverable graph conditions, plus the crate's single
+//! panic funnel for invariant violations.
+
+use std::fmt;
+
+/// Recoverable errors from graph construction and transition-matrix
+/// assembly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// An adjacency/weight buffer does not match the declared node count.
+    ShapeMismatch {
+        /// Expected element count.
+        expected: usize,
+        /// Actual element count supplied.
+        actual: usize,
+    },
+    /// A parameter that must be at least one (kernel size, node count) was
+    /// zero.
+    EmptyDimension(&'static str),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::ShapeMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "graph buffer length {actual} does not match expected {expected}"
+                )
+            }
+            GraphError::EmptyDimension(what) => write!(f, "{what} must be >= 1"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// The crate's single panic funnel for unrecoverable invariant violations.
+///
+/// Construction keeps its documented panic-on-misuse contract, but every
+/// such abort goes through this one function so the `xlint` `no-panic` rule
+/// needs exactly one allowlist entry for the whole crate.
+#[cold]
+#[track_caller]
+pub(crate) fn violation(detail: impl fmt::Display) -> ! {
+    panic!("{detail}")
+}
+
+/// Unwrap a result whose failure is an internal invariant violation.
+#[track_caller]
+pub(crate) fn require<T, E: fmt::Display>(result: Result<T, E>, context: &str) -> T {
+    match result {
+        Ok(v) => v,
+        Err(e) => violation(format_args!("{context}: {e}")),
+    }
+}

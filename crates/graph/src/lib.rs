@@ -9,6 +9,7 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod error;
 mod network;
 pub mod sparse;
 pub mod transition;

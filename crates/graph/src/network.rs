@@ -146,8 +146,10 @@ impl TrafficNetwork {
 
     /// Dense adjacency as an `[n, n]` array.
     pub fn adjacency(&self) -> Array {
-        Array::from_vec(&[self.n, self.n], self.adjacency.clone())
-            .expect("adjacency length is validated at construction")
+        crate::error::require(
+            Array::from_vec(&[self.n, self.n], self.adjacency.clone()),
+            "adjacency length is validated at construction",
+        )
     }
 
     /// Out-neighbours of node `i` (indices with non-zero weight).

@@ -140,7 +140,7 @@ impl CsrMatrix {
                 }
                 out
             }
-            _ => unreachable!("rank asserted above"),
+            _ => crate::error::violation("spmm operand rank asserted to be 2 or 3 above"),
         }
     }
 

@@ -72,11 +72,20 @@ pub fn masked_powers(p: &Array, ks: usize) -> Vec<Array> {
 /// `[N, k_t * N]`. The model itself uses the factored form (sum over lags),
 /// which is algebraically identical; this construction exists as the
 /// reference for tests and documentation.
-pub fn localized_transition(p: &Array, k: usize, kt: usize) -> Array {
-    assert!(kt >= 1, "temporal kernel must be >= 1");
+pub fn localized_transition(
+    p: &Array,
+    k: usize,
+    kt: usize,
+) -> Result<Array, crate::error::GraphError> {
+    if kt < 1 {
+        return Err(crate::error::GraphError::EmptyDimension("temporal kernel"));
+    }
     let masked = mask_diagonal(&matrix_power(p, k));
     let copies: Vec<&Array> = (0..kt).map(|_| &masked).collect();
-    Array::concat(&copies, 1).expect("copies share shape")
+    Ok(crate::error::require(
+        Array::concat(&copies, 1),
+        "identical masked copies share a shape",
+    ))
 }
 
 /// `true` if each row sums to 1 or 0 within `tol`.
@@ -149,7 +158,7 @@ mod tests {
     #[test]
     fn localized_matches_eq4_shape_and_tiling() {
         let p = forward_transition(&chain_adj());
-        let lc = localized_transition(&p, 1, 3);
+        let lc = localized_transition(&p, 1, 3).unwrap();
         assert_eq!(lc.shape(), &[3, 9]);
         let masked = mask_diagonal(&p);
         for kp in 0..3 {
@@ -165,6 +174,15 @@ mod tests {
                 assert_eq!(lc.at(&[i, kp * 3 + i]), 0.0);
             }
         }
+    }
+
+    #[test]
+    fn localized_rejects_zero_temporal_kernel() {
+        let p = forward_transition(&chain_adj());
+        assert_eq!(
+            localized_transition(&p, 1, 0),
+            Err(crate::error::GraphError::EmptyDimension("temporal kernel"))
+        );
     }
 
     #[test]

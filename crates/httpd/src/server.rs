@@ -124,6 +124,7 @@ pub struct HttpdStatsSnapshot {
 impl HttpdStats {
     fn snapshot(&self) -> HttpdStatsSnapshot {
         HttpdStatsSnapshot {
+            // relaxed: point-in-time snapshot; counters are independent and tearing across them only blurs one report
             connections_accepted: self.connections_accepted.load(Ordering::Relaxed),
             connections_dropped: self.connections_dropped.load(Ordering::Relaxed),
             requests: self.requests.load(Ordering::Relaxed),
@@ -298,6 +299,7 @@ fn accept_loop(shared: &Arc<Shared>, listener: &TcpListener) {
                         shared
                             .stats
                             .connections_accepted
+                            // relaxed: monotonic stats counter; no other memory is published through it
                             .fetch_add(1, Ordering::Relaxed);
                         d2stgnn_obsv::gauge_set!("d2stgnn_httpd_pending_connections", depth as f64);
                         shared.notify.notify_one();
@@ -309,6 +311,7 @@ fn accept_loop(shared: &Arc<Shared>, listener: &TcpListener) {
                         shared
                             .stats
                             .connections_dropped
+                            // relaxed: monotonic stats counter; no other memory is published through it
                             .fetch_add(1, Ordering::Relaxed);
                         d2stgnn_obsv::counter_add!("d2stgnn_httpd_connections_dropped_total", 1);
                         let _ = rejected.set_write_timeout(Some(shared.config.write_timeout));
@@ -389,6 +392,7 @@ fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
                     if e.kind() == std::io::ErrorKind::WouldBlock
                         || e.kind() == std::io::ErrorKind::TimedOut =>
                 {
+                    // relaxed: monotonic stats counter; no other memory is published through it
                     shared.stats.read_timeouts.fetch_add(1, Ordering::Relaxed);
                     if parser.buffered() > 0 {
                         // Stalled mid-request: tell the peer before closing.
@@ -420,6 +424,7 @@ fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
                 }
             }
             Err(parse) => {
+                // relaxed: monotonic stats counter; no other memory is published through it
                 shared.stats.parse_errors.fetch_add(1, Ordering::Relaxed);
                 count_status(shared, parse.status);
                 let _ = Response::error(parse.status, &parse.message).write_to(&mut stream, false);
@@ -436,6 +441,7 @@ fn count_status(shared: &Arc<Shared>, status: u16) {
         400..=499 => &shared.stats.responses_4xx,
         _ => &shared.stats.responses_5xx,
     };
+    // relaxed: monotonic stats counter; no other memory is published through it
     counter.fetch_add(1, Ordering::Relaxed);
 }
 
@@ -444,6 +450,7 @@ fn handle_request(shared: &Arc<Shared>, request: &Request) -> Response {
     let mut span = d2stgnn_obsv::span!("httpd.request");
     d2stgnn_obsv::record!(span, method = request.method.as_str());
     d2stgnn_obsv::record!(span, path = request.path());
+    // relaxed: monotonic stats counter; no other memory is published through it
     shared.stats.requests.fetch_add(1, Ordering::Relaxed);
     d2stgnn_obsv::counter_add!("d2stgnn_httpd_requests_total", 1);
 
@@ -538,6 +545,7 @@ fn forecast(shared: &Arc<Shared>, request: &Request) -> Response {
     let tenant = request.header("x-tenant").unwrap_or("anonymous");
     if let Some(quotas) = &shared.quotas {
         if let QuotaDecision::Denied { retry_after_secs } = quotas.check(tenant) {
+            // relaxed: monotonic stats counter; no other memory is published through it
             shared.stats.quota_denied.fetch_add(1, Ordering::Relaxed);
             d2stgnn_obsv::counter_add!("d2stgnn_httpd_quota_denied_total", 1);
             return Response::error(429, &format!("tenant {tenant:?} quota exhausted"))
@@ -562,6 +570,7 @@ fn forecast(shared: &Arc<Shared>, request: &Request) -> Response {
     // Admission control: shed before enqueueing when the shard queue is at
     // capacity, so the bounded serve queue never sees the overflow.
     if server.is_overloaded() {
+        // relaxed: monotonic stats counter; no other memory is published through it
         shared.stats.shed.fetch_add(1, Ordering::Relaxed);
         d2stgnn_obsv::counter_add!("d2stgnn_httpd_shed_total", 1);
         return Response::error(503, "shard queue full, request shed")
@@ -624,6 +633,7 @@ fn forecast(shared: &Arc<Shared>, request: &Request) -> Response {
 fn serve_error_response(shared: &Arc<Shared>, e: &ServeError) -> Response {
     match e {
         ServeError::Overloaded => {
+            // relaxed: monotonic stats counter; no other memory is published through it
             shared.stats.shed.fetch_add(1, Ordering::Relaxed);
             d2stgnn_obsv::counter_add!("d2stgnn_httpd_shed_total", 1);
             Response::error(503, "shard queue full, request shed")

@@ -18,11 +18,13 @@ pub struct Counter {
 impl Counter {
     /// Add `delta` to the counter.
     pub fn add(&self, delta: u64) {
+        // relaxed: monotonic counter cell; no other memory is published through it
         self.value.fetch_add(delta, Ordering::Relaxed);
     }
 
     /// Current value.
     pub fn get(&self) -> u64 {
+        // relaxed: monotonic counter cell; no other memory is published through it
         self.value.load(Ordering::Relaxed)
     }
 }
@@ -36,11 +38,13 @@ pub struct Gauge {
 impl Gauge {
     /// Set the gauge.
     pub fn set(&self, value: f64) {
+        // relaxed: last-write-wins gauge; readers accept any recent value
         self.bits.store(value.to_bits(), Ordering::Relaxed);
     }
 
     /// Add `delta` (possibly negative) to the gauge.
     pub fn add(&self, delta: f64) {
+        // relaxed: CAS loop only needs atomicity of the bits themselves
         let mut cur = self.bits.load(Ordering::Relaxed);
         loop {
             let next = (f64::from_bits(cur) + delta).to_bits();
@@ -56,6 +60,7 @@ impl Gauge {
 
     /// Current value.
     pub fn get(&self) -> f64 {
+        // relaxed: last-write-wins gauge read
         f64::from_bits(self.bits.load(Ordering::Relaxed))
     }
 }
@@ -129,6 +134,7 @@ impl Histogram {
 
     /// Record one observation.
     pub fn observe(&self, value: f64) {
+        // relaxed: independent histogram cells; a snapshot may tear across buckets, which only perturbs one report
         self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
         let add = if value.is_finite() { value } else { 0.0 };
@@ -149,11 +155,13 @@ impl Histogram {
 
     /// Number of observations.
     pub fn count(&self) -> u64 {
+        // relaxed: monotonic counter cell; no other memory is published through it
         self.count.load(Ordering::Relaxed)
     }
 
     /// Sum of (finite) observations.
     pub fn sum(&self) -> f64 {
+        // relaxed: sum cell read; tearing against count only blurs one snapshot
         f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
     }
 
@@ -163,6 +171,7 @@ impl Histogram {
     /// sorted-order quantile.
     pub fn quantile(&self, q: f64) -> f64 {
         let counts: Vec<u64> = self
+            // relaxed: bucket reads are independent; quantile estimation tolerates a torn snapshot
             .buckets
             .iter()
             .map(|b| b.load(Ordering::Relaxed))

@@ -50,6 +50,7 @@ impl Drop for SinkState {
     fn drop(&mut self) {
         // Flushed on drop; errors at teardown are unreportable.
         if self.flush_buffer().is_err() {
+            // relaxed: monotonic loss counter; no other memory is published through it
             DROPPED.fetch_add(self.buf.len() as u64, Ordering::Relaxed);
         }
     }
@@ -98,6 +99,7 @@ pub fn shutdown() {
 /// Lines lost to sink write failures (not: lines emitted with no sink
 /// installed, which are intentionally discarded).
 pub fn dropped_lines() -> u64 {
+    // relaxed: monotonic loss counter read; any recent value is a valid report
     DROPPED.load(Ordering::Relaxed)
 }
 
@@ -159,6 +161,7 @@ pub(crate) fn emit_record(
     if state.buf.len() >= BUFFER_LINES {
         let pending = state.buf.len() as u64;
         if state.flush_buffer().is_err() {
+            // relaxed: monotonic loss counter; the buffer itself is mutex-guarded
             DROPPED.fetch_add(pending, Ordering::Relaxed);
             state.buf.clear();
         }

@@ -144,6 +144,7 @@ impl SpanGuard {
     /// Open a span. Prefer the [`crate::span!`] macro, which compiles to a
     /// no-op when telemetry is disabled.
     pub fn new(name: &'static str, fields: Vec<(&'static str, FieldValue)>) -> Self {
+        // relaxed: span ids only need fetch_add's uniqueness, not ordering
         let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
         let parent = CURRENT_SPAN.with(|c| {
             let p = c.get();
@@ -205,6 +206,7 @@ impl Drop for SpanGuard {
 /// Emit a point-in-time event parented to the current span. Prefer the
 /// [`crate::event!`] macro, which compiles to a no-op when disabled.
 pub fn emit_event(name: &'static str, fields: Vec<(&'static str, FieldValue)>) {
+    // relaxed: event ids only need fetch_add's uniqueness, not ordering
     let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
     let parent = CURRENT_SPAN.with(Cell::get);
     sink::emit_record("event", name, id, parent, Instant::now(), None, &fields);

@@ -87,6 +87,7 @@ pub struct OrderedMutex<T> {
 impl<T> OrderedMutex<T> {
     /// Wrap `value`; `name` appears in cycle panics and must be unique-ish.
     pub fn new(name: &'static str, value: T) -> Self {
+        // relaxed: id allocation only needs fetch_add's atomicity, not ordering
         let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
         if check_enabled() {
             lock_recover(graph()).names.insert(id, name);

@@ -93,6 +93,7 @@ impl ModelRegistry {
     }
 
     fn next_generation(&self) -> u64 {
+        // relaxed: generation stamps only need uniqueness; publication happens under the registry mutex
         self.generation.fetch_add(1, Ordering::Relaxed) + 1
     }
 

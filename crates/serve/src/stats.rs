@@ -75,26 +75,31 @@ impl Default for StatsRecorder {
 
 impl StatsRecorder {
     pub(crate) fn accepted(&self) {
+        // relaxed: monotonic stats counter; no other memory is published through it
         self.requests.fetch_add(1, Ordering::Relaxed);
         d2stgnn_obsv::counter_add!("d2stgnn_serve_requests_total", 1);
     }
 
     pub(crate) fn shed(&self) {
+        // relaxed: monotonic stats counter; no other memory is published through it
         self.sheds.fetch_add(1, Ordering::Relaxed);
         d2stgnn_obsv::counter_add!("d2stgnn_serve_sheds_total", 1);
     }
 
     pub(crate) fn fallback(&self) {
+        // relaxed: monotonic stats counter; no other memory is published through it
         self.fallback_served.fetch_add(1, Ordering::Relaxed);
         d2stgnn_obsv::counter_add!("d2stgnn_serve_fallback_total", 1);
     }
 
     pub(crate) fn deadline_miss(&self) {
+        // relaxed: monotonic stats counter; no other memory is published through it
         self.deadline_misses.fetch_add(1, Ordering::Relaxed);
         d2stgnn_obsv::counter_add!("d2stgnn_serve_deadline_misses_total", 1);
     }
 
     pub(crate) fn batch_done(&self, size: usize) {
+        // relaxed: monotonic stats counter; no other memory is published through it
         self.batches.fetch_add(1, Ordering::Relaxed);
         self.batched_requests
             .fetch_add(size as u64, Ordering::Relaxed);
@@ -103,9 +108,11 @@ impl StatsRecorder {
     }
 
     pub(crate) fn request_done(&self, latency: Duration) {
+        // relaxed: monotonic stats counter; no other memory is published through it
         self.completed.fetch_add(1, Ordering::Relaxed);
         d2stgnn_obsv::observe!("d2stgnn_serve_request_seconds", latency.as_secs_f64());
         let nanos = latency.as_nanos().min(u64::MAX as u128) as u64;
+        // relaxed: the cursor only picks a slot; the window itself is mutex-guarded
         let slot = self.cursor.fetch_add(1, Ordering::Relaxed) as usize % LATENCY_WINDOW;
         let mut window = self.latencies.lock();
         if slot < window.len() {
@@ -121,6 +128,7 @@ impl StatsRecorder {
             let window = self.latencies.lock();
             percentiles(&window)
         };
+        // relaxed: point-in-time snapshot; counters are independent and tearing across them only blurs one report
         let batches = self.batches.load(Ordering::Relaxed);
         let batched = self.batched_requests.load(Ordering::Relaxed);
         ServerStats {

@@ -92,6 +92,7 @@ fn acquire_raw(len: usize) -> Vec<f32> {
     };
     match popped {
         Some(mut v) => {
+            // relaxed: monotonic pool counter; the free lists themselves are mutex-guarded
             HITS.fetch_add(1, Ordering::Relaxed);
             #[cfg(feature = "obsv")]
             d2stgnn_obsv::counter_add!("d2stgnn_tensor_bufpool_hits_total", 1);
@@ -99,6 +100,7 @@ fn acquire_raw(len: usize) -> Vec<f32> {
             v
         }
         None => {
+            // relaxed: monotonic pool counter; the free lists themselves are mutex-guarded
             MISSES.fetch_add(1, Ordering::Relaxed);
             #[cfg(feature = "obsv")]
             d2stgnn_obsv::counter_add!("d2stgnn_tensor_bufpool_misses_total", 1);
@@ -116,6 +118,7 @@ pub(crate) fn release(v: Vec<f32>) {
     let mut lists = free_lists().lock().unwrap_or_else(PoisonError::into_inner);
     if lists.buckets[class].len() < MAX_PER_BUCKET {
         lists.buckets[class].push(v);
+        // relaxed: monotonic pool counter; the free lists themselves are mutex-guarded
         RECYCLED.fetch_add(1, Ordering::Relaxed);
         #[cfg(feature = "obsv")]
         d2stgnn_obsv::counter_add!("d2stgnn_tensor_bufpool_recycled_total", 1);
@@ -125,6 +128,7 @@ pub(crate) fn release(v: Vec<f32>) {
 /// Pool counters since process start: `(hits, misses, recycled)`.
 pub(crate) fn counters() -> (u64, u64, u64) {
     (
+        // relaxed: point-in-time counter reads; tearing across them only blurs one report
         HITS.load(Ordering::Relaxed),
         MISSES.load(Ordering::Relaxed),
         RECYCLED.load(Ordering::Relaxed),

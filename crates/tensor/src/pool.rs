@@ -103,6 +103,7 @@ impl WorkerPool {
             let task = {
                 let mut q = self.queue.lock().unwrap_or_else(PoisonError::into_inner);
                 loop {
+                    // relaxed: chunk cursor reads/claims only need fetch_add's atomicity; completion is published via the state mutex
                     while q
                         .front()
                         .is_some_and(|t| t.next.load(Ordering::Relaxed) >= t.n_chunks)
@@ -225,6 +226,7 @@ pub(crate) fn run_chunked(len: usize, chunk: usize, fill: Arc<FillFn>) -> Buffer
         return out;
     };
 
+    // relaxed: monotonic dispatch counters; no other memory is published through them
     TASKS.fetch_add(1, Ordering::Relaxed);
     POOLED_CHUNKS.fetch_add(n_chunks as u64, Ordering::Relaxed);
     #[cfg(feature = "obsv")]
@@ -251,6 +253,7 @@ pub(crate) fn run_chunked(len: usize, chunk: usize, fill: Arc<FillFn>) -> Buffer
 
     // Caller participates: claim chunks and write them straight into `out`.
     loop {
+        // relaxed: chunk claims only need fetch_add's atomicity; completion is published via the state mutex
         let c = task.next.fetch_add(1, Ordering::Relaxed);
         if c >= n_chunks {
             break;
@@ -305,6 +308,7 @@ pub fn stats() -> PoolStats {
     PoolStats {
         threads: threads(),
         par_threshold: par_threshold(),
+        // relaxed: point-in-time counter reads; tearing across them only blurs one report
         pooled_tasks: TASKS.load(Ordering::Relaxed),
         pooled_chunks: POOLED_CHUNKS.load(Ordering::Relaxed),
         bufpool_hits: hits,

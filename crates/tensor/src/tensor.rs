@@ -114,6 +114,7 @@ impl Tensor {
         let profiled_bytes = crate::profile::charge_bytes(value.numel() * 4);
         Tensor {
             node: Rc::new(Node {
+                // relaxed: node ids only need fetch_add's uniqueness, not ordering
                 id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
                 value: RefCell::new(value),
                 grad: RefCell::new(None),
@@ -130,6 +131,7 @@ impl Tensor {
     pub(crate) fn from_op(value: Array, parents: Vec<Tensor>, backward: BackwardFn) -> Self {
         let requires_grad = !no_grad_active() && parents.iter().any(|p| p.node.requires_grad);
         #[cfg(feature = "sanitize")]
+        // relaxed: node ids only need fetch_add's uniqueness, not ordering
         crate::sanitize::check_op_output(NEXT_ID.load(Ordering::Relaxed), &value);
         #[cfg(feature = "obsv")]
         let profiled_bytes = crate::profile::charge_bytes(value.numel() * 4);

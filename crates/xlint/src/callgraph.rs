@@ -1,0 +1,533 @@
+//! Approximate cross-crate call graph over the indexed workspace.
+//!
+//! Calls are extracted from function-body token streams and resolved by
+//! name against the symbol table. Resolution is deliberately
+//! *overapproximate*: a `.method(…)` call resolves to every workspace impl
+//! of that method name, and an unqualified `helper(…)` call prefers
+//! same-file then same-crate definitions but falls back to every definition
+//! of the name. Overapproximation is the right polarity for the safety
+//! rules built on top — panic-reachability can only err toward reporting a
+//! chain that the type system would rule out, never toward missing one.
+
+use crate::index::Workspace;
+use crate::lexer::TokKind;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// A call site inside a function body.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// What the source invokes.
+    pub callee: Callee,
+    /// Token index of the callee name in the owning file.
+    pub tok: usize,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Callee {
+    /// `a::b::name(…)` — path segments, last is the function name.
+    Path(Vec<String>),
+    /// `.name(…)` method call.
+    Method(String),
+    /// `name!(…)` macro invocation.
+    Macro(String),
+}
+
+impl Callee {
+    /// The invoked name (last path segment / method / macro name).
+    pub fn name(&self) -> &str {
+        match self {
+            Callee::Path(segs) => segs.last().map(String::as_str).unwrap_or(""),
+            Callee::Method(n) | Callee::Macro(n) => n,
+        }
+    }
+}
+
+/// Rust keywords that look like calls when followed by `(`.
+const CALL_KEYWORDS: &[&str] = &[
+    "if", "while", "for", "match", "return", "loop", "let", "else", "move", "in", "as", "fn",
+    "where", "unsafe", "ref", "mut", "pub", "use", "impl", "dyn", "box", "await", "yield",
+];
+
+/// Extract every call site from the body token range of function `fn_id`.
+pub fn extract_calls(ws: &Workspace, fn_id: usize) -> Vec<CallSite> {
+    let item = &ws.fns[fn_id];
+    let Some((open, close)) = item.body else {
+        return Vec::new();
+    };
+    let file = &ws.files[item.file];
+    let toks = &file.lexed.toks;
+    let src = &file.src;
+    let text = |i: usize| &src[toks[i].lo..toks[i].hi];
+    let is_punct = |i: usize, p: &str| toks[i].kind == TokKind::Punct && text(i) == p;
+
+    let mut out = Vec::new();
+    let mut i = open + 1;
+    let end = close.min(toks.len());
+    while i < end {
+        if toks[i].kind != TokKind::Ident {
+            i += 1;
+            continue;
+        }
+        let name = text(i);
+        let next = i + 1;
+        if next >= end {
+            break;
+        }
+        // Macro invocation: `name!` followed by a delimiter (never `!=`).
+        if is_punct(next, "!")
+            && next + 1 < end
+            && (is_punct(next + 1, "(") || is_punct(next + 1, "[") || is_punct(next + 1, "{"))
+        {
+            out.push(CallSite {
+                callee: Callee::Macro(name.to_string()),
+                tok: i,
+                line: toks[i].line,
+            });
+            i = next + 1;
+            continue;
+        }
+        if !is_punct(next, "(") {
+            i += 1;
+            continue;
+        }
+        if CALL_KEYWORDS.contains(&name) {
+            i += 1;
+            continue;
+        }
+        // Method call: `.name(` — also covers chained `?.name(`.
+        if i > 0 && is_punct(i - 1, ".") {
+            out.push(CallSite {
+                callee: Callee::Method(name.to_string()),
+                tok: i,
+                line: toks[i].line,
+            });
+            i = next;
+            continue;
+        }
+        // Definition inside the body: `fn name(` was already indexed.
+        if i > 0 && toks[i - 1].kind == TokKind::Ident && text(i - 1) == "fn" {
+            i = next;
+            continue;
+        }
+        // Path call: walk back through `seg ::` pairs.
+        let mut segs = vec![name.to_string()];
+        let mut j = i;
+        while j >= 2 && is_punct(j - 1, ":") && is_punct(j - 2, ":") {
+            if j >= 3 && toks[j - 3].kind == TokKind::Ident {
+                segs.insert(0, text(j - 3).to_string());
+                j -= 3;
+            } else {
+                break;
+            }
+        }
+        out.push(CallSite {
+            callee: Callee::Path(segs),
+            tok: i,
+            line: toks[i].line,
+        });
+        i = next;
+    }
+    out
+}
+
+/// Normalize a path segment to a crate directory name:
+/// `d2stgnn_tensor` → `tensor`, `crate`/`self`/`super` → the caller's crate.
+fn segment_crate(seg: &str, caller_crate: &str) -> Option<String> {
+    if let Some(rest) = seg.strip_prefix("d2stgnn_") {
+        return Some(rest.to_string());
+    }
+    if matches!(seg, "crate" | "self" | "super") {
+        return Some(caller_crate.to_string());
+    }
+    None
+}
+
+/// Std-ish leading segments whose calls never resolve into the workspace.
+fn is_external_root(seg: &str) -> bool {
+    matches!(
+        seg,
+        "std"
+            | "core"
+            | "alloc"
+            | "f32"
+            | "f64"
+            | "u8"
+            | "u16"
+            | "u32"
+            | "u64"
+            | "usize"
+            | "i8"
+            | "i16"
+            | "i32"
+            | "i64"
+            | "isize"
+            | "char"
+            | "str"
+    )
+}
+
+/// One resolved call edge.
+#[derive(Debug, Clone, Copy)]
+pub struct Edge {
+    /// Callee fn id.
+    pub callee: usize,
+    /// Call-site token index in the caller's file.
+    pub tok: usize,
+    /// 1-based call-site line.
+    pub line: u32,
+    /// True when name resolution was high-confidence (a qualified
+    /// `Type::name` hit, or a unique candidate). Reachability-style rules
+    /// follow every edge; precision-sensitive rules (lock-order) follow only
+    /// confident ones, since a `.clone(`-style common name fanning out to
+    /// every impl would manufacture false cycles.
+    pub confident: bool,
+}
+
+/// The resolved call graph: per-function edges to workspace functions.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    /// `edges[f]` = resolved call edges out of function `f`.
+    pub edges: Vec<Vec<Edge>>,
+}
+
+/// Build the call graph for every non-test function in the workspace.
+pub fn build(ws: &Workspace) -> CallGraph {
+    // Method table: name -> all non-test fn ids that are impl/trait methods.
+    let mut by_method: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    for (id, f) in ws.fns.iter().enumerate() {
+        if f.self_ty.is_some() && !f.is_test {
+            by_method.entry(f.name.as_str()).or_default().push(id);
+        }
+    }
+    let mut graph = CallGraph {
+        edges: vec![Vec::new(); ws.fns.len()],
+    };
+    for (id, f) in ws.fns.iter().enumerate() {
+        if f.is_test {
+            continue;
+        }
+        for site in extract_calls(ws, id) {
+            let (targets, confident) = resolve(ws, &by_method, id, &site.callee);
+            for t in targets {
+                graph.edges[id].push(Edge {
+                    callee: t,
+                    tok: site.tok,
+                    line: site.line,
+                    confident,
+                });
+            }
+        }
+    }
+    graph
+}
+
+/// Resolve one call site to candidate workspace functions (may be empty —
+/// std or dependency calls — or several, by overapproximation). The flag is
+/// true when the resolution is high-confidence (see [`Edge::confident`]).
+fn resolve(
+    ws: &Workspace,
+    by_method: &BTreeMap<&str, Vec<usize>>,
+    caller: usize,
+    callee: &Callee,
+) -> (Vec<usize>, bool) {
+    let caller_item = &ws.fns[caller];
+    match callee {
+        Callee::Macro(_) => (Vec::new(), true),
+        Callee::Method(name) => {
+            let c = by_method.get(name.as_str()).cloned().unwrap_or_default();
+            let confident = c.len() == 1;
+            (c, confident)
+        }
+        Callee::Path(segs) => {
+            let name = segs.last().map(String::as_str).unwrap_or("");
+            if segs.first().is_some_and(|s| is_external_root(s)) {
+                return (Vec::new(), true);
+            }
+            let all: Vec<usize> = ws
+                .by_name
+                .get(name)
+                .map(|v| v.iter().copied().filter(|&i| !ws.fns[i].is_test).collect())
+                .unwrap_or_default();
+            if all.is_empty() {
+                return (Vec::new(), true);
+            }
+            if segs.len() >= 2 {
+                let qualifier = &segs[segs.len() - 2];
+                // `Type::name` — associated function.
+                let qual = if qualifier == "Self" {
+                    caller_item.self_ty.clone().unwrap_or_default()
+                } else {
+                    qualifier.clone()
+                };
+                let by_ty: Vec<usize> = ws
+                    .by_ty_method
+                    .get(&(qual.clone(), name.to_string()))
+                    .map(|v| v.iter().copied().filter(|&i| !ws.fns[i].is_test).collect())
+                    .unwrap_or_default();
+                if !by_ty.is_empty() {
+                    return (by_ty, true);
+                }
+                // `module::name` / `d2stgnn_x::name` — filter by crate when
+                // a segment names one.
+                for seg in &segs[..segs.len() - 1] {
+                    if let Some(kr) = segment_crate(seg, &caller_item.krate) {
+                        let in_crate: Vec<usize> = all
+                            .iter()
+                            .copied()
+                            .filter(|&i| ws.fns[i].krate == kr)
+                            .collect();
+                        if !in_crate.is_empty() {
+                            let confident = in_crate.len() == 1;
+                            return (in_crate, confident);
+                        }
+                    }
+                }
+                // Unknown qualifier (likely an external type): resolving to
+                // every same-name fn would be noise; prefer free fns in a
+                // module of that name is beyond us, so fall through to the
+                // crate-preference ladder below.
+            }
+            // Unqualified (or unresolved-qualifier) call: prefer same file,
+            // then same crate, then everything.
+            let same_file: Vec<usize> = all
+                .iter()
+                .copied()
+                .filter(|&i| ws.fns[i].file == caller_item.file && ws.fns[i].self_ty.is_none())
+                .collect();
+            if !same_file.is_empty() {
+                let confident = same_file.len() == 1;
+                return (same_file, confident);
+            }
+            let same_crate: Vec<usize> = all
+                .iter()
+                .copied()
+                .filter(|&i| ws.fns[i].krate == caller_item.krate)
+                .collect();
+            if !same_crate.is_empty() {
+                let confident = same_crate.len() == 1;
+                return (same_crate, confident);
+            }
+            if segs.len() == 1 {
+                // A bare name with no local definition is usually an
+                // imported free fn; overapproximate to all.
+                (all, false)
+            } else {
+                (Vec::new(), true)
+            }
+        }
+    }
+}
+
+/// BFS from `entries`; returns `reached fn -> (parent fn, call line)` with
+/// entries mapped to themselves.
+pub fn reachable(graph: &CallGraph, entries: &[usize]) -> BTreeMap<usize, (usize, u32)> {
+    let mut parent: BTreeMap<usize, (usize, u32)> = BTreeMap::new();
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    for &e in entries {
+        if parent.insert(e, (e, 0)).is_none() {
+            queue.push_back(e);
+        }
+    }
+    while let Some(f) = queue.pop_front() {
+        for e in &graph.edges[f] {
+            if let std::collections::btree_map::Entry::Vacant(slot) = parent.entry(e.callee) {
+                slot.insert((f, e.line));
+                queue.push_back(e.callee);
+            }
+        }
+    }
+    parent
+}
+
+/// Reconstruct the entry → `target` call chain as qualified names.
+pub fn chain(
+    ws: &Workspace,
+    parents: &BTreeMap<usize, (usize, u32)>,
+    target: usize,
+) -> Vec<String> {
+    let mut path = vec![target];
+    let mut cur = target;
+    while let Some(&(p, _)) = parents.get(&cur) {
+        if p == cur {
+            break;
+        }
+        path.push(p);
+        cur = p;
+    }
+    path.reverse();
+    path.iter().map(|&id| ws.fns[id].qualified()).collect()
+}
+
+/// Detect a cycle in a directed graph given as adjacency sets over arbitrary
+/// node labels. Returns one cycle as a node sequence (first == last), or
+/// `None` when the graph is acyclic. Used by the static lock-order rule.
+pub fn find_cycle(adj: &BTreeMap<String, BTreeSet<String>>) -> Option<Vec<String>> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Mark {
+        White,
+        Grey,
+        Black,
+    }
+    let mut marks: BTreeMap<&str, Mark> = adj.keys().map(|k| (k.as_str(), Mark::White)).collect();
+    for targets in adj.values() {
+        for t in targets {
+            marks.entry(t.as_str()).or_insert(Mark::White);
+        }
+    }
+    // Iterative DFS with an explicit path stack so we can report the cycle.
+    let keys: Vec<&str> = marks.keys().copied().collect();
+    for root in keys {
+        if marks[root] != Mark::White {
+            continue;
+        }
+        let mut stack: Vec<(&str, Vec<&str>)> = vec![(root, Vec::new())];
+        let mut path: Vec<&str> = Vec::new();
+        while let Some((node, _)) = stack.last() {
+            let node = *node;
+            if marks[node] == Mark::White {
+                marks.insert(node, Mark::Grey);
+                path.push(node);
+                let succs: Vec<&str> = adj
+                    .get(node)
+                    .map(|s| s.iter().map(String::as_str).collect())
+                    .unwrap_or_default();
+                if let Some((_, pending)) = stack.last_mut() {
+                    *pending = succs;
+                }
+            }
+            let next = stack.last_mut().and_then(|(_, pending)| pending.pop());
+            match next {
+                Some(succ) => match marks[succ] {
+                    Mark::Grey => {
+                        // Found a back edge: slice the path from succ.
+                        let start = path.iter().position(|&n| n == succ).unwrap_or(0);
+                        let mut cycle: Vec<String> =
+                            path[start..].iter().map(|s| s.to_string()).collect();
+                        cycle.push(succ.to_string());
+                        return Some(cycle);
+                    }
+                    Mark::White => stack.push((succ, Vec::new())),
+                    Mark::Black => {}
+                },
+                None => {
+                    marks.insert(node, Mark::Black);
+                    path.pop();
+                    stack.pop();
+                }
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ws_of(files: &[(&str, &str)]) -> Workspace {
+        let mut ws = Workspace::default();
+        for (rel, src) in files {
+            ws.add_file(rel, src.to_string());
+        }
+        ws
+    }
+
+    #[test]
+    fn direct_and_transitive_reachability() {
+        let ws = ws_of(&[(
+            "crates/demo/src/lib.rs",
+            "pub fn entry() { middle(); }\nfn middle() { leaf(); }\nfn leaf() { panic!(\"x\") }\nfn island() {}\n",
+        )]);
+        let graph = build(&ws);
+        let entry = ws.find("demo", "entry").unwrap();
+        let leaf = ws.find("demo", "leaf").unwrap();
+        let island = ws.find("demo", "island").unwrap();
+        let reach = reachable(&graph, &[entry]);
+        assert!(reach.contains_key(&leaf));
+        assert!(!reach.contains_key(&island));
+        let chain = chain(&ws, &reach, leaf);
+        assert_eq!(chain, vec!["demo::entry", "demo::middle", "demo::leaf"]);
+    }
+
+    #[test]
+    fn method_calls_resolve_across_crates() {
+        let ws = ws_of(&[
+            (
+                "crates/a/src/lib.rs",
+                "pub struct M;\nimpl M { pub fn forward(&self) { helper() } }\nfn helper() {}\n",
+            ),
+            (
+                "crates/b/src/lib.rs",
+                "pub fn drive(m: &d2stgnn_a::M) { m.forward(); }\n",
+            ),
+        ]);
+        let graph = build(&ws);
+        let drive = ws.find("b", "drive").unwrap();
+        let fwd = ws.find("a", "M::forward").unwrap();
+        let reach = reachable(&graph, &[drive]);
+        assert!(reach.contains_key(&fwd), "method call should resolve");
+        // And transitively into helper().
+        let helper = ws.find("a", "helper").unwrap();
+        assert!(reach.contains_key(&helper));
+    }
+
+    #[test]
+    fn test_functions_are_excluded_from_the_graph() {
+        let ws = ws_of(&[(
+            "crates/demo/src/lib.rs",
+            "pub fn entry() { used(); }\nfn used() {}\n#[cfg(test)]\nmod tests {\n    fn scary() { panic!(\"t\") }\n    #[test] fn t() { super::entry(); scary(); }\n}\n",
+        )]);
+        let graph = build(&ws);
+        let entry = ws.find("demo", "entry").unwrap();
+        let reach = reachable(&graph, &[entry]);
+        let scary = ws.fns.iter().position(|f| f.name == "scary").unwrap();
+        assert!(!reach.contains_key(&scary));
+    }
+
+    #[test]
+    fn qualified_path_calls_prefer_the_named_type() {
+        let ws = ws_of(&[(
+            "crates/demo/src/lib.rs",
+            "pub struct A;\npub struct B;\nimpl A { pub fn go() {} }\nimpl B { pub fn go() { panic!(\"b\") } }\npub fn entry() { A::go(); }\n",
+        )]);
+        let graph = build(&ws);
+        let entry = ws.find("demo", "entry").unwrap();
+        let a_go = ws.find("demo", "A::go").unwrap();
+        let b_go = ws.find("demo", "B::go").unwrap();
+        let reach = reachable(&graph, &[entry]);
+        assert!(reach.contains_key(&a_go));
+        assert!(!reach.contains_key(&b_go), "A::go must not alias B::go");
+    }
+
+    #[test]
+    fn macro_calls_are_extracted_but_not_edges() {
+        let ws = ws_of(&[(
+            "crates/demo/src/lib.rs",
+            "pub fn entry() { log!(\"x\"); }\nfn log() { panic!(\"not a macro\") }\n",
+        )]);
+        let entry = ws.find("demo", "entry").unwrap();
+        let calls = extract_calls(&ws, entry);
+        assert!(matches!(&calls[0].callee, Callee::Macro(m) if m == "log"));
+        let graph = build(&ws);
+        assert!(graph.edges[entry].is_empty());
+    }
+
+    #[test]
+    fn cycle_detection_reports_the_loop() {
+        let mut adj: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+        adj.entry("a".into()).or_default().insert("b".into());
+        adj.entry("b".into()).or_default().insert("c".into());
+        adj.entry("c".into()).or_default().insert("a".into());
+        adj.entry("d".into()).or_default().insert("a".into());
+        let cycle = find_cycle(&adj).expect("cycle exists");
+        assert_eq!(cycle.first(), cycle.last());
+        assert!(cycle.len() == 4, "{cycle:?}");
+        // Acyclic graph: no report.
+        let mut dag: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+        dag.entry("a".into()).or_default().insert("b".into());
+        dag.entry("b".into()).or_default().insert("c".into());
+        assert!(find_cycle(&dag).is_none());
+    }
+}

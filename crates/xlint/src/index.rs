@@ -1,0 +1,605 @@
+//! Item indexer: turns a token stream into a workspace-wide symbol table.
+//!
+//! A single brace-matching pass over each file recovers the item structure
+//! the deep rules need: function definitions (free and in `impl`/`trait`
+//! blocks, with their body token ranges), the `cfg(test)` gating of every
+//! item (inherited through nesting), and per-file byte spans of test-gated
+//! code for the lexical rules' exemptions. The indexer is deliberately
+//! approximate — it does not resolve types — but it is *token*-accurate:
+//! strings, comments, and macros can no longer masquerade as items.
+
+use crate::lexer::{lex, Lexed, TokKind};
+use std::collections::BTreeMap;
+
+/// One indexed function definition.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// Crate directory name under `crates/` (e.g. `serve`), or the literal
+    /// file stem for sources outside the crates tree.
+    pub krate: String,
+    /// Enclosing `impl`/`trait` type name, if any (`Server` for
+    /// `impl Server { fn submit … }`).
+    pub self_ty: Option<String>,
+    /// Function name.
+    pub name: String,
+    /// Index of the owning file in [`Workspace::files`].
+    pub file: usize,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Token-index range `[start, end)` of the signature (from `fn` to the
+    /// body `{` or the `;`).
+    pub sig: (usize, usize),
+    /// Token-index range `[open, close]` of the body braces; `None` for
+    /// bodyless declarations.
+    pub body: Option<(usize, usize)>,
+    /// True when the item (or an ancestor) is `#[cfg(test)]`/`#[test]`-gated.
+    pub is_test: bool,
+}
+
+impl FnItem {
+    /// Display name: `crate::Type::name` or `crate::name`.
+    pub fn qualified(&self) -> String {
+        match &self.self_ty {
+            Some(ty) => format!("{}::{}::{}", self.krate, ty, self.name),
+            None => format!("{}::{}", self.krate, self.name),
+        }
+    }
+}
+
+/// One lexed + indexed source file.
+#[derive(Debug)]
+pub struct FileIndex {
+    /// Workspace-relative path, forward slashes.
+    pub rel: String,
+    /// Crate directory name (`crates/<name>/…`), if under the crates tree.
+    pub krate: Option<String>,
+    /// File contents.
+    pub src: String,
+    /// Token stream + comments.
+    pub lexed: Lexed,
+    /// Byte spans of `#[cfg(test)]`-gated items (attr start to closing brace).
+    pub test_spans: Vec<(usize, usize)>,
+    /// Ids (into [`Workspace::fns`]) of functions defined in this file.
+    pub fn_ids: Vec<usize>,
+}
+
+impl FileIndex {
+    /// True when byte `offset` falls inside a test-gated item.
+    pub fn in_test_span(&self, offset: usize) -> bool {
+        self.test_spans
+            .iter()
+            .any(|&(s, e)| offset >= s && offset < e)
+    }
+}
+
+/// The indexed workspace: all files, all functions, and name lookup tables.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    /// Indexed files, in walk order.
+    pub files: Vec<FileIndex>,
+    /// All indexed functions.
+    pub fns: Vec<FnItem>,
+    /// Function ids by bare name.
+    pub by_name: BTreeMap<String, Vec<usize>>,
+    /// Function ids by `(self type, method name)`.
+    pub by_ty_method: BTreeMap<(String, String), Vec<usize>>,
+}
+
+impl Workspace {
+    /// Index one source file and absorb its items.
+    pub fn add_file(&mut self, rel: &str, src: String) {
+        let krate = rel
+            .strip_prefix("crates/")
+            .and_then(|r| r.split('/').next())
+            .map(str::to_string);
+        let lexed = lex(&src);
+        let file_id = self.files.len();
+        let mut file = FileIndex {
+            rel: rel.to_string(),
+            krate: krate.clone(),
+            src,
+            lexed,
+            test_spans: Vec::new(),
+            fn_ids: Vec::new(),
+        };
+        let file_is_test = !crate::in_library_src(rel);
+        let items = scan_items(&file, file_is_test);
+        for mut item in items.fns {
+            item.krate = krate.clone().unwrap_or_else(|| "workspace".to_string());
+            item.file = file_id;
+            let id = self.fns.len();
+            self.by_name.entry(item.name.clone()).or_default().push(id);
+            if let Some(ty) = &item.self_ty {
+                self.by_ty_method
+                    .entry((ty.clone(), item.name.clone()))
+                    .or_default()
+                    .push(id);
+            }
+            file.fn_ids.push(id);
+            self.fns.push(item);
+        }
+        file.test_spans = items.test_spans;
+        self.files.push(file);
+    }
+
+    /// Find a function by `crate` and a `Type::name` or bare-name suffix.
+    pub fn find(&self, krate: &str, path: &str) -> Option<usize> {
+        let (ty, name) = match path.rsplit_once("::") {
+            Some((ty, name)) => (Some(ty), name),
+            None => (None, path),
+        };
+        self.by_name.get(name)?.iter().copied().find(|&id| {
+            let f = &self.fns[id];
+            f.krate == krate && ty.is_none_or(|t| f.self_ty.as_deref() == Some(t))
+        })
+    }
+
+    /// The function whose body token range contains token `tok` of `file`.
+    pub fn enclosing_fn(&self, file: usize, tok: usize) -> Option<usize> {
+        self.files[file]
+            .fn_ids
+            .iter()
+            .copied()
+            .filter(|&id| self.fns[id].body.is_some_and(|(o, c)| tok >= o && tok <= c))
+            // Innermost: the one with the latest opening brace.
+            .max_by_key(|&id| self.fns[id].body.map(|(o, _)| o))
+    }
+}
+
+/// Scan result for one file.
+struct ScannedItems {
+    fns: Vec<FnItem>,
+    test_spans: Vec<(usize, usize)>,
+}
+
+#[derive(Debug)]
+enum ScopeKind {
+    /// `mod x {`, `{` blocks, match/struct-literal braces.
+    Block,
+    /// `impl [Trait for] Type {` — methods inside get `self_ty`.
+    Impl(String),
+    /// `trait Name {` — default methods get `self_ty = Name`.
+    Trait(String),
+    /// A function body; holds the local fn index to backfill the close.
+    Fn(usize),
+    /// `macro_rules! name {` — fns inside are templates, not definitions.
+    MacroDef,
+}
+
+struct Scope {
+    kind: ScopeKind,
+    /// Test-gated (inherited).
+    test: bool,
+    /// Byte offset where this scope's test gate began (attr start).
+    test_start: Option<usize>,
+}
+
+/// Single-pass item scan. `file_is_test` marks every item as test (used for
+/// sources outside `src/`: integration tests, benches, examples).
+fn scan_items(file: &FileIndex, file_is_test: bool) -> ScannedItems {
+    let toks = &file.lexed.toks;
+    let src = &file.src;
+    let text = |i: usize| &src[toks[i].lo..toks[i].hi];
+    let mut fns: Vec<FnItem> = Vec::new();
+    let mut test_spans = Vec::new();
+    let mut stack: Vec<Scope> = Vec::new();
+    // Pending attribute state, consumed by the next item.
+    let mut pending_test = false;
+    let mut pending_attr_lo: Option<usize> = None;
+    // Self type / macro suppression from the innermost relevant scope.
+    let in_test = |stack: &[Scope]| stack.last().is_some_and(|s| s.test) || file_is_test;
+    let self_ty_of = |stack: &[Scope]| {
+        stack.iter().rev().find_map(|s| match &s.kind {
+            ScopeKind::Impl(t) | ScopeKind::Trait(t) => Some(t.clone()),
+            _ => None,
+        })
+    };
+    let in_macro_def =
+        |stack: &[Scope]| stack.iter().any(|s| matches!(s.kind, ScopeKind::MacroDef));
+
+    let mut i = 0usize;
+    while i < toks.len() {
+        let t = toks[i];
+        match t.kind {
+            TokKind::Punct => match src.as_bytes()[t.lo] {
+                b'#' if toks
+                    .get(i + 1)
+                    .is_some_and(|n| n.kind == TokKind::Punct && src.as_bytes()[n.lo] == b'[') =>
+                {
+                    // Attribute: bracket-match and inspect for test gating.
+                    // `#![…]` inner attributes gate nothing here.
+                    let inner = toks
+                        .get(i + 1)
+                        .is_some_and(|n| src.as_bytes()[n.lo] == b'!');
+                    let open = if inner { i + 2 } else { i + 1 };
+                    let mut depth = 0usize;
+                    let mut j = open;
+                    let mut body = String::new();
+                    while j < toks.len() {
+                        let c = &src[toks[j].lo..toks[j].hi];
+                        match (toks[j].kind, c) {
+                            (TokKind::Punct, "[") => depth += 1,
+                            (TokKind::Punct, "]") => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        body.push_str(c);
+                        j += 1;
+                    }
+                    if !inner
+                        && (body.starts_with("[test")
+                            || (body.starts_with("[cfg") && body.contains("test")))
+                    {
+                        pending_test = true;
+                        pending_attr_lo.get_or_insert(t.lo);
+                    }
+                    i = j + 1;
+                    continue;
+                }
+                b'{' => {
+                    stack.push(Scope {
+                        kind: ScopeKind::Block,
+                        test: in_test(&stack) || pending_test,
+                        test_start: if pending_test { pending_attr_lo } else { None },
+                    });
+                    pending_test = false;
+                    pending_attr_lo = None;
+                }
+                b'}' => {
+                    if let Some(scope) = stack.pop() {
+                        if let ScopeKind::Fn(local) = scope.kind {
+                            if let Some(f) = fns.get_mut(local) {
+                                if let Some((open, _)) = f.body {
+                                    f.body = Some((open, i));
+                                }
+                            }
+                        }
+                        if let Some(start) = scope.test_start {
+                            test_spans.push((start, toks[i].hi));
+                        }
+                    }
+                }
+                b';' => {
+                    pending_test = false;
+                    pending_attr_lo = None;
+                }
+                _ => {}
+            },
+            TokKind::Ident => {
+                let word = text(i);
+                match word {
+                    "fn" if !in_macro_def(&stack) => {
+                        // `fn(` is a function-pointer type, not a definition.
+                        let Some(name_tok) = toks.get(i + 1) else {
+                            i += 1;
+                            continue;
+                        };
+                        if name_tok.kind != TokKind::Ident {
+                            i += 1;
+                            continue;
+                        }
+                        let name = src[name_tok.lo..name_tok.hi].to_string();
+                        // Signature runs to the body `{` or a `;` at zero
+                        // bracket depth (`->` and `=>` guard the `>`).
+                        let mut j = i + 2;
+                        let mut paren = 0i32;
+                        let mut angle = 0i32;
+                        let mut bracket = 0i32;
+                        let mut body_open = None;
+                        while j < toks.len() {
+                            let c = text(j);
+                            if toks[j].kind == TokKind::Punct {
+                                match c {
+                                    "(" => paren += 1,
+                                    ")" => paren -= 1,
+                                    "[" => bracket += 1,
+                                    "]" => bracket -= 1,
+                                    "<" => angle += 1,
+                                    ">" => {
+                                        let arrow = j > 0
+                                            && toks[j - 1].kind == TokKind::Punct
+                                            && matches!(text(j - 1), "-" | "=");
+                                        if !arrow {
+                                            angle -= 1;
+                                        }
+                                    }
+                                    "{" if paren == 0 && bracket == 0 && angle <= 0 => {
+                                        body_open = Some(j);
+                                        break;
+                                    }
+                                    ";" if paren == 0 && bracket == 0 && angle <= 0 => break,
+                                    _ => {}
+                                }
+                            }
+                            j += 1;
+                        }
+                        let test = in_test(&stack) || pending_test;
+                        let test_start = if pending_test { pending_attr_lo } else { None };
+                        pending_test = false;
+                        pending_attr_lo = None;
+                        let local = fns.len();
+                        fns.push(FnItem {
+                            krate: String::new(),
+                            self_ty: self_ty_of(&stack),
+                            name,
+                            file: 0,
+                            line: t.line,
+                            sig: (i, body_open.unwrap_or(j)),
+                            body: body_open.map(|o| (o, toks.len().saturating_sub(1))),
+                            is_test: test,
+                        });
+                        if let Some(open) = body_open {
+                            stack.push(Scope {
+                                kind: ScopeKind::Fn(local),
+                                test,
+                                test_start,
+                            });
+                            i = open + 1;
+                            continue;
+                        }
+                        i = j + 1;
+                        continue;
+                    }
+                    "impl" if !in_macro_def(&stack) && is_item_position(src, toks, i) => {
+                        let (ty, open) = scan_impl_header(src, toks, i);
+                        let test = in_test(&stack) || pending_test;
+                        let test_start = if pending_test { pending_attr_lo } else { None };
+                        pending_test = false;
+                        pending_attr_lo = None;
+                        if let Some(open) = open {
+                            stack.push(Scope {
+                                kind: ScopeKind::Impl(ty),
+                                test,
+                                test_start,
+                            });
+                            i = open + 1;
+                            continue;
+                        }
+                    }
+                    "trait" if !in_macro_def(&stack) && is_item_position(src, toks, i) => {
+                        let name = toks
+                            .get(i + 1)
+                            .filter(|t| t.kind == TokKind::Ident)
+                            .map(|t| src[t.lo..t.hi].to_string());
+                        if let Some(name) = name {
+                            // Find the trait body `{` (skipping bounds).
+                            let mut j = i + 2;
+                            let mut angle = 0i32;
+                            let mut open = None;
+                            while j < toks.len() {
+                                let c = text(j);
+                                if toks[j].kind == TokKind::Punct {
+                                    match c {
+                                        "<" => angle += 1,
+                                        ">" if !(j > 0 && matches!(text(j - 1), "-" | "=")) => {
+                                            angle -= 1
+                                        }
+                                        "{" if angle <= 0 => {
+                                            open = Some(j);
+                                            break;
+                                        }
+                                        ";" if angle <= 0 => break,
+                                        _ => {}
+                                    }
+                                }
+                                j += 1;
+                            }
+                            let test = in_test(&stack) || pending_test;
+                            let test_start = if pending_test { pending_attr_lo } else { None };
+                            pending_test = false;
+                            pending_attr_lo = None;
+                            if let Some(open) = open {
+                                stack.push(Scope {
+                                    kind: ScopeKind::Trait(name),
+                                    test,
+                                    test_start,
+                                });
+                                i = open + 1;
+                                continue;
+                            }
+                        }
+                    }
+                    "macro_rules" => {
+                        // macro_rules! name { … } — suppress fn indexing
+                        // inside the template.
+                        let mut j = i + 1;
+                        while j < toks.len() && text(j) != "{" {
+                            j += 1;
+                        }
+                        if j < toks.len() {
+                            stack.push(Scope {
+                                kind: ScopeKind::MacroDef,
+                                test: in_test(&stack) || pending_test,
+                                test_start: if pending_test { pending_attr_lo } else { None },
+                            });
+                            pending_test = false;
+                            pending_attr_lo = None;
+                            i = j + 1;
+                            continue;
+                        }
+                    }
+                    "mod" => {
+                        // `mod x {` starts a block scope (handled by `{`),
+                        // `mod x;` clears pending attrs at the `;`.
+                    }
+                    _ => {}
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    // Unterminated scopes (truncated file): close fn bodies at EOF.
+    for scope in stack {
+        if let ScopeKind::Fn(local) = scope.kind {
+            if let Some(f) = fns.get_mut(local) {
+                if let Some((open, _)) = f.body {
+                    f.body = Some((open, toks.len().saturating_sub(1)));
+                }
+            }
+        }
+    }
+    ScannedItems { fns, test_spans }
+}
+
+/// Heuristic: is the `impl`/`trait` keyword at token `i` an item definition
+/// (vs `-> impl Trait` / `&impl T` / `dyn` positions)?
+fn is_item_position(src: &str, toks: &[crate::lexer::Tok], i: usize) -> bool {
+    if i == 0 {
+        return true;
+    }
+    let prev = &toks[i - 1];
+    let p = &src[prev.lo..prev.hi];
+    match prev.kind {
+        TokKind::Punct => matches!(p, "{" | "}" | ";" | "]"),
+        TokKind::Ident => matches!(p, "pub" | "unsafe" | "default"),
+        _ => false,
+    }
+}
+
+/// Parse an `impl` header starting at token `i` (the `impl` keyword).
+/// Returns the implemented-on type name and the body `{` token index.
+fn scan_impl_header(src: &str, toks: &[crate::lexer::Tok], i: usize) -> (String, Option<usize>) {
+    let text = |j: usize| &src[toks[j].lo..toks[j].hi];
+    let mut j = i + 1;
+    let mut angle = 0i32;
+    let mut segments: Vec<String> = Vec::new();
+    let mut after_for: Vec<String> = Vec::new();
+    let mut saw_for = false;
+    let mut open = None;
+    while j < toks.len() {
+        let c = text(j);
+        match toks[j].kind {
+            TokKind::Punct => match c {
+                "<" => angle += 1,
+                ">" if !(j > 0 && matches!(text(j - 1), "-" | "=")) => angle -= 1,
+                "{" if angle <= 0 => {
+                    open = Some(j);
+                    break;
+                }
+                ";" if angle <= 0 => break,
+                _ => {}
+            },
+            TokKind::Ident if angle <= 0 => match c {
+                "for" => saw_for = true,
+                "where" => {
+                    // Type is settled; scan on for the brace only.
+                    while j < toks.len() && text(j) != "{" {
+                        j += 1;
+                    }
+                    if j < toks.len() {
+                        open = Some(j);
+                    }
+                    break;
+                }
+                _ => {
+                    if saw_for {
+                        after_for.push(c.to_string());
+                    } else {
+                        segments.push(c.to_string());
+                    }
+                }
+            },
+            _ => {}
+        }
+        j += 1;
+    }
+    let chain = if saw_for { &after_for } else { &segments };
+    let ty = chain.last().cloned().unwrap_or_default();
+    (ty, open)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ws_of(rel: &str, src: &str) -> Workspace {
+        let mut ws = Workspace::default();
+        ws.add_file(rel, src.to_string());
+        ws
+    }
+
+    #[test]
+    fn free_and_method_fns_are_indexed() {
+        let ws = ws_of(
+            "crates/demo/src/lib.rs",
+            "pub fn free() {}\nstruct S;\nimpl S { pub fn method(&self) -> u8 { 0 } }\n\
+             impl std::fmt::Display for S { fn fmt(&self) {} }\n\
+             trait T { fn provided(&self) {} }\n",
+        );
+        let names: Vec<String> = ws.fns.iter().map(FnItem::qualified).collect();
+        assert!(names.contains(&"demo::free".to_string()), "{names:?}");
+        assert!(names.contains(&"demo::S::method".to_string()), "{names:?}");
+        assert!(names.contains(&"demo::S::fmt".to_string()), "{names:?}");
+        assert!(
+            names.contains(&"demo::T::provided".to_string()),
+            "{names:?}"
+        );
+    }
+
+    #[test]
+    fn cfg_test_gating_is_inherited() {
+        let ws = ws_of(
+            "crates/demo/src/lib.rs",
+            "fn lib_code() {}\n#[cfg(test)]\nmod tests {\n    fn helper() {}\n    #[test]\n    fn case() {}\n}\n",
+        );
+        let by: BTreeMap<&str, bool> = ws
+            .fns
+            .iter()
+            .map(|f| (f.name.as_str(), f.is_test))
+            .collect();
+        assert!(!by["lib_code"]);
+        assert!(by["helper"]);
+        assert!(by["case"]);
+        // The span covers the gated module for byte-offset queries.
+        let file = &ws.files[0];
+        let helper_off = file.src.find("helper").unwrap();
+        assert!(file.in_test_span(helper_off));
+        assert!(!file.in_test_span(file.src.find("lib_code").unwrap()));
+    }
+
+    #[test]
+    fn bodies_and_enclosing_fn_lookup() {
+        let src = "fn outer() { inner_call(); }\nfn second() {}\n";
+        let ws = ws_of("crates/demo/src/lib.rs", src);
+        let outer = ws.find("demo", "outer").unwrap();
+        let (open, close) = ws.fns[outer].body.unwrap();
+        assert!(open < close);
+        // Token index of inner_call should map back to `outer`.
+        let file = &ws.files[0];
+        let tok = (0..file.lexed.toks.len())
+            .find(|&i| file.lexed.text(&file.src, i) == "inner_call")
+            .unwrap();
+        assert_eq!(ws.enclosing_fn(0, tok), Some(outer));
+    }
+
+    #[test]
+    fn macro_rules_templates_are_not_fn_definitions() {
+        let ws = ws_of(
+            "crates/demo/src/lib.rs",
+            "macro_rules! m { () => { fn template() {} }; }\nfn real() {}\n",
+        );
+        let names: Vec<&str> = ws.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["real"]);
+    }
+
+    #[test]
+    fn impl_trait_in_return_position_is_not_an_impl_block() {
+        let ws = ws_of(
+            "crates/demo/src/lib.rs",
+            "fn iter() -> impl Iterator<Item = u8> { [1u8].into_iter() }\n",
+        );
+        assert_eq!(ws.fns.len(), 1);
+        assert_eq!(ws.fns[0].self_ty, None);
+    }
+
+    #[test]
+    fn files_outside_src_are_test_items() {
+        let ws = ws_of("crates/demo/tests/e2e.rs", "fn probe() {}\n");
+        assert!(ws.fns[0].is_test);
+    }
+}

@@ -1,0 +1,518 @@
+//! A self-contained Rust lexer: the foundation of the analysis engine.
+//!
+//! Produces a flat token stream with byte offsets and line numbers, plus a
+//! side list of comments (needed by the `atomic-ordering` rule, which looks
+//! for justification comments). Handles the constructs that defeated the old
+//! line-regex driver: raw strings (`r#"..."#`, any hash depth, `b`/`br`
+//! prefixes), nested block comments, char literals vs lifetimes, numeric
+//! literals with suffixes/underscores/exponents, and raw identifiers
+//! (`r#type`).
+//!
+//! The lexer is loss-tolerant by design: unterminated literals run to end of
+//! file instead of erroring, so a half-edited tree still lints.
+
+/// Token classification. Keywords are [`TokKind::Ident`]; consumers match on
+/// text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (including raw identifiers, `r#type`).
+    Ident,
+    /// Lifetime or loop label (`'a`, `'outer`).
+    Lifetime,
+    /// Integer literal (any base, with suffix/underscores).
+    Int,
+    /// Float literal (decimal point and/or exponent).
+    Float,
+    /// String-ish literal: `"…"`, `r"…"`, `b"…"`, `br#"…"#`, `c"…"`.
+    Str,
+    /// Char or byte literal: `'x'`, `b'\n'`.
+    Char,
+    /// A single punctuation byte (`::` arrives as two adjacent `:` tokens).
+    Punct,
+}
+
+/// One token. Text is `&src[lo..hi]`.
+#[derive(Debug, Clone, Copy)]
+pub struct Tok {
+    /// Classification.
+    pub kind: TokKind,
+    /// Byte offset of the first byte.
+    pub lo: usize,
+    /// Byte offset one past the last byte.
+    pub hi: usize,
+    /// 1-based source line of `lo`.
+    pub line: u32,
+}
+
+/// One comment (line or block, doc or plain), kept out of the token stream.
+#[derive(Debug, Clone, Copy)]
+pub struct Comment {
+    /// Byte offset of the `//` or `/*`.
+    pub lo: usize,
+    /// Byte offset one past the end.
+    pub hi: usize,
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// 1-based line the comment ends on (equals `line` for line comments).
+    pub end_line: u32,
+}
+
+/// Lexed form of one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Tokens in source order, comments and whitespace removed.
+    pub toks: Vec<Tok>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+impl Lexed {
+    /// Token text within `src` (the same string passed to [`lex`]).
+    pub fn text<'s>(&self, src: &'s str, i: usize) -> &'s str {
+        let t = &self.toks[i];
+        &src[t.lo..t.hi]
+    }
+
+    /// True when tokens `i` and `i + 1` exist and are the given punct pair
+    /// (used for `::`, `->`, `=>`; Rust allows interior whitespace).
+    pub fn punct_pair(&self, src: &str, i: usize, a: char, b: char) -> bool {
+        matches!(
+            (self.toks.get(i), self.toks.get(i + 1)),
+            (Some(x), Some(y))
+                if x.kind == TokKind::Punct
+                    && y.kind == TokKind::Punct
+                    && src[x.lo..x.hi].starts_with(a)
+                    && src[y.lo..y.hi].starts_with(b)
+        )
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Lex `src` into tokens and comments. Never fails; malformed input degrades
+/// to permissive tokens rather than an error.
+pub fn lex(src: &str) -> Lexed {
+    let bytes = src.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    // Count newlines inside [from, to) and advance the line counter.
+    let count_lines = |bytes: &[u8], from: usize, to: usize| -> u32 {
+        bytes[from..to].iter().filter(|&&b| b == b'\n').count() as u32
+    };
+
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            // Line comment (also doc `///` and `//!`).
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                let end = bytes[i..]
+                    .iter()
+                    .position(|&c| c == b'\n')
+                    .map_or(bytes.len(), |p| i + p);
+                out.comments.push(Comment {
+                    lo: i,
+                    hi: end,
+                    line,
+                    end_line: line,
+                });
+                i = end;
+            }
+            // Block comment, possibly nested.
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                let lo = i;
+                let start_line = line;
+                let mut depth = 1usize;
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        if bytes[i] == b'\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                }
+                out.comments.push(Comment {
+                    lo,
+                    hi: i,
+                    line: start_line,
+                    end_line: line,
+                });
+            }
+            b'"' => {
+                let (hi, nl) = scan_string(bytes, i);
+                out.toks.push(Tok {
+                    kind: TokKind::Str,
+                    lo: i,
+                    hi,
+                    line,
+                });
+                line += nl;
+                i = hi;
+            }
+            b'\'' => {
+                // Lifetime/label vs char literal: a lifetime is `'` followed
+                // by an identifier NOT closed by another `'`.
+                let next = bytes.get(i + 1).copied().unwrap_or(0);
+                if is_ident_start(next) && next != b'\\' {
+                    let mut j = i + 2;
+                    while j < bytes.len() && is_ident_continue(bytes[j]) {
+                        j += 1;
+                    }
+                    if bytes.get(j) == Some(&b'\'') {
+                        // 'a' — a char literal after all.
+                        out.toks.push(Tok {
+                            kind: TokKind::Char,
+                            lo: i,
+                            hi: j + 1,
+                            line,
+                        });
+                        i = j + 1;
+                    } else {
+                        out.toks.push(Tok {
+                            kind: TokKind::Lifetime,
+                            lo: i,
+                            hi: j,
+                            line,
+                        });
+                        i = j;
+                    }
+                } else {
+                    // Char literal with escape or punctuation content.
+                    let mut j = i + 1;
+                    if bytes.get(j) == Some(&b'\\') {
+                        j += 2; // skip the escaped byte
+                        while j < bytes.len() && bytes[j] != b'\'' {
+                            j += 1; // \u{1F600}
+                        }
+                        j = (j + 1).min(bytes.len());
+                    } else {
+                        while j < bytes.len() && bytes[j] != b'\'' && bytes[j] != b'\n' {
+                            j += 1;
+                        }
+                        j = (j + 1).min(bytes.len());
+                    }
+                    out.toks.push(Tok {
+                        kind: TokKind::Char,
+                        lo: i,
+                        hi: j,
+                        line,
+                    });
+                    i = j;
+                }
+            }
+            // Raw strings / byte strings / raw identifiers: r" r#" br" b" b' c".
+            b'r' | b'b' | b'c' if raw_or_byte_literal(bytes, i).is_some() => {
+                let Some((kind, hi)) = raw_or_byte_literal(bytes, i) else {
+                    unreachable!("guard just matched")
+                };
+                out.toks.push(Tok {
+                    kind,
+                    lo: i,
+                    hi,
+                    line,
+                });
+                line += count_lines(bytes, i, hi);
+                i = hi;
+            }
+            _ if is_ident_start(b) => {
+                let lo = i;
+                // Raw identifier r#type: the r-guard above rejects r# followed
+                // by ident (only `r#"` is a string), so handle it here.
+                if (b == b'r' && bytes.get(i + 1) == Some(&b'#')) && {
+                    let c = bytes.get(i + 2).copied().unwrap_or(0);
+                    is_ident_start(c)
+                } {
+                    i += 2;
+                }
+                i += 1;
+                while i < bytes.len() && is_ident_continue(bytes[i]) {
+                    i += 1;
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::Ident,
+                    lo,
+                    hi: i,
+                    line,
+                });
+            }
+            _ if b.is_ascii_digit() => {
+                let (hi, kind) = scan_number(bytes, i);
+                out.toks.push(Tok {
+                    kind,
+                    lo: i,
+                    hi,
+                    line,
+                });
+                i = hi;
+            }
+            _ => {
+                out.toks.push(Tok {
+                    kind: TokKind::Punct,
+                    lo: i,
+                    hi: i + 1,
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Scan a `"…"` string starting at the opening quote; returns (end, newlines).
+fn scan_string(bytes: &[u8], start: usize) -> (usize, u32) {
+    let mut i = start + 1;
+    let mut nl = 0u32;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => {
+                // A `\` line-continuation escapes the newline itself; it
+                // still has to count toward the line number.
+                if bytes.get(i + 1) == Some(&b'\n') {
+                    nl += 1;
+                }
+                i += 2;
+            }
+            b'"' => return (i + 1, nl),
+            b'\n' => {
+                nl += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    (bytes.len(), nl)
+}
+
+/// Try to scan a raw/byte literal at `start`: `r"`, `r#"`, `br"`, `b"`,
+/// `b'`, `c"`. Returns the token kind and end offset, or `None` if `start`
+/// is a plain identifier (e.g. `radius`, `b`, `r#type`).
+fn raw_or_byte_literal(bytes: &[u8], start: usize) -> Option<(TokKind, usize)> {
+    let mut j = start;
+    let first = bytes[j];
+    j += 1;
+    if first == b'b' && bytes.get(j) == Some(&b'r') {
+        j += 1; // br…
+    }
+    let raw = first == b'r' || (first == b'b' && j == start + 2) || first == b'c';
+    // Byte char literal b'x'.
+    if first == b'b' && j == start + 1 && bytes.get(j) == Some(&b'\'') {
+        let mut k = j + 1;
+        if bytes.get(k) == Some(&b'\\') {
+            k += 2;
+        }
+        while k < bytes.len() && bytes[k] != b'\'' && bytes[k] != b'\n' {
+            k += 1;
+        }
+        return Some((TokKind::Char, (k + 1).min(bytes.len())));
+    }
+    let mut hashes = 0usize;
+    if raw {
+        while bytes.get(j) == Some(&b'#') {
+            hashes += 1;
+            j += 1;
+        }
+        // `r#ident` is a raw identifier, not a raw string.
+        if hashes > 0
+            && bytes.get(j).copied().is_some_and(is_ident_start)
+            && first == b'r'
+            && j == start + 1 + hashes
+        {
+            return None;
+        }
+    }
+    if bytes.get(j) != Some(&b'"') {
+        return None;
+    }
+    j += 1;
+    if hashes == 0 && first != b'r' && bytes[start + 1] == b'"' {
+        // b"…" / c"…": plain string body with escapes.
+        let (end, _) = scan_string(bytes, j - 1);
+        return Some((TokKind::Str, end));
+    }
+    if hashes == 0 && first == b'r' {
+        // r"…": no escapes, ends at the next quote.
+        while j < bytes.len() && bytes[j] != b'"' {
+            j += 1;
+        }
+        return Some((TokKind::Str, (j + 1).min(bytes.len())));
+    }
+    // r#"…"# (or br#"…"#): ends at `"` followed by `hashes` hashes.
+    let mut closer = vec![b'"'];
+    closer.extend(std::iter::repeat_n(b'#', hashes));
+    while j < bytes.len() {
+        if bytes[j..].starts_with(&closer) {
+            return Some((TokKind::Str, j + closer.len()));
+        }
+        j += 1;
+    }
+    Some((TokKind::Str, bytes.len()))
+}
+
+/// Scan a numeric literal; returns (end, Int|Float).
+fn scan_number(bytes: &[u8], start: usize) -> (usize, TokKind) {
+    let mut i = start;
+    let mut float = false;
+    if bytes[i] == b'0'
+        && matches!(
+            bytes.get(i + 1),
+            Some(b'x') | Some(b'X') | Some(b'o') | Some(b'O') | Some(b'b') | Some(b'B')
+        )
+    {
+        i += 2;
+        while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+            i += 1;
+        }
+        return (i, TokKind::Int);
+    }
+    while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == b'_') {
+        i += 1;
+    }
+    // Fractional part: only when followed by a digit (so `1..n` and
+    // `1.method()` stay intact).
+    if bytes.get(i) == Some(&b'.') && bytes.get(i + 1).is_some_and(u8::is_ascii_digit) {
+        float = true;
+        i += 1;
+        while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == b'_') {
+            i += 1;
+        }
+    }
+    // Exponent.
+    if matches!(bytes.get(i), Some(b'e') | Some(b'E')) {
+        let mut j = i + 1;
+        if matches!(bytes.get(j), Some(b'+') | Some(b'-')) {
+            j += 1;
+        }
+        if bytes.get(j).is_some_and(u8::is_ascii_digit) {
+            float = true;
+            i = j;
+            while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == b'_') {
+                i += 1;
+            }
+        }
+    }
+    // Type suffix (f32, usize, u8…).
+    let suffix_start = i;
+    while i < bytes.len() && is_ident_continue(bytes[i]) {
+        i += 1;
+    }
+    if bytes[suffix_start..i].starts_with(b"f32") || bytes[suffix_start..i].starts_with(b"f64") {
+        float = true;
+    }
+    (i, if float { TokKind::Float } else { TokKind::Int })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        let l = lex(src);
+        l.toks
+            .iter()
+            .map(|t| (t.kind, src[t.lo..t.hi].to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn raw_string_with_panic_inside_is_one_token() {
+        let src = r####"let s = r#"panic!("x").unwrap()"#;"####;
+        let toks = kinds(src);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Str && t.contains("panic!")));
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Ident && t == "panic"));
+    }
+
+    #[test]
+    fn nested_block_comment_is_trivia() {
+        let src = "a /* outer /* inner unwrap() */ still */ b";
+        let l = lex(src);
+        assert_eq!(l.toks.len(), 2);
+        assert_eq!(l.comments.len(), 1);
+        assert_eq!(&src[l.comments[0].lo..l.comments[0].hi].len(), &38);
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'a'; let n = '\\n'; }");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Lifetime)
+            .collect();
+        let chars: Vec<_> = toks.iter().filter(|(k, _)| *k == TokKind::Char).collect();
+        assert_eq!(lifetimes.len(), 2, "{toks:?}");
+        assert_eq!(chars.len(), 2, "{toks:?}");
+    }
+
+    #[test]
+    fn byte_and_raw_identifiers() {
+        let toks = kinds("let b = br\"x\"; let r = r#type; let v = b'\\t';");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Str && t == "br\"x\""));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Ident && t == "r#type"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Char && t == "b'\\t'"));
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_ranges_or_methods() {
+        let toks = kinds("for i in 0..n { let x = 1.5e-3f32; let y = 2.pow(3); }");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Float && t == "1.5e-3f32"));
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Int && t == "2"));
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Ident && t == "pow"));
+        // `..` survives as two puncts.
+        let puncts: String = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Punct)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert!(puncts.contains(".."), "{puncts}");
+    }
+
+    #[test]
+    fn line_continuation_escape_counts_toward_line_numbers() {
+        // `\` at end of line escapes the newline inside the literal; the
+        // token after the string still lives on the right source line.
+        let src = "let s = \"a \\\n   b\";\nnext";
+        let l = lex(src);
+        let next = l.toks.last().unwrap();
+        assert_eq!(&src[next.lo..next.hi], "next");
+        assert_eq!(next.line, 3);
+    }
+
+    #[test]
+    fn line_numbers_track_strings_and_comments() {
+        let src = "a\n\"two\nlines\"\n/* c\nc */\nb";
+        let l = lex(src);
+        assert_eq!(l.toks[0].line, 1);
+        assert_eq!(l.toks[1].line, 2); // the string starts on line 2
+        assert_eq!(l.toks[2].line, 6); // b after multiline comment
+    }
+}

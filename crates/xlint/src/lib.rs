@@ -1,41 +1,52 @@
-//! Offline static-analysis driver for the d2stgnn workspace.
+//! Offline static-analysis engine for the d2stgnn workspace.
 //!
-//! `xlint` walks the workspace's `.rs` sources and enforces repo-specific
-//! correctness rules with `file:line` diagnostics and an allowlist file
-//! (`xlint.allow` at the workspace root). It is intentionally lexical — no
-//! syn, no rustc plumbing — so it runs offline with zero dependencies and
-//! stays fast enough to gate every CI run.
+//! `xlint` lexes every `.rs` source under `crates/` with a self-contained
+//! Rust lexer ([`lexer`]), indexes items and `cfg(test)` gating into a
+//! workspace-wide symbol table ([`index`]), derives an approximate
+//! cross-crate call graph ([`callgraph`]), and runs two rule tiers over the
+//! result. It stays dependency-free and fast enough to gate every CI run.
 //!
-//! Rules:
+//! **Lexical rules** ([`rules`]), token-accurate versions of the original
+//! line rules:
 //!
 //! * `no-panic` — no `.unwrap()` / `.expect(` / `panic!` / `todo!` /
 //!   `unimplemented!` in library code of `serve`, `core`, `graph`, `tensor`,
-//!   `obsv`, and `httpd` (`#[cfg(test)]` modules and `tests/`, `benches/`,
-//!   `examples/` directories are exempt).
-//! * `no-print` — no `println!` / `eprintln!` / `print!` / `eprint!` in
-//!   library code of any crate except `obsv` (whose `console_line` is the
-//!   one sanctioned console funnel); progress output goes through the
-//!   telemetry layer. Table/bench binaries are allowlisted by path prefix.
+//!   `data`, `obsv`, and `httpd` (`#[cfg(test)]` modules and `tests/`,
+//!   `benches/`, `examples/` directories are exempt).
+//! * `no-assert` — no assert-family macros in the recoverable-path files
+//!   (`core/src/training.rs`, `core/src/checkpoint.rs`).
+//! * `no-print` — no print-family macros outside the `obsv` console funnel.
 //! * `cast-in-loop` — no numeric `as` casts inside loop bodies of the two
-//!   kernel files `crates/tensor/src/ops.rs` and `crates/graph/src/sparse.rs`
-//!   (casts in hot loops hide float↔int truncation bugs; hoist them out).
+//!   kernel files `crates/tensor/src/ops.rs` and `crates/graph/src/sparse.rs`.
 //! * `result-error` — every `pub fn` returning `Result` must name an error
-//!   type declared in that crate's `src/error.rs` (no `Result<_, String>`,
-//!   no bare `Result<T>` aliases).
-//! * `serve-concurrency` — no `thread::sleep` and no unbounded channel
-//!   construction (`mpsc::channel`) in the library code of the request-path
-//!   crates `serve` and `httpd`; the httpd accept loop's nonblocking poll
-//!   carries an explicit allowlist entry.
-//! * `no-raw-threads` — no `thread::spawn` / `thread::scope` /
-//!   `thread::Builder` in library code of any crate: long-lived workers
-//!   belong to the sanctioned thread owners (the tensor compute pool, the
-//!   serve request loop, and the httpd accept/connection pool), which are
-//!   allowlisted by path. Everything else submits work through
-//!   `d2stgnn_tensor::pool`.
-//! * `deny-unsafe` — `#![deny(unsafe_code)]` (or `forbid`) present at each
-//!   crate root under `crates/`.
+//!   type declared in that crate's `src/error.rs`.
+//! * `serve-concurrency` — no `thread::sleep` / unbounded channels in the
+//!   request-path crates `serve` and `httpd`.
+//! * `no-raw-threads` — no `thread::spawn` / `scope` / `Builder` outside the
+//!   sanctioned thread owners (allowlisted by path).
+//! * `deny-unsafe` — `#![deny(unsafe_code)]` at each crate root.
+//!
+//! **Deep rules** ([`deep`]), which need the symbol table and call graph:
+//!
+//! * `panic-reachability` — no panic-family call reachable from the
+//!   serve/httpd request entry points outside the `error.rs` funnels, with
+//!   the offending call chain reported; slice-index / assert / arithmetic
+//!   sites on those paths are counted per function and ratcheted through the
+//!   committed `xlint_report.json` baseline ([`report`]).
+//! * `lock-order` — the static lock-acquisition graph must be acyclic.
+//! * `float-determinism` — no ungated FMA, hash containers, or unordered
+//!   reductions in kernel float code.
+//! * `atomic-ordering` — every `Ordering::Relaxed` carries a `// relaxed:`
+//!   justification comment.
 
 #![deny(unsafe_code)]
+
+pub mod callgraph;
+pub mod deep;
+pub mod index;
+pub mod lexer;
+pub mod report;
+pub mod rules;
 
 use std::collections::BTreeSet;
 use std::fmt;
@@ -44,7 +55,8 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 /// Crates whose `src/` trees are subject to the `no-panic` rule.
-pub const PANIC_FREE_CRATES: &[&str] = &["serve", "core", "graph", "tensor", "obsv", "httpd"];
+pub const PANIC_FREE_CRATES: &[&str] =
+    &["serve", "core", "graph", "tensor", "data", "obsv", "httpd"];
 
 /// The one crate allowed to print to the console from library code: its
 /// `console_line` is the funnel everything else must route through.
@@ -72,6 +84,11 @@ pub const NO_ASSERT_FILES: &[&str] = &[
     "crates/core/src/checkpoint.rs",
 ];
 
+/// Crates excluded from the deep (symbol-table) analysis: the bench harness
+/// owns its own binaries off the request path, and xlint itself is the
+/// analyzer. Their sources still run through every lexical rule.
+pub const DEEP_EXCLUDED_CRATES: &[&str] = &["bench", "xlint"];
+
 /// All rule identifiers, in report order.
 pub const RULES: &[&str] = &[
     "no-panic",
@@ -82,6 +99,15 @@ pub const RULES: &[&str] = &[
     "serve-concurrency",
     "no-raw-threads",
     "deny-unsafe",
+    "panic-reachability",
+    "lock-order",
+    "float-determinism",
+    "atomic-ordering",
+];
+
+pub(crate) const NUMERIC_TYPES: &[&str] = &[
+    "f32", "f64", "usize", "isize", "u8", "u16", "u32", "u64", "u128", "i8", "i16", "i32", "i64",
+    "i128",
 ];
 
 /// One lint finding at a source location.
@@ -97,6 +123,28 @@ pub struct Diagnostic {
     pub message: String,
     /// The offending source line, trimmed.
     pub excerpt: String,
+    /// Stable symbol key for deep findings (`crate::Type::fn/class`);
+    /// empty for lexical findings, which key on path + excerpt instead.
+    pub symbol: String,
+    /// Site count for aggregated (counted) findings; 1 for point findings.
+    pub count: usize,
+    /// Supporting context — the call chain for reachability findings.
+    pub notes: String,
+}
+
+impl Default for Diagnostic {
+    fn default() -> Self {
+        Diagnostic {
+            rule: "",
+            path: String::new(),
+            line: 0,
+            message: String::new(),
+            excerpt: String::new(),
+            symbol: String::new(),
+            count: 1,
+            notes: String::new(),
+        }
+    }
 }
 
 impl fmt::Display for Diagnostic {
@@ -105,7 +153,11 @@ impl fmt::Display for Diagnostic {
             f,
             "{}:{}: [{}] {}\n    | {}",
             self.path, self.line, self.rule, self.message, self.excerpt
-        )
+        )?;
+        if !self.notes.is_empty() {
+            write!(f, "\n    | via {}", self.notes)?;
+        }
+        Ok(())
     }
 }
 
@@ -184,11 +236,13 @@ fn path_covers(entry: &str, diag_path: &str) -> bool {
 /// Result of linting the workspace.
 #[derive(Debug, Default)]
 pub struct Report {
-    /// Diagnostics not covered by the allowlist (failures).
+    /// Diagnostics not covered by the allowlist. Baseline-eligible entries
+    /// still need [`report::apply_baseline`] before they count as failures.
     pub active: Vec<Diagnostic>,
     /// Diagnostics suppressed by an allowlist entry.
     pub suppressed: Vec<Diagnostic>,
-    /// Allowlist entries that matched nothing (stale debt records).
+    /// Allowlist entries that matched nothing — stale debt records, which
+    /// fail the run so the allow file can only shrink.
     pub unused_allows: Vec<AllowEntry>,
     /// Number of `.rs` files scanned.
     pub files_checked: usize,
@@ -200,7 +254,7 @@ impl Report {
         self.active.iter().filter(|d| d.rule == rule).count()
     }
 
-    /// True when the tree is clean modulo the allowlist.
+    /// True when the tree is clean modulo the allowlist (before baseline).
     pub fn is_clean(&self) -> bool {
         self.active.is_empty()
     }
@@ -208,171 +262,39 @@ impl Report {
 
 /// Replace comments, string literals, and char literals with spaces,
 /// preserving the line structure so offsets still map to source lines.
+/// Built on the real lexer, so raw strings, nested comments, and
+/// lifetime-vs-char ambiguity are all handled exactly.
 pub fn sanitize_source(src: &str) -> String {
-    let bytes = src.as_bytes();
-    let mut out = vec![0u8; bytes.len()];
-    out.copy_from_slice(bytes);
-    let mut i = 0;
-    let blank = |out: &mut [u8], from: usize, to: usize| {
-        for b in &mut out[from..to] {
+    let lexed = lexer::lex(src);
+    let mut out: Vec<u8> = src.as_bytes().to_vec();
+    let blank = |lo: usize, hi: usize, out: &mut Vec<u8>| {
+        for b in &mut out[lo..hi.min(src.len())] {
             if *b != b'\n' {
                 *b = b' ';
             }
         }
     };
-    while i < bytes.len() {
-        match bytes[i] {
-            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
-                let end = bytes[i..]
-                    .iter()
-                    .position(|&b| b == b'\n')
-                    .map_or(bytes.len(), |p| i + p);
-                blank(&mut out, i, end);
-                i = end;
-            }
-            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'*' => {
-                let start = i;
-                let mut depth = 1usize;
-                i += 2;
-                while i < bytes.len() && depth > 0 {
-                    if bytes[i] == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'*' {
-                        depth += 1;
-                        i += 2;
-                    } else if bytes[i] == b'*' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
-                        depth -= 1;
-                        i += 2;
-                    } else {
-                        i += 1;
-                    }
-                }
-                blank(&mut out, start, i);
-            }
-            b'r' | b'b'
-                if {
-                    // Raw string r"..." / r#"..."# (and br variants).
-                    let mut j = i + 1;
-                    if bytes[i] == b'b' && j < bytes.len() && bytes[j] == b'r' {
-                        j += 1;
-                    }
-                    let mut hashes = 0;
-                    while j < bytes.len() && bytes[j] == b'#' {
-                        hashes += 1;
-                        j += 1;
-                    }
-                    (bytes[i] == b'r'
-                        || hashes > 0
-                        || (i + 1 < bytes.len() && bytes[i + 1] == b'r'))
-                        && j < bytes.len()
-                        && bytes[j] == b'"'
-                        && (bytes[i] == b'r' || bytes.get(i + 1) == Some(&b'r'))
-                } =>
-            {
-                let start = i;
-                let mut j = i + 1;
-                if bytes[start] == b'b' {
-                    j += 1; // skip the 'r'
-                }
-                let mut hashes = 0;
-                while j < bytes.len() && bytes[j] == b'#' {
-                    hashes += 1;
-                    j += 1;
-                }
-                j += 1; // opening quote
-                let closer: Vec<u8> = std::iter::once(b'"')
-                    .chain(std::iter::repeat_n(b'#', hashes))
-                    .collect();
-                while j < bytes.len() {
-                    if bytes[j..].starts_with(&closer) {
-                        j += closer.len();
-                        break;
-                    }
-                    j += 1;
-                }
-                blank(&mut out, start, j.min(bytes.len()));
-                i = j;
-            }
-            b'"' => {
-                let start = i;
-                i += 1;
-                while i < bytes.len() {
-                    match bytes[i] {
-                        b'\\' => i += 2,
-                        b'"' => {
-                            i += 1;
-                            break;
-                        }
-                        _ => i += 1,
-                    }
-                }
-                blank(&mut out, start, i.min(bytes.len()));
-            }
-            b'\'' => {
-                // Distinguish char literal 'x' / '\n' from lifetime 'a.
-                if i + 1 < bytes.len() && bytes[i + 1] == b'\\' {
-                    let start = i;
-                    i += 2;
-                    while i < bytes.len() && bytes[i] != b'\'' {
-                        i += 1;
-                    }
-                    i = (i + 1).min(bytes.len());
-                    blank(&mut out, start, i);
-                } else {
-                    // Find the char boundary after the single char.
-                    let rest = &src[i + 1..];
-                    let clen = rest.chars().next().map_or(0, char::len_utf8);
-                    if clen > 0 && bytes.get(i + 1 + clen) == Some(&b'\'') {
-                        blank(&mut out, i, i + clen + 2);
-                        i += clen + 2;
-                    } else {
-                        i += 1; // lifetime: leave as-is
-                    }
-                }
-            }
-            _ => i += 1,
+    for t in &lexed.toks {
+        if matches!(t.kind, lexer::TokKind::Str | lexer::TokKind::Char) {
+            blank(t.lo, t.hi, &mut out);
         }
+    }
+    for c in &lexed.comments {
+        blank(c.lo, c.hi, &mut out);
     }
     String::from_utf8_lossy(&out).into_owned()
 }
 
-/// Byte spans (start, end) of `#[cfg(test)]`-gated items in sanitized source.
-pub fn test_spans(sanitized: &str) -> Vec<(usize, usize)> {
-    let bytes = sanitized.as_bytes();
-    let mut spans = Vec::new();
-    let needle = b"#[cfg(test)]";
-    let mut i = 0;
-    while i + needle.len() <= bytes.len() {
-        if &bytes[i..i + needle.len()] == needle {
-            // Find the opening brace of the gated item and match it.
-            let mut j = i + needle.len();
-            while j < bytes.len() && bytes[j] != b'{' && bytes[j] != b';' {
-                j += 1;
-            }
-            if j < bytes.len() && bytes[j] == b'{' {
-                let mut depth = 0usize;
-                let start = i;
-                while j < bytes.len() {
-                    match bytes[j] {
-                        b'{' => depth += 1,
-                        b'}' => {
-                            depth -= 1;
-                            if depth == 0 {
-                                break;
-                            }
-                        }
-                        _ => {}
-                    }
-                    j += 1;
-                }
-                spans.push((start, (j + 1).min(bytes.len())));
-                i = j;
-            }
-        }
-        i += 1;
-    }
-    spans
+/// Byte spans (start, end) of `#[cfg(test)]`-gated items in `source`.
+/// Attribute tracking comes from the item indexer, so gating is inherited
+/// through nested items and `#[test]` functions count too.
+pub fn test_spans(source: &str) -> Vec<(usize, usize)> {
+    let mut ws = index::Workspace::default();
+    ws.add_file("crates/scratch/src/scratch.rs", source.to_string());
+    ws.files.remove(0).test_spans
 }
 
-fn line_starts(text: &str) -> Vec<usize> {
+pub(crate) fn line_starts(text: &str) -> Vec<usize> {
     let mut starts = vec![0usize];
     for (i, b) in text.bytes().enumerate() {
         if b == b'\n' {
@@ -382,14 +304,10 @@ fn line_starts(text: &str) -> Vec<usize> {
     starts
 }
 
-fn offset_to_line(starts: &[usize], offset: usize) -> usize {
-    match starts.binary_search(&offset) {
-        Ok(i) => i + 1,
-        Err(i) => i,
+pub(crate) fn raw_line(source: &str, starts: &[usize], line: usize) -> String {
+    if line == 0 || line > starts.len() {
+        return String::new();
     }
-}
-
-fn raw_line(source: &str, starts: &[usize], line: usize) -> String {
     let begin = starts[line - 1];
     let end = starts.get(line).map_or(source.len(), |&e| e - 1);
     let mut s = source[begin..end].trim().to_string();
@@ -404,36 +322,13 @@ fn raw_line(source: &str, starts: &[usize], line: usize) -> String {
     s
 }
 
-fn in_spans(spans: &[(usize, usize)], offset: usize) -> bool {
-    spans.iter().any(|&(s, e)| offset >= s && offset < e)
-}
-
-fn is_ident(b: u8) -> bool {
-    b.is_ascii_alphanumeric() || b == b'_'
-}
-
-/// Find every occurrence of `needle` in `hay` whose preceding byte is not an
-/// identifier character (word-boundary on the left).
-fn find_bounded(hay: &str, needle: &str) -> Vec<usize> {
-    let mut found = Vec::new();
-    let mut from = 0;
-    while let Some(p) = hay[from..].find(needle) {
-        let at = from + p;
-        if at == 0 || !is_ident(hay.as_bytes()[at - 1]) {
-            found.push(at);
-        }
-        from = at + needle.len();
-    }
-    found
-}
-
 /// Path classification helpers.
-fn crate_of(rel: &str) -> Option<&str> {
+pub(crate) fn crate_of(rel: &str) -> Option<&str> {
     let rest = rel.strip_prefix("crates/")?;
     rest.split('/').next()
 }
 
-fn in_library_src(rel: &str) -> bool {
+pub(crate) fn in_library_src(rel: &str) -> bool {
     // Library code = crates/<name>/src/**; integration tests, benches and
     // examples live outside src/ and are exempt.
     let Some(rest) = rel.strip_prefix("crates/") else {
@@ -444,376 +339,39 @@ fn in_library_src(rel: &str) -> bool {
     matches!(parts.next(), Some("src"))
 }
 
-const NUMERIC_TYPES: &[&str] = &[
-    "f32", "f64", "usize", "isize", "u8", "u16", "u32", "u64", "u128", "i8", "i16", "i32", "i64",
-    "i128",
-];
-
-/// Lint a single source file. `error_types` holds the names declared in the
-/// owning crate's `src/error.rs` (empty set when the crate has none).
+/// Lint a single source file with the lexical rules. `error_types` holds the
+/// names declared in the owning crate's `src/error.rs` (empty set when the
+/// crate has none).
 pub fn lint_file(rel: &str, source: &str, error_types: &BTreeSet<String>) -> Vec<Diagnostic> {
-    let mut diags = Vec::new();
     if !in_library_src(rel) {
-        return diags;
+        return Vec::new();
     }
-    let Some(krate) = crate_of(rel) else {
-        return diags;
-    };
-    let sanitized = sanitize_source(source);
-    let spans = test_spans(&sanitized);
-    let starts = line_starts(source);
-
-    let push = |rule: &'static str, offset: usize, message: String, diags: &mut Vec<Diagnostic>| {
-        let line = offset_to_line(&starts, offset);
-        diags.push(Diagnostic {
-            rule,
-            path: rel.to_string(),
-            line,
-            message,
-            excerpt: raw_line(source, &starts, line),
-        });
-    };
-
-    // Rule: no-panic.
-    if PANIC_FREE_CRATES.contains(&krate) {
-        for (needle, what) in [
-            (".unwrap()", "`.unwrap()`"),
-            (".expect(", "`.expect(..)`"),
-            ("panic!", "`panic!`"),
-            ("todo!", "`todo!`"),
-            ("unimplemented!", "`unimplemented!`"),
-        ] {
-            let hits = if needle.starts_with('.') {
-                // Method calls: no boundary needed on the left of the dot.
-                let mut v = Vec::new();
-                let mut from = 0;
-                while let Some(p) = sanitized[from..].find(needle) {
-                    v.push(from + p);
-                    from = from + p + needle.len();
-                }
-                v
-            } else {
-                find_bounded(&sanitized, needle)
-            };
-            for at in hits {
-                if !in_spans(&spans, at) {
-                    push(
-                        "no-panic",
-                        at,
-                        format!("{what} in library code (propagate an error or use the crate's invariant funnel)"),
-                        &mut diags,
-                    );
-                }
-            }
-        }
-    }
-
-    // Rule: no-assert (recoverable paths only: a failed check must surface
-    // as a typed error, not abort the process mid-training).
-    if NO_ASSERT_FILES.contains(&rel) {
-        for needle in [
-            "assert!",
-            "assert_eq!",
-            "assert_ne!",
-            "debug_assert!",
-            "debug_assert_eq!",
-            "debug_assert_ne!",
-        ] {
-            for at in find_bounded(&sanitized, needle) {
-                if !in_spans(&spans, at) {
-                    push(
-                        "no-assert",
-                        at,
-                        format!(
-                            "`{needle}` on a recoverable path (return a typed error such as \
-                             `TrainError` instead of aborting)"
-                        ),
-                        &mut diags,
-                    );
-                }
-            }
-        }
-    }
-
-    // Rule: no-print.
-    if krate != PRINT_FUNNEL_CRATE {
-        for needle in ["println!", "eprintln!", "print!", "eprint!"] {
-            for at in find_bounded(&sanitized, needle) {
-                if !in_spans(&spans, at) {
-                    push(
-                        "no-print",
-                        at,
-                        format!(
-                            "`{needle}` in library code (route progress through \
-                             `d2stgnn_obsv::console_line` or the telemetry macros)"
-                        ),
-                        &mut diags,
-                    );
-                }
-            }
-        }
-    }
-
-    // Rule: cast-in-loop.
-    if KERNEL_FILES.contains(&rel) {
-        for at in casts_in_loops(&sanitized) {
-            if !in_spans(&spans, at) {
-                push(
-                    "cast-in-loop",
-                    at,
-                    "numeric `as` cast inside a kernel loop (hoist it out of the loop)".to_string(),
-                    &mut diags,
-                );
-            }
-        }
-    }
-
-    // Rule: result-error.
-    if RESULT_ERROR_CRATES.contains(&krate) {
-        for (at, problem) in result_signature_problems(&sanitized, error_types) {
-            if !in_spans(&spans, at) {
-                push("result-error", at, problem, &mut diags);
-            }
-        }
-    }
-
-    // Rule: serve-concurrency (request-path crates: serve and httpd).
-    if SLEEP_FREE_CRATES.contains(&krate) {
-        for needle in ["thread::sleep", "mpsc::channel"] {
-            for at in find_bounded(&sanitized, needle) {
-                if !in_spans(&spans, at) {
-                    push(
-                        "serve-concurrency",
-                        at,
-                        format!(
-                            "`{needle}` in {krate} library code (use bounded channels and condvar waits)"
-                        ),
-                        &mut diags,
-                    );
-                }
-            }
-        }
-        // Bare `channel()` from a direct import is also unbounded (the
-        // path-qualified form is already reported above).
-        for at in find_bounded(&sanitized, "channel()") {
-            let qualified = sanitized[..at].ends_with("mpsc::");
-            if !qualified && !in_spans(&spans, at) {
-                push(
-                    "serve-concurrency",
-                    at,
-                    format!("unbounded `channel()` in {krate} library code (use `sync_channel`)"),
-                    &mut diags,
-                );
-            }
-        }
-    }
-
-    // Rule: no-raw-threads (all crates; the sanctioned thread owners are
-    // suppressed via xlint.allow so new spawn sites surface as debt).
-    for needle in ["thread::spawn", "thread::scope", "thread::Builder"] {
-        for at in find_bounded(&sanitized, needle) {
-            if !in_spans(&spans, at) {
-                push(
-                    "no-raw-threads",
-                    at,
-                    format!(
-                        "`{needle}` in library code (submit work through the tensor compute \
-                         pool instead of owning OS threads)"
-                    ),
-                    &mut diags,
-                );
-            }
-        }
-    }
-
-    diags
-}
-
-/// Offsets of numeric `as` casts that occur inside loop bodies.
-fn casts_in_loops(sanitized: &str) -> Vec<usize> {
-    let bytes = sanitized.as_bytes();
-    // Brace stack: true when the block was opened by a loop header.
-    let mut stack: Vec<bool> = Vec::new();
-    let mut stmt_start = 0usize;
-    let mut found = Vec::new();
-    let mut loop_depth = 0usize;
-    let mut i = 0;
-    while i < bytes.len() {
-        match bytes[i] {
-            b'{' => {
-                let stmt = &sanitized[stmt_start..i];
-                let is_loop = ["for", "while", "loop"]
-                    .iter()
-                    .any(|kw| find_bounded_word(stmt, kw));
-                stack.push(is_loop);
-                if is_loop {
-                    loop_depth += 1;
-                }
-                stmt_start = i + 1;
-            }
-            b'}' => {
-                if let Some(was_loop) = stack.pop() {
-                    if was_loop {
-                        loop_depth -= 1;
-                    }
-                }
-                stmt_start = i + 1;
-            }
-            b';' => stmt_start = i + 1,
-            b'a' if loop_depth > 0
-                // Word-bounded `as` followed by a numeric type name.
-                && bytes[i..].starts_with(b"as")
-                    && (i == 0 || !is_ident(bytes[i - 1]))
-                    && bytes.get(i + 2).is_some_and(|&b| b == b' ' || b == b'\n') =>
-            {
-                let mut j = i + 2;
-                while j < bytes.len() && (bytes[j] == b' ' || bytes[j] == b'\n') {
-                    j += 1;
-                }
-                let tok_end = (j..bytes.len())
-                    .find(|&k| !is_ident(bytes[k]))
-                    .unwrap_or(bytes.len());
-                let tok = &sanitized[j..tok_end];
-                if NUMERIC_TYPES.contains(&tok) {
-                    found.push(i);
-                }
-            }
-            _ => {}
-        }
-        i += 1;
-    }
-    found
-}
-
-/// Word-boundary containment check (both sides).
-fn find_bounded_word(hay: &str, word: &str) -> bool {
-    for at in find_bounded(hay, word) {
-        let end = at + word.len();
-        if end >= hay.len() || !is_ident(hay.as_bytes()[end]) {
-            return true;
-        }
-    }
-    false
-}
-
-/// Scan `pub fn` signatures returning `Result` and check the error type is
-/// one of `error_types`. Returns (offset, message) pairs.
-fn result_signature_problems(
-    sanitized: &str,
-    error_types: &BTreeSet<String>,
-) -> Vec<(usize, String)> {
-    let mut problems = Vec::new();
-    for at in find_bounded(sanitized, "pub fn ") {
-        // Signature runs to the body `{` or `;` at zero paren/angle depth.
-        let bytes = sanitized.as_bytes();
-        let mut j = at;
-        let mut paren = 0i32;
-        let mut angle = 0i32;
-        let mut sig_end = sanitized.len();
-        while j < bytes.len() {
-            match bytes[j] {
-                b'(' => paren += 1,
-                b')' => paren -= 1,
-                b'<' => angle += 1,
-                b'>' if j > 0 && bytes[j - 1] != b'-' && bytes[j - 1] != b'=' => angle -= 1,
-                b'{' | b';' if paren == 0 && angle <= 0 => {
-                    sig_end = j;
-                    break;
-                }
-                _ => {}
-            }
-            j += 1;
-        }
-        let sig = &sanitized[at..sig_end];
-        let Some(arrow) = sig.find("->") else {
-            continue;
-        };
-        let ret = &sig[arrow + 2..];
-        // Only flag genuine `Result<...>` returns; `fmt::Result` and names
-        // like `TTestResult` don't count.
-        let Some(rpos) = find_bounded(ret, "Result<").first().copied() else {
-            if find_bounded_word(ret, "Result") && !ret.contains("fmt::Result") {
-                problems.push((
-                    at,
-                    "pub fn returns a bare `Result` alias; spell out `Result<T, E>` with an error \
-                     type from this crate's error.rs"
-                        .to_string(),
-                ));
-            }
-            continue;
-        };
-        // Extract the generic argument list of Result<...>.
-        let args_start = rpos + "Result<".len();
-        let rbytes = ret.as_bytes();
-        let mut depth = 1i32;
-        let mut k = args_start;
-        let mut top_comma = None;
-        while k < rbytes.len() && depth > 0 {
-            match rbytes[k] {
-                b'<' => depth += 1,
-                b'>' => depth -= 1,
-                b'(' => depth += 1,
-                b')' => depth -= 1,
-                b',' if depth == 1 && top_comma.is_none() => top_comma = Some(k),
-                _ => {}
-            }
-            k += 1;
-        }
-        let Some(comma) = top_comma else {
-            problems.push((
-                at,
-                "pub fn returns `Result<T>` without naming an error type from this crate's \
-                 error.rs"
-                    .to_string(),
-            ));
-            continue;
-        };
-        let err_ty = ret[comma + 1..k - 1].trim();
-        // Last path segment, generics stripped.
-        let base = err_ty
-            .split('<')
-            .next()
-            .unwrap_or(err_ty)
-            .rsplit("::")
-            .next()
-            .unwrap_or(err_ty)
-            .trim();
-        if error_types.is_empty() {
-            problems.push((
-                at,
-                format!(
-                    "pub fn returns `Result<_, {base}>` but this crate has no src/error.rs \
-                     declaring error types"
-                ),
-            ));
-        } else if !error_types.contains(base) {
-            problems.push((
-                at,
-                format!(
-                    "pub fn error type `{base}` is not declared in this crate's error.rs \
-                     (declared: {:?})",
-                    error_types.iter().collect::<Vec<_>>()
-                ),
-            ));
-        }
-    }
-    problems
+    let mut ws = index::Workspace::default();
+    ws.add_file(rel, source.to_string());
+    rules::lint_file_index(&ws.files[0], error_types)
 }
 
 /// Parse type names declared in an `error.rs` source.
 pub fn declared_error_types(source: &str) -> BTreeSet<String> {
-    let sanitized = sanitize_source(source);
+    let src = source.to_string();
+    let lexed = lexer::lex(&src);
     let mut names = BTreeSet::new();
-    for intro in ["pub enum ", "pub struct ", "pub type "] {
-        for at in find_bounded(&sanitized, intro) {
-            let rest = &sanitized[at + intro.len()..];
-            let name: String = rest
-                .chars()
-                .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
-                .collect();
-            if !name.is_empty() {
-                names.insert(name);
-            }
+    let txt = |i: usize| lexed.text(&src, i);
+    for i in 0..lexed.toks.len() {
+        if lexed.toks[i].kind != lexer::TokKind::Ident || txt(i) != "pub" {
+            continue;
+        }
+        if lexed
+            .toks
+            .get(i + 1)
+            .is_some_and(|t| t.kind == lexer::TokKind::Ident)
+            && matches!(txt(i + 1), "enum" | "struct" | "type")
+            && lexed
+                .toks
+                .get(i + 2)
+                .is_some_and(|t| t.kind == lexer::TokKind::Ident)
+        {
+            names.insert(txt(i + 2).to_string());
         }
     }
     names
@@ -826,7 +384,7 @@ fn walk_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
         let name = entry.file_name();
         let name = name.to_string_lossy();
         if path.is_dir() {
-            if name == "target" || name == ".git" {
+            if name == "target" || name == ".git" || name == "fixtures" {
                 continue;
             }
             walk_rs_files(&path, out)?;
@@ -844,7 +402,8 @@ fn rel_path(root: &Path, path: &Path) -> String {
         .replace('\\', "/")
 }
 
-/// Lint every crate under `<root>/crates`, applying `allow`.
+/// Lint every crate under `<root>/crates`: lexical rules over every file,
+/// deep rules over the indexed library sources, allowlist applied to both.
 pub fn lint_workspace(root: &Path, allow: &Allowlist) -> io::Result<Report> {
     let crates_dir = root.join("crates");
     let mut files = Vec::new();
@@ -886,6 +445,7 @@ pub fn lint_workspace(root: &Path, allow: &Allowlist) -> io::Result<Report> {
                     line: 1,
                     message: "crate root is missing `#![deny(unsafe_code)]`".to_string(),
                     excerpt: src.lines().next().unwrap_or("").trim().to_string(),
+                    ..Default::default()
                 });
             }
         }
@@ -893,6 +453,7 @@ pub fn lint_workspace(root: &Path, allow: &Allowlist) -> io::Result<Report> {
 
     let empty = BTreeSet::new();
     let files_checked = files.len();
+    let mut deep_ws = index::Workspace::default();
     for path in files {
         let rel = rel_path(root, &path);
         let source = fs::read_to_string(&path)?;
@@ -900,7 +461,14 @@ pub fn lint_workspace(root: &Path, allow: &Allowlist) -> io::Result<Report> {
             .and_then(|c| crate_errors.get(c))
             .unwrap_or(&empty);
         all.extend(lint_file(&rel, &source, types));
+        let deep_indexed = in_library_src(&rel)
+            && crate_of(&rel).is_some_and(|c| !DEEP_EXCLUDED_CRATES.contains(&c));
+        if deep_indexed {
+            deep_ws.add_file(&rel, source);
+        }
     }
+    let graph = callgraph::build(&deep_ws);
+    all.extend(deep::deep_diagnostics(&deep_ws, &graph));
 
     let mut used = vec![false; allow.entries.len()];
     let mut report = Report {
@@ -980,12 +548,29 @@ mod tests {
     }
 
     #[test]
+    fn sanitizer_handles_nested_block_comments() {
+        let src = "/* outer /* inner .unwrap() */ still comment */ fn f() {}";
+        let clean = sanitize_source(src);
+        assert!(!clean.contains(".unwrap()"));
+        assert!(!clean.contains("still comment"));
+        assert!(clean.contains("fn f()"));
+    }
+
+    #[test]
     fn unwrap_in_library_code_is_flagged() {
         let src = "pub fn f() -> u32 { some().unwrap() }\n";
         let diags = lint_file("crates/core/src/foo.rs", src, &no_errors());
         assert_eq!(diags.len(), 1, "{diags:?}");
         assert_eq!(diags[0].rule, "no-panic");
         assert_eq!(diags[0].line, 1);
+    }
+
+    #[test]
+    fn unwrap_split_across_lines_is_still_flagged() {
+        // The old line matcher missed `.unwrap\n()`; the token engine doesn't.
+        let src = "pub fn f() -> u32 { some()\n    .unwrap\n    () }\n";
+        let diags = lint_file("crates/core/src/foo.rs", src, &no_errors());
+        assert_eq!(diags.len(), 1, "{diags:?}");
     }
 
     #[test]
@@ -1009,9 +594,13 @@ mod tests {
     }
 
     #[test]
-    fn data_crate_is_not_subject_to_no_panic() {
+    fn data_crate_is_subject_to_no_panic() {
+        // PR 7 added `data` to the panic-free set after its hot paths were
+        // converted to typed-error propagation.
         let src = "pub fn f() { a.unwrap(); }\n";
-        assert!(lint_file("crates/data/src/foo.rs", src, &no_errors()).is_empty());
+        let diags = lint_file("crates/data/src/foo.rs", src, &no_errors());
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, "no-panic");
     }
 
     #[test]
@@ -1062,6 +651,14 @@ mod tests {
     }
 
     #[test]
+    fn needles_inside_raw_strings_are_not_flagged() {
+        // The classic false-positive class the token engine kills: a raw
+        // string containing `panic!` is data, not code.
+        let src = "pub fn f() -> &'static str { r#\"panic!(\"x\").unwrap()\"# }\n";
+        assert!(lint_file("crates/core/src/foo.rs", src, &no_errors()).is_empty());
+    }
+
+    #[test]
     fn allowlist_directory_prefix_covers_contained_files() {
         assert!(path_covers(
             "crates/bench/src/bin/",
@@ -1088,9 +685,8 @@ mod tests {
         let diag = Diagnostic {
             rule: "no-print",
             path: "crates/bench/src/bin/table3.rs".to_string(),
-            line: 1,
-            message: String::new(),
             excerpt: "println!(\"row\");".to_string(),
+            ..Default::default()
         };
         let mut used = vec![false; 1];
         assert!(allow.matches(&diag, &mut used));
@@ -1201,9 +797,8 @@ mod tests {
         let diag = Diagnostic {
             rule: "no-panic",
             path: "crates/core/src/foo.rs".to_string(),
-            line: 1,
-            message: String::new(),
             excerpt: "let x = some().unwrap();".to_string(),
+            ..Default::default()
         };
         let mut used = vec![false; 2];
         assert!(allow.matches(&diag, &mut used));
@@ -1243,14 +838,42 @@ mod tests {
     }
 
     #[test]
-    fn real_workspace_is_clean_modulo_allowlist() {
+    fn real_workspace_is_clean_modulo_allowlist_and_baseline() {
         let root = find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
             .expect("workspace root above xlint");
         let allow_text = std::fs::read_to_string(root.join("xlint.allow")).unwrap_or_default();
         let allow = Allowlist::parse(&allow_text);
         assert!(allow.entries.len() <= 12, "allowlist budget exceeded");
-        let report = lint_workspace(&root, &allow).unwrap();
-        let rendered: Vec<String> = report.active.iter().map(|d| d.to_string()).collect();
-        assert!(report.is_clean(), "xlint debt:\n{}", rendered.join("\n"));
+        let rep = lint_workspace(&root, &allow).unwrap();
+        // Stale allow entries are themselves failures: the file only shrinks.
+        assert!(
+            rep.unused_allows.is_empty(),
+            "stale xlint.allow entries: {:?}",
+            rep.unused_allows
+        );
+        // Split active into hard failures and baseline-eligible debt.
+        let (eligible, hard): (Vec<_>, Vec<_>) = rep
+            .active
+            .into_iter()
+            .partition(report::is_baseline_eligible);
+        let rendered: Vec<String> = hard.iter().map(|d| d.to_string()).collect();
+        assert!(hard.is_empty(), "xlint debt:\n{}", rendered.join("\n"));
+        // The counted debt must be exactly the committed baseline (no growth,
+        // no staleness — shrink must be committed).
+        let baseline_text = std::fs::read_to_string(root.join("xlint_report.json"))
+            .expect("committed xlint_report.json baseline");
+        let baseline = report::Baseline::parse(&baseline_text).expect("valid baseline");
+        let ratchet = report::apply_baseline(eligible, &baseline);
+        let rendered: Vec<String> = ratchet.new_findings.iter().map(|d| d.to_string()).collect();
+        assert!(
+            ratchet.new_findings.is_empty(),
+            "new debt beyond baseline:\n{}",
+            rendered.join("\n")
+        );
+        assert!(
+            !ratchet.needs_shrink(),
+            "baseline is stale (debt was paid down) — commit the shrunk file: {:?}",
+            ratchet.stale
+        );
     }
 }

@@ -1,62 +1,164 @@
-//! CLI entry point: `cargo run -p xlint` from anywhere in the workspace.
+//! CLI driver: lint the workspace, apply the allowlist and the counted-debt
+//! baseline, and report in text or JSON.
 //!
-//! Exit status is non-zero when any un-allowlisted diagnostic is found.
-//! The allowlist lives in `xlint.allow` at the workspace root.
+//! Exit status is nonzero on any hard finding, any finding beyond the
+//! committed `xlint_report.json` baseline, or any stale allowlist entry.
+//! When debt shrinks, the baseline file is rewritten in place so the ratchet
+//! only ever tightens (CI diffs the file to force committing the shrink).
 
 #![deny(unsafe_code)]
 
 use std::path::Path;
 use std::process::ExitCode;
+use std::time::Instant;
 
-use xlint::{find_workspace_root, lint_workspace, Allowlist, RULES};
+use xlint::report::{self, Baseline};
+use xlint::{find_workspace_root, lint_workspace, Allowlist};
 
 fn main() -> ExitCode {
-    // Prefer the invocation directory (works for a checked-out tree), falling
-    // back to the location this binary was compiled from.
+    let t0 = Instant::now();
+    let mut format_json = false;
+    let mut write_baseline = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--format" => {} // value follows as its own argument
+            "json" | "--format=json" => format_json = true,
+            "text" | "--format=text" => format_json = false,
+            "--write-baseline" => write_baseline = true,
+            other => {
+                eprintln!("xlint: unknown argument `{other}`");
+                eprintln!("usage: xlint [--format text|json] [--write-baseline]");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
     let cwd = std::env::current_dir().unwrap_or_else(|_| Path::new(".").to_path_buf());
     let root = find_workspace_root(&cwd)
         .or_else(|| find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR"))));
     let Some(root) = root else {
         eprintln!("xlint: could not locate a workspace root (Cargo.toml with [workspace])");
-        return ExitCode::FAILURE;
+        return ExitCode::from(2);
     };
 
     let allow_text = std::fs::read_to_string(root.join("xlint.allow")).unwrap_or_default();
     let allow = Allowlist::parse(&allow_text);
 
-    let report = match lint_workspace(&root, &allow) {
+    let rep = match lint_workspace(&root, &allow) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("xlint: I/O error while scanning {}: {e}", root.display());
-            return ExitCode::FAILURE;
+            return ExitCode::from(2);
         }
     };
 
-    for diag in &report.active {
-        eprintln!("{diag}");
+    let (eligible, hard): (Vec<_>, Vec<_>) = rep
+        .active
+        .iter()
+        .cloned()
+        .partition(report::is_baseline_eligible);
+
+    let baseline_path = root.join("xlint_report.json");
+    let baseline = if baseline_path.is_file() {
+        match std::fs::read_to_string(&baseline_path)
+            .map_err(|e| e.to_string())
+            .and_then(|t| Baseline::parse(&t))
+        {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("xlint: bad baseline {}: {e}", baseline_path.display());
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        Baseline::default()
+    };
+    let ratchet = report::apply_baseline(eligible, &baseline);
+
+    if write_baseline {
+        return match std::fs::write(&baseline_path, report::baseline_json(&ratchet.current)) {
+            Ok(()) => {
+                eprintln!(
+                    "xlint: wrote {} ({} entries)",
+                    baseline_path.display(),
+                    ratchet.current.len()
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("xlint: cannot write baseline: {e}");
+                ExitCode::from(2)
+            }
+        };
     }
-    for entry in &report.unused_allows {
+
+    // Ratchet: debt that disappeared shrinks the committed baseline in place;
+    // CI diffs the file afterwards so the shrink must be committed.
+    if ratchet.needs_shrink() {
+        if let Err(e) = std::fs::write(&baseline_path, report::baseline_json(&ratchet.current)) {
+            eprintln!("xlint: cannot shrink baseline: {e}");
+            return ExitCode::from(2);
+        }
         eprintln!(
-            "xlint: warning: unused allowlist entry at xlint.allow:{} ({} {} {})",
-            entry.line_no, entry.rule, entry.path, entry.pattern
+            "xlint: debt was paid down; baseline rewritten with {} entries (commit the change)",
+            ratchet.current.len()
         );
     }
 
-    let summary: Vec<String> = RULES
-        .iter()
-        .map(|r| format!("{r}={}", report.count(r)))
-        .collect();
-    eprintln!(
-        "xlint: {} files checked; active diagnostics: {} ({}); suppressed by allowlist: {}",
-        report.files_checked,
-        report.active.len(),
-        summary.join(" "),
-        report.suppressed.len(),
-    );
+    let mut failures = hard;
+    failures.extend(ratchet.new_findings.iter().cloned());
+    failures.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    let ok = failures.is_empty() && rep.unused_allows.is_empty();
+    let elapsed_ms = t0.elapsed().as_millis();
 
-    if report.is_clean() {
+    if format_json {
+        println!(
+            "{}",
+            report::report_json(&rep, &ratchet, &failures, elapsed_ms)
+        );
+    } else {
+        render_text(&rep, &ratchet, &failures, elapsed_ms);
+    }
+    if ok {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
     }
+}
+
+fn render_text(
+    rep: &xlint::Report,
+    ratchet: &report::Ratchet,
+    failures: &[xlint::Diagnostic],
+    elapsed_ms: u128,
+) {
+    for diag in failures {
+        println!("{diag}");
+    }
+    for entry in &rep.unused_allows {
+        println!(
+            "xlint.allow:{}: stale entry `{} {}`{} matched nothing — remove it",
+            entry.line_no,
+            entry.rule,
+            entry.path,
+            if entry.pattern.is_empty() {
+                String::new()
+            } else {
+                format!(" `{}`", entry.pattern)
+            }
+        );
+    }
+    let status = if failures.is_empty() && rep.unused_allows.is_empty() {
+        "ok"
+    } else {
+        "FAILED"
+    };
+    println!(
+        "xlint: {status}: {} files, {} failures, {} suppressed, {} baselined, {} stale allows ({elapsed_ms} ms)",
+        rep.files_checked,
+        failures.len(),
+        rep.suppressed.len(),
+        ratchet.accepted.len(),
+        rep.unused_allows.len(),
+    );
 }

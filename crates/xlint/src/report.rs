@@ -1,0 +1,586 @@
+//! JSON diagnostics output and the ratchet baseline.
+//!
+//! The committed `xlint_report.json` at the workspace root records the
+//! *accepted debt*: the counted panic-reachability classes (asserts,
+//! slice-index, arithmetic) that the request path currently carries. Ratchet
+//! semantics: a finding not in the baseline — or a per-function count that
+//! grew — fails the run; a finding that disappeared (or shrank) rewrites the
+//! baseline in place so the only way the file changes is downward, and CI's
+//! `git diff --exit-code` forces the shrink to be committed.
+//!
+//! Everything here is hand-rolled (writer *and* parser) to keep xlint at
+//! zero dependencies.
+
+use crate::Diagnostic;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Schema tag of the baseline and report documents.
+pub const SCHEMA: &str = "xlint-report-v1";
+
+/// Only the counted debt classes may live in the baseline; hard rules
+/// (panic-family, lock-order, float-determinism, …) must be fixed or carry
+/// an `xlint.allow` entry with justification.
+pub fn is_baseline_eligible(diag: &Diagnostic) -> bool {
+    diag.rule == "panic-reachability"
+        && (diag.symbol.ends_with("/assert")
+            || diag.symbol.ends_with("/slice-index")
+            || diag.symbol.ends_with("/arith"))
+}
+
+/// One accepted-debt record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineEntry {
+    /// Rule identifier.
+    pub rule: String,
+    /// Workspace-relative path.
+    pub path: String,
+    /// Stable key: `qualified::fn/class`. Line numbers are deliberately not
+    /// part of the identity so unrelated edits don't churn the baseline.
+    pub symbol: String,
+    /// Number of sites of this class in this function.
+    pub count: usize,
+}
+
+/// Parsed baseline document.
+#[derive(Debug, Default)]
+pub struct Baseline {
+    /// Accepted-debt entries.
+    pub entries: Vec<BaselineEntry>,
+}
+
+impl Baseline {
+    /// Parse the committed `xlint_report.json`. Unknown fields are ignored;
+    /// a malformed document yields an error so CI fails loudly rather than
+    /// silently accepting everything.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let doc = Json::parse(text)?;
+        let obj = doc
+            .as_object()
+            .ok_or("baseline: top level must be an object")?;
+        let mut baseline = Baseline::default();
+        let Some(entries) = obj.iter().find(|(k, _)| k == "entries").map(|(_, v)| v) else {
+            return Ok(baseline);
+        };
+        let arr = entries
+            .as_array()
+            .ok_or("baseline: `entries` must be an array")?;
+        for e in arr {
+            let eo = e.as_object().ok_or("baseline: entry must be an object")?;
+            let get_str = |key: &str| {
+                eo.iter()
+                    .find(|(k, _)| k == key)
+                    .and_then(|(_, v)| v.as_str())
+                    .map(str::to_string)
+                    .ok_or_else(|| format!("baseline: entry missing string `{key}`"))
+            };
+            let count = eo
+                .iter()
+                .find(|(k, _)| k == "count")
+                .and_then(|(_, v)| v.as_usize())
+                .ok_or("baseline: entry missing numeric `count`")?;
+            baseline.entries.push(BaselineEntry {
+                rule: get_str("rule")?,
+                path: get_str("path")?,
+                symbol: get_str("symbol")?,
+                count,
+            });
+        }
+        Ok(baseline)
+    }
+}
+
+/// Outcome of applying the baseline to the active diagnostics.
+#[derive(Debug, Default)]
+pub struct Ratchet {
+    /// Diagnostics accepted by the baseline (count within budget).
+    pub accepted: Vec<Diagnostic>,
+    /// Diagnostics that fail: not in the baseline, or count grew.
+    pub new_findings: Vec<Diagnostic>,
+    /// Baseline entries whose finding disappeared or shrank — the baseline
+    /// file must be rewritten (auto-shrink).
+    pub stale: Vec<BaselineEntry>,
+    /// The up-to-date entry set (what the baseline file should now contain).
+    pub current: Vec<BaselineEntry>,
+}
+
+impl Ratchet {
+    /// True when the baseline file needs rewriting (debt shrank).
+    pub fn needs_shrink(&self) -> bool {
+        !self.stale.is_empty()
+    }
+}
+
+/// Split `eligible` against the baseline. `ineligible` active diagnostics
+/// are not this function's business — the caller keeps them failing.
+pub fn apply_baseline(eligible: Vec<Diagnostic>, baseline: &Baseline) -> Ratchet {
+    let budget: BTreeMap<(&str, &str, &str), usize> = baseline
+        .entries
+        .iter()
+        .map(|e| {
+            (
+                (e.rule.as_str(), e.path.as_str(), e.symbol.as_str()),
+                e.count,
+            )
+        })
+        .collect();
+    let mut ratchet = Ratchet::default();
+    for diag in eligible {
+        let key = (diag.rule, diag.path.as_str(), diag.symbol.as_str());
+        ratchet.current.push(BaselineEntry {
+            rule: diag.rule.to_string(),
+            path: diag.path.clone(),
+            symbol: diag.symbol.clone(),
+            count: diag.count,
+        });
+        match budget.get(&key) {
+            Some(&allowed) if diag.count <= allowed => ratchet.accepted.push(diag),
+            Some(&allowed) => {
+                let mut diag = diag;
+                diag.message = format!(
+                    "{} — count grew from the baselined {} to {}",
+                    diag.message, allowed, diag.count
+                );
+                ratchet.new_findings.push(diag);
+            }
+            None => ratchet.new_findings.push(diag),
+        }
+    }
+    ratchet
+        .current
+        .sort_by(|a, b| (&a.path, &a.symbol).cmp(&(&b.path, &b.symbol)));
+    // Stale = baseline entries with no current finding, or a larger count
+    // than the tree now has.
+    let current: BTreeMap<(&str, &str, &str), usize> = ratchet
+        .current
+        .iter()
+        .map(|e| {
+            (
+                (e.rule.as_str(), e.path.as_str(), e.symbol.as_str()),
+                e.count,
+            )
+        })
+        .collect();
+    for e in &baseline.entries {
+        match current.get(&(e.rule.as_str(), e.path.as_str(), e.symbol.as_str())) {
+            Some(&n) if n >= e.count => {}
+            _ => ratchet.stale.push(e.clone()),
+        }
+    }
+    ratchet
+}
+
+/// Render the baseline document (the committed `xlint_report.json`).
+pub fn baseline_json(entries: &[BaselineEntry]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"schema\": \"{SCHEMA}\",");
+    s.push_str("  \"entries\": [");
+    for (i, e) in entries.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(
+            s,
+            "\n    {{\"rule\": {}, \"path\": {}, \"symbol\": {}, \"count\": {}}}",
+            json_str(&e.rule),
+            json_str(&e.path),
+            json_str(&e.symbol),
+            e.count
+        );
+    }
+    if !entries.is_empty() {
+        s.push_str("\n  ");
+    }
+    s.push_str("]\n}\n");
+    s
+}
+
+/// Render the full run report (`--format json` output).
+pub fn report_json(
+    report: &crate::Report,
+    ratchet: &Ratchet,
+    failures: &[Diagnostic],
+    elapsed_ms: u128,
+) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"schema\": \"{SCHEMA}\",");
+    let _ = writeln!(s, "  \"elapsed_ms\": {elapsed_ms},");
+    let _ = writeln!(s, "  \"files_checked\": {},", report.files_checked);
+    let _ = writeln!(s, "  \"suppressed\": {},", report.suppressed.len());
+    let _ = writeln!(s, "  \"baselined\": {},", ratchet.accepted.len());
+    let _ = writeln!(s, "  \"baseline_stale\": {},", ratchet.stale.len());
+    let _ = writeln!(s, "  \"unused_allow_entries\": [");
+    for (i, e) in report.unused_allows.iter().enumerate() {
+        let comma = if i + 1 < report.unused_allows.len() {
+            ","
+        } else {
+            ""
+        };
+        let _ = writeln!(
+            s,
+            "    {{\"rule\": {}, \"path\": {}, \"line\": {}}}{comma}",
+            json_str(&e.rule),
+            json_str(&e.path),
+            e.line_no
+        );
+    }
+    let _ = writeln!(s, "  ],");
+    let _ = writeln!(s, "  \"failures\": [");
+    for (i, d) in failures.iter().enumerate() {
+        let comma = if i + 1 < failures.len() { "," } else { "" };
+        let _ = writeln!(
+            s,
+            "    {{\"rule\": {}, \"path\": {}, \"line\": {}, \"symbol\": {}, \"count\": {}, \
+             \"message\": {}, \"excerpt\": {}, \"chain\": {}}}{comma}",
+            json_str(d.rule),
+            json_str(&d.path),
+            d.line,
+            json_str(&d.symbol),
+            d.count,
+            json_str(&d.message),
+            json_str(&d.excerpt),
+            json_str(&d.notes)
+        );
+    }
+    let _ = writeln!(s, "  ],");
+    let _ = writeln!(
+        s,
+        "  \"ok\": {}",
+        failures.is_empty() && report.unused_allows.is_empty()
+    );
+    s.push_str("}\n");
+    s
+}
+
+/// Minimal JSON string escaping.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Minimal JSON value — just enough to read the baseline back.
+#[derive(Debug)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number (parsed as f64).
+    Num(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object as ordered pairs.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Parse a JSON document.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing bytes at offset {pos}"));
+        }
+        Ok(value)
+    }
+
+    fn as_object(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+
+    fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_usize(&self) -> Option<usize> {
+        match self {
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as usize),
+            _ => None,
+        }
+    }
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        Some(b'{') => {
+            *pos += 1;
+            let mut pairs = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(pairs));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let Json::Str(key) = parse_value(bytes, pos)? else {
+                    return Err(format!("object key must be a string at offset {pos}"));
+                };
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) != Some(&b':') {
+                    return Err(format!("expected ':' at offset {pos}"));
+                }
+                *pos += 1;
+                let value = parse_value(bytes, pos)?;
+                pairs.push((key, value));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(pairs));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at offset {pos}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at offset {pos}")),
+                }
+            }
+        }
+        Some(b'"') => {
+            *pos += 1;
+            let mut out = String::new();
+            while let Some(&b) = bytes.get(*pos) {
+                match b {
+                    b'"' => {
+                        *pos += 1;
+                        return Ok(Json::Str(out));
+                    }
+                    b'\\' => {
+                        *pos += 1;
+                        match bytes.get(*pos) {
+                            Some(b'"') => out.push('"'),
+                            Some(b'\\') => out.push('\\'),
+                            Some(b'/') => out.push('/'),
+                            Some(b'n') => out.push('\n'),
+                            Some(b'r') => out.push('\r'),
+                            Some(b't') => out.push('\t'),
+                            Some(b'u') => {
+                                let hex = bytes
+                                    .get(*pos + 1..*pos + 5)
+                                    .ok_or("truncated \\u escape")?;
+                                let code = u32::from_str_radix(
+                                    std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                    16,
+                                )
+                                .map_err(|e| e.to_string())?;
+                                out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                                *pos += 4;
+                            }
+                            _ => return Err("bad escape".to_string()),
+                        }
+                        *pos += 1;
+                    }
+                    _ => {
+                        // Copy the full UTF-8 sequence.
+                        let s = std::str::from_utf8(&bytes[*pos..]).map_err(|e| e.to_string())?;
+                        let c = s.chars().next().ok_or("truncated string")?;
+                        out.push(c);
+                        *pos += c.len_utf8();
+                    }
+                }
+            }
+            Err("unterminated string".to_string())
+        }
+        Some(b't') if bytes[*pos..].starts_with(b"true") => {
+            *pos += 4;
+            Ok(Json::Bool(true))
+        }
+        Some(b'f') if bytes[*pos..].starts_with(b"false") => {
+            *pos += 5;
+            Ok(Json::Bool(false))
+        }
+        Some(b'n') if bytes[*pos..].starts_with(b"null") => {
+            *pos += 4;
+            Ok(Json::Null)
+        }
+        Some(_) => {
+            let start = *pos;
+            while *pos < bytes.len()
+                && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+            {
+                *pos += 1;
+            }
+            std::str::from_utf8(&bytes[start..*pos])
+                .ok()
+                .and_then(|s| s.parse::<f64>().ok())
+                .map(Json::Num)
+                .ok_or_else(|| format!("bad number at offset {start}"))
+        }
+        None => Err("unexpected end of input".to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn debt(path: &str, symbol: &str, count: usize) -> Diagnostic {
+        Diagnostic {
+            rule: "panic-reachability",
+            path: path.to_string(),
+            symbol: symbol.to_string(),
+            count,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn baseline_roundtrip() {
+        let entries = vec![
+            BaselineEntry {
+                rule: "panic-reachability".into(),
+                path: "crates/serve/src/server.rs".into(),
+                symbol: "serve::Server::submit/slice-index".into(),
+                count: 3,
+            },
+            BaselineEntry {
+                rule: "panic-reachability".into(),
+                path: "crates/tensor/src/ops.rs".into(),
+                symbol: "tensor::softmax/arith".into(),
+                count: 1,
+            },
+        ];
+        let text = baseline_json(&entries);
+        let parsed = Baseline::parse(&text).unwrap();
+        assert_eq!(parsed.entries, entries);
+    }
+
+    #[test]
+    fn empty_baseline_parses() {
+        let parsed = Baseline::parse(&baseline_json(&[])).unwrap();
+        assert!(parsed.entries.is_empty());
+        let parsed = Baseline::parse("{\"schema\": \"xlint-report-v1\"}").unwrap();
+        assert!(parsed.entries.is_empty());
+    }
+
+    #[test]
+    fn malformed_baseline_is_an_error() {
+        assert!(Baseline::parse("{").is_err());
+        assert!(Baseline::parse("{\"entries\": [{\"rule\": 3}]}").is_err());
+        assert!(Baseline::parse("[]").is_err());
+    }
+
+    #[test]
+    fn ratchet_accepts_within_budget_and_fails_growth() {
+        let baseline = Baseline {
+            entries: vec![BaselineEntry {
+                rule: "panic-reachability".into(),
+                path: "a.rs".into(),
+                symbol: "f/slice-index".into(),
+                count: 2,
+            }],
+        };
+        // Within budget: accepted.
+        let r = apply_baseline(vec![debt("a.rs", "f/slice-index", 2)], &baseline);
+        assert_eq!(r.accepted.len(), 1);
+        assert!(r.new_findings.is_empty() && r.stale.is_empty());
+        // Growth: fails, with the budget named.
+        let r = apply_baseline(vec![debt("a.rs", "f/slice-index", 3)], &baseline);
+        assert_eq!(r.new_findings.len(), 1);
+        assert!(r.new_findings[0]
+            .message
+            .contains("grew from the baselined 2 to 3"));
+        // Unknown key: fails.
+        let r = apply_baseline(vec![debt("b.rs", "g/arith", 1)], &baseline);
+        assert_eq!(r.new_findings.len(), 1);
+    }
+
+    #[test]
+    fn ratchet_shrinks_on_fixed_debt() {
+        let baseline = Baseline {
+            entries: vec![
+                BaselineEntry {
+                    rule: "panic-reachability".into(),
+                    path: "a.rs".into(),
+                    symbol: "f/slice-index".into(),
+                    count: 2,
+                },
+                BaselineEntry {
+                    rule: "panic-reachability".into(),
+                    path: "b.rs".into(),
+                    symbol: "g/arith".into(),
+                    count: 4,
+                },
+            ],
+        };
+        // One entry fixed entirely, the other shrank 4 -> 1.
+        let r = apply_baseline(vec![debt("b.rs", "g/arith", 1)], &baseline);
+        assert!(r.needs_shrink());
+        assert_eq!(r.stale.len(), 2);
+        assert_eq!(r.current.len(), 1);
+        assert_eq!(r.current[0].count, 1);
+        let rewritten = baseline_json(&r.current);
+        let back = Baseline::parse(&rewritten).unwrap();
+        assert_eq!(back.entries.len(), 1);
+    }
+
+    #[test]
+    fn eligibility_is_restricted_to_counted_classes() {
+        assert!(is_baseline_eligible(&debt("a.rs", "f/slice-index", 1)));
+        assert!(is_baseline_eligible(&debt("a.rs", "f/arith", 1)));
+        assert!(is_baseline_eligible(&debt("a.rs", "f/assert", 1)));
+        assert!(!is_baseline_eligible(&debt("a.rs", "f/panic", 1)));
+        let mut d = debt("a.rs", "cycle", 1);
+        d.rule = "lock-order";
+        assert!(!is_baseline_eligible(&d));
+    }
+}

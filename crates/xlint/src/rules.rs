@@ -1,0 +1,393 @@
+//! The lexical rule set, ported onto the token engine.
+//!
+//! These are the original line-oriented rules re-expressed as token-stream
+//! scans over a [`FileIndex`]. Working on tokens (rather than regex over
+//! lines) kills the classic false-positive sources — needles inside string
+//! literals, commented-out code, raw strings — and the false negatives from
+//! split lines (`.unwrap\n()`), without changing what each rule means.
+
+use crate::index::FileIndex;
+use crate::lexer::TokKind;
+use crate::{
+    crate_of, in_library_src, line_starts, raw_line, Diagnostic, KERNEL_FILES, NO_ASSERT_FILES,
+    NUMERIC_TYPES, PANIC_FREE_CRATES, PRINT_FUNNEL_CRATE, RESULT_ERROR_CRATES, SLEEP_FREE_CRATES,
+};
+use std::collections::BTreeSet;
+
+/// Per-file scan context shared by the rule passes.
+struct Ctx<'a> {
+    file: &'a FileIndex,
+    starts: Vec<usize>,
+}
+
+impl<'a> Ctx<'a> {
+    fn txt(&self, i: usize) -> &'a str {
+        let t = &self.file.lexed.toks[i];
+        &self.file.src[t.lo..t.hi]
+    }
+
+    fn is_punct(&self, i: usize, p: &str) -> bool {
+        self.file
+            .lexed
+            .toks
+            .get(i)
+            .is_some_and(|t| t.kind == TokKind::Punct)
+            && self.txt(i) == p
+    }
+
+    fn is_ident(&self, i: usize, word: &str) -> bool {
+        self.file
+            .lexed
+            .toks
+            .get(i)
+            .is_some_and(|t| t.kind == TokKind::Ident)
+            && self.txt(i) == word
+    }
+
+    /// True when token `i` is inside `#[cfg(test)]`-gated code.
+    fn exempt(&self, i: usize) -> bool {
+        self.file.in_test_span(self.file.lexed.toks[i].lo)
+    }
+
+    fn diag(&self, rule: &'static str, tok: usize, message: String) -> Diagnostic {
+        let line = self.file.lexed.toks[tok].line as usize;
+        Diagnostic {
+            rule,
+            path: self.file.rel.clone(),
+            line,
+            message,
+            excerpt: raw_line(&self.file.src, &self.starts, line),
+            ..Default::default()
+        }
+    }
+
+    /// Is ident `i` the tail of `qualifier::i` (e.g. `thread::spawn`)?
+    fn qualified_by(&self, i: usize, qualifier: &str) -> bool {
+        i >= 3
+            && self.is_punct(i - 1, ":")
+            && self.is_punct(i - 2, ":")
+            && self.is_ident(i - 3, qualifier)
+    }
+}
+
+/// Run every lexical rule over one file. `error_types` holds the names
+/// declared in the owning crate's `src/error.rs`.
+pub fn lint_file_index(file: &FileIndex, error_types: &BTreeSet<String>) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    if !in_library_src(&file.rel) {
+        return diags;
+    }
+    let Some(krate) = crate_of(&file.rel) else {
+        return diags;
+    };
+    let ctx = Ctx {
+        file,
+        starts: line_starts(&file.src),
+    };
+    let toks = &file.lexed.toks;
+
+    let panic_free = PANIC_FREE_CRATES.contains(&krate);
+    let no_assert = NO_ASSERT_FILES.contains(&file.rel.as_str());
+    let no_print = krate != PRINT_FUNNEL_CRATE;
+    let kernel = KERNEL_FILES.contains(&file.rel.as_str());
+    let sleep_free = SLEEP_FREE_CRATES.contains(&krate);
+
+    // Loop-depth tracking for cast-in-loop: a `{` opens a loop block when
+    // the statement tokens before it contain `for`/`while`/`loop`.
+    let mut brace_is_loop: Vec<bool> = Vec::new();
+    let mut loop_depth = 0usize;
+    let mut stmt_start = 0usize;
+
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind == TokKind::Punct {
+            match ctx.txt(i) {
+                "{" => {
+                    let is_loop = (stmt_start..i).any(|j| {
+                        toks[j].kind == TokKind::Ident
+                            && matches!(ctx.txt(j), "for" | "while" | "loop")
+                    });
+                    brace_is_loop.push(is_loop);
+                    if is_loop {
+                        loop_depth += 1;
+                    }
+                    stmt_start = i + 1;
+                }
+                "}" => {
+                    if brace_is_loop.pop() == Some(true) {
+                        loop_depth -= 1;
+                    }
+                    stmt_start = i + 1;
+                }
+                ";" => stmt_start = i + 1,
+                _ => {}
+            }
+            continue;
+        }
+        if t.kind != TokKind::Ident || ctx.exempt(i) {
+            continue;
+        }
+        let word = ctx.txt(i);
+        let bang = ctx.is_punct(i + 1, "!")
+            && (ctx.is_punct(i + 2, "(") || ctx.is_punct(i + 2, "[") || ctx.is_punct(i + 2, "{"));
+        let method = i > 0 && ctx.is_punct(i - 1, ".") && ctx.is_punct(i + 1, "(");
+
+        // Rule: no-panic.
+        if panic_free {
+            let what = match word {
+                "unwrap" if method && ctx.is_punct(i + 2, ")") => Some("`.unwrap()`"),
+                "expect" if method => Some("`.expect(..)`"),
+                "panic" if bang => Some("`panic!`"),
+                "todo" if bang => Some("`todo!`"),
+                "unimplemented" if bang => Some("`unimplemented!`"),
+                _ => None,
+            };
+            if let Some(what) = what {
+                diags.push(ctx.diag(
+                    "no-panic",
+                    i,
+                    format!(
+                        "{what} in library code (propagate an error or use the crate's \
+                         invariant funnel)"
+                    ),
+                ));
+            }
+        }
+
+        // Rule: no-assert (recoverable paths only).
+        if no_assert
+            && bang
+            && matches!(
+                word,
+                "assert"
+                    | "assert_eq"
+                    | "assert_ne"
+                    | "debug_assert"
+                    | "debug_assert_eq"
+                    | "debug_assert_ne"
+            )
+        {
+            diags.push(ctx.diag(
+                "no-assert",
+                i,
+                format!(
+                    "`{word}!` on a recoverable path (return a typed error such as \
+                     `TrainError` instead of aborting)"
+                ),
+            ));
+        }
+
+        // Rule: no-print.
+        if no_print && bang && matches!(word, "println" | "eprintln" | "print" | "eprint") {
+            diags.push(ctx.diag(
+                "no-print",
+                i,
+                format!(
+                    "`{word}!` in library code (route progress through \
+                     `d2stgnn_obsv::console_line` or the telemetry macros)"
+                ),
+            ));
+        }
+
+        // Rule: cast-in-loop.
+        if kernel
+            && loop_depth > 0
+            && word == "as"
+            && toks.get(i + 1).is_some_and(|n| {
+                n.kind == TokKind::Ident && NUMERIC_TYPES.contains(&ctx.txt(i + 1))
+            })
+        {
+            diags.push(ctx.diag(
+                "cast-in-loop",
+                i,
+                "numeric `as` cast inside a kernel loop (hoist it out of the loop)".to_string(),
+            ));
+        }
+
+        // Rule: serve-concurrency.
+        if sleep_free {
+            if (word == "sleep" && ctx.qualified_by(i, "thread"))
+                || (word == "channel" && ctx.qualified_by(i, "mpsc"))
+            {
+                let needle = if word == "sleep" {
+                    "thread::sleep"
+                } else {
+                    "mpsc::channel"
+                };
+                diags.push(ctx.diag(
+                    "serve-concurrency",
+                    i,
+                    format!(
+                        "`{needle}` in {krate} library code (use bounded channels and \
+                         condvar waits)"
+                    ),
+                ));
+            } else if word == "channel"
+                && ctx.is_punct(i + 1, "(")
+                && ctx.is_punct(i + 2, ")")
+                && !ctx.qualified_by(i, "mpsc")
+            {
+                diags.push(ctx.diag(
+                    "serve-concurrency",
+                    i,
+                    format!("unbounded `channel()` in {krate} library code (use `sync_channel`)"),
+                ));
+            }
+        }
+
+        // Rule: no-raw-threads (all crates).
+        if matches!(word, "spawn" | "scope" | "Builder") && ctx.qualified_by(i, "thread") {
+            diags.push(ctx.diag(
+                "no-raw-threads",
+                i,
+                format!(
+                    "`thread::{word}` in library code (submit work through the tensor compute \
+                     pool instead of owning OS threads)"
+                ),
+            ));
+        }
+    }
+
+    // Rule: result-error.
+    if RESULT_ERROR_CRATES.contains(&krate) {
+        result_error_pass(&ctx, error_types, &mut diags);
+    }
+
+    diags.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    diags
+}
+
+/// Check every `pub fn … -> … Result…` signature against the crate's
+/// declared error types.
+fn result_error_pass(ctx: &Ctx<'_>, error_types: &BTreeSet<String>, diags: &mut Vec<Diagnostic>) {
+    let toks = &ctx.file.lexed.toks;
+    let mut i = 0usize;
+    while i + 1 < toks.len() {
+        // `pub fn` (the `pub(crate)` form keeps its internal latitude).
+        if !(ctx.is_ident(i, "pub") && ctx.is_ident(i + 1, "fn")) || ctx.exempt(i) {
+            i += 1;
+            continue;
+        }
+        // Signature runs to the body `{` or `;` at zero bracket depth.
+        let mut j = i + 2;
+        let mut paren = 0i32;
+        let mut angle = 0i32;
+        let mut arrow_at = None;
+        while j < toks.len() {
+            if toks[j].kind == TokKind::Punct {
+                match ctx.txt(j) {
+                    "(" => paren += 1,
+                    ")" => paren -= 1,
+                    "<" => angle += 1,
+                    ">" if !(j > 0 && matches!(ctx.txt(j - 1), "-" | "=")) => angle -= 1,
+                    "{" | ";" if paren == 0 && angle <= 0 => break,
+                    _ => {}
+                }
+                if ctx.txt(j) == ">"
+                    && j > 0
+                    && ctx.txt(j - 1) == "-"
+                    && paren == 0
+                    && angle <= 0
+                    && arrow_at.is_none()
+                {
+                    arrow_at = Some(j + 1);
+                }
+            }
+            j += 1;
+        }
+        let sig_end = j;
+        let Some(ret_start) = arrow_at else {
+            i = sig_end + 1;
+            continue;
+        };
+        check_return_type(ctx, error_types, i, ret_start, sig_end, diags);
+        i = sig_end + 1;
+    }
+}
+
+fn check_return_type(
+    ctx: &Ctx<'_>,
+    error_types: &BTreeSet<String>,
+    fn_tok: usize,
+    ret_start: usize,
+    ret_end: usize,
+    diags: &mut Vec<Diagnostic>,
+) {
+    // First `Result` in the return type (covers `Option<Result<..>>` too).
+    let Some(r) = (ret_start..ret_end).find(|&k| ctx.is_ident(k, "Result")) else {
+        return;
+    };
+    if !ctx.is_punct(r + 1, "<") {
+        // Bare `Result` alias — `fmt::Result` is the sanctioned exception.
+        if !ctx.qualified_by(r, "fmt") {
+            diags.push(
+                ctx.diag(
+                    "result-error",
+                    fn_tok,
+                    "pub fn returns a bare `Result` alias; spell out `Result<T, E>` with an error \
+                 type from this crate's error.rs"
+                        .to_string(),
+                ),
+            );
+        }
+        return;
+    }
+    // Find the top-level comma and closing `>` of the generic list.
+    let mut depth = 1i32;
+    let mut k = r + 2;
+    let mut comma = None;
+    while k < ret_end && depth > 0 {
+        match (self::tok_kind(ctx, k), ctx.txt(k)) {
+            (TokKind::Punct, "<") => depth += 1,
+            (TokKind::Punct, ">") => depth -= 1,
+            (TokKind::Punct, "(") => depth += 1,
+            (TokKind::Punct, ")") => depth -= 1,
+            (TokKind::Punct, ",") if depth == 1 && comma.is_none() => comma = Some(k),
+            _ => {}
+        }
+        k += 1;
+    }
+    let close = k - 1;
+    let Some(comma) = comma else {
+        diags.push(ctx.diag(
+            "result-error",
+            fn_tok,
+            "pub fn returns `Result<T>` without naming an error type from this crate's error.rs"
+                .to_string(),
+        ));
+        return;
+    };
+    // Error type = last ident of the path before any generics of its own.
+    let mut base = "";
+    for m in comma + 1..close {
+        match self::tok_kind(ctx, m) {
+            TokKind::Ident => base = ctx.txt(m),
+            TokKind::Punct if ctx.txt(m) == "<" => break,
+            _ => {}
+        }
+    }
+    if error_types.is_empty() {
+        diags.push(ctx.diag(
+            "result-error",
+            fn_tok,
+            format!(
+                "pub fn returns `Result<_, {base}>` but this crate has no src/error.rs \
+                 declaring error types"
+            ),
+        ));
+    } else if !error_types.contains(base) {
+        diags.push(ctx.diag(
+            "result-error",
+            fn_tok,
+            format!(
+                "pub fn error type `{base}` is not declared in this crate's error.rs \
+                 (declared: {:?})",
+                error_types.iter().collect::<Vec<_>>()
+            ),
+        ));
+    }
+}
+
+fn tok_kind(ctx: &Ctx<'_>, i: usize) -> TokKind {
+    ctx.file.lexed.toks[i].kind
+}

@@ -1,0 +1,13 @@
+//! Atomic-ordering fixture: one justified `Relaxed` site, one bare one.
+//! Only the bare site may be reported.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn justified(counter: &AtomicU64) {
+    // relaxed: monotonic counter; no other memory is published through it.
+    counter.fetch_add(1, Ordering::Relaxed);
+}
+
+pub fn bare(counter: &AtomicU64) -> u64 {
+    counter.load(Ordering::Relaxed)
+}

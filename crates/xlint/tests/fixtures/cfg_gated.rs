@@ -1,0 +1,25 @@
+//! Scope fixture: panics behind `#[cfg(test)]` are not production code and
+//! must not count as reachable; a shadowed free `lock()` function is not a
+//! mutex acquisition and must not feed the lock-order graph.
+
+pub fn worker_loop(xs: &[f32]) -> f32 {
+    let guard = lock();
+    helper(xs) + guard
+}
+
+fn helper(xs: &[f32]) -> f32 {
+    xs.first().copied().unwrap_or(0.0)
+}
+
+/// Shadows the mutex method name as a free function.
+fn lock() -> f32 {
+    0.0
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exercises_the_panic_path() {
+        panic!("test-only panic, invisible to reachability");
+    }
+}

@@ -1,0 +1,22 @@
+//! Float-determinism fixture for kernel code: an unordered reduction over a
+//! HashMap and an ungated `mul_add` must both be flagged; the
+//! `D2_FAST_MATH`-gated variant must not.
+
+use std::collections::HashMap;
+
+pub fn unordered(weights: &HashMap<u32, f32>) -> f32 {
+    let total: f32 = weights.values().sum();
+    total
+}
+
+pub fn fused(a: f32, b: f32, c: f32) -> f32 {
+    a.mul_add(b, c)
+}
+
+pub fn gated(a: f32, b: f32, c: f32) -> f32 {
+    if *crate::D2_FAST_MATH {
+        a.mul_add(b, c)
+    } else {
+        a * b + c
+    }
+}

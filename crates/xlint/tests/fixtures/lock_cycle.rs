@@ -1,0 +1,17 @@
+//! Lock-order fixture: `transfer` takes ledger before journal, `refund`
+//! takes journal before ledger — a two-lock cycle the static analysis must
+//! prove and report.
+
+pub fn transfer(ledger: &OrderedMutex<u64>, journal: &OrderedMutex<u64>) {
+    let mut from = ledger.lock();
+    let mut log = journal.lock();
+    *from -= 1;
+    log.push(1);
+}
+
+pub fn refund(ledger: &OrderedMutex<u64>, journal: &OrderedMutex<u64>) {
+    let mut log = journal.lock();
+    let mut to = ledger.lock();
+    *to += 1;
+    log.push(-1);
+}

@@ -1,0 +1,27 @@
+//! Reachability fixture: `Server::submit` reaches a `panic!` (and a
+//! slice-index) through a two-hop private call chain. The panic rule must
+//! report both, each with the full via-chain from the entry point.
+
+pub struct Server;
+
+impl Server {
+    pub fn submit(&self, xs: &[f32]) -> f32 {
+        stage_one(xs)
+    }
+}
+
+fn stage_one(xs: &[f32]) -> f32 {
+    stage_two(xs)
+}
+
+fn stage_two(xs: &[f32]) -> f32 {
+    if xs.is_empty() {
+        panic!("empty batch reached the scoring stage")
+    }
+    xs[0]
+}
+
+/// Not reachable from any entry point: must not be reported.
+pub fn offline_tool(xs: &[f32]) -> f32 {
+    xs[xs.len() - 1]
+}

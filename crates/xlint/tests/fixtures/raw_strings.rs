@@ -1,0 +1,25 @@
+//! Lexer stress fixture: every banned pattern in this file is inert text —
+//! inside raw strings, ordinary strings, or comments. A correct lexer
+//! produces zero diagnostics for it.
+
+pub fn template() -> &'static str {
+    r#"if broken { panic!("not real code"); } else { x.unwrap(); }"#
+}
+
+/* outer /* nested block comment: panic!("still a comment") */ still outer */
+pub fn lifetimes<'a>(s: &'a str) -> &'a str {
+    // A line comment mentioning .unwrap() and todo!() stays a comment.
+    s
+}
+
+pub fn raw_hashes() -> String {
+    let s = r##"a "#quoted"# panic!("x") println!("y")"##.to_string();
+    s
+}
+
+pub fn escapes() -> String {
+    // The escaped quote must not terminate the literal early; if it did,
+    // the `unreachable!` below would leak out as real code.
+    let s = "tail \" unreachable!(\"never\") \\";
+    s.to_string()
+}

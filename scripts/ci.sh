@@ -16,8 +16,26 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
-echo "==> xlint (workspace static analysis)"
-cargo run -q -p xlint
+echo "==> xlint (workspace static analysis, ratcheted against xlint_report.json)"
+cargo test -q -p xlint
+mkdir -p target/experiments
+XLINT_START=$(date +%s%N)
+cargo run -q --release -p xlint -- --format json > target/experiments/xlint_report.json
+XLINT_MS=$(( ($(date +%s%N) - XLINT_START) / 1000000 ))
+# Ratchet gate: a clean run rewrites the committed baseline in place when
+# findings were fixed (auto-shrink); any resulting diff must be committed.
+git diff --exit-code xlint_report.json || {
+    echo "xlint baseline shrank (fixed findings): commit the updated xlint_report.json" >&2
+    exit 1
+}
+# Wall-clock budget: the analysis must stay cheap enough to run on every push.
+# The budget includes the cargo-run wrapper; the analysis itself reports its
+# own elapsed_ms inside the JSON artifact.
+if [ "$XLINT_MS" -gt 60000 ]; then
+    echo "xlint took ${XLINT_MS} ms, over the 60 s budget" >&2
+    exit 1
+fi
+echo "xlint OK in ${XLINT_MS} ms (artifact: target/experiments/xlint_report.json)"
 
 echo "==> cargo test -q --features sanitize (autograd + lock-order sanitizers)"
 cargo test -q --features sanitize
