@@ -60,6 +60,7 @@ fn request_at(data: &WindowedDataset, start: usize) -> InferRequest {
         tod,
         dow,
         deadline: None,
+        trace: d2stgnn_serve::TraceHandle::inert(),
     }
 }
 

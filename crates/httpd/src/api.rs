@@ -69,6 +69,20 @@ pub struct ErrorReply {
     pub error: String,
 }
 
+/// `429` quota-denial body: carries the request id (so a throttled client
+/// can quote it in support requests without having kept the response
+/// headers) and the token bucket's precise next-refill time — the
+/// `Retry-After` header rounds the same figure up to whole seconds.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QuotaErrorReply {
+    /// Human-readable description of the denial.
+    pub error: String,
+    /// The request's `X-Request-Id` (inbound or minted).
+    pub request_id: String,
+    /// Milliseconds until the tenant's bucket accrues one token.
+    pub retry_after_ms: u64,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -100,6 +114,20 @@ mod tests {
         assert_eq!(body.deadline_ms, None);
         assert_eq!(body.sensor, None);
         assert_eq!(body.city, None);
+    }
+
+    #[test]
+    fn quota_error_reply_round_trips() {
+        let json = serde_json::to_string(&QuotaErrorReply {
+            error: "tenant \"acme\" quota exhausted".into(),
+            request_id: "req-123".into(),
+            retry_after_ms: 740,
+        })
+        .unwrap();
+        let back: QuotaErrorReply = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.request_id, "req-123");
+        assert_eq!(back.retry_after_ms, 740);
+        assert!(back.error.contains("quota"));
     }
 
     #[test]

@@ -17,9 +17,17 @@
 //!   per-tenant token buckets ([`TenantQuotas`]) answer `429` when a tenant
 //!   exceeds its rate.
 //!
-//! Routes: `POST /v1/forecast`, `GET /healthz`, `GET /models`, and
+//! Routes: `POST /v1/forecast`, `GET /healthz`, `GET /models`,
 //! `GET /metrics` (Prometheus text, including the workspace telemetry
-//! registry when the `obsv` feature is on).
+//! registry when the `obsv` feature is on), `GET /debug/traces`
+//! (tail-sampled request traces with per-stage durations), and `GET /slo`
+//! (availability/latency burn rates).
+//!
+//! Every response carries an `X-Request-Id` header: the inbound header is
+//! echoed when present (after sanitization), otherwise an id is minted at
+//! the door. The id doubles as the trace id propagated through the router
+//! and serve queue — explicitly inside the request envelope, never via
+//! thread-locals, because requests cross thread boundaries at the queue.
 //!
 //! Everything is `std`-only: no async runtime, no HTTP dependency — the
 //! parser and serializer live in this crate and are fuzzed in
@@ -39,6 +47,6 @@ mod server;
 pub use error::{HttpdError, ParseError};
 pub use http::{HttpVersion, Request, Response};
 pub use parser::{ParserLimits, RequestParser};
-pub use quota::{QuotaConfig, QuotaDecision, TenantQuotas};
+pub use quota::{retry_after_header_secs, QuotaConfig, QuotaDecision, TenantQuotas};
 pub use router::{RouteKey, ShardRouter};
 pub use server::{HttpServer, HttpdConfig, HttpdStatsSnapshot, HTTPD_SHUTDOWN_GRACE};

@@ -3,8 +3,10 @@
 //! Each tenant (the `X-Tenant` request header; `"anonymous"` when absent)
 //! owns a token bucket refilled at [`QuotaConfig::rate_per_sec`] up to
 //! [`QuotaConfig::burst`]. A request takes one token; an empty bucket denies
-//! with the number of whole seconds until a token accrues, which the server
-//! surfaces as `429` + `Retry-After`.
+//! with the bucket's *actual* time-to-next-token as a [`Duration`], which
+//! the server surfaces as `429` + `Retry-After` (rounded up to whole
+//! seconds by [`retry_after_header_secs`]) and echoes precisely in the JSON
+//! error body as milliseconds.
 //!
 //! Bounded-resource invariant: at most [`QuotaConfig::max_tenants`] buckets
 //! are tracked. When a new tenant would exceed the cap, the
@@ -13,7 +15,7 @@
 
 use d2stgnn_serve::lockorder::OrderedMutex;
 use std::collections::HashMap;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Token-bucket parameters shared by every tenant.
 #[derive(Debug, Clone, Copy)]
@@ -41,11 +43,25 @@ impl Default for QuotaConfig {
 pub enum QuotaDecision {
     /// A token was taken; serve the request.
     Allowed,
-    /// Bucket empty; retry after this many whole seconds (at least 1).
+    /// Bucket empty; retry once the next token accrues.
     Denied {
-        /// Seconds until one token accrues, rounded up.
-        retry_after_secs: u64,
+        /// Precise time until one token accrues at the configured refill
+        /// rate ([`Duration::MAX`] when the rate is zero). The HTTP layer
+        /// rounds this up for the `Retry-After` header via
+        /// [`retry_after_header_secs`] but reports it exactly in the body.
+        retry_after: Duration,
     },
+}
+
+/// `Retry-After` header value for a precise denial duration: whole seconds,
+/// rounded up, never below 1 (the header has one-second granularity and a
+/// `Retry-After: 0` would invite an immediate — still denied — retry).
+pub fn retry_after_header_secs(retry_after: Duration) -> u64 {
+    let mut secs = retry_after.as_secs();
+    if retry_after.subsec_nanos() > 0 {
+        secs = secs.saturating_add(1);
+    }
+    secs.max(1)
 }
 
 struct Bucket {
@@ -96,17 +112,12 @@ impl TenantQuotas {
         } else {
             let deficit = 1.0 - bucket.tokens;
             let secs = if self.config.rate_per_sec > 0.0 {
-                (deficit / self.config.rate_per_sec).ceil()
+                (deficit / self.config.rate_per_sec).max(0.0)
             } else {
                 f64::INFINITY
             };
-            let capped = if secs.is_finite() {
-                (secs as u64).max(1)
-            } else {
-                u64::MAX
-            };
             QuotaDecision::Denied {
-                retry_after_secs: capped,
+                retry_after: Duration::try_from_secs_f64(secs).unwrap_or(Duration::MAX),
             }
         }
     }
@@ -130,15 +141,30 @@ mod tests {
     }
 
     #[test]
-    fn burst_then_denied_with_retry_after() {
-        let q = quotas(1.0, 3.0);
+    fn burst_then_denied_with_precise_retry_after() {
+        let q = quotas(2.0, 3.0);
         for _ in 0..3 {
             assert_eq!(q.check("acme"), QuotaDecision::Allowed);
         }
         match q.check("acme") {
-            QuotaDecision::Denied { retry_after_secs } => assert!(retry_after_secs >= 1),
+            QuotaDecision::Denied { retry_after } => {
+                // One token at 2/s accrues in ~500 ms: the denial reports the
+                // bucket's actual next-refill time, not a constant.
+                assert!(retry_after > Duration::ZERO, "zero retry for empty bucket");
+                assert!(retry_after <= Duration::from_millis(500), "{retry_after:?}");
+            }
             other => panic!("expected denial, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn header_seconds_round_up_and_floor_at_one() {
+        assert_eq!(retry_after_header_secs(Duration::from_millis(1)), 1);
+        assert_eq!(retry_after_header_secs(Duration::from_millis(999)), 1);
+        assert_eq!(retry_after_header_secs(Duration::from_millis(1001)), 2);
+        assert_eq!(retry_after_header_secs(Duration::from_secs(3)), 3);
+        assert_eq!(retry_after_header_secs(Duration::ZERO), 1);
+        assert_eq!(retry_after_header_secs(Duration::MAX), u64::MAX);
     }
 
     #[test]
@@ -166,7 +192,7 @@ mod tests {
         assert!(matches!(
             q.check("x"),
             QuotaDecision::Denied {
-                retry_after_secs: u64::MAX
+                retry_after: Duration::MAX
             }
         ));
     }

@@ -17,6 +17,7 @@ use d2stgnn_serve::lockorder::OrderedMutex;
 use d2stgnn_serve::{Server, ServerStats};
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// FNV-1a 64-bit over `bytes`, seeded so distinct (shard, key) pairs mix.
 fn fnv1a(seed: u64, bytes: &[u8]) -> u64 {
@@ -144,6 +145,28 @@ impl ShardRouter {
             .iter()
             .max_by_key(|s| (fnv1a(s.id, &key_bytes), s.id))?;
         Some((winner.id, Arc::clone(&winner.server)))
+    }
+
+    /// [`ShardRouter::route`], attributed to a request trace: emits a
+    /// `d2stgnn_httpd_route` span carrying the trace id and winning shard,
+    /// and records the routing time as the trace's `route` stage. The
+    /// routing decision itself is identical to the untraced path.
+    pub fn route_traced(
+        &self,
+        key: RouteKey<'_>,
+        trace: &d2stgnn_obsv::TraceHandle,
+    ) -> Option<(u64, Arc<Server>)> {
+        let started = Instant::now();
+        let mut span = d2stgnn_obsv::span!("d2stgnn_httpd_route");
+        if let Some(id) = trace.id() {
+            d2stgnn_obsv::record!(span, trace_id = id.as_str());
+        }
+        let routed = self.route(key);
+        if let Some((shard, _)) = &routed {
+            d2stgnn_obsv::record!(span, shard = *shard);
+        }
+        trace.stage("route", started.elapsed());
+        routed
     }
 
     /// Number of shards currently in rotation.

@@ -18,16 +18,17 @@
 //! answers `503` from [`d2stgnn_serve::Server::is_overloaded`] before
 //! enqueueing).
 
-use crate::api::{ForecastBody, ForecastReply, HealthReply, ModelsReply};
+use crate::api::{ForecastBody, ForecastReply, HealthReply, ModelsReply, QuotaErrorReply};
 use crate::error::HttpdError;
 use crate::http::{Request, Response};
 use crate::parser::{ParserLimits, RequestParser};
-use crate::quota::{QuotaConfig, QuotaDecision, TenantQuotas};
+use crate::quota::{retry_after_header_secs, QuotaConfig, QuotaDecision, TenantQuotas};
 use crate::router::{RouteKey, ShardRouter};
+use d2stgnn_obsv::TraceHandle;
 use d2stgnn_serve::lockorder::{self, OrderedMutex};
 use d2stgnn_serve::{InferRequest, ServeError};
 use d2stgnn_tensor::Array;
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::io::Read;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -37,6 +38,15 @@ use std::time::{Duration, Instant};
 
 /// Grace period [`HttpServer::shutdown`] (and `Drop`) gives threads to exit.
 pub const HTTPD_SHUTDOWN_GRACE: Duration = Duration::from_secs(5);
+
+/// Bound on distinct tenant label values kept for the per-tenant
+/// request/shed counters exposed at `/metrics`. Tenants beyond the cap
+/// collapse into the [`OVERFLOW_TENANT`] bucket so label cardinality stays
+/// bounded no matter how many tenant names a client invents.
+const MAX_TENANT_LABELS: usize = 64;
+
+/// Label value that absorbs counts once [`MAX_TENANT_LABELS`] is reached.
+const OVERFLOW_TENANT: &str = "_other";
 
 /// Front-end knobs. Defaults suit tests and small deployments.
 #[derive(Debug, Clone)]
@@ -139,12 +149,21 @@ impl HttpdStats {
     }
 }
 
+/// Per-tenant request/shed tallies behind the `/metrics` labeled counters.
+#[derive(Debug, Clone, Copy, Default)]
+struct TenantCounters {
+    requests: u64,
+    shed: u64,
+}
+
 struct Shared {
     config: HttpdConfig,
     router: Arc<ShardRouter>,
     quotas: Option<TenantQuotas>,
     /// Accepted connections waiting for a worker (bounded by config).
     conns: OrderedMutex<VecDeque<TcpStream>>,
+    /// Tenant → forecast request/shed counts (bounded, leaf-only lock).
+    tenants: OrderedMutex<HashMap<String, TenantCounters>>,
     notify: Condvar,
     shutdown: AtomicBool,
     stats: HttpdStats,
@@ -189,6 +208,7 @@ impl HttpServer {
             config,
             router,
             conns: OrderedMutex::new("httpd.conns", VecDeque::new()),
+            tenants: OrderedMutex::new("httpd.tenant.counters", HashMap::new()),
             notify: Condvar::new(),
             shutdown: AtomicBool::new(false),
             stats: HttpdStats::default(),
@@ -315,9 +335,16 @@ fn accept_loop(shared: &Arc<Shared>, listener: &TcpListener) {
                             .fetch_add(1, Ordering::Relaxed);
                         d2stgnn_obsv::counter_add!("d2stgnn_httpd_connections_dropped_total", 1);
                         let _ = rejected.set_write_timeout(Some(shared.config.write_timeout));
+                        // Even a door-shed reply gets a (minted) request id,
+                        // and the shed trace is retained for `/debug/traces`.
+                        let rid = d2stgnn_obsv::make_request_id(None);
+                        let trace = TraceHandle::start(&rid);
+                        trace.mark_shed();
                         let _ = Response::error(503, "connection backlog full")
                             .with_header("Retry-After", shared.config.retry_after_secs)
+                            .with_header("X-Request-Id", &rid)
                             .write_to(&mut rejected, false);
+                        trace.finish(503);
                     }
                 }
             }
@@ -370,7 +397,11 @@ fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
     let mut served: usize = 0;
     let mut buf = [0u8; 8192];
     loop {
-        // Pull one request out of the parser, reading as needed.
+        // Pull one request out of the parser, reading as needed. The parse
+        // stage is clocked from the first byte read for this request (a
+        // fully pipelined request parses in ~zero), so keep-alive idle time
+        // never pollutes the trace's `parse` attribution.
+        let mut parse_start: Option<Instant> = None;
         let next = loop {
             match parser.next_request() {
                 Ok(Some(request)) => break Ok(request),
@@ -387,7 +418,12 @@ fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
                     d2stgnn_obsv::record!(span, requests = served);
                     return;
                 }
-                Ok(n) => parser.feed(&buf[..n]),
+                Ok(n) => {
+                    if parse_start.is_none() {
+                        parse_start = Some(Instant::now());
+                    }
+                    parser.feed(&buf[..n]);
+                }
                 Err(e)
                     if e.kind() == std::io::ErrorKind::WouldBlock
                         || e.kind() == std::io::ErrorKind::TimedOut =>
@@ -396,8 +432,16 @@ fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
                     shared.stats.read_timeouts.fetch_add(1, Ordering::Relaxed);
                     if parser.buffered() > 0 {
                         // Stalled mid-request: tell the peer before closing.
+                        // No request line means no inbound id; mint one so
+                        // even this reply is quotable, and retain the
+                        // errored trace with its parse time.
+                        let rid = d2stgnn_obsv::make_request_id(None);
+                        let trace = TraceHandle::start(&rid);
+                        trace.stage("parse", elapsed_since(parse_start));
                         let _ = Response::error(408, "timed out reading request")
+                            .with_header("X-Request-Id", &rid)
                             .write_to(&mut stream, false);
+                        trace.finish(408);
                     }
                     d2stgnn_obsv::record!(span, requests = served);
                     return;
@@ -413,12 +457,24 @@ fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
         match next {
             Ok(request) => {
                 served += 1;
+                // The request's identity: echo the client's X-Request-Id
+                // (sanitized) or mint one. From here on the id rides the
+                // trace handle through router and serve envelope.
+                let rid = d2stgnn_obsv::make_request_id(request.header("x-request-id"));
+                let trace = TraceHandle::start(&rid);
+                trace.stage("parse", elapsed_since(parse_start));
                 let keep_alive = request.wants_keep_alive()
                     && served < shared.config.keep_alive_requests
                     && !shared.shutdown.load(Ordering::Acquire);
-                let response = handle_request(shared, &request);
+                let response = handle_request(shared, &request, &rid, &trace);
                 count_status(shared, response.status);
-                if response.write_to(&mut stream, keep_alive).is_err() || !keep_alive {
+                let status = response.status;
+                let write_ok = response
+                    .with_header("X-Request-Id", &rid)
+                    .write_to(&mut stream, keep_alive)
+                    .is_ok();
+                trace.finish(status);
+                if !write_ok || !keep_alive {
                     d2stgnn_obsv::record!(span, requests = served);
                     return;
                 }
@@ -427,12 +483,25 @@ fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
                 // relaxed: monotonic stats counter; no other memory is published through it
                 shared.stats.parse_errors.fetch_add(1, Ordering::Relaxed);
                 count_status(shared, parse.status);
-                let _ = Response::error(parse.status, &parse.message).write_to(&mut stream, false);
+                // A malformed head may hide the inbound id; mint one so the
+                // 4xx still carries an echoable identity.
+                let rid = d2stgnn_obsv::make_request_id(None);
+                let trace = TraceHandle::start(&rid);
+                trace.stage("parse", elapsed_since(parse_start));
+                let _ = Response::error(parse.status, &parse.message)
+                    .with_header("X-Request-Id", &rid)
+                    .write_to(&mut stream, false);
+                trace.finish(parse.status);
                 d2stgnn_obsv::record!(span, requests = served);
                 return;
             }
         }
     }
+}
+
+/// Elapsed time since an optional start mark (zero when never started).
+fn elapsed_since(start: Option<Instant>) -> Duration {
+    start.map(|s| s.elapsed()).unwrap_or_default()
 }
 
 fn count_status(shared: &Arc<Shared>, status: u16) {
@@ -445,9 +514,15 @@ fn count_status(shared: &Arc<Shared>, status: u16) {
     counter.fetch_add(1, Ordering::Relaxed);
 }
 
-fn handle_request(shared: &Arc<Shared>, request: &Request) -> Response {
+fn handle_request(
+    shared: &Arc<Shared>,
+    request: &Request,
+    rid: &str,
+    trace: &TraceHandle,
+) -> Response {
     let started = Instant::now();
     let mut span = d2stgnn_obsv::span!("httpd.request");
+    d2stgnn_obsv::record!(span, trace_id = rid);
     d2stgnn_obsv::record!(span, method = request.method.as_str());
     d2stgnn_obsv::record!(span, path = request.path());
     // relaxed: monotonic stats counter; no other memory is published through it
@@ -458,17 +533,20 @@ fn handle_request(shared: &Arc<Shared>, request: &Request) -> Response {
         ("GET", "/healthz") => health(shared),
         ("GET", "/models") => models(shared),
         ("GET", "/metrics") => metrics(shared),
-        ("POST", "/v1/forecast") => forecast(shared, request),
-        (_, "/healthz" | "/models" | "/metrics" | "/v1/forecast") => {
+        ("GET", "/debug/traces") => Response::json(200, d2stgnn_obsv::render_traces_json()),
+        ("GET", "/slo") => Response::json(200, d2stgnn_obsv::render_slo_json()),
+        ("POST", "/v1/forecast") => forecast(shared, request, rid, trace),
+        (_, "/healthz" | "/models" | "/metrics" | "/debug/traces" | "/slo" | "/v1/forecast") => {
             Response::error(405, "method not allowed on this route")
         }
         _ => Response::error(404, "no such route"),
     };
+    let elapsed = started.elapsed();
     d2stgnn_obsv::record!(span, status = u64::from(response.status));
-    d2stgnn_obsv::observe!(
-        "d2stgnn_httpd_request_seconds",
-        started.elapsed().as_secs_f64()
-    );
+    // The latency histogram keeps the slowest request's id as its exemplar,
+    // and every exchange feeds the availability/latency SLO windows.
+    d2stgnn_obsv::observe_exemplar!("d2stgnn_httpd_request_seconds", elapsed.as_secs_f64(), rid);
+    d2stgnn_obsv::slo_record(response.status, elapsed);
     response
 }
 
@@ -491,6 +569,58 @@ fn models(shared: &Arc<Shared>) -> Response {
     json_or_500(&ModelsReply {
         models: shared.router.model_names(),
     })
+}
+
+/// Bump the per-tenant forecast counters: every quota-checked request, plus
+/// the shed tally when admission control turned it away. Tenants beyond
+/// [`MAX_TENANT_LABELS`] collapse into [`OVERFLOW_TENANT`] so the `/metrics`
+/// label space stays bounded. Leaf-only lock: nothing else is held here.
+fn tenant_tally(shared: &Arc<Shared>, tenant: &str, shed: bool) {
+    let mut tenants = shared.tenants.lock();
+    let slot = if tenants.contains_key(tenant) || tenants.len() < MAX_TENANT_LABELS {
+        tenants.entry(tenant.to_string()).or_default()
+    } else {
+        tenants.entry(OVERFLOW_TENANT.to_string()).or_default()
+    };
+    if shed {
+        slot.shed = slot.shed.saturating_add(1);
+    } else {
+        slot.requests = slot.requests.saturating_add(1);
+    }
+}
+
+/// Render the per-tenant counters in Prometheus text format. Tenant names
+/// come straight off the wire, so label values go through
+/// [`d2stgnn_obsv::escape_label_value`]; rows are name-sorted for a stable
+/// exposition.
+fn render_tenant_metrics(shared: &Arc<Shared>, out: &mut String) {
+    let mut rows: Vec<(String, TenantCounters)> = {
+        let tenants = shared.tenants.lock();
+        tenants.iter().map(|(k, v)| (k.clone(), *v)).collect()
+    };
+    if rows.is_empty() {
+        return;
+    }
+    rows.sort_by(|a, b| a.0.cmp(&b.0));
+    for (metric, pick) in [
+        (
+            "d2stgnn_httpd_tenant_requests_total",
+            (|c| c.requests) as fn(&TenantCounters) -> u64,
+        ),
+        ("d2stgnn_httpd_tenant_shed_total", |c| c.shed),
+    ] {
+        out.push_str("# TYPE ");
+        out.push_str(metric);
+        out.push_str(" counter\n");
+        for (name, counts) in &rows {
+            out.push_str(metric);
+            out.push_str("{tenant=\"");
+            out.push_str(&d2stgnn_obsv::escape_label_value(name));
+            out.push_str("\"} ");
+            out.push_str(&pick(counts).to_string());
+            out.push('\n');
+        }
+    }
 }
 
 fn metrics(shared: &Arc<Shared>) -> Response {
@@ -535,21 +665,35 @@ fn metrics(shared: &Arc<Shared>) -> Response {
         "d2stgnn_httpd_shard_queue_depth",
         shared.router.total_queue_depth() as u64,
     );
-    // Append the workspace-wide telemetry registry (empty when the obsv
-    // feature is off).
+    // Per-tenant labeled counters (escaped: tenant names are wire input).
+    render_tenant_metrics(shared, &mut out);
+    // Refresh the d2stgnn_slo_* gauges, then append the workspace-wide
+    // telemetry registry (both no-ops when the obsv feature is off).
+    d2stgnn_obsv::publish_slo_gauges();
     out.push_str(&d2stgnn_obsv::render_prometheus());
     Response::text(200, out)
 }
 
-fn forecast(shared: &Arc<Shared>, request: &Request) -> Response {
+fn forecast(shared: &Arc<Shared>, request: &Request, rid: &str, trace: &TraceHandle) -> Response {
     let tenant = request.header("x-tenant").unwrap_or("anonymous");
+    tenant_tally(shared, tenant, false);
     if let Some(quotas) = &shared.quotas {
-        if let QuotaDecision::Denied { retry_after_secs } = quotas.check(tenant) {
+        if let QuotaDecision::Denied { retry_after } = quotas.check(tenant) {
             // relaxed: monotonic stats counter; no other memory is published through it
             shared.stats.quota_denied.fetch_add(1, Ordering::Relaxed);
             d2stgnn_obsv::counter_add!("d2stgnn_httpd_quota_denied_total", 1);
-            return Response::error(429, &format!("tenant {tenant:?} quota exhausted"))
-                .with_header("Retry-After", retry_after_secs);
+            // Header: the bucket's actual next-refill time, rounded up to
+            // whole seconds. Body: the same figure precisely, plus the
+            // request id so the throttled client can quote it.
+            let reply = QuotaErrorReply {
+                error: format!("tenant {tenant:?} quota exhausted"),
+                request_id: rid.to_string(),
+                retry_after_ms: retry_after.as_millis().min(u64::MAX as u128) as u64,
+            };
+            let body = serde_json::to_string(&reply)
+                .unwrap_or_else(|_| "{\"error\":\"quota exhausted\"}".to_string());
+            return Response::json(429, body)
+                .with_header("Retry-After", retry_after_header_secs(retry_after));
         }
     }
     let text = match std::str::from_utf8(&request.body) {
@@ -562,7 +706,7 @@ fn forecast(shared: &Arc<Shared>, request: &Request) -> Response {
     };
 
     let key = RouteKey::from_hints(body.sensor, body.city.as_deref());
-    let Some((shard_id, server)) = shared.router.route(key) else {
+    let Some((shard_id, server)) = shared.router.route_traced(key, trace) else {
         return Response::error(503, "no shards registered")
             .with_header("Retry-After", shared.config.retry_after_secs);
     };
@@ -573,6 +717,8 @@ fn forecast(shared: &Arc<Shared>, request: &Request) -> Response {
         // relaxed: monotonic stats counter; no other memory is published through it
         shared.stats.shed.fetch_add(1, Ordering::Relaxed);
         d2stgnn_obsv::counter_add!("d2stgnn_httpd_shed_total", 1);
+        tenant_tally(shared, tenant, true);
+        trace.mark_shed();
         return Response::error(503, "shard queue full, request shed")
             .with_header("Retry-After", shared.config.retry_after_secs);
     }
@@ -602,15 +748,19 @@ fn forecast(shared: &Arc<Shared>, request: &Request) -> Response {
         tod: body.tod.clone(),
         dow: body.dow.clone(),
         deadline,
+        // The trace crosses the queue boundary inside the envelope: the
+        // micro-batch worker attributes queue-wait/batch-fuse/forward/
+        // postprocess stages to it and links it to its batch span.
+        trace: trace.clone(),
     };
 
     let handle = match server.submit(infer) {
         Ok(h) => h,
-        Err(e) => return serve_error_response(shared, &e),
+        Err(e) => return serve_error_response(shared, tenant, &e),
     };
     match handle.wait_timeout(shared.config.forecast_wait) {
         None => Response::error(504, "forecast did not complete within the gateway budget"),
-        Some(Err(e)) => serve_error_response(shared, &e),
+        Some(Err(e)) => serve_error_response(shared, tenant, &e),
         Some(Ok(forecast)) => {
             let width = forecast.values.shape().last().copied().unwrap_or(1).max(1);
             let values: Vec<Vec<f32>> = forecast
@@ -630,12 +780,13 @@ fn forecast(shared: &Arc<Shared>, request: &Request) -> Response {
     }
 }
 
-fn serve_error_response(shared: &Arc<Shared>, e: &ServeError) -> Response {
+fn serve_error_response(shared: &Arc<Shared>, tenant: &str, e: &ServeError) -> Response {
     match e {
         ServeError::Overloaded => {
             // relaxed: monotonic stats counter; no other memory is published through it
             shared.stats.shed.fetch_add(1, Ordering::Relaxed);
             d2stgnn_obsv::counter_add!("d2stgnn_httpd_shed_total", 1);
+            tenant_tally(shared, tenant, true);
             Response::error(503, "shard queue full, request shed")
                 .with_header("Retry-After", shared.config.retry_after_secs)
         }

@@ -116,6 +116,7 @@ fn queue_depth_accessors_mirror_the_live_queue() {
             tod: b.tod.clone(),
             dow: b.dow.clone(),
             deadline: None,
+            trace: d2stgnn_serve::TraceHandle::inert(),
         };
     let h_a = serve.submit(to_infer(&req_a, "a")).expect("submit a");
     std::thread::sleep(Duration::from_millis(150));

@@ -1,0 +1,183 @@
+//! Request-identity and observability-endpoint contract of the front-end.
+//!
+//! These tests run with the `obsv` feature both off and on: the
+//! `X-Request-Id` echo, the `/debug/traces` + `/slo` endpoints, the quota
+//! 429 body, and the per-tenant `/metrics` counters are part of the HTTP
+//! contract — a disabled telemetry build serves the same shapes (with empty
+//! trace rings and zeroed SLO windows).
+//!
+//! No models are registered: identity and quota handling happen before (or
+//! instead of) any forward pass, so these paths exercise without training.
+
+mod common;
+
+use common::{get_once, post_once, Resp};
+use d2stgnn_httpd::{HttpServer, HttpdConfig, QuotaConfig, ShardRouter};
+use serde_json::Value;
+use std::sync::Arc;
+
+fn server_with_quota(quota: Option<QuotaConfig>) -> HttpServer {
+    let config = HttpdConfig {
+        workers: 2,
+        quota,
+        ..HttpdConfig::default()
+    };
+    HttpServer::bind("127.0.0.1:0", Arc::new(ShardRouter::new()), config).expect("bind")
+}
+
+fn request_id(resp: &Resp) -> String {
+    resp.header("x-request-id")
+        .unwrap_or_else(|| panic!("response missing X-Request-Id: {resp:?}"))
+        .to_string()
+}
+
+fn obj_get<'a>(value: &'a Value, key: &str) -> Option<&'a Value> {
+    match value {
+        Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+        _ => None,
+    }
+}
+
+#[test]
+fn every_response_carries_a_request_id() {
+    let server = server_with_quota(None);
+    let addr = server.local_addr();
+
+    // Inbound id echoed back verbatim (it is already in the safe alphabet).
+    let mut c = common::Client::connect(addr);
+    c.send(
+        b"GET /healthz HTTP/1.1\r\nHost: test\r\nX-Request-Id: client-id.7\r\n\
+          Connection: close\r\n\r\n",
+    );
+    let resp = c.read_response().expect("response");
+    assert_eq!(resp.status, 200);
+    assert_eq!(request_id(&resp), "client-id.7");
+
+    // No inbound id: one is minted.
+    let resp = get_once(addr, "/healthz");
+    assert_eq!(resp.status, 200);
+    assert!(!request_id(&resp).is_empty());
+
+    // A hostile inbound id is sanitized, never echoed raw.
+    let mut c = common::Client::connect(addr);
+    c.send(
+        b"GET /healthz HTTP/1.1\r\nHost: test\r\nX-Request-Id: a b\"c\r\n\
+          Connection: close\r\n\r\n",
+    );
+    let resp = c.read_response().expect("response");
+    assert_eq!(request_id(&resp), "abc");
+
+    // Error responses carry an id too: 404, 405, and bad-body 400.
+    let resp = get_once(addr, "/no/such/route");
+    assert_eq!(resp.status, 404);
+    assert!(!request_id(&resp).is_empty());
+    let resp = post_once(addr, "/healthz", "{}", &[]);
+    assert_eq!(resp.status, 405);
+    assert!(!request_id(&resp).is_empty());
+
+    server.shutdown().expect("shutdown");
+}
+
+#[test]
+fn debug_traces_and_slo_endpoints_serve_valid_json() {
+    let server = server_with_quota(None);
+    let addr = server.local_addr();
+
+    let resp = get_once(addr, "/debug/traces");
+    assert_eq!(resp.status, 200);
+    let doc: Value = serde_json::from_str(&resp.body_text()).expect("/debug/traces parses");
+    assert!(
+        matches!(obj_get(&doc, "traces"), Some(Value::Array(_))),
+        "no traces array: {doc:?}"
+    );
+
+    let resp = get_once(addr, "/slo");
+    assert_eq!(resp.status, 200);
+    let doc: Value = serde_json::from_str(&resp.body_text()).expect("/slo parses");
+    assert!(obj_get(&doc, "objectives").is_some(), "no objectives");
+    let Some(Value::Array(windows)) = obj_get(&doc, "windows") else {
+        panic!("no windows array: {doc:?}")
+    };
+    assert_eq!(windows.len(), 3, "always three burn-rate windows");
+
+    // Both endpoints are GET-only.
+    let resp = post_once(addr, "/slo", "{}", &[]);
+    assert_eq!(resp.status, 405);
+
+    server.shutdown().expect("shutdown");
+}
+
+#[test]
+fn quota_denial_reports_precise_retry_and_request_id() {
+    let server = server_with_quota(Some(QuotaConfig {
+        rate_per_sec: 0.25,
+        burst: 1.0,
+        max_tenants: 8,
+    }));
+    let addr = server.local_addr();
+    let tenant = [("X-Tenant", "acme"), ("X-Request-Id", "quota-probe-1")];
+
+    // First request takes the single burst token; its empty body then fails
+    // validation (400), which is fine — the quota check already passed.
+    let resp = post_once(addr, "/v1/forecast", "{}", &tenant);
+    assert_eq!(resp.status, 400);
+
+    // Second request is denied with the bucket's actual next-refill time:
+    // one token at 0.25/s accrues in ~4 s, so the rounded-up header must be
+    // in [1, 4] and the precise body figure strictly positive.
+    let resp = post_once(addr, "/v1/forecast", "{}", &tenant);
+    assert_eq!(resp.status, 429);
+    let retry_secs: u64 = resp
+        .header("retry-after")
+        .expect("Retry-After header")
+        .parse()
+        .expect("numeric Retry-After");
+    assert!((1..=4).contains(&retry_secs), "header {retry_secs}s");
+    assert_eq!(request_id(&resp), "quota-probe-1");
+
+    let doc: Value = serde_json::from_str(&resp.body_text()).expect("429 body parses");
+    assert_eq!(
+        obj_get(&doc, "request_id"),
+        Some(&Value::String("quota-probe-1".to_string()))
+    );
+    let Some(Value::Number(serde::Number::PosInt(ms))) = obj_get(&doc, "retry_after_ms") else {
+        panic!("retry_after_ms missing or not an unsigned integer: {doc:?}")
+    };
+    assert!((1..=4000).contains(ms), "body reports {ms} ms");
+    assert!(matches!(obj_get(&doc, "error"), Some(Value::String(_))));
+
+    server.shutdown().expect("shutdown");
+}
+
+#[test]
+fn per_tenant_counters_render_with_escaped_labels() {
+    let server = server_with_quota(None);
+    let addr = server.local_addr();
+
+    // A tenant name containing a quote and a backslash comes straight off
+    // the wire; the exposition must escape it rather than break the line
+    // format.
+    let hostile = r#"acme"corp\east"#;
+    let resp = post_once(addr, "/v1/forecast", "{}", &[("X-Tenant", hostile)]);
+    assert_eq!(resp.status, 400, "empty body fails validation");
+    let resp = post_once(addr, "/v1/forecast", "{}", &[("X-Tenant", "plain")]);
+    assert_eq!(resp.status, 400);
+
+    let metrics = get_once(addr, "/metrics");
+    assert_eq!(metrics.status, 200);
+    let text = metrics.body_text();
+    assert!(
+        text.contains(r#"d2stgnn_httpd_tenant_requests_total{tenant="acme\"corp\\east"} 1"#),
+        "hostile tenant label not escaped:\n{text}"
+    );
+    assert!(
+        text.contains(r#"d2stgnn_httpd_tenant_requests_total{tenant="plain"} 1"#),
+        "plain tenant row missing:\n{text}"
+    );
+    assert!(
+        text.contains("# TYPE d2stgnn_httpd_tenant_shed_total counter"),
+        "shed tenant family missing:\n{text}"
+    );
+
+    server.shutdown().expect("shutdown");
+}

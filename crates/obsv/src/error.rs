@@ -1,0 +1,49 @@
+//! Typed errors for the telemetry layer's fallible surface.
+//!
+//! Only the sink touches the outside world (file creation, write-through),
+//! so [`ObsvError`] is a thin wrapper over the I/O failure — but naming it
+//! here keeps the crate's public `Result`s under the workspace result-error
+//! rule (every public fallible API names a crate-local error type).
+
+use std::fmt;
+
+/// Errors surfaced by the telemetry layer (sink installation and flushing).
+#[derive(Debug)]
+pub enum ObsvError {
+    /// The JSONL sink could not be created or written through.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for ObsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ObsvError::Io(e) => write!(f, "telemetry sink i/o: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ObsvError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ObsvError::Io(e) => Some(e),
+        }
+    }
+}
+
+impl From<std::io::Error> for ObsvError {
+    fn from(e: std::io::Error) -> Self {
+        ObsvError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_io_cause() {
+        let e = ObsvError::from(std::io::Error::other("disk gone"));
+        assert!(e.to_string().contains("disk gone"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -18,7 +18,15 @@
 //!   drop/shutdown.
 //! * **Prometheus exposition** ([`render_prometheus`]) — the registry
 //!   rendered in the Prometheus text format (counters, gauges, and
-//!   summaries with `quantile="0.5|0.95|0.99"` labels).
+//!   summaries with `quantile="0.5|0.95|0.99"` labels), with exemplar
+//!   trace ids on `_count` lines when histograms carry them.
+//! * **Request traces** ([`TraceHandle`], [`make_request_id`]) — one
+//!   request-scoped context minted at the HTTP door and passed explicitly
+//!   through the serving envelope; tail-based sampling retains slow,
+//!   errored, and shed traces in a bounded ring ([`render_traces_json`]).
+//! * **SLOs** ([`slo_record`], [`render_slo_json`]) — availability and
+//!   latency objectives with 5 m / 1 h / 6 h burn rates, mirrored into
+//!   `d2stgnn_slo_*` gauges by [`publish_slo_gauges`].
 //!
 //! ## The `enabled` feature
 //!
@@ -47,17 +55,29 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+mod error;
 mod metrics;
 mod prometheus;
 mod sink;
+mod slo;
 mod span;
+mod trace;
 
+pub use error::ObsvError;
 pub use metrics::{
-    registry, Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Registry,
+    registry, Counter, Exemplar, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Registry,
 };
-pub use prometheus::{render_prometheus, render_prometheus_for};
+pub use prometheus::{escape_label_value, render_prometheus, render_prometheus_for};
 pub use sink::{dropped_lines, flush, init_jsonl, set_writer, shutdown};
+pub use slo::{
+    clear_slo, publish_slo_gauges, render_slo_json, slo_record, slo_snapshot, SloSnapshot,
+    SloWindow, SLO_AVAILABILITY_TARGET, SLO_LATENCY_TARGET, SLO_LATENCY_THRESHOLD,
+};
 pub use span::{emit_event, FieldValue, SpanGuard};
+pub use trace::{
+    clear_traces, make_request_id, render_traces_json, retained_traces, set_tail_config,
+    RetainedTrace, TraceHandle, DEFAULT_SLOW_THRESHOLD, DEFAULT_TAIL_CAPACITY,
+};
 
 /// Whether the `enabled` cargo feature is on. `const`, so the macros'
 /// `if enabled() { .. }` guards fold away entirely in disabled builds.
@@ -156,6 +176,21 @@ macro_rules! observe {
     ($name:literal, $value:expr) => {
         if $crate::enabled() {
             $crate::registry().histogram($name).observe($value);
+        }
+    };
+}
+
+/// Record an `f64` observation carrying a trace id into a named histogram;
+/// the histogram keeps the highest tagged value as its Prometheus exemplar.
+/// `$trace_id` is any `&str` expression (an empty id degrades to a plain
+/// observation).
+#[macro_export]
+macro_rules! observe_exemplar {
+    ($name:literal, $value:expr, $trace_id:expr) => {
+        if $crate::enabled() {
+            $crate::registry()
+                .histogram($name)
+                .observe_with_exemplar($value, $trace_id);
         }
     };
 }

@@ -9,6 +9,17 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 
+/// One trace-linked observation attached to a histogram: the highest value
+/// seen with a trace id, so a dashboard jumping from "p99 spiked" can land
+/// directly on a retained trace in `/debug/traces`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Exemplar {
+    /// The observed value (same unit as the histogram).
+    pub value: f64,
+    /// The trace (request) id that produced it.
+    pub trace_id: String,
+}
+
 /// A monotonically increasing `u64` counter.
 #[derive(Debug, Default)]
 pub struct Counter {
@@ -87,6 +98,8 @@ pub struct Histogram {
     buckets: Box<[AtomicU64; BUCKETS]>,
     count: AtomicU64,
     sum_bits: AtomicU64,
+    /// High-water exemplar: the largest trace-tagged observation so far.
+    exemplar: Mutex<Option<Exemplar>>,
 }
 
 impl std::fmt::Debug for Histogram {
@@ -104,6 +117,7 @@ impl Default for Histogram {
             buckets: Box::new(std::array::from_fn(|_| AtomicU64::new(0))),
             count: AtomicU64::new(0),
             sum_bits: AtomicU64::new(0),
+            exemplar: Mutex::new(None),
         }
     }
 }
@@ -151,6 +165,36 @@ impl Histogram {
                 Err(seen) => cur = seen,
             }
         }
+    }
+
+    /// Record one observation carrying a trace id. High-water policy: the
+    /// exemplar slot keeps the largest tagged value, so the slowest traced
+    /// request stays linked to the histogram between scrapes. Empty trace
+    /// ids only feed the buckets.
+    pub fn observe_with_exemplar(&self, value: f64, trace_id: &str) {
+        self.observe(value);
+        if trace_id.is_empty() || !value.is_finite() {
+            return;
+        }
+        let mut slot = self.exemplar.lock().unwrap_or_else(PoisonError::into_inner);
+        let replace = match slot.as_ref() {
+            Some(e) => value >= e.value,
+            None => true,
+        };
+        if replace {
+            *slot = Some(Exemplar {
+                value,
+                trace_id: trace_id.to_string(),
+            });
+        }
+    }
+
+    /// The current high-water exemplar, if any tagged observation arrived.
+    pub fn exemplar(&self) -> Option<Exemplar> {
+        self.exemplar
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
     }
 
     /// Number of observations.
@@ -217,6 +261,7 @@ impl Histogram {
             p50: self.quantile(0.50),
             p95: self.quantile(0.95),
             p99: self.quantile(0.99),
+            exemplar: self.exemplar(),
         }
     }
 }
@@ -234,6 +279,8 @@ pub struct HistogramSnapshot {
     pub p95: f64,
     /// Estimated 99th percentile.
     pub p99: f64,
+    /// High-water trace-tagged observation, when one exists.
+    pub exemplar: Option<Exemplar>,
 }
 
 /// Frozen view of a whole [`Registry`], name-sorted.
@@ -481,6 +528,25 @@ mod tests {
         // Quantiles stay finite and ordered.
         let (p50, p99) = (h.quantile(0.5), h.quantile(0.99));
         assert!(p50.is_finite() && p99.is_finite() && p50 <= p99);
+    }
+
+    #[test]
+    fn exemplar_keeps_high_water_tagged_observation() {
+        let h = Histogram::new();
+        assert_eq!(h.exemplar(), None);
+        h.observe(10.0); // untagged observations never set an exemplar
+        assert_eq!(h.exemplar(), None);
+        h.observe_with_exemplar(0.2, "trace-a");
+        h.observe_with_exemplar(0.1, "trace-b"); // lower: kept out
+        h.observe_with_exemplar(0.5, ""); // untagged: buckets only
+        h.observe_with_exemplar(f64::INFINITY, "trace-inf"); // non-finite: buckets only
+        let e = h.exemplar().expect("exemplar set");
+        assert_eq!((e.value, e.trace_id.as_str()), (0.2, "trace-a"));
+        h.observe_with_exemplar(0.9, "trace-c"); // higher: replaces
+        let e = h.exemplar().expect("exemplar set");
+        assert_eq!((e.value, e.trace_id.as_str()), (0.9, "trace-c"));
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.snapshot().exemplar, Some(e));
     }
 
     #[test]

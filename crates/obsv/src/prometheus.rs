@@ -17,6 +17,23 @@ pub fn render_prometheus_for(reg: &Registry) -> String {
     render_snapshot(&reg.snapshot())
 }
 
+/// Escape a string for use inside a Prometheus label value: backslash,
+/// double quote, and newline are the three characters the text exposition
+/// format requires escaping (`\\`, `\"`, `\n`). Load-bearing for exemplar
+/// trace ids and tenant labels, both of which can carry client input.
+pub fn escape_label_value(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len());
+    for c in raw.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
 fn push_f64(out: &mut String, v: f64) {
     if v.is_finite() {
         out.push_str(&v.to_string());
@@ -68,6 +85,15 @@ fn render_snapshot(snap: &MetricsSnapshot) -> String {
         out.push_str(name);
         out.push_str("_count ");
         out.push_str(&h.count.to_string());
+        // OpenMetrics-style exemplar: ` # {trace_id="..."} value` appended
+        // to the _count series, linking the histogram's slowest traced
+        // observation to its retained trace in /debug/traces.
+        if let Some(e) = &h.exemplar {
+            out.push_str(" # {trace_id=\"");
+            out.push_str(&escape_label_value(&e.trace_id));
+            out.push_str("\"} ");
+            push_f64(&mut out, e.value);
+        }
         out.push('\n');
     }
     out
@@ -109,5 +135,37 @@ mod tests {
     fn empty_registry_renders_empty() {
         let reg = Registry::new();
         assert!(render_prometheus_for(&reg).is_empty());
+    }
+
+    #[test]
+    fn label_values_escape_quote_backslash_and_newline() {
+        assert_eq!(escape_label_value("plain-id_1.2"), "plain-id_1.2");
+        assert_eq!(escape_label_value("say \"hi\""), "say \\\"hi\\\"");
+        assert_eq!(escape_label_value("back\\slash"), "back\\\\slash");
+        assert_eq!(escape_label_value("line\nbreak"), "line\\nbreak");
+        // All three at once, in a hostile order.
+        assert_eq!(escape_label_value("\\\"\n"), "\\\\\\\"\\n");
+        // No raw newline survives — a hostile value cannot break the
+        // line-oriented exposition format.
+        assert!(!escape_label_value("a\"b\\c\nd").contains('\n'));
+    }
+
+    #[test]
+    fn exemplar_renders_on_count_line_with_escaped_trace_id() {
+        let reg = Registry::new();
+        let h = reg.histogram("d2stgnn_test_exemplar_seconds");
+        h.observe_with_exemplar(0.25, "trace\"quoted\\id");
+        let text = render_prometheus_for(&reg);
+        assert!(
+            text.contains(
+                "d2stgnn_test_exemplar_seconds_count 1 # {trace_id=\"trace\\\"quoted\\\\id\"} 0.25\n"
+            ),
+            "missing exemplar suffix in: {text}"
+        );
+        // Exemplar-bearing lines still end in a parseable value.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let value = line.rsplit(' ').next().unwrap();
+            assert!(value.parse::<f64>().is_ok(), "bad value in line: {line}");
+        }
     }
 }

@@ -5,8 +5,12 @@
 //! through when it reaches [`BUFFER_LINES`], on [`flush`], and when the
 //! sink is replaced or dropped. When no sink is installed, records are
 //! discarded (metrics still accumulate). Write failures drop the buffered
-//! lines and count them in [`dropped_lines`] instead of panicking inside
-//! instrumented code.
+//! lines and count them in [`dropped_lines`] — mirrored into the
+//! `d2stgnn_obsv_sink_dropped_total` registry counter so scrapes see the
+//! loss — instead of panicking inside instrumented code. Every explicit
+//! [`flush`] also appends one `d2stgnn_obsv_sink_flush` summary event
+//! (lines flushed + cumulative drops), making silent data loss visible in
+//! the JSONL stream itself.
 //!
 //! Record schema (one JSON object per line):
 //!
@@ -19,7 +23,8 @@
 //! `ts_us` is microseconds since the first record of the process (monotonic
 //! clock), `dur_us` is present on spans only.
 
-use crate::span::{escape_json_into, FieldValue};
+use crate::error::ObsvError;
+use crate::span::{escape_json_into, next_record_id, FieldValue};
 use std::fs::File;
 use std::io::{BufWriter, Write};
 use std::path::Path;
@@ -50,9 +55,20 @@ impl Drop for SinkState {
     fn drop(&mut self) {
         // Flushed on drop; errors at teardown are unreportable.
         if self.flush_buffer().is_err() {
-            // relaxed: monotonic loss counter; no other memory is published through it
-            DROPPED.fetch_add(self.buf.len() as u64, Ordering::Relaxed);
+            count_dropped(self.buf.len() as u64);
         }
+    }
+}
+
+/// Record `n` lines lost to a write failure, in both the local counter and
+/// (in enabled builds) the metrics registry.
+fn count_dropped(n: u64) {
+    // relaxed: monotonic loss counter; no other memory is published through it
+    DROPPED.fetch_add(n, Ordering::Relaxed);
+    if crate::enabled() {
+        crate::metrics::registry()
+            .counter("d2stgnn_obsv_sink_dropped_total")
+            .add(n);
     }
 }
 
@@ -66,7 +82,7 @@ fn lock_sink() -> std::sync::MutexGuard<'static, Option<SinkState>> {
 
 /// Route telemetry records to a JSONL file at `path` (created/truncated).
 /// Replaces (and flushes) any previously installed sink.
-pub fn init_jsonl(path: impl AsRef<Path>) -> std::io::Result<()> {
+pub fn init_jsonl(path: impl AsRef<Path>) -> Result<(), ObsvError> {
     let file = File::create(path)?;
     set_writer(Box::new(BufWriter::new(file)));
     Ok(())
@@ -82,12 +98,27 @@ pub fn set_writer(writer: Box<dyn Write + Send>) {
     drop(previous); // flushes via SinkState::drop outside the replace call
 }
 
-/// Write buffered lines through to the sink writer.
-pub fn flush() -> std::io::Result<()> {
-    match lock_sink().as_mut() {
-        Some(state) => state.flush_buffer(),
-        None => Ok(()),
-    }
+/// Write buffered lines through to the sink writer, after appending one
+/// `d2stgnn_obsv_sink_flush` summary event (`lines` about to be flushed,
+/// cumulative `dropped_total`) so data loss is visible in-stream.
+pub fn flush() -> Result<(), ObsvError> {
+    let mut guard = lock_sink();
+    let Some(state) = guard.as_mut() else {
+        return Ok(());
+    };
+    // Built inline: emit_record would re-enter the (non-reentrant) sink
+    // lock held right now.
+    let summary = format!(
+        "{{\"type\":\"event\",\"name\":\"d2stgnn_obsv_sink_flush\",\"id\":{},\"parent\":0,\
+         \"ts_us\":{},\"fields\":{{\"lines\":{},\"dropped_total\":{}}}}}",
+        next_record_id(),
+        ts_micros(Instant::now()),
+        state.buf.len(),
+        dropped_lines(),
+    );
+    state.buf.push(summary);
+    state.flush_buffer()?;
+    Ok(())
 }
 
 /// Flush and uninstall the sink. Subsequent records are discarded until a
@@ -161,8 +192,7 @@ pub(crate) fn emit_record(
     if state.buf.len() >= BUFFER_LINES {
         let pending = state.buf.len() as u64;
         if state.flush_buffer().is_err() {
-            // relaxed: monotonic loss counter; the buffer itself is mutex-guarded
-            DROPPED.fetch_add(pending, Ordering::Relaxed);
+            count_dropped(pending);
             state.buf.clear();
         }
     }

@@ -15,6 +15,14 @@ use std::time::Instant;
 
 static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
 
+/// Allocate a fresh record id from the span-id sequence. Used by records
+/// built outside [`SpanGuard`] (the sink's flush summary event) so every
+/// JSONL record shares one id space.
+pub(crate) fn next_record_id() -> u64 {
+    // relaxed: record ids only need fetch_add's uniqueness, not ordering
+    NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed)
+}
+
 thread_local! {
     /// Id of the innermost open span on this thread (0 = none).
     static CURRENT_SPAN: Cell<u64> = const { Cell::new(0) };

@@ -1,0 +1,480 @@
+//! Request-scoped trace context with tail-based retention.
+//!
+//! A [`TraceHandle`] is created at the system's front door (the httpd layer)
+//! and travels *explicitly* through the request envelope — router, serve
+//! queue, micro-batch worker — never through thread-locals, because a
+//! request changes threads at the queue boundary. Each layer attributes its
+//! stage duration to the handle ([`TraceHandle::stage`]); the batch worker
+//! records **span links** ([`TraceHandle::link_batch`]): the ids of the
+//! other request traces fused into the same batch execution.
+//!
+//! **Tail-based sampling**: when a trace finishes ([`TraceHandle::finish`]),
+//! its complete stage tree is retained in a bounded ring buffer only if the
+//! request was slow (total latency at or above the configured threshold),
+//! errored (HTTP status >= 400), or shed — everything else has already fed
+//! the aggregate histograms and is dropped. [`render_traces_json`] exposes
+//! the ring (most-recent-first) for the `GET /debug/traces` endpoint.
+//!
+//! Everything is inert when the `enabled` feature is off: handles carry no
+//! allocation, every method folds to a no-op, and the JSON render reports an
+//! empty ring. [`make_request_id`] alone stays live in disabled builds —
+//! request identity is part of the HTTP contract (the `X-Request-Id` echo),
+//! not telemetry.
+
+use crate::metrics::registry;
+use crate::span::escape_json_into;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
+use std::time::{Duration, Instant};
+
+/// Longest client-supplied request id honored before truncation.
+const MAX_ID_LEN: usize = 64;
+/// Default retained-trace ring capacity.
+pub const DEFAULT_TAIL_CAPACITY: usize = 256;
+/// Default slow-trace retention threshold (matches the latency SLO target).
+pub const DEFAULT_SLOW_THRESHOLD: Duration = Duration::from_millis(250);
+
+static NEXT_REQUEST: AtomicU64 = AtomicU64::new(1);
+static ID_SEED: OnceLock<u64> = OnceLock::new();
+
+fn id_seed() -> u64 {
+    *ID_SEED.get_or_init(|| {
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0x9e37_79b9_7f4a_7c15)
+    })
+}
+
+/// Derive the request id for one inbound request: honor a client-supplied
+/// `X-Request-Id` (restricted to `[A-Za-z0-9._-]`, truncated to 64 chars so
+/// a hostile header cannot smuggle CR/LF into response headers or grow
+/// retained traces without bound), else mint a fresh 16-hex-digit id.
+///
+/// Always live — request identity is part of the HTTP contract even when
+/// telemetry is compiled out.
+pub fn make_request_id(inbound: Option<&str>) -> String {
+    if let Some(raw) = inbound {
+        let cleaned: String = raw
+            .chars()
+            .filter(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.'))
+            .take(MAX_ID_LEN)
+            .collect();
+        if !cleaned.is_empty() {
+            return cleaned;
+        }
+    }
+    // relaxed: the counter only needs fetch_add's uniqueness, not ordering
+    let n = NEXT_REQUEST.fetch_add(1, Ordering::Relaxed);
+    format!("{:016x}", id_seed() ^ n.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+}
+
+#[derive(Default)]
+struct TraceInner {
+    /// `(stage name, duration in µs)` in attribution order.
+    stages: Vec<(&'static str, u64)>,
+    /// Id of the batch execution this request was fused into (0 = none).
+    batch_id: u64,
+    /// Span links: ids of the other traces fused into the same batch.
+    links: Vec<String>,
+    shed: bool,
+    finished: bool,
+}
+
+struct TraceShared {
+    id: String,
+    start: Instant,
+    inner: Mutex<TraceInner>,
+}
+
+/// One request's trace context. Cheap to clone (an `Arc` internally); an
+/// inert handle (disabled build, or [`TraceHandle::inert`]) is a `None` and
+/// every method on it is a no-op.
+#[derive(Clone, Default)]
+pub struct TraceHandle {
+    shared: Option<Arc<TraceShared>>,
+}
+
+impl std::fmt::Debug for TraceHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.shared {
+            Some(s) => write!(f, "TraceHandle({:?})", s.id),
+            None => write!(f, "TraceHandle(inert)"),
+        }
+    }
+}
+
+impl TraceHandle {
+    /// An inert handle: every method is a no-op. What non-HTTP callers (and
+    /// disabled builds) put into the request envelope.
+    pub fn inert() -> Self {
+        Self { shared: None }
+    }
+
+    /// Open a trace for request `id` and start its clock. Inert when the
+    /// `enabled` feature is off.
+    pub fn start(id: &str) -> Self {
+        if !crate::enabled() {
+            return Self::inert();
+        }
+        Self {
+            shared: Some(Arc::new(TraceShared {
+                id: id.to_string(),
+                start: Instant::now(),
+                inner: Mutex::new(TraceInner::default()),
+            })),
+        }
+    }
+
+    /// Whether this handle carries a live trace.
+    pub fn is_active(&self) -> bool {
+        self.shared.is_some()
+    }
+
+    /// The request id (`None` on an inert handle).
+    pub fn id(&self) -> Option<String> {
+        self.shared.as_ref().map(|s| s.id.clone())
+    }
+
+    fn lock_inner<'a>(shared: &'a TraceShared) -> MutexGuard<'a, TraceInner> {
+        shared.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Attribute `dur` to stage `name` (parse, route, queue_wait,
+    /// batch_fuse, forward, postprocess, ...). Repeats append in order.
+    pub fn stage(&self, name: &'static str, dur: Duration) {
+        let Some(shared) = &self.shared else { return };
+        let mut inner = Self::lock_inner(shared);
+        if inner.stages.len() < 64 {
+            // Bounded: a buggy caller looping on stage() cannot grow a
+            // retained trace without limit.
+            inner.stages.push((name, dur.as_micros() as u64));
+        }
+    }
+
+    /// Mark the request as shed (admission control / full queue). Shed
+    /// traces are always retained by the tail sampler.
+    pub fn mark_shed(&self) {
+        let Some(shared) = &self.shared else { return };
+        Self::lock_inner(shared).shed = true;
+    }
+
+    /// Record the batch this request was fused into: the batch span id and
+    /// the ids of every co-batched trace (own id is filtered out here).
+    pub fn link_batch(&self, batch_id: u64, member_ids: &[String]) {
+        let Some(shared) = &self.shared else { return };
+        let links: Vec<String> = member_ids
+            .iter()
+            .filter(|m| m.as_str() != shared.id)
+            .cloned()
+            .collect();
+        let mut inner = Self::lock_inner(shared);
+        inner.batch_id = batch_id;
+        inner.links = links;
+    }
+
+    /// Close the trace with the response `status`, and hand it to the tail
+    /// sampler: retained if slow, errored (>= 400), or shed; dropped
+    /// otherwise. Idempotent — the first call wins.
+    pub fn finish(&self, status: u16) {
+        let Some(shared) = &self.shared else { return };
+        let total_us = shared.start.elapsed().as_micros() as u64;
+        let record = {
+            let mut inner = Self::lock_inner(shared);
+            if inner.finished {
+                return;
+            }
+            inner.finished = true;
+            RetainedTrace {
+                id: shared.id.clone(),
+                status,
+                total_us,
+                shed: inner.shed,
+                batch_id: inner.batch_id,
+                links: std::mem::take(&mut inner.links),
+                stages: std::mem::take(&mut inner.stages),
+            }
+        };
+        let shed = record.shed;
+        let retained = {
+            let mut guard = lock_tail();
+            let store = guard.get_or_insert_with(TailStore::with_defaults);
+            store.offer(record)
+        };
+        registry().counter("d2stgnn_trace_finished_total").add(1);
+        if retained {
+            registry().counter("d2stgnn_trace_retained_total").add(1);
+        } else {
+            registry().counter("d2stgnn_trace_sampled_out_total").add(1);
+        }
+        if shed {
+            registry().counter("d2stgnn_trace_shed_total").add(1);
+        }
+    }
+}
+
+/// One fully retained trace, as stored in the tail ring.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RetainedTrace {
+    /// Request id.
+    pub id: String,
+    /// Final HTTP status.
+    pub status: u16,
+    /// End-to-end duration in µs.
+    pub total_us: u64,
+    /// Whether the request was shed.
+    pub shed: bool,
+    /// Batch execution id (0 when the request never reached a batch).
+    pub batch_id: u64,
+    /// Span links: co-batched trace ids.
+    pub links: Vec<String>,
+    /// `(stage, µs)` attributions in order.
+    pub stages: Vec<(&'static str, u64)>,
+}
+
+/// The bounded most-recent ring of retained traces. Kept as a plain struct
+/// so the retention policy is unit-testable without the global.
+struct TailStore {
+    ring: VecDeque<RetainedTrace>,
+    capacity: usize,
+    slow_threshold_us: u64,
+}
+
+impl TailStore {
+    fn with_defaults() -> Self {
+        Self::new(DEFAULT_TAIL_CAPACITY, DEFAULT_SLOW_THRESHOLD)
+    }
+
+    fn new(capacity: usize, slow_threshold: Duration) -> Self {
+        Self {
+            ring: VecDeque::new(),
+            capacity: capacity.max(1),
+            slow_threshold_us: slow_threshold.as_micros() as u64,
+        }
+    }
+
+    /// Apply the tail-sampling policy; returns whether `t` was retained.
+    fn offer(&mut self, t: RetainedTrace) -> bool {
+        let retain = t.shed || t.status >= 400 || t.total_us >= self.slow_threshold_us;
+        if !retain {
+            return false;
+        }
+        while self.ring.len() >= self.capacity {
+            self.ring.pop_front();
+        }
+        self.ring.push_back(t);
+        true
+    }
+}
+
+static TAIL: Mutex<Option<TailStore>> = Mutex::new(None);
+
+fn lock_tail() -> MutexGuard<'static, Option<TailStore>> {
+    TAIL.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Reconfigure the tail sampler: ring capacity and the slow-trace threshold
+/// (a zero threshold retains every finished trace — used by smoke tests).
+/// Existing retained traces are kept, truncated to the new capacity.
+pub fn set_tail_config(capacity: usize, slow_threshold: Duration) {
+    if !crate::enabled() {
+        return;
+    }
+    let mut guard = lock_tail();
+    let store = guard.get_or_insert_with(TailStore::with_defaults);
+    store.capacity = capacity.max(1);
+    store.slow_threshold_us = slow_threshold.as_micros() as u64;
+    while store.ring.len() > store.capacity {
+        store.ring.pop_front();
+    }
+}
+
+/// Drop every retained trace (test isolation helper).
+pub fn clear_traces() {
+    let mut guard = lock_tail();
+    if let Some(store) = guard.as_mut() {
+        store.ring.clear();
+    }
+}
+
+/// Snapshot the retained traces, most-recent-first.
+pub fn retained_traces() -> Vec<RetainedTrace> {
+    let guard = lock_tail();
+    match guard.as_ref() {
+        Some(store) => store.ring.iter().rev().cloned().collect(),
+        None => Vec::new(),
+    }
+}
+
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    escape_json_into(s, out);
+    out.push('"');
+}
+
+/// Render the retained traces as the `GET /debug/traces` JSON document:
+/// `{"traces":[...]}`, most-recent-first, each trace carrying its id,
+/// status, total and per-stage durations (µs), shed flag, batch id, and
+/// span links. An empty (or disabled) ring renders `{"traces":[]}`.
+pub fn render_traces_json() -> String {
+    let traces = retained_traces();
+    let mut out = String::with_capacity(64 + traces.len() * 160);
+    out.push_str("{\"traces\":[");
+    for (i, t) in traces.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"id\":");
+        push_json_str(&mut out, &t.id);
+        out.push_str(",\"status\":");
+        out.push_str(&t.status.to_string());
+        out.push_str(",\"total_us\":");
+        out.push_str(&t.total_us.to_string());
+        out.push_str(",\"shed\":");
+        out.push_str(if t.shed { "true" } else { "false" });
+        out.push_str(",\"batch_id\":");
+        out.push_str(&t.batch_id.to_string());
+        out.push_str(",\"links\":[");
+        for (j, link) in t.links.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            push_json_str(&mut out, link);
+        }
+        out.push_str("],\"stages\":{");
+        for (j, (stage, us)) in t.stages.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            push_json_str(&mut out, stage);
+            out.push(':');
+            out.push_str(&us.to_string());
+        }
+        out.push_str("}}");
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace(id: &str, status: u16, total_us: u64, shed: bool) -> RetainedTrace {
+        RetainedTrace {
+            id: id.to_string(),
+            status,
+            total_us,
+            shed,
+            batch_id: 0,
+            links: Vec::new(),
+            stages: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn request_ids_honor_sanitized_inbound_and_mint_otherwise() {
+        assert_eq!(make_request_id(Some("abc-123_X.z")), "abc-123_X.z");
+        // Hostile characters are stripped; CR/LF cannot reach a header.
+        assert_eq!(make_request_id(Some("a\r\nInjected: 1")), "aInjected1");
+        // All-garbage and absent ids mint fresh ones.
+        let minted = make_request_id(Some("\r\n\""));
+        assert_eq!(minted.len(), 16);
+        assert!(minted.chars().all(|c| c.is_ascii_hexdigit()));
+        assert_ne!(make_request_id(None), make_request_id(None));
+        // Truncation keeps ids bounded.
+        let long = "x".repeat(500);
+        assert_eq!(make_request_id(Some(&long)).len(), MAX_ID_LEN);
+    }
+
+    #[test]
+    fn tail_store_retains_only_slow_errored_or_shed() {
+        let mut store = TailStore::new(8, Duration::from_millis(10));
+        assert!(!store.offer(trace("fast-ok", 200, 500, false)));
+        assert!(store.offer(trace("slow-ok", 200, 20_000, false)));
+        assert!(store.offer(trace("errored", 500, 100, false)));
+        assert!(store.offer(trace("client-err", 429, 100, false)));
+        assert!(store.offer(trace("shed", 503, 50, true)));
+        let ids: Vec<&str> = store.ring.iter().map(|t| t.id.as_str()).collect();
+        assert_eq!(ids, ["slow-ok", "errored", "client-err", "shed"]);
+    }
+
+    #[test]
+    fn tail_store_ring_is_bounded_and_most_recent_wins() {
+        let mut store = TailStore::new(3, Duration::ZERO);
+        for i in 0..10 {
+            assert!(store.offer(trace(&format!("t{i}"), 200, 1, false)));
+        }
+        let ids: Vec<&str> = store.ring.iter().map(|t| t.id.as_str()).collect();
+        assert_eq!(ids, ["t7", "t8", "t9"]);
+    }
+
+    #[test]
+    fn zero_threshold_retains_everything() {
+        let mut store = TailStore::new(4, Duration::ZERO);
+        assert!(store.offer(trace("instant", 200, 0, false)));
+    }
+
+    #[test]
+    fn handle_lifecycle_matches_feature_state() {
+        let h = TraceHandle::start("lifecycle-test");
+        assert_eq!(h.is_active(), crate::enabled());
+        h.stage("parse", Duration::from_micros(5));
+        h.mark_shed();
+        h.finish(503);
+        h.finish(200); // idempotent: second finish is ignored
+        if crate::enabled() {
+            assert_eq!(h.id().as_deref(), Some("lifecycle-test"));
+            let found = retained_traces().into_iter().find(|t| {
+                t.id == "lifecycle-test" && t.status == 503 && t.shed && t.stages == [("parse", 5)]
+            });
+            assert!(found.is_some(), "shed trace not retained");
+        } else {
+            assert_eq!(h.id(), None);
+            assert!(retained_traces().is_empty());
+        }
+        let inert = TraceHandle::inert();
+        assert!(!inert.is_active());
+        inert.finish(200);
+    }
+
+    #[test]
+    fn batch_links_exclude_own_id() {
+        let h = TraceHandle::start("links-self");
+        let members = vec!["links-self".to_string(), "links-peer".to_string()];
+        h.link_batch(42, &members);
+        h.finish(500); // errored -> retained
+        if crate::enabled() {
+            let found = retained_traces()
+                .into_iter()
+                .find(|t| t.id == "links-self")
+                .expect("retained");
+            assert_eq!(found.batch_id, 42);
+            assert_eq!(found.links, ["links-peer"]);
+        }
+    }
+
+    #[test]
+    fn traces_json_is_escaped_and_most_recent_first() {
+        clear_traces();
+        {
+            let mut guard = lock_tail();
+            let store = guard.get_or_insert_with(TailStore::with_defaults);
+            store.offer(trace("first", 500, 10, false));
+            let mut nasty = trace("evil\"id\\with\nnewline", 503, 20, true);
+            nasty.links = vec!["peer\"quote".to_string()];
+            nasty.stages = vec![("parse", 3), ("route", 4)];
+            store.offer(nasty);
+        }
+        let json = render_traces_json();
+        // Most-recent-first: the nasty trace renders before "first".
+        let nasty_pos = json.find("evil").expect("nasty id present");
+        let first_pos = json.find("\"first\"").expect("first id present");
+        assert!(nasty_pos < first_pos, "not most-recent-first: {json}");
+        assert!(json.contains("evil\\\"id\\\\with\\nnewline"));
+        assert!(json.contains("peer\\\"quote"));
+        assert!(json.contains("\"stages\":{\"parse\":3,\"route\":4}"));
+        clear_traces();
+    }
+}

@@ -112,12 +112,25 @@ fn span_tree_round_trips_through_jsonl() {
 
     let text = buf.contents();
     let lines: Vec<Value> = text.lines().map(validate_line_schema).collect();
-    assert_eq!(lines.len(), 3, "tick event + inner span + outer span");
+    assert_eq!(
+        lines.len(),
+        4,
+        "tick event + inner span + outer span + flush summary"
+    );
 
-    // Close order: event first (events emit immediately), then inner, outer.
+    // Close order: event first (events emit immediately), then inner, outer;
+    // flush() appends its own summary event last.
     let event = &lines[0];
     let inner = &lines[1];
     let outer = &lines[2];
+    let summary = &lines[3];
+    assert_eq!(
+        as_str(obj_get(summary, "name").unwrap()),
+        "d2stgnn_obsv_sink_flush"
+    );
+    let summary_fields = obj_get(summary, "fields").unwrap();
+    assert_eq!(as_u64(obj_get(summary_fields, "lines").unwrap()), 3);
+    assert!(obj_get(summary_fields, "dropped_total").is_some());
     assert_eq!(as_str(obj_get(event, "name").unwrap()), "d2stgnn_test_tick");
     assert_eq!(
         as_str(obj_get(inner, "name").unwrap()),
@@ -173,10 +186,54 @@ fn macros_feed_registry_and_prometheus_rendering() {
     d2stgnn_obsv::shutdown();
 }
 
+/// A writer whose every operation fails, for exercising the loss path.
+struct FailingWriter;
+
+impl Write for FailingWriter {
+    fn write(&mut self, _buf: &[u8]) -> std::io::Result<usize> {
+        Err(std::io::Error::other("sink target gone"))
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Err(std::io::Error::other("sink target gone"))
+    }
+}
+
+#[test]
+fn write_failures_count_dropped_lines_in_counter_and_registry() {
+    let _guard = test_lock();
+    d2stgnn_obsv::shutdown();
+    d2stgnn_obsv::registry().clear();
+    let before = d2stgnn_obsv::dropped_lines();
+
+    d2stgnn_obsv::set_writer(Box::new(FailingWriter));
+    {
+        let _span = d2stgnn_obsv::span!("d2stgnn_test_lost");
+    }
+    // Explicit flush fails loudly; the buffered lines are still pending.
+    assert!(d2stgnn_obsv::flush().is_err());
+    // Teardown flush fails too: the pending lines are dropped and counted.
+    d2stgnn_obsv::shutdown();
+
+    assert!(
+        d2stgnn_obsv::dropped_lines() > before,
+        "loss was not counted"
+    );
+    let snap = d2stgnn_obsv::registry().snapshot();
+    assert!(
+        snap.counters
+            .iter()
+            .any(|(n, v)| n == "d2stgnn_obsv_sink_dropped_total" && *v > 0),
+        "registry counter missing: {:?}",
+        snap.counters
+    );
+}
+
 #[test]
 fn sink_file_round_trip() {
     let _guard = test_lock();
     d2stgnn_obsv::registry().clear();
+    let dropped_before = d2stgnn_obsv::dropped_lines();
 
     let dir = std::env::temp_dir().join(format!("d2stgnn-obsv-test-{}", std::process::id()));
     std::fs::create_dir_all(&dir).expect("create temp dir");
@@ -194,6 +251,6 @@ fn sink_file_round_trip() {
         as_str(obj_get(&lines[0], "name").unwrap()),
         "d2stgnn_test_file"
     );
-    assert_eq!(d2stgnn_obsv::dropped_lines(), 0);
+    assert_eq!(d2stgnn_obsv::dropped_lines(), dropped_before);
     std::fs::remove_dir_all(&dir).ok();
 }

@@ -51,3 +51,9 @@ pub use server::{
     Forecast, ForecastHandle, InferRequest, ServeConfig, Server, DEFAULT_SHUTDOWN_GRACE,
 };
 pub use stats::{ServerStats, StatsRecorder};
+
+// Re-exported so front ends can fill `InferRequest::trace` without naming
+// the telemetry crate directly. The handle is carried *in* the request
+// envelope — never through thread-locals — because requests cross thread
+// boundaries at the queue.
+pub use d2stgnn_obsv::TraceHandle;

@@ -78,6 +78,11 @@ pub struct InferRequest {
     pub dow: Vec<usize>,
     /// Absolute deadline; once passed the request degrades to the fallback.
     pub deadline: Option<Instant>,
+    /// Request-scoped trace context, carried *explicitly* through the queue
+    /// (a request changes threads between enqueue and the batch worker, so
+    /// thread-local propagation cannot work). Embedded callers without a
+    /// front door pass [`d2stgnn_obsv::TraceHandle::inert`].
+    pub trace: d2stgnn_obsv::TraceHandle,
 }
 
 /// A served forecast.
@@ -218,6 +223,7 @@ impl Server {
             let mut queue = self.shared.queue.lock();
             if queue.len() >= self.shared.config.queue_capacity {
                 drop(queue);
+                request.trace.mark_shed();
                 self.shared.stats.shed();
                 let fallback = self.shared.fallback.lock().clone();
                 return match fallback {
@@ -420,6 +426,9 @@ fn worker_loop(shared: &Shared) {
         let Some(first) = queue.pop_front() else {
             continue;
         };
+        // Batch-fuse clock: from popping the batch's first request until the
+        // fuse loop gives up; attributed to every fused request's trace.
+        let fuse_start = Instant::now();
         shared.depth.store(queue.len(), Ordering::Release);
         let model_name = first.request.model.clone();
         // Resolve the version once per micro-batch: every request fused into
@@ -448,7 +457,8 @@ fn worker_loop(shared: &Shared) {
         shared.depth.store(queue.len(), Ordering::Release);
         d2stgnn_obsv::gauge_set!("d2stgnn_serve_queue_depth", queue.len() as f64);
         drop(queue);
-        process_batch(shared, &mut cache, version, batch, &mut rng);
+        let fuse_wait = fuse_start.elapsed();
+        process_batch(shared, &mut cache, version, batch, &mut rng, fuse_wait);
         shared.notify.notify_all();
     }
 }
@@ -459,6 +469,7 @@ fn process_batch(
     version: Option<Arc<ModelVersion>>,
     pending: Vec<Pending>,
     rng: &mut StdRng,
+    fuse_wait: Duration,
 ) {
     let Some(version) = version else {
         let name = pending
@@ -479,9 +490,16 @@ fn process_batch(
     let fallback = shared.fallback.lock().clone();
     let mut live = Vec::with_capacity(pending.len());
     for p in pending {
-        d2stgnn_obsv::observe!(
-            "d2stgnn_serve_queue_wait_seconds",
-            now.saturating_duration_since(p.enqueued).as_secs_f64()
+        let queue_wait = now.saturating_duration_since(p.enqueued);
+        d2stgnn_obsv::observe!("d2stgnn_serve_queue_wait_seconds", queue_wait.as_secs_f64());
+        // Queue-wait and fuse-hold attribution, plus a per-request event so
+        // the JSONL stream ties the wait to the request's trace id.
+        p.request.trace.stage("queue_wait", queue_wait);
+        p.request.trace.stage("batch_fuse", fuse_wait);
+        d2stgnn_obsv::event!(
+            "d2stgnn_serve_queue_wait",
+            trace_id = p.request.trace.id().unwrap_or_default(),
+            wait_us = queue_wait.as_micros() as u64
         );
         let expired = p.request.deadline.is_some_and(|d| now > d);
         if !expired {
@@ -502,6 +520,18 @@ fn process_batch(
     }
     if live.is_empty() {
         return;
+    }
+
+    // Span links: every fused request's trace records the batch span id and
+    // the ids of its co-batched peers, so one slow batch execution explains
+    // every request it served (and vice versa from /debug/traces).
+    let batch_id = batch_span.id();
+    let member_ids: Vec<String> = live.iter().filter_map(|p| p.request.trace.id()).collect();
+    for p in &live {
+        p.request.trace.link_batch(batch_id, &member_ids);
+    }
+    if !member_ids.is_empty() {
+        d2stgnn_obsv::record!(batch_span, trace_ids = member_ids.join(","));
     }
 
     // Rebuild this worker's replica if the registry generation moved.
@@ -558,6 +588,7 @@ fn process_batch(
     };
 
     d2stgnn_obsv::record!(batch_span, batch_size = b);
+    let forward_start = Instant::now();
     let out = {
         let _forward_span = d2stgnn_obsv::span!("d2stgnn_serve_forward", batch_size = b);
         d2stgnn_obsv::gauge_add!("d2stgnn_serve_in_flight", b as f64);
@@ -565,11 +596,13 @@ fn process_batch(
         d2stgnn_obsv::gauge_add!("d2stgnn_serve_in_flight", -(b as f64));
         out
     };
+    let forward_wait = forward_start.elapsed();
     shared.stats.batch_done(b);
 
     // Fan the rows back out, de-normalized.
     let _post_span = d2stgnn_obsv::span!("d2stgnn_serve_postprocess", batch_size = b);
     for (bi, p) in live.into_iter().enumerate() {
+        let row_start = Instant::now();
         let mut values = Array::zeros(&[tf, n]);
         for t in 0..tf {
             for i in 0..n {
@@ -579,7 +612,11 @@ fn process_batch(
                 );
             }
         }
-        shared.stats.request_done(p.enqueued.elapsed());
+        p.request.trace.stage("forward", forward_wait);
+        p.request.trace.stage("postprocess", row_start.elapsed());
+        shared
+            .stats
+            .request_done(p.enqueued.elapsed(), p.request.trace.id().as_deref());
         p.tx.send(Ok(Forecast {
             model: version.name().to_string(),
             generation: version.generation(),

@@ -107,10 +107,16 @@ impl StatsRecorder {
         d2stgnn_obsv::observe!("d2stgnn_serve_batch_size", size as f64);
     }
 
-    pub(crate) fn request_done(&self, latency: Duration) {
+    pub(crate) fn request_done(&self, latency: Duration, trace_id: Option<&str>) {
         // relaxed: monotonic stats counter; no other memory is published through it
         self.completed.fetch_add(1, Ordering::Relaxed);
-        d2stgnn_obsv::observe!("d2stgnn_serve_request_seconds", latency.as_secs_f64());
+        // Exemplar: the slowest traced request stays attached to the latency
+        // histogram (an absent/empty id degrades to a plain observation).
+        d2stgnn_obsv::observe_exemplar!(
+            "d2stgnn_serve_request_seconds",
+            latency.as_secs_f64(),
+            trace_id.unwrap_or("")
+        );
         let nanos = latency.as_nanos().min(u64::MAX as u128) as u64;
         // relaxed: the cursor only picks a slot; the window itself is mutex-guarded
         let slot = self.cursor.fetch_add(1, Ordering::Relaxed) as usize % LATENCY_WINDOW;
@@ -180,7 +186,7 @@ mod tests {
     fn percentiles_over_known_distribution() {
         let rec = StatsRecorder::default();
         for ms in 1..=100u64 {
-            rec.request_done(Duration::from_millis(ms));
+            rec.request_done(Duration::from_millis(ms), None);
         }
         let s = rec.snapshot();
         assert_eq!(s.completed, 100);

@@ -127,6 +127,7 @@ fn hung_worker_surfaces_worker_hung_on_shutdown() {
         tod: vec![0; data.th()],
         dow: vec![0; data.th()],
         deadline: None,
+        trace: d2stgnn_serve::TraceHandle::inert(),
     };
     let _handle = server.submit(request).expect("submit");
 

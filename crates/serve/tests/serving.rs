@@ -55,6 +55,7 @@ fn request_for(data: &WindowedDataset, split: Split, widx: usize, model: &str) -
         tod,
         dow,
         deadline: None,
+        trace: d2stgnn_serve::TraceHandle::inert(),
     }
 }
 

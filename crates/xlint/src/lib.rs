@@ -63,7 +63,11 @@ pub const PANIC_FREE_CRATES: &[&str] =
 pub const PRINT_FUNNEL_CRATE: &str = "obsv";
 
 /// Crates whose `pub fn` Result signatures must use the crate's `error.rs`.
-pub const RESULT_ERROR_CRATES: &[&str] = &["serve", "core", "graph", "tensor", "data", "httpd"];
+/// `obsv` earned its entry with the trace/slo/sink surface: a fallible
+/// telemetry sink must fail as a typed [`ObsvError`], never a panic or a
+/// bare `io::Error` leaking through the public API.
+pub const RESULT_ERROR_CRATES: &[&str] =
+    &["serve", "core", "graph", "tensor", "data", "httpd", "obsv"];
 
 /// Crates on the request path where `thread::sleep` and unbounded channels
 /// are banned (the `serve-concurrency` rule): a sleeping worker stalls every

@@ -38,6 +38,7 @@ fn request_at(data: &WindowedDataset, start: usize, model: &str) -> InferRequest
         tod,
         dow,
         deadline: None,
+        trace: d2stgnn_serve::TraceHandle::inert(),
     }
 }
 

@@ -52,7 +52,7 @@ cargo test -q --features obsv
 cargo clippy -p d2stgnn-obsv --all-targets --features enabled -- -D warnings
 cargo clippy -p d2stgnn-bench --all-targets --features obsv -- -D warnings
 
-echo "==> obsv smoke run (2-epoch tiny train + served batch, JSONL validated)"
+echo "==> obsv smoke run (tiny train + served batch + HTTP forecast trace)"
 cargo run -q -p d2stgnn-bench --features obsv --bin obsv_smoke
 
 echo "==> resume fault-injection smoke (SIGKILL mid-epoch, bit-identical resume)"
@@ -76,6 +76,7 @@ EOF
 
 echo "==> httpd front-end: crate tests + 2-shard scale-out smoke"
 cargo test -q -p d2stgnn-httpd
+cargo test -q -p d2stgnn-httpd --features obsv
 cargo test -q -p d2stgnn-httpd --features sanitize
 cargo run -q --release -p d2stgnn-bench --bin loadgen -- --fast
 python3 - <<'EOF'
@@ -99,6 +100,33 @@ print(
     f"scale-out smoke OK: {summary['scaleout_ratio']:.2f}x live, "
     f"{full['summary']['scaleout_ratio']:.2f}x committed, "
     f"p99 {summary['overload_p99_ms']:.0f} ms under 4x load"
+)
+EOF
+
+echo "==> tracing overhead smoke (obsv inert baseline vs live, same binary)"
+cargo run -q --release -p d2stgnn-bench --bin tracing_overhead -- --fast
+cargo run -q --release -p d2stgnn-bench --features obsv --bin tracing_overhead -- --fast
+python3 - <<'EOF'
+import json
+doc = json.load(open("target/experiments/BENCH_tracing_overhead.json"))
+assert doc["schema"] == "d2stgnn-bench-v1", doc["schema"]
+assert doc["name"] == "tracing_overhead"
+res = doc["results"]
+res = json.loads(res) if isinstance(res, str) else res
+assert res["obsv_enabled"] is True
+assert res["baseline_req_per_s"] > 0 and res["traced_req_per_s"] > 0
+# The smoke run is short and scheduler-noisy; require only that tracing is
+# not catastrophically slow. The committed full-run artifact is where the
+# < 3% acceptance bar is enforced.
+assert res["overhead_pct"] < 15.0, res["overhead_pct"]
+committed = json.load(open("BENCH_tracing_overhead.json"))
+full = committed["results"]
+full = json.loads(full) if isinstance(full, str) else full
+assert full["obsv_enabled"] is True
+assert full["overhead_pct"] < 3.0, full["overhead_pct"]
+print(
+    f"tracing overhead OK: {res['overhead_pct']:+.2f}% live (smoke), "
+    f"{full['overhead_pct']:+.2f}% committed (bar < 3%)"
 )
 EOF
 
