@@ -503,13 +503,20 @@ impl Array {
     // Reductions
     // ------------------------------------------------------------------
 
-    /// Sum of all elements. Always serial: a chunked partial-sum reduction
-    /// would change accumulation order and break bit-determinism.
+    /// Sum of all elements. **Deliberately never pooled**, whatever
+    /// `D2_THREADS` says: a chunked partial-sum reduction would change the
+    /// f32 accumulation order (addition is non-associative) and break the
+    /// bit-exact resume invariant, so this stays one ascending serial pass.
+    /// The tape profiler counts these in their own `serial` column (via
+    /// `profile::note_serial_reduction`) so the cost shows up in
+    /// `Tape::profile_report` instead of being silently unattributed.
     pub fn sum_all(&self) -> f32 {
+        crate::profile::note_serial_reduction();
         self.data.iter().sum()
     }
 
-    /// Mean of all elements (0 for empty arrays).
+    /// Mean of all elements (0 for empty arrays). Serial for the same
+    /// accumulation-order reason as [`Array::sum_all`], which it calls.
     pub fn mean_all(&self) -> f32 {
         if self.data.is_empty() {
             0.0
@@ -743,10 +750,18 @@ impl Array {
         }
     }
 
-    /// Batched matmul with one pool chunk per batch element. When
-    /// `lhs_batched`, `self` is `[b,m,k]`; otherwise `self` is `[m,k]`
+    /// Batched matmul pooled over the combined batch × row-panel space.
+    /// When `lhs_batched`, `self` is `[b,m,k]`; otherwise `self` is `[m,k]`
     /// shared across the batch. `other` is always `[b,k,n]` here (the
     /// `[b,m,k] x [k,n]` case reduces to a single rank-2 multiply).
+    ///
+    /// Every batch element's B page is packed once up front (the packed
+    /// layout is `k*n` floats per element, see [`gemm::pack_b_all`]), then
+    /// the `b*m` output rows are chunked `ROW_CHUNK` at a time through the
+    /// pool — so parallelism scales with `b * m / ROW_CHUNK` rather than
+    /// with whichever of batch or rows happens to be wider. Chunk geometry
+    /// depends only on `(b, m, n)` and per-element accumulation order is
+    /// unchanged, so results stay bit-identical at every `D2_THREADS`.
     fn matmul_batched(
         &self,
         other: &Self,
@@ -758,29 +773,45 @@ impl Array {
     ) -> Self {
         let shape = vec![b, m, n];
         let flops = b.saturating_mul(m).saturating_mul(k).saturating_mul(n);
-        if pool::should_pool(flops) && b > 1 {
+        let packed = gemm::pack_b_all(&other.data, b, k, n);
+        if pool::should_pool(flops) && b * m > gemm::ROW_CHUNK {
             let a = self.data.clone();
-            let bd = other.data.clone();
+            let packed = Arc::new(Buffer::from_vec(packed));
             let data = pool::run_chunked(
                 b * m * n,
-                m * n,
+                gemm::ROW_CHUNK * n,
                 Arc::new(move |start: usize, out: &mut [f32]| {
-                    let bi = start / (m * n);
-                    let packed = gemm::pack_b(&bd[bi * k * n..(bi + 1) * k * n], k, n);
-                    let a_block = if lhs_batched {
-                        &a[bi * m * k..(bi + 1) * m * k]
-                    } else {
-                        &a[..]
-                    };
-                    gemm::block(a_block, k, &packed, n, out);
-                    buffers::release(packed);
+                    // A chunk may span a batch boundary; walk it one batch
+                    // element at a time. `out.len()` is always a multiple
+                    // of `n` (chunk and total both are).
+                    let mut start = start;
+                    let mut rest = out;
+                    while !rest.is_empty() {
+                        let bi = start / (m * n);
+                        let i0 = (start - bi * m * n) / n;
+                        let rows = ((m - i0) * n).min(rest.len()) / n;
+                        let a_block = if lhs_batched {
+                            &a[bi * m * k + i0 * k..bi * m * k + (i0 + rows) * k]
+                        } else {
+                            &a[i0 * k..(i0 + rows) * k]
+                        };
+                        let (chunk_out, tail) = std::mem::take(&mut rest).split_at_mut(rows * n);
+                        gemm::block(
+                            a_block,
+                            k,
+                            &packed[bi * k * n..(bi + 1) * k * n],
+                            n,
+                            chunk_out,
+                        );
+                        start += rows * n;
+                        rest = tail;
+                    }
                 }),
             );
             Self::from_buffer(shape, data)
         } else {
             let mut data = Buffer::zeroed(b * m * n);
             for bi in 0..b {
-                let packed = gemm::pack_b(&other.data[bi * k * n..(bi + 1) * k * n], k, n);
                 let a_block = if lhs_batched {
                     &self.data[bi * m * k..(bi + 1) * m * k]
                 } else {
@@ -789,12 +820,12 @@ impl Array {
                 gemm::block(
                     a_block,
                     k,
-                    &packed,
+                    &packed[bi * k * n..(bi + 1) * k * n],
                     n,
                     &mut data[bi * m * n..(bi + 1) * m * n],
                 );
-                buffers::release(packed);
             }
+            buffers::release(packed);
             Self::from_buffer(shape, data)
         }
     }

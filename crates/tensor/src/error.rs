@@ -36,6 +36,13 @@ pub enum TensorError {
     },
     /// Empty input where at least one element is required.
     Empty(&'static str),
+    /// `D2_FAST_MATH=1` is active but the caller requires bit-exact
+    /// arithmetic (e.g. training resume replay). See
+    /// [`crate::simd::require_bit_exact`].
+    FastMathForbidden {
+        /// What demanded bit-exactness.
+        context: &'static str,
+    },
 }
 
 impl fmt::Display for TensorError {
@@ -55,6 +62,11 @@ impl fmt::Display for TensorError {
                 write!(f, "axis {axis} out of range for rank {rank}")
             }
             TensorError::Empty(what) => write!(f, "empty input: {what}"),
+            TensorError::FastMathForbidden { context } => write!(
+                f,
+                "{context} requires bit-exact kernels but D2_FAST_MATH=1 selected an FMA \
+                 path; unset D2_FAST_MATH to proceed"
+            ),
         }
     }
 }

@@ -46,9 +46,45 @@ pub(crate) fn pack_b(b: &[f32], k: usize, n: usize) -> Vec<f32> {
     packed
 }
 
+/// Pack every `k`×`n` page of a batched `[batches, k, n]` matrix, each laid
+/// out exactly as [`pack_b`] would (all-but-last panels full, so panel `jt`
+/// of element `bi` sits at `bi * k * n + jt * k * NR`). Batched matmul packs
+/// all pages once up front so pooled workers share read-only panels instead
+/// of re-packing per chunk.
+pub(crate) fn pack_b_all(b: &[f32], batches: usize, k: usize, n: usize) -> Vec<f32> {
+    let n_panels = n.div_ceil(NR).max(1);
+    let mut packed = crate::buffers::acquire_with_capacity(batches * n_panels * k * NR);
+    for bi in 0..batches {
+        let page = &b[bi * k * n..(bi + 1) * k * n];
+        for jt in 0..n_panels {
+            let j0 = jt * NR;
+            let w = NR.min(n - j0);
+            for p in 0..k {
+                packed.extend_from_slice(&page[p * n + j0..p * n + j0 + w]);
+            }
+        }
+    }
+    packed
+}
+
 /// Multiply a block of `out.len() / n` rows of `a` (row-major, width `k`)
 /// by the packed `b` panels, overwriting `out` (row-major, width `n`).
+///
+/// Dispatches to the explicit-SIMD micro-kernel when
+/// [`crate::simd::microkernel`] selected one (bit-exact with the scalar
+/// tile unless `D2_FAST_MATH` opted into FMA), otherwise runs the portable
+/// [`block_scalar`] tile. Both paths share pack layout and per-element
+/// accumulation order, so pooled chunking composes identically over either.
 pub(crate) fn block(a: &[f32], k: usize, packed_b: &[f32], n: usize, out: &mut [f32]) {
+    if crate::simd::block(a, k, packed_b, n, out) {
+        return;
+    }
+    block_scalar(a, k, packed_b, n, out);
+}
+
+/// The always-compiled portable tile behind [`block`]: the reference
+/// implementation every SIMD kernel is byte-compared against.
+pub(crate) fn block_scalar(a: &[f32], k: usize, packed_b: &[f32], n: usize, out: &mut [f32]) {
     let rows = out.len().checked_div(n).unwrap_or(0);
     let n_panels = n.div_ceil(NR);
     for jt in 0..n_panels {
@@ -102,7 +138,7 @@ pub(crate) fn block(a: &[f32], k: usize, packed_b: &[f32], n: usize, out: &mut [
 /// Deliberately branchless — no `av == 0.0` skip — so the loop
 /// autovectorizes; see the module docs for why that is value-preserving.
 #[inline(always)]
-fn accumulate_row(acc: &mut [f32], av: f32, bp: &[f32]) {
+pub(crate) fn accumulate_row(acc: &mut [f32], av: f32, bp: &[f32]) {
     for (a, &bv) in acc.iter_mut().zip(bp) {
         *a += av * bv;
     }

@@ -26,6 +26,9 @@
 //! ```
 
 #![warn(missing_docs)]
+// `unsafe` is denied everywhere except the audited SIMD micro-kernel module
+// (`simd.rs` opts back in locally; the xlint `unsafe-audit` rule enforces a
+// `// SAFETY:` justification on every block there and bans it elsewhere).
 #![deny(unsafe_code)]
 
 mod array;
@@ -41,6 +44,7 @@ mod profile;
 #[cfg(feature = "sanitize")]
 mod sanitize;
 pub mod shape;
+pub mod simd;
 mod tensor;
 pub mod testing;
 

@@ -300,6 +300,9 @@ pub struct PoolStats {
     pub bufpool_misses: u64,
     /// Buffers parked back on a free list on drop.
     pub bufpool_recycled: u64,
+    /// GEMM micro-kernel this process selected (`"scalar"`, `"avx2"`, ...);
+    /// see [`crate::simd::kernel_name`].
+    pub simd_kernel: &'static str,
 }
 
 /// Snapshot the pool and buffer-pool counters.
@@ -308,6 +311,7 @@ pub fn stats() -> PoolStats {
     PoolStats {
         threads: threads(),
         par_threshold: par_threshold(),
+        simd_kernel: crate::simd::kernel_name(),
         // relaxed: point-in-time counter reads; tearing across them only blurs one report
         pooled_tasks: TASKS.load(Ordering::Relaxed),
         pooled_chunks: POOLED_CHUNKS.load(Ordering::Relaxed),

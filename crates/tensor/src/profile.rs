@@ -32,6 +32,11 @@ pub struct OpStat {
     pub seconds: f64,
     /// Calls that dispatched at least one kernel to the compute pool.
     pub pooled_calls: u64,
+    /// Deliberately-serial reductions (`sum_all`/`mean_all`) performed
+    /// during those calls. These never pool — chunked partial sums would
+    /// reorder f32 accumulation and break bit-determinism — so this column
+    /// keeps their cost attributed instead of silently unattributed.
+    pub serial_reductions: u64,
 }
 
 /// Snapshot of the profiler, from [`Tape::profile_report`]. Empty (no ops,
@@ -55,13 +60,13 @@ impl ProfileReport {
         rows.sort_by(|a, b| b.seconds.total_cmp(&a.seconds));
         let mut out = String::new();
         out.push_str(&format!(
-            "{:<16} {:>10} {:>12} {:>8}\n",
-            "op", "calls", "seconds", "pooled"
+            "{:<16} {:>10} {:>12} {:>8} {:>8}\n",
+            "op", "calls", "seconds", "pooled", "serial"
         ));
         for r in &rows {
             out.push_str(&format!(
-                "{:<16} {:>10} {:>12.6} {:>8}\n",
-                r.kind, r.calls, r.seconds, r.pooled_calls
+                "{:<16} {:>10} {:>12.6} {:>8} {:>8}\n",
+                r.kind, r.calls, r.seconds, r.pooled_calls, r.serial_reductions
             ));
         }
         out.push_str(&format!(
@@ -80,7 +85,8 @@ pub struct Tape;
 #[cfg(feature = "obsv")]
 #[derive(Default)]
 struct ProfState {
-    per_op: BTreeMap<&'static str, (u64, u64, u64)>, // kind -> (calls, nanos, pooled_calls)
+    // kind -> (calls, nanos, pooled_calls, serial_reductions)
+    per_op: BTreeMap<&'static str, (u64, u64, u64, u64)>,
     nodes_created: u64,
     live_bytes: usize,
     peak_bytes: usize,
@@ -93,6 +99,9 @@ thread_local! {
     /// Monotonic count of pool dispatches from this thread; `OpScope`
     /// diffs it to attribute pool usage to the op that was open.
     static POOL_DISPATCHES: Cell<u64> = const { Cell::new(0) };
+    /// Monotonic count of deliberately-serial reductions from this thread;
+    /// `OpScope` diffs it, mirroring [`POOL_DISPATCHES`].
+    static SERIAL_REDUCTIONS: Cell<u64> = const { Cell::new(0) };
 }
 
 impl Tape {
@@ -140,11 +149,12 @@ impl Tape {
                     ops: s
                         .per_op
                         .iter()
-                        .map(|(kind, (calls, nanos, pooled))| OpStat {
+                        .map(|(kind, (calls, nanos, pooled, serial))| OpStat {
                             kind,
                             calls: *calls,
                             seconds: *nanos as f64 * 1e-9,
                             pooled_calls: *pooled,
+                            serial_reductions: *serial,
                         })
                         .collect(),
                     nodes_created: s.nodes_created,
@@ -163,7 +173,7 @@ impl Tape {
 /// RAII timing scope for one op call; see [`op_scope`].
 pub(crate) struct OpScope {
     #[cfg(feature = "obsv")]
-    timed: Option<(&'static str, Instant, u64)>,
+    timed: Option<(&'static str, Instant, u64, u64)>,
 }
 
 /// Open a timing scope for op `kind`. Ops call this first thing; the scope
@@ -174,9 +184,14 @@ pub(crate) fn op_scope(kind: &'static str) -> OpScope {
     #[cfg(feature = "obsv")]
     {
         OpScope {
-            timed: ACTIVE
-                .with(Cell::get)
-                .then(|| (kind, Instant::now(), POOL_DISPATCHES.with(Cell::get))),
+            timed: ACTIVE.with(Cell::get).then(|| {
+                (
+                    kind,
+                    Instant::now(),
+                    POOL_DISPATCHES.with(Cell::get),
+                    SERIAL_REDUCTIONS.with(Cell::get),
+                )
+            }),
         }
     }
     #[cfg(not(feature = "obsv"))]
@@ -195,20 +210,33 @@ pub(crate) fn note_pooled_dispatch() {
     POOL_DISPATCHES.with(|c| c.set(c.get() + 1));
 }
 
+/// Called by reductions that deliberately stay serial (`sum_all` and
+/// friends) so `OpScope` can surface them in their own report column.
+/// No-op without the `obsv` feature.
+#[inline]
+pub(crate) fn note_serial_reduction() {
+    #[cfg(feature = "obsv")]
+    SERIAL_REDUCTIONS.with(|c| c.set(c.get() + 1));
+}
+
 #[cfg(feature = "obsv")]
 impl Drop for OpScope {
     fn drop(&mut self) {
-        let Some((kind, start, dispatches_at_open)) = self.timed.take() else {
+        let Some((kind, start, dispatches_at_open, serial_at_open)) = self.timed.take() else {
             return;
         };
         let nanos = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
         let pooled = POOL_DISPATCHES.with(Cell::get) > dispatches_at_open;
+        let serial = SERIAL_REDUCTIONS
+            .with(Cell::get)
+            .saturating_sub(serial_at_open);
         STATE.with(|s| {
             let mut s = s.borrow_mut();
-            let entry = s.per_op.entry(kind).or_insert((0, 0, 0));
+            let entry = s.per_op.entry(kind).or_insert((0, 0, 0, 0));
             entry.0 += 1;
             entry.1 = entry.1.saturating_add(nanos);
             entry.2 += u64::from(pooled);
+            entry.3 += serial;
         });
     }
 }

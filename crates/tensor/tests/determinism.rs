@@ -1,12 +1,16 @@
 //! Bit-identical determinism of the pooled kernels across thread counts.
 //!
 //! The compute pool promises that chunk boundaries depend only on problem
-//! size, never on `D2_THREADS`, so every pooled kernel must produce the
-//! exact same bytes at any parallelism — including fully serial. Because
-//! the pool reads its environment exactly once per process, the matrix of
-//! thread counts is exercised by re-running this test binary as a child
-//! process (one spawn per configuration) and comparing the raw little-endian
-//! `f32` bytes each child writes.
+//! size, never on `D2_THREADS`, and the default SIMD micro-kernel promises
+//! mul-then-add arithmetic identical to the scalar tile — so every pooled
+//! kernel must produce the exact same bytes at any parallelism × SIMD
+//! combination, including fully serial scalar. Because the pool and the
+//! kernel selector read their environment exactly once per process, the
+//! threads × `D2_SIMD` matrix is exercised by re-running this test binary
+//! as a child process (one spawn per configuration) and comparing the raw
+//! little-endian `f32` bytes each child writes. `D2_FAST_MATH` (the one
+//! switch allowed to change bits) is covered by a child asserting that
+//! bit-exactness-requiring callers get a typed rejection.
 
 use std::process::Command;
 
@@ -114,13 +118,21 @@ fn child_emit_workload() {
     std::fs::write(&path, to_bytes(&pooled)).unwrap();
 }
 
-fn run_child(dir: &std::path::Path, tag: &str, threads: &str, threshold: &str) -> Vec<u8> {
+fn run_child(
+    dir: &std::path::Path,
+    tag: &str,
+    threads: &str,
+    threshold: &str,
+    simd: &str,
+) -> Vec<u8> {
     let out = dir.join(format!("{tag}.bin"));
     let status = Command::new(std::env::current_exe().unwrap())
         .args(["--exact", "child_emit_workload", "--test-threads", "1"])
         .env(CHILD_OUT_ENV, &out)
         .env("D2_THREADS", threads)
         .env("D2_PAR_THRESHOLD", threshold)
+        .env("D2_SIMD", simd)
+        .env_remove("D2_FAST_MATH")
         .status()
         .unwrap();
     assert!(status.success(), "child run `{tag}` failed");
@@ -128,13 +140,14 @@ fn run_child(dir: &std::path::Path, tag: &str, threads: &str, threshold: &str) -
 }
 
 #[test]
-fn workload_is_bit_identical_across_thread_counts() {
+fn workload_is_bit_identical_across_threads_and_simd() {
     let dir = std::env::temp_dir().join(format!("d2-determinism-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
 
-    // Baseline: a child that never pools (threshold above any workload).
+    // Baseline: a scalar child that never pools (threshold above any
+    // workload, explicit-SIMD kernels disabled).
     let never_pool = usize::MAX.to_string();
-    let baseline = run_child(&dir, "serial", "1", &never_pool);
+    let baseline = run_child(&dir, "serial", "1", &never_pool, "0");
     assert_eq!(
         baseline.len() % 4,
         0,
@@ -146,14 +159,89 @@ fn workload_is_bit_identical_across_thread_counts() {
         baseline.len()
     );
 
-    // Every op pools (threshold 1) at 1, 2, and 8 threads.
+    // Every op pools (threshold 1) at 1, 2, and 8 threads, with the SIMD
+    // micro-kernel off (scalar fallback) and on (auto-detected; selects
+    // the scalar tile anyway on hosts without AVX2, which still exercises
+    // the dispatch seam).
     for threads in ["1", "2", "8"] {
-        let run = run_child(&dir, &format!("pooled-{threads}"), threads, "1");
-        assert_eq!(
-            run, baseline,
-            "pooled workload at D2_THREADS={threads} diverged from the serial baseline"
-        );
+        for simd in ["0", "1"] {
+            let run = run_child(
+                &dir,
+                &format!("pooled-{threads}-simd{simd}"),
+                threads,
+                "1",
+                simd,
+            );
+            assert_eq!(
+                run, baseline,
+                "workload at D2_THREADS={threads} D2_SIMD={simd} diverged from \
+                 the serial scalar baseline"
+            );
+        }
     }
 
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// When set, `child_fast_math_probe` asserts the fast-math contract and
+/// writes the rejection message to the file this variable names.
+const FASTMATH_OUT_ENV: &str = "D2_DETERMINISM_FASTMATH_OUT";
+
+/// Child entry point for the `D2_FAST_MATH` rejection contract: inert in a
+/// normal run; under the probe env (parent sets `D2_FAST_MATH=1`) it checks
+/// that bit-exactness-requiring callers get a typed error while plain
+/// kernels still execute.
+#[test]
+fn child_fast_math_probe() {
+    let Ok(path) = std::env::var(FASTMATH_OUT_ENV) else {
+        return;
+    };
+    assert!(
+        d2stgnn_tensor::simd::fast_math(),
+        "probe child must run with D2_FAST_MATH=1"
+    );
+    let err = d2stgnn_tensor::simd::require_bit_exact("training resume")
+        .expect_err("fast math must be rejected where bit-exactness is required");
+    // Kernels themselves still run (serving is allowed to opt in): results
+    // must be finite and close to the scalar reference, just not bit-equal
+    // in general.
+    let a = arr(&[33, 29], 21);
+    let b = arr(&[29, 37], 22);
+    let (fast, reference) = (a.matmul(&b), a.matmul_reference(&b));
+    let close = fast
+        .data()
+        .iter()
+        .zip(reference.data())
+        .all(|(x, y)| (x - y).abs() <= 1e-4 * y.abs().max(1.0));
+    assert!(close, "fast-math matmul drifted beyond ulp-level noise");
+    std::fs::write(&path, err.to_string()).unwrap();
+}
+
+#[test]
+fn fast_math_is_rejected_for_bit_exact_callers() {
+    // In this (default) process fast math is off and bit-exact callers
+    // proceed.
+    assert!(!d2stgnn_tensor::simd::fast_math());
+    assert_eq!(
+        d2stgnn_tensor::simd::require_bit_exact("training resume"),
+        Ok(())
+    );
+
+    // A D2_FAST_MATH=1 child must get the typed rejection.
+    let dir = std::env::temp_dir().join(format!("d2-fastmath-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let out = dir.join("fastmath.txt");
+    let status = Command::new(std::env::current_exe().unwrap())
+        .args(["--exact", "child_fast_math_probe", "--test-threads", "1"])
+        .env(FASTMATH_OUT_ENV, &out)
+        .env("D2_FAST_MATH", "1")
+        .status()
+        .unwrap();
+    assert!(status.success(), "fast-math probe child failed");
+    let msg = std::fs::read_to_string(&out).unwrap();
+    assert!(
+        msg.contains("D2_FAST_MATH") && msg.contains("training resume"),
+        "rejection message should name the switch and the caller: {msg}"
+    );
     std::fs::remove_dir_all(&dir).ok();
 }

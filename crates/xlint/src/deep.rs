@@ -1,6 +1,6 @@
 //! The deep rules: analyses that need the symbol table and call graph.
 //!
-//! Four rules live here, all structurally beyond a line matcher:
+//! Five rules live here, all structurally beyond a line matcher:
 //!
 //! * **panic-reachability** — walk the call graph from the serve/httpd
 //!   request entry points and prove no reachable function contains a
@@ -18,6 +18,12 @@
 //!   the paper's reproducibility claims depend on ordered reductions.
 //! * **atomic-ordering** — every `Ordering::Relaxed` must carry a
 //!   `// relaxed: …` justification comment in its enclosing function.
+//! * **unsafe-audit** — `unsafe` may appear only in the audited SIMD
+//!   micro-kernel module ([`UNSAFE_AUDITED_FILES`]); every occurrence there
+//!   must carry a `// SAFETY: …` justification comment immediately above,
+//!   mirroring the atomic-ordering audit. Everywhere else the crate-root
+//!   `#![deny(unsafe_code)]` (lexical `deny-unsafe` rule) keeps unsafe out,
+//!   and this rule catches module-level `#![allow(unsafe_code)]` escapes.
 
 use crate::callgraph::{self, CallGraph};
 use crate::index::{FileIndex, Workspace};
@@ -41,6 +47,7 @@ pub const PANIC_ENTRY_POINTS: &[(&str, &str)] = &[
 pub const KERNEL_FLOAT_FILES: &[&str] = &[
     "crates/tensor/src/ops.rs",
     "crates/tensor/src/gemm.rs",
+    "crates/tensor/src/simd.rs",
     "crates/tensor/src/array.rs",
     "crates/tensor/src/losses.rs",
     "crates/core/src/diffusion.rs",
@@ -51,12 +58,18 @@ pub const KERNEL_FLOAT_FILES: &[&str] = &[
     "crates/core/src/embeddings.rs",
 ];
 
+/// The only modules sanctioned to contain `unsafe` code: the explicit-SIMD
+/// GEMM micro-kernels, where raw intrinsics are unavoidable and every block
+/// is audited via a mandatory `// SAFETY:` comment.
+pub const UNSAFE_AUDITED_FILES: &[&str] = &["crates/tensor/src/simd.rs"];
+
 /// Run every deep rule. `ws`/`graph` must be built over library sources only.
 pub fn deep_diagnostics(ws: &Workspace, graph: &CallGraph) -> Vec<Diagnostic> {
     let mut out = panic_reachability(ws, graph);
     out.extend(lock_order(ws, graph));
     out.extend(float_determinism(ws));
     out.extend(atomic_ordering(ws));
+    out.extend(unsafe_audit(ws));
     out
 }
 
@@ -658,6 +671,27 @@ fn float_determinism(ws: &Workspace) -> Vec<Diagnostic> {
                         ..Default::default()
                     });
                 }
+                // Explicit FMA intrinsics (`_mm256_fmadd_ps`, ...) contract
+                // the same way `.mul_add` does; same gate required.
+                intrinsic
+                    if intrinsic.contains("fmadd")
+                        && is_p(i + 1, "(")
+                        && !fast_math_gated(ws, file_id, i) =>
+                {
+                    out.push(Diagnostic {
+                        rule: "float-determinism",
+                        path: file.rel.clone(),
+                        line,
+                        message: format!(
+                            "FMA intrinsic `{intrinsic}(..)` in kernel float code outside \
+                             a `D2_FAST_MATH` gate (fused rounding diverges from the \
+                             bit-exact mul-then-add contract)"
+                        ),
+                        excerpt: raw_line(src, &starts, line),
+                        symbol: "fma".to_string(),
+                        ..Default::default()
+                    });
+                }
                 // Hash containers iterate in arbitrary order; a reduction
                 // over them is run-to-run nondeterministic.
                 "HashMap" | "HashSet" => {
@@ -776,6 +810,72 @@ fn atomic_ordering(ws: &Workspace) -> Vec<Diagnostic> {
                               visibility is acceptable here)"
                         .to_string(),
                     excerpt: raw_line(src, &starts, line),
+                    ..Default::default()
+                });
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// unsafe-audit
+// ---------------------------------------------------------------------------
+
+/// Lines above an `unsafe` token in which its `// SAFETY:` justification
+/// must appear (inclusive of the token's own line). Wide enough for a
+/// multi-line justification directly above the block, narrow enough that
+/// one comment cannot blanket a whole function.
+const SAFETY_WINDOW_LINES: u32 = 8;
+
+fn unsafe_audit(ws: &Workspace) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for file in ws.files.iter() {
+        let toks = &file.lexed.toks;
+        let src = &file.src;
+        let starts = line_starts(src);
+        let audited = UNSAFE_AUDITED_FILES.contains(&file.rel.as_str());
+        for t in toks.iter() {
+            // Keywords lex as `Ident`; comments and strings never reach the
+            // token stream, so every hit is a real `unsafe` keyword.
+            if t.kind != TokKind::Ident || &src[t.lo..t.hi] != "unsafe" || file.in_test_span(t.lo) {
+                continue;
+            }
+            let site_line = t.line;
+            let line = site_line as usize;
+            if !audited {
+                out.push(Diagnostic {
+                    rule: "unsafe-audit",
+                    path: file.rel.clone(),
+                    line,
+                    message: format!(
+                        "`unsafe` outside the audited SIMD kernel module ({} is the \
+                         only sanctioned site; everything else stays under \
+                         `#![deny(unsafe_code)]`)",
+                        UNSAFE_AUDITED_FILES.join(", ")
+                    ),
+                    excerpt: raw_line(src, &starts, line),
+                    symbol: "unsanctioned-unsafe".to_string(),
+                    ..Default::default()
+                });
+                continue;
+            }
+            let window_start = site_line.saturating_sub(SAFETY_WINDOW_LINES);
+            let justified = file.lexed.comments.iter().any(|c| {
+                c.line >= window_start
+                    && c.line <= site_line
+                    && src[c.lo..c.hi].to_ascii_uppercase().contains("SAFETY:")
+            });
+            if !justified {
+                out.push(Diagnostic {
+                    rule: "unsafe-audit",
+                    path: file.rel.clone(),
+                    line,
+                    message: "`unsafe` without a `// SAFETY: …` justification comment \
+                              directly above (state the invariants that make this sound)"
+                        .to_string(),
+                    excerpt: raw_line(src, &starts, line),
+                    symbol: "missing-safety-comment".to_string(),
                     ..Default::default()
                 });
             }
@@ -953,5 +1053,78 @@ mod tests {
             "#[cfg(test)]\nmod tests {\n    fn t(c: &AtomicU64) { c.load(Ordering::Relaxed); }\n}\n",
         )]);
         assert!(test_code.iter().all(|d| d.rule != "atomic-ordering"));
+    }
+
+    #[test]
+    fn ungated_fma_intrinsic_is_flagged_gated_passes() {
+        let bad = deep(&[(
+            "crates/tensor/src/simd.rs",
+            "fn tile(av: __m256, b: __m256, acc: __m256) -> __m256 {\n    _mm256_fmadd_ps(av, b, acc)\n}\n",
+        )]);
+        assert_eq!(
+            bad.iter()
+                .filter(|d| d.rule == "float-determinism" && d.symbol == "fma")
+                .count(),
+            1,
+            "{bad:?}"
+        );
+        let good = deep(&[(
+            "crates/tensor/src/simd.rs",
+            "fn tile(av: __m256, b: __m256, acc: __m256) -> __m256 {\n    // D2_FAST_MATH opt-in path: fused rounding is the point here.\n    _mm256_fmadd_ps(av, b, acc)\n}\n",
+        )]);
+        assert!(
+            good.iter().all(|d| d.symbol != "fma"),
+            "gated intrinsic flagged: {good:?}"
+        );
+    }
+
+    #[test]
+    fn unsafe_outside_the_audited_module_is_flagged() {
+        let diags = deep(&[(
+            "crates/serve/src/server.rs",
+            "pub fn f(p: *const f32) -> f32 {\n    // SAFETY: comments do not sanction the location.\n    unsafe { *p }\n}\n",
+        )]);
+        assert_eq!(
+            diags
+                .iter()
+                .filter(|d| d.rule == "unsafe-audit" && d.symbol == "unsanctioned-unsafe")
+                .count(),
+            1,
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn audited_unsafe_needs_a_safety_comment() {
+        let bad = deep(&[(
+            "crates/tensor/src/simd.rs",
+            "pub fn f(p: *const f32) -> f32 {\n    unsafe { *p }\n}\n",
+        )]);
+        assert_eq!(
+            bad.iter()
+                .filter(|d| d.rule == "unsafe-audit" && d.symbol == "missing-safety-comment")
+                .count(),
+            1,
+            "{bad:?}"
+        );
+        let good = deep(&[(
+            "crates/tensor/src/simd.rs",
+            "pub fn f(p: *const f32) -> f32 {\n    // SAFETY: caller guarantees `p` points at a live f32.\n    unsafe { *p }\n}\n",
+        )]);
+        assert!(
+            good.iter().all(|d| d.rule != "unsafe-audit"),
+            "justified unsafe flagged: {good:?}"
+        );
+        // A comment more than the window above does not count.
+        let far_src = format!(
+            "pub fn f(p: *const f32) -> f32 {{\n    // SAFETY: too far away.\n{}    unsafe {{ *p }}\n}}\n",
+            "    let _x = 0;\n".repeat(9)
+        );
+        let far = deep(&[("crates/tensor/src/simd.rs", far_src.as_str())]);
+        assert_eq!(
+            far.iter().filter(|d| d.rule == "unsafe-audit").count(),
+            1,
+            "{far:?}"
+        );
     }
 }

@@ -38,6 +38,9 @@
 //!   reductions in kernel float code.
 //! * `atomic-ordering` — every `Ordering::Relaxed` carries a `// relaxed:`
 //!   justification comment.
+//! * `unsafe-audit` — `unsafe` appears only in the audited SIMD kernel
+//!   module ([`deep::UNSAFE_AUDITED_FILES`]), and every block there carries
+//!   a `// SAFETY:` justification comment.
 
 #![deny(unsafe_code)]
 
@@ -107,6 +110,7 @@ pub const RULES: &[&str] = &[
     "lock-order",
     "float-determinism",
     "atomic-ordering",
+    "unsafe-audit",
 ];
 
 pub(crate) const NUMERIC_TYPES: &[&str] = &[

@@ -58,20 +58,64 @@ cargo run -q -p d2stgnn-bench --features obsv --bin obsv_smoke
 echo "==> resume fault-injection smoke (SIGKILL mid-epoch, bit-identical resume)"
 cargo test -q --test resume_e2e -- --exact sigkill_mid_epoch_then_resume_is_bit_identical
 
-echo "==> tensor kernel bench smoke (release, artifact schema + speedup floor)"
+echo "==> tensor kernel bench smoke (release, schema + simd/parallel speedup floors)"
 cargo run -q --release -p d2stgnn-bench --bin tensor_kernels -- --fast
 python3 - <<'EOF'
 import json
-doc = json.load(open("target/experiments/BENCH_tensor_kernels.json"))
-assert doc["schema"] == "d2stgnn-bench-v1", doc["schema"]
-assert doc["name"] == "tensor_kernels"
-gemm = [r for r in doc["results"] if r["kernel"] == "gemm"]
-assert gemm, "bench artifact has no gemm rows"
-largest = max(gemm, key=lambda r: r["flops"])
-# Smoke shapes are tiny, so require only "no slower than the seed kernel";
-# the committed full-size artifact is where the 2x+ shows up.
-assert largest["speedup"] >= 1.0, (largest["shape"], largest["speedup"])
-print(f"bench smoke OK: {largest['shape']} speedup {largest['speedup']:.2f}x")
+
+def load(path):
+    doc = json.load(open(path))
+    assert doc["schema"] == "d2stgnn-bench-v1", doc["schema"]
+    assert doc["name"] == "tensor_kernels"
+    cfg = doc["config"]
+    res = doc["results"]
+    cfg = json.loads(cfg) if isinstance(cfg, str) else cfg
+    res = json.loads(res) if isinstance(res, str) else res
+    return cfg, res
+
+def rows_at(res, threads):
+    gemm = [r for r in res if r["kernel"] == "gemm" and r["threads"] == threads]
+    assert gemm, f"bench artifact has no gemm rows at threads={threads}"
+    return max(gemm, key=lambda r: r["flops"])
+
+# Live smoke run: tiny shapes, so floors are loose — this checks the wiring
+# (per-thread rows, simd column) and guards against gross regressions.
+cfg, res = load("target/experiments/BENCH_tensor_kernels.json")
+assert cfg["fast_math"] is False, "CI bench must run the bit-exact default path"
+t1 = rows_at(res, 1)
+assert t1["speedup"] >= 1.0, (t1["shape"], t1["speedup"])
+if cfg["simd_kernel"] != "scalar":
+    assert t1["simd_speedup"] > 0.8, (t1["shape"], t1["simd_speedup"])
+if cfg["cores"] >= 2:
+    # Parallel-speedup floor only where a second core actually exists.
+    t2 = rows_at(res, 2)
+    assert t2["parallel_speedup"] >= 1.6, (t2["shape"], t2["parallel_speedup"])
+    live = f"par {t2['parallel_speedup']:.2f}x@2t"
+else:
+    # Single-core runner (the loadgen history shows CI can land on one):
+    # require only that pool dispatch does not regress the serial path.
+    assert t1["parallel_speedup"] >= 0.8, (t1["shape"], t1["parallel_speedup"])
+    live = f"1-core, par {t1['parallel_speedup']:.2f}x@1t"
+
+# Committed full-size artifact: the real floors from the PR-9 acceptance
+# criteria, evaluated against the machine that produced it.
+ccfg, cres = load("BENCH_tensor_kernels.json")
+assert ccfg["fast_math"] is False
+c1 = rows_at(cres, 1)
+assert c1["speedup"] >= 2.0, (c1["shape"], c1["speedup"])
+if ccfg["simd_kernel"] != "scalar":
+    assert c1["simd_speedup"] >= 1.4, (c1["shape"], c1["simd_speedup"])
+if ccfg["cores"] >= 2:
+    c2 = rows_at(cres, 2)
+    assert c2["parallel_speedup"] >= 1.6, (c2["shape"], c2["parallel_speedup"])
+else:
+    assert c1["parallel_speedup"] >= 0.9, (c1["shape"], c1["parallel_speedup"])
+print(
+    f"bench smoke OK: live {t1['shape']} speedup {t1['speedup']:.2f}x "
+    f"simd {t1['simd_speedup']:.2f}x ({live}); committed {c1['shape']} "
+    f"{c1['speedup']:.2f}x seed, simd {c1['simd_speedup']:.2f}x "
+    f"[{ccfg['simd_kernel']}, {ccfg['cores']} core(s)]"
+)
 EOF
 
 echo "==> httpd front-end: crate tests + 2-shard scale-out smoke"
