@@ -11,6 +11,7 @@
 
 use crate::forecast::ForecastBranch;
 use crate::graphs::{GraphContext, Transitions};
+use d2stgnn_graph::CsrMatrix;
 use d2stgnn_tensor::nn::{Linear, Mlp, Module};
 use d2stgnn_tensor::{Array, Tensor};
 use rand::Rng;
@@ -128,6 +129,10 @@ impl DiffusionBlock {
                 matrices.push((MatrixRef::Shared(p_f), &self.conv_weights[0]));
                 matrices.push((MatrixRef::Shared(p_b), &self.conv_weights[1]));
             }
+            Transitions::Sparse { p_f, p_b } => {
+                matrices.push((MatrixRef::Sparse(p_f), &self.conv_weights[0]));
+                matrices.push((MatrixRef::Sparse(p_b), &self.conv_weights[1]));
+            }
             Transitions::Dynamic { p_f, p_b } => {
                 matrices.push((MatrixRef::PerWindow(p_f), &self.conv_weights[0]));
                 matrices.push((MatrixRef::PerWindow(p_b), &self.conv_weights[1]));
@@ -141,7 +146,7 @@ impl DiffusionBlock {
         }
 
         for (matrix, weights) in matrices {
-            let mut power = matrix.clone_tensor();
+            let mut power = matrix.first_power();
             for (k, weight) in weights.iter().enumerate().take(self.cfg.ks) {
                 let masked = matrix.mask(&power, ctx, b);
                 let agg = matrix.apply(&masked, &z_flat, b, th, n, d);
@@ -177,33 +182,72 @@ impl DiffusionBlock {
     }
 }
 
-/// Either a shared `[N, N]` matrix or a per-window `[B, N, N]` batch of them.
+/// A shared `[N, N]` matrix (dense or CSR) or a per-window `[B, N, N]`
+/// batch of dense ones.
 enum MatrixRef<'a> {
     Shared(&'a Tensor),
+    Sparse(&'a CsrMatrix),
     PerWindow(&'a Tensor),
 }
 
-impl MatrixRef<'_> {
-    fn clone_tensor(&self) -> Tensor {
+/// A transition power `P^k` in the same representation as its base matrix.
+enum MatrixPower {
+    Dense(Tensor),
+    Sparse(CsrMatrix),
+}
+
+impl MatrixPower {
+    fn dense(&self) -> &Tensor {
         match self {
-            MatrixRef::Shared(t) | MatrixRef::PerWindow(t) => (*t).clone(),
+            MatrixPower::Dense(t) => t,
+            MatrixPower::Sparse(_) => crate::error::violation("expected a dense transition power"),
+        }
+    }
+
+    fn sparse(&self) -> &CsrMatrix {
+        match self {
+            MatrixPower::Sparse(c) => c,
+            MatrixPower::Dense(_) => crate::error::violation("expected a sparse transition power"),
+        }
+    }
+}
+
+impl MatrixRef<'_> {
+    /// `P^1`, in the base matrix's representation.
+    fn first_power(&self) -> MatrixPower {
+        match self {
+            MatrixRef::Shared(t) | MatrixRef::PerWindow(t) => MatrixPower::Dense((*t).clone()),
+            MatrixRef::Sparse(c) => MatrixPower::Sparse((*c).clone()),
         }
     }
 
     /// `P^{k+1}` from `P^k` (right-multiplied by the base matrix).
-    fn next_power(&self, power: &Tensor) -> Tensor {
+    fn next_power(&self, power: &MatrixPower) -> MatrixPower {
         match self {
-            MatrixRef::Shared(base) | MatrixRef::PerWindow(base) => power.matmul(base),
+            MatrixRef::Shared(base) | MatrixRef::PerWindow(base) => {
+                MatrixPower::Dense(power.dense().matmul(base))
+            }
+            MatrixRef::Sparse(base) => MatrixPower::Sparse(crate::error::require(
+                power.sparse().matmul_sparse(base),
+                "transition powers share the base matrix's shape",
+            )),
         }
     }
 
     /// Zero the diagonal (Eq. 4's `⊙ (1 - I_N)`).
-    fn mask(&self, power: &Tensor, ctx: &GraphContext, b: usize) -> Tensor {
+    fn mask(&self, power: &MatrixPower, ctx: &GraphContext, b: usize) -> MatrixPower {
         match self {
-            MatrixRef::Shared(_) => power.mul(&ctx.diag_mask),
+            MatrixRef::Shared(_) => MatrixPower::Dense(power.dense().mul(ctx.diag_mask())),
+            // The CSR mask zeroes stored diagonal values in place — no
+            // dense [N, N] mask tensor is ever needed.
+            MatrixRef::Sparse(_) => MatrixPower::Sparse(power.sparse().mask_diagonal()),
             MatrixRef::PerWindow(_) => {
                 let n = ctx.num_nodes();
-                power.mul(&ctx.diag_mask.reshape(&[1, n, n]).broadcast_to(&[b, n, n]))
+                MatrixPower::Dense(
+                    power
+                        .dense()
+                        .mul(&ctx.diag_mask().reshape(&[1, n, n]).broadcast_to(&[b, n, n])),
+                )
             }
         }
     }
@@ -211,7 +255,7 @@ impl MatrixRef<'_> {
     /// `masked_P · z` for every (window, time) pair; `z_flat` is `[B*Th, N, d]`.
     fn apply(
         &self,
-        masked: &Tensor,
+        masked: &MatrixPower,
         z_flat: &Tensor,
         b: usize,
         th: usize,
@@ -220,11 +264,14 @@ impl MatrixRef<'_> {
     ) -> Tensor {
         match self {
             // [N,N] x [B*Th, N, d] broadcasts over the batch.
-            MatrixRef::Shared(_) => masked.matmul(z_flat),
+            MatrixRef::Shared(_) => masked.dense().matmul(z_flat),
+            // The pooled sparse spmm autograd op: the matrix is a constant,
+            // gradients flow into z through the transposed CSR.
+            MatrixRef::Sparse(_) => Tensor::spmm(masked.sparse().as_sparse(), z_flat),
             // Per-window matrices must be repeated across the Th axis first.
             MatrixRef::PerWindow(_) => {
                 let idx: Vec<usize> = (0..b).flat_map(|bi| std::iter::repeat_n(bi, th)).collect();
-                let tiled = masked.index_select(0, &idx); // [B*Th, N, N]
+                let tiled = masked.dense().index_select(0, &idx); // [B*Th, N, N]
                 debug_assert_eq!(tiled.shape()[0], b * th);
                 debug_assert_eq!(tiled.shape()[1], n);
                 tiled.matmul(z_flat)
@@ -277,8 +324,8 @@ mod tests {
         let block = DiffusionBlock::new(cfg(), &mut rng);
         let x = Tensor::constant(Array::randn(&[2, 5, 7, 6], &mut rng));
         let tr = Transitions::Static {
-            p_f: ctx.p_f.clone(),
-            p_b: ctx.p_b.clone(),
+            p_f: ctx.p_f().clone(),
+            p_b: ctx.p_b().clone(),
         };
         let out = block.forward(&ctx, &x, &tr, None);
         assert_eq!(out.hidden.shape(), vec![2, 5, 7, 6]);
@@ -295,8 +342,8 @@ mod tests {
         let block = DiffusionBlock::new(c, &mut rng);
         let x = Tensor::constant(Array::randn(&[2, 5, 7, 6], &mut rng));
         // Fake dynamic graphs: reuse the static ones per window.
-        let pf = ctx.p_f.reshape(&[1, 7, 7]).broadcast_to(&[2, 7, 7]);
-        let pb = ctx.p_b.reshape(&[1, 7, 7]).broadcast_to(&[2, 7, 7]);
+        let pf = ctx.p_f().reshape(&[1, 7, 7]).broadcast_to(&[2, 7, 7]);
+        let pb = ctx.p_b().reshape(&[1, 7, 7]).broadcast_to(&[2, 7, 7]);
         let apt = Tensor::constant(transition::row_normalize(&Array::ones(&[7, 7])));
         let tr = Transitions::Dynamic { p_f: pf, p_b: pb };
         let out = block.forward(&ctx, &x, &tr, Some(&apt));
@@ -312,17 +359,62 @@ mod tests {
         let block = DiffusionBlock::new(cfg(), &mut rng);
         let x = Tensor::constant(Array::randn(&[3, 4, 6, 6], &mut rng));
         let st = Transitions::Static {
-            p_f: ctx.p_f.clone(),
-            p_b: ctx.p_b.clone(),
+            p_f: ctx.p_f().clone(),
+            p_b: ctx.p_b().clone(),
         };
         let dy = Transitions::Dynamic {
-            p_f: ctx.p_f.reshape(&[1, 6, 6]).broadcast_to(&[3, 6, 6]),
-            p_b: ctx.p_b.reshape(&[1, 6, 6]).broadcast_to(&[3, 6, 6]),
+            p_f: ctx.p_f().reshape(&[1, 6, 6]).broadcast_to(&[3, 6, 6]),
+            p_b: ctx.p_b().reshape(&[1, 6, 6]).broadcast_to(&[3, 6, 6]),
         };
         let h_st = block.forward(&ctx, &x, &st, None).hidden.value();
         let h_dy = block.forward(&ctx, &x, &dy, None).hidden.value();
         for (a, b) in h_st.data().iter().zip(h_dy.data()) {
             assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn sparse_path_matches_dense_path_exactly() {
+        // The CSR transitions hold the same values as the dense tensors, so
+        // the sparse diffusion path must reproduce the dense hidden states,
+        // branches, and input gradients exactly (the spmm kernel skips only
+        // zero terms, which cannot change a finite accumulation).
+        let (ctx, mut rng) = setup(6);
+        let mut c = cfg();
+        c.ks = 3; // exercise the spgemm power chain too
+        let block = DiffusionBlock::new(c, &mut rng);
+        let base = Array::randn(&[2, 4, 6, 6], &mut rng);
+        let st = Transitions::Static {
+            p_f: ctx.p_f().clone(),
+            p_b: ctx.p_b().clone(),
+        };
+        let sp = Transitions::Sparse {
+            p_f: CsrMatrix::from_dense(&ctx.p_f().value(), 0.0).unwrap(),
+            p_b: CsrMatrix::from_dense(&ctx.p_b().value(), 0.0).unwrap(),
+        };
+        let x_dense = Tensor::parameter(base.clone());
+        let x_sparse = Tensor::parameter(base);
+        let dense_out = block.forward(&ctx, &x_dense, &st, None);
+        let sparse_out = block.forward(&ctx, &x_sparse, &sp, None);
+        assert_eq!(
+            dense_out.hidden.value().data(),
+            sparse_out.hidden.value().data(),
+            "hidden states diverged between dense and sparse transitions"
+        );
+        assert_eq!(
+            dense_out.forecast.value().data(),
+            sparse_out.forecast.value().data()
+        );
+        assert_eq!(
+            dense_out.backcast.value().data(),
+            sparse_out.backcast.value().data()
+        );
+        dense_out.hidden.sum_all().backward();
+        sparse_out.hidden.sum_all().backward();
+        let gd = x_dense.grad().expect("dense grad");
+        let gs = x_sparse.grad().expect("sparse grad");
+        for (a, b) in gd.data().iter().zip(gs.data()) {
+            assert!((a - b).abs() <= 1e-6 * a.abs().max(1.0), "{a} vs {b}");
         }
     }
 
@@ -337,14 +429,14 @@ mod tests {
         let block = DiffusionBlock::new(c, &mut rng);
         let x = Array::randn(&[1, 3, 5, 6], &mut rng);
         let tr = Transitions::Static {
-            p_f: ctx.p_f.clone(),
+            p_f: ctx.p_f().clone(),
             p_b: Tensor::constant(Array::zeros(&[5, 5])), // isolate P_f term
         };
         let out = block.forward(&ctx, &Tensor::constant(x.clone()), &tr, None);
 
         // Explicit Eq. 4 route for the last time step t = 2.
-        let p_lc = transition::localized_transition(&ctx.p_f.value(), 1, 2).unwrap(); // [5, 10]
-                                                                                      // X^lc stacks lag τ=1 then τ=0 blocks (older first per Eq. 5).
+        let p_lc = transition::localized_transition(&ctx.p_f().value(), 1, 2).unwrap(); // [5, 10]
+                                                                                        // X^lc stacks lag τ=1 then τ=0 blocks (older first per Eq. 5).
         let w_relu = |tau: usize, t: usize| -> Array {
             let xt = Tensor::constant(x.slice_axis(1, t, t + 1).reshape(&[5, 6]).unwrap());
             block.lag_proj[tau].forward(&xt).relu().value()
@@ -418,8 +510,8 @@ mod tests {
         let x = Tensor::parameter(Array::randn(&[2, 4, 6, 6], &mut rng));
         let apt = Tensor::parameter(transition::row_normalize(&Array::ones(&[6, 6])));
         let tr = Transitions::Static {
-            p_f: ctx.p_f.clone(),
-            p_b: ctx.p_b.clone(),
+            p_f: ctx.p_f().clone(),
+            p_b: ctx.p_b().clone(),
         };
         let out = block.forward(&ctx, &x, &tr, Some(&apt));
         out.hidden

@@ -3,15 +3,19 @@
 //! (Eqs. 13–14).
 
 use crate::embeddings::SharedEmbeddings;
-use d2stgnn_graph::{transition, TrafficNetwork};
+use d2stgnn_graph::{transition, CsrMatrix, SparseNetwork, TrafficNetwork};
 use d2stgnn_tensor::nn::{Linear, Mlp, Module};
 use d2stgnn_tensor::{Array, Tensor};
 use rand::Rng;
+use std::sync::OnceLock;
 
 /// The transition matrices handed to the diffusion block for one forward
-/// pass. Static matrices are `[N, N]`; dynamic ones carry a batch axis
-/// `[B, N, N]` (one graph per window, static *within* the window as the
-/// paper assumes).
+/// pass. Static matrices are `[N, N]` (dense tensors or CSR, chosen by the
+/// sparsity dispatch rule); dynamic ones carry a batch axis `[B, N, N]`
+/// (one graph per window, static *within* the window as the paper assumes)
+/// and are always dense — they are batch-varying products of a softmax
+/// attention mask, dense by construction, and gradients must flow through
+/// them.
 pub enum Transitions {
     /// Road-network transitions shared by every sample.
     Static {
@@ -19,6 +23,14 @@ pub enum Transitions {
         p_f: Tensor,
         /// Backward transition `P_b`.
         p_b: Tensor,
+    },
+    /// Road-network transitions shared by every sample, stored sparsely:
+    /// the city-scale hot path (constant matrices, no gradients needed).
+    Sparse {
+        /// Forward transition `P_f` as CSR.
+        p_f: CsrMatrix,
+        /// Backward transition `P_b` as CSR.
+        p_b: CsrMatrix,
     },
     /// Learned per-window transitions `P^{dy}` (Eq. 14).
     Dynamic {
@@ -29,32 +41,136 @@ pub enum Transitions {
     },
 }
 
-/// Precomputed constants derived from the road network.
-pub struct GraphContext {
+/// Dense precomputed constants (paper-scale graphs).
+struct DenseContext {
     /// `P_f` as a constant tensor `[N, N]`.
-    pub p_f: Tensor,
+    p_f: Tensor,
     /// `P_b` as a constant tensor `[N, N]`.
-    pub p_b: Tensor,
+    p_b: Tensor,
     /// `(1 - I)` diagonal mask `[N, N]`.
-    pub diag_mask: Tensor,
+    diag_mask: Tensor,
+}
+
+/// `D2_SPARSE_THRESHOLD`: minimum transition-matrix sparsity (fraction of
+/// zero entries) at which [`GraphContext::new`] switches the static
+/// diffusion path to CSR. Read once per process like the other `D2_*`
+/// switches; values above 1.0 force the dense path, 0 forces sparse.
+fn sparse_threshold() -> f32 {
+    static THRESHOLD: OnceLock<f32> = OnceLock::new();
+    *THRESHOLD.get_or_init(|| {
+        std::env::var("D2_SPARSE_THRESHOLD")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0.9)
+    })
+}
+
+/// Precomputed constants derived from the road network.
+///
+/// Holds the static transition matrices in one or both representations:
+/// dense tensors (always present for paper-scale [`TrafficNetwork`]s — the
+/// dynamic graph learner and the adaptive matrix need them) and CSR copies
+/// of the *same values* when the matrices are sparse enough that the
+/// diffusion block should take the pooled spmm path. City-scale contexts
+/// built with [`GraphContext::from_sparse`] are sparse-only and never
+/// materialize an `[N, N]` tensor.
+pub struct GraphContext {
+    dense: Option<DenseContext>,
+    sparse: Option<(CsrMatrix, CsrMatrix)>,
     n: usize,
 }
 
 impl GraphContext {
-    /// Build from a traffic network.
+    /// Build from a traffic network. The CSR representation is attached
+    /// automatically when both transition matrices' sparsity reaches the
+    /// `D2_SPARSE_THRESHOLD` env var (default 0.9).
     pub fn new(network: &TrafficNetwork) -> Self {
+        Self::with_threshold(network, sparse_threshold())
+    }
+
+    /// [`GraphContext::new`] with an explicit sparsity threshold (tests and
+    /// benches force either path with 0.0 / above-1.0).
+    pub fn with_threshold(network: &TrafficNetwork, threshold: f32) -> Self {
         let adj = network.adjacency();
         let n = network.num_nodes();
         let mut mask = Array::ones(&[n, n]);
         for i in 0..n {
             mask.data_mut()[i * n + i] = 0.0;
         }
+        let p_f = transition::forward_transition(&adj);
+        let p_b = transition::backward_transition(&adj);
+        // CSR copies hold the *exact same values* as the dense tensors, so
+        // either path produces bit-identical diffusion results; see
+        // `d2stgnn_tensor::sparse` for the zero-skip argument.
+        let c_f = crate::error::require(
+            CsrMatrix::from_dense(&p_f, 0.0),
+            "row-normalized transitions are finite",
+        );
+        let c_b = crate::error::require(
+            CsrMatrix::from_dense(&p_b, 0.0),
+            "row-normalized transitions are finite",
+        );
+        let sparse =
+            (c_f.sparsity() >= threshold && c_b.sparsity() >= threshold).then_some((c_f, c_b));
         Self {
-            p_f: Tensor::constant(transition::forward_transition(&adj)),
-            p_b: Tensor::constant(transition::backward_transition(&adj)),
-            diag_mask: Tensor::constant(mask),
+            dense: Some(DenseContext {
+                p_f: Tensor::constant(p_f),
+                p_b: Tensor::constant(p_b),
+                diag_mask: Tensor::constant(mask),
+            }),
+            sparse,
             n,
         }
+    }
+
+    /// Build a sparse-only context from a city-scale network: transitions
+    /// are row-normalized in CSR form and no dense `[N, N]` tensor is ever
+    /// materialized (at 100k nodes that would be 40 GB). Model features
+    /// that need dense matrices (dynamic graph learner, adaptive matrix)
+    /// are unavailable with such a context.
+    pub fn from_sparse(network: &SparseNetwork) -> Self {
+        Self {
+            dense: None,
+            sparse: Some((network.forward_transition(), network.backward_transition())),
+            n: network.num_nodes(),
+        }
+    }
+
+    /// Dense `P_f` `[N, N]`.
+    ///
+    /// # Panics
+    /// On a sparse-only context (programming error: callers needing dense
+    /// tensors must not be wired to city-scale contexts).
+    pub fn p_f(&self) -> &Tensor {
+        &self.dense().p_f
+    }
+
+    /// Dense `P_b` `[N, N]`. Panics on a sparse-only context like
+    /// [`GraphContext::p_f`].
+    pub fn p_b(&self) -> &Tensor {
+        &self.dense().p_b
+    }
+
+    /// `(1 - I)` diagonal mask `[N, N]`. Panics on a sparse-only context
+    /// like [`GraphContext::p_f`].
+    pub fn diag_mask(&self) -> &Tensor {
+        &self.dense().diag_mask
+    }
+
+    fn dense(&self) -> &DenseContext {
+        match &self.dense {
+            Some(d) => d,
+            None => crate::error::violation(
+                "dense transition tensors are unavailable in a sparse-only GraphContext",
+            ),
+        }
+    }
+
+    /// The CSR transitions `(P_f, P_b)` when the sparse diffusion path is
+    /// active (city-scale context, or dense matrices past the sparsity
+    /// threshold).
+    pub fn sparse_transitions(&self) -> Option<(&CsrMatrix, &CsrMatrix)> {
+        self.sparse.as_ref().map(|(f, b)| (f, b))
     }
 
     /// Number of nodes.
@@ -141,12 +257,12 @@ impl DynamicGraphLearner {
             q.matmul(&k.transpose()).scale(scale).softmax(2)
         };
         let p_f_dy = ctx
-            .p_f
+            .p_f()
             .reshape(&[1, n, n])
             .broadcast_to(&[b, n, n])
             .mul(&mask_from(&df_u));
         let p_b_dy = ctx
-            .p_b
+            .p_b()
             .reshape(&[1, n, n])
             .broadcast_to(&[b, n, n])
             .mul(&mask_from(&df_d));
@@ -181,14 +297,14 @@ mod tests {
     fn context_matrices_are_stochastic_and_masked() {
         let (ctx, _, _) = setup();
         assert!(d2stgnn_graph::transition::is_row_stochastic(
-            &ctx.p_f.value(),
+            &ctx.p_f().value(),
             1e-5
         ));
         assert!(d2stgnn_graph::transition::is_row_stochastic(
-            &ctx.p_b.value(),
+            &ctx.p_b().value(),
             1e-5
         ));
-        let m = ctx.diag_mask.value();
+        let m = ctx.diag_mask().value();
         for i in 0..8 {
             assert_eq!(m.at(&[i, i]), 0.0);
             if i > 0 {
@@ -221,7 +337,7 @@ mod tests {
         assert_eq!(pb.shape(), vec![2, 8, 8]);
         // The dynamic graph only reweights existing edges: zero static weight
         // stays zero.
-        let stat = ctx.p_f.value();
+        let stat = ctx.p_f().value();
         let dyn0 = pf.value();
         for i in 0..8 {
             for j in 0..8 {
@@ -244,6 +360,43 @@ mod tests {
         let (pf0, _) = dg.forward(&ctx, &emb, &Tensor::constant(x0), &[0], &[0]);
         let (pf1, _) = dg.forward(&ctx, &emb, &Tensor::constant(x1), &[0], &[0]);
         assert_ne!(pf0.value().data(), pf1.value().data());
+    }
+
+    #[test]
+    fn sparsity_threshold_selects_representation() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let net = TrafficNetwork::random_geometric(8, 3, 0.05, &mut rng);
+        // Above 1.0: dense-only, the sparse path can never activate.
+        let dense_only = GraphContext::with_threshold(&net, 2.0);
+        assert!(dense_only.sparse_transitions().is_none());
+        // At 0.0: the CSR copies exist and hold the dense values bit-for-bit.
+        let both = GraphContext::with_threshold(&net, 0.0);
+        let (c_f, c_b) = both.sparse_transitions().expect("sparse copies");
+        assert_eq!(c_f.to_dense().data(), both.p_f().value().data());
+        assert_eq!(c_b.to_dense().data(), both.p_b().value().data());
+    }
+
+    #[test]
+    fn sparse_only_context_has_transitions_but_no_dense() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let city = d2stgnn_graph::SparseNetwork::random_city(300, 4, 0.05, &mut rng);
+        let ctx = GraphContext::from_sparse(&city);
+        assert_eq!(ctx.num_nodes(), 300);
+        let (c_f, c_b) = ctx.sparse_transitions().expect("city context is sparse");
+        assert!(d2stgnn_graph::transition::is_row_stochastic(
+            &c_f.to_dense(),
+            1e-5
+        ));
+        assert_eq!(c_b.shape(), (300, 300));
+    }
+
+    #[test]
+    #[should_panic(expected = "sparse-only GraphContext")]
+    fn sparse_only_context_rejects_dense_accessors() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let city = d2stgnn_graph::SparseNetwork::random_city(20, 3, 0.05, &mut rng);
+        let ctx = GraphContext::from_sparse(&city);
+        let _ = ctx.p_f();
     }
 
     #[test]

@@ -197,8 +197,8 @@ mod tests {
             &mut rng,
         ));
         let tr = Transitions::Static {
-            p_f: ctx.p_f.clone(),
-            p_b: ctx.p_b.clone(),
+            p_f: ctx.p_f().clone(),
+            p_b: ctx.p_b().clone(),
         };
         let apt = crate::graphs::adaptive_transition(&emb);
         let tod: Vec<usize> = (0..2 * cfg.th).map(|i| i % 288).collect();
@@ -265,8 +265,8 @@ mod tests {
         let (ctx, emb, layer, mut rng) = setup(&cfg);
         let x = Tensor::constant(Array::randn(&[1, 6, 6, 16], &mut rng));
         let tr = Transitions::Static {
-            p_f: ctx.p_f.clone(),
-            p_b: ctx.p_b.clone(),
+            p_f: ctx.p_f().clone(),
+            p_b: ctx.p_b().clone(),
         };
         let apt = crate::graphs::adaptive_transition(&emb);
         let tod: Vec<usize> = (0..6).collect();
@@ -284,8 +284,8 @@ mod tests {
         let (ctx, emb, layer, mut rng) = setup(&cfg);
         let x = Tensor::parameter(Array::randn(&[1, 6, 6, 16], &mut rng));
         let tr = Transitions::Static {
-            p_f: ctx.p_f.clone(),
-            p_b: ctx.p_b.clone(),
+            p_f: ctx.p_f().clone(),
+            p_b: ctx.p_b().clone(),
         };
         let apt = crate::graphs::adaptive_transition(&emb);
         let tod: Vec<usize> = (0..6).collect();

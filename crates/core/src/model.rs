@@ -41,7 +41,46 @@ impl D2stgnn {
             cfg.num_nodes,
             network.num_nodes()
         );
-        let ctx = GraphContext::new(network);
+        Self::with_context(cfg, GraphContext::new(network), rng)
+    }
+
+    /// Build the model for a city-scale sparse network. The static
+    /// transitions stay in CSR form end to end — no dense `[N, N]` tensor
+    /// is ever materialized, so this scales to 100k-node graphs.
+    ///
+    /// # Panics
+    /// If the config fails validation, disagrees with the network size, or
+    /// enables a feature that inherently needs dense `[N, N]` matrices
+    /// (`use_dynamic_graph`, `use_adaptive` — both build per-entry attention
+    /// products that are O(N²) by construction).
+    pub fn new_sparse<R: Rng>(
+        cfg: D2stgnnConfig,
+        network: &d2stgnn_graph::SparseNetwork,
+        rng: &mut R,
+    ) -> Self {
+        cfg.validate()
+            .unwrap_or_else(|e| crate::error::violation(e));
+        assert_eq!(
+            cfg.num_nodes,
+            network.num_nodes(),
+            "config is for {} nodes but the network has {}",
+            cfg.num_nodes,
+            network.num_nodes()
+        );
+        if cfg.use_dynamic_graph || cfg.use_adaptive {
+            crate::error::violation(
+                "dynamic graph and adaptive matrices are O(N^2) dense by construction; \
+                 disable use_dynamic_graph and use_adaptive for sparse city-scale models",
+            );
+        }
+        Self::with_context(cfg, GraphContext::from_sparse(network), rng)
+    }
+
+    /// Shared constructor core. Consumes the rng in the same order for
+    /// every context kind, so dense- and sparse-context models built from
+    /// the same seed get identical initial weights (the equivalence tests
+    /// rely on this).
+    fn with_context<R: Rng>(cfg: D2stgnnConfig, ctx: GraphContext, rng: &mut R) -> Self {
         let embeddings = SharedEmbeddings::new(cfg.num_nodes, cfg.steps_per_day, cfg.emb_dim, rng);
         let input_proj = Linear::new(cfg.in_channels, cfg.hidden, true, rng);
         let dynamic_graph = cfg
@@ -113,9 +152,18 @@ impl D2stgnn {
                 let (p_f, p_b) = dg.forward(&self.ctx, &self.embeddings, &x0, &tod_last, &dow_last);
                 Transitions::Dynamic { p_f, p_b }
             }
-            None => Transitions::Static {
-                p_f: self.ctx.p_f.clone(),
-                p_b: self.ctx.p_b.clone(),
+            // The CSR representation, when present, is the hot path: same
+            // values as the dense tensors, O(nnz) instead of O(N²) per
+            // diffusion step.
+            None => match self.ctx.sparse_transitions() {
+                Some((p_f, p_b)) => Transitions::Sparse {
+                    p_f: p_f.clone(),
+                    p_b: p_b.clone(),
+                },
+                None => Transitions::Static {
+                    p_f: self.ctx.p_f().clone(),
+                    p_b: self.ctx.p_b().clone(),
+                },
             },
         };
 
@@ -318,6 +366,78 @@ mod tests {
         assert_eq!(dif.shape(), vec![2, 12, 8, 16]);
         assert_eq!(inh.shape(), vec![2, 12, 8, 16]);
         assert_ne!(dif.value().data(), inh.value().data());
+    }
+
+    #[test]
+    fn sparse_context_forecasts_match_dense_bitwise() {
+        // Same seed, same data, same weights — one model forced onto the
+        // dense transition path, one onto the CSR path. Forecasts must be
+        // bit-identical: the sparse kernels only skip zero terms.
+        let mut sim = SimulatorConfig::tiny();
+        sim.num_nodes = 8;
+        sim.knn = 3;
+        let data = simulate(&sim);
+        let windowed = WindowedDataset::new(data, 12, 12, (0.7, 0.1, 0.2));
+        let net = windowed.data().network.clone();
+        let mut cfg = D2stgnnConfig::small(8);
+        cfg.use_dynamic_graph = false;
+        cfg.use_adaptive = false;
+
+        let mut rng_a = StdRng::seed_from_u64(0);
+        let dense = D2stgnn::with_context(
+            cfg.clone(),
+            GraphContext::with_threshold(&net, 2.0),
+            &mut rng_a,
+        );
+        let mut rng_b = StdRng::seed_from_u64(0);
+        let sparse =
+            D2stgnn::with_context(cfg, GraphContext::with_threshold(&net, 0.0), &mut rng_b);
+        assert!(dense.ctx.sparse_transitions().is_none());
+        assert!(sparse.ctx.sparse_transitions().is_some());
+
+        let batch = windowed.batch(Split::Train, &[0, 1]);
+        let pa = dense.forward(&batch, false, &mut rng_a).value();
+        let pb = sparse.forward(&batch, false, &mut rng_b).value();
+        for (a, b) in pa.data().iter().zip(pb.data()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn sparse_network_model_runs_end_to_end() {
+        let mut sim = SimulatorConfig::tiny();
+        sim.num_nodes = 8;
+        sim.knn = 3;
+        let data = simulate(&sim);
+        let windowed = WindowedDataset::new(data, 12, 12, (0.7, 0.1, 0.2));
+        let city = d2stgnn_graph::SparseNetwork::from_network(&windowed.data().network);
+        let mut cfg = D2stgnnConfig::small(8);
+        cfg.use_dynamic_graph = false;
+        cfg.use_adaptive = false;
+        let mut rng = StdRng::seed_from_u64(0);
+        let model = D2stgnn::new_sparse(cfg, &city, &mut rng);
+        let batch = windowed.batch(Split::Train, &[0, 1, 2]);
+        let pred = model.forward(&batch, false, &mut rng);
+        assert_eq!(pred.shape(), vec![3, 12, 8, 1]);
+        assert!(!pred.value().has_non_finite());
+        // Training works too: gradients flow through the spmm ops.
+        let pred_t = model.forward(&batch, true, &mut rng);
+        pred_t.sum_all().backward();
+        let with_grad = model
+            .parameters()
+            .iter()
+            .filter(|p| p.grad().is_some())
+            .count();
+        assert!(with_grad > 0, "no parameter received a gradient");
+    }
+
+    #[test]
+    #[should_panic(expected = "use_dynamic_graph")]
+    fn new_sparse_rejects_dense_only_features() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let city = d2stgnn_graph::SparseNetwork::random_city(8, 3, 0.05, &mut rng);
+        // `small` enables the dynamic graph, which is O(N²) by construction.
+        D2stgnn::new_sparse(D2stgnnConfig::small(8), &city, &mut rng);
     }
 
     #[test]

@@ -38,8 +38,8 @@ fn gradcheck_diffusion_step() {
     };
     let block = DiffusionBlock::new(cfg, &mut rng);
     let transitions = Transitions::Static {
-        p_f: ctx.p_f.clone(),
-        p_b: ctx.p_b.clone(),
+        p_f: ctx.p_f().clone(),
+        p_b: ctx.p_b().clone(),
     };
     let x = Tensor::constant(Array::randn(&[b, th, n, d], &mut rng).map(|v| v * 0.5));
 
@@ -89,8 +89,8 @@ fn gradcheck_diffusion_step_with_adaptive_matrix() {
     };
     let block = DiffusionBlock::new(cfg, &mut rng);
     let transitions = Transitions::Static {
-        p_f: ctx.p_f.clone(),
-        p_b: ctx.p_b.clone(),
+        p_f: ctx.p_f().clone(),
+        p_b: ctx.p_b().clone(),
     };
     // A fixed row-stochastic-ish adaptive matrix.
     let adaptive = Tensor::constant(Array::randn(&[n, n], &mut rng).map(|v| (v * 0.2).abs()));

@@ -22,5 +22,7 @@ pub mod window;
 pub use datasets::{DatasetId, Profile};
 pub use metrics::Metrics;
 pub use scaler::StandardScaler;
-pub use simulator::{simulate, SignalKind, SimulatorConfig, TrafficData};
+pub use simulator::{
+    simulate, simulate_city, CityConfig, CityData, SignalKind, SimulatorConfig, TrafficData,
+};
 pub use window::{Batch, Split, WindowedDataset};

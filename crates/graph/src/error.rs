@@ -7,28 +7,35 @@ use std::fmt;
 /// assembly.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum GraphError {
-    /// An adjacency/weight buffer does not match the declared node count.
+    /// Two shapes are incompatible for the attempted operation (e.g. a
+    /// sparse × dense product whose inner dimensions disagree).
     ShapeMismatch {
-        /// Expected element count.
-        expected: usize,
-        /// Actual element count supplied.
-        actual: usize,
+        /// Name of the operation.
+        op: &'static str,
+        /// Left-hand shape.
+        lhs: Vec<usize>,
+        /// Right-hand shape.
+        rhs: Vec<usize>,
     },
     /// A parameter that must be at least one (kernel size, node count) was
     /// zero.
     EmptyDimension(&'static str),
+    /// Non-finite (NaN/Inf) values where finite data is required — a
+    /// corrupted adjacency must fail loudly instead of poisoning every
+    /// diffusion step downstream.
+    NonFinite(&'static str),
 }
 
 impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            GraphError::ShapeMismatch { expected, actual } => {
-                write!(
-                    f,
-                    "graph buffer length {actual} does not match expected {expected}"
-                )
+            GraphError::ShapeMismatch { op, lhs, rhs } => {
+                write!(f, "{op}: incompatible shapes {lhs:?} and {rhs:?}")
             }
             GraphError::EmptyDimension(what) => write!(f, "{what} must be >= 1"),
+            GraphError::NonFinite(what) => {
+                write!(f, "{what} contains non-finite (NaN/Inf) values")
+            }
         }
     }
 }

@@ -9,10 +9,12 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod city;
 pub mod error;
 mod network;
 pub mod sparse;
 pub mod transition;
 
+pub use city::SparseNetwork;
 pub use network::TrafficNetwork;
 pub use sparse::CsrMatrix;

@@ -1,200 +1,175 @@
-//! Compressed-sparse-row matrices for paper-scale graphs.
+//! Compressed-sparse-row matrices for road graphs.
 //!
 //! The scaled experiment profiles use dense `N x N` transitions (N ≤ 40),
-//! but the `--full` profiles reach N = 325 where the road graphs are > 97 %
-//! sparse. `CsrMatrix` stores only the non-zeros and provides the two
-//! kernels the diffusion machinery needs: sparse × dense multiplication and
-//! diagonal masking, plus conversions for interoperating with the dense
-//! pipeline and tests.
+//! but the `--full` profiles reach N = 325 (> 97 % sparse) and the
+//! city-scale simulator goes to 100k nodes, where dense storage alone is
+//! tens of gigabytes. [`CsrMatrix`] is a thin graph-semantics wrapper over
+//! the tensor crate's [`SparseMatrix`]: the pooled spmm/spgemm kernels and
+//! their determinism contract live there (one kernel, one set of
+//! float-determinism lint rules), while this type adds the transition-matrix
+//! operations (row normalization, diagonal masking) and the typed
+//! [`GraphError`] surface the serve path needs — shape mismatches and
+//! non-finite inputs return errors instead of panicking.
 
-use d2stgnn_tensor::Array;
+use d2stgnn_tensor::{Array, SparseMatrix, TensorError};
+
+use crate::error::GraphError;
 
 /// A compressed-sparse-row matrix of `f32` values.
+///
+/// Cheap to clone (the non-zeros are shared behind `Arc`s).
 #[derive(Clone, Debug, PartialEq)]
 pub struct CsrMatrix {
-    rows: usize,
-    cols: usize,
-    /// Row start offsets into `col_idx`/`values`; length `rows + 1`.
-    row_ptr: Vec<usize>,
-    /// Column index per non-zero.
-    col_idx: Vec<usize>,
-    /// Non-zero values.
-    values: Vec<f32>,
+    inner: SparseMatrix,
+}
+
+/// Map the tensor crate's constructor errors onto the graph error surface.
+fn lift(err: TensorError, what: &'static str) -> GraphError {
+    match err {
+        TensorError::NonFinite { .. } => GraphError::NonFinite(what),
+        TensorError::ShapeMismatch { op, lhs, rhs } => GraphError::ShapeMismatch { op, lhs, rhs },
+        other => crate::error::violation(format_args!("unexpected sparse error: {other}")),
+    }
 }
 
 impl CsrMatrix {
     /// Build from a dense matrix, keeping entries with `|v| > threshold`.
-    pub fn from_dense(dense: &Array, threshold: f32) -> Self {
-        let shape = dense.shape();
-        assert_eq!(shape.len(), 2, "CSR conversion expects a matrix");
-        let (rows, cols) = (shape[0], shape[1]);
-        let mut row_ptr = Vec::with_capacity(rows + 1);
-        let mut col_idx = Vec::new();
-        let mut values = Vec::new();
-        row_ptr.push(0);
-        for r in 0..rows {
-            for c in 0..cols {
-                let v = dense.data()[r * cols + c];
-                if v.abs() > threshold {
-                    col_idx.push(c);
-                    values.push(v);
-                }
-            }
-            row_ptr.push(col_idx.len());
-        }
-        Self {
-            rows,
-            cols,
-            row_ptr,
-            col_idx,
-            values,
-        }
+    /// Non-finite entries (NaN/Inf) are rejected with
+    /// [`GraphError::NonFinite`] — they would otherwise survive thresholding
+    /// (NaN fails every comparison, Inf passes it) and corrupt every
+    /// diffusion step downstream.
+    ///
+    /// # Panics
+    /// If `dense` is not rank 2 (programming error).
+    pub fn from_dense(dense: &Array, threshold: f32) -> Result<Self, GraphError> {
+        SparseMatrix::from_dense(dense, threshold)
+            .map(|inner| Self { inner })
+            .map_err(|e| lift(e, "dense adjacency"))
     }
 
     /// Build directly from triplets `(row, col, value)`; duplicate positions
-    /// are summed. Entries with row/col out of bounds panic.
-    pub fn from_triplets(rows: usize, cols: usize, triplets: &[(usize, usize, f32)]) -> Self {
-        let mut per_row: Vec<Vec<(usize, f32)>> = vec![Vec::new(); rows];
-        for &(r, c, v) in triplets {
-            assert!(r < rows && c < cols, "triplet ({r},{c}) out of bounds");
-            per_row[r].push((c, v));
-        }
-        let mut row_ptr = Vec::with_capacity(rows + 1);
-        let mut col_idx = Vec::new();
-        let mut values = Vec::new();
-        row_ptr.push(0);
-        for row in &mut per_row {
-            row.sort_by_key(|(c, _)| *c);
-            let mut last: Option<usize> = None;
-            for &(c, v) in row.iter() {
-                if let (Some(prev), true) = (values.last_mut(), last == Some(c)) {
-                    *prev += v;
-                } else {
-                    col_idx.push(c);
-                    values.push(v);
-                    last = Some(c);
-                }
-            }
-            row_ptr.push(col_idx.len());
-        }
-        Self {
-            rows,
-            cols,
-            row_ptr,
-            col_idx,
-            values,
-        }
+    /// are summed. Non-finite values are rejected with
+    /// [`GraphError::NonFinite`].
+    ///
+    /// # Panics
+    /// If a triplet's row/col is out of bounds (programming error).
+    pub fn from_triplets(
+        rows: usize,
+        cols: usize,
+        triplets: &[(usize, usize, f32)],
+    ) -> Result<Self, GraphError> {
+        SparseMatrix::from_triplets(rows, cols, triplets)
+            .map(|inner| Self { inner })
+            .map_err(|e| lift(e, "triplet values"))
+    }
+
+    /// Wrap an already-validated [`SparseMatrix`].
+    pub fn from_sparse(inner: SparseMatrix) -> Self {
+        Self { inner }
+    }
+
+    /// The underlying tensor-crate sparse matrix (for [`d2stgnn_tensor::Tensor::spmm`]).
+    pub fn as_sparse(&self) -> &SparseMatrix {
+        &self.inner
     }
 
     /// Matrix dimensions.
     pub fn shape(&self) -> (usize, usize) {
-        (self.rows, self.cols)
+        self.inner.shape()
     }
 
     /// Number of stored non-zeros.
     pub fn nnz(&self) -> usize {
-        self.values.len()
+        self.inner.nnz()
     }
 
     /// Fraction of entries that are zero.
     pub fn sparsity(&self) -> f32 {
-        1.0 - self.nnz() as f32 / (self.rows * self.cols).max(1) as f32
+        self.inner.sparsity()
     }
 
     /// Value at `(r, c)` (zero when not stored).
     pub fn get(&self, r: usize, c: usize) -> f32 {
-        let lo = self.row_ptr[r];
-        let hi = self.row_ptr[r + 1];
-        match self.col_idx[lo..hi].binary_search(&c) {
-            Ok(pos) => self.values[lo + pos],
-            Err(_) => 0.0,
-        }
+        self.inner.get(r, c)
     }
 
     /// Sparse × dense: `self [r,k] * dense [k,m] -> [r,m]`. Also accepts a
-    /// batched right operand `[B, k, m]`, returning `[B, r, m]`.
-    pub fn matmul(&self, dense: &Array) -> Array {
-        let rank = dense.rank();
-        assert!(
-            rank == 2 || rank == 3,
-            "spmm: unsupported right-operand rank {rank}"
-        );
-        match rank {
-            2 => {
-                let shape = dense.shape();
-                assert_eq!(shape[0], self.cols, "spmm: inner dims");
-                let m = shape[1];
-                let mut out = Array::zeros(&[self.rows, m]);
-                self.spmm_into(dense.data(), out.data_mut(), m);
-                out
-            }
-            3 => {
-                let shape = dense.shape();
-                assert_eq!(shape[1], self.cols, "spmm: inner dims");
-                let (b, m) = (shape[0], shape[2]);
-                let mut out = Array::zeros(&[b, self.rows, m]);
-                for bi in 0..b {
-                    let src = &dense.data()[bi * self.cols * m..(bi + 1) * self.cols * m];
-                    let dst = &mut out.data_mut()[bi * self.rows * m..(bi + 1) * self.rows * m];
-                    self.spmm_into(src, dst, m);
-                }
-                out
-            }
-            _ => crate::error::violation("spmm operand rank asserted to be 2 or 3 above"),
+    /// batched right operand `[B, k, m]`, returning `[B, r, m]`. Runs on the
+    /// tensor compute pool for large products (bit-identical at any
+    /// `D2_THREADS`); an unsupported rank or mismatched inner dimension is a
+    /// typed [`GraphError::ShapeMismatch`], never a panic — this is
+    /// reachable from the serve request path.
+    pub fn matmul(&self, dense: &Array) -> Result<Array, GraphError> {
+        let (rows, cols) = self.inner.shape();
+        let shape = dense.shape();
+        let compatible = match shape.len() {
+            2 => shape[0] == cols,
+            3 => shape[1] == cols,
+            _ => false,
+        };
+        if !compatible {
+            return Err(GraphError::ShapeMismatch {
+                op: "spmm",
+                lhs: vec![rows, cols],
+                rhs: shape.to_vec(),
+            });
         }
+        self.inner.try_matmul(dense).map_err(|e| lift(e, "spmm"))
     }
 
-    fn spmm_into(&self, dense: &[f32], out: &mut [f32], m: usize) {
-        for r in 0..self.rows {
-            let out_row = &mut out[r * m..(r + 1) * m];
-            for i in self.row_ptr[r]..self.row_ptr[r + 1] {
-                let c = self.col_idx[i];
-                let w = self.values[i];
-                let dense_row = &dense[c * m..(c + 1) * m];
-                for (o, &d) in out_row.iter_mut().zip(dense_row) {
-                    *o += w * d;
-                }
-            }
+    /// Sparse × sparse product, used for the transition powers `P^k`.
+    pub fn matmul_sparse(&self, other: &CsrMatrix) -> Result<CsrMatrix, GraphError> {
+        self.inner
+            .matmul_sparse(&other.inner)
+            .map(|inner| Self { inner })
+            .map_err(|e| lift(e, "spgemm"))
+    }
+
+    /// The transposed matrix (backward transitions run on `Aᵀ`). O(nnz).
+    pub fn transpose(&self) -> CsrMatrix {
+        Self {
+            inner: self.inner.transpose(),
         }
     }
 
     /// Zero the diagonal (Eq. 4's mask) without changing the structure.
     pub fn mask_diagonal(&self) -> CsrMatrix {
-        let mut out = self.clone();
-        for r in 0..out.rows {
-            for i in out.row_ptr[r]..out.row_ptr[r + 1] {
-                if out.col_idx[i] == r {
-                    out.values[i] = 0.0;
-                }
-            }
+        Self {
+            inner: self.inner.mask_diagonal(),
         }
-        out
     }
 
-    /// Row-normalize in place semantics (returns a new matrix); zero rows stay zero.
+    /// Row-normalize (returns a new matrix): each row is divided by the sum
+    /// of the **absolute values** of its entries, so mixed-sign and
+    /// all-negative rows are scaled too — dividing by the signed sum would
+    /// silently pass a row of negative weights through unnormalized and
+    /// corrupt the transition matrix downstream. Zero rows stay zero. For
+    /// the non-negative road adjacencies this is the classic row-stochastic
+    /// normalization.
     pub fn row_normalize(&self) -> CsrMatrix {
-        let mut out = self.clone();
-        for r in 0..out.rows {
-            let (lo, hi) = (out.row_ptr[r], out.row_ptr[r + 1]);
-            let sum: f32 = out.values[lo..hi].iter().sum();
+        let (rows, cols) = self.inner.shape();
+        let row_ptr = self.inner.row_ptr().to_vec();
+        let col_idx = self.inner.col_idx().to_vec();
+        let mut values = self.inner.values().to_vec();
+        for r in 0..rows {
+            let (lo, hi) = (row_ptr[r], row_ptr[r + 1]);
+            let sum: f32 = values[lo..hi].iter().map(|v| v.abs()).sum();
             if sum > 0.0 {
-                for v in &mut out.values[lo..hi] {
+                for v in &mut values[lo..hi] {
                     *v /= sum;
                 }
             }
         }
-        out
+        let inner = crate::error::require(
+            SparseMatrix::from_raw(rows, cols, row_ptr, col_idx, values),
+            "row_normalize preserves CSR structure",
+        );
+        Self { inner }
     }
 
     /// Convert back to a dense array.
     pub fn to_dense(&self) -> Array {
-        let mut out = Array::zeros(&[self.rows, self.cols]);
-        for r in 0..self.rows {
-            for i in self.row_ptr[r]..self.row_ptr[r + 1] {
-                out.data_mut()[r * self.cols + self.col_idx[i]] = self.values[i];
-            }
-        }
-        out
+        self.inner.to_dense()
     }
 }
 
@@ -211,7 +186,7 @@ mod tests {
     #[test]
     fn dense_roundtrip() {
         let d = sample();
-        let s = CsrMatrix::from_dense(&d, 0.0);
+        let s = CsrMatrix::from_dense(&d, 0.0).unwrap();
         assert_eq!(s.nnz(), 4);
         assert_eq!(s.shape(), (3, 3));
         assert_eq!(s.to_dense().data(), d.data());
@@ -222,13 +197,26 @@ mod tests {
 
     #[test]
     fn threshold_prunes_small_entries() {
-        let s = CsrMatrix::from_dense(&sample(), 1.0);
+        let s = CsrMatrix::from_dense(&sample(), 1.0).unwrap();
         assert_eq!(s.nnz(), 2); // only 2.0 and 3.0 survive
     }
 
     #[test]
+    fn from_dense_rejects_nan_and_inf() {
+        let mut d = sample();
+        d.data_mut()[4] = f32::NAN;
+        assert_eq!(
+            CsrMatrix::from_dense(&d, 0.0),
+            Err(GraphError::NonFinite("dense adjacency"))
+        );
+        // NaN/Inf must be rejected even when thresholding would drop them.
+        d.data_mut()[4] = f32::INFINITY;
+        assert!(CsrMatrix::from_dense(&d, 100.0).is_err());
+    }
+
+    #[test]
     fn triplets_sum_duplicates_and_sort() {
-        let s = CsrMatrix::from_triplets(2, 2, &[(0, 1, 1.0), (0, 1, 2.0), (1, 0, 4.0)]);
+        let s = CsrMatrix::from_triplets(2, 2, &[(0, 1, 1.0), (0, 1, 2.0), (1, 0, 4.0)]).unwrap();
         assert_eq!(s.get(0, 1), 3.0);
         assert_eq!(s.get(1, 0), 4.0);
         assert_eq!(s.nnz(), 2);
@@ -237,7 +225,15 @@ mod tests {
     #[test]
     #[should_panic(expected = "out of bounds")]
     fn triplets_reject_out_of_range() {
-        CsrMatrix::from_triplets(2, 2, &[(2, 0, 1.0)]);
+        let _ = CsrMatrix::from_triplets(2, 2, &[(2, 0, 1.0)]);
+    }
+
+    #[test]
+    fn triplets_reject_non_finite() {
+        assert_eq!(
+            CsrMatrix::from_triplets(2, 2, &[(0, 0, f32::NEG_INFINITY)]),
+            Err(GraphError::NonFinite("triplet values"))
+        );
     }
 
     #[test]
@@ -254,15 +250,15 @@ mod tests {
             a
         };
         let b = Array::randn(&[20, 7], &mut rng);
-        let sparse = CsrMatrix::from_dense(&dense_a, 0.0);
+        let sparse = CsrMatrix::from_dense(&dense_a, 0.0).unwrap();
         let expect = dense_a.matmul(&b);
-        let got = sparse.matmul(&b);
+        let got = sparse.matmul(&b).unwrap();
         for (x, y) in got.data().iter().zip(expect.data()) {
             assert!((x - y).abs() < 1e-4);
         }
         // Batched right operand.
         let b3 = Array::randn(&[4, 20, 5], &mut rng);
-        let got3 = sparse.matmul(&b3);
+        let got3 = sparse.matmul(&b3).unwrap();
         let expect3 = dense_a.matmul(&b3);
         assert_eq!(got3.shape(), &[4, 20, 5]);
         for (x, y) in got3.data().iter().zip(expect3.data()) {
@@ -271,9 +267,22 @@ mod tests {
     }
 
     #[test]
+    fn spmm_shape_mismatch_is_a_typed_error() {
+        let s = CsrMatrix::from_dense(&sample(), 0.0).unwrap();
+        // Inner-dimension mismatch, rank 2 and 3.
+        for bad in [&[4usize, 2][..], &[2, 4, 2][..], &[4][..]] {
+            let err = s.matmul(&Array::zeros(bad)).unwrap_err();
+            assert!(
+                matches!(err, GraphError::ShapeMismatch { op: "spmm", .. }),
+                "expected spmm shape mismatch, got {err:?}"
+            );
+        }
+    }
+
+    #[test]
     fn mask_and_normalize() {
         let d = Array::from_vec(&[2, 2], vec![1.0, 3.0, 0.0, 2.0]).unwrap();
-        let s = CsrMatrix::from_dense(&d, 0.0);
+        let s = CsrMatrix::from_dense(&d, 0.0).unwrap();
         let masked = s.mask_diagonal();
         assert_eq!(masked.get(0, 0), 0.0);
         assert_eq!(masked.get(1, 1), 0.0);
@@ -285,14 +294,47 @@ mod tests {
     }
 
     #[test]
+    fn row_normalize_handles_mixed_sign_rows() {
+        // Row 0 sums to zero, row 1 is all-negative: both previously passed
+        // through unnormalized because the signed sum was ≤ 0.
+        let d = Array::from_vec(&[3, 2], vec![2.0, -2.0, -1.0, -3.0, 0.0, 0.0]).unwrap();
+        let norm = CsrMatrix::from_dense(&d, 0.0).unwrap().row_normalize();
+        assert!((norm.get(0, 0) - 0.5).abs() < 1e-6);
+        assert!((norm.get(0, 1) + 0.5).abs() < 1e-6);
+        assert!((norm.get(1, 0) + 0.25).abs() < 1e-6);
+        assert!((norm.get(1, 1) + 0.75).abs() < 1e-6);
+        // Zero rows stay zero.
+        assert_eq!(norm.get(2, 0), 0.0);
+        assert_eq!(norm.nnz(), 4);
+    }
+
+    #[test]
+    fn transpose_and_spgemm_match_dense() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut a = Array::randn(&[9, 9], &mut rng);
+        for v in a.data_mut() {
+            if v.abs() < 0.8 {
+                *v = 0.0;
+            }
+        }
+        let s = CsrMatrix::from_dense(&a, 0.0).unwrap();
+        assert_eq!(s.transpose().to_dense().data(), a.transpose().data());
+        let sq = s.matmul_sparse(&s).unwrap();
+        let expect = a.matmul(&a);
+        for (x, y) in sq.to_dense().data().iter().zip(expect.data()) {
+            assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
     fn full_profile_adjacency_is_very_sparse() {
         let mut rng = StdRng::seed_from_u64(1);
         let net = crate::TrafficNetwork::random_geometric(207, 9, 0.05, &mut rng);
-        let s = CsrMatrix::from_dense(&net.adjacency(), 0.0);
+        let s = CsrMatrix::from_dense(&net.adjacency(), 0.0).unwrap();
         assert!(s.sparsity() > 0.9, "sparsity {}", s.sparsity());
         // spmm against the dense path on the real structure.
         let x = Array::randn(&[207, 4], &mut rng);
-        let got = s.matmul(&x);
+        let got = s.matmul(&x).unwrap();
         let expect = net.adjacency().matmul(&x);
         for (a, b) in got.data().iter().zip(expect.data()) {
             assert!((a - b).abs() < 1e-3);

@@ -36,6 +36,13 @@ pub enum TensorError {
     },
     /// Empty input where at least one element is required.
     Empty(&'static str),
+    /// Non-finite (NaN/Inf) values where finite data is required, e.g. when
+    /// building a sparse matrix: a corrupted adjacency must fail loudly
+    /// instead of poisoning every downstream product.
+    NonFinite {
+        /// Name of the rejecting operation.
+        op: &'static str,
+    },
     /// `D2_FAST_MATH=1` is active but the caller requires bit-exact
     /// arithmetic (e.g. training resume replay). See
     /// [`crate::simd::require_bit_exact`].
@@ -62,6 +69,9 @@ impl fmt::Display for TensorError {
                 write!(f, "axis {axis} out of range for rank {rank}")
             }
             TensorError::Empty(what) => write!(f, "empty input: {what}"),
+            TensorError::NonFinite { op } => {
+                write!(f, "{op}: input contains non-finite (NaN/Inf) values")
+            }
             TensorError::FastMathForbidden { context } => write!(
                 f,
                 "{context} requires bit-exact kernels but D2_FAST_MATH=1 selected an FMA \
@@ -122,5 +132,10 @@ mod tests {
 
         let e = TensorError::Empty("concat");
         assert!(e.to_string().contains("concat"));
+
+        let e = TensorError::NonFinite {
+            op: "sparse_from_dense",
+        };
+        assert!(e.to_string().contains("non-finite"));
     }
 }

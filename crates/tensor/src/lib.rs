@@ -45,10 +45,12 @@ mod profile;
 mod sanitize;
 pub mod shape;
 pub mod simd;
+pub mod sparse;
 mod tensor;
 pub mod testing;
 
 pub use array::Array;
 pub use error::TensorError;
 pub use profile::{OpStat, ProfileReport, Tape};
+pub use sparse::SparseMatrix;
 pub use tensor::{no_grad, Tensor};

@@ -21,7 +21,7 @@ thread_local! {
     static NO_GRAD_DEPTH: std::cell::Cell<u32> = const { std::cell::Cell::new(0) };
 }
 
-fn no_grad_active() -> bool {
+pub(crate) fn no_grad_active() -> bool {
     NO_GRAD_DEPTH.with(|d| d.get() > 0)
 }
 

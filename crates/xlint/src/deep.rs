@@ -48,6 +48,7 @@ pub const KERNEL_FLOAT_FILES: &[&str] = &[
     "crates/tensor/src/ops.rs",
     "crates/tensor/src/gemm.rs",
     "crates/tensor/src/simd.rs",
+    "crates/tensor/src/sparse.rs",
     "crates/tensor/src/array.rs",
     "crates/tensor/src/losses.rs",
     "crates/core/src/diffusion.rs",
